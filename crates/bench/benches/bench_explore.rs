@@ -1,0 +1,91 @@
+//! E6's cost axis: exploration throughput (executions/second) and the
+//! price/benefit of each reduction on a fixed schedule tree.
+
+use criterion::Criterion;
+use mtt_bench::quick_criterion;
+use mtt_core::explore::{ExploreOptions, Explorer};
+use mtt_core::prelude::*;
+
+fn racy(increments: u32) -> Program {
+    let mut b = ProgramBuilder::new("bench_racy");
+    let x = b.var("x", 0);
+    b.entry(move |ctx| {
+        let a = ctx.spawn("a", move |ctx| {
+            for _ in 0..increments {
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            }
+        });
+        let c = ctx.spawn("b", move |ctx| {
+            for _ in 0..increments {
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            }
+        });
+        ctx.join(a);
+        ctx.join(c);
+    });
+    b.build()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("explore");
+    let p = racy(2);
+
+    let configs: Vec<(&str, ExploreOptions)> = vec![
+        (
+            "dfs_exhaustive",
+            ExploreOptions {
+                branch_only_visible: false,
+                stop_on_first_bug: false,
+                max_executions: 1_000_000,
+                ..Default::default()
+            },
+        ),
+        (
+            "dfs_por",
+            ExploreOptions {
+                branch_only_visible: true,
+                stop_on_first_bug: false,
+                max_executions: 1_000_000,
+                ..Default::default()
+            },
+        ),
+        (
+            "dfs_por_stateful",
+            ExploreOptions {
+                branch_only_visible: true,
+                stateful: true,
+                stop_on_first_bug: false,
+                max_executions: 1_000_000,
+                ..Default::default()
+            },
+        ),
+        (
+            "preempt_bound_2",
+            ExploreOptions {
+                branch_only_visible: true,
+                preemption_bound: Some(2),
+                stop_on_first_bug: false,
+                max_executions: 1_000_000,
+                ..Default::default()
+            },
+        ),
+    ];
+    for (name, opts) in configs {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = Explorer::new(&p, opts.clone()).run();
+                assert!(r.exhausted);
+                r.executions
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,44 @@
+//! E5's throughput: how fast the §4.4 multiout benchmark program can be
+//! sampled under each scheduler — outcome-distribution experiments run
+//! thousands of executions, so per-run cost is the budget driver.
+
+use criterion::Criterion;
+use mtt_bench::quick_criterion;
+use mtt_core::prelude::*;
+use mtt_core::suite::multiout;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multiout");
+    let p = multiout::program();
+
+    g.bench_function("fifo", |b| {
+        b.iter(|| {
+            let o = Execution::new(&p).scheduler(Box::new(FifoScheduler)).run();
+            multiout::signature(&o)
+        })
+    });
+    g.bench_function("uniform_random", |b| {
+        b.iter(|| {
+            let o = Execution::new(&p)
+                .scheduler(Box::new(RandomScheduler::new(3)))
+                .run();
+            multiout::signature(&o)
+        })
+    });
+    g.bench_function("sticky_with_sleep_noise", |b| {
+        b.iter(|| {
+            let o = Execution::new(&p)
+                .scheduler(Box::new(RandomScheduler::sticky(3, 0.9)))
+                .noise(Box::new(RandomSleep::new(3, 0.2, 15)))
+                .run();
+            multiout::signature(&o)
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,72 @@
+//! E1's overhead axis: "two noise makers can be compared to each other
+//! with regard to the performance overhead and the likelihood of
+//! uncovering bugs" — this bench measures the first half, per heuristic
+//! and per placement strategy.
+
+use criterion::Criterion;
+use mtt_bench::{quick_criterion, workload};
+use mtt_core::noise::{placement, CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield};
+use mtt_core::prelude::*;
+use mtt_core::runtime::NoiseMaker;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("noise_overhead");
+    let p = workload(4, 20);
+
+    type NoiseFactory = Box<dyn Fn() -> Box<dyn NoiseMaker>>;
+    let heuristics: Vec<(&str, NoiseFactory)> = vec![
+        ("none", Box::new(|| Box::new(mtt_core::runtime::NoNoise))),
+        (
+            "yield-0.2",
+            Box::new(|| Box::new(RandomYield::new(1, 0.2))),
+        ),
+        (
+            "sleep-0.2",
+            Box::new(|| Box::new(RandomSleep::new(1, 0.2, 20))),
+        ),
+        ("mixed-0.2", Box::new(|| Box::new(Mixed::new(1, 0.2, 20)))),
+        (
+            "halt",
+            Box::new(|| Box::new(HaltOneThread::new(1, 0.05, 200))),
+        ),
+        (
+            "coverage",
+            Box::new(|| Box::new(CoverageDirected::new(1, 0.6, 0.05, 20))),
+        ),
+    ];
+    for (name, mk) in &heuristics {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                Execution::new(&p)
+                    .scheduler(Box::new(RandomScheduler::sticky(1, 0.9)))
+                    .noise(mk())
+                    .run()
+            })
+        });
+    }
+
+    // Placement: the same heuristic consulted at fewer points.
+    let placements = [
+        ("placed-everywhere", placement::everywhere()),
+        ("placed-sync-only", placement::sync_only()),
+        ("placed-var-access", placement::var_access_only()),
+    ];
+    for (name, plan) in &placements {
+        g.bench_function(*name, |b| {
+            b.iter(|| {
+                Execution::new(&p)
+                    .scheduler(Box::new(RandomScheduler::sticky(1, 0.9)))
+                    .noise(Box::new(RandomSleep::new(1, 0.2, 20)))
+                    .noise_plan(plan.clone())
+                    .run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,90 @@
+//! E2's overhead axis: race-detector throughput in events/second —
+//! "on-line race detection techniques compete in the performance overhead
+//! they produce".
+
+use criterion::{Criterion, Throughput};
+use mtt_bench::quick_criterion;
+use mtt_core::instrument::{Event, EventSink, LockId, Loc, Op, ThreadId, VarId};
+use mtt_core::prelude::*;
+use std::sync::Arc;
+
+/// Synthesize a realistic event stream: `n` events over `threads` threads,
+/// `vars` variables, with a lock acquire/release pattern around half the
+/// accesses.
+fn synthetic_stream(n: usize, threads: u32, vars: u32) -> Vec<Event> {
+    let mut out = Vec::with_capacity(n);
+    let empty: Arc<[LockId]> = Arc::from(Vec::new());
+    let with_lock: Arc<[LockId]> = Arc::from(vec![LockId(0)]);
+    for i in 0..n {
+        let t = ThreadId((i as u32) % threads);
+        let v = VarId((i as u32 * 7) % vars);
+        let (op, locks) = match i % 6 {
+            0 => (Op::LockAcquire { lock: LockId(0) }, with_lock.clone()),
+            1 => (
+                Op::VarWrite { var: v, value: i as i64 },
+                with_lock.clone(),
+            ),
+            2 => (Op::LockRelease { lock: LockId(0) }, empty.clone()),
+            3 => (Op::VarRead { var: v, value: i as i64 }, empty.clone()),
+            4 => (
+                Op::VarWrite { var: v, value: i as i64 },
+                empty.clone(),
+            ),
+            _ => (Op::Yield, empty.clone()),
+        };
+        out.push(Event {
+            seq: i as u64,
+            time: i as u64,
+            thread: t,
+            loc: Loc::new("bench", (i % 97) as u32 + 1),
+            op,
+            locks_held: locks,
+        });
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("race_detectors");
+    let stream = synthetic_stream(20_000, 8, 32);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+
+    g.bench_function("eraser_20k_events", |b| {
+        b.iter(|| {
+            let mut d = EraserLockset::new();
+            for ev in &stream {
+                d.on_event(ev);
+            }
+            d.finish();
+            d.warning_count()
+        })
+    });
+    g.bench_function("vector_clock_20k_events", |b| {
+        b.iter(|| {
+            let mut d = VectorClockDetector::new();
+            for ev in &stream {
+                d.on_event(ev);
+            }
+            d.finish();
+            d.warning_count()
+        })
+    });
+    // The FastTrack fast path: single-thread stream, almost all same-epoch.
+    let local = synthetic_stream(20_000, 1, 4);
+    g.bench_function("vector_clock_fastpath_20k", |b| {
+        b.iter(|| {
+            let mut d = VectorClockDetector::new();
+            for ev in &local {
+                d.on_event(ev);
+            }
+            d.fast_path_hits
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

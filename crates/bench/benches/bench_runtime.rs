@@ -1,0 +1,55 @@
+//! Substrate baseline: scheduling-point throughput of the controlled
+//! runtime, with and without sinks attached — the denominator every other
+//! overhead number is read against.
+
+use criterion::Criterion;
+use mtt_bench::{quick_criterion, workload};
+use mtt_core::instrument::{CountingSink, NullSink};
+use mtt_core::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+
+    let p = workload(4, 25);
+    g.bench_function("bare_execution_4x25", |b| {
+        b.iter(|| {
+            Execution::new(&p)
+                .scheduler(Box::new(RandomScheduler::new(1)))
+                .run()
+        })
+    });
+    g.bench_function("null_sink_4x25", |b| {
+        b.iter(|| {
+            Execution::new(&p)
+                .scheduler(Box::new(RandomScheduler::new(1)))
+                .sink(Box::new(NullSink))
+                .run()
+        })
+    });
+    g.bench_function("counting_sink_4x25", |b| {
+        b.iter(|| {
+            Execution::new(&p)
+                .scheduler(Box::new(RandomScheduler::new(1)))
+                .sink(Box::new(CountingSink::new()))
+                .run()
+        })
+    });
+    // Scaling in thread count.
+    for threads in [2u32, 8, 16] {
+        let p = workload(threads, 10);
+        g.bench_function(format!("threads_{threads}x10"), |b| {
+            b.iter(|| {
+                Execution::new(&p)
+                    .scheduler(Box::new(RandomScheduler::new(1)))
+                    .run()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

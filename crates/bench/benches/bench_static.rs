@@ -1,0 +1,49 @@
+//! E7's cost axis: the static pipeline (parse → analyze → compile) and the
+//! event-stream saving that advised instrumentation buys at run time.
+
+use criterion::Criterion;
+use mtt_bench::quick_criterion;
+use mtt_core::instrument::{InstrumentationPlan, NullSink};
+use mtt_core::prelude::*;
+use mtt_core::statik::{analyze, compile, parse, samples};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_pipeline");
+    let src = samples::ABBA;
+
+    g.bench_function("parse", |b| b.iter(|| parse(src).unwrap()));
+    let ast = parse(src).unwrap();
+    g.bench_function("analyze", |b| b.iter(|| analyze(&ast)));
+    g.bench_function("compile", |b| b.iter(|| compile(&ast)));
+
+    let analysis = analyze(&ast);
+    let program = compile(&ast);
+    g.bench_function("run_full_instrumentation", |b| {
+        b.iter(|| {
+            Execution::new(&program)
+                .scheduler(Box::new(RandomScheduler::new(2)))
+                .plan(InstrumentationPlan::full())
+                .sink(Box::new(NullSink))
+                .max_steps(20_000)
+                .run()
+        })
+    });
+    let advised = InstrumentationPlan::advised(analysis.info.clone());
+    g.bench_function("run_advised_instrumentation", |b| {
+        b.iter(|| {
+            Execution::new(&program)
+                .scheduler(Box::new(RandomScheduler::new(2)))
+                .plan(advised.clone())
+                .sink(Box::new(NullSink))
+                .max_steps(20_000)
+                .run()
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

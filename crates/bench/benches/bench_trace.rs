@@ -1,0 +1,59 @@
+//! E8's storage/throughput axis: trace encode/decode performance and size
+//! for both codecs — "techniques compete in reducing and compressing the
+//! information needed".
+
+use criterion::{Criterion, Throughput};
+use mtt_bench::{quick_criterion, workload};
+use mtt_core::instrument::shared;
+use mtt_core::prelude::*;
+use mtt_core::trace::{binary, json, Trace};
+
+fn capture_trace() -> Trace {
+    let p = workload(4, 40);
+    let (sink, handle) = shared(TraceCollector::new());
+    let _ = Execution::new(&p)
+        .scheduler(Box::new(RandomScheduler::new(5)))
+        .sink(Box::new(sink))
+        .run();
+    let mut guard = handle.lock().unwrap();
+    std::mem::take(&mut guard.trace)
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = capture_trace();
+    let records = trace.len() as u64;
+    let mut g = c.benchmark_group("trace_codec");
+    g.throughput(Throughput::Elements(records));
+
+    g.bench_function("json_encode", |b| b.iter(|| json::to_string(&trace).len()));
+    g.bench_function("binary_encode", |b| b.iter(|| binary::encode(&trace).len()));
+
+    let j = json::to_string(&trace);
+    let bin = binary::encode(&trace);
+    println!(
+        "trace: {} records, json {} B, binary {} B ({:.1}x smaller)",
+        records,
+        j.len(),
+        bin.len(),
+        j.len() as f64 / bin.len() as f64
+    );
+    g.bench_function("json_decode", |b| b.iter(|| json::from_str(&j).unwrap().len()));
+    g.bench_function("binary_decode", |b| {
+        b.iter(|| binary::decode(&bin).unwrap().len())
+    });
+    // Offline feeding throughput (trace -> detector).
+    g.bench_function("feed_vector_clock", |b| {
+        b.iter(|| {
+            let mut d = VectorClockDetector::new();
+            trace.feed(&mut d);
+            d.warning_count()
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

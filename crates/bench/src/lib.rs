@@ -1,0 +1,44 @@
+//! Shared helpers for the mtt benchmark harness: fast Criterion
+//! settings (the benches exist to expose *relative* overheads, not
+//! publication-grade absolute timings) and the standard workload.
+
+use criterion::Criterion;
+use mtt_core::prelude::*;
+
+/// Criterion tuned for quick runs: the full harness must finish in minutes.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(800))
+        .configure_from_args()
+}
+
+/// The standard bench workload: `threads` workers, each doing `work`
+/// lock-protected increments and `work` racy increments.
+pub fn workload(threads: u32, work: u32) -> Program {
+    let mut b = ProgramBuilder::new("bench_workload");
+    let x = b.var("x", 0);
+    let y = b.var("y", 0);
+    let l = b.lock("l");
+    b.entry(move |ctx| {
+        let kids: Vec<ThreadId> = (0..threads)
+            .map(|i| {
+                ctx.spawn(format!("w{i}"), move |ctx| {
+                    for _ in 0..work {
+                        ctx.lock(l);
+                        let v = ctx.read(x);
+                        ctx.write(x, v + 1);
+                        ctx.unlock(l);
+                        let v = ctx.read(y);
+                        ctx.write(y, v + 1);
+                    }
+                })
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    b.build()
+}

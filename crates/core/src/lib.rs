@@ -1,0 +1,223 @@
+//! # mtt-core — the benchmark and framework, in one crate
+//!
+//! This is the umbrella crate of **mtt**, a Rust realization of the
+//! benchmark-and-framework proposal of Havelund, Stoller and Ur,
+//! *"Benchmark and Framework for Encouraging Research on Multi-Threaded
+//! Testing Tools"* (IPDPS/PADTAD 2003). It re-exports every component with
+//! the open interfaces §3 of that paper calls for, so a researcher can
+//! replace exactly one piece and reuse the rest:
+//!
+//! | paper concept | here |
+//! |---|---|
+//! | instrumented program + scheduler | [`runtime`] ([`runtime::Program`], [`runtime::Execution`], [`runtime::Scheduler`]) |
+//! | instrumentor with open API | [`instrument`] ([`instrument::InstrumentationPlan`], [`instrument::EventSink`]) |
+//! | standard annotated trace format | [`trace`] |
+//! | noise makers | [`noise`] |
+//! | race detection (lockset + happens-before) | [`race`] |
+//! | deadlock detection (waits-for + lock graphs) | [`deadlock`] |
+//! | replay (record / playback) | [`replay`] |
+//! | concurrency coverage | [`coverage`] |
+//! | systematic state-space exploration | [`explore`] |
+//! | static analysis + MiniProg | [`statik`] |
+//! | repository of documented-bug programs | [`suite`] |
+//! | prepared experiments | [`experiment`] |
+//!
+//! ## Quick taste
+//!
+//! ```
+//! use mtt_core::prelude::*;
+//!
+//! // Grab a documented-bug program from the repository…
+//! let entry = mtt_core::suite::by_name("lost_update").unwrap();
+//! // …shake it with noise on a realistic scheduler…
+//! let outcome = Execution::new(&entry.program)
+//!     .scheduler(Box::new(RandomScheduler::sticky(42, 0.9)))
+//!     .noise(Box::new(RandomSleep::new(42, 0.3, 20)))
+//!     .run();
+//! // …and ask the program's oracle what happened.
+//! let verdict = entry.judge(&outcome);
+//! println!("bugs manifested: {:?}", verdict.manifested);
+//! ```
+//!
+//! [`quick_check`] bundles the whole toolchain (noise + both race
+//! detectors + lock-order analysis + coverage) into a single call for
+//! first-contact use; everything it does can be assembled by hand from the
+//! re-exported parts.
+
+pub use mtt_coverage as coverage;
+pub use mtt_deadlock as deadlock;
+pub use mtt_experiment as experiment;
+pub use mtt_explore as explore;
+pub use mtt_instrument as instrument;
+pub use mtt_noise as noise;
+pub use mtt_race as race;
+pub use mtt_replay as replay;
+pub use mtt_runtime as runtime;
+pub use mtt_static as statik;
+pub use mtt_suite as suite;
+pub use mtt_trace as trace;
+
+/// The working set most users want in scope.
+pub mod prelude {
+    pub use mtt_coverage::{ContentionCoverage, CoverageModel, OrderedPairCoverage, SyncCoverage};
+    pub use mtt_deadlock::{LockOrderGraph, WaitsForMonitor};
+    pub use mtt_explore::{ExploreOptions, Explorer};
+    pub use mtt_instrument::{
+        shared, CountingSink, Event, EventSink, InstrumentationPlan, Op, VecSink,
+    };
+    pub use mtt_noise::{CoverageDirected, Mixed, RandomSleep, RandomYield};
+    pub use mtt_race::{EraserLockset, VectorClockDetector};
+    pub use mtt_replay::{record, DivergencePolicy, PlaybackNoise, PlaybackScheduler};
+    pub use mtt_runtime::{
+        Execution, FifoScheduler, NoiseMaker, Outcome, PctScheduler, Program, ProgramBuilder,
+        RandomScheduler, RoundRobinScheduler, Scheduler, ThreadCtx, ThreadId,
+    };
+    pub use mtt_trace::{Trace, TraceCollector};
+}
+
+use mtt_deadlock::{DeadlockPotential, LockOrderGraph};
+use mtt_instrument::shared;
+use mtt_noise::Mixed;
+use mtt_race::{EraserLockset, RaceWarning, VectorClockDetector};
+use mtt_runtime::{Execution, Outcome, Program, RandomScheduler};
+
+/// Everything [`quick_check`] found across its runs.
+#[derive(Debug, Default)]
+pub struct QuickCheckReport {
+    /// Runs performed.
+    pub runs: u64,
+    /// Outcomes that ended badly (deadlock, hang, panic, failed assertion).
+    pub failures: Vec<Outcome>,
+    /// Lockset race warnings (deduplicated per variable).
+    pub eraser_warnings: Vec<RaceWarning>,
+    /// Happens-before race warnings.
+    pub vc_warnings: Vec<RaceWarning>,
+    /// Lock-order (GoodLock) deadlock potentials.
+    pub deadlock_potentials: Vec<DeadlockPotential>,
+}
+
+impl QuickCheckReport {
+    /// Anything suspicious at all?
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+            && self.eraser_warnings.is_empty()
+            && self.vc_warnings.is_empty()
+            && self.deadlock_potentials.is_empty()
+    }
+
+    /// Human-oriented multi-line summary.
+    pub fn render(&self, program: &Program) -> String {
+        let table = program.var_table();
+        let mut out = format!(
+            "quick-check of `{}`: {} runs, {} bad outcomes\n",
+            program.name(),
+            self.runs,
+            self.failures.len()
+        );
+        for o in self.failures.iter().take(5) {
+            out.push_str(&format!("  failure: {}\n", o.summary()));
+        }
+        for w in &self.eraser_warnings {
+            out.push_str(&format!("  {}\n", w.render(table.name(w.var))));
+        }
+        for w in &self.vc_warnings {
+            out.push_str(&format!("  {}\n", w.render(table.name(w.var))));
+        }
+        for d in &self.deadlock_potentials {
+            out.push_str(&format!(
+                "  [lock-order] potential deadlock cycle: {:?} (threads {:?})\n",
+                d.cycle, d.threads
+            ));
+        }
+        if self.is_clean() {
+            out.push_str("  nothing suspicious found\n");
+        }
+        out
+    }
+}
+
+/// Run the whole toolchain against `program` for `runs` seeded executions:
+/// sticky-random scheduling with mixed noise, both race detectors and the
+/// lock-order analyzer attached online. The one-call "is this program
+/// suspicious?" entry point.
+pub fn quick_check(program: &Program, runs: u64, base_seed: u64) -> QuickCheckReport {
+    let mut report = QuickCheckReport::default();
+    let (eraser_sink, eraser) = shared(EraserLockset::new());
+    let (vc_sink, vc) = shared(VectorClockDetector::new());
+    let (graph_sink, graph) = shared(LockOrderGraph::new());
+    // The detectors accumulate across runs; Shared lets us re-attach the
+    // same instance each time.
+    for r in 0..runs {
+        let seed = base_seed + r;
+        let outcome = Execution::new(program)
+            .scheduler(Box::new(RandomScheduler::sticky(seed, 0.85)))
+            .noise(Box::new(Mixed::new(seed, 0.15, 15)))
+            .sink(Box::new(eraser_sink.clone()))
+            .sink(Box::new(vc_sink.clone()))
+            .sink(Box::new(graph_sink.clone()))
+            .max_steps(100_000)
+            .run();
+        report.runs += 1;
+        if !outcome.ok() {
+            report.failures.push(outcome);
+        }
+    }
+    report.eraser_warnings = eraser.lock().expect("eraser poisoned").warnings.clone();
+    report.vc_warnings = vc.lock().expect("vc poisoned").warnings.clone();
+    report.deadlock_potentials = graph.lock().expect("graph poisoned").potentials();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_runtime::ProgramBuilder;
+
+    #[test]
+    fn quick_check_flags_the_racy_program() {
+        let entry = mtt_suite::by_name("lost_update").unwrap();
+        let report = quick_check(&entry.program, 12, 3);
+        assert!(!report.is_clean());
+        assert!(
+            !report.eraser_warnings.is_empty() || !report.vc_warnings.is_empty(),
+            "some detector must flag x"
+        );
+        let rendered = report.render(&entry.program);
+        assert!(rendered.contains("lost_update"));
+    }
+
+    #[test]
+    fn quick_check_flags_latent_deadlocks_without_deadlocking() {
+        let entry = mtt_suite::by_name("ab_ba").unwrap();
+        let report = quick_check(&entry.program, 20, 5);
+        // Whether or not a run actually deadlocked, the lock-order graph
+        // must expose the potential.
+        assert!(
+            !report.deadlock_potentials.is_empty() || !report.failures.is_empty(),
+            "AB-BA must be visible to quick_check"
+        );
+    }
+
+    #[test]
+    fn quick_check_is_quiet_on_clean_code() {
+        let mut b = ProgramBuilder::new("clean");
+        let x = b.var("x", 0);
+        let l = b.lock("l");
+        b.entry(move |ctx| {
+            let t = ctx.spawn("t", move |ctx| {
+                ctx.with_lock(l, |ctx| {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                });
+            });
+            ctx.with_lock(l, |ctx| {
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            });
+            ctx.join(t);
+        });
+        let p = b.build();
+        let report = quick_check(&p, 15, 9);
+        assert!(report.is_clean(), "{}", report.render(&p));
+    }
+}

@@ -1,0 +1,611 @@
+//! # mtt-coverage — concurrency coverage models
+//!
+//! §2.2 of the paper: statement coverage "is of very little utility in the
+//! multi-threading domain. An equivalent process ... is to check that
+//! variables on which contention can occur had contention in the testing.
+//! Such measures exist in ConTest. Better measures should be created and
+//! their correlation to bug detection studied." It also raises "a new and
+//! interesting research question": *using coverage to decide, given limited
+//! resources, how many times each test should be executed*.
+//!
+//! This crate provides:
+//!
+//! * Four coverage models, each an [`EventSink`] producing a set of covered
+//!   *tasks* (string keys, so models compose and accumulate generically):
+//!   [`SiteCoverage`] (the sequential baseline the paper calls near-useless
+//!   here), [`ContentionCoverage`] (ConTest's shared-variable contention),
+//!   [`SyncCoverage`] (ConTest synchronization coverage: each lock site
+//!   observed both blocking and blocked), and [`OrderedPairCoverage`]
+//!   (cross-thread access pairs on a variable, in both orders).
+//! * Feasibility denominators from [`StaticInfo`] — the paper's fix for
+//!   "most tasks are not feasible": only variables static analysis says can
+//!   be shared count toward the goal ([`ContentionCoverage::with_feasible`]).
+//! * [`Cumulative`] — union of covered tasks across runs, yielding the
+//!   coverage-growth curves of experiment E4.
+//! * [`RunCountAdvisor`] — the paper's run-count question, answered with
+//!   plateau detection: keep re-running a test until `window` consecutive
+//!   runs add no new tasks.
+
+use mtt_instrument::{Event, EventSink, Loc, Op, StaticInfo, ThreadId, VarId, VarTable};
+use std::collections::{BTreeSet, HashMap};
+
+/// A coverage model: consumes events, produces covered tasks.
+pub trait CoverageModel: EventSink {
+    /// Model name for reports.
+    fn model_name(&self) -> &'static str;
+
+    /// The tasks covered so far, as stable string keys.
+    fn covered_tasks(&self) -> BTreeSet<String>;
+
+    /// The feasible-task universe, when the model knows it. `None` means
+    /// the universe is open (e.g. sites are discovered, not declared).
+    fn feasible_tasks(&self) -> Option<BTreeSet<String>>;
+
+    /// Convenience: covered / feasible, when the universe is known.
+    fn ratio(&self) -> Option<f64> {
+        let f = self.feasible_tasks()?;
+        if f.is_empty() {
+            return Some(1.0);
+        }
+        let covered = self
+            .covered_tasks()
+            .intersection(&f)
+            .count();
+        Some(covered as f64 / f.len() as f64)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Site coverage (the sequential baseline)
+// ---------------------------------------------------------------------
+
+/// Which instrumentation sites executed at all — statement coverage's
+/// closest analogue, included as the baseline the paper dismisses for
+/// concurrent bugs (experiment E4 shows why: it saturates after one run).
+#[derive(Debug, Default)]
+pub struct SiteCoverage {
+    sites: BTreeSet<Loc>,
+}
+
+impl SiteCoverage {
+    /// Fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for SiteCoverage {
+    fn on_event(&mut self, ev: &Event) {
+        self.sites.insert(ev.loc);
+    }
+}
+
+impl CoverageModel for SiteCoverage {
+    fn model_name(&self) -> &'static str {
+        "site"
+    }
+
+    fn covered_tasks(&self) -> BTreeSet<String> {
+        self.sites.iter().map(|l| l.to_string()).collect()
+    }
+
+    fn feasible_tasks(&self) -> Option<BTreeSet<String>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Contention coverage
+// ---------------------------------------------------------------------
+
+/// Per-variable contention: a variable's task is covered when it has been
+/// accessed by at least two distinct threads, at least one access being a
+/// write, within one execution.
+#[derive(Debug, Default)]
+pub struct ContentionCoverage {
+    /// threads that read/wrote each var, plus whether any write occurred.
+    state: HashMap<VarId, (BTreeSet<ThreadId>, bool)>,
+    var_names: Vec<String>,
+    feasible: Option<BTreeSet<String>>,
+}
+
+impl ContentionCoverage {
+    /// Model over the program's variable table (all variables feasible).
+    pub fn new(table: &VarTable) -> Self {
+        ContentionCoverage {
+            state: HashMap::new(),
+            var_names: (0..table.len() as u32)
+                .map(|i| table.name(VarId(i)).to_string())
+                .collect(),
+            feasible: Some(
+                (0..table.len() as u32)
+                    .map(|i| table.name(VarId(i)).to_string())
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Restrict the feasible universe to variables a static analysis says
+    /// can be shared — the paper's feasibility refinement.
+    pub fn with_feasible(table: &VarTable, info: &StaticInfo) -> Self {
+        let mut m = Self::new(table);
+        m.feasible = Some(info.shared_var_names().map(str::to_string).collect());
+        m
+    }
+
+    fn name_of(&self, v: VarId) -> String {
+        self.var_names
+            .get(v.index())
+            .cloned()
+            .unwrap_or_else(|| format!("var{}", v.0))
+    }
+}
+
+impl EventSink for ContentionCoverage {
+    fn on_event(&mut self, ev: &Event) {
+        if let Some((var, kind)) = ev.var_access() {
+            let e = self.state.entry(var).or_default();
+            e.0.insert(ev.thread);
+            e.1 |= kind.is_write();
+        }
+    }
+}
+
+impl CoverageModel for ContentionCoverage {
+    fn model_name(&self) -> &'static str {
+        "contention"
+    }
+
+    fn covered_tasks(&self) -> BTreeSet<String> {
+        self.state
+            .iter()
+            .filter(|(_, (threads, wrote))| threads.len() >= 2 && *wrote)
+            .map(|(v, _)| self.name_of(*v))
+            .collect()
+    }
+
+    fn feasible_tasks(&self) -> Option<BTreeSet<String>> {
+        self.feasible.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Synchronization coverage (ConTest)
+// ---------------------------------------------------------------------
+
+/// ConTest synchronization coverage: for every lock-acquisition site,
+/// observe it both **blocked** (the acquisition had to wait) and
+/// **blocking** (some other thread had to wait while the lock taken here
+/// was held). Each site therefore contributes two tasks.
+#[derive(Debug, Default)]
+pub struct SyncCoverage {
+    /// Site at which the current owner of each lock acquired it.
+    owner_site: HashMap<u32, Loc>,
+    blocked: BTreeSet<Loc>,
+    blocking: BTreeSet<Loc>,
+    /// All acquisition sites seen (the discovered universe).
+    sites: BTreeSet<Loc>,
+}
+
+impl SyncCoverage {
+    /// Fresh model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for SyncCoverage {
+    fn on_event(&mut self, ev: &Event) {
+        match ev.op {
+            Op::LockRequest { lock } => {
+                // This request blocked: its site is "blocked", the current
+                // owner's acquisition site is "blocking".
+                self.sites.insert(ev.loc);
+                self.blocked.insert(ev.loc);
+                if let Some(owner_loc) = self.owner_site.get(&lock.0) {
+                    self.blocking.insert(*owner_loc);
+                }
+            }
+            Op::LockAcquire { lock } => {
+                self.sites.insert(ev.loc);
+                self.owner_site.insert(lock.0, ev.loc);
+            }
+            Op::LockRelease { lock } => {
+                self.owner_site.remove(&lock.0);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl CoverageModel for SyncCoverage {
+    fn model_name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn covered_tasks(&self) -> BTreeSet<String> {
+        let mut t: BTreeSet<String> = self
+            .blocked
+            .iter()
+            .map(|l| format!("{l}/blocked"))
+            .collect();
+        t.extend(self.blocking.iter().map(|l| format!("{l}/blocking")));
+        t
+    }
+
+    /// Universe = every discovered acquisition site × {blocked, blocking}.
+    fn feasible_tasks(&self) -> Option<BTreeSet<String>> {
+        let mut t = BTreeSet::new();
+        for l in &self.sites {
+            t.insert(format!("{l}/blocked"));
+            t.insert(format!("{l}/blocking"));
+        }
+        Some(t)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ordered-pair coverage
+// ---------------------------------------------------------------------
+
+/// Cross-thread ordered access pairs: for a variable `v`, the task
+/// `s1 -> s2 @ v` is covered when an access at site `s1` is immediately
+/// followed (as the next access to `v`) by an access at site `s2` from a
+/// different thread, at least one of the two being a write. Seeing both
+/// `s1 -> s2` and `s2 -> s1` is what distinguishes genuinely explored
+/// interleavings — the "both orders" signal used by the coverage-directed
+/// noise heuristic.
+#[derive(Debug, Default)]
+pub struct OrderedPairCoverage {
+    last: HashMap<VarId, (Loc, ThreadId, bool)>,
+    pairs: BTreeSet<(VarId, Loc, Loc)>,
+    var_names: Vec<String>,
+}
+
+impl OrderedPairCoverage {
+    /// Model over the program's variable table.
+    pub fn new(table: &VarTable) -> Self {
+        OrderedPairCoverage {
+            last: HashMap::new(),
+            pairs: BTreeSet::new(),
+            var_names: (0..table.len() as u32)
+                .map(|i| table.name(VarId(i)).to_string())
+                .collect(),
+        }
+    }
+
+    /// Number of (pair) tasks covered.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// How many covered pairs also have their reverse covered — the
+    /// "both orders" count.
+    pub fn both_orders_count(&self) -> usize {
+        self.pairs
+            .iter()
+            .filter(|(v, a, b)| self.pairs.contains(&(*v, *b, *a)))
+            .count()
+            / 2
+            * 2 // count pairs symmetrically (floor to even)
+    }
+}
+
+impl EventSink for OrderedPairCoverage {
+    fn on_event(&mut self, ev: &Event) {
+        if let Some((var, kind)) = ev.var_access() {
+            let me = (ev.loc, ev.thread, kind.is_write());
+            if let Some((ploc, pthread, pwrite)) = self.last.insert(var, me) {
+                if pthread != ev.thread && (pwrite || kind.is_write()) {
+                    self.pairs.insert((var, ploc, ev.loc));
+                }
+            }
+        }
+    }
+}
+
+impl CoverageModel for OrderedPairCoverage {
+    fn model_name(&self) -> &'static str {
+        "ordered-pair"
+    }
+
+    fn covered_tasks(&self) -> BTreeSet<String> {
+        self.pairs
+            .iter()
+            .map(|(v, a, b)| {
+                let name = self
+                    .var_names
+                    .get(v.index())
+                    .cloned()
+                    .unwrap_or_else(|| format!("var{}", v.0));
+                format!("{a}->{b}@{name}")
+            })
+            .collect()
+    }
+
+    fn feasible_tasks(&self) -> Option<BTreeSet<String>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accumulation across runs + the run-count advisor
+// ---------------------------------------------------------------------
+
+/// Union of covered tasks across executions, with the per-run growth
+/// history — the data behind coverage curves.
+#[derive(Debug, Default, Clone)]
+pub struct Cumulative {
+    tasks: BTreeSet<String>,
+    /// Cumulative task count after each absorbed run.
+    pub history: Vec<usize>,
+}
+
+impl Cumulative {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb one run's covered tasks; returns how many were new.
+    pub fn absorb(&mut self, covered: &BTreeSet<String>) -> usize {
+        let before = self.tasks.len();
+        self.tasks.extend(covered.iter().cloned());
+        self.history.push(self.tasks.len());
+        self.tasks.len() - before
+    }
+
+    /// Total distinct tasks.
+    pub fn total(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The covered set.
+    pub fn tasks(&self) -> &BTreeSet<String> {
+        &self.tasks
+    }
+}
+
+/// Should this test be executed again? The paper's "how many times each
+/// test should be executed" question, answered by coverage plateau: stop
+/// once `window` consecutive runs added no new coverage (and at least
+/// `min_runs` ran).
+#[derive(Debug, Clone)]
+pub struct RunCountAdvisor {
+    window: usize,
+    min_runs: usize,
+    runs: usize,
+    dry_streak: usize,
+}
+
+/// The advisor's verdict after a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Advice {
+    /// Coverage may still grow: run again.
+    Continue,
+    /// Coverage has plateaued: stop re-running this test.
+    Stop,
+}
+
+impl RunCountAdvisor {
+    /// Stop after `window` consecutive runs without new coverage, but never
+    /// before `min_runs` runs.
+    pub fn new(window: usize, min_runs: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        RunCountAdvisor {
+            window,
+            min_runs,
+            runs: 0,
+            dry_streak: 0,
+        }
+    }
+
+    /// Report a finished run that covered `new_tasks` previously-unseen
+    /// tasks; receive the verdict.
+    pub fn after_run(&mut self, new_tasks: usize) -> Advice {
+        self.runs += 1;
+        if new_tasks == 0 {
+            self.dry_streak += 1;
+        } else {
+            self.dry_streak = 0;
+        }
+        if self.runs >= self.min_runs && self.dry_streak >= self.window {
+            Advice::Stop
+        } else {
+            Advice::Continue
+        }
+    }
+
+    /// Runs so far.
+    pub fn runs(&self) -> usize {
+        self.runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_instrument::{AccessKind, LockId};
+    use std::sync::Arc;
+
+    fn ev(seq: u64, thread: u32, loc_line: u32, op: Op) -> Event {
+        Event {
+            seq,
+            time: seq,
+            thread: ThreadId(thread),
+            loc: Loc::new("c", loc_line),
+            op,
+            locks_held: Arc::from(Vec::<LockId>::new()),
+        }
+    }
+
+    fn access(seq: u64, t: u32, line: u32, var: u32, kind: AccessKind) -> Event {
+        let op = match kind {
+            AccessKind::Read => Op::VarRead {
+                var: VarId(var),
+                value: 0,
+            },
+            AccessKind::Write => Op::VarWrite {
+                var: VarId(var),
+                value: 0,
+            },
+        };
+        ev(seq, t, line, op)
+    }
+
+    fn table() -> VarTable {
+        VarTable::new(vec!["x".into(), "y".into()])
+    }
+
+    #[test]
+    fn site_coverage_counts_distinct_sites() {
+        let mut m = SiteCoverage::new();
+        m.on_event(&ev(0, 0, 1, Op::Yield));
+        m.on_event(&ev(1, 0, 1, Op::Yield));
+        m.on_event(&ev(2, 1, 2, Op::Yield));
+        assert_eq!(m.covered_tasks().len(), 2);
+        assert_eq!(m.model_name(), "site");
+        assert!(m.feasible_tasks().is_none());
+        assert!(m.ratio().is_none());
+    }
+
+    #[test]
+    fn contention_requires_two_threads_and_a_write() {
+        let mut m = ContentionCoverage::new(&table());
+        // One thread alone: no contention.
+        m.on_event(&access(0, 0, 1, 0, AccessKind::Write));
+        m.on_event(&access(1, 0, 2, 0, AccessKind::Read));
+        assert!(m.covered_tasks().is_empty());
+        // Two threads but read-only on y: still nothing.
+        m.on_event(&access(2, 0, 3, 1, AccessKind::Read));
+        m.on_event(&access(3, 1, 4, 1, AccessKind::Read));
+        assert!(m.covered_tasks().is_empty());
+        // Second thread writes x: contention.
+        m.on_event(&access(4, 1, 5, 0, AccessKind::Write));
+        assert_eq!(m.covered_tasks(), ["x".to_string()].into_iter().collect());
+        assert_eq!(m.ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn contention_feasibility_from_static_info() {
+        let mut info = StaticInfo::default();
+        info.vars.insert(
+            "x".into(),
+            mtt_instrument::VarFacts {
+                shared: true,
+                written: true,
+                guarded_by: vec![],
+            },
+        );
+        info.vars.insert(
+            "y".into(),
+            mtt_instrument::VarFacts {
+                shared: false,
+                written: true,
+                guarded_by: vec![],
+            },
+        );
+        let mut m = ContentionCoverage::with_feasible(&table(), &info);
+        m.on_event(&access(0, 0, 1, 0, AccessKind::Write));
+        m.on_event(&access(1, 1, 2, 0, AccessKind::Write));
+        // x covered, and the universe is only {x}: 100%.
+        assert_eq!(m.ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn sync_coverage_blocked_and_blocking() {
+        let mut m = SyncCoverage::new();
+        let l = LockId(0);
+        // t0 acquires at line 1; t1 blocks requesting at line 2.
+        m.on_event(&ev(0, 0, 1, Op::LockAcquire { lock: l }));
+        m.on_event(&ev(1, 1, 2, Op::LockRequest { lock: l }));
+        m.on_event(&ev(2, 0, 3, Op::LockRelease { lock: l }));
+        m.on_event(&ev(3, 1, 2, Op::LockAcquire { lock: l }));
+        let t = m.covered_tasks();
+        assert!(t.contains("c:2/blocked"), "{t:?}");
+        assert!(t.contains("c:1/blocking"), "{t:?}");
+        // Universe: sites 1 and 2, two tasks each.
+        assert_eq!(m.feasible_tasks().unwrap().len(), 4);
+        let r = m.ratio().unwrap();
+        assert!((r - 0.5).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn uncontended_locking_covers_nothing() {
+        let mut m = SyncCoverage::new();
+        let l = LockId(0);
+        for i in 0..5 {
+            m.on_event(&ev(i * 2, 0, 1, Op::LockAcquire { lock: l }));
+            m.on_event(&ev(i * 2 + 1, 0, 2, Op::LockRelease { lock: l }));
+        }
+        assert!(m.covered_tasks().is_empty());
+        assert_eq!(m.ratio(), Some(0.0));
+    }
+
+    #[test]
+    fn ordered_pairs_and_both_orders() {
+        let mut m = OrderedPairCoverage::new(&table());
+        m.on_event(&access(0, 0, 1, 0, AccessKind::Write)); // t0 @1
+        m.on_event(&access(1, 1, 2, 0, AccessKind::Write)); // t1 @2: pair 1->2
+        assert_eq!(m.pair_count(), 1);
+        assert_eq!(m.both_orders_count(), 0);
+        m.on_event(&access(2, 0, 1, 0, AccessKind::Write)); // t0 @1: pair 2->1
+        assert_eq!(m.pair_count(), 2);
+        assert_eq!(m.both_orders_count(), 2);
+        let tasks = m.covered_tasks();
+        assert!(tasks.iter().any(|t| t.contains("@x")), "{tasks:?}");
+    }
+
+    #[test]
+    fn same_thread_and_read_read_pairs_do_not_count() {
+        let mut m = OrderedPairCoverage::new(&table());
+        m.on_event(&access(0, 0, 1, 0, AccessKind::Write));
+        m.on_event(&access(1, 0, 2, 0, AccessKind::Write)); // same thread
+        assert_eq!(m.pair_count(), 0);
+        m.on_event(&access(2, 1, 3, 0, AccessKind::Read));
+        m.on_event(&access(3, 0, 4, 0, AccessKind::Read)); // read-read
+        // (write@2 -> read@3 counts: write then read by other thread)
+        assert_eq!(m.pair_count(), 1);
+    }
+
+    #[test]
+    fn cumulative_union_and_history() {
+        let mut c = Cumulative::new();
+        let run1: BTreeSet<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let run2: BTreeSet<String> = ["b", "c"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(c.absorb(&run1), 2);
+        assert_eq!(c.absorb(&run2), 1);
+        assert_eq!(c.absorb(&run2), 0);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.history, vec![2, 3, 3]);
+        assert!(c.tasks().contains("c"));
+    }
+
+    #[test]
+    fn advisor_stops_after_plateau() {
+        let mut a = RunCountAdvisor::new(3, 2);
+        assert_eq!(a.after_run(5), Advice::Continue);
+        assert_eq!(a.after_run(0), Advice::Continue);
+        assert_eq!(a.after_run(0), Advice::Continue);
+        assert_eq!(a.after_run(0), Advice::Stop);
+        assert_eq!(a.runs(), 4);
+    }
+
+    #[test]
+    fn advisor_resets_streak_on_new_coverage() {
+        let mut a = RunCountAdvisor::new(2, 1);
+        assert_eq!(a.after_run(0), Advice::Continue);
+        assert_eq!(a.after_run(3), Advice::Continue); // streak reset
+        assert_eq!(a.after_run(0), Advice::Continue);
+        assert_eq!(a.after_run(0), Advice::Stop);
+    }
+
+    #[test]
+    fn advisor_respects_min_runs() {
+        let mut a = RunCountAdvisor::new(1, 5);
+        for _ in 0..4 {
+            assert_eq!(a.after_run(0), Advice::Continue);
+        }
+        assert_eq!(a.after_run(0), Advice::Stop);
+    }
+}

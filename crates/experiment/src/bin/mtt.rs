@@ -1,0 +1,233 @@
+//! `mtt` — the push-button prepared experiments.
+//!
+//! "All the machinery will be in place so that with the push of a button,
+//! it can be evaluated and compared to alternative approaches" (§4).
+//!
+//! ```text
+//! mtt list                      list benchmark programs and their bugs
+//! mtt run <program> [seed]      run one program once and print the outcome
+//! mtt trace <program> <n> <dir> generate n annotated traces into dir
+//! mtt e1 [runs]                 noise-heuristic comparison
+//! mtt e1-detail <program> [runs] per-bug find probability for one program
+//! mtt cloning [runs]            §2.3 cloning/load-test driver
+//! mtt e2 [traces]               race detectors on annotated traces
+//! mtt e3 [attempts]             replay success vs drift
+//! mtt e4 <program> [runs]       coverage growth + run-count advice
+//! mtt e5 [runs]                 multiout outcome distributions
+//! mtt e6 [budget]               exploration vs random testing
+//! mtt e7 [runs]                 static advice: reduction + preservation
+//! mtt e8 [seed]                 online/offline trade-off
+//! mtt all                       every experiment with small defaults
+//! ```
+
+use mtt_experiment::{
+    campaign::Campaign,
+    coverage_eval, detector_eval, explore_eval, multiout_eval, replay_eval, static_eval, tracegen,
+};
+use mtt_runtime::{Execution, RandomScheduler};
+use std::env;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "list" => list(),
+        "run" => run_one(&args[1..]),
+        "trace" => trace(&args[1..]),
+        "e1" => e1(arg_u64(&args, 1, 60)),
+        "e1-detail" => e1_detail(args.get(1).map(String::as_str), arg_u64(&args, 2, 60)),
+        "cloning" => cloning(arg_u64(&args, 1, 60)),
+        "e2" => e2(arg_u64(&args, 1, 10)),
+        "e3" => e3(arg_u64(&args, 1, 20)),
+        "e4" => e4(args.get(1).map(String::as_str), arg_u64(&args, 2, 20)),
+        "e5" => e5(arg_u64(&args, 1, 120)),
+        "e6" => e6(arg_u64(&args, 1, 3000)),
+        "e7" => e7(arg_u64(&args, 1, 40)),
+        "e8" => e8(arg_u64(&args, 1, 7)),
+        "all" => {
+            e1(40);
+            e2(8);
+            e3(15);
+            e4(None, 15);
+            e5(80);
+            e6(2000);
+            e7(30);
+            e8(7);
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: mtt <list|run|trace|e1..e8|all> [args]  (see crate docs)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn arg_u64(args: &[String], idx: usize, default: u64) -> u64 {
+    args.get(idx)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn list() -> ExitCode {
+    println!("benchmark repository ({} programs):\n", mtt_suite::all().len());
+    for p in mtt_suite::all() {
+        println!("  {:<22} [{:?}]", p.name, p.size);
+        for b in &p.bugs {
+            println!("      {:<24} {:?}: {}", b.tag, b.class, b.description);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_one(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else {
+        eprintln!("usage: mtt run <program> [seed]");
+        return ExitCode::from(2);
+    };
+    let Some(p) = mtt_suite::by_name(name) else {
+        eprintln!("unknown program `{name}` — try `mtt list`");
+        return ExitCode::from(2);
+    };
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0u64);
+    let o = Execution::new(&p.program)
+        .scheduler(Box::new(RandomScheduler::new(seed)))
+        .max_steps(100_000)
+        .run();
+    println!("{}", o.summary());
+    let v = p.judge(&o);
+    if v.failed() {
+        println!("manifested bugs: {:?}", v.manifested);
+    } else {
+        println!("no documented bug manifested in this run");
+    }
+    ExitCode::SUCCESS
+}
+
+fn trace(args: &[String]) -> ExitCode {
+    let (Some(name), Some(n), Some(dir)) = (args.first(), args.get(1), args.get(2)) else {
+        eprintln!("usage: mtt trace <program> <count> <dir>");
+        return ExitCode::from(2);
+    };
+    let Some(p) = mtt_suite::by_name(name) else {
+        eprintln!("unknown program `{name}`");
+        return ExitCode::from(2);
+    };
+    let count: u64 = n.parse().unwrap_or(1);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let traces = tracegen::generate_many(&p, &tracegen::TraceGenOptions::default(), count);
+    for (i, t) in traces.iter().enumerate() {
+        let path = format!("{dir}/{name}-{i}.jsonl");
+        if let Err(e) = mtt_trace::json::save(t, &path) {
+            eprintln!("write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "{path}: {} records, manifested: {:?}",
+            t.len(),
+            t.meta.manifested_bugs
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn e1(runs: u64) -> ExitCode {
+    let campaign = Campaign::standard(mtt_suite::quick_set(), runs);
+    let report = campaign.run();
+    println!("{}", report.table().render());
+    println!("ranking (mean find-rate across programs):");
+    for (tool, rate) in report.ranking() {
+        println!("  {tool:<14} {rate:.3}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn e1_detail(program: Option<&str>, runs: u64) -> ExitCode {
+    let name = program.unwrap_or("web_sessions");
+    let Some(p) = mtt_suite::by_name(name) else {
+        eprintln!("unknown program `{name}`");
+        return ExitCode::from(2);
+    };
+    let campaign = Campaign::standard(vec![p], runs);
+    let report = campaign.run();
+    println!("{}", report.per_bug_table(name).render());
+    ExitCode::SUCCESS
+}
+
+fn cloning(runs: u64) -> ExitCode {
+    use mtt_experiment::cloning::run_cloning;
+    use mtt_noise::RandomSleep;
+    use std::sync::Arc;
+    println!("§2.3 cloning driver: P(cloned test fails)\n");
+    for clones in [1u32, 2, 4, 8] {
+        let plain = run_cloning(clones, runs, None);
+        let noisy = run_cloning(
+            clones,
+            runs,
+            Some(Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 15)))),
+        );
+        println!(
+            "  {clones} clone(s):  plain {}   + sleep noise {}",
+            plain.fail.render(),
+            noisy.fail.render()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn e2(traces: u64) -> ExitCode {
+    let programs = mtt_suite::quick_set();
+    let report = detector_eval::run_detector_eval(&programs, traces);
+    println!("{}", report.table().render());
+    ExitCode::SUCCESS
+}
+
+fn e3(attempts: u64) -> ExitCode {
+    let rows = replay_eval::run_replay_eval(attempts, &[0, 1, 4, 16]);
+    println!("{}", replay_eval::replay_table(&rows).render());
+    ExitCode::SUCCESS
+}
+
+fn e4(program: Option<&str>, runs: u64) -> ExitCode {
+    let name = program.unwrap_or("web_sessions");
+    let Some(p) = mtt_suite::by_name(name) else {
+        eprintln!("unknown program `{name}`");
+        return ExitCode::from(2);
+    };
+    let curves = coverage_eval::run_coverage_eval(&p, runs, 0);
+    println!("{}", coverage_eval::coverage_table(name, &curves).render());
+    ExitCode::SUCCESS
+}
+
+fn e5(runs: u64) -> ExitCode {
+    let results = multiout_eval::run_multiout_eval(runs, 0);
+    println!("{}", multiout_eval::multiout_table(&results).render());
+    ExitCode::SUCCESS
+}
+
+fn e6(budget: u64) -> ExitCode {
+    let programs = vec![
+        mtt_suite::small::lost_update(2, 1),
+        mtt_suite::small::ab_ba(),
+        mtt_suite::small::check_then_act(),
+    ];
+    let rows = explore_eval::run_explore_eval(&programs, budget);
+    println!("{}", explore_eval::explore_table(&rows).render());
+    ExitCode::SUCCESS
+}
+
+fn e7(runs: u64) -> ExitCode {
+    let rows = static_eval::run_static_eval(runs);
+    println!("{}", static_eval::static_table(&rows).render());
+    ExitCode::SUCCESS
+}
+
+fn e8(seed: u64) -> ExitCode {
+    let programs = mtt_suite::quick_set();
+    let rows = detector_eval::run_tradeoff_eval(&programs, seed);
+    println!("{}", detector_eval::tradeoff_table(&rows).render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,349 @@
+//! The generic campaign runner: (program × tool configuration × N seeded
+//! runs) → find-probability statistics and overhead — experiment E1's
+//! engine, reused by several other experiments.
+
+use crate::report::Table;
+use crate::stats::FindStats;
+use mtt_instrument::InstrumentationPlan;
+use mtt_noise::{CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield};
+use mtt_runtime::{Execution, NoNoise, NoiseMaker, PctScheduler, RandomScheduler, Scheduler};
+use mtt_suite::SuiteProgram;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Factory producing a fresh scheduler for run seed `s`.
+pub type SchedulerFactory = Arc<dyn Fn(u64) -> Box<dyn Scheduler> + Send + Sync>;
+/// Factory producing a fresh noise maker for run seed `s`.
+pub type NoiseFactory = Arc<dyn Fn(u64) -> Box<dyn NoiseMaker> + Send + Sync>;
+
+/// One tool configuration under evaluation: scheduler + noise heuristic +
+/// noise placement.
+#[derive(Clone)]
+pub struct ToolConfig {
+    /// Display name.
+    pub name: String,
+    /// Scheduler factory (fresh instance per run).
+    pub scheduler: SchedulerFactory,
+    /// Noise factory (fresh instance per run).
+    pub noise: NoiseFactory,
+    /// Where the noise maker is consulted (None = everywhere).
+    pub noise_plan: Option<InstrumentationPlan>,
+    /// Spurious-wakeup probability per scheduling point (None = off).
+    pub spurious: Option<f64>,
+}
+
+impl ToolConfig {
+    /// The "realistic JVM" baseline: a sticky random scheduler with no
+    /// noise — the environment in which, per the paper, "executing the same
+    /// tests repeatedly does not help" much.
+    pub fn baseline() -> Self {
+        ToolConfig {
+            name: "none".into(),
+            scheduler: Arc::new(|s| Box::new(RandomScheduler::sticky(s, 0.9))),
+            noise: Arc::new(|_| Box::new(NoNoise)),
+            noise_plan: None,
+            spurious: None,
+        }
+    }
+
+    /// Baseline scheduler + spurious condition-variable wakeups — the
+    /// injection that targets missing predicate loops specifically.
+    pub fn with_spurious(p: f64) -> Self {
+        ToolConfig {
+            name: format!("spurious-{p}"),
+            spurious: Some(p),
+            ..Self::baseline()
+        }
+    }
+
+    /// PCT scheduling (no noise): the priority-based randomized scheduler
+    /// with a per-run bug-finding guarantee.
+    pub fn pct(depth: u32, expected_len: u64) -> Self {
+        ToolConfig {
+            name: format!("pct-d{depth}"),
+            scheduler: Arc::new(move |s| Box::new(PctScheduler::new(s, depth, expected_len))),
+            ..Self::baseline()
+        }
+    }
+
+    /// Baseline scheduler + the given noise factory.
+    pub fn with_noise(name: impl Into<String>, noise: NoiseFactory) -> Self {
+        ToolConfig {
+            name: name.into(),
+            noise,
+            ..Self::baseline()
+        }
+    }
+
+    /// Replace the noise placement plan.
+    pub fn placed(mut self, plan: InstrumentationPlan, label: &str) -> Self {
+        self.name = format!("{}@{label}", self.name);
+        self.noise_plan = Some(plan);
+        self
+    }
+
+    /// The standard roster compared in experiment E1: the baseline plus
+    /// every heuristic of `mtt-noise`.
+    pub fn standard_roster() -> Vec<ToolConfig> {
+        vec![
+            Self::baseline(),
+            Self::with_noise("yield-0.1", Arc::new(|s| Box::new(RandomYield::new(s, 0.1)))),
+            Self::with_noise("yield-0.5", Arc::new(|s| Box::new(RandomYield::new(s, 0.5)))),
+            Self::with_noise(
+                "sleep-0.1",
+                Arc::new(|s| Box::new(RandomSleep::new(s, 0.1, 20))),
+            ),
+            Self::with_noise(
+                "sleep-0.3",
+                Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 20))),
+            ),
+            Self::with_noise("mixed-0.2", Arc::new(|s| Box::new(Mixed::new(s, 0.2, 20)))),
+            Self::with_noise(
+                "halt",
+                Arc::new(|s| Box::new(HaltOneThread::new(s, 0.05, 200))),
+            ),
+            Self::with_noise(
+                "coverage",
+                Arc::new(|s| Box::new(CoverageDirected::new(s, 0.6, 0.05, 20))),
+            ),
+            Self::with_spurious(0.05),
+            Self::pct(3, 150),
+        ]
+    }
+}
+
+/// One (program, tool) cell of the campaign grid.
+#[derive(Clone, Debug, Default)]
+pub struct CellResult {
+    /// Probability of finding *any* documented bug in one run.
+    pub any_bug: FindStats,
+    /// Per-bug find statistics.
+    pub per_bug: BTreeMap<String, FindStats>,
+    /// Mean events per run (instrumentation overhead proxy).
+    pub avg_events: f64,
+    /// Mean scheduling points per run.
+    pub avg_points: f64,
+    /// Mean noise injections per run.
+    pub avg_injections: f64,
+    /// Total wall time spent on this cell.
+    pub wall: Duration,
+}
+
+/// The campaign definition.
+pub struct Campaign {
+    /// Programs under test.
+    pub programs: Vec<SuiteProgram>,
+    /// Tool configurations under comparison.
+    pub tools: Vec<ToolConfig>,
+    /// Runs per cell.
+    pub runs: u64,
+    /// Base seed (run `r` uses seed `base_seed + r`).
+    pub base_seed: u64,
+    /// Per-run step budget.
+    pub max_steps: u64,
+}
+
+impl Campaign {
+    /// A campaign over the given programs with the standard tool roster.
+    pub fn standard(programs: Vec<SuiteProgram>, runs: u64) -> Self {
+        Campaign {
+            programs,
+            tools: ToolConfig::standard_roster(),
+            runs,
+            base_seed: 0x5eed,
+            max_steps: 60_000,
+        }
+    }
+
+    /// Execute the whole grid.
+    pub fn run(&self) -> CampaignReport {
+        let mut cells = BTreeMap::new();
+        for prog in &self.programs {
+            for tool in &self.tools {
+                let mut cell = CellResult::default();
+                for b in prog.bug_tags() {
+                    cell.per_bug.insert(b.to_string(), FindStats::default());
+                }
+                let started = std::time::Instant::now();
+                let mut events = 0u64;
+                let mut points = 0u64;
+                let mut injections = 0u64;
+                for r in 0..self.runs {
+                    let seed = self.base_seed + r;
+                    let mut exec = Execution::new(&prog.program)
+                        .scheduler((tool.scheduler)(seed))
+                        .noise((tool.noise)(seed ^ 0x9e37_79b9))
+                        .max_steps(self.max_steps);
+                    if let Some(plan) = &tool.noise_plan {
+                        exec = exec.noise_plan(plan.clone());
+                    }
+                    if let Some(p) = tool.spurious {
+                        exec = exec.program_seed(seed).spurious_wakeups(p);
+                    }
+                    let outcome = exec.run();
+                    let verdict = prog.judge(&outcome);
+                    cell.any_bug.record(verdict.failed());
+                    for (tag, stats) in cell.per_bug.iter_mut() {
+                        stats.record(verdict.manifested.iter().any(|m| m == tag));
+                    }
+                    events += outcome.stats.events;
+                    points += outcome.stats.sched_points;
+                    injections += outcome.stats.noise_injections;
+                }
+                let n = self.runs.max(1) as f64;
+                cell.avg_events = events as f64 / n;
+                cell.avg_points = points as f64 / n;
+                cell.avg_injections = injections as f64 / n;
+                cell.wall = started.elapsed();
+                cells.insert((prog.name.to_string(), tool.name.clone()), cell);
+            }
+        }
+        CampaignReport { cells }
+    }
+}
+
+/// Results of a campaign.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignReport {
+    /// Cell results keyed by (program, tool).
+    pub cells: BTreeMap<(String, String), CellResult>,
+}
+
+impl CampaignReport {
+    /// Look up one cell.
+    pub fn cell(&self, program: &str, tool: &str) -> Option<&CellResult> {
+        self.cells.get(&(program.to_string(), tool.to_string()))
+    }
+
+    /// Render the find-probability grid (Table E1).
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "E1: bug-find probability per noise heuristic (95% Wilson CI)",
+            &[
+                "program",
+                "tool",
+                "P(find any bug)",
+                "avg events/run",
+                "avg injections/run",
+                "wall ms",
+            ],
+        );
+        for ((prog, tool), cell) in &self.cells {
+            t.row(&[
+                prog.clone(),
+                tool.clone(),
+                cell.any_bug.render(),
+                format!("{:.0}", cell.avg_events),
+                format!("{:.1}", cell.avg_injections),
+                format!("{}", cell.wall.as_millis()),
+            ]);
+        }
+        t
+    }
+
+    /// Render the per-bug breakdown for one program.
+    pub fn per_bug_table(&self, program: &str) -> Table {
+        let mut t = Table::new(
+            format!("E1 detail: per-bug find probability — {program}"),
+            &["tool", "bug", "P(find)"],
+        );
+        for ((prog, tool), cell) in &self.cells {
+            if prog != program {
+                continue;
+            }
+            for (bug, stats) in &cell.per_bug {
+                t.row(&[tool.clone(), bug.clone(), stats.render()]);
+            }
+        }
+        t
+    }
+
+    /// The tools ranked by mean find-rate across programs (best first).
+    pub fn ranking(&self) -> Vec<(String, f64)> {
+        let mut sums: BTreeMap<String, (f64, u32)> = BTreeMap::new();
+        for ((_, tool), cell) in &self.cells {
+            let e = sums.entry(tool.clone()).or_insert((0.0, 0));
+            e.0 += cell.any_bug.rate();
+            e.1 += 1;
+        }
+        let mut v: Vec<(String, f64)> = sums
+            .into_iter()
+            .map(|(t, (s, n))| (t, s / f64::from(n.max(1))))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_runs_and_ranks() {
+        let programs = vec![mtt_suite::small::lost_update(2, 2)];
+        let campaign = Campaign {
+            programs,
+            tools: vec![
+                ToolConfig::baseline(),
+                ToolConfig::with_noise(
+                    "sleep-0.3",
+                    Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 20))),
+                ),
+            ],
+            runs: 40,
+            base_seed: 7,
+            max_steps: 20_000,
+        };
+        let report = campaign.run();
+        assert_eq!(report.cells.len(), 2);
+        let base = report.cell("lost_update", "none").unwrap();
+        let noisy = report.cell("lost_update", "sleep-0.3").unwrap();
+        assert_eq!(base.any_bug.runs, 40);
+        // The headline shape claim: noise increases the find probability on
+        // a sticky (realistic) scheduler.
+        assert!(
+            noisy.any_bug.rate() > base.any_bug.rate(),
+            "noise {} <= baseline {}",
+            noisy.any_bug.rate(),
+            base.any_bug.rate()
+        );
+        assert!(noisy.avg_injections > 0.0);
+        let ranking = report.ranking();
+        assert_eq!(ranking[0].0, "sleep-0.3");
+        // Tables render.
+        assert_eq!(report.table().len(), 2);
+        assert!(!report.per_bug_table("lost_update").is_empty());
+    }
+
+    #[test]
+    fn standard_roster_is_complete() {
+        let roster = ToolConfig::standard_roster();
+        assert!(roster.len() >= 10);
+        assert_eq!(roster[0].name, "none");
+        assert!(roster.iter().any(|t| t.name.starts_with("spurious")));
+        assert!(roster.iter().any(|t| t.name.starts_with("pct")));
+    }
+
+    #[test]
+    fn spurious_config_targets_unguarded_waits() {
+        let programs = vec![mtt_suite::small::unguarded_wait()];
+        let campaign = Campaign {
+            programs,
+            tools: vec![ToolConfig::baseline(), ToolConfig::with_spurious(0.08)],
+            runs: 50,
+            base_seed: 3,
+            max_steps: 20_000,
+        };
+        let report = campaign.run();
+        let base = report.cell("unguarded_wait", "none").unwrap();
+        let spur = report.cell("unguarded_wait", "spurious-0.08").unwrap();
+        assert!(
+            spur.any_bug.rate() > base.any_bug.rate(),
+            "spurious {} should beat baseline {}",
+            spur.any_bug.rate(),
+            base.any_bug.rate()
+        );
+    }
+}

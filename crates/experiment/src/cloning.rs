@@ -1,0 +1,106 @@
+//! §2.3 cloning ("load testing"): take a sequential test and run many
+//! copies of it simultaneously. "Because the same test is cloned many
+//! times, contentions are almost guaranteed." The driver clones a
+//! per-thread body over shared state, optionally composes noise on top
+//! (the paper: cloning "may be coupled with some of the techniques
+//! suggested above, such as noise making"), and interprets the clones'
+//! results.
+
+use crate::stats::FindStats;
+use mtt_runtime::{Execution, NoiseMaker, Program, ProgramBuilder, RandomScheduler, ThreadId};
+use std::sync::Arc;
+
+/// Optional noise factory composed on top of the cloning driver.
+pub type OptionalNoise = Option<Arc<dyn Fn(u64) -> Box<dyn NoiseMaker> + Send + Sync>>;
+
+/// A cloneable test over the shared counter fixture: each clone increments
+/// a shared counter `per_clone` times through a read-modify-write that is
+/// correct in isolation (the sequential test passes) but racy under
+/// cloning.
+pub fn cloned_counter_test(clones: u32, per_clone: u32) -> Program {
+    let mut b = ProgramBuilder::new("cloned_counter");
+    let x = b.var("x", 0);
+    let expected = i64::from(clones) * i64::from(per_clone);
+    b.entry(move |ctx| {
+        let kids: Vec<ThreadId> = (0..clones)
+            .map(|i| {
+                ctx.spawn(format!("clone{i}"), move |ctx| {
+                    for _ in 0..per_clone {
+                        let v = ctx.read(x);
+                        ctx.write(x, v + 1);
+                    }
+                })
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+        // The cloning driver's verification step: interpreting the combined
+        // expected results of all clones (the paper notes this needs care).
+        let v = ctx.read(x);
+        ctx.check(v == expected, "all-clones-counted");
+    });
+    b.build()
+}
+
+/// Result of one cloning session.
+#[derive(Clone, Debug, Default)]
+pub struct CloningReport {
+    /// Probability that the cloned test fails (i.e. exposes the bug).
+    pub fail: FindStats,
+}
+
+/// Run the cloned test `runs` times under a sticky scheduler with the given
+/// clone count; optionally with a noise factory composed on top.
+pub fn run_cloning(clones: u32, runs: u64, noise: OptionalNoise) -> CloningReport {
+    let program = cloned_counter_test(clones, 2);
+    let mut report = CloningReport::default();
+    for r in 0..runs {
+        let seed = 1000 + r;
+        let mut exec = Execution::new(&program)
+            .scheduler(Box::new(RandomScheduler::sticky(seed, 0.9)))
+            .max_steps(60_000);
+        if let Some(n) = &noise {
+            exec = exec.noise(n(seed));
+        }
+        let o = exec.run();
+        report.fail.record(!o.ok());
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_noise::RandomSleep;
+
+    #[test]
+    fn sequential_test_passes() {
+        // One clone = the original sequential test: always green.
+        let report = run_cloning(1, 20, None);
+        assert_eq!(report.fail.rate(), 0.0);
+    }
+
+    #[test]
+    fn cloning_exposes_contention_and_noise_helps_more() {
+        let two = run_cloning(2, 60, None);
+        let eight = run_cloning(8, 60, None);
+        assert!(
+            eight.fail.rate() > two.fail.rate(),
+            "more clones should fail more: 8clones={} 2clones={}",
+            eight.fail.rate(),
+            two.fail.rate()
+        );
+        let noisy = run_cloning(
+            2,
+            60,
+            Some(Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 15)))),
+        );
+        assert!(
+            noisy.fail.rate() > two.fail.rate(),
+            "noise on top of cloning should help: {} vs {}",
+            noisy.fail.rate(),
+            two.fail.rate()
+        );
+    }
+}

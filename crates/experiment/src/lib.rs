@@ -1,0 +1,32 @@
+//! # mtt-experiment — the prepared experiments
+//!
+//! §4 of the paper, component two: "The experiment part of the benchmark
+//! contains prepared scripts with which programs such as race detection and
+//! noise can be evaluated as to how frequently they uncover faults, and if
+//! they raise false alarms. The analysis of the executions and statistics
+//! on the performance of the technologies is also executed with a script.
+//! This script produces a prepared evaluation report, which is easy to
+//! understand. ... with the push of a button, it can be evaluated and
+//! compared to alternative approaches."
+//!
+//! Each `*_eval` module is one such prepared experiment (the experiment ids
+//! E1–E8 are indexed in DESIGN.md §6 and EXPERIMENTS.md); the `mtt` binary
+//! is the push button. [`stats`] holds the shared statistical machinery
+//! (Wilson confidence intervals, outcome-distribution measures), and
+//! [`report`] renders every experiment as aligned text tables plus CSV.
+
+pub mod campaign;
+pub mod cloning;
+pub mod coverage_eval;
+pub mod detector_eval;
+pub mod explore_eval;
+pub mod multiout_eval;
+pub mod replay_eval;
+pub mod report;
+pub mod static_eval;
+pub mod stats;
+pub mod tracegen;
+
+pub use campaign::{Campaign, CampaignReport, ToolConfig};
+pub use report::Table;
+pub use stats::{entropy, total_variation, Distribution, FindStats};

@@ -1,0 +1,74 @@
+//! The push-button CLI, pushed: spawn the real `mtt` binary and check the
+//! paper-facing surfaces (repository listing, single runs, trace
+//! generation) behave.
+
+use std::process::Command;
+
+fn mtt(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mtt"))
+        .args(args)
+        .output()
+        .expect("mtt binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn list_prints_the_whole_repository() {
+    let (stdout, _, ok) = mtt(&["list"]);
+    assert!(ok);
+    for name in [
+        "lost_update",
+        "dining_philosophers",
+        "web_sessions",
+        "pipeline_etl",
+        "bounded_queue",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in listing");
+    }
+    assert!(stdout.contains("DataRace"), "bug classes shown");
+    assert!(stdout.contains("lost-update"), "bug tags shown");
+}
+
+#[test]
+fn run_reports_outcome_and_verdict() {
+    let (stdout, _, ok) = mtt(&["run", "lost_update", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("lost_update"));
+    assert!(
+        stdout.contains("manifested bugs") || stdout.contains("no documented bug"),
+        "verdict line missing: {stdout}"
+    );
+}
+
+#[test]
+fn unknown_program_fails_cleanly() {
+    let (_, stderr, ok) = mtt(&["run", "no_such_program"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown program"));
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let (_, stderr, ok) = mtt(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn trace_command_writes_annotated_jsonl() {
+    let dir = std::env::temp_dir().join(format!("mtt-cli-test-{}", std::process::id()));
+    let dir_s = dir.to_string_lossy().into_owned();
+    let (stdout, stderr, ok) = mtt(&["trace", "bank_transfer", "2", &dir_s]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("records"));
+    let t0 = dir.join("bank_transfer-0.jsonl");
+    let trace = mtt_trace::json::load(&t0).expect("trace file parses");
+    assert_eq!(trace.meta.program, "bank_transfer");
+    assert!(!trace.is_empty());
+    assert!(trace.meta.known_bugs.contains(&"transfer-atomicity".to_string()));
+    std::fs::remove_dir_all(&dir).ok();
+}

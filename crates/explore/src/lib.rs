@@ -1,0 +1,797 @@
+//! # mtt-explore — systematic state-space exploration
+//!
+//! §2.2 of the paper: systematic state-space exploration "integrates
+//! automatic test generation, execution and evaluation in a single tool ...
+//! by controlling and observing the execution of all the components, and by
+//! reinitializing their executions. They search for deadlocks, and for
+//! violations of user-specified assertions. Whenever an error is detected
+//! during state-space exploration, a scenario leading to the error state is
+//! saved. Scenarios can be executed and replayed."
+//!
+//! This crate is a **stateless search** in the VeriSoft tradition: the
+//! program is re-executed from the start with a *forced decision prefix*,
+//! and the tree of scheduler decisions is walked depth-first. Reductions:
+//!
+//! * **Visible-operation POR** ([`ExploreOptions::branch_only_visible`]):
+//!   alternatives are only explored at scheduling points that follow an
+//!   operation on shared state (CHESS's reduction — reordering around
+//!   thread-invisible operations cannot change observable behaviour).
+//! * **Preemption bounding** ([`ExploreOptions::preemption_bound`]): bound
+//!   the number of *involuntary* context switches per schedule; iterate the
+//!   bound upward ([`Explorer::iterative_preemption_bounds`]) to find most
+//!   bugs with very few preemptions, as CHESS demonstrated.
+//! * **Stateful hashing** ([`ExploreOptions::stateful`]): CMC-style visited
+//!   set over model-state fingerprints (shared store + lock owners +
+//!   per-thread observation history); deterministic model threads make the
+//!   pruning sound modulo hash collision.
+//!
+//! Every bug found is reproduced once more under a recording scheduler to
+//! produce a clean [`mtt_replay::ReplayLog`] — the saved "scenario" that
+//! can be replayed, exactly as the paper prescribes.
+
+use mtt_instrument::{Event, Op, ThreadId};
+use mtt_replay::{record, ReplayLog};
+use mtt_runtime::{
+    Execution, ExecutionOptions, NoNoise, Outcome, Program, SchedView, Scheduler,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------
+// Per-run recording scheduler
+// ---------------------------------------------------------------------
+
+/// What one execution recorded at each scheduling point.
+#[derive(Debug, Default)]
+struct RunRecord {
+    /// Chosen thread per point.
+    decisions: Vec<u32>,
+    /// Runnable set per point.
+    runnables: Vec<Vec<u32>>,
+    /// Thread whose event triggered each point (None for the initial pick).
+    prev: Vec<Option<u32>>,
+    /// Whether the event preceding each point was "visible" (shared-state
+    /// relevant). The initial point counts as visible.
+    visible: Vec<bool>,
+    /// Model-state fingerprint at each point (only filled in stateful mode).
+    state_hash: Vec<u64>,
+}
+
+/// Scheduler that forces a decision prefix and then runs a deterministic
+/// default policy (keep the previous thread when possible), recording
+/// everything the explorer needs.
+struct ForcedPrefix {
+    prefix: Vec<u32>,
+    record: Arc<Mutex<RunRecord>>,
+    last_prev: Option<u32>,
+    last_visible: bool,
+    stateful: bool,
+    state: StateTracker,
+}
+
+impl ForcedPrefix {
+    fn new(prefix: Vec<u32>, stateful: bool) -> (Self, Arc<Mutex<RunRecord>>) {
+        let record = Arc::new(Mutex::new(RunRecord::default()));
+        (
+            ForcedPrefix {
+                prefix,
+                record: Arc::clone(&record),
+                last_prev: None,
+                last_visible: true,
+                stateful,
+                state: StateTracker::default(),
+            },
+            record,
+        )
+    }
+}
+
+impl Scheduler for ForcedPrefix {
+    fn pick(&mut self, view: &SchedView<'_>) -> ThreadId {
+        let mut rec = self.record.lock().expect("run record poisoned");
+        let idx = rec.decisions.len();
+        let chosen = if idx < self.prefix.len() {
+            let forced = ThreadId(self.prefix[idx]);
+            if view.is_runnable(forced) {
+                forced
+            } else {
+                // The prefix is infeasible (can happen only with buggy
+                // branch generation); degrade deterministically.
+                view.runnable[0]
+            }
+        } else {
+            // Default policy: stay on the previous thread (minimizes
+            // preemptions, the natural baseline for preemption bounding).
+            view.prev
+                .filter(|p| view.is_runnable(*p))
+                .unwrap_or(view.runnable[0])
+        };
+        rec.decisions.push(chosen.0);
+        rec.runnables.push(view.runnable.iter().map(|t| t.0).collect());
+        rec.prev.push(self.last_prev);
+        rec.visible.push(self.last_visible);
+        rec.state_hash.push(if self.stateful {
+            self.state.fingerprint()
+        } else {
+            0
+        });
+        chosen
+    }
+
+    fn on_event(&mut self, ev: &Event) {
+        self.last_prev = Some(ev.thread.0);
+        self.last_visible = is_visible(&ev.op);
+        if self.stateful {
+            self.state.observe(ev);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "explore"
+    }
+}
+
+/// Operations whose reordering with neighbouring operations can change
+/// observable behaviour. Yields, sleeps and markers commute with everything.
+fn is_visible(op: &Op) -> bool {
+    !matches!(op, Op::Yield | Op::Sleep { .. } | Op::Point { .. })
+}
+
+/// Incremental model-state fingerprint, reconstructed from the event
+/// stream: shared-store contents (from write events), lock owners, and a
+/// rolling per-thread observation-history hash (reads with the values they
+/// observed). For deterministic model threads, equal fingerprints imply
+/// equal continuations (modulo hash collision).
+#[derive(Debug, Default)]
+struct StateTracker {
+    vars: HashMap<u32, i64>,
+    lock_owner: HashMap<u32, u32>,
+    thread_hist: HashMap<u32, u64>,
+}
+
+impl StateTracker {
+    fn observe(&mut self, ev: &Event) {
+        let t = ev.thread.0;
+        let h = self.thread_hist.entry(t).or_insert(0xcbf2_9ce4_8422_2325);
+        // FNV-ish rolling hash over the thread's observations.
+        let mut mix = |x: u64| {
+            *h ^= x;
+            *h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        match ev.op {
+            Op::VarRead { var, value } => {
+                mix(1);
+                mix(u64::from(var.0));
+                mix(value as u64);
+            }
+            Op::VarWrite { var, value } => {
+                mix(2);
+                mix(u64::from(var.0));
+                mix(value as u64);
+                self.vars.insert(var.0, value);
+            }
+            Op::VarRmw { var, old, new } => {
+                mix(8);
+                mix(u64::from(var.0));
+                mix(old as u64);
+                mix(new as u64);
+                self.vars.insert(var.0, new);
+            }
+            Op::LockAcquire { lock } => {
+                mix(3);
+                mix(u64::from(lock.0));
+                self.lock_owner.insert(lock.0, t);
+            }
+            Op::LockRelease { lock } => {
+                mix(4);
+                mix(u64::from(lock.0));
+                self.lock_owner.remove(&lock.0);
+            }
+            Op::CondWait { lock, .. } => {
+                mix(5);
+                self.lock_owner.remove(&lock.0);
+            }
+            Op::CondWake { lock, .. } => {
+                mix(6);
+                self.lock_owner.insert(lock.0, t);
+            }
+            other => {
+                mix(7);
+                let mut dh = DefaultHasher::new();
+                other.hash(&mut dh);
+                mix(dh.finish());
+            }
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Order-independent combination of the maps (XOR of keyed hashes).
+        let mut acc = 0u64;
+        let mut item = |tag: u64, k: u64, v: u64| {
+            let mut h = DefaultHasher::new();
+            (tag, k, v).hash(&mut h);
+            acc ^= h.finish();
+        };
+        for (&k, &v) in &self.vars {
+            item(1, u64::from(k), v as u64);
+        }
+        for (&k, &v) in &self.lock_owner {
+            item(2, u64::from(k), u64::from(v));
+        }
+        for (&k, &v) in &self.thread_hist {
+            item(3, u64::from(k), v);
+        }
+        acc
+    }
+}
+
+// ---------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------
+
+/// Exploration budgets and reductions.
+#[derive(Clone, Debug)]
+pub struct ExploreOptions {
+    /// Maximum executions before giving up (0 = unlimited).
+    pub max_executions: u64,
+    /// Only consider alternatives at the first `max_depth` scheduling
+    /// points of each execution (0 = unlimited).
+    pub max_depth: usize,
+    /// Bound on involuntary context switches per schedule (`None` = off).
+    pub preemption_bound: Option<u32>,
+    /// Branch only at points following a visible operation.
+    pub branch_only_visible: bool,
+    /// CMC-style visited-state pruning.
+    pub stateful: bool,
+    /// Stop at the first bug.
+    pub stop_on_first_bug: bool,
+    /// Step budget per execution (model hang guard).
+    pub max_steps_per_exec: u64,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_executions: 10_000,
+            max_depth: 400,
+            preemption_bound: None,
+            branch_only_visible: true,
+            stateful: false,
+            stop_on_first_bug: true,
+            max_steps_per_exec: 20_000,
+        }
+    }
+}
+
+/// A bug found during exploration.
+#[derive(Debug)]
+pub struct BugFound {
+    /// The forcing prefix that reaches the bug (the saved "scenario").
+    pub prefix: Vec<u32>,
+    /// The buggy outcome.
+    pub outcome: Outcome,
+    /// A clean replay log re-recorded over the bug schedule.
+    pub schedule: ReplayLog,
+}
+
+/// Exploration statistics and findings.
+#[derive(Debug, Default)]
+pub struct ExploreResult {
+    /// Executions performed.
+    pub executions: u64,
+    /// Total scheduling points executed (transitions).
+    pub transitions: u64,
+    /// Bugs found (one entry per distinct buggy schedule encountered, or
+    /// just the first with `stop_on_first_bug`).
+    pub bugs: Vec<BugFound>,
+    /// Did the search exhaust the (bounded) schedule tree?
+    pub exhausted: bool,
+    /// Fingerprints of distinct observable outcomes (the §4.4 distribution
+    /// support discovered exhaustively).
+    pub distinct_outcomes: HashSet<u64>,
+    /// Branch points pruned by the visited-state set.
+    pub pruned_by_state: u64,
+    /// Branch points skipped by the visibility reduction.
+    pub pruned_by_visibility: u64,
+    /// Alternatives skipped by the preemption bound.
+    pub pruned_by_preemption: u64,
+}
+
+impl ExploreResult {
+    /// Executions until the first bug (None if no bug found).
+    pub fn executions_to_first_bug(&self) -> Option<u64> {
+        if self.bugs.is_empty() {
+            None
+        } else {
+            Some(self.executions)
+        }
+    }
+}
+
+/// The oracle deciding whether an outcome is buggy.
+pub type Oracle = dyn Fn(&Outcome) -> bool + Send + Sync;
+
+/// Depth-first stateless explorer over a program's schedule tree.
+pub struct Explorer<'p> {
+    program: &'p Program,
+    opts: ExploreOptions,
+    oracle: Arc<Oracle>,
+}
+
+/// One pending alternative in the DFS stack.
+struct Branch {
+    /// Forced choices before this point.
+    prefix: Vec<u32>,
+    /// Alternatives not yet tried at this point.
+    untried: Vec<u32>,
+}
+
+impl<'p> Explorer<'p> {
+    /// Explorer with the default oracle: deadlock, step-limit hang, panic
+    /// or failed assertion is a bug.
+    pub fn new(program: &'p Program, opts: ExploreOptions) -> Self {
+        Explorer {
+            program,
+            opts,
+            oracle: Arc::new(|o: &Outcome| !o.ok()),
+        }
+    }
+
+    /// Replace the bug oracle.
+    pub fn with_oracle<F: Fn(&Outcome) -> bool + Send + Sync + 'static>(mut self, f: F) -> Self {
+        self.oracle = Arc::new(f);
+        self
+    }
+
+    fn run_one(&self, prefix: &[u32]) -> (Outcome, RunRecord) {
+        let (sched, record) = ForcedPrefix::new(prefix.to_vec(), self.opts.stateful);
+        let outcome = Execution::new(self.program)
+            .scheduler(Box::new(sched))
+            .options(ExecutionOptions {
+                max_steps: self.opts.max_steps_per_exec,
+                ..Default::default()
+            })
+            .run();
+        let rec = Arc::try_unwrap(record)
+            .map(|m| m.into_inner().expect("record poisoned"))
+            .unwrap_or_else(|arc| {
+                let g = arc.lock().expect("record poisoned");
+                RunRecord {
+                    decisions: g.decisions.clone(),
+                    runnables: g.runnables.clone(),
+                    prev: g.prev.clone(),
+                    visible: g.visible.clone(),
+                    state_hash: g.state_hash.clone(),
+                }
+            });
+        (outcome, rec)
+    }
+
+    /// Count preemptions in a decision sequence: a switch away from a
+    /// still-runnable previous thread.
+    fn preemptions(rec_prev: &[Option<u32>], runnables: &[Vec<u32>], decisions: &[u32]) -> u32 {
+        let mut p = 0;
+        for i in 0..decisions.len() {
+            if let Some(prev) = rec_prev[i] {
+                if decisions[i] != prev && runnables[i].contains(&prev) {
+                    p += 1;
+                }
+            }
+        }
+        p
+    }
+
+    /// Run the depth-first exploration.
+    pub fn run(&self) -> ExploreResult {
+        let mut result = ExploreResult::default();
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut stack: Vec<Branch> = Vec::new();
+        let mut next_prefix: Option<Vec<u32>> = Some(Vec::new());
+
+        while let Some(prefix) = next_prefix.take() {
+            if self.opts.max_executions > 0 && result.executions >= self.opts.max_executions {
+                result.exhausted = false;
+                return result;
+            }
+            let (outcome, rec) = self.run_one(&prefix);
+            result.executions += 1;
+            result.transitions += rec.decisions.len() as u64;
+            result.distinct_outcomes.insert(outcome.fingerprint());
+
+            if (self.oracle)(&outcome) {
+                let schedule = self.reproduce(&rec.decisions);
+                result.bugs.push(BugFound {
+                    prefix: rec.decisions.clone(),
+                    outcome,
+                    schedule,
+                });
+                if self.opts.stop_on_first_bug {
+                    return result;
+                }
+            }
+
+            // Preemptions consumed by the already-forced prefix choices.
+            let base_preemptions = Self::preemptions(
+                &rec.prev[..prefix.len().min(rec.prev.len())],
+                &rec.runnables,
+                &rec.decisions[..prefix.len().min(rec.decisions.len())],
+            );
+
+            // Expand new branch points discovered beyond the forced prefix.
+            let limit = if self.opts.max_depth == 0 {
+                rec.decisions.len()
+            } else {
+                rec.decisions.len().min(self.opts.max_depth)
+            };
+            let mut running_preemptions = base_preemptions;
+            for i in prefix.len()..limit {
+                let runnable = &rec.runnables[i];
+                // Maintain the preemption count along the default path.
+                let step_preempts = |choice: u32| -> u32 {
+                    match rec.prev[i] {
+                        Some(prev) if choice != prev && runnable.contains(&prev) => 1,
+                        _ => 0,
+                    }
+                };
+                if runnable.len() > 1 {
+                    if self.opts.branch_only_visible && !rec.visible[i] {
+                        result.pruned_by_visibility += 1;
+                    } else if self.opts.stateful && !visited.insert(rec.state_hash[i]) {
+                        result.pruned_by_state += 1;
+                    } else {
+                        let mut untried: Vec<u32> = runnable
+                            .iter()
+                            .copied()
+                            .filter(|&t| t != rec.decisions[i])
+                            .collect();
+                        if let Some(bound) = self.opts.preemption_bound {
+                            let before = untried.len();
+                            untried.retain(|&t| {
+                                running_preemptions + step_preempts(t) <= bound
+                            });
+                            result.pruned_by_preemption += (before - untried.len()) as u64;
+                        }
+                        if !untried.is_empty() {
+                            stack.push(Branch {
+                                prefix: rec.decisions[..i].to_vec(),
+                                untried,
+                            });
+                        }
+                    }
+                }
+                running_preemptions += step_preempts(rec.decisions[i]);
+            }
+
+            // Backtrack to the deepest branch with work left.
+            while let Some(top) = stack.last_mut() {
+                if let Some(alt) = top.untried.pop() {
+                    let mut p = top.prefix.clone();
+                    p.push(alt);
+                    next_prefix = Some(p);
+                    break;
+                }
+                stack.pop();
+            }
+        }
+        result.exhausted = true;
+        result
+    }
+
+    /// Iterative preemption bounding: explore with bounds `0, 1, …, max`,
+    /// returning at the first bound that finds a bug (plus the per-bound
+    /// execution counts).
+    pub fn iterative_preemption_bounds(&self, max_bound: u32) -> (ExploreResult, Vec<(u32, u64)>) {
+        let mut counts = Vec::new();
+        for bound in 0..=max_bound {
+            let explorer = Explorer {
+                program: self.program,
+                opts: ExploreOptions {
+                    preemption_bound: Some(bound),
+                    ..self.opts.clone()
+                },
+                oracle: Arc::clone(&self.oracle),
+            };
+            let r = explorer.run();
+            counts.push((bound, r.executions));
+            if !r.bugs.is_empty() || bound == max_bound {
+                return (r, counts);
+            }
+        }
+        unreachable!("loop always returns at max_bound");
+    }
+
+    /// Re-run a bug schedule under a recording scheduler to produce a clean
+    /// replay log (the saved scenario of the paper).
+    pub fn reproduce(&self, decisions: &[u32]) -> ReplayLog {
+        let (forced, _) = ForcedPrefix::new(decisions.to_vec(), false);
+        let (sched, noise, handle) = record(self.program.name(), 0, forced, NoNoise);
+        let _ = Execution::new(self.program)
+            .scheduler(Box::new(sched))
+            .noise(Box::new(noise))
+            .options(ExecutionOptions {
+                max_steps: self.opts.max_steps_per_exec,
+                ..Default::default()
+            })
+            .run();
+        handle.take_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_runtime::ProgramBuilder;
+
+    /// Two-thread lost-update: 2 increments each. Exhaustive exploration
+    /// must find schedules with x < 4.
+    fn racy(increments: u32) -> Program {
+        let mut b = ProgramBuilder::new("racy");
+        let x = b.var("x", 0);
+        b.entry(move |ctx| {
+            let a = ctx.spawn("a", move |ctx| {
+                for _ in 0..increments {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                }
+            });
+            let c = ctx.spawn("b", move |ctx| {
+                for _ in 0..increments {
+                    let v = ctx.read(x);
+                    ctx.write(x, v + 1);
+                }
+            });
+            ctx.join(a);
+            ctx.join(c);
+            let v = ctx.read(x);
+            ctx.check(v == 2 * increments as i64, "no-lost-update");
+        });
+        b.build()
+    }
+
+    fn ab_ba() -> Program {
+        let mut b = ProgramBuilder::new("abba");
+        let a = b.lock("a");
+        let l2 = b.lock("b");
+        b.entry(move |ctx| {
+            let t1 = ctx.spawn("t1", move |ctx| {
+                ctx.lock(a);
+                ctx.lock(l2);
+                ctx.unlock(l2);
+                ctx.unlock(a);
+            });
+            let t2 = ctx.spawn("t2", move |ctx| {
+                ctx.lock(l2);
+                ctx.lock(a);
+                ctx.unlock(a);
+                ctx.unlock(l2);
+            });
+            ctx.join(t1);
+            ctx.join(t2);
+        });
+        b.build()
+    }
+
+    #[test]
+    fn finds_lost_update_bug() {
+        let p = racy(1);
+        let r = Explorer::new(&p, ExploreOptions::default()).run();
+        assert!(!r.bugs.is_empty(), "exploration must find the lost update");
+        let bug = &r.bugs[0];
+        assert!(!bug.outcome.assert_failures.is_empty());
+        assert!(bug.schedule.is_full());
+        assert!(r.executions >= 2, "first (default) schedule is clean");
+    }
+
+    #[test]
+    fn finds_abba_deadlock() {
+        let p = ab_ba();
+        let r = Explorer::new(&p, ExploreOptions::default()).run();
+        assert!(!r.bugs.is_empty());
+        assert!(r.bugs[0].outcome.deadlocked());
+    }
+
+    #[test]
+    fn clean_program_exhausts_without_bugs() {
+        let mut b = ProgramBuilder::new("clean");
+        let x = b.var("x", 0);
+        let l = b.lock("l");
+        b.entry(move |ctx| {
+            let t = ctx.spawn("t", move |ctx| {
+                ctx.lock(l);
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+                ctx.unlock(l);
+            });
+            ctx.lock(l);
+            let v = ctx.read(x);
+            ctx.write(x, v + 1);
+            ctx.unlock(l);
+            ctx.join(t);
+            let v = ctx.read(x);
+            ctx.check(v == 2, "sum");
+        });
+        let p = b.build();
+        let r = Explorer::new(&p, ExploreOptions::default()).run();
+        assert!(r.bugs.is_empty());
+        assert!(r.exhausted, "bounded tree should be fully explored");
+        assert!(r.executions > 1, "there are multiple interleavings");
+    }
+
+    #[test]
+    fn exhaustive_outcome_support_is_complete() {
+        // x can end at 1 or 2 with one increment per thread; exploration
+        // must discover both distinct outcomes.
+        let p = racy(1);
+        let r = Explorer::new(
+            &p,
+            ExploreOptions {
+                stop_on_first_bug: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(r.exhausted);
+        assert!(
+            r.distinct_outcomes.len() >= 2,
+            "expected ≥2 outcomes, got {}",
+            r.distinct_outcomes.len()
+        );
+    }
+
+    #[test]
+    fn visibility_reduction_shrinks_the_tree() {
+        let mut b = ProgramBuilder::new("yields");
+        let x = b.var("x", 0);
+        b.entry(move |ctx| {
+            let t = ctx.spawn("t", move |ctx| {
+                for _ in 0..3 {
+                    ctx.yield_now();
+                }
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            });
+            for _ in 0..3 {
+                ctx.yield_now();
+            }
+            let v = ctx.read(x);
+            ctx.write(x, v + 1);
+            ctx.join(t);
+        });
+        let p = b.build();
+        let full = Explorer::new(
+            &p,
+            ExploreOptions {
+                branch_only_visible: false,
+                stop_on_first_bug: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        let reduced = Explorer::new(
+            &p,
+            ExploreOptions {
+                branch_only_visible: true,
+                stop_on_first_bug: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(full.exhausted && reduced.exhausted);
+        assert!(
+            reduced.executions < full.executions,
+            "POR: {} vs full {}",
+            reduced.executions,
+            full.executions
+        );
+        assert!(reduced.pruned_by_visibility > 0);
+        // The reduction must not lose outcomes.
+        assert_eq!(full.distinct_outcomes, reduced.distinct_outcomes);
+    }
+
+    #[test]
+    fn preemption_bound_zero_is_tiny_and_misses_the_race() {
+        let p = racy(1);
+        let r = Explorer::new(
+            &p,
+            ExploreOptions {
+                preemption_bound: Some(0),
+                stop_on_first_bug: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(r.exhausted);
+        assert!(
+            r.bugs.is_empty(),
+            "the lost update needs ≥1 preemption, bound 0 must miss it"
+        );
+        assert!(r.pruned_by_preemption > 0);
+    }
+
+    #[test]
+    fn iterative_bounding_finds_bug_at_small_bound() {
+        let p = racy(1);
+        let e = Explorer::new(&p, ExploreOptions::default());
+        let (r, counts) = e.iterative_preemption_bounds(3);
+        assert!(!r.bugs.is_empty());
+        // Bound 0 ran (and found nothing), bug found at bound 1.
+        assert_eq!(counts[0].0, 0);
+        assert!(counts.len() <= 2, "bug should appear at bound 1: {counts:?}");
+    }
+
+    #[test]
+    fn stateful_pruning_reduces_executions_on_symmetric_program() {
+        let p = racy(2);
+        let base = Explorer::new(
+            &p,
+            ExploreOptions {
+                stop_on_first_bug: false,
+                max_executions: 200_000,
+                ..Default::default()
+            },
+        )
+        .run();
+        let pruned = Explorer::new(
+            &p,
+            ExploreOptions {
+                stop_on_first_bug: false,
+                stateful: true,
+                max_executions: 200_000,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(base.exhausted && pruned.exhausted);
+        assert!(
+            pruned.executions <= base.executions,
+            "stateful {} > stateless {}",
+            pruned.executions,
+            base.executions
+        );
+        assert!(pruned.pruned_by_state > 0);
+        // All buggy outcomes still found.
+        assert_eq!(
+            base.bugs.is_empty(),
+            pruned.bugs.is_empty(),
+            "stateful pruning lost the bug"
+        );
+    }
+
+    #[test]
+    fn bug_schedule_replays_to_same_failure() {
+        let p = racy(1);
+        let r = Explorer::new(&p, ExploreOptions::default()).run();
+        let bug = &r.bugs[0];
+        // Replay through the recorded schedule.
+        let playback = mtt_replay::PlaybackScheduler::new(
+            bug.schedule.clone(),
+            mtt_replay::DivergencePolicy::Strict,
+        );
+        let report = playback.report_handle();
+        let replayed = Execution::new(&p).scheduler(Box::new(playback)).run();
+        assert_eq!(
+            replayed.fingerprint(),
+            bug.outcome.fingerprint(),
+            "scenario replay must reproduce the failure"
+        );
+        assert!(report.lock().unwrap().is_clean());
+    }
+
+    #[test]
+    fn execution_budget_is_respected() {
+        let p = racy(3);
+        let r = Explorer::new(
+            &p,
+            ExploreOptions {
+                max_executions: 10,
+                stop_on_first_bug: false,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(r.executions, 10);
+        assert!(!r.exhausted);
+    }
+}

@@ -1,0 +1,150 @@
+//! Detector scoring against annotated ground truth.
+//!
+//! §4 of the paper: the annotations "denote the bugs revealed by the trace
+//! so that the ratio between real bugs and false warnings can be easily
+//! verified". A warning is a true positive when its variable belongs to a
+//! documented racy footprint; a documented racy variable with no warning is
+//! a miss.
+
+use crate::warning::RaceWarning;
+use mtt_instrument::VarTable;
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// Precision/recall summary for one detector run.
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+pub struct DetectorScore {
+    /// Racy variables correctly warned about.
+    pub true_positives: usize,
+    /// Warnings on variables not part of any documented race.
+    pub false_positives: usize,
+    /// Documented racy variables with no warning.
+    pub missed: usize,
+    /// Names of the false-positive variables (diagnostics for reports).
+    pub false_positive_vars: Vec<String>,
+    /// Names of the missed variables.
+    pub missed_vars: Vec<String>,
+}
+
+impl DetectorScore {
+    /// Fraction of warnings that are real: `tp / (tp + fp)`; 1.0 when no
+    /// warnings were produced (vacuously precise).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Fraction of documented racy variables found: `tp / (tp + missed)`;
+    /// 1.0 when nothing was there to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.missed;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// The paper's "percentage of false alarms": `fp / (tp + fp)`.
+    pub fn false_alarm_rate(&self) -> f64 {
+        1.0 - self.precision()
+    }
+}
+
+/// Grade `warnings` against the set of variable names documented as racy.
+///
+/// `racy_vars` comes from the benchmark's bug documentation (the variable
+/// footprints of race-class bugs); `table` maps the warnings' `VarId`s back
+/// to names.
+pub fn score<'a, I>(warnings: &[RaceWarning], racy_vars: I, table: &VarTable) -> DetectorScore
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let truth: BTreeSet<&str> = racy_vars.into_iter().collect();
+    let warned: BTreeSet<&str> = warnings.iter().map(|w| table.name(w.var)).collect();
+
+    let mut s = DetectorScore::default();
+    for w in &warned {
+        if truth.contains(w) {
+            s.true_positives += 1;
+        } else {
+            s.false_positives += 1;
+            s.false_positive_vars.push(w.to_string());
+        }
+    }
+    for t in &truth {
+        if !warned.contains(t) {
+            s.missed += 1;
+            s.missed_vars.push(t.to_string());
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warning::AccessInfo;
+    use mtt_instrument::{AccessKind, Loc, ThreadId, VarId};
+
+    fn warn(var: u32) -> RaceWarning {
+        let a = AccessInfo {
+            thread: ThreadId(0),
+            loc: Loc::new("p", 1),
+            kind: AccessKind::Write,
+        };
+        RaceWarning {
+            var: VarId(var),
+            first: a,
+            second: a,
+            detector: "t",
+            detail: String::new(),
+        }
+    }
+
+    fn table() -> VarTable {
+        VarTable::new(vec!["x".into(), "y".into(), "z".into()])
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let s = score(&[warn(0), warn(1)], ["x", "y"], &table());
+        assert_eq!(s.true_positives, 2);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.missed, 0);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.false_alarm_rate(), 0.0);
+    }
+
+    #[test]
+    fn false_alarm_and_miss() {
+        let s = score(&[warn(2)], ["x"], &table());
+        assert_eq!(s.true_positives, 0);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.missed, 1);
+        assert_eq!(s.false_positive_vars, vec!["z"]);
+        assert_eq!(s.missed_vars, vec!["x"]);
+        assert_eq!(s.precision(), 0.0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.false_alarm_rate(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_warnings_on_one_var_count_once() {
+        let s = score(&[warn(0), warn(0), warn(0)], ["x"], &table());
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 0);
+    }
+
+    #[test]
+    fn empty_everything_is_vacuously_perfect() {
+        let s = score(&[], std::iter::empty(), &table());
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Race warnings: the detector output format.
+
+use mtt_instrument::{AccessKind, Loc, ThreadId, VarId};
+use serde::Serialize;
+
+/// One endpoint of a reported race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct AccessInfo {
+    /// Accessing thread.
+    pub thread: ThreadId,
+    /// Program location of the access.
+    pub loc: Loc,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A reported (potential) data race on one variable.
+#[derive(Clone, Debug, Serialize)]
+pub struct RaceWarning {
+    /// The racy variable.
+    pub var: VarId,
+    /// The earlier access (as evidence; for lockset warnings this is the
+    /// most recent conflicting access before the report).
+    pub first: AccessInfo,
+    /// The access at which the race was reported.
+    pub second: AccessInfo,
+    /// Which detector produced the warning.
+    pub detector: &'static str,
+    /// Human-readable evidence (empty lockset, unordered vector clocks, …).
+    pub detail: String,
+}
+
+impl RaceWarning {
+    /// One-line rendering for reports.
+    pub fn render(&self, var_name: &str) -> String {
+        format!(
+            "[{}] race on `{var_name}`: {:?} {} at {} vs {:?} {} at {} ({})",
+            self.detector,
+            self.first.thread,
+            verb(self.first.kind),
+            self.first.loc,
+            self.second.thread,
+            verb(self.second.kind),
+            self.second.loc,
+            self.detail
+        )
+    }
+}
+
+fn verb(k: AccessKind) -> &'static str {
+    match k {
+        AccessKind::Read => "read",
+        AccessKind::Write => "write",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_names_both_endpoints() {
+        let w = RaceWarning {
+            var: VarId(0),
+            first: AccessInfo {
+                thread: ThreadId(1),
+                loc: Loc::new("a.rs", 3),
+                kind: AccessKind::Write,
+            },
+            second: AccessInfo {
+                thread: ThreadId(2),
+                loc: Loc::new("b.rs", 9),
+                kind: AccessKind::Read,
+            },
+            detector: "test",
+            detail: "because".into(),
+        };
+        let s = w.render("counter");
+        assert!(s.contains("counter"));
+        assert!(s.contains("a.rs:3"));
+        assert!(s.contains("b.rs:9"));
+        assert!(s.contains("write"));
+        assert!(s.contains("read"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Record → playback round-trips against the real runtime: the core
+//! guarantee of the replay subsystem.
+
+use mtt_replay::{record, DivergencePolicy, PlaybackNoise, PlaybackScheduler, ReplayLog};
+use mtt_runtime::{
+    Execution, NoNoise, Outcome, Program, ProgramBuilder, RandomScheduler, ThreadId,
+};
+
+fn racy_program() -> Program {
+    let mut b = ProgramBuilder::new("racy");
+    let x = b.var("x", 0);
+    let l = b.lock("l");
+    b.entry(move |ctx| {
+        let kids: Vec<ThreadId> = (0..3)
+            .map(|i| {
+                ctx.spawn(format!("t{i}"), move |ctx| {
+                    for _ in 0..4 {
+                        let v = ctx.read(x);
+                        if v % 2 == 0 {
+                            ctx.lock(l);
+                            ctx.write(x, v + 1);
+                            ctx.unlock(l);
+                        } else {
+                            ctx.write(x, v + 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    b.build()
+}
+
+fn run_recorded(p: &Program, seed: u64) -> (Outcome, ReplayLog) {
+    let (sched, noise, handle) = record(
+        p.name(),
+        seed,
+        RandomScheduler::new(seed),
+        mtt_noise::RandomSleep::new(seed, 0.2, 8),
+    );
+    let outcome = Execution::new(p)
+        .scheduler(Box::new(sched))
+        .noise(Box::new(noise))
+        .run();
+    (outcome, handle.take_log())
+}
+
+#[test]
+fn full_replay_reproduces_fingerprint_exactly() {
+    let p = racy_program();
+    for seed in [1u64, 5, 23, 99] {
+        let (original, log) = run_recorded(&p, seed);
+        assert!(log.is_full());
+
+        let playback = PlaybackScheduler::new(log.clone(), DivergencePolicy::Strict);
+        let report = playback.report_handle();
+        let replayed = Execution::new(&p)
+            .scheduler(Box::new(playback))
+            .noise(Box::new(PlaybackNoise::new(&log)))
+            .run();
+
+        assert_eq!(
+            original.fingerprint(),
+            replayed.fingerprint(),
+            "seed {seed}: replay produced a different observable result"
+        );
+        let r = *report.lock().unwrap();
+        assert!(r.is_clean(), "seed {seed}: replay was not clean: {r:?}");
+    }
+}
+
+#[test]
+fn partial_replay_reproduces_when_program_unchanged() {
+    // Partial replay = rerun with the same seeded scheduler (and the same
+    // noise seed). Works because the runtime is deterministic.
+    let p = racy_program();
+    let run = |seed| {
+        Execution::new(&p)
+            .scheduler(Box::new(RandomScheduler::new(seed)))
+            .noise(Box::new(mtt_noise::RandomSleep::new(seed, 0.2, 8)))
+            .run()
+            .fingerprint()
+    };
+    for seed in [2u64, 17] {
+        assert_eq!(run(seed), run(seed), "partial replay broken at {seed}");
+    }
+}
+
+#[test]
+fn full_replay_without_noise_playback_can_diverge() {
+    // Dropping the recorded noise changes sleeping patterns; the decision
+    // log alone may not be followable. The playback must survive (no panic,
+    // an outcome is still produced) and the report must expose the drift.
+    let p = racy_program();
+    let (original, log) = run_recorded(&p, 7);
+    let playback = PlaybackScheduler::new(log.clone(), DivergencePolicy::Strict);
+    let report = playback.report_handle();
+    let replayed = Execution::new(&p)
+        .scheduler(Box::new(playback))
+        .noise(Box::new(NoNoise)) // noise NOT replayed
+        .run();
+    let r = *report.lock().unwrap();
+    // Either it still matched (noise never fired at a decisive point) or
+    // the report shows why not.
+    if original.fingerprint() != replayed.fingerprint() {
+        assert!(!r.is_clean(), "divergent result but clean report: {r:?}");
+    }
+}
+
+#[test]
+fn resync_policy_tolerates_small_program_drift() {
+    // Record on the original program; play back on a *perturbed* program
+    // that has one extra thread-local operation (an extra yield), shifting
+    // every subsequent decision. Resync must recover better than strict.
+    let mut b = ProgramBuilder::new("racy"); // same name: log accepted
+    let x = b.var("x", 0);
+    let l = b.lock("l");
+    b.entry(move |ctx| {
+        ctx.yield_now(); // the drift: one extra op before everything
+        let kids: Vec<ThreadId> = (0..3)
+            .map(|i| {
+                ctx.spawn(format!("t{i}"), move |ctx| {
+                    for _ in 0..4 {
+                        let v = ctx.read(x);
+                        if v % 2 == 0 {
+                            ctx.lock(l);
+                            ctx.write(x, v + 1);
+                            ctx.unlock(l);
+                        } else {
+                            ctx.write(x, v + 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    let drifted = b.build();
+
+    let original = racy_program();
+    let (_, log) = run_recorded(&original, 23);
+
+    let playback = PlaybackScheduler::new(log.clone(), DivergencePolicy::Resync { window: 32 });
+    let report = playback.report_handle();
+    let outcome = Execution::new(&drifted)
+        .scheduler(Box::new(playback))
+        .noise(Box::new(PlaybackNoise::new(&log)))
+        .run();
+    // The run must terminate with *some* outcome (replay is best-effort
+    // under drift) and the report must have noticed the drift.
+    assert!(
+        !outcome.hung(),
+        "drifted playback should still terminate: {:?}",
+        outcome.kind
+    );
+    let r = *report.lock().unwrap();
+    assert!(
+        r.fingerprint_mismatches > 0 || r.skipped > 0 || r.divergences > 0,
+        "drift went unnoticed: {r:?}"
+    );
+}
+
+#[test]
+fn record_overhead_is_bounded() {
+    // The record wrappers add bookkeeping, not scheduling points: the
+    // recorded execution must have identical step counts to a bare one.
+    let p = racy_program();
+    let bare = Execution::new(&p)
+        .scheduler(Box::new(RandomScheduler::new(3)))
+        .run();
+    let (sched, noise, _h) = record(p.name(), 3, RandomScheduler::new(3), NoNoise);
+    let rec = Execution::new(&p)
+        .scheduler(Box::new(sched))
+        .noise(Box::new(noise))
+        .run();
+    assert_eq!(bare.stats.sched_points, rec.stats.sched_points);
+    assert_eq!(bare.fingerprint(), rec.fingerprint());
+}

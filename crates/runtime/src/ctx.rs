@@ -1,0 +1,519 @@
+//! [`ThreadCtx`]: the API model programs are written against.
+//!
+//! Every method that touches shared state is a *scheduling point*: it emits
+//! an event, lets the noise maker interfere, and lets the scheduler move the
+//! execution token. Methods are annotated `#[track_caller]`, so the source
+//! location of the call in the benchmark program becomes the event's
+//! [`Loc`] — the automatic equivalent of a bytecode instrumentor recording
+//! "the location in the program from which it was called".
+//!
+//! Misusing the model (unlocking a lock you don't hold, waiting on a
+//! condition without its lock, recursive locking, joining yourself) aborts
+//! the execution with [`crate::OutcomeKind::ThreadPanic`]; such misuse is
+//! itself a bug class benchmark programs may exhibit.
+
+use crate::exec::{thread_main, Controller, ModelMisuse};
+use crate::state::{BlockReason, Status};
+use mtt_instrument::{BarrierId, CondId, Loc, LockId, Op, SemId, ThreadId, VarId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::panic::panic_any;
+use std::sync::Arc;
+
+/// Capture the caller's source location as a [`Loc`].
+#[track_caller]
+fn caller_loc() -> Loc {
+    let c = std::panic::Location::caller();
+    Loc {
+        file: c.file(),
+        line: c.line(),
+    }
+}
+
+fn misuse(msg: String) -> ! {
+    panic_any(ModelMisuse(msg))
+}
+
+/// Handle through which a model thread performs all shared-memory and
+/// synchronization operations.
+pub struct ThreadCtx {
+    ctrl: Arc<Controller>,
+    me: ThreadId,
+    rng: ChaCha8Rng,
+}
+
+impl ThreadCtx {
+    pub(crate) fn new(ctrl: Arc<Controller>, me: ThreadId) -> Self {
+        let seed = {
+            let g = ctrl.mx.lock();
+            g.opts.program_seed
+        };
+        let rng =
+            ChaCha8Rng::seed_from_u64(seed ^ (u64::from(me.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        ThreadCtx { ctrl, me, rng }
+    }
+
+    /// This thread's id.
+    pub fn id(&self) -> ThreadId {
+        self.me
+    }
+
+    // ------------------------------------------------------------------
+    // Shared variables
+    // ------------------------------------------------------------------
+
+    /// Read a shared variable. Non-volatile variables may return a stale,
+    /// thread-cached value (see [`crate::ProgramBuilder::var_nonvolatile`]).
+    #[track_caller]
+    pub fn read(&mut self, var: VarId) -> i64 {
+        self.read_at(var, caller_loc())
+    }
+
+    /// [`Self::read`] with an explicit site (used by code generators such
+    /// as the MiniProg interpreter).
+    pub fn read_at(&mut self, var: VarId, loc: Loc) -> i64 {
+        let mut g = self.ctrl.mx.lock();
+        let value = g.model.read_var(self.me, var);
+        let nd = g.emit(self.me, loc, Op::VarRead { var, value });
+        self.ctrl.point(&mut g, self.me, nd);
+        value
+    }
+
+    /// Write a shared variable.
+    #[track_caller]
+    pub fn write(&mut self, var: VarId, value: i64) {
+        self.write_at(var, value, caller_loc())
+    }
+
+    /// [`Self::write`] with an explicit site.
+    pub fn write_at(&mut self, var: VarId, value: i64, loc: Loc) {
+        let mut g = self.ctrl.mx.lock();
+        g.model.write_var(self.me, var, value);
+        let nd = g.emit(self.me, loc, Op::VarWrite { var, value });
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    /// Atomic read-modify-write: applies `f` to the *shared-store* value
+    /// with no scheduling point in between (the model analogue of an
+    /// `AtomicInteger` operation). Emits a read event and a write event at
+    /// a single scheduling point; returns the old value.
+    #[track_caller]
+    pub fn rmw<F: FnOnce(i64) -> i64>(&mut self, var: VarId, f: F) -> i64 {
+        let loc = caller_loc();
+        let mut g = self.ctrl.mx.lock();
+        let old = g.model.vars[var.index()];
+        let new = f(old);
+        g.model.vars[var.index()] = new;
+        // Atomics behave as volatile accesses: refresh this thread's view.
+        g.model.threads[self.me.index()].cache.insert(var, new);
+        let nd = g.emit(self.me, loc, Op::VarRmw { var, old, new });
+        self.ctrl.point(&mut g, self.me, nd);
+        old
+    }
+
+    // ------------------------------------------------------------------
+    // Mutexes
+    // ------------------------------------------------------------------
+
+    /// Acquire a mutex, blocking while another thread owns it.
+    #[track_caller]
+    pub fn lock(&mut self, lock: LockId) {
+        self.lock_at(lock, caller_loc())
+    }
+
+    /// [`Self::lock`] with an explicit site.
+    pub fn lock_at(&mut self, lock: LockId, loc: Loc) {
+        let mut g = self.ctrl.mx.lock();
+        let mut requested = false;
+        loop {
+            match g.model.lock_owner[lock.index()] {
+                None => {
+                    g.model.acquire_lock(self.me, lock);
+                    let nd = g.emit(self.me, loc, Op::LockAcquire { lock });
+                    self.ctrl.point(&mut g, self.me, nd);
+                    return;
+                }
+                Some(owner) if owner == self.me => {
+                    misuse(format!(
+                        "thread {} locked {:?} recursively (model mutexes are non-reentrant)",
+                        self.me, lock
+                    ));
+                }
+                Some(_) => {
+                    if !requested {
+                        let _ = g.emit(self.me, loc, Op::LockRequest { lock });
+                        requested = true;
+                    }
+                    g.model.threads[self.me.index()].status =
+                        Status::Blocked(BlockReason::Lock(lock));
+                    self.ctrl.block_and_park(&mut g, self.me);
+                }
+            }
+        }
+    }
+
+    /// Try to acquire a mutex without blocking. Returns whether it was
+    /// acquired.
+    #[track_caller]
+    pub fn try_lock(&mut self, lock: LockId) -> bool {
+        let loc = caller_loc();
+        let mut g = self.ctrl.mx.lock();
+        match g.model.lock_owner[lock.index()] {
+            None => {
+                g.model.acquire_lock(self.me, lock);
+                let nd = g.emit(self.me, loc, Op::LockAcquire { lock });
+                self.ctrl.point(&mut g, self.me, nd);
+                true
+            }
+            Some(owner) if owner == self.me => {
+                misuse(format!("thread {} try_lock on lock it holds", self.me))
+            }
+            Some(_) => {
+                let nd = g.emit(self.me, loc, Op::LockTryFail { lock });
+                self.ctrl.point(&mut g, self.me, nd);
+                false
+            }
+        }
+    }
+
+    /// Release a mutex this thread owns.
+    #[track_caller]
+    pub fn unlock(&mut self, lock: LockId) {
+        self.unlock_at(lock, caller_loc())
+    }
+
+    /// [`Self::unlock`] with an explicit site.
+    pub fn unlock_at(&mut self, lock: LockId, loc: Loc) {
+        let mut g = self.ctrl.mx.lock();
+        if !g.model.release_lock(self.me, lock) {
+            misuse(format!(
+                "thread {} released {:?} which it does not hold",
+                self.me, lock
+            ));
+        }
+        let nd = g.emit(self.me, loc, Op::LockRelease { lock });
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    /// Run `f` with `lock` held (the model analogue of a `synchronized`
+    /// block).
+    #[track_caller]
+    pub fn with_lock<R>(&mut self, lock: LockId, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.lock(lock);
+        let r = f(self);
+        self.unlock(lock);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Condition variables
+    // ------------------------------------------------------------------
+
+    /// Wait on `cond`, atomically releasing `lock` (which must be held);
+    /// re-acquires `lock` before returning.
+    #[track_caller]
+    pub fn wait(&mut self, cond: CondId, lock: LockId) {
+        self.wait_at(cond, lock, caller_loc())
+    }
+
+    /// [`Self::wait`] with an explicit site.
+    pub fn wait_at(&mut self, cond: CondId, lock: LockId, loc: Loc) {
+        let ctrl = Arc::clone(&self.ctrl);
+        let mut g = ctrl.mx.lock();
+        self.wait_inner(&mut g, cond, lock, None, loc);
+    }
+
+    /// Like [`Self::wait`] but gives up after `ticks` units of virtual time.
+    /// Returns `true` when notified, `false` on timeout.
+    #[track_caller]
+    pub fn timed_wait(&mut self, cond: CondId, lock: LockId, ticks: u32) -> bool {
+        let loc = caller_loc();
+        let ctrl = Arc::clone(&self.ctrl);
+        let mut g = ctrl.mx.lock();
+        let deadline = g.model.time + u64::from(ticks.max(1));
+        self.wait_inner(&mut g, cond, lock, Some(deadline), loc)
+    }
+
+    fn wait_inner(
+        &mut self,
+        g: &mut parking_lot::MutexGuard<'_, crate::exec::Central>,
+        cond: CondId,
+        lock: LockId,
+        deadline: Option<u64>,
+        loc: Loc,
+    ) -> bool {
+        if g.model.lock_owner[lock.index()] != Some(self.me) {
+            misuse(format!(
+                "thread {} waits on {:?} without holding {:?}",
+                self.me, cond, lock
+            ));
+        }
+        let _ = g.emit(self.me, loc, Op::CondWait { cond, lock });
+        assert!(g.model.release_lock(self.me, lock));
+        g.model.cond_queues[cond.index()].push(self.me);
+        g.model.threads[self.me.index()].timed_out = false;
+        g.model.threads[self.me.index()].status = Status::Blocked(match deadline {
+            Some(d) => BlockReason::CondTimed(cond, lock, d),
+            None => BlockReason::Cond(cond, lock),
+        });
+        self.ctrl.block_and_park(g, self.me);
+        let timed_out = g.model.threads[self.me.index()].timed_out;
+        // Re-acquire the lock (competing with everyone else).
+        loop {
+            if g.model.lock_owner[lock.index()].is_none() {
+                g.model.acquire_lock(self.me, lock);
+                break;
+            }
+            g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Lock(lock));
+            self.ctrl.block_and_park(g, self.me);
+        }
+        let nd = g.emit(self.me, loc, Op::CondWake { cond, lock });
+        self.ctrl.point(g, self.me, nd);
+        !timed_out
+    }
+
+    /// Wake the longest-waiting thread on `cond` (no-op — a potential *lost
+    /// notification* — when nobody waits).
+    #[track_caller]
+    pub fn notify(&mut self, cond: CondId) {
+        self.notify_at(cond, caller_loc())
+    }
+
+    /// [`Self::notify`] with an explicit site.
+    pub fn notify_at(&mut self, cond: CondId, loc: Loc) {
+        let mut g = self.ctrl.mx.lock();
+        if !g.model.cond_queues[cond.index()].is_empty() {
+            let t = g.model.cond_queues[cond.index()].remove(0);
+            g.model.threads[t.index()].status = Status::Ready;
+            g.model.threads[t.index()].timed_out = false;
+        }
+        let nd = g.emit(self.me, loc, Op::CondNotify { cond, all: false });
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    /// Wake every thread waiting on `cond`.
+    #[track_caller]
+    pub fn notify_all(&mut self, cond: CondId) {
+        self.notify_all_at(cond, caller_loc())
+    }
+
+    /// [`Self::notify_all`] with an explicit site.
+    pub fn notify_all_at(&mut self, cond: CondId, loc: Loc) {
+        let mut g = self.ctrl.mx.lock();
+        let woken: Vec<ThreadId> = g.model.cond_queues[cond.index()].drain(..).collect();
+        for t in woken {
+            g.model.threads[t.index()].status = Status::Ready;
+            g.model.threads[t.index()].timed_out = false;
+        }
+        let nd = g.emit(self.me, loc, Op::CondNotify { cond, all: true });
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    // ------------------------------------------------------------------
+    // Semaphores & barriers
+    // ------------------------------------------------------------------
+
+    /// Acquire one permit, blocking while none is available.
+    #[track_caller]
+    pub fn sem_acquire(&mut self, sem: SemId) {
+        let loc = caller_loc();
+        let mut g = self.ctrl.mx.lock();
+        let mut requested = false;
+        loop {
+            if g.model.sem_permits[sem.index()] > 0 {
+                g.model.sem_permits[sem.index()] -= 1;
+                g.model.threads[self.me.index()].flush_cache();
+                let nd = g.emit(self.me, loc, Op::SemAcquire { sem });
+                self.ctrl.point(&mut g, self.me, nd);
+                return;
+            }
+            if !requested {
+                let _ = g.emit(self.me, loc, Op::SemRequest { sem });
+                requested = true;
+            }
+            g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Sem(sem));
+            self.ctrl.block_and_park(&mut g, self.me);
+        }
+    }
+
+    /// Release one permit and wake blocked acquirers.
+    #[track_caller]
+    pub fn sem_release(&mut self, sem: SemId) {
+        let loc = caller_loc();
+        let mut g = self.ctrl.mx.lock();
+        g.model.sem_permits[sem.index()] += 1;
+        for t in g.model.threads.iter_mut() {
+            if t.status == Status::Blocked(BlockReason::Sem(sem)) {
+                t.status = Status::Ready;
+            }
+        }
+        g.model.threads[self.me.index()].flush_cache();
+        let nd = g.emit(self.me, loc, Op::SemRelease { sem });
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    /// Arrive at a cyclic barrier and block until all parties have arrived.
+    #[track_caller]
+    pub fn barrier_wait(&mut self, barrier: BarrierId) {
+        let loc = caller_loc();
+        let mut g = self.ctrl.mx.lock();
+        g.model.barrier_arrived[barrier.index()].push(self.me);
+        let _ = g.emit(self.me, loc, Op::BarrierArrive { barrier });
+        let full = g.model.barrier_arrived[barrier.index()].len() as u32
+            == g.model.barrier_parties[barrier.index()];
+        if full {
+            let arrived: Vec<ThreadId> = g.model.barrier_arrived[barrier.index()].drain(..).collect();
+            for t in arrived {
+                if t != self.me {
+                    g.model.threads[t.index()].status = Status::Ready;
+                }
+            }
+        } else {
+            g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Barrier(barrier));
+            self.ctrl.block_and_park(&mut g, self.me);
+        }
+        g.model.threads[self.me.index()].flush_cache();
+        let nd = g.emit(self.me, loc, Op::BarrierPass { barrier });
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    // ------------------------------------------------------------------
+    // Threads
+    // ------------------------------------------------------------------
+
+    /// Spawn a child model thread running `body`. Returns its id.
+    #[track_caller]
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> ThreadId
+    where
+        F: FnOnce(&mut ThreadCtx) + Send + 'static,
+    {
+        let loc = caller_loc();
+        let mut g = self.ctrl.mx.lock();
+        if g.model.threads.len() as u32 >= g.opts.max_threads {
+            misuse(format!(
+                "thread limit ({}) exceeded — runaway spawn loop?",
+                g.opts.max_threads
+            ));
+        }
+        let child = ThreadId(g.model.threads.len() as u32);
+        g.model.threads.push(crate::state::ThreadState::new(name.into()));
+        g.stats.threads += 1;
+        let ctrl2 = Arc::clone(&self.ctrl);
+        let handle = std::thread::Builder::new()
+            .name(format!("mtt-{}", child.0))
+            .spawn(move || thread_main(ctrl2, child, Box::new(body)))
+            .expect("failed to spawn model thread");
+        g.os_handles.push(handle);
+        let nd = g.emit(self.me, loc, Op::Spawn { child });
+        self.ctrl.point(&mut g, self.me, nd);
+        child
+    }
+
+    /// Block until `target` finishes.
+    #[track_caller]
+    pub fn join(&mut self, target: ThreadId) {
+        let loc = caller_loc();
+        if target == self.me {
+            misuse(format!("thread {} joining itself", self.me));
+        }
+        let mut g = self.ctrl.mx.lock();
+        if target.index() >= g.model.threads.len() {
+            misuse(format!("join on unknown thread {target}"));
+        }
+        let mut requested = false;
+        loop {
+            if g.model.threads[target.index()].status == Status::Finished {
+                g.model.threads[self.me.index()].flush_cache();
+                let nd = g.emit(self.me, loc, Op::Join { target });
+                self.ctrl.point(&mut g, self.me, nd);
+                return;
+            }
+            if !requested {
+                let _ = g.emit(self.me, loc, Op::JoinRequest { target });
+                requested = true;
+            }
+            g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Join(target));
+            self.ctrl.block_and_park(&mut g, self.me);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Delays, markers, assertions
+    // ------------------------------------------------------------------
+
+    /// Voluntary scheduling point.
+    #[track_caller]
+    pub fn yield_now(&mut self) {
+        self.yield_at(caller_loc())
+    }
+
+    /// [`Self::yield_now`] with an explicit site.
+    pub fn yield_at(&mut self, loc: Loc) {
+        let mut g = self.ctrl.mx.lock();
+        let nd = g.emit(self.me, loc, Op::Yield);
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    /// Sleep for `ticks` units of virtual time (never wall clock).
+    #[track_caller]
+    pub fn sleep(&mut self, ticks: u32) {
+        self.sleep_at(ticks, caller_loc())
+    }
+
+    /// [`Self::sleep`] with an explicit site.
+    pub fn sleep_at(&mut self, ticks: u32, loc: Loc) {
+        let mut g = self.ctrl.mx.lock();
+        let wake = g.model.time + u64::from(ticks.max(1));
+        let _ = g.emit(self.me, loc, Op::Sleep { ticks });
+        g.model.threads[self.me.index()].status = Status::Sleeping(wake);
+        self.ctrl.block_and_park(&mut g, self.me);
+    }
+
+    /// Pure instrumentation marker: emits a [`Op::Point`] event carrying
+    /// `label` and creates a scheduling point, with no semantic effect.
+    #[track_caller]
+    pub fn point(&mut self, label: &str) {
+        let loc = caller_loc();
+        let mut g = self.ctrl.mx.lock();
+        let li = g.intern_label(label);
+        let nd = g.emit(self.me, loc, Op::Point { label: li });
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    /// Executable assertion. A failure is recorded in the outcome (and, if
+    /// the execution was configured with `stop_on_assert`, aborts it). A
+    /// passing assertion costs nothing and is not a scheduling point.
+    #[track_caller]
+    pub fn check(&mut self, cond: bool, label: &str) {
+        self.check_at(cond, label, caller_loc())
+    }
+
+    /// [`Self::check`] with an explicit site.
+    pub fn check_at(&mut self, cond: bool, label: &str, loc: Loc) {
+        if cond {
+            return;
+        }
+        let mut g = self.ctrl.mx.lock();
+        let li = g.intern_label(label);
+        g.assert_failures.push(AssertFailureRecord {
+            thread: self.me,
+            label: label.to_string(),
+            loc,
+        });
+        let nd = g.emit(self.me, loc, Op::AssertFail { label: li });
+        if g.opts.stop_on_assert {
+            g.do_abort(crate::OutcomeKind::AssertStop);
+        }
+        self.ctrl.point(&mut g, self.me, nd);
+    }
+
+    /// Deterministic pseudo-randomness for program logic: uniform in
+    /// `0..bound`. Seeded from the execution's `program_seed` and this
+    /// thread's id, so it is independent of the interleaving — replay-safe.
+    pub fn random(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "random bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+}
+
+type AssertFailureRecord = crate::outcome::AssertFailure;

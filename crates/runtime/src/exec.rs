@@ -1,0 +1,599 @@
+//! The execution engine: token-passing controller, event emission,
+//! scheduling, abort protocol and the [`Execution`] builder.
+//!
+//! ## How control flows
+//!
+//! Each model thread is an OS thread parked on the controller's condition
+//! variable. Exactly one model thread holds the *execution token*
+//! (`ModelState::current`); it runs program code until its next `ThreadCtx`
+//! operation, which (under the controller mutex) mutates the model, emits
+//! events, consults the noise maker, asks the scheduler to pick the next
+//! token holder, wakes everyone, and parks until the token comes back.
+//!
+//! Because the mutex serializes all of this and only the token holder
+//! executes program code, an execution is a deterministic function of
+//! (program, scheduler decisions, noise decisions) — the foundation for
+//! replay and systematic exploration.
+//!
+//! ## Abort protocol
+//!
+//! Deadlock, step-limit exhaustion, `stop_on_assert` and program panics
+//! all *abort* the execution: the cause is stored, every parked thread is
+//! woken and unwinds with a private `AbortToken` panic payload (whose
+//! printing is suppressed by a process-wide hook), and the harness thread
+//! collects the [`Outcome`].
+
+use crate::ctx::ThreadCtx;
+use crate::noise::{NoiseDecision, NoiseMaker, NoiseView, NoNoise};
+use crate::outcome::{AssertFailure, ExecStats, Outcome, OutcomeKind};
+use crate::program::Program;
+use crate::scheduler::{FifoScheduler, SchedView, Scheduler, ThreadStatusView};
+use crate::state::{ModelState, Status, ThreadState};
+use mtt_instrument::{Event, EventSink, InstrumentationPlan, Loc, Op, ResolvedFilter, ThreadId};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Panic payload used to unwind model threads when an execution aborts.
+struct AbortToken;
+
+/// Panic payload for model-API misuse by program code (e.g. releasing a
+/// lock the thread does not hold). Recorded as [`OutcomeKind::ThreadPanic`].
+pub(crate) struct ModelMisuse(pub String);
+
+static HOOK_INSTALL: Once = Once::new();
+
+/// Install (once per process) a panic hook that stays silent for the
+/// runtime's internal control-flow panics and defers to the previous hook
+/// for everything else.
+fn install_quiet_hook() {
+    HOOK_INSTALL.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<AbortToken>() || info.payload().is::<ModelMisuse>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Tunables of one execution.
+#[derive(Clone, Debug)]
+pub struct ExecutionOptions {
+    /// Maximum scheduling points before the run is declared hung
+    /// ([`OutcomeKind::StepLimit`]).
+    pub max_steps: u64,
+    /// Abort the execution at the first failed assertion.
+    pub stop_on_assert: bool,
+    /// Seed for the per-thread deterministic RNG available to program code
+    /// via [`ThreadCtx::random`].
+    pub program_seed: u64,
+    /// Hard cap on model threads (guards against runaway spawn loops).
+    pub max_threads: u32,
+    /// When set, at each scheduling point one condition-variable waiter is
+    /// woken *spuriously* with this probability — the POSIX/JVM liberty
+    /// most schedulers never exercise. Programs that wait without a
+    /// predicate loop break under it, which makes spurious injection a
+    /// bug-finding technique of its own (exercised by experiment E1's
+    /// suite and the runtime tests).
+    pub spurious_wakeups: Option<f64>,
+}
+
+impl Default for ExecutionOptions {
+    fn default() -> Self {
+        ExecutionOptions {
+            max_steps: 1_000_000,
+            stop_on_assert: false,
+            program_seed: 0,
+            max_threads: 512,
+            spurious_wakeups: None,
+        }
+    }
+}
+
+/// Everything behind the controller mutex.
+pub(crate) struct Central {
+    pub model: ModelState,
+    pub scheduler: Box<dyn Scheduler>,
+    pub noise: Box<dyn NoiseMaker>,
+    pub sinks: Vec<Box<dyn EventSink>>,
+    pub sink_filter: ResolvedFilter,
+    pub noise_filter: ResolvedFilter,
+    pub opts: ExecutionOptions,
+    pub stats: ExecStats,
+    pub abort: Option<OutcomeKind>,
+    pub completed: bool,
+    pub os_handles: Vec<JoinHandle<()>>,
+    pub last_event: Option<Event>,
+    pub seq: u64,
+    pub labels: Vec<String>,
+    pub label_idx: HashMap<String, u32>,
+    pub assert_failures: Vec<AssertFailure>,
+    scratch_runnable: Vec<ThreadId>,
+    scratch_statuses: Vec<ThreadStatusView>,
+    /// RNG driving spurious wakeups (None when the feature is off).
+    spurious_rng: Option<rand_chacha::ChaCha8Rng>,
+}
+
+impl Central {
+    /// Intern a label string, returning its dense index.
+    pub fn intern_label(&mut self, label: &str) -> u32 {
+        if let Some(&i) = self.label_idx.get(label) {
+            return i;
+        }
+        let i = self.labels.len() as u32;
+        self.labels.push(label.to_string());
+        self.label_idx.insert(label.to_string(), i);
+        i
+    }
+
+    /// Emit one event: dispatch to the scheduler's observation hook, the
+    /// sinks (subject to the sink plan) and the noise maker (subject to the
+    /// noise plan). Returns the noise decision for the caller to apply.
+    pub fn emit(&mut self, me: ThreadId, loc: Loc, op: Op) -> NoiseDecision {
+        self.stats.events += 1;
+        let ev = Event {
+            seq: self.seq,
+            time: self.model.time,
+            thread: me,
+            loc,
+            op,
+            locks_held: Arc::clone(&self.model.threads[me.index()].held_snapshot),
+        };
+        self.seq += 1;
+        self.scheduler.on_event(&ev);
+        if self.sink_filter.selects(&ev) {
+            for s in &mut self.sinks {
+                s.on_event(&ev);
+            }
+        }
+        let decision = if self.noise_filter.selects(&ev) {
+            self.model.collect_runnable(&mut self.scratch_runnable);
+            let view = NoiseView {
+                runnable: self.scratch_runnable.len(),
+                step: self.stats.sched_points,
+                time: self.model.time,
+            };
+            self.noise.decide(&ev, &view)
+        } else {
+            NoiseDecision::None
+        };
+        self.last_event = Some(ev);
+        decision
+    }
+
+    /// Record an abort cause (first one wins).
+    pub fn do_abort(&mut self, kind: OutcomeKind) {
+        if self.abort.is_none() {
+            self.abort = Some(kind);
+        }
+    }
+
+    /// With the configured probability, wake one condition waiter without
+    /// a notify — a spurious wakeup. The woken thread re-acquires its lock
+    /// and returns from `wait` as if notified; correct code re-checks its
+    /// predicate, buggy code proceeds on a false assumption.
+    fn maybe_spurious_wakeup(&mut self) {
+        use crate::state::BlockReason;
+        use rand::Rng;
+        let Some(rng) = self.spurious_rng.as_mut() else {
+            return;
+        };
+        let p = self.opts.spurious_wakeups.unwrap_or(0.0);
+        if p <= 0.0 || !rng.gen_bool(p) {
+            return;
+        }
+        // Collect cond waiters deterministically (id order).
+        let waiters: Vec<usize> = self
+            .model
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    t.status,
+                    Status::Blocked(BlockReason::Cond(_, _))
+                        | Status::Blocked(BlockReason::CondTimed(_, _, _))
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if waiters.is_empty() {
+            return;
+        }
+        let victim = waiters[rng.gen_range(0..waiters.len())];
+        let tid = ThreadId(victim as u32);
+        if let Status::Blocked(
+            BlockReason::Cond(c, _) | BlockReason::CondTimed(c, _, _),
+        ) = self.model.threads[victim].status
+        {
+            self.model.cond_queues[c.index()].retain(|q| *q != tid);
+            self.model.threads[victim].timed_out = false;
+            self.model.threads[victim].status = Status::Ready;
+        }
+    }
+
+    /// Core scheduling step: find the runnable set (advancing virtual time
+    /// if everyone is asleep), detect termination and deadlock, and hand the
+    /// token to the scheduler's pick.
+    ///
+    /// `prev` is the thread whose operation triggered this point; its status
+    /// must already reflect the operation's effect (Ready / Blocked /
+    /// Sleeping / Finished).
+    pub fn schedule_next(&mut self, prev: Option<ThreadId>, forced_yield: bool) {
+        self.stats.sched_points += 1;
+        if self.stats.sched_points > self.opts.max_steps {
+            self.do_abort(OutcomeKind::StepLimit);
+            return;
+        }
+        self.model.current = None;
+        // Virtual time advances one tick per scheduling point, so sleepers
+        // and timed waits make progress even while other threads stay busy;
+        // the loop below additionally fast-forwards when everyone is asleep.
+        let now = self.model.time + 1;
+        self.model.advance_time_to(now);
+        self.maybe_spurious_wakeup();
+        loop {
+            self.model.collect_runnable(&mut self.scratch_runnable);
+            if !self.scratch_runnable.is_empty() {
+                break;
+            }
+            if self.model.all_finished() {
+                self.completed = true;
+                return;
+            }
+            if let Some(wake) = self.model.next_wake_time() {
+                self.model.advance_time_to(wake);
+                continue;
+            }
+            let info = self.model.deadlock_info();
+            self.do_abort(OutcomeKind::Deadlock(info));
+            return;
+        }
+        self.scratch_statuses.clear();
+        for t in &self.model.threads {
+            self.scratch_statuses.push(match t.status {
+                Status::Ready | Status::Running => ThreadStatusView::Ready,
+                Status::Blocked(_) => ThreadStatusView::Blocked,
+                Status::Sleeping(_) => ThreadStatusView::Sleeping,
+                Status::Finished => ThreadStatusView::Finished,
+            });
+        }
+        let view = SchedView {
+            runnable: &self.scratch_runnable,
+            prev,
+            forced_yield,
+            step: self.stats.sched_points,
+            time: self.model.time,
+            statuses: &self.scratch_statuses,
+            last_event: self.last_event.as_ref(),
+        };
+        let mut pick = self.scheduler.pick(&view);
+        if self.scratch_runnable.binary_search(&pick).is_err() {
+            self.stats.scheduler_faults += 1;
+            pick = self.scratch_runnable[0];
+        }
+        self.model.threads[pick.index()].status = Status::Running;
+        self.model.current = Some(pick);
+    }
+}
+
+/// The controller: the mutex-protected central state plus the condition
+/// variable every model thread parks on.
+pub(crate) struct Controller {
+    pub mx: Mutex<Central>,
+    pub cv: Condvar,
+}
+
+impl Controller {
+    /// Park `me` until it holds the execution token (or unwind on abort).
+    /// Must be called with the guard held; returns with the guard held.
+    pub fn park(&self, g: &mut MutexGuard<'_, Central>, me: ThreadId) {
+        loop {
+            if g.abort.is_some() {
+                panic::panic_any(AbortToken);
+            }
+            let st = g.model.threads[me.index()].status;
+            if st == Status::Finished {
+                return;
+            }
+            if g.model.current == Some(me) && st == Status::Running {
+                return;
+            }
+            self.cv.wait(g);
+        }
+    }
+
+    /// Apply a noise decision to `me`, mark it schedulable again if it is
+    /// still running, run one scheduling step, wake everyone, and park until
+    /// the token returns. The tail of every non-blocking operation.
+    pub fn point(&self, g: &mut MutexGuard<'_, Central>, me: ThreadId, nd: NoiseDecision) {
+        let mut forced_yield = false;
+        match nd {
+            NoiseDecision::None => {}
+            NoiseDecision::Yield => {
+                forced_yield = true;
+                g.stats.noise_injections += 1;
+            }
+            NoiseDecision::Sleep(ticks) => {
+                let wake = g.model.time + u64::from(ticks.max(1));
+                g.model.threads[me.index()].status = Status::Sleeping(wake);
+                g.stats.noise_injections += 1;
+            }
+        }
+        if g.model.threads[me.index()].status == Status::Running {
+            g.model.threads[me.index()].status = Status::Ready;
+        }
+        g.schedule_next(Some(me), forced_yield);
+        self.cv.notify_all();
+        self.park(g, me);
+    }
+
+    /// Block variant: `me`'s status has been set to a blocked state by the
+    /// caller; schedule someone else and park until woken *and* scheduled.
+    pub fn block_and_park(&self, g: &mut MutexGuard<'_, Central>, me: ThreadId) {
+        g.schedule_next(Some(me), false);
+        self.cv.notify_all();
+        self.park(g, me);
+    }
+}
+
+/// Body run by each model thread's OS thread.
+pub(crate) fn thread_main(
+    ctrl: Arc<Controller>,
+    me: ThreadId,
+    body: Box<dyn FnOnce(&mut ThreadCtx) + Send>,
+) {
+    // Wait to be scheduled for the first time, then announce ThreadStart.
+    let start_ok = {
+        let mut g = ctrl.mx.lock();
+        let parked = panic::catch_unwind(AssertUnwindSafe(|| {
+            ctrl.park(&mut g, me);
+            g.model.threads[me.index()].flush_cache(); // start = sync point
+            let nd = g.emit(me, Loc::SYNTHETIC, Op::ThreadStart);
+            ctrl.point(&mut g, me, nd);
+        }));
+        parked.is_ok()
+    };
+    if !start_ok {
+        return; // aborted before the thread ever ran
+    }
+    let mut ctx = ThreadCtx::new(Arc::clone(&ctrl), me);
+    let result = panic::catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+    match result {
+        Ok(()) => {
+            // Normal completion: announce exit, wake joiners, hand off.
+            let exited = panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut g = ctrl.mx.lock();
+                let _ = g.emit(me, Loc::SYNTHETIC, Op::ThreadExit);
+                g.model.threads[me.index()].status = Status::Finished;
+                g.model.finish_order.push(me);
+                for t in g.model.threads.iter_mut() {
+                    if t.status == Status::Blocked(crate::state::BlockReason::Join(me)) {
+                        t.status = Status::Ready;
+                    }
+                }
+                if g.model.all_finished() {
+                    g.completed = true;
+                } else {
+                    g.schedule_next(Some(me), false);
+                }
+                ctrl.cv.notify_all();
+            }));
+            let _ = exited; // a concurrent abort during exit is fine
+        }
+        Err(payload) => {
+            if payload.is::<AbortToken>() {
+                return; // cooperative teardown
+            }
+            let message = if let Some(m) = payload.downcast_ref::<ModelMisuse>() {
+                m.0.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            let mut g = ctrl.mx.lock();
+            g.do_abort(OutcomeKind::ThreadPanic {
+                thread: me,
+                message,
+            });
+            ctrl.cv.notify_all();
+        }
+    }
+}
+
+/// Builder-style handle for running one execution of a [`Program`].
+///
+/// Defaults: [`FifoScheduler`] (the deterministic "unit test" scheduler),
+/// no noise, no sinks, full instrumentation, 1M-step budget.
+pub struct Execution<'p> {
+    program: &'p Program,
+    scheduler: Box<dyn Scheduler>,
+    noise: Box<dyn NoiseMaker>,
+    sinks: Vec<Box<dyn EventSink>>,
+    sink_plan: Option<InstrumentationPlan>,
+    noise_plan: Option<InstrumentationPlan>,
+    opts: ExecutionOptions,
+}
+
+impl<'p> Execution<'p> {
+    /// Prepare an execution of `program` with default settings.
+    pub fn new(program: &'p Program) -> Self {
+        Execution {
+            program,
+            scheduler: Box::new(FifoScheduler),
+            noise: Box::new(NoNoise),
+            sinks: Vec::new(),
+            sink_plan: None,
+            noise_plan: None,
+            opts: ExecutionOptions::default(),
+        }
+    }
+
+    /// Use this scheduler.
+    pub fn scheduler(mut self, s: Box<dyn Scheduler>) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Use this noise maker.
+    pub fn noise(mut self, n: Box<dyn NoiseMaker>) -> Self {
+        self.noise = n;
+        self
+    }
+
+    /// Attach an event sink (may be called repeatedly; sinks see events in
+    /// attachment order).
+    pub fn sink(mut self, s: Box<dyn EventSink>) -> Self {
+        self.sinks.push(s);
+        self
+    }
+
+    /// Instrumentation plan governing what the sinks see (default: all).
+    pub fn plan(mut self, p: InstrumentationPlan) -> Self {
+        self.sink_plan = Some(p);
+        self
+    }
+
+    /// Instrumentation plan governing where the noise maker is consulted
+    /// (default: all) — the paper's "where calls to the heuristic should be
+    /// embedded" research knob.
+    pub fn noise_plan(mut self, p: InstrumentationPlan) -> Self {
+        self.noise_plan = Some(p);
+        self
+    }
+
+    /// Replace all options at once.
+    pub fn options(mut self, opts: ExecutionOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Set the scheduling-point budget.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.opts.max_steps = n;
+        self
+    }
+
+    /// Abort at the first failed assertion.
+    pub fn stop_on_assert(mut self, yes: bool) -> Self {
+        self.opts.stop_on_assert = yes;
+        self
+    }
+
+    /// Seed for program-visible randomness ([`ThreadCtx::random`]).
+    pub fn program_seed(mut self, seed: u64) -> Self {
+        self.opts.program_seed = seed;
+        self
+    }
+
+    /// Enable spurious condition-variable wakeups with the given per-point
+    /// probability (see [`ExecutionOptions::spurious_wakeups`]).
+    pub fn spurious_wakeups(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability required");
+        self.opts.spurious_wakeups = Some(p);
+        self
+    }
+
+    /// Run the program to completion (or deadlock / step limit / panic) and
+    /// return the outcome.
+    pub fn run(self) -> Outcome {
+        install_quiet_hook();
+        let started = Instant::now();
+        let var_table = self.program.var_table();
+        let sink_filter = self
+            .sink_plan
+            .map_or_else(ResolvedFilter::pass_all, |p| p.resolve(&var_table));
+        let noise_filter = self
+            .noise_plan
+            .map_or_else(ResolvedFilter::pass_all, |p| p.resolve(&var_table));
+        let central = Central {
+            model: ModelState::for_program(self.program),
+            scheduler: self.scheduler,
+            noise: self.noise,
+            sinks: self.sinks,
+            sink_filter,
+            noise_filter,
+            opts: self.opts.clone(),
+            stats: ExecStats::default(),
+            abort: None,
+            completed: false,
+            os_handles: Vec::new(),
+            last_event: None,
+            seq: 0,
+            labels: Vec::new(),
+            label_idx: HashMap::new(),
+            assert_failures: Vec::new(),
+            scratch_runnable: Vec::new(),
+            scratch_statuses: Vec::new(),
+            spurious_rng: self.opts.spurious_wakeups.map(|_| {
+                use rand::SeedableRng;
+                rand_chacha::ChaCha8Rng::seed_from_u64(
+                    self.opts.program_seed ^ 0x5973_7075_7269_6f75,
+                )
+            }),
+        };
+        let ctrl = Arc::new(Controller {
+            mx: Mutex::new(central),
+            cv: Condvar::new(),
+        });
+
+        // Register and launch the main model thread, then hand it the token.
+        {
+            let mut g = ctrl.mx.lock();
+            g.model.threads.push(ThreadState::new("main".to_string()));
+            g.stats.threads = 1;
+            let entry = self.program.entry();
+            let ctrl2 = Arc::clone(&ctrl);
+            let handle = std::thread::Builder::new()
+                .name("mtt-main".to_string())
+                .spawn(move || {
+                    thread_main(ctrl2, ThreadId::MAIN, Box::new(move |ctx| entry(ctx)))
+                })
+                .expect("failed to spawn model thread");
+            g.os_handles.push(handle);
+            g.schedule_next(None, false);
+            ctrl.cv.notify_all();
+        }
+
+        // Wait for completion or abort.
+        let handles = {
+            let mut g = ctrl.mx.lock();
+            while !(g.completed || g.abort.is_some()) {
+                ctrl.cv.wait(&mut g);
+            }
+            // In case of abort, make sure every parked thread re-checks.
+            ctrl.cv.notify_all();
+            std::mem::take(&mut g.os_handles)
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+
+        // Assemble the outcome.
+        let mut g = ctrl.mx.lock();
+        for s in &mut g.sinks {
+            s.finish();
+        }
+        let kind = g.abort.take().unwrap_or(OutcomeKind::Completed);
+        g.stats.virtual_time = g.model.time;
+        g.stats.wall = started.elapsed();
+        Outcome {
+            program: g.model.program_name.clone(),
+            kind,
+            final_vars: g.model.vars.clone(),
+            var_table,
+            finish_order: g.model.finish_order.clone(),
+            thread_names: g.model.threads.iter().map(|t| t.name.clone()).collect(),
+            assert_failures: g.assert_failures.clone(),
+            stats: g.stats.clone(),
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The noise-maker hook: the runtime side of §2.2's "noise makers".
+//!
+//! A noise maker is consulted at every *instrumented* scheduling point,
+//! after the event is emitted and before the scheduler picks the next
+//! thread. It may leave the schedule alone, force the current thread to
+//! yield, or put it to sleep for some amount of virtual time — "it
+//! simulates the behaviour of other possible schedulers" (paper, §2.2).
+//!
+//! Concrete heuristics live in `mtt-noise`; this module defines only the
+//! interface, so the runtime does not depend on any particular heuristic
+//! and researchers can plug in their own (the paper's mix-and-match goal).
+
+use mtt_instrument::Event;
+
+/// What the noise heuristic wants done to the current thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NoiseDecision {
+    /// No interference.
+    None,
+    /// Deprioritize the current thread at the next pick (context-switch
+    /// noise; costs no virtual time).
+    Yield,
+    /// Put the current thread to sleep for the given virtual-time ticks
+    /// (strong noise; other threads run meanwhile).
+    Sleep(u32),
+}
+
+/// Scheduling-state summary handed to the noise heuristic alongside the
+/// event. Kept intentionally small: heuristics that need history keep it
+/// themselves (they see every event).
+#[derive(Clone, Copy, Debug)]
+pub struct NoiseView {
+    /// Number of threads currently able to run (including the current one).
+    pub runnable: usize,
+    /// Number of scheduling points so far.
+    pub step: u64,
+    /// Current virtual time.
+    pub time: u64,
+}
+
+/// A noise heuristic.
+///
+/// `decide` is called with every event selected by the execution's noise
+/// instrumentation plan. Heuristics must be deterministic given their seed:
+/// replay and exploration rely on executions being pure functions of
+/// (program, scheduler decisions, noise decisions).
+pub trait NoiseMaker: Send {
+    /// Decide whether to disturb the current thread at this point.
+    fn decide(&mut self, ev: &Event, view: &NoiseView) -> NoiseDecision;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "noise"
+    }
+}
+
+/// The identity noise maker: never interferes. Baseline for every
+/// noise-comparison experiment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoNoise;
+
+impl NoiseMaker for NoNoise {
+    #[inline]
+    fn decide(&mut self, _ev: &Event, _view: &NoiseView) -> NoiseDecision {
+        NoiseDecision::None
+    }
+
+    fn name(&self) -> &str {
+        "none"
+    }
+}
+
+/// Closures can serve as ad-hoc noise makers in tests.
+impl<F: FnMut(&Event, &NoiseView) -> NoiseDecision + Send> NoiseMaker for F {
+    fn decide(&mut self, ev: &Event, view: &NoiseView) -> NoiseDecision {
+        self(ev, view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_instrument::{Loc, Op, ThreadId};
+    use std::sync::Arc;
+
+    fn ev() -> Event {
+        Event {
+            seq: 0,
+            time: 0,
+            thread: ThreadId(0),
+            loc: Loc::new("t", 1),
+            op: Op::Yield,
+            locks_held: Arc::from(Vec::new()),
+        }
+    }
+
+    #[test]
+    fn no_noise_never_interferes() {
+        let mut n = NoNoise;
+        let view = NoiseView {
+            runnable: 3,
+            step: 10,
+            time: 5,
+        };
+        for _ in 0..100 {
+            assert_eq!(n.decide(&ev(), &view), NoiseDecision::None);
+        }
+        assert_eq!(n.name(), "none");
+    }
+
+    #[test]
+    fn closure_noise_maker() {
+        let mut calls = 0;
+        {
+            let mut n = |_: &Event, _: &NoiseView| {
+                calls += 1;
+                NoiseDecision::Yield
+            };
+            let view = NoiseView {
+                runnable: 1,
+                step: 0,
+                time: 0,
+            };
+            assert_eq!(n.decide(&ev(), &view), NoiseDecision::Yield);
+        }
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Program definition: the model-level analogue of "a Java program".
+//!
+//! A [`Program`] declares its shared resources (variables, locks, condition
+//! variables, semaphores, barriers) up front and provides a *re-runnable*
+//! entry closure. Declaring resources at build time gives every execution an
+//! identical id space, which is what makes schedules replayable and traces
+//! comparable across runs — the stable "bytecode" of the model world.
+
+use mtt_instrument::{BarrierId, CondId, LockId, SemId, VarId, VarTable};
+use std::sync::Arc;
+
+use crate::ctx::ThreadCtx;
+
+/// The entry function type. It must be `Fn` (not `FnOnce`) because
+/// experiments, exploration and replay run the same program many times.
+pub type EntryFn = Arc<dyn Fn(&mut ThreadCtx) + Send + Sync + 'static>;
+
+/// Declaration of one shared variable.
+#[derive(Clone, Debug)]
+pub struct VarSpec {
+    /// Registered name (unique within the program).
+    pub name: String,
+    /// Initial value at the start of every execution.
+    pub init: i64,
+    /// Volatile variables are always read from the shared store. Non-volatile
+    /// variables may be served from the reading thread's cache until its next
+    /// synchronization operation — the model of JMM-style weak visibility.
+    pub volatile: bool,
+}
+
+/// Declaration of one counting semaphore.
+#[derive(Clone, Debug)]
+pub struct SemSpec {
+    /// Registered name.
+    pub name: String,
+    /// Initial number of permits.
+    pub permits: u32,
+}
+
+/// Declaration of one cyclic barrier.
+#[derive(Clone, Debug)]
+pub struct BarrierSpec {
+    /// Registered name.
+    pub name: String,
+    /// Number of threads that must arrive before any passes.
+    pub parties: u32,
+}
+
+/// An immutable, re-runnable model program.
+#[derive(Clone)]
+pub struct Program {
+    name: Arc<str>,
+    vars: Arc<[VarSpec]>,
+    locks: Arc<[String]>,
+    conds: Arc<[String]>,
+    sems: Arc<[SemSpec]>,
+    barriers: Arc<[BarrierSpec]>,
+    entry: EntryFn,
+}
+
+impl Program {
+    /// The program's name (appears in traces and reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared variables, in id order.
+    pub fn vars(&self) -> &[VarSpec] {
+        &self.vars
+    }
+
+    /// Declared lock names, in id order.
+    pub fn locks(&self) -> &[String] {
+        &self.locks
+    }
+
+    /// Declared condition-variable names, in id order.
+    pub fn conds(&self) -> &[String] {
+        &self.conds
+    }
+
+    /// Declared semaphores, in id order.
+    pub fn sems(&self) -> &[SemSpec] {
+        &self.sems
+    }
+
+    /// Declared barriers, in id order.
+    pub fn barriers(&self) -> &[BarrierSpec] {
+        &self.barriers
+    }
+
+    /// The entry closure.
+    pub fn entry(&self) -> EntryFn {
+        Arc::clone(&self.entry)
+    }
+
+    /// The variable-name table used to resolve instrumentation plans.
+    pub fn var_table(&self) -> VarTable {
+        VarTable::new(self.vars.iter().map(|v| v.name.clone()).collect())
+    }
+
+    /// Look up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Look up a lock id by name.
+    pub fn lock_id(&self, name: &str) -> Option<LockId> {
+        self.locks
+            .iter()
+            .position(|l| l == name)
+            .map(|i| LockId(i as u32))
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("name", &self.name)
+            .field("vars", &self.vars.len())
+            .field("locks", &self.locks.len())
+            .field("conds", &self.conds.len())
+            .field("sems", &self.sems.len())
+            .field("barriers", &self.barriers.len())
+            .finish()
+    }
+}
+
+/// Builder for [`Program`]s. Resource-declaration methods return the typed
+/// handle the program body captures.
+pub struct ProgramBuilder {
+    name: String,
+    vars: Vec<VarSpec>,
+    locks: Vec<String>,
+    conds: Vec<String>,
+    sems: Vec<SemSpec>,
+    barriers: Vec<BarrierSpec>,
+    entry: Option<EntryFn>,
+}
+
+impl ProgramBuilder {
+    /// Start building a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            vars: Vec::new(),
+            locks: Vec::new(),
+            conds: Vec::new(),
+            sems: Vec::new(),
+            barriers: Vec::new(),
+            entry: None,
+        }
+    }
+
+    /// Declare a volatile (sequentially consistent) shared variable.
+    ///
+    /// # Panics
+    /// Panics if `name` is already declared — duplicate names would make
+    /// traces ambiguous.
+    pub fn var(&mut self, name: impl Into<String>, init: i64) -> VarId {
+        self.var_spec(name, init, true)
+    }
+
+    /// Declare a **non-volatile** shared variable: reads may be served from
+    /// the reading thread's cache until its next synchronization operation,
+    /// modeling Java's weak visibility for plain fields.
+    pub fn var_nonvolatile(&mut self, name: impl Into<String>, init: i64) -> VarId {
+        self.var_spec(name, init, false)
+    }
+
+    fn var_spec(&mut self, name: impl Into<String>, init: i64, volatile: bool) -> VarId {
+        let name = name.into();
+        assert!(
+            !self.vars.iter().any(|v| v.name == name),
+            "duplicate variable name {name:?}"
+        );
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarSpec {
+            name,
+            init,
+            volatile,
+        });
+        id
+    }
+
+    /// Declare a (non-reentrant) mutex.
+    pub fn lock(&mut self, name: impl Into<String>) -> LockId {
+        let name = name.into();
+        assert!(
+            !self.locks.contains(&name),
+            "duplicate lock name {name:?}"
+        );
+        let id = LockId(self.locks.len() as u32);
+        self.locks.push(name);
+        id
+    }
+
+    /// Declare a condition variable. A condition is not bound to a lock at
+    /// declaration; `wait` names both, as in POSIX.
+    pub fn cond(&mut self, name: impl Into<String>) -> CondId {
+        let name = name.into();
+        assert!(
+            !self.conds.contains(&name),
+            "duplicate condition name {name:?}"
+        );
+        let id = CondId(self.conds.len() as u32);
+        self.conds.push(name);
+        id
+    }
+
+    /// Declare a counting semaphore with `permits` initial permits.
+    pub fn sem(&mut self, name: impl Into<String>, permits: u32) -> SemId {
+        let name = name.into();
+        assert!(
+            !self.sems.iter().any(|s| s.name == name),
+            "duplicate semaphore name {name:?}"
+        );
+        let id = SemId(self.sems.len() as u32);
+        self.sems.push(SemSpec { name, permits });
+        id
+    }
+
+    /// Declare a cyclic barrier for `parties` threads.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0`.
+    pub fn barrier(&mut self, name: impl Into<String>, parties: u32) -> BarrierId {
+        assert!(parties > 0, "a barrier needs at least one party");
+        let name = name.into();
+        assert!(
+            !self.barriers.iter().any(|b| b.name == name),
+            "duplicate barrier name {name:?}"
+        );
+        let id = BarrierId(self.barriers.len() as u32);
+        self.barriers.push(BarrierSpec { name, parties });
+        id
+    }
+
+    /// Set the entry closure: the body of the program's main thread.
+    pub fn entry<F: Fn(&mut ThreadCtx) + Send + Sync + 'static>(&mut self, f: F) {
+        self.entry = Some(Arc::new(f));
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if no entry closure was set.
+    pub fn build(self) -> Program {
+        Program {
+            name: self.name.into(),
+            vars: self.vars.into(),
+            locks: self.locks.into(),
+            conds: self.conds.into(),
+            sems: self.sems.into(),
+            barriers: self.barriers.into(),
+            entry: self.entry.expect("ProgramBuilder::entry was never called"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = ProgramBuilder::new("p");
+        assert_eq!(b.var("a", 1), VarId(0));
+        assert_eq!(b.var_nonvolatile("b", 2), VarId(1));
+        assert_eq!(b.lock("l0"), LockId(0));
+        assert_eq!(b.lock("l1"), LockId(1));
+        assert_eq!(b.cond("c"), CondId(0));
+        assert_eq!(b.sem("s", 3), SemId(0));
+        assert_eq!(b.barrier("bar", 2), BarrierId(0));
+        b.entry(|_| {});
+        let p = b.build();
+        assert_eq!(p.name(), "p");
+        assert_eq!(p.vars().len(), 2);
+        assert!(p.vars()[0].volatile);
+        assert!(!p.vars()[1].volatile);
+        assert_eq!(p.var_id("b"), Some(VarId(1)));
+        assert_eq!(p.lock_id("l1"), Some(LockId(1)));
+        assert_eq!(p.var_id("zzz"), None);
+        assert_eq!(p.var_table().name(VarId(0)), "a");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable name")]
+    fn duplicate_var_panics() {
+        let mut b = ProgramBuilder::new("p");
+        b.var("x", 0);
+        b.var("x", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry was never called")]
+    fn missing_entry_panics() {
+        ProgramBuilder::new("p").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_party_barrier_panics() {
+        let mut b = ProgramBuilder::new("p");
+        b.barrier("bar", 0);
+    }
+
+    #[test]
+    fn program_is_cloneable_and_shares_entry() {
+        let mut b = ProgramBuilder::new("p");
+        b.entry(|_| {});
+        let p = b.build();
+        let q = p.clone();
+        assert!(Arc::ptr_eq(&p.entry(), &q.entry()));
+    }
+}

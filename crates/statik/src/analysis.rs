@@ -1,0 +1,574 @@
+//! The static analyses: shared variables, static locksets, lock order,
+//! no-switch sites — and their export as instrumentation advice.
+
+use crate::ast::MiniProg;
+use crate::cfg::{build_cfg, Cfg, NodeKind};
+use mtt_instrument::{intern_static, Loc, SiteFacts, StaticInfo, VarFacts};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A statically detected potential race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticRace {
+    /// The unprotected shared variable.
+    pub var: String,
+    /// Threads that access it.
+    pub threads: Vec<String>,
+    /// Explanation.
+    pub message: String,
+}
+
+/// A statically detected potential deadlock (lock-order cycle).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticDeadlock {
+    /// The lock cycle.
+    pub cycle: Vec<String>,
+    /// Threads contributing edges.
+    pub threads: Vec<String>,
+    /// Explanation.
+    pub message: String,
+}
+
+/// A lock that may be left held at thread exit on some path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnreleasedLock {
+    /// Thread name.
+    pub thread: String,
+    /// Lock name.
+    pub lock: String,
+}
+
+/// Everything the static pass produces.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisResult {
+    /// Variables that may be touched by more than one thread.
+    pub shared_vars: BTreeSet<String>,
+    /// Locks guarding each shared variable at every access (empty set =
+    /// the static-lockset race signal).
+    pub guarded_by: BTreeMap<String, BTreeSet<String>>,
+    /// Potential races.
+    pub races: Vec<StaticRace>,
+    /// Potential deadlocks.
+    pub deadlocks: Vec<StaticDeadlock>,
+    /// Locks possibly held at thread exit.
+    pub unreleased: Vec<UnreleasedLock>,
+    /// Source lines where no observable thread switch can matter
+    /// (thread-local computation only) — the paper's "list of program
+    /// statements from which there can be no thread switch".
+    pub no_switch_lines: BTreeSet<u32>,
+    /// The advice bundle for the instrumentor.
+    pub info: StaticInfo,
+}
+
+type LockSet = BTreeSet<String>;
+
+/// Forward dataflow over a CFG computing, per node, the set of locks held
+/// on entry. `must` selects intersection (must-held) vs union (may-held)
+/// at joins.
+fn held_locks(cfg: &Cfg, must: bool) -> Vec<LockSet> {
+    let preds = cfg.preds();
+    // `None` = unvisited (top for the must analysis).
+    let mut in_sets: Vec<Option<LockSet>> = vec![None; cfg.nodes.len()];
+    in_sets[cfg.entry] = Some(LockSet::new());
+    let mut work: Vec<usize> = vec![cfg.entry];
+    let transfer = |node: usize, mut set: LockSet| -> LockSet {
+        match &cfg.nodes[node].kind {
+            NodeKind::Acquire(l) => {
+                set.insert(l.clone());
+            }
+            NodeKind::Release(l) => {
+                set.remove(l);
+            }
+            // wait releases and re-acquires: held-set unchanged across it.
+            _ => {}
+        }
+        set
+    };
+    while let Some(n) = work.pop() {
+        let out = transfer(n, in_sets[n].clone().unwrap_or_default());
+        for &s in &cfg.succ[n] {
+            let merged = match (&in_sets[s], must) {
+                (None, _) => out.clone(),
+                (Some(cur), true) => cur.intersection(&out).cloned().collect(),
+                (Some(cur), false) => cur.union(&out).cloned().collect(),
+            };
+            if in_sets[s].as_ref() != Some(&merged) {
+                in_sets[s] = Some(merged);
+                work.push(s);
+            }
+        }
+        // Ensure the preds vector is used (kept for future refinement).
+        let _ = &preds;
+    }
+    in_sets
+        .into_iter()
+        .map(|s| s.unwrap_or_default())
+        .collect()
+}
+
+/// Run the full static pass.
+pub fn analyze(prog: &MiniProg) -> AnalysisResult {
+    let mut result = AnalysisResult::default();
+    let file = intern_static(&prog.name);
+
+    struct ThreadData {
+        name: String,
+        count: u32,
+        cfg: Cfg,
+        must: Vec<LockSet>,
+        may: Vec<LockSet>,
+        locals: BTreeSet<String>,
+    }
+
+    let threads: Vec<ThreadData> = prog
+        .threads
+        .iter()
+        .map(|t| {
+            let cfg = build_cfg(t);
+            let must = held_locks(&cfg, true);
+            let may = held_locks(&cfg, false);
+            ThreadData {
+                name: t.name.clone(),
+                count: t.count,
+                cfg,
+                must,
+                may,
+                locals: t.local_names(),
+            }
+        })
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Shared-variable (escape) analysis: a global escapes to "shared" when
+    // accessed by two distinct thread declarations, or by one declaration
+    // replicated more than once. Precise for MiniProg (no pointers).
+    // ------------------------------------------------------------------
+    let mut accessors: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut replicated_access: BTreeSet<String> = BTreeSet::new();
+    let mut written: BTreeSet<String> = BTreeSet::new();
+    // (var, thread, node) access instances for the lockset analysis.
+    let mut accesses: Vec<(String, usize, usize)> = Vec::new(); // (var, thread idx, node)
+
+    for (ti, td) in threads.iter().enumerate() {
+        for n in td.cfg.ids() {
+            let (reads, write): (Vec<String>, Option<String>) = match &td.cfg.nodes[n].kind {
+                NodeKind::Compute { reads, write } => (reads.clone(), write.clone()),
+                NodeKind::Branch { reads } | NodeKind::Assert { reads } => {
+                    (reads.clone(), None)
+                }
+                _ => continue,
+            };
+            for r in reads {
+                if !td.locals.contains(&r) && prog.is_global(&r) {
+                    accessors.entry(r.clone()).or_default().insert(td.name.clone());
+                    if td.count > 1 {
+                        replicated_access.insert(r.clone());
+                    }
+                    accesses.push((r, ti, n));
+                }
+            }
+            if let Some(w) = write {
+                if !td.locals.contains(&w) && prog.is_global(&w) {
+                    accessors.entry(w.clone()).or_default().insert(td.name.clone());
+                    if td.count > 1 {
+                        replicated_access.insert(w.clone());
+                    }
+                    written.insert(w.clone());
+                    accesses.push((w, ti, n));
+                }
+            }
+        }
+    }
+    for (var, who) in &accessors {
+        if who.len() >= 2 || replicated_access.contains(var) {
+            result.shared_vars.insert(var.clone());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Static lockset: intersection of must-held sets over all accesses.
+    // ------------------------------------------------------------------
+    let all_locks: LockSet = prog.locks.iter().cloned().collect();
+    let mut guards: BTreeMap<String, LockSet> = BTreeMap::new();
+    for (var, ti, node) in &accesses {
+        let held = &threads[*ti].must[*node];
+        let e = guards.entry(var.clone()).or_insert_with(|| all_locks.clone());
+        *e = e.intersection(held).cloned().collect();
+    }
+    for var in &result.shared_vars {
+        let guarded = guards.get(var).cloned().unwrap_or_default();
+        if guarded.is_empty() && written.contains(var) {
+            let threads_list: Vec<String> = accessors
+                .get(var)
+                .map(|s| s.iter().cloned().collect())
+                .unwrap_or_default();
+            result.races.push(StaticRace {
+                var: var.clone(),
+                threads: threads_list,
+                message: format!(
+                    "shared variable `{var}` is written with no consistently-held lock"
+                ),
+            });
+        }
+        result.guarded_by.insert(var.clone(), guarded);
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-order graph over (from, to) with thread and gate evidence.
+    // ------------------------------------------------------------------
+    #[derive(Default)]
+    struct Edge {
+        threads: BTreeSet<String>,
+        effective_threads: u32,
+        gates: Option<LockSet>,
+    }
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for td in &threads {
+        for n in td.cfg.ids() {
+            if let NodeKind::Acquire(l2) = &td.cfg.nodes[n].kind {
+                for l1 in &td.may[n] {
+                    if l1 == l2 {
+                        continue;
+                    }
+                    let e = edges.entry((l1.clone(), l2.clone())).or_default();
+                    e.threads.insert(td.name.clone());
+                    e.effective_threads += td.count;
+                    let mut gate: LockSet = td.must[n].clone();
+                    gate.remove(l1);
+                    gate.remove(l2);
+                    e.gates = Some(match e.gates.take() {
+                        None => gate,
+                        Some(mut acc) => {
+                            acc.retain(|g| gate.contains(g));
+                            acc
+                        }
+                    });
+                }
+            }
+        }
+    }
+    // Cycle enumeration (canonical: smallest lock name first).
+    let lock_names: BTreeSet<String> = edges
+        .keys()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
+    let succ: BTreeMap<&str, Vec<&str>> = {
+        let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in edges.keys() {
+            m.entry(a.as_str()).or_default().push(b.as_str());
+        }
+        m
+    };
+    fn dfs<'a>(
+        start: &'a str,
+        cur: &'a str,
+        succ: &BTreeMap<&'a str, Vec<&'a str>>,
+        path: &mut Vec<&'a str>,
+        found: &mut Vec<Vec<String>>,
+    ) {
+        if path.len() > 6 {
+            return;
+        }
+        if let Some(nexts) = succ.get(cur) {
+            for &n in nexts {
+                if n == start && path.len() >= 2 {
+                    found.push(path.iter().map(|s| s.to_string()).collect());
+                } else if n > start && !path.contains(&n) {
+                    path.push(n);
+                    dfs(start, n, succ, path, found);
+                    path.pop();
+                }
+            }
+        }
+    }
+    let mut cycles = Vec::new();
+    for l in &lock_names {
+        let mut path = vec![l.as_str()];
+        dfs(l, l, &succ, &mut path, &mut cycles);
+    }
+    for cycle in cycles {
+        let n = cycle.len();
+        let mut cycle_threads: BTreeSet<String> = BTreeSet::new();
+        let mut effective = 0u32;
+        let mut common_gate: Option<LockSet> = None;
+        let mut ok = true;
+        for i in 0..n {
+            let key = (cycle[i].clone(), cycle[(i + 1) % n].clone());
+            match edges.get(&key) {
+                Some(e) => {
+                    cycle_threads.extend(e.threads.iter().cloned());
+                    effective = effective.max(e.effective_threads);
+                    let g = e.gates.clone().unwrap_or_default();
+                    common_gate = Some(match common_gate {
+                        None => g,
+                        Some(mut acc) => {
+                            acc.retain(|x| g.contains(x));
+                            acc
+                        }
+                    });
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        // Need at least two participants (distinct threads, or a replicated
+        // thread racing with itself).
+        let multi = cycle_threads.len() >= 2 || effective >= 2;
+        let gated = common_gate.as_ref().is_some_and(|g| !g.is_empty());
+        if multi && !gated {
+            result.deadlocks.push(StaticDeadlock {
+                cycle: cycle.clone(),
+                threads: cycle_threads.iter().cloned().collect(),
+                message: format!("locks {cycle:?} can be acquired in conflicting orders"),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Unreleased locks at exit.
+    // ------------------------------------------------------------------
+    for td in &threads {
+        for l in &td.may[td.cfg.exit] {
+            result.unreleased.push(UnreleasedLock {
+                thread: td.name.clone(),
+                lock: l.clone(),
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Site facts: which lines matter for instrumentation.
+    // ------------------------------------------------------------------
+    let mut line_relevant: BTreeMap<u32, bool> = BTreeMap::new();
+    let mut line_threads: BTreeMap<u32, u32> = BTreeMap::new();
+    for td in &threads {
+        for n in td.cfg.ids() {
+            let node = &td.cfg.nodes[n];
+            if node.line == 0 {
+                continue;
+            }
+            let relevant = match &node.kind {
+                NodeKind::Compute { reads, write } => {
+                    reads
+                        .iter()
+                        .chain(write.iter())
+                        .any(|v| result.shared_vars.contains(v))
+                }
+                NodeKind::Branch { reads } | NodeKind::Assert { reads } => {
+                    reads.iter().any(|v| result.shared_vars.contains(v))
+                }
+                NodeKind::Acquire(_)
+                | NodeKind::Release(_)
+                | NodeKind::Wait { .. }
+                | NodeKind::Notify { .. } => true,
+                NodeKind::Yield | NodeKind::Sleep => false,
+                NodeKind::Entry | NodeKind::Exit | NodeKind::Join | NodeKind::Skip => false,
+            };
+            *line_relevant.entry(node.line).or_insert(false) |= relevant;
+            *line_threads.entry(node.line).or_insert(0) += td.count;
+        }
+    }
+    for (line, relevant) in &line_relevant {
+        if !relevant {
+            result.no_switch_lines.insert(*line);
+        }
+        result.info.sites.insert(
+            Loc::new(file, *line),
+            SiteFacts {
+                touches_shared: *relevant,
+                switch_relevant: *relevant,
+                reaching_threads: line_threads.get(line).copied().unwrap_or(0),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Export StaticInfo for the instrumentor.
+    // ------------------------------------------------------------------
+    for g in &prog.globals {
+        let shared = result.shared_vars.contains(&g.name);
+        result.info.vars.insert(
+            g.name.clone(),
+            VarFacts {
+                shared,
+                written: written.contains(&g.name),
+                guarded_by: result
+                    .guarded_by
+                    .get(&g.name)
+                    .map(|s| s.iter().cloned().collect())
+                    .unwrap_or_default(),
+            },
+        );
+    }
+    for r in &result.races {
+        result
+            .info
+            .race_warnings
+            .push((r.var.clone(), r.message.clone()));
+    }
+    for d in &result.deadlocks {
+        result
+            .info
+            .deadlock_warnings
+            .push((d.cycle.clone(), d.message.clone()));
+    }
+
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze_src(src: &str) -> AnalysisResult {
+        analyze(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn thread_local_globals_are_not_shared() {
+        let r = analyze_src(
+            "program p { var a; var b; thread t1 { a = 1; } thread t2 { b = 2; } }",
+        );
+        assert!(r.shared_vars.is_empty());
+        assert!(r.races.is_empty());
+        assert!(!r.info.vars["a"].shared);
+    }
+
+    #[test]
+    fn two_thread_access_is_shared_and_racy_without_locks() {
+        let r = analyze_src(
+            "program p { var x; thread t1 { x = 1; } thread t2 { x = 2; } }",
+        );
+        assert!(r.shared_vars.contains("x"));
+        assert_eq!(r.races.len(), 1);
+        assert_eq!(r.races[0].var, "x");
+        assert!(r.info.vars["x"].shared);
+        assert!(r.info.vars["x"].written);
+    }
+
+    #[test]
+    fn replicated_thread_alone_shares_its_globals() {
+        let r = analyze_src("program p { var x; thread t * 2 { x = x + 1; } }");
+        assert!(r.shared_vars.contains("x"));
+        assert_eq!(r.races.len(), 1);
+    }
+
+    #[test]
+    fn consistent_locking_suppresses_race() {
+        let r = analyze_src(
+            "program p { var x; lock l; thread t1 { lock (l) { x = 1; } } thread t2 { lock (l) { x = x + 1; } } }",
+        );
+        assert!(r.shared_vars.contains("x"));
+        assert!(r.races.is_empty(), "{:?}", r.races);
+        assert_eq!(
+            r.guarded_by["x"],
+            ["l".to_string()].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(r.info.vars["x"].guarded_by, vec!["l".to_string()]);
+    }
+
+    #[test]
+    fn inconsistent_locking_is_a_race() {
+        let r = analyze_src(
+            "program p { var x; lock l; thread t1 { lock (l) { x = 1; } } thread t2 { x = 2; } }",
+        );
+        assert_eq!(r.races.len(), 1);
+    }
+
+    #[test]
+    fn read_only_sharing_is_not_reported() {
+        let r = analyze_src(
+            "program p { var x; var out1; var out2; thread t1 { out1 = x; } thread t2 { out2 = x; } }",
+        );
+        assert!(r.shared_vars.contains("x"));
+        assert!(r.races.is_empty(), "read-only sharing is benign");
+    }
+
+    #[test]
+    fn must_analysis_requires_lock_on_all_paths() {
+        // Lock held on only one branch of the access: not a consistent guard.
+        let r = analyze_src(
+            "program p { var x; var y; lock l; thread t1 { if (y) { acquire l; } x = 1; if (y) { release l; } } thread t2 { lock (l) { x = 2; } } }",
+        );
+        assert_eq!(r.races.len(), 1, "{:?}", r.races);
+    }
+
+    #[test]
+    fn ab_ba_deadlock_detected() {
+        let r = analyze_src(
+            "program p { lock a; lock b; thread t1 { lock (a) { lock (b) { skip; } } } thread t2 { lock (b) { lock (a) { skip; } } } }",
+        );
+        assert_eq!(r.deadlocks.len(), 1, "{:?}", r.deadlocks);
+        assert_eq!(r.deadlocks[0].cycle.len(), 2);
+        assert_eq!(r.info.deadlock_warnings.len(), 1);
+    }
+
+    #[test]
+    fn consistent_order_no_deadlock() {
+        let r = analyze_src(
+            "program p { lock a; lock b; thread t1 { lock (a) { lock (b) { skip; } } } thread t2 { lock (a) { lock (b) { skip; } } } }",
+        );
+        assert!(r.deadlocks.is_empty());
+    }
+
+    #[test]
+    fn gate_lock_suppresses_static_deadlock() {
+        let r = analyze_src(
+            "program p { lock g; lock a; lock b; thread t1 { lock (g) { lock (a) { lock (b) { skip; } } } } thread t2 { lock (g) { lock (b) { lock (a) { skip; } } } } }",
+        );
+        assert!(r.deadlocks.is_empty(), "{:?}", r.deadlocks);
+    }
+
+    #[test]
+    fn single_thread_opposite_orders_not_a_deadlock() {
+        let r = analyze_src(
+            "program p { lock a; lock b; thread t1 { lock (a) { lock (b) { skip; } } lock (b) { lock (a) { skip; } } } }",
+        );
+        assert!(r.deadlocks.is_empty());
+    }
+
+    #[test]
+    fn replicated_thread_can_deadlock_with_itself_reversed() {
+        // One declaration, two replicas, opposite orders inside: cycle with
+        // effective_threads >= 2 must be reported.
+        let r = analyze_src(
+            "program p { var c; lock a; lock b; thread t * 2 { if (c) { lock (a) { lock (b) { skip; } } } else { lock (b) { lock (a) { skip; } } } } }",
+        );
+        assert_eq!(r.deadlocks.len(), 1);
+    }
+
+    #[test]
+    fn unreleased_lock_flagged() {
+        let r = analyze_src("program p { lock l; thread t { acquire l; } }");
+        assert_eq!(r.unreleased.len(), 1);
+        assert_eq!(r.unreleased[0].lock, "l");
+    }
+
+    #[test]
+    fn no_switch_lines_are_local_computation() {
+        let src = "program p { var x; thread t1 {\nlocal a = 1;\na = a + 1;\nx = a;\n} thread t2 { x = 0; } }";
+        let r = analyze_src(src);
+        // lines 2,3 are local-only; line 4 touches shared x.
+        assert!(r.no_switch_lines.contains(&2));
+        assert!(r.no_switch_lines.contains(&3));
+        assert!(!r.no_switch_lines.contains(&4));
+        let loc4 = Loc::new(intern_static("p"), 4);
+        assert!(r.info.sites[&loc4].touches_shared);
+    }
+
+    #[test]
+    fn locals_shadow_globals_in_analysis() {
+        let r = analyze_src(
+            "program p { var x; thread t1 { local x = 1; x = x + 1; } thread t2 { skip; } }",
+        );
+        assert!(
+            !r.shared_vars.contains("x"),
+            "shadowed global never actually accessed"
+        );
+    }
+}

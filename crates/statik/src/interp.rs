@@ -1,0 +1,452 @@
+//! MiniProg → runtime compilation: the static→dynamic edge of Figure 1.
+//!
+//! [`compile`] turns a parsed [`MiniProg`] into an executable
+//! [`mtt_runtime::Program`]: every thread declaration spawns `count` model
+//! threads that tree-walk the AST, performing global accesses and
+//! synchronization through [`mtt_runtime::ThreadCtx`]'s explicit-site
+//! methods, so events carry MiniProg line numbers. The same source that
+//! `crate::analysis` examined statically can therefore be run under noise,
+//! race detection, coverage and exploration.
+
+use crate::ast::{BinOp, Expr, MiniProg, Stmt, StmtKind, UnOp};
+use mtt_instrument::{intern_static, CondId, Loc, LockId, VarId};
+use mtt_runtime::{Program, ProgramBuilder, ThreadCtx};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Resolved {
+    prog: MiniProg,
+    file: &'static str,
+    vars: HashMap<String, VarId>,
+    locks: HashMap<String, LockId>,
+    conds: HashMap<String, CondId>,
+}
+
+/// Compile a MiniProg into a runnable model program.
+///
+/// # Panics
+/// Panics if the program declares no threads (nothing to run). Runtime
+/// errors inside the interpreted program (division by zero, use of an
+/// undeclared name that slipped past validation) become
+/// [`mtt_runtime::OutcomeKind::ThreadPanic`] outcomes, like any other model
+/// thread panic.
+pub fn compile(prog: &MiniProg) -> Program {
+    assert!(
+        !prog.threads.is_empty(),
+        "MiniProg `{}` declares no threads",
+        prog.name
+    );
+    let mut b = ProgramBuilder::new(prog.name.clone());
+    let mut vars = HashMap::new();
+    for g in &prog.globals {
+        let id = if g.volatile {
+            b.var(g.name.clone(), g.init)
+        } else {
+            b.var_nonvolatile(g.name.clone(), g.init)
+        };
+        vars.insert(g.name.clone(), id);
+    }
+    let mut locks = HashMap::new();
+    for l in &prog.locks {
+        locks.insert(l.clone(), b.lock(l.clone()));
+    }
+    let mut conds = HashMap::new();
+    for c in &prog.conds {
+        conds.insert(c.clone(), b.cond(c.clone()));
+    }
+    let resolved = Arc::new(Resolved {
+        prog: prog.clone(),
+        file: intern_static(&prog.name),
+        vars,
+        locks,
+        conds,
+    });
+
+    b.entry(move |ctx| {
+        let mut kids = Vec::new();
+        for (ti, t) in resolved.prog.threads.iter().enumerate() {
+            for replica in 0..t.count {
+                let r = Arc::clone(&resolved);
+                let name = if t.count > 1 {
+                    format!("{}#{replica}", t.name)
+                } else {
+                    t.name.clone()
+                };
+                kids.push(ctx.spawn(name, move |ctx| {
+                    let body = &r.prog.threads[ti].body;
+                    let mut locals: HashMap<String, i64> = HashMap::new();
+                    exec_block(ctx, &r, body, &mut locals);
+                }));
+            }
+        }
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    b.build()
+}
+
+fn loc(r: &Resolved, line: u32) -> Loc {
+    Loc::new(r.file, line)
+}
+
+fn exec_block(
+    ctx: &mut ThreadCtx,
+    r: &Resolved,
+    block: &[Stmt],
+    locals: &mut HashMap<String, i64>,
+) {
+    for s in block {
+        exec_stmt(ctx, r, s, locals);
+    }
+}
+
+fn exec_stmt(ctx: &mut ThreadCtx, r: &Resolved, s: &Stmt, locals: &mut HashMap<String, i64>) {
+    let here = loc(r, s.line);
+    match &s.kind {
+        StmtKind::Local { name, init } => {
+            let v = init
+                .as_ref()
+                .map(|e| eval(ctx, r, e, locals, s.line))
+                .unwrap_or(0);
+            locals.insert(name.clone(), v);
+        }
+        StmtKind::Assign { target, value } => {
+            let v = eval(ctx, r, value, locals, s.line);
+            if locals.contains_key(target) {
+                locals.insert(target.clone(), v);
+            } else if let Some(&id) = r.vars.get(target) {
+                ctx.write_at(id, v, here);
+            } else {
+                panic!("MiniProg: assignment to undeclared `{target}`");
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if eval(ctx, r, cond, locals, s.line) != 0 {
+                exec_block(ctx, r, then_branch, locals);
+            } else {
+                exec_block(ctx, r, else_branch, locals);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            while eval(ctx, r, cond, locals, s.line) != 0 {
+                exec_block(ctx, r, body, locals);
+            }
+        }
+        StmtKind::LockBlock { lock, body } => {
+            let id = r.locks[lock];
+            ctx.lock_at(id, here);
+            exec_block(ctx, r, body, locals);
+            ctx.unlock_at(id, here);
+        }
+        StmtKind::Acquire { lock } => ctx.lock_at(r.locks[lock], here),
+        StmtKind::Release { lock } => ctx.unlock_at(r.locks[lock], here),
+        StmtKind::Wait { cond, lock } => ctx.wait_at(r.conds[cond], r.locks[lock], here),
+        StmtKind::Notify { cond, all } => {
+            if *all {
+                ctx.notify_all_at(r.conds[cond], here);
+            } else {
+                ctx.notify_at(r.conds[cond], here);
+            }
+        }
+        StmtKind::Yield => ctx.yield_at(here),
+        StmtKind::Sleep { ticks } => ctx.sleep_at(*ticks, here),
+        StmtKind::Assert { cond, label } => {
+            let v = eval(ctx, r, cond, locals, s.line);
+            ctx.check_at(v != 0, label, here);
+        }
+        StmtKind::Skip => {}
+    }
+}
+
+fn eval(
+    ctx: &mut ThreadCtx,
+    r: &Resolved,
+    e: &Expr,
+    locals: &mut HashMap<String, i64>,
+    line: u32,
+) -> i64 {
+    match e {
+        Expr::Int(n) => *n,
+        Expr::Var(name) => {
+            if let Some(v) = locals.get(name) {
+                *v
+            } else if let Some(&id) = r.vars.get(name) {
+                ctx.read_at(id, loc(r, line))
+            } else {
+                panic!("MiniProg: read of undeclared `{name}`");
+            }
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval(ctx, r, expr, locals, line);
+            match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => i64::from(v == 0),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // && and || short-circuit, like their Java counterparts.
+            match op {
+                BinOp::And => {
+                    if eval(ctx, r, lhs, locals, line) == 0 {
+                        return 0;
+                    }
+                    return i64::from(eval(ctx, r, rhs, locals, line) != 0);
+                }
+                BinOp::Or => {
+                    if eval(ctx, r, lhs, locals, line) != 0 {
+                        return 1;
+                    }
+                    return i64::from(eval(ctx, r, rhs, locals, line) != 0);
+                }
+                _ => {}
+            }
+            let a = eval(ctx, r, lhs, locals, line);
+            let b = eval(ctx, r, rhs, locals, line);
+            match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => {
+                    if b == 0 {
+                        panic!("MiniProg: division by zero on line {line}");
+                    }
+                    a.wrapping_div(b)
+                }
+                BinOp::Mod => {
+                    if b == 0 {
+                        panic!("MiniProg: modulo by zero on line {line}");
+                    }
+                    a.wrapping_rem(b)
+                }
+                BinOp::Eq => i64::from(a == b),
+                BinOp::Ne => i64::from(a != b),
+                BinOp::Lt => i64::from(a < b),
+                BinOp::Le => i64::from(a <= b),
+                BinOp::Gt => i64::from(a > b),
+                BinOp::Ge => i64::from(a >= b),
+                BinOp::And | BinOp::Or => unreachable!("short-circuited above"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use mtt_runtime::{Execution, OutcomeKind, RandomScheduler, RoundRobinScheduler};
+
+    fn run(src: &str) -> mtt_runtime::Outcome {
+        let prog = compile(&parse(src).unwrap());
+        Execution::new(&prog).run()
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let o = run(r#"
+            program arith {
+                var out;
+                thread t {
+                    local i = 0;
+                    local acc = 0;
+                    while (i < 5) {
+                        if (i % 2 == 0) { acc = acc + i * 10; } else { acc = acc - 1; }
+                        i = i + 1;
+                    }
+                    out = acc;  // 0 + 10 - 1 + 30 - 1 + 40... compute: i=0:+0;1:-1;2:+20;3:-1;4:+40 => 58
+                }
+            }
+        "#);
+        assert!(o.ok(), "{:?}", o.kind);
+        assert_eq!(o.var("out"), Some(58));
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // `0 && (1/0)` must not divide by zero.
+        let o = run(r#"
+            program sc {
+                var ok;
+                thread t {
+                    local x = 0;
+                    if (x != 0 && 1 / x > 0) { ok = 0 - 1; } else { ok = 1; }
+                    if (1 == 1 || 1 / x > 0) { ok = ok + 1; }
+                }
+            }
+        "#);
+        assert!(o.ok(), "{:?}", o.kind);
+        assert_eq!(o.var("ok"), Some(2));
+    }
+
+    #[test]
+    fn division_by_zero_is_thread_panic() {
+        let o = run("program dz { var x; thread t { x = 1 / 0; } }");
+        match o.kind {
+            OutcomeKind::ThreadPanic { ref message, .. } => {
+                assert!(message.contains("division by zero"), "{message}");
+            }
+            ref k => panic!("expected panic, got {k:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_update_race_is_schedule_dependent() {
+        let src = r#"
+            program lu {
+                var x = 0;
+                thread inc * 2 {
+                    local t;
+                    t = x;
+                    t = t + 1;
+                    x = t;
+                }
+            }
+        "#;
+        let prog = compile(&parse(src).unwrap());
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..30 {
+            let o = Execution::new(&prog)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .run();
+            assert!(o.ok());
+            seen.insert(o.var("x").unwrap());
+        }
+        assert!(seen.contains(&2), "clean schedule must appear");
+        assert!(seen.contains(&1), "lost update must appear: {seen:?}");
+    }
+
+    #[test]
+    fn locking_fixes_the_race() {
+        let src = r#"
+            program lu_fixed {
+                var x = 0;
+                lock l;
+                thread inc * 2 {
+                    lock (l) {
+                        local t;
+                        t = x;
+                        t = t + 1;
+                        x = t;
+                    }
+                }
+            }
+        "#;
+        let prog = compile(&parse(src).unwrap());
+        for seed in 0..15 {
+            let o = Execution::new(&prog)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .run();
+            assert_eq!(o.var("x"), Some(2), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn wait_notify_roundtrip() {
+        let o = run(r#"
+            program wn {
+                var ready = 0;
+                var got = 0;
+                lock l;
+                cond c;
+                thread consumer {
+                    acquire l;
+                    while (ready == 0) { wait(c, l); }
+                    got = 1;
+                    release l;
+                }
+                thread producer {
+                    sleep 3;
+                    lock (l) { ready = 1; notifyall c; }
+                }
+            }
+        "#);
+        assert!(o.ok(), "{:?}", o.kind);
+        assert_eq!(o.var("got"), Some(1));
+    }
+
+    #[test]
+    fn abba_deadlocks_under_round_robin() {
+        let src = r#"
+            program abba {
+                lock a;
+                lock b;
+                thread t1 { lock (a) { yield; lock (b) { skip; } } }
+                thread t2 { lock (b) { yield; lock (a) { skip; } } }
+            }
+        "#;
+        let prog = compile(&parse(src).unwrap());
+        let o = Execution::new(&prog)
+            .scheduler(Box::new(RoundRobinScheduler::new()))
+            .run();
+        assert!(o.deadlocked(), "{:?}", o.kind);
+    }
+
+    #[test]
+    fn assertions_surface_in_outcome() {
+        let o = run(r#"
+            program a {
+                var x = 1;
+                thread t { assert x == 2 : "x-two"; }
+            }
+        "#);
+        assert_eq!(o.assert_failures.len(), 1);
+        assert_eq!(o.assert_failures[0].label, "x-two");
+    }
+
+    #[test]
+    fn events_carry_miniprog_lines() {
+        let src = "program lines { var x;\nthread t {\nx = 7;\n} }";
+        let prog = compile(&parse(src).unwrap());
+        let (sink, handle) = mtt_instrument::shared(mtt_instrument::VecSink::new());
+        let o = Execution::new(&prog).sink(Box::new(sink)).run();
+        assert!(o.ok());
+        let events = &handle.lock().unwrap().events;
+        let write = events
+            .iter()
+            .find(|e| matches!(e.op, mtt_instrument::Op::VarWrite { .. }))
+            .expect("a write event");
+        assert_eq!(write.loc.file, "lines");
+        assert_eq!(write.loc.line, 3);
+    }
+
+    #[test]
+    fn replicated_threads_get_distinct_names() {
+        let src = "program r { var x; thread w * 3 { x = x + 1; } }";
+        let prog = compile(&parse(src).unwrap());
+        let o = Execution::new(&prog).run();
+        assert_eq!(o.thread_names.len(), 4); // main + 3
+        assert!(o.thread_names.contains(&"w#0".to_string()));
+        assert!(o.thread_names.contains(&"w#2".to_string()));
+    }
+
+    #[test]
+    fn volatile_vs_plain_visibility() {
+        // Plain global: worker may spin on a stale cached value forever.
+        let plain = r#"
+            program stale {
+                var flag = 0;
+                thread worker { while (flag == 0) { yield; } }
+                thread setter { sleep 3; flag = 1; }
+            }
+        "#;
+        let prog = compile(&parse(plain).unwrap());
+        let o = Execution::new(&prog)
+            .scheduler(Box::new(RoundRobinScheduler::new()))
+            .max_steps(2_000)
+            .run();
+        assert!(o.hung(), "plain flag must hang: {:?}", o.kind);
+
+        let vol = plain.replace("var flag", "volatile var flag");
+        let prog = compile(&parse(&vol).unwrap());
+        let o = Execution::new(&prog)
+            .scheduler(Box::new(RoundRobinScheduler::new()))
+            .max_steps(2_000)
+            .run();
+        assert!(o.ok(), "volatile flag must terminate: {:?}", o.kind);
+    }
+}

@@ -1,0 +1,658 @@
+//! MiniProg recursive-descent parser.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+
+/// A parse failure with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// Message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            msg: e.msg,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().line
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect_punct(&mut self, p: &str) -> PResult<()> {
+        match &self.peek().tok {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{p}`, found {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Punct(q) if *q == p) && {
+            self.bump();
+            true
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.peek().tok.clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> PResult<i64> {
+        match self.peek().tok.clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => self.err(format!("expected integer, found {other:?}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.at_keyword(kw) && {
+            self.bump();
+            true
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> PResult<MiniProg> {
+        if !self.eat_keyword("program") {
+            return self.err("expected `program`");
+        }
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut prog = MiniProg {
+            name,
+            globals: Vec::new(),
+            locks: Vec::new(),
+            conds: Vec::new(),
+            threads: Vec::new(),
+        };
+        loop {
+            if self.eat_punct("}") {
+                break;
+            }
+            if self.at_keyword("var") || self.at_keyword("volatile") {
+                let volatile = self.eat_keyword("volatile");
+                if !self.eat_keyword("var") {
+                    return self.err("expected `var` after `volatile`");
+                }
+                let name = self.expect_ident()?;
+                let init = if self.eat_punct("=") {
+                    let neg = self.eat_punct("-");
+                    let n = self.expect_int()?;
+                    if neg {
+                        -n
+                    } else {
+                        n
+                    }
+                } else {
+                    0
+                };
+                self.expect_punct(";")?;
+                if prog.globals.iter().any(|g| g.name == name) {
+                    return self.err(format!("duplicate global `{name}`"));
+                }
+                prog.globals.push(GlobalDecl {
+                    name,
+                    init,
+                    volatile,
+                });
+            } else if self.at_keyword("lock") {
+                self.bump();
+                let name = self.expect_ident()?;
+                self.expect_punct(";")?;
+                if prog.locks.contains(&name) {
+                    return self.err(format!("duplicate lock `{name}`"));
+                }
+                prog.locks.push(name);
+            } else if self.eat_keyword("cond") {
+                let name = self.expect_ident()?;
+                self.expect_punct(";")?;
+                if prog.conds.contains(&name) {
+                    return self.err(format!("duplicate cond `{name}`"));
+                }
+                prog.conds.push(name);
+            } else if self.eat_keyword("thread") {
+                let name = self.expect_ident()?;
+                let count = if self.eat_punct("*") {
+                    let n = self.expect_int()?;
+                    if !(1..=64).contains(&n) {
+                        return self.err("thread replication must be 1..=64");
+                    }
+                    n as u32
+                } else {
+                    1
+                };
+                let body = self.block()?;
+                if prog.threads.iter().any(|t| t.name == name) {
+                    return self.err(format!("duplicate thread `{name}`"));
+                }
+                prog.threads.push(ThreadDecl { name, count, body });
+            } else {
+                return self.err(format!(
+                    "expected declaration or `}}`, found {:?}",
+                    self.peek().tok
+                ));
+            }
+        }
+        self.validate(&prog)?;
+        Ok(prog)
+    }
+
+    /// Name-resolution sanity: every lock/cond referenced must be declared,
+    /// and globals may not collide with locks/conds.
+    fn validate(&self, prog: &MiniProg) -> PResult<()> {
+        for t in &prog.threads {
+            self.validate_block(prog, t, &t.body)?;
+        }
+        Ok(())
+    }
+
+    fn validate_block(&self, prog: &MiniProg, t: &ThreadDecl, block: &[Stmt]) -> PResult<()> {
+        let check_lock = |s: &Stmt, l: &String| -> PResult<()> {
+            if prog.locks.contains(l) {
+                Ok(())
+            } else {
+                Err(ParseError {
+                    line: s.line,
+                    msg: format!("undeclared lock `{l}`"),
+                })
+            }
+        };
+        let check_cond = |s: &Stmt, c: &String| -> PResult<()> {
+            if prog.conds.contains(c) {
+                Ok(())
+            } else {
+                Err(ParseError {
+                    line: s.line,
+                    msg: format!("undeclared cond `{c}`"),
+                })
+            }
+        };
+        let locals = t.local_names();
+        let check_vars = |s: &Stmt, e: &Expr| -> PResult<()> {
+            for v in e.reads() {
+                if !locals.contains(&v) && !prog.is_global(&v) {
+                    return Err(ParseError {
+                        line: s.line,
+                        msg: format!("undeclared variable `{v}`"),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for s in block {
+            match &s.kind {
+                StmtKind::Local { init, .. } => {
+                    if let Some(e) = init {
+                        check_vars(s, e)?;
+                    }
+                }
+                StmtKind::Assign { target, value } => {
+                    check_vars(s, value)?;
+                    if !locals.contains(target) && !prog.is_global(target) {
+                        return Err(ParseError {
+                            line: s.line,
+                            msg: format!("undeclared variable `{target}`"),
+                        });
+                    }
+                }
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
+                    check_vars(s, cond)?;
+                    self.validate_block(prog, t, then_branch)?;
+                    self.validate_block(prog, t, else_branch)?;
+                }
+                StmtKind::While { cond, body } => {
+                    check_vars(s, cond)?;
+                    self.validate_block(prog, t, body)?;
+                }
+                StmtKind::LockBlock { lock, body } => {
+                    check_lock(s, lock)?;
+                    self.validate_block(prog, t, body)?;
+                }
+                StmtKind::Acquire { lock } | StmtKind::Release { lock } => check_lock(s, lock)?,
+                StmtKind::Wait { cond, lock } => {
+                    check_cond(s, cond)?;
+                    check_lock(s, lock)?;
+                }
+                StmtKind::Notify { cond, .. } => check_cond(s, cond)?,
+                StmtKind::Assert { cond, .. } => check_vars(s, cond)?,
+                StmtKind::Yield | StmtKind::Sleep { .. } | StmtKind::Skip => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if matches!(self.peek().tok, Tok::Eof) {
+                return self.err("unexpected end of input inside block");
+            }
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        let kind = if self.eat_keyword("local") {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            StmtKind::Local { name, init }
+        } else if self.eat_keyword("if") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let then_branch = self.block()?;
+            let else_branch = if self.eat_keyword("else") {
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            }
+        } else if self.eat_keyword("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            StmtKind::While { cond, body }
+        } else if self.at_keyword("lock") {
+            self.bump();
+            self.expect_punct("(")?;
+            let lock = self.expect_ident()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            StmtKind::LockBlock { lock, body }
+        } else if self.eat_keyword("acquire") {
+            let lock = self.expect_ident()?;
+            self.expect_punct(";")?;
+            StmtKind::Acquire { lock }
+        } else if self.eat_keyword("release") {
+            let lock = self.expect_ident()?;
+            self.expect_punct(";")?;
+            StmtKind::Release { lock }
+        } else if self.eat_keyword("wait") {
+            self.expect_punct("(")?;
+            let cond = self.expect_ident()?;
+            self.expect_punct(",")?;
+            let lock = self.expect_ident()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            StmtKind::Wait { cond, lock }
+        } else if self.eat_keyword("notify") {
+            let cond = self.expect_ident()?;
+            self.expect_punct(";")?;
+            StmtKind::Notify { cond, all: false }
+        } else if self.eat_keyword("notifyall") {
+            let cond = self.expect_ident()?;
+            self.expect_punct(";")?;
+            StmtKind::Notify { cond, all: true }
+        } else if self.eat_keyword("yield") {
+            self.expect_punct(";")?;
+            StmtKind::Yield
+        } else if self.eat_keyword("sleep") {
+            let n = self.expect_int()?;
+            if n < 0 || n > u32::MAX as i64 {
+                return self.err("sleep ticks out of range");
+            }
+            self.expect_punct(";")?;
+            StmtKind::Sleep { ticks: n as u32 }
+        } else if self.eat_keyword("assert") {
+            let cond = self.expr()?;
+            let label = if self.eat_punct(":") {
+                match self.peek().tok.clone() {
+                    Tok::Str(s) => {
+                        self.bump();
+                        s
+                    }
+                    other => return self.err(format!("expected string label, found {other:?}")),
+                }
+            } else {
+                format!("assert@{line}")
+            };
+            self.expect_punct(";")?;
+            StmtKind::Assert { cond, label }
+        } else if self.eat_keyword("skip") {
+            self.expect_punct(";")?;
+            StmtKind::Skip
+        } else {
+            // assignment
+            let target = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            StmtKind::Assign { target, value }
+        };
+        Ok(Stmt { line, kind })
+    }
+
+    // Expression precedence climbing.
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_punct("||") {
+            let r = self.and_expr()?;
+            e = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let r = self.cmp_expr()?;
+            e = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let e = self.add_expr()?;
+        let op = match &self.peek().tok {
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("!=") => Some(BinOp::Ne),
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let r = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            })
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match &self.peek().tok {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            e = Expr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match &self.peek().tok {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                Tok::Punct("%") => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            e = Expr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        if self.eat_punct("-") {
+            // Fold `-LITERAL` into a negative literal so printing and
+            // reparsing are canonical (`Int(-1)` ⇄ `(-1)`).
+            if let Tok::Int(n) = self.peek().tok {
+                self.bump();
+                return Ok(Expr::Int(n.wrapping_neg()));
+            }
+            let e = self.unary_expr()?;
+            Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            })
+        } else if self.eat_punct("!") {
+            let e = self.unary_expr()?;
+            Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            })
+        } else {
+            self.atom()
+        }
+    }
+
+    fn atom(&mut self) -> PResult<Expr> {
+        match self.peek().tok.clone() {
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(Expr::Var(s))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Parse MiniProg source text into an AST.
+pub fn parse(src: &str) -> Result<MiniProg, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let prog = p.program()?;
+    if !matches!(p.peek().tok, Tok::Eof) {
+        return p.err("trailing input after program");
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_program() {
+        let src = r#"
+            program demo {
+                var x = 0;
+                volatile var flag;
+                lock l;
+                cond c;
+                thread worker * 2 {
+                    local t = 0;
+                    while (t < 3) {
+                        lock (l) {
+                            x = x + 1;
+                        }
+                        t = t + 1;
+                    }
+                    assert x >= 0 : "nonneg";
+                }
+                thread waiter {
+                    acquire l;
+                    wait(c, l);
+                    release l;
+                    notifyall c;
+                    yield;
+                    sleep 5;
+                    skip;
+                    if (x == 6) { flag = 1; } else { flag = 0 - 1; }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.name, "demo");
+        assert_eq!(p.globals.len(), 2);
+        assert!(!p.globals[0].volatile);
+        assert!(p.globals[1].volatile);
+        assert_eq!(p.threads.len(), 2);
+        assert_eq!(p.threads[0].count, 2);
+        assert_eq!(p.thread_instances(), 3);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "program p { var x; thread t { x = 1 + 2 * 3; assert x == 7; } }";
+        let p = parse(src).unwrap();
+        match &p.threads[0].body[0].kind {
+            StmtKind::Assign { value, .. } => match value {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                e => panic!("wrong tree: {e:?}"),
+            },
+            k => panic!("wrong stmt: {k:?}"),
+        }
+    }
+
+    #[test]
+    fn statement_lines_are_recorded() {
+        let src = "program p { var x;\nthread t {\nx = 1;\nx = 2;\n} }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.threads[0].body[0].line, 3);
+        assert_eq!(p.threads[0].body[1].line, 4);
+    }
+
+    #[test]
+    fn undeclared_names_are_rejected() {
+        assert!(parse("program p { thread t { x = 1; } }")
+            .unwrap_err()
+            .msg
+            .contains("undeclared variable `x`"));
+        assert!(parse("program p { thread t { acquire l; } }")
+            .unwrap_err()
+            .msg
+            .contains("undeclared lock"));
+        assert!(parse("program p { lock l; thread t { wait(c, l); } }")
+            .unwrap_err()
+            .msg
+            .contains("undeclared cond"));
+    }
+
+    #[test]
+    fn locals_shadow_globals_for_validation() {
+        let src = "program p { thread t { local x = 1; x = x + 1; } }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(parse("program p { var x; var x; }").is_err());
+        assert!(parse("program p { lock l; lock l; }").is_err());
+        assert!(parse("program p { thread t {} thread t {} }").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_carry_lines() {
+        let e = parse("program p {\nvar x\n}").unwrap_err();
+        assert_eq!(e.line, 3); // the `}` where `;` was expected
+    }
+
+    #[test]
+    fn replication_bounds_checked() {
+        assert!(parse("program p { thread t * 0 {} }").is_err());
+        assert!(parse("program p { thread t * 65 {} }").is_err());
+        assert!(parse("program p { thread t * 64 {} }").is_ok());
+    }
+}

@@ -1,0 +1,233 @@
+//! Ready-made MiniProg sources with documented bugs.
+//!
+//! These are the MiniProg counterparts of the closure-based programs in
+//! `mtt-suite`: the same bug classes, but in analyzable source form, so the
+//! §3 workflow (analyze statically → prune instrumentation → test
+//! dynamically) can be demonstrated end to end on one artifact.
+
+/// Lost update: two incrementers go through a local temporary without a
+/// lock; a checker thread asserts the sum once both are done. Bug: final
+/// `x` can be 1. Static analysis flags `x` (shared, written, empty
+/// lockset); dynamically the assertion fails on racy schedules.
+pub const LOST_UPDATE: &str = r#"
+program mp_lost_update {
+    var x = 0;
+    var done_a = 0;
+    var done_b = 0;
+    thread inc_a {
+        local t;
+        t = x;
+        t = t + 1;
+        x = t;
+        done_a = 1;
+    }
+    thread inc_b {
+        local t;
+        t = x;
+        t = t + 1;
+        x = t;
+        done_b = 1;
+    }
+    thread checker {
+        local spins = 0;
+        while ((done_a == 0 || done_b == 0) && spins < 300) {
+            yield;
+            spins = spins + 1;
+        }
+        if (done_a == 1 && done_b == 1) {
+            assert x == 2 : "no-lost-update";
+        }
+    }
+}
+"#;
+
+/// The fixed version of [`LOST_UPDATE`]: consistently locked increments.
+/// Static analysis reports no race on `x`; the assertion always passes.
+pub const LOST_UPDATE_FIXED: &str = r#"
+program mp_lost_update_fixed {
+    var x = 0;
+    var done_a = 0;
+    var done_b = 0;
+    lock l;
+    thread inc_a {
+        lock (l) {
+            local t;
+            t = x;
+            t = t + 1;
+            x = t;
+        }
+        lock (l) { done_a = 1; }
+    }
+    thread inc_b {
+        lock (l) {
+            local t;
+            t = x;
+            t = t + 1;
+            x = t;
+        }
+        lock (l) { done_b = 1; }
+    }
+    thread checker {
+        local spins = 0;
+        local a = 0;
+        local b = 0;
+        while ((a == 0 || b == 0) && spins < 300) {
+            yield;
+            spins = spins + 1;
+            lock (l) { a = done_a; b = done_b; }
+        }
+        if (a == 1 && b == 1) {
+            lock (l) {
+                assert x == 2 : "no-lost-update";
+            }
+        }
+    }
+}
+"#;
+
+/// AB-BA deadlock with thread-private *global* scratch work around the
+/// critical sections: the escape analysis proves `t1_work`/`t2_work`
+/// thread-local, so the advised instrumentation plan drops their access
+/// events — the paper's "only on access to variables touched by more than
+/// one thread" optimization, measurable as event reduction in E7.
+pub const ABBA: &str = r#"
+program mp_abba {
+    var done = 0;
+    var t1_work = 0;
+    var t2_work = 0;
+    lock a;
+    lock b;
+    thread t1 {
+        t1_work = t1_work + 1;
+        t1_work = t1_work + 1;
+        lock (a) {
+            yield;
+            lock (b) {
+                done = done + 1;
+            }
+        }
+        t1_work = t1_work + 1;
+    }
+    thread t2 {
+        t2_work = t2_work + 1;
+        t2_work = t2_work + 1;
+        lock (b) {
+            yield;
+            lock (a) {
+                done = done + 1;
+            }
+        }
+        t2_work = t2_work + 1;
+    }
+}
+"#;
+
+/// Missed signal: the waiter does not re-check a predicate, the notifier
+/// may fire first. Bug: deadlock (orphaned wait) on some schedules.
+pub const MISSED_SIGNAL: &str = r#"
+program mp_missed_signal {
+    var posted = 0;
+    lock l;
+    cond c;
+    thread waiter {
+        acquire l;
+        wait(c, l);
+        posted = posted + 1;
+        release l;
+    }
+    thread notifier {
+        notify c;
+    }
+}
+"#;
+
+/// A correct guarded-wait producer/consumer pair (clean control program).
+pub const GUARDED_WAIT: &str = r#"
+program mp_guarded_wait {
+    var ready = 0;
+    var consumed = 0;
+    lock l;
+    cond c;
+    thread consumer {
+        acquire l;
+        while (ready == 0) { wait(c, l); }
+        consumed = 1;
+        release l;
+    }
+    thread producer {
+        lock (l) { ready = 1; notifyall c; }
+    }
+}
+"#;
+
+/// Check-then-act on a shared slot: both threads can see `slot == 0` and
+/// both "create" — the double-creation atomicity violation. The assert
+/// documents the intended invariant.
+pub const CHECK_THEN_ACT: &str = r#"
+program mp_check_then_act {
+    var slot = 0;
+    var creations = 0;
+    var finished = 0;
+    thread init * 2 {
+        if (slot == 0) {
+            yield;
+            slot = 1;
+            creations = creations + 1;
+        }
+        finished = finished + 1;
+        if (finished == 2) {
+            assert creations == 1 : "created-once";
+        }
+    }
+}
+"#;
+
+/// All samples with their names and the bug tags they document (empty tag
+/// list = intentionally clean program).
+pub fn all() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
+    vec![
+        ("mp_lost_update", LOST_UPDATE, vec!["race-x"]),
+        ("mp_lost_update_fixed", LOST_UPDATE_FIXED, vec![]),
+        ("mp_abba", ABBA, vec!["deadlock-ab-ba"]),
+        ("mp_missed_signal", MISSED_SIGNAL, vec!["missed-signal"]),
+        ("mp_guarded_wait", GUARDED_WAIT, vec![]),
+        ("mp_check_then_act", CHECK_THEN_ACT, vec!["double-create"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::parser::parse;
+
+    #[test]
+    fn all_samples_parse() {
+        for (name, src, _) in all() {
+            let p = parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(p.name, name);
+            assert!(p.thread_instances() >= 1);
+        }
+    }
+
+    #[test]
+    fn static_analysis_flags_the_buggy_samples() {
+        let lu = analyze(&parse(LOST_UPDATE).unwrap());
+        assert!(!lu.races.is_empty(), "lost update must be flagged");
+        let fixed = analyze(&parse(LOST_UPDATE_FIXED).unwrap());
+        assert!(fixed.races.is_empty(), "fixed version must be clean");
+        let abba = analyze(&parse(ABBA).unwrap());
+        assert!(!abba.deadlocks.is_empty(), "AB-BA must be flagged");
+        let gw = analyze(&parse(GUARDED_WAIT).unwrap());
+        assert!(gw.deadlocks.is_empty());
+    }
+
+    #[test]
+    fn abba_has_no_switch_filler_lines() {
+        let r = analyze(&parse(ABBA).unwrap());
+        assert!(
+            !r.no_switch_lines.is_empty(),
+            "the local-only filler lines must be classified no-switch"
+        );
+    }
+}

@@ -1,0 +1,550 @@
+//! The large program: a "from the field"-style web-session server
+//! simulation with several independent seeded bugs, in the spirit of the
+//! paper's "some very large programs with bugs from the field".
+
+use crate::{BugClass, BugDoc, Size, SuiteProgram, Verdict};
+use mtt_runtime::{ProgramBuilder, ThreadId};
+use std::sync::Arc;
+
+/// All large programs with default parameters.
+pub fn all() -> Vec<SuiteProgram> {
+    vec![web_sessions(3, 4), pipeline_etl(2, 6)]
+}
+
+/// A web-session server simulation.
+///
+/// Structure: `workers` worker threads drain a task queue (a semaphore of
+/// pending requests plus an unsynchronized request counter), touch one of
+/// `sessions` session slots (guarded by per-session locks), append to a
+/// shared log (logger lock), and bump global statistics. A reaper thread
+/// concurrently expires sessions.
+///
+/// Seeded bugs, each independently schedule-dependent:
+///
+/// * **`served-stats-race`** — `total_served` is a plain read-inc-write
+///   counter shared by all workers.
+/// * **`session-double-close`** — the reaper checks `state == OPEN` without
+///   the session lock; a worker can close the session between the reaper's
+///   check and its act, so the reaper "closes" an already-closed session and
+///   the close count exceeds the open-transition count.
+/// * **`log-session-deadlock`** — workers lock session → logger, the reaper
+///   (on its "log first" path) locks logger → session: AB-BA across
+///   subsystems.
+pub fn web_sessions(workers: u32, requests_per_worker: u32) -> SuiteProgram {
+    let sessions: u32 = 2;
+    let build = |fixed: bool| {
+        let mut b = ProgramBuilder::new(if fixed { "web_sessions_fixed" } else { "web_sessions" });
+        // Session slots: 1 = open, 0 = closed.
+        let state: Vec<_> = (0..sessions)
+            .map(|i| b.var(format!("session{i}_open"), 1))
+            .collect();
+        let closes = b.var("closes", 0); // ground-truth rmw counters
+        let opens = b.var("opens", 0);
+        let total_served = b.var("total_served", 0); // racy stats
+        let log_lines = b.var("log_lines", 0);
+        let session_locks: Vec<_> = (0..sessions)
+            .map(|i| b.lock(format!("session{i}")))
+            .collect();
+        let logger = b.lock("logger");
+        let pending = b.sem("pending", 0);
+
+        b.entry(move |ctx| {
+            let mut kids: Vec<ThreadId> = Vec::new();
+
+            // The frontend enqueues all requests up front.
+            {
+                let total = workers * requests_per_worker;
+                kids.push(ctx.spawn("frontend", move |ctx| {
+                    for _ in 0..total {
+                        ctx.sem_release(pending);
+                    }
+                }));
+            }
+
+            // Workers.
+            for w in 0..workers {
+                let state = state.clone();
+                let session_locks = session_locks.clone();
+                kids.push(ctx.spawn(format!("worker{w}"), move |ctx| {
+                    for r in 0..requests_per_worker {
+                        ctx.sem_acquire(pending);
+                        let sid = ((w + r) % sessions) as usize;
+                        // Session work under the session lock: reopen a
+                        // closed session, or close it on the final request.
+                        ctx.lock(session_locks[sid]);
+                        let open = ctx.read(state[sid]);
+                        if open == 0 {
+                            ctx.write(state[sid], 1);
+                            ctx.rmw(opens, |c| c + 1);
+                        } else if r == requests_per_worker - 1 {
+                            ctx.yield_now();
+                            ctx.write(state[sid], 0);
+                            ctx.rmw(closes, |c| c + 1);
+                        }
+                        // Log while still holding the session lock:
+                        // session -> logger order.
+                        ctx.lock(logger);
+                        let ll = ctx.read(log_lines);
+                        ctx.write(log_lines, ll + 1);
+                        ctx.unlock(logger);
+                        ctx.unlock(session_locks[sid]);
+                        // Global stats OUTSIDE any lock: the stats race.
+                        if fixed {
+                            ctx.rmw(total_served, |t| t + 1);
+                        } else {
+                            let t = ctx.read(total_served);
+                            ctx.write(total_served, t + 1);
+                        }
+                    }
+                }));
+            }
+
+            // The reaper expires sessions.
+            {
+                let state = state.clone();
+                let session_locks = session_locks.clone();
+                kids.push(ctx.spawn("reaper", move |ctx| {
+                    ctx.sleep(5); // expire on a timer, mid-run
+                    for _pass in 0..2u32 {
+                        for sid in 0..sessions as usize {
+                            if !fixed {
+                                // BUG path: log-first ordering
+                                // (logger -> session) + unlocked check.
+                                let open = ctx.read(state[sid]); // unlocked!
+                                if open == 1 {
+                                    ctx.lock(logger);
+                                    ctx.yield_now();
+                                    ctx.lock(session_locks[sid]);
+                                    // Double-close window: the worker may
+                                    // have closed it since our check.
+                                    ctx.write(state[sid], 0);
+                                    ctx.rmw(closes, |c| c + 1);
+                                    let ll = ctx.read(log_lines);
+                                    ctx.write(log_lines, ll + 1);
+                                    ctx.unlock(session_locks[sid]);
+                                    ctx.unlock(logger);
+                                }
+                            } else {
+                                // Correct path: session -> logger, checked
+                                // under the lock.
+                                ctx.lock(session_locks[sid]);
+                                let open = ctx.read(state[sid]);
+                                if open == 1 {
+                                    ctx.write(state[sid], 0);
+                                    ctx.rmw(closes, |c| c + 1);
+                                }
+                                ctx.lock(logger);
+                                let ll = ctx.read(log_lines);
+                                ctx.write(log_lines, ll + 1);
+                                ctx.unlock(logger);
+                                ctx.unlock(session_locks[sid]);
+                            }
+                            ctx.yield_now();
+                        }
+                    }
+                }));
+            }
+
+            for k in kids {
+                ctx.join(k);
+            }
+            // Postconditions (only meaningful when we did not deadlock).
+            let served = ctx.read(total_served);
+            ctx.check(
+                served == i64::from(workers * requests_per_worker),
+                "served-count",
+            );
+            // Every genuine close is a 1->0 transition, so under correct
+            // synchronization: closes == initial_open + reopens - still_open.
+            let c = ctx.read(closes);
+            let op = ctx.read(opens);
+            let mut still_open = 0;
+            for &st in &state {
+                still_open += ctx.read(st);
+            }
+            ctx.check(
+                c == i64::from(sessions) + op - still_open,
+                "close-transitions",
+            );
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "web_sessions",
+        size: Size::Large,
+        program: build(false),
+        bugs: vec![
+            BugDoc::new(
+                "served-stats-race",
+                BugClass::DataRace,
+                "total_served is a plain read-increment-write counter updated \
+                 by every worker outside any lock",
+            )
+            .vars(&["total_served"]),
+            BugDoc::new(
+                "session-double-close",
+                BugClass::AtomicityViolation,
+                "the reaper's fast path checks session state without the \
+                 session lock; a worker can close the session between the \
+                 reaper's check and its act",
+            )
+            .vars(&["session0_open", "session1_open", "closes"]),
+            BugDoc::new(
+                "log-session-deadlock",
+                BugClass::Deadlock,
+                "workers lock session→logger, the reaper's log-first path locks \
+                 logger→session: a cross-subsystem AB-BA",
+            )
+            .locks(&["logger", "session0", "session1"]),
+        ],
+        oracle: Arc::new(|o| {
+            let mut v = Verdict::default();
+            if o.deadlocked() {
+                v.manifested.push("log-session-deadlock");
+                return v;
+            }
+            if o.assert_failures.iter().any(|a| a.label == "served-count") {
+                v.manifested.push("served-stats-race");
+            }
+            if o
+                .assert_failures
+                .iter()
+                .any(|a| a.label == "close-transitions")
+            {
+                v.manifested.push("session-double-close");
+            }
+            v
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["total_served", "session0_open", "session1_open"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_runtime::{Execution, RandomScheduler};
+
+    #[test]
+    fn web_sessions_has_three_distinct_bugs() {
+        let p = web_sessions(3, 4);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..400 {
+            let o = Execution::new(&p.program)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .max_steps(50_000)
+                .run();
+            for tag in p.judge(&o).manifested {
+                seen.insert(tag);
+            }
+            if seen.len() == 3 {
+                break;
+            }
+        }
+        assert!(
+            seen.contains("served-stats-race"),
+            "stats race never fired: {seen:?}"
+        );
+        assert!(
+            seen.contains("log-session-deadlock"),
+            "deadlock never fired: {seen:?}"
+        );
+        // The double-close is the rarest; require at least 2 of 3 classes
+        // plus it within the bigger budget if absent so far.
+        if !seen.contains("session-double-close") {
+            let mut found = false;
+            for seed in 400..1200 {
+                let o = Execution::new(&p.program)
+                    .scheduler(Box::new(RandomScheduler::new(seed)))
+                    .max_steps(50_000)
+                    .run();
+                if p.judge(&o).manifested.contains(&"session-double-close") {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "double-close never fired in 1200 schedules");
+        }
+    }
+
+    #[test]
+    fn web_sessions_fixed_is_clean() {
+        let p = web_sessions(3, 4);
+        let fixed = p.fixed.as_ref().unwrap();
+        for seed in 0..20 {
+            let o = Execution::new(fixed)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .max_steps(50_000)
+                .run();
+            assert!(
+                o.ok(),
+                "seed {seed}: {:?} asserts={:?}",
+                o.kind,
+                o.assert_failures
+            );
+        }
+    }
+}
+
+/// A three-stage ETL pipeline: a frontend feeds a cond-guarded handoff
+/// queue, `workers` transform items into a second queue, and a committer
+/// drains it. Seeded bugs:
+///
+/// * **`handoff-stall`** — both queues share one condition variable per
+///   stage and signal with `notify` (one): a capacity signal can wake the
+///   wrong side and the pipeline stalls (deadlock).
+/// * **`commit-stats-race`** — the committer's `committed` tally is updated
+///   with plain read-inc-write by both the committer and the audit thread's
+///   reconciliation path, losing counts.
+/// * **`stale-shutdown`** — the shutdown flag is non-volatile; a worker
+///   that cached it before shutdown spins its bounded retry budget out and
+///   abandons its in-flight item (items lost).
+pub fn pipeline_etl(workers: u32, items: u32) -> SuiteProgram {
+    assert!(workers >= 1 && items >= 1);
+    let build = |fixed: bool| {
+        let mut b = ProgramBuilder::new(if fixed { "pipeline_etl_fixed" } else { "pipeline_etl" });
+        let q1 = b.var("stage1_count", 0); // frontend -> workers
+        let q2 = b.var("stage2_count", 0); // workers -> committer
+        let committed = b.var("committed", 0);
+        let lost = b.var("lost", 0);
+        let shutdown = if fixed {
+            b.var("shutdown", 0)
+        } else {
+            b.var_nonvolatile("shutdown", 0)
+        };
+        let l1 = b.lock("q1");
+        let l2 = b.lock("q2");
+        let c1 = b.cond("q1_state");
+        let c2 = b.cond("q2_state");
+        let cap = 2i64;
+        b.entry(move |ctx| {
+            let mut kids: Vec<ThreadId> = Vec::new();
+            // Frontend: produce `items` units into stage 1.
+            kids.push(ctx.spawn("frontend", move |ctx| {
+                for _ in 0..items {
+                    ctx.lock(l1);
+                    while ctx.read(q1) >= cap {
+                        ctx.wait(c1, l1);
+                    }
+                    let v = ctx.read(q1);
+                    ctx.write(q1, v + 1);
+                    if fixed {
+                        ctx.notify_all(c1);
+                    } else {
+                        ctx.notify(c1); // BUG: may wake another producer-side waiter
+                    }
+                    ctx.unlock(l1);
+                }
+                ctx.write(shutdown, 1);
+            }));
+            // Workers: move units from stage 1 to stage 2.
+            for w in 0..workers {
+                kids.push(ctx.spawn(format!("worker{w}"), move |ctx| {
+                    let mut dry = 0u32;
+                    loop {
+                        ctx.lock(l1);
+                        let mut got = false;
+                        if ctx.read(q1) > 0 {
+                            let v = ctx.read(q1);
+                            ctx.write(q1, v - 1);
+                            got = true;
+                            if fixed {
+                                ctx.notify_all(c1);
+                            } else {
+                                ctx.notify(c1);
+                            }
+                        }
+                        ctx.unlock(l1);
+                        if got {
+                            dry = 0;
+                            ctx.lock(l2);
+                            while ctx.read(q2) >= cap {
+                                ctx.wait(c2, l2);
+                            }
+                            let v = ctx.read(q2);
+                            ctx.write(q2, v + 1);
+                            if fixed {
+                                ctx.notify_all(c2);
+                            } else {
+                                ctx.notify(c2);
+                            }
+                            ctx.unlock(l2);
+                        } else {
+                            // Lock-free polling: peek at the queue and the
+                            // shutdown flag without synchronizing. Yields
+                            // do not flush the thread cache, so in the
+                            // buggy build (non-volatile flag) every peek
+                            // after the first can be stale.
+                            let mut gave_up = true;
+                            loop {
+                                if ctx.read(q1) > 0 {
+                                    gave_up = false;
+                                    break; // recheck under the lock
+                                }
+                                if ctx.read(shutdown) == 1 {
+                                    break; // exit the worker loop below
+                                }
+                                dry += 1;
+                                if dry > 40 {
+                                    // BUG: the stale 0 burned the retry
+                                    // budget; abandon the stage.
+                                    ctx.rmw(lost, |v| v + 1);
+                                    break;
+                                }
+                                ctx.yield_now();
+                            }
+                            if gave_up {
+                                break;
+                            }
+                        }
+                    }
+                }));
+            }
+            // Committer: drain stage 2.
+            kids.push(ctx.spawn("committer", move |ctx| {
+                for _ in 0..items {
+                    ctx.lock(l2);
+                    while ctx.read(q2) == 0 {
+                        ctx.wait(c2, l2);
+                    }
+                    let v = ctx.read(q2);
+                    ctx.write(q2, v - 1);
+                    if fixed {
+                        ctx.notify_all(c2);
+                    } else {
+                        ctx.notify(c2);
+                    }
+                    ctx.unlock(l2);
+                    // Tally: racy in the buggy build.
+                    if fixed {
+                        ctx.rmw(committed, |v| v + 1);
+                    } else {
+                        let t = ctx.read(committed);
+                        ctx.yield_now();
+                        ctx.write(committed, t + 1);
+                    }
+                }
+            }));
+            // Audit thread: periodically "reconciles" the same tally.
+            kids.push(ctx.spawn("audit", move |ctx| {
+                for _ in 0..4 {
+                    ctx.sleep(6);
+                    if fixed {
+                        ctx.rmw(committed, |v| v); // read-only touch
+                    } else {
+                        let t = ctx.read(committed);
+                        ctx.yield_now();
+                        ctx.write(committed, t); // BUG: racy write-back
+                    }
+                }
+            }));
+            for k in kids {
+                ctx.join(k);
+            }
+            let c = ctx.read(committed);
+            ctx.check(c == items as i64, "all-items-committed");
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "pipeline_etl",
+        size: Size::Large,
+        program: build(false),
+        bugs: vec![
+            BugDoc::new(
+                "handoff-stall",
+                BugClass::WrongNotify,
+                "each stage's queue signals state changes with notify-one on a \
+                 condition shared by both sides; the signal can be consumed by \
+                 a same-side waiter and the pipeline deadlocks",
+            )
+            .conds(&["q1_state", "q2_state"])
+            .locks(&["q1", "q2"]),
+            BugDoc::new(
+                "commit-stats-race",
+                BugClass::DataRace,
+                "the committed tally is read-inc-written by the committer and \
+                 racily written back by the audit thread",
+            )
+            .vars(&["committed"]),
+            BugDoc::new(
+                "stale-shutdown",
+                BugClass::StaleRead,
+                "the shutdown flag is non-volatile: a worker polling through \
+                 its thread cache burns its retry budget on a stale 0 and \
+                 abandons work",
+            )
+            .vars(&["shutdown", "lost"]),
+        ],
+        oracle: Arc::new(|o| {
+            let mut v = Verdict::default();
+            if o.deadlocked() || o.hung() {
+                v.manifested.push("handoff-stall");
+                return v;
+            }
+            if o.var("lost").unwrap_or(0) > 0 {
+                v.manifested.push("stale-shutdown");
+            }
+            if o
+                .assert_failures
+                .iter()
+                .any(|a| a.label == "all-items-committed")
+                && o.var("lost").unwrap_or(0) == 0
+            {
+                v.manifested.push("commit-stats-race");
+            }
+            v
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["committed"],
+    }
+}
+
+#[cfg(test)]
+mod etl_tests {
+    use super::*;
+    use mtt_runtime::{Execution, RandomScheduler};
+
+    #[test]
+    fn pipeline_etl_has_three_distinct_bugs() {
+        let p = pipeline_etl(2, 6);
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..600 {
+            let o = Execution::new(&p.program)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .max_steps(50_000)
+                .run();
+            for tag in p.judge(&o).manifested {
+                seen.insert(tag);
+            }
+            if seen.len() == 3 {
+                break;
+            }
+        }
+        assert!(seen.contains("commit-stats-race"), "{seen:?}");
+        assert!(
+            seen.contains("handoff-stall") || seen.contains("stale-shutdown"),
+            "{seen:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_etl_fixed_commits_everything() {
+        let p = pipeline_etl(2, 6);
+        let fixed = p.fixed.as_ref().unwrap();
+        for seed in 0..20 {
+            let o = Execution::new(fixed)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .max_steps(50_000)
+                .run();
+            assert!(
+                o.ok(),
+                "seed {seed}: {:?} asserts={:?} lost={:?}",
+                o.kind,
+                o.assert_failures,
+                o.var("lost")
+            );
+            assert_eq!(o.var("committed"), Some(6), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! # mtt-suite — the benchmark repository of documented-bug programs
+//!
+//! §4 of the paper, component one: "a repository of programs on which the
+//! technologies can be evaluated", containing "many small programs that
+//! illustrate specific bugs as well as larger programs and some very large
+//! programs with bugs from the field", each with "documentation of the
+//! repository and of the bugs in each program" plus tests/oracles.
+//!
+//! Every entry is a [`SuiteProgram`]:
+//!
+//! * a runnable [`mtt_runtime::Program`] whose concurrency bug is *real* at
+//!   the model level (the bug fires or not depending on the interleaving);
+//! * [`BugDoc`] metadata: a stable tag, the bug class, prose documentation
+//!   and the variable/lock footprint (which also drives trace annotation);
+//! * an **oracle** classifying each [`Outcome`] — which documented bugs
+//!   manifested in that run;
+//! * where meaningful, a `fixed` twin with the bug repaired (so detectors
+//!   can be scored for false alarms on clean code);
+//! * the ground-truth list of racy variables for detector scoring.
+//!
+//! The [`multiout`] module is the paper's fourth benchmark component: the
+//! no-input, many-outcomes composite program.
+
+pub mod large;
+pub mod medium;
+pub mod multiout;
+pub mod small;
+
+use mtt_runtime::{Outcome, Program};
+use std::sync::Arc;
+
+/// Classification of documented concurrency bugs, following the taxonomy
+/// the paper's §2 walks through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum BugClass {
+    /// Unsynchronized conflicting accesses (lost update et al.).
+    DataRace,
+    /// Individually-synchronized accesses whose *sequence* must be atomic
+    /// (check-then-act, compound interface).
+    AtomicityViolation,
+    /// Correctness depends on an ordering nothing enforces
+    /// (sleep-based synchronization, init races).
+    OrderingViolation,
+    /// Cyclic lock acquisition (AB-BA, dining philosophers) or other
+    /// unserviceable waits.
+    Deadlock,
+    /// A notify that can fire before the wait, or a wait missing its
+    /// predicate loop.
+    MissedSignal,
+    /// `notify` waking the wrong waiter where `notify_all` was needed.
+    WrongNotify,
+    /// Semaphore permit accounting errors.
+    SemaphoreMisuse,
+    /// Wrong barrier party count or phase structure.
+    BarrierMisuse,
+    /// Non-volatile flag read from a stale thread cache.
+    StaleRead,
+}
+
+/// Documentation of one seeded bug.
+#[derive(Clone, Debug)]
+pub struct BugDoc {
+    /// Stable tag (used in trace annotations and reports).
+    pub tag: &'static str,
+    /// Bug class.
+    pub class: BugClass,
+    /// What the bug is and why it fires.
+    pub description: &'static str,
+    /// Shared variables involved (trace-annotation footprint).
+    pub vars: Vec<&'static str>,
+    /// Locks involved.
+    pub locks: Vec<&'static str>,
+    /// Condition variables involved.
+    pub conds: Vec<&'static str>,
+}
+
+impl BugDoc {
+    fn new(tag: &'static str, class: BugClass, description: &'static str) -> Self {
+        BugDoc {
+            tag,
+            class,
+            description,
+            vars: Vec::new(),
+            locks: Vec::new(),
+            conds: Vec::new(),
+        }
+    }
+
+    fn vars(mut self, vars: &[&'static str]) -> Self {
+        self.vars = vars.to_vec();
+        self
+    }
+
+    fn locks(mut self, locks: &[&'static str]) -> Self {
+        self.locks = locks.to_vec();
+        self
+    }
+
+    fn conds(mut self, conds: &[&'static str]) -> Self {
+        self.conds = conds.to_vec();
+        self
+    }
+}
+
+/// Size bucket, per the paper's "many small … larger … very large".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Size {
+    /// Illustrates one specific bug.
+    Small,
+    /// A component with realistic structure.
+    Medium,
+    /// A "from the field"-style program with several independent bugs.
+    Large,
+}
+
+/// The oracle's verdict on one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Verdict {
+    /// Tags of documented bugs that manifested in this run.
+    pub manifested: Vec<&'static str>,
+}
+
+impl Verdict {
+    /// Did any documented bug manifest?
+    pub fn failed(&self) -> bool {
+        !self.manifested.is_empty()
+    }
+
+    fn clean() -> Self {
+        Verdict::default()
+    }
+
+    fn bug(tag: &'static str) -> Self {
+        Verdict {
+            manifested: vec![tag],
+        }
+    }
+}
+
+/// Oracle type: classify an outcome.
+pub type OracleFn = Arc<dyn Fn(&Outcome) -> Verdict + Send + Sync>;
+
+/// One benchmark entry.
+#[derive(Clone)]
+pub struct SuiteProgram {
+    /// Unique name.
+    pub name: &'static str,
+    /// Size bucket.
+    pub size: Size,
+    /// The buggy program.
+    pub program: Program,
+    /// Documented bugs.
+    pub bugs: Vec<BugDoc>,
+    /// Classifies outcomes (which bugs manifested).
+    pub oracle: OracleFn,
+    /// Repaired twin, when available.
+    pub fixed: Option<Program>,
+    /// Ground truth for race detectors: variables genuinely involved in a
+    /// data race / atomicity violation in the buggy version.
+    pub racy_vars: Vec<&'static str>,
+}
+
+impl SuiteProgram {
+    /// Run the oracle.
+    pub fn judge(&self, outcome: &Outcome) -> Verdict {
+        (self.oracle)(outcome)
+    }
+
+    /// Bug tags documented for this program.
+    pub fn bug_tags(&self) -> Vec<&'static str> {
+        self.bugs.iter().map(|b| b.tag).collect()
+    }
+
+    /// Trace-annotation footprints for this program's bugs.
+    pub fn footprints(&self) -> Vec<mtt_trace::BugFootprint> {
+        self.bugs
+            .iter()
+            .map(|b| mtt_trace::BugFootprint {
+                tag: b.tag.to_string(),
+                vars: b.vars.iter().map(|s| s.to_string()).collect(),
+                locks: b.locks.iter().map(|s| s.to_string()).collect(),
+                conds: b.conds.iter().map(|s| s.to_string()).collect(),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for SuiteProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteProgram")
+            .field("name", &self.name)
+            .field("size", &self.size)
+            .field("bugs", &self.bug_tags())
+            .finish()
+    }
+}
+
+/// The whole repository, smallest first.
+pub fn all() -> Vec<SuiteProgram> {
+    let mut v = small::all();
+    v.extend(medium::all());
+    v.extend(large::all());
+    v
+}
+
+/// Look a program up by name.
+pub fn by_name(name: &str) -> Option<SuiteProgram> {
+    all().into_iter().find(|p| p.name == name)
+}
+
+/// The standard subset used by the fast prepared experiments: every small
+/// program plus one medium.
+pub fn quick_set() -> Vec<SuiteProgram> {
+    let mut v = small::all();
+    v.push(medium::bounded_queue(3, 3, 1));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_runtime::{Execution, RandomScheduler};
+
+    #[test]
+    fn registry_names_are_unique_and_sized() {
+        let progs = all();
+        assert!(progs.len() >= 18, "repository too small: {}", progs.len());
+        let mut names: Vec<&str> = progs.iter().map(|p| p.name).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate program names");
+        assert!(progs.iter().any(|p| p.size == Size::Small));
+        assert!(progs.iter().any(|p| p.size == Size::Medium));
+        assert!(progs.iter().any(|p| p.size == Size::Large));
+    }
+
+    #[test]
+    fn every_program_documents_its_bugs() {
+        for p in all() {
+            assert!(!p.bugs.is_empty(), "{}: no documented bugs", p.name);
+            for b in &p.bugs {
+                assert!(!b.description.is_empty(), "{}: empty description", p.name);
+                assert!(
+                    !b.vars.is_empty() || !b.locks.is_empty() || !b.conds.is_empty(),
+                    "{}: bug {} has an empty footprint",
+                    p.name,
+                    b.tag
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for p in all() {
+            assert_eq!(by_name(p.name).unwrap().name, p.name);
+        }
+        assert!(by_name("no-such-program").is_none());
+    }
+
+    #[test]
+    fn every_bug_is_reachable_and_every_program_can_pass() {
+        // For each program: some seed manifests a documented bug, and some
+        // seed (or the fixed twin) completes cleanly. This is the
+        // repository's own acceptance test: the bugs are real and
+        // schedule-dependent, not constant failures.
+        for p in all() {
+            let mut found_bug = false;
+            let mut found_clean = false;
+            for seed in 0..200 {
+                let o = Execution::new(&p.program)
+                    .scheduler(Box::new(RandomScheduler::new(seed)))
+                    .max_steps(50_000)
+                    .run();
+                let v = p.judge(&o);
+                if v.failed() {
+                    found_bug = true;
+                } else {
+                    found_clean = true;
+                }
+                if found_bug && found_clean {
+                    break;
+                }
+            }
+            assert!(
+                found_bug,
+                "{}: no documented bug manifested in 200 random schedules",
+                p.name
+            );
+            // Programs whose bug is near-deterministic under random
+            // scheduling may never produce a clean run; they must then
+            // provide a fixed twin that does.
+            if !found_clean {
+                let fixed = p
+                    .fixed
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{}: never clean and no fixed twin", p.name));
+                let o = Execution::new(fixed)
+                    .scheduler(Box::new(RandomScheduler::new(1)))
+                    .max_steps(50_000)
+                    .run();
+                assert!(p.judge(&o).manifested.is_empty() && o.ok(),
+                    "{}: fixed twin still fails: {:?}", p.name, o.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_twins_pass_many_seeds() {
+        for p in all() {
+            if let Some(fixed) = &p.fixed {
+                for seed in 0..30 {
+                    let o = Execution::new(fixed)
+                        .scheduler(Box::new(RandomScheduler::new(seed)))
+                        .max_steps(50_000)
+                        .run();
+                    assert!(
+                        o.ok(),
+                        "{} (fixed) failed at seed {seed}: {:?} asserts={:?}",
+                        p.name,
+                        o.kind,
+                        o.assert_failures
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verdict_api() {
+        assert!(!Verdict::clean().failed());
+        assert!(Verdict::bug("t").failed());
+        assert_eq!(Verdict::bug("t").manifested, vec!["t"]);
+    }
+}

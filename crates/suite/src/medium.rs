@@ -1,0 +1,455 @@
+//! Medium programs: realistic component structure with one or two seeded
+//! bugs each.
+
+use crate::{BugClass, BugDoc, Size, SuiteProgram, Verdict};
+use mtt_runtime::{ProgramBuilder, ThreadId};
+use std::sync::Arc;
+
+/// All medium programs with default parameters.
+pub fn all() -> Vec<SuiteProgram> {
+    vec![
+        bounded_queue(3, 3, 1),
+        bank_branch(4, 3),
+        memo_cache(3),
+        token_ring(3, 2),
+    ]
+}
+
+/// A condition-variable bounded queue whose producers and consumers share
+/// ONE condition and signal with `notify` (one). A notification meant for
+/// a consumer can wake a producer (or vice versa), which re-waits and
+/// swallows it: the classic single-condition/notify-one deadlock.
+pub fn bounded_queue(producers: u32, consumers: u32, capacity: i64) -> SuiteProgram {
+    assert!(producers >= 1 && consumers >= 1 && capacity >= 1);
+    let items_per_producer = 3i64;
+    let total = i64::from(producers) * items_per_producer;
+    assert!(
+        total % i64::from(consumers) == 0,
+        "items must divide evenly among consumers"
+    );
+    let per_consumer = total / i64::from(consumers);
+
+    let build = |broadcast: bool| {
+        let mut b = ProgramBuilder::new(if broadcast {
+            "bounded_queue_fixed"
+        } else {
+            "bounded_queue"
+        });
+        let count = b.var("count", 0);
+        let produced = b.var("produced", 0);
+        let consumed = b.var("consumed", 0);
+        let l = b.lock("queue");
+        let c = b.cond("state_changed");
+        b.entry(move |ctx| {
+            let mut kids: Vec<ThreadId> = Vec::new();
+            for i in 0..producers {
+                kids.push(ctx.spawn(format!("producer{i}"), move |ctx| {
+                    for _ in 0..items_per_producer {
+                        ctx.lock(l);
+                        while ctx.read(count) >= capacity {
+                            ctx.wait(c, l);
+                        }
+                        let v = ctx.read(count);
+                        ctx.write(count, v + 1);
+                        ctx.rmw(produced, |p| p + 1);
+                        if broadcast {
+                            ctx.notify_all(c);
+                        } else {
+                            ctx.notify(c); // BUG: may wake another producer
+                        }
+                        ctx.unlock(l);
+                    }
+                }));
+            }
+            for i in 0..consumers {
+                kids.push(ctx.spawn(format!("consumer{i}"), move |ctx| {
+                    for _ in 0..per_consumer {
+                        ctx.lock(l);
+                        while ctx.read(count) == 0 {
+                            ctx.wait(c, l);
+                        }
+                        let v = ctx.read(count);
+                        ctx.write(count, v - 1);
+                        ctx.rmw(consumed, |p| p + 1);
+                        if broadcast {
+                            ctx.notify_all(c);
+                        } else {
+                            ctx.notify(c); // BUG: may wake another consumer
+                        }
+                        ctx.unlock(l);
+                    }
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "bounded_queue",
+        size: Size::Medium,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "notify-one-queue",
+            BugClass::WrongNotify,
+            "producers and consumers wait on the same condition; notify-one can \
+             deliver a 'space available' signal to a producer (which re-waits), \
+             leaving every thread asleep",
+        )
+        .conds(&["state_changed"])
+        .locks(&["queue"])
+        .vars(&["count"])],
+        oracle: Arc::new(|o| {
+            if o.deadlocked() {
+                Verdict::bug("notify-one-queue")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}
+
+/// A bank branch with per-account locks. Transfers normally acquire locks
+/// in account order, but a "priority" path acquires source-before-
+/// destination (deadlock); an audit thread sums balances without any locks
+/// (race: it can observe money in flight).
+pub fn bank_branch(accounts: u32, transfer_threads: u32) -> SuiteProgram {
+    assert!(accounts >= 2);
+    let initial = 100i64;
+    let expected_total = initial * i64::from(accounts);
+
+    let build = |fixed: bool| {
+        let mut b = ProgramBuilder::new(if fixed { "bank_branch_fixed" } else { "bank_branch" });
+        let balances: Vec<_> = (0..accounts)
+            .map(|i| b.var(format!("balance{i}"), initial))
+            .collect();
+        let locks: Vec<_> = (0..accounts)
+            .map(|i| b.lock(format!("account{i}")))
+            .collect();
+        let audit_bad = b.var("audit_bad", 0);
+        let audit_lock = b.lock("audit");
+        b.entry(move |ctx| {
+            let mut kids: Vec<ThreadId> = Vec::new();
+            for t in 0..transfer_threads {
+                let balances = balances.clone();
+                let locks = locks.clone();
+                kids.push(ctx.spawn(format!("teller{t}"), move |ctx| {
+                    for round in 0..2u32 {
+                        let src = ((t + round) % accounts) as usize;
+                        let priority = !fixed && t % 2 == 1;
+                        // Normal tellers transfer to the next account and
+                        // respect the global lock order. The priority path
+                        // transfers to the PREVIOUS account and locks
+                        // source-first — the reversed pair.
+                        let dst = if priority {
+                            ((t + round + accounts - 1) % accounts) as usize
+                        } else {
+                            ((t + round + 1) % accounts) as usize
+                        };
+                        let (first, second) = if priority {
+                            (src, dst)
+                        } else {
+                            (src.min(dst), src.max(dst))
+                        };
+                        ctx.lock(locks[first]);
+                        ctx.yield_now();
+                        ctx.lock(locks[second]);
+                        let vs = ctx.read(balances[src]);
+                        ctx.write(balances[src], vs - 5);
+                        let vd = ctx.read(balances[dst]);
+                        ctx.write(balances[dst], vd + 5);
+                        ctx.unlock(locks[second]);
+                        ctx.unlock(locks[first]);
+                    }
+                }));
+            }
+            {
+                let balances = balances.clone();
+                let locks = locks.clone();
+                kids.push(ctx.spawn("auditor", move |ctx| {
+                    for _ in 0..3 {
+                        if fixed {
+                            // Correct audit: freeze the branch.
+                            for &l in &locks {
+                                ctx.lock(l);
+                            }
+                        }
+                        let mut total = 0;
+                        for &bal in &balances {
+                            total += ctx.read(bal); // unlocked when !fixed
+                        }
+                        if fixed {
+                            for &l in locks.iter().rev() {
+                                ctx.unlock(l);
+                            }
+                        }
+                        if total != expected_total {
+                            ctx.with_lock(audit_lock, |ctx| {
+                                ctx.write(audit_bad, 1);
+                            });
+                        }
+                        ctx.yield_now();
+                    }
+                }));
+            }
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "bank_branch",
+        size: Size::Medium,
+        program: build(false),
+        bugs: vec![
+            BugDoc::new(
+                "teller-deadlock",
+                BugClass::Deadlock,
+                "the priority transfer path locks source-before-destination, \
+                 violating the branch's global account order",
+            )
+            .locks(&["account0", "account1", "account2", "account3"]),
+            BugDoc::new(
+                "audit-race",
+                BugClass::DataRace,
+                "the auditor sums balances without taking the account locks and \
+                 can observe money in flight between the two halves of a transfer",
+            )
+            .vars(&["balance0", "balance1", "balance2", "balance3", "audit_bad"]),
+        ],
+        oracle: Arc::new(|o| {
+            let mut v = Verdict::default();
+            if o.deadlocked() {
+                v.manifested.push("teller-deadlock");
+            }
+            if o.var("audit_bad") == Some(1) {
+                v.manifested.push("audit-race");
+            }
+            v
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["balance0", "balance1", "balance2", "balance3"],
+    }
+}
+
+/// A memoizing cache: the compute-if-absent is check-then-act (double
+/// compute) and the hit/miss statistics are plain racy counters.
+pub fn memo_cache(workers: u32) -> SuiteProgram {
+    let build = |locked: bool| {
+        let mut b = ProgramBuilder::new(if locked { "memo_cache_fixed" } else { "memo_cache" });
+        let cache_set = b.var("cache_set", 0);
+        let cache_val = b.var("cache_val", 0);
+        let computes = b.var("computes", 0); // ground-truth rmw counter
+        let stat_hits = b.var("stat_hits", 0);
+        let stat_misses = b.var("stat_misses", 0);
+        let l = b.lock("cache");
+        b.entry(move |ctx| {
+            let kids: Vec<ThreadId> = (0..workers)
+                .map(|i| {
+                    ctx.spawn(format!("worker{i}"), move |ctx| {
+                        if locked {
+                            ctx.lock(l);
+                        }
+                        if ctx.read(cache_set) == 0 {
+                            ctx.yield_now(); // the expensive compute
+                            ctx.write(cache_val, 42);
+                            ctx.write(cache_set, 1);
+                            ctx.rmw(computes, |c| c + 1);
+                            let m = ctx.read(stat_misses); // racy stats
+                            ctx.write(stat_misses, m + 1);
+                        } else {
+                            let v = ctx.read(cache_val);
+                            ctx.check(v == 42, "cache-value");
+                            let h = ctx.read(stat_hits); // racy stats
+                            ctx.write(stat_hits, h + 1);
+                        }
+                        if locked {
+                            ctx.unlock(l);
+                        }
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+            let c = ctx.read(computes);
+            ctx.check(c == 1, "computed-once");
+            let h = ctx.read(stat_hits);
+            let m = ctx.read(stat_misses);
+            ctx.check(h + m == workers as i64, "stats-consistent");
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "memo_cache",
+        size: Size::Medium,
+        program: build(false),
+        bugs: vec![
+            BugDoc::new(
+                "double-compute",
+                BugClass::AtomicityViolation,
+                "compute-if-absent checks and fills the cache non-atomically; \
+                 several workers can all miss and recompute",
+            )
+            .vars(&["cache_set", "cache_val", "computes"]),
+            BugDoc::new(
+                "stats-race",
+                BugClass::DataRace,
+                "hit/miss statistics are plain read-increment-write counters",
+            )
+            .vars(&["stat_hits", "stat_misses"]),
+        ],
+        oracle: Arc::new(|o| {
+            let mut v = Verdict::default();
+            if o.assert_failures.iter().any(|a| a.label == "computed-once") {
+                v.manifested.push("double-compute");
+            }
+            if o
+                .assert_failures
+                .iter()
+                .any(|a| a.label == "stats-consistent")
+            {
+                v.manifested.push("stats-race");
+            }
+            v
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["cache_set", "stat_hits", "stat_misses"],
+    }
+}
+
+/// A token ring: thread `i` waits for `token == i`, then passes the token
+/// on. The buggy version signals with `notify` (one): the wrong waiter can
+/// absorb the signal and the ring stalls.
+pub fn token_ring(n: u32, rounds: u32) -> SuiteProgram {
+    assert!(n >= 2);
+    let build = |broadcast: bool| {
+        let mut b = ProgramBuilder::new(if broadcast { "token_ring_fixed" } else { "token_ring" });
+        let token = b.var("token", 0);
+        let passes = b.var("passes", 0);
+        let l = b.lock("ring");
+        let c = b.cond("turn");
+        b.entry(move |ctx| {
+            let kids: Vec<ThreadId> = (0..n)
+                .map(|i| {
+                    ctx.spawn(format!("node{i}"), move |ctx| {
+                        for _ in 0..rounds {
+                            ctx.lock(l);
+                            while ctx.read(token) != i64::from(i) {
+                                ctx.wait(c, l);
+                            }
+                            ctx.write(token, i64::from((i + 1) % n));
+                            ctx.rmw(passes, |p| p + 1);
+                            if broadcast {
+                                ctx.notify_all(c);
+                            } else {
+                                ctx.notify(c); // BUG: may wake a non-successor
+                            }
+                            ctx.unlock(l);
+                        }
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    let expected = i64::from(n) * i64::from(rounds);
+    SuiteProgram {
+        name: "token_ring",
+        size: Size::Medium,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "ring-stall",
+            BugClass::WrongNotify,
+            "passing the token signals one arbitrary waiter; a non-successor \
+             wakes, re-waits, and the successor never learns its turn came",
+        )
+        .conds(&["turn"])
+        .vars(&["token"])],
+        oracle: Arc::new(move |o| {
+            if o.deadlocked() {
+                Verdict::bug("ring-stall")
+            } else if o.ok() && o.var("passes") == Some(expected) {
+                Verdict::clean()
+            } else {
+                Verdict::bug("ring-stall")
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_runtime::{Execution, RandomScheduler};
+
+    #[test]
+    fn bounded_queue_fixed_conserves_items() {
+        let p = bounded_queue(3, 3, 1);
+        let fixed = p.fixed.as_ref().unwrap();
+        for seed in 0..10 {
+            let o = Execution::new(fixed)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .run();
+            assert!(o.ok(), "seed {seed}: {:?}", o.kind);
+            assert_eq!(o.var("count"), Some(0));
+            assert_eq!(o.var("produced"), o.var("consumed"));
+        }
+    }
+
+    #[test]
+    fn bank_branch_conserves_under_fix() {
+        let p = bank_branch(4, 3);
+        let fixed = p.fixed.as_ref().unwrap();
+        for seed in 0..10 {
+            let o = Execution::new(fixed)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .run();
+            assert!(o.ok(), "seed {seed}: {:?}", o.kind);
+            assert_eq!(o.var("audit_bad"), Some(0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn memo_cache_bugs_are_distinct() {
+        // Scan seeds; double-compute and stats-race should each appear.
+        let p = memo_cache(3);
+        let mut double = false;
+        let mut stats = false;
+        for seed in 0..200 {
+            let o = Execution::new(&p.program)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .run();
+            let v = p.judge(&o);
+            double |= v.manifested.contains(&"double-compute");
+            stats |= v.manifested.contains(&"stats-race");
+            if double && stats {
+                break;
+            }
+        }
+        assert!(double, "double-compute never manifested");
+        assert!(stats, "stats-race never manifested");
+    }
+
+    #[test]
+    fn token_ring_fixed_completes_all_rounds() {
+        let p = token_ring(3, 2);
+        let fixed = p.fixed.as_ref().unwrap();
+        for seed in 0..10 {
+            let o = Execution::new(fixed)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .run();
+            assert!(o.ok(), "seed {seed}: {:?}", o.kind);
+            assert_eq!(o.var("passes"), Some(6));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The paper's fourth benchmark component: "a specially prepared benchmark
+//! program that has no inputs and many possible results. We create the
+//! program by having a 'main' that starts many of our simpler documented
+//! sample programs in parallel, each of which writes its result (with a
+//! number of possible outcomes) into a variable. The benchmark program
+//! outputs these results as well as the order in which the sample programs
+//! finished. Tools such as noise makers can be compared as to the
+//! distribution of their results."
+//!
+//! [`program`] composes four racy mini-components (none of which can
+//! deadlock, so every run terminates with *some* result vector). The
+//! observable result of a run is [`signature`]: the component result
+//! variables plus the thread finish order — exactly the §4.4 output. The
+//! distribution analysis over many runs lives in `mtt-experiment`.
+
+use mtt_runtime::{Outcome, Program, ProgramBuilder, ThreadId};
+
+/// Build the composite no-input/many-outcomes program.
+pub fn program() -> Program {
+    let mut b = ProgramBuilder::new("multiout");
+    // Component 1: lost-update counter (results 1..=2).
+    let c1 = b.var("c1_counter", 0);
+    // Component 2: check-then-act creations (1 or 2).
+    let c2_slot = b.var("c2_slot", 0);
+    let c2 = b.var("c2_creations", 0);
+    // Component 3: bank transfer total (conserved or not).
+    let c3_a = b.var("c3_a", 50);
+    let c3_b = b.var("c3_b", 50);
+    // Component 4: ordering race — who writes last wins (1 or 2).
+    let c4 = b.var("c4_winner", 0);
+
+    b.entry(move |ctx| {
+        let mut kids: Vec<ThreadId> = Vec::new();
+        // Component 1: two unlocked incrementers.
+        for i in 0..2 {
+            kids.push(ctx.spawn(format!("c1_inc{i}"), move |ctx| {
+                let v = ctx.read(c1);
+                ctx.yield_now();
+                ctx.write(c1, v + 1);
+            }));
+        }
+        // Component 2: two lazy initializers.
+        for i in 0..2 {
+            kids.push(ctx.spawn(format!("c2_init{i}"), move |ctx| {
+                if ctx.read(c2_slot) == 0 {
+                    ctx.yield_now();
+                    ctx.write(c2_slot, 1);
+                    ctx.rmw(c2, |c| c + 1);
+                }
+            }));
+        }
+        // Component 3: two opposite transfers.
+        kids.push(ctx.spawn("c3_ab", move |ctx| {
+            let a = ctx.read(c3_a);
+            ctx.write(c3_a, a - 7);
+            let v = ctx.read(c3_b);
+            ctx.write(c3_b, v + 7);
+        }));
+        kids.push(ctx.spawn("c3_ba", move |ctx| {
+            let v = ctx.read(c3_b);
+            ctx.write(c3_b, v - 3);
+            let a = ctx.read(c3_a);
+            ctx.write(c3_a, a + 3);
+        }));
+        // Component 4: last writer wins.
+        for i in 1..=2 {
+            kids.push(ctx.spawn(format!("c4_w{i}"), move |ctx| {
+                ctx.yield_now();
+                ctx.write(c4, i64::from(i));
+            }));
+        }
+        for k in kids {
+            ctx.join(k);
+        }
+    });
+    b.build()
+}
+
+/// The §4.4 observable: component results plus finish order, as a compact
+/// stable string. Two runs with equal signatures behaved identically as
+/// far as the benchmark output is concerned.
+pub fn signature(o: &Outcome) -> String {
+    let vars = [
+        "c1_counter",
+        "c2_creations",
+        "c3_a",
+        "c3_b",
+        "c4_winner",
+    ];
+    let vals: Vec<String> = vars
+        .iter()
+        .map(|v| o.var(v).map_or("?".to_string(), |x| x.to_string()))
+        .collect();
+    let order: Vec<String> = o.finish_order.iter().map(|t| t.0.to_string()).collect();
+    format!("[{}]/{}", vals.join(","), order.join("-"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_runtime::{Execution, FifoScheduler, RandomScheduler};
+    use std::collections::HashSet;
+
+    #[test]
+    fn multiout_always_terminates() {
+        let p = program();
+        for seed in 0..30 {
+            let o = Execution::new(&p)
+                .scheduler(Box::new(RandomScheduler::new(seed)))
+                .run();
+            assert!(o.ok(), "seed {seed}: {:?}", o.kind);
+        }
+    }
+
+    #[test]
+    fn fifo_collapses_the_distribution() {
+        let p = program();
+        let sigs: HashSet<String> = (0..10)
+            .map(|_| signature(&Execution::new(&p).scheduler(Box::new(FifoScheduler)).run()))
+            .collect();
+        assert_eq!(
+            sigs.len(),
+            1,
+            "the deterministic scheduler must produce one outcome"
+        );
+    }
+
+    #[test]
+    fn random_scheduling_spreads_the_distribution() {
+        let p = program();
+        let sigs: HashSet<String> = (0..60)
+            .map(|seed| {
+                signature(
+                    &Execution::new(&p)
+                        .scheduler(Box::new(RandomScheduler::new(seed)))
+                        .run(),
+                )
+            })
+            .collect();
+        assert!(
+            sigs.len() >= 10,
+            "expected a spread of outcomes, got {}",
+            sigs.len()
+        );
+    }
+
+    #[test]
+    fn signature_reflects_results_and_order() {
+        let p = program();
+        let o = Execution::new(&p).scheduler(Box::new(FifoScheduler)).run();
+        let s = signature(&o);
+        assert!(s.starts_with('['));
+        assert!(s.contains("]/"));
+        assert!(!s.contains('?'), "all component vars must exist: {s}");
+    }
+}

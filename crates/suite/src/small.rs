@@ -1,0 +1,1285 @@
+//! The small programs: each illustrates one specific, documented
+//! concurrency bug ("many small programs that illustrate specific bugs").
+//!
+//! Conventions:
+//!
+//! * every builder returns a [`SuiteProgram`] with the bug documented,
+//!   its variable/lock footprint filled in, an oracle, and (where the fix
+//!   is instructive) a repaired twin;
+//! * bugs are *schedule-dependent* wherever the bug class allows it: some
+//!   interleavings fail, others pass — the property that makes noise
+//!   makers, replay and exploration worth comparing;
+//! * programs avoid unbounded spinning (bounded retry + assertion instead),
+//!   so experiment campaigns never burn the step budget waiting.
+
+use crate::{BugClass, BugDoc, Size, SuiteProgram, Verdict};
+use mtt_runtime::{ProgramBuilder, ThreadId};
+use std::sync::Arc;
+
+/// All small programs with default parameters.
+pub fn all() -> Vec<SuiteProgram> {
+    vec![
+        lost_update(2, 2),
+        bank_transfer(),
+        check_then_act(),
+        missed_signal(),
+        wrong_notify(),
+        dining_philosophers(3),
+        ab_ba(),
+        producer_consumer_unsync(2, 2),
+        sleep_sync(),
+        stale_flag(),
+        sem_leak(),
+        barrier_opt_out(),
+        compound_vector(),
+        nested_monitor(),
+        publish_stale(),
+        unguarded_wait(),
+        reader_writer(2),
+        sem_double_release(),
+    ]
+}
+
+/// The canonical lost update: `threads` workers each perform `increments`
+/// non-atomic `x = x + 1` sequences.
+pub fn lost_update(threads: u32, increments: u32) -> SuiteProgram {
+    let build = |locked: bool| {
+        let mut b = ProgramBuilder::new(if locked {
+            "lost_update_fixed"
+        } else {
+            "lost_update"
+        });
+        let x = b.var("x", 0);
+        let l = b.lock("l");
+        b.entry(move |ctx| {
+            let kids: Vec<ThreadId> = (0..threads)
+                .map(|i| {
+                    ctx.spawn(format!("inc{i}"), move |ctx| {
+                        for _ in 0..increments {
+                            if locked {
+                                ctx.lock(l);
+                            }
+                            let v = ctx.read(x);
+                            ctx.write(x, v + 1);
+                            if locked {
+                                ctx.unlock(l);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    let expected = i64::from(threads) * i64::from(increments);
+    SuiteProgram {
+        name: "lost_update",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "lost-update",
+            BugClass::DataRace,
+            "x = x + 1 is a read followed by a write with no lock; two threads \
+             interleaving between them lose an increment",
+        )
+        .vars(&["x"])],
+        oracle: Arc::new(move |o| {
+            if o.ok() && o.var("x") == Some(expected) {
+                Verdict::clean()
+            } else {
+                Verdict::bug("lost-update")
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["x"],
+    }
+}
+
+/// Two opposite transfers between two accounts; each transfer is four
+/// separate accesses, so interleavings corrupt the conserved total.
+pub fn bank_transfer() -> SuiteProgram {
+    let build = |locked: bool| {
+        let mut b = ProgramBuilder::new(if locked {
+            "bank_transfer_fixed"
+        } else {
+            "bank_transfer"
+        });
+        let a = b.var("acct_a", 100);
+        let acct_b = b.var("acct_b", 100);
+        let l = b.lock("bank");
+        b.entry(move |ctx| {
+            let t1 = ctx.spawn("xfer_ab", move |ctx| {
+                if locked {
+                    ctx.lock(l);
+                }
+                let va = ctx.read(a);
+                ctx.write(a, va - 10);
+                let vb = ctx.read(acct_b);
+                ctx.write(acct_b, vb + 10);
+                if locked {
+                    ctx.unlock(l);
+                }
+            });
+            let t2 = ctx.spawn("xfer_ba", move |ctx| {
+                if locked {
+                    ctx.lock(l);
+                }
+                let vb = ctx.read(acct_b);
+                ctx.write(acct_b, vb - 20);
+                let va = ctx.read(a);
+                ctx.write(a, va + 20);
+                if locked {
+                    ctx.unlock(l);
+                }
+            });
+            ctx.join(t1);
+            ctx.join(t2);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "bank_transfer",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "transfer-atomicity",
+            BugClass::AtomicityViolation,
+            "a transfer reads and writes both balances non-atomically; \
+             concurrent transfers interleave and violate conservation of money",
+        )
+        .vars(&["acct_a", "acct_b"])],
+        oracle: Arc::new(|o| {
+            let total = o.var("acct_a").unwrap_or(0) + o.var("acct_b").unwrap_or(0);
+            if o.ok() && total == 200 {
+                Verdict::clean()
+            } else {
+                Verdict::bug("transfer-atomicity")
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["acct_a", "acct_b"],
+    }
+}
+
+/// Lazy initialization without atomicity: both threads can observe the
+/// empty slot and both create.
+pub fn check_then_act() -> SuiteProgram {
+    let build = |locked: bool| {
+        let mut b = ProgramBuilder::new(if locked {
+            "check_then_act_fixed"
+        } else {
+            "check_then_act"
+        });
+        let slot = b.var("slot", 0);
+        let creations = b.var("creations", 0);
+        let l = b.lock("init");
+        b.entry(move |ctx| {
+            let kids: Vec<ThreadId> = (0..2)
+                .map(|i| {
+                    ctx.spawn(format!("init{i}"), move |ctx| {
+                        if locked {
+                            ctx.lock(l);
+                        }
+                        if ctx.read(slot) == 0 {
+                            ctx.yield_now(); // widen the window
+                            ctx.write(slot, 1);
+                            ctx.rmw(creations, |c| c + 1);
+                        }
+                        if locked {
+                            ctx.unlock(l);
+                        }
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+            let c = ctx.read(creations);
+            ctx.check(c == 1, "created-once");
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "check_then_act",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "double-create",
+            BugClass::AtomicityViolation,
+            "the emptiness check and the creation are separate operations; \
+             two initializers can both pass the check",
+        )
+        .vars(&["slot", "creations"])],
+        oracle: Arc::new(|o| {
+            if o.assert_failures.iter().any(|a| a.label == "created-once") {
+                Verdict::bug("double-create")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["slot"],
+    }
+}
+
+/// Wait with no predicate loop + a notify that may fire first.
+pub fn missed_signal() -> SuiteProgram {
+    let buggy = {
+        let mut b = ProgramBuilder::new("missed_signal");
+        let l = b.lock("l");
+        let c = b.cond("c");
+        b.entry(move |ctx| {
+            let waiter = ctx.spawn("waiter", move |ctx| {
+                ctx.lock(l);
+                ctx.wait(c, l); // BUG: no predicate re-check
+                ctx.unlock(l);
+            });
+            let notifier = ctx.spawn("notifier", move |ctx| {
+                ctx.notify(c); // may fire before the wait begins
+            });
+            ctx.join(waiter);
+            ctx.join(notifier);
+        });
+        b.build()
+    };
+    let fixed = {
+        let mut b = ProgramBuilder::new("missed_signal_fixed");
+        let posted = b.var("posted", 0);
+        let l = b.lock("l");
+        let c = b.cond("c");
+        b.entry(move |ctx| {
+            let waiter = ctx.spawn("waiter", move |ctx| {
+                ctx.lock(l);
+                while ctx.read(posted) == 0 {
+                    ctx.wait(c, l);
+                }
+                ctx.unlock(l);
+            });
+            let notifier = ctx.spawn("notifier", move |ctx| {
+                ctx.lock(l);
+                ctx.write(posted, 1);
+                ctx.notify(c);
+                ctx.unlock(l);
+            });
+            ctx.join(waiter);
+            ctx.join(notifier);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "missed_signal",
+        size: Size::Small,
+        program: buggy,
+        bugs: vec![BugDoc::new(
+            "missed-signal",
+            BugClass::MissedSignal,
+            "the notify carries no state and the wait re-checks nothing; if the \
+             notify runs first, the waiter sleeps forever",
+        )
+        .conds(&["c"])
+        .locks(&["l"])],
+        oracle: Arc::new(|o| {
+            if o.deadlocked() {
+                Verdict::bug("missed-signal")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(fixed),
+        racy_vars: vec![],
+    }
+}
+
+/// One condition variable shared by two waiters with different predicates;
+/// `notify` (one) can wake the wrong waiter, which re-waits and swallows
+/// the signal.
+pub fn wrong_notify() -> SuiteProgram {
+    let build = |all: bool| {
+        let mut b = ProgramBuilder::new(if all { "wrong_notify_fixed" } else { "wrong_notify" });
+        let pa = b.var("pred_a", 0);
+        let pb = b.var("pred_b", 0);
+        let l = b.lock("l");
+        let c = b.cond("c");
+        b.entry(move |ctx| {
+            let wa = ctx.spawn("want_a", move |ctx| {
+                ctx.lock(l);
+                while ctx.read(pa) == 0 {
+                    ctx.wait(c, l);
+                }
+                ctx.unlock(l);
+            });
+            let wb = ctx.spawn("want_b", move |ctx| {
+                ctx.lock(l);
+                while ctx.read(pb) == 0 {
+                    ctx.wait(c, l);
+                }
+                ctx.unlock(l);
+            });
+            let setter = ctx.spawn("setter", move |ctx| {
+                ctx.lock(l);
+                ctx.write(pa, 1);
+                if all {
+                    ctx.notify_all(c);
+                } else {
+                    ctx.notify(c); // BUG: may wake want_b
+                }
+                ctx.unlock(l);
+                ctx.lock(l);
+                ctx.write(pb, 1);
+                if all {
+                    ctx.notify_all(c);
+                } else {
+                    ctx.notify(c);
+                }
+                ctx.unlock(l);
+            });
+            ctx.join(wa);
+            ctx.join(wb);
+            ctx.join(setter);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "wrong_notify",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "wrong-notify",
+            BugClass::WrongNotify,
+            "two waiters with different predicates share one condition; \
+             notify-one can wake the waiter whose predicate is still false, \
+             consuming the signal meant for the other",
+        )
+        .conds(&["c"])
+        .vars(&["pred_a", "pred_b"])],
+        oracle: Arc::new(|o| {
+            if o.deadlocked() {
+                Verdict::bug("wrong-notify")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}
+
+/// `n` philosophers each take their left fork then their right: the cyclic
+/// acquisition order can deadlock.
+pub fn dining_philosophers(n: u32) -> SuiteProgram {
+    assert!(n >= 2);
+    let build = |ordered: bool| {
+        let mut b = ProgramBuilder::new(if ordered {
+            "dining_philosophers_fixed"
+        } else {
+            "dining_philosophers"
+        });
+        let meals = b.var("meals", 0);
+        let forks: Vec<_> = (0..n).map(|i| b.lock(format!("fork{i}"))).collect();
+        b.entry(move |ctx| {
+            let kids: Vec<ThreadId> = (0..n)
+                .map(|i| {
+                    let left = forks[i as usize];
+                    let right = forks[((i + 1) % n) as usize];
+                    // The classic fix: acquire in global order.
+                    let (first, second) = if ordered && left.0 > right.0 {
+                        (right, left)
+                    } else {
+                        (left, right)
+                    };
+                    ctx.spawn(format!("phil{i}"), move |ctx| {
+                        ctx.lock(first);
+                        ctx.yield_now(); // widen the window
+                        ctx.lock(second);
+                        ctx.rmw(meals, |m| m + 1);
+                        ctx.unlock(second);
+                        ctx.unlock(first);
+                    })
+                })
+                .collect();
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    let expected = i64::from(n);
+    SuiteProgram {
+        name: "dining_philosophers",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "dining-deadlock",
+            BugClass::Deadlock,
+            "every philosopher holds the left fork while waiting for the right: \
+             the waits-for graph is a cycle",
+        )
+        .locks(&["fork0", "fork1", "fork2"])],
+        oracle: Arc::new(move |o| {
+            if o.deadlocked() {
+                Verdict::bug("dining-deadlock")
+            } else if o.ok() && o.var("meals") == Some(expected) {
+                Verdict::clean()
+            } else {
+                Verdict::bug("dining-deadlock")
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}
+
+/// The minimal two-lock ordering deadlock.
+pub fn ab_ba() -> SuiteProgram {
+    let build = |consistent: bool| {
+        let mut b = ProgramBuilder::new(if consistent { "ab_ba_fixed" } else { "ab_ba" });
+        let done = b.var("done", 0);
+        let la = b.lock("a");
+        let lb = b.lock("b");
+        b.entry(move |ctx| {
+            let t1 = ctx.spawn("t1", move |ctx| {
+                ctx.lock(la);
+                ctx.yield_now();
+                ctx.lock(lb);
+                ctx.rmw(done, |d| d + 1);
+                ctx.unlock(lb);
+                ctx.unlock(la);
+            });
+            let t2 = ctx.spawn("t2", move |ctx| {
+                let (first, second) = if consistent { (la, lb) } else { (lb, la) };
+                ctx.lock(first);
+                ctx.yield_now();
+                ctx.lock(second);
+                ctx.rmw(done, |d| d + 1);
+                ctx.unlock(second);
+                ctx.unlock(first);
+            });
+            ctx.join(t1);
+            ctx.join(t2);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "ab_ba",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "ab-ba-deadlock",
+            BugClass::Deadlock,
+            "thread 1 locks a then b, thread 2 locks b then a; when each holds \
+             its first lock, neither can proceed",
+        )
+        .locks(&["a", "b"])],
+        oracle: Arc::new(|o| {
+            if o.deadlocked() {
+                Verdict::bug("ab-ba-deadlock")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}
+
+/// A counter-based bounded buffer with no synchronization: concurrent
+/// consumers both take the "same" item.
+pub fn producer_consumer_unsync(items: u32, consumers: u32) -> SuiteProgram {
+    let build = |locked: bool| {
+        let mut b = ProgramBuilder::new(if locked { "pc_unsync_fixed" } else { "pc_unsync" });
+        let count = b.var("count", 0);
+        let consumed = b.var("consumed", 0);
+        let l = b.lock("q");
+        b.entry(move |ctx| {
+            let producer = ctx.spawn("producer", move |ctx| {
+                for _ in 0..items {
+                    if locked {
+                        ctx.lock(l);
+                    }
+                    let c = ctx.read(count);
+                    ctx.write(count, c + 1);
+                    if locked {
+                        ctx.unlock(l);
+                    }
+                }
+            });
+            let kids: Vec<ThreadId> = (0..consumers)
+                .map(|i| {
+                    ctx.spawn(format!("consumer{i}"), move |ctx| {
+                        for _ in 0..items {
+                            if locked {
+                                ctx.lock(l);
+                            }
+                            let c = ctx.read(count);
+                            if c > 0 {
+                                ctx.yield_now(); // the take is not atomic
+                                ctx.write(count, c - 1);
+                                ctx.rmw(consumed, |v| v + 1);
+                            }
+                            if locked {
+                                ctx.unlock(l);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            ctx.join(producer);
+            for k in kids {
+                ctx.join(k);
+            }
+            // Conservation: produced == count + consumed.
+            let c = ctx.read(count);
+            let taken = ctx.read(consumed);
+            ctx.check(c + taken == items as i64, "items-conserved");
+            ctx.check(c >= 0, "no-underflow");
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "pc_unsync",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "pc-race",
+            BugClass::DataRace,
+            "the emptiness check, the take, and the counter update are separate \
+             unsynchronized operations; items are duplicated or lost",
+        )
+        .vars(&["count", "consumed"])],
+        oracle: Arc::new(|o| {
+            if o.assert_failures.is_empty() && o.ok() {
+                Verdict::clean()
+            } else {
+                Verdict::bug("pc-race")
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["count"],
+    }
+}
+
+/// Synchronization by sleeping: the consumer "waits long enough" for the
+/// producer. Any delay of the producer (noise!) breaks the assumption.
+pub fn sleep_sync() -> SuiteProgram {
+    let buggy = {
+        let mut b = ProgramBuilder::new("sleep_sync");
+        let data = b.var("data", 0);
+        b.entry(move |ctx| {
+            let producer = ctx.spawn("producer", move |ctx| {
+                for _ in 0..6 {
+                    ctx.yield_now(); // startup work before the init write
+                }
+                ctx.write(data, 42);
+            });
+            let consumer = ctx.spawn("consumer", move |ctx| {
+                ctx.sleep(12); // "surely the producer is done by now"
+                let d = ctx.read(data);
+                ctx.check(d == 42, "read-after-init");
+            });
+            // Unrelated background load: under a fair scheduler it competes
+            // with the producer for cycles, which is exactly what the sleep
+            // "synchronization" fails to account for.
+            let background = ctx.spawn("background", move |ctx| {
+                for _ in 0..30 {
+                    ctx.yield_now();
+                }
+            });
+            ctx.join(producer);
+            ctx.join(consumer);
+            ctx.join(background);
+        });
+        b.build()
+    };
+    let fixed = {
+        let mut b = ProgramBuilder::new("sleep_sync_fixed");
+        let data = b.var("data", 0);
+        let ready = b.var("ready", 0);
+        let l = b.lock("l");
+        let c = b.cond("c");
+        b.entry(move |ctx| {
+            let producer = ctx.spawn("producer", move |ctx| {
+                for _ in 0..6 {
+                    ctx.yield_now();
+                }
+                ctx.write(data, 42);
+                ctx.lock(l);
+                ctx.write(ready, 1);
+                ctx.notify_all(c);
+                ctx.unlock(l);
+            });
+            let consumer = ctx.spawn("consumer", move |ctx| {
+                ctx.lock(l);
+                while ctx.read(ready) == 0 {
+                    ctx.wait(c, l);
+                }
+                ctx.unlock(l);
+                let d = ctx.read(data);
+                ctx.check(d == 42, "read-after-init");
+            });
+            ctx.join(producer);
+            ctx.join(consumer);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "sleep_sync",
+        size: Size::Small,
+        program: buggy,
+        bugs: vec![BugDoc::new(
+            "sleep-sync",
+            BugClass::OrderingViolation,
+            "a sleep stands in for synchronization; a scheduler (or noise maker) \
+             that delays the producer past the sleep exposes the missing ordering",
+        )
+        .vars(&["data"])],
+        oracle: Arc::new(|o| {
+            if o.assert_failures.iter().any(|a| a.label == "read-after-init") {
+                Verdict::bug("sleep-sync")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(fixed),
+        racy_vars: vec!["data"],
+    }
+}
+
+/// A non-volatile stop flag read through the thread cache: the worker can
+/// spin on the stale value. Bounded spin turns the hang into an assertion.
+pub fn stale_flag() -> SuiteProgram {
+    let build = |volatile: bool| {
+        let mut b = ProgramBuilder::new(if volatile { "stale_flag_fixed" } else { "stale_flag" });
+        let flag = if volatile {
+            b.var("flag", 0)
+        } else {
+            b.var_nonvolatile("flag", 0)
+        };
+        let saw = b.var("saw_stop", 0);
+        b.entry(move |ctx| {
+            let worker = ctx.spawn("worker", move |ctx| {
+                let mut spins = 0;
+                while ctx.read(flag) == 0 && spins < 60 {
+                    ctx.yield_now(); // plain yield: no cache flush
+                    spins += 1;
+                }
+                ctx.write(saw, i64::from(spins < 60));
+                ctx.check(spins < 60, "flag-observed");
+            });
+            ctx.sleep(5); // let the worker cache the initial value
+            ctx.write(flag, 1);
+            ctx.join(worker);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "stale_flag",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "stale-flag",
+            BugClass::StaleRead,
+            "the stop flag is not volatile; the worker's cached copy is never \
+             invalidated because the spin loop performs no synchronization",
+        )
+        .vars(&["flag"])],
+        oracle: Arc::new(|o| {
+            if o.assert_failures.iter().any(|a| a.label == "flag-observed") || o.hung() {
+                Verdict::bug("stale-flag")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["flag"],
+    }
+}
+
+/// A semaphore permit leaked on an "error path": later acquirers starve.
+pub fn sem_leak() -> SuiteProgram {
+    let build = |always_release: bool| {
+        let mut b = ProgramBuilder::new(if always_release { "sem_leak_fixed" } else { "sem_leak" });
+        let errors = b.var("error_mode", 0);
+        let served = b.var("served", 0);
+        let err_lock = b.lock("error_flag");
+        let s = b.sem("pool", 1);
+        b.entry(move |ctx| {
+            let trigger = ctx.spawn("trigger", move |ctx| {
+                ctx.yield_now();
+                // Flip into "error mode" at a racy moment. The flag itself
+                // is properly locked: the seeded bug is the leaked permit,
+                // not a data race.
+                ctx.with_lock(err_lock, |ctx| ctx.write(errors, 1));
+            });
+            let kids: Vec<ThreadId> = (0..3)
+                .map(|i| {
+                    ctx.spawn(format!("worker{i}"), move |ctx| {
+                        ctx.sem_acquire(s);
+                        ctx.rmw(served, |v| v + 1);
+                        let err = ctx.with_lock(err_lock, |ctx| ctx.read(errors));
+                        if always_release || err == 0 {
+                            ctx.sem_release(s);
+                        }
+                        // BUG: on the error path the permit is never returned.
+                    })
+                })
+                .collect();
+            ctx.join(trigger);
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "sem_leak",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "sem-leak",
+            BugClass::SemaphoreMisuse,
+            "a worker that observes error mode forgets to release its permit; \
+             with one permit in the pool, every later acquirer blocks forever",
+        )
+        .vars(&["error_mode"])],
+        oracle: Arc::new(|o| {
+            if o.deadlocked() {
+                Verdict::bug("sem-leak")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}
+
+/// A barrier participant that (racily) decides to skip the barrier: the
+/// remaining parties wait forever.
+pub fn barrier_opt_out() -> SuiteProgram {
+    let build = |always_arrive: bool| {
+        let mut b = ProgramBuilder::new(if always_arrive {
+            "barrier_opt_out_fixed"
+        } else {
+            "barrier_opt_out"
+        });
+        let skip = b.var("skip_work", 0);
+        let phase = b.var("phase_done", 0);
+        let bar = b.barrier("phase", 3);
+        b.entry(move |ctx| {
+            let canceller = ctx.spawn("canceller", move |ctx| {
+                ctx.yield_now();
+                ctx.write(skip, 1);
+            });
+            let kids: Vec<ThreadId> = (0..3)
+                .map(|i| {
+                    ctx.spawn(format!("party{i}"), move |ctx| {
+                        // The fixed party never consults the (racy) flag.
+                        let s = if always_arrive { 0 } else { ctx.read(skip) };
+                        if always_arrive || s == 0 || i != 2 {
+                            ctx.rmw(phase, |p| p + 1);
+                            ctx.barrier_wait(bar);
+                        }
+                        // BUG: party 2 opts out when it sees the flag, but
+                        // the barrier still expects 3 parties.
+                    })
+                })
+                .collect();
+            ctx.join(canceller);
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "barrier_opt_out",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "barrier-party",
+            BugClass::BarrierMisuse,
+            "one party conditionally skips the barrier while the party count \
+             still includes it; the other parties wait forever",
+        )
+        .vars(&["skip_work"])],
+        oracle: Arc::new(|o| {
+            if o.deadlocked() {
+                Verdict::bug("barrier-party")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        // The opt-out decision itself reads the flag unsynchronized: the
+        // race and the barrier misuse are two faces of the same bug.
+        racy_vars: vec!["skip_work"],
+    }
+}
+
+/// The `Vector`-style compound-interface bug: size check and element use
+/// are individually synchronized but not atomic together.
+pub fn compound_vector() -> SuiteProgram {
+    let program = {
+        let mut b = ProgramBuilder::new("compound_vector");
+        let size = b.var("size", 1);
+        let valid = b.var("elem_valid", 1);
+        let l = b.lock("vec");
+        b.entry(move |ctx| {
+            let reader = ctx.spawn("reader", move |ctx| {
+                let s = ctx.with_lock(l, |ctx| ctx.read(size));
+                if s > 0 {
+                    ctx.yield_now(); // the gap between check and use
+                    let v = ctx.with_lock(l, |ctx| ctx.read(valid));
+                    ctx.check(v == 1, "get-in-bounds");
+                }
+            });
+            let remover = ctx.spawn("remover", move |ctx| {
+                ctx.lock(l);
+                let s = ctx.read(size);
+                if s > 0 {
+                    ctx.write(size, s - 1);
+                    ctx.write(valid, 0); // element gone
+                }
+                ctx.unlock(l);
+            });
+            ctx.join(reader);
+            ctx.join(remover);
+        });
+        b.build()
+    };
+    // The fix is structural: one critical section spanning check and use.
+    let fixed = {
+        let mut b = ProgramBuilder::new("compound_vector_fixed");
+        let size = b.var("size", 1);
+        let valid = b.var("elem_valid", 1);
+        let l = b.lock("vec");
+        b.entry(move |ctx| {
+            let reader = ctx.spawn("reader", move |ctx| {
+                ctx.lock(l);
+                let s = ctx.read(size);
+                if s > 0 {
+                    ctx.yield_now();
+                    let v = ctx.read(valid);
+                    ctx.check(v == 1, "get-in-bounds");
+                }
+                ctx.unlock(l);
+            });
+            let remover = ctx.spawn("remover", move |ctx| {
+                ctx.lock(l);
+                let s = ctx.read(size);
+                if s > 0 {
+                    ctx.write(size, s - 1);
+                    ctx.write(valid, 0);
+                }
+                ctx.unlock(l);
+            });
+            ctx.join(reader);
+            ctx.join(remover);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "compound_vector",
+        size: Size::Small,
+        program,
+        bugs: vec![BugDoc::new(
+            "compound-interface",
+            BugClass::AtomicityViolation,
+            "size() and get() each take the vector lock, but the remover can \
+             run between them — the individually-synchronized compound \
+             operation is not atomic",
+        )
+        .vars(&["size", "elem_valid"])
+        .locks(&["vec"])],
+        oracle: Arc::new(|o| {
+            if o.assert_failures.iter().any(|a| a.label == "get-in-bounds") {
+                Verdict::bug("compound-interface")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(fixed),
+        // Every access is individually locked: lockset and happens-before
+        // detectors are rightly silent — the bug is atomicity-only and
+        // belongs to noise/exploration/oracle-based techniques.
+        racy_vars: vec![],
+    }
+}
+
+/// The nested-monitor problem: waiting on an inner condition while holding
+/// an outer lock starves the notifier.
+pub fn nested_monitor() -> SuiteProgram {
+    let buggy = {
+        let mut b = ProgramBuilder::new("nested_monitor");
+        let ready = b.var("ready", 0);
+        let outer = b.lock("outer");
+        let inner = b.lock("inner");
+        let c = b.cond("c");
+        b.entry(move |ctx| {
+            let consumer = ctx.spawn("consumer", move |ctx| {
+                ctx.lock(outer); // BUG: held across the wait
+                ctx.lock(inner);
+                while ctx.read(ready) == 0 {
+                    ctx.wait(c, inner); // releases inner only, not outer
+                }
+                ctx.unlock(inner);
+                ctx.unlock(outer);
+            });
+            let producer = ctx.spawn("producer", move |ctx| {
+                ctx.lock(outer); // blocks forever once consumer waits
+                ctx.lock(inner);
+                ctx.write(ready, 1);
+                ctx.notify(c);
+                ctx.unlock(inner);
+                ctx.unlock(outer);
+            });
+            ctx.join(consumer);
+            ctx.join(producer);
+        });
+        b.build()
+    };
+    let fixed = {
+        let mut b = ProgramBuilder::new("nested_monitor_fixed");
+        let ready = b.var("ready", 0);
+        let inner = b.lock("inner");
+        let c = b.cond("c");
+        b.entry(move |ctx| {
+            let consumer = ctx.spawn("consumer", move |ctx| {
+                ctx.lock(inner);
+                while ctx.read(ready) == 0 {
+                    ctx.wait(c, inner);
+                }
+                ctx.unlock(inner);
+            });
+            let producer = ctx.spawn("producer", move |ctx| {
+                ctx.lock(inner);
+                ctx.write(ready, 1);
+                ctx.notify(c);
+                ctx.unlock(inner);
+            });
+            ctx.join(consumer);
+            ctx.join(producer);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "nested_monitor",
+        size: Size::Small,
+        program: buggy,
+        bugs: vec![BugDoc::new(
+            "nested-monitor",
+            BugClass::Deadlock,
+            "the consumer waits on the inner condition while still holding the \
+             outer lock; the producer needs the outer lock to ever notify",
+        )
+        .locks(&["outer", "inner"])
+        .conds(&["c"])],
+        oracle: Arc::new(|o| {
+            if o.deadlocked() {
+                Verdict::bug("nested-monitor")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(fixed),
+        racy_vars: vec![],
+    }
+}
+
+/// Publication through a volatile flag while the payload is plain: the
+/// consumer can observe the flag yet read a stale payload from its cache —
+/// the double-checked-locking visibility bug, model style.
+pub fn publish_stale() -> SuiteProgram {
+    let build = |payload_volatile: bool| {
+        let mut b = ProgramBuilder::new(if payload_volatile {
+            "publish_stale_fixed"
+        } else {
+            "publish_stale"
+        });
+        let data = if payload_volatile {
+            b.var("data", 0)
+        } else {
+            b.var_nonvolatile("data", 0)
+        };
+        let flag = b.var("flag", 0); // volatile
+        b.entry(move |ctx| {
+            let consumer = ctx.spawn("consumer", move |ctx| {
+                let _prefetch = ctx.read(data); // may cache the unset payload
+                let mut spins = 0;
+                while ctx.read(flag) == 0 && spins < 50 {
+                    ctx.yield_now();
+                    spins += 1;
+                }
+                if ctx.read(flag) == 1 {
+                    let d = ctx.read(data); // can be the stale cached 0
+                    ctx.check(d == 42, "payload-visible");
+                }
+            });
+            let producer = ctx.spawn("producer", move |ctx| {
+                ctx.write(data, 42);
+                ctx.write(flag, 1);
+            });
+            ctx.join(consumer);
+            ctx.join(producer);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "publish_stale",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "publish-stale",
+            BugClass::StaleRead,
+            "the readiness flag is volatile but the payload is not: a consumer \
+             that cached the payload before publication sees flag=1 with the \
+             old payload — the double-checked-locking pitfall",
+        )
+        .vars(&["data", "flag"])],
+        oracle: Arc::new(|o| {
+            if o.assert_failures.iter().any(|a| a.label == "payload-visible") {
+                Verdict::bug("publish-stale")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec!["data"],
+    }
+}
+
+/// A wait with no predicate loop. Under plain scheduling it (usually)
+/// works; a missed notify shows up as deadlock, and **spurious wakeups**
+/// (see [`mtt_runtime::ExecutionOptions::spurious_wakeups`]) expose the
+/// missing loop directly — the waiter proceeds with the predicate false.
+pub fn unguarded_wait() -> SuiteProgram {
+    let build = |guarded: bool| {
+        let mut b = ProgramBuilder::new(if guarded {
+            "unguarded_wait_fixed"
+        } else {
+            "unguarded_wait"
+        });
+        let ready = b.var("ready", 0);
+        let l = b.lock("l");
+        let c = b.cond("c");
+        b.entry(move |ctx| {
+            let waiter = ctx.spawn("waiter", move |ctx| {
+                ctx.lock(l);
+                if guarded {
+                    while ctx.read(ready) == 0 {
+                        ctx.wait(c, l);
+                    }
+                } else {
+                    ctx.wait(c, l); // BUG: no predicate loop
+                }
+                let r = ctx.read(ready);
+                ctx.check(r == 1, "ready-after-wait");
+                ctx.unlock(l);
+            });
+            let producer = ctx.spawn("producer", move |ctx| {
+                ctx.sleep(2); // usually enough for the waiter to park — not always
+                ctx.lock(l);
+                ctx.write(ready, 1);
+                ctx.notify(c);
+                ctx.unlock(l);
+            });
+            ctx.join(waiter);
+            ctx.join(producer);
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "unguarded_wait",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "unguarded-wait",
+            BugClass::MissedSignal,
+            "the wait has no predicate re-check: a notify that fires first \
+             deadlocks it, and any spurious wakeup sails past the wait with \
+             the predicate still false",
+        )
+        .conds(&["c"])
+        .vars(&["ready"])],
+        oracle: Arc::new(|o| {
+            let assert_hit = o
+                .assert_failures
+                .iter()
+                .any(|a| a.label == "ready-after-wait");
+            if o.deadlocked() || assert_hit {
+                Verdict::bug("unguarded-wait")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}
+
+/// Readers–writers where the reader count is maintained with plain
+/// read-inc-write updates: lost updates corrupt the gate protocol, letting
+/// a writer overlap readers or leaving the gate permit lost forever.
+pub fn reader_writer(readers: u32) -> SuiteProgram {
+    let build = |counted: bool| {
+        let mut b = ProgramBuilder::new(if counted {
+            "reader_writer_fixed"
+        } else {
+            "reader_writer"
+        });
+        let rc = b.var("readers", 0);
+        let in_rs = b.var("in_read_section", 0);
+        let writer_in = b.var("writer_in", 0);
+        let violations = b.var("violations", 0);
+        let count_lock = b.lock("count");
+        let gate = b.sem("gate", 1);
+        b.entry(move |ctx| {
+            let mut kids: Vec<ThreadId> = Vec::new();
+            for i in 0..readers {
+                kids.push(ctx.spawn(format!("reader{i}"), move |ctx| {
+                    // Enter.
+                    if counted {
+                        ctx.lock(count_lock);
+                    }
+                    let r = ctx.read(rc);
+                    ctx.write(rc, r + 1);
+                    if r == 0 {
+                        ctx.sem_acquire(gate); // first reader takes the gate
+                    }
+                    if counted {
+                        ctx.unlock(count_lock);
+                    }
+                    // Read section: a writer here is a violation.
+                    ctx.rmw(in_rs, |v| v + 1);
+                    if ctx.read(writer_in) == 1 {
+                        ctx.rmw(violations, |v| v + 1);
+                    }
+                    ctx.yield_now();
+                    ctx.rmw(in_rs, |v| v - 1);
+                    // Exit.
+                    if counted {
+                        ctx.lock(count_lock);
+                    }
+                    let r = ctx.read(rc);
+                    ctx.write(rc, r - 1);
+                    if r == 1 {
+                        ctx.sem_release(gate); // last reader returns it
+                    }
+                    if counted {
+                        ctx.unlock(count_lock);
+                    }
+                }));
+            }
+            kids.push(ctx.spawn("writer", move |ctx| {
+                ctx.sem_acquire(gate);
+                ctx.write(writer_in, 1);
+                ctx.yield_now();
+                // A reader past the gate while the writer holds it.
+                if ctx.read(in_rs) > 0 {
+                    ctx.rmw(violations, |v| v + 1);
+                }
+                ctx.write(writer_in, 0);
+                ctx.sem_release(gate);
+            }));
+            for k in kids {
+                ctx.join(k);
+            }
+            let v = ctx.read(violations);
+            ctx.check(v == 0, "rw-exclusion");
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "reader_writer",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "rw-count-race",
+            BugClass::DataRace,
+            "the reader count is read-inc-write with no lock: two entering \
+             readers both see zero (double gate acquisition / writer overlap) \
+             or both see one on exit (gate permit lost, writer starves)",
+        )
+        .vars(&["readers", "writer_in", "in_read_section"])],
+        oracle: Arc::new(|o| {
+            let bad = o.assert_failures.iter().any(|a| a.label == "rw-exclusion");
+            if bad || o.deadlocked() {
+                Verdict::bug("rw-count-race")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        // `writer_in` is read by readers while the writer writes it — the
+        // violation-detection mechanism is itself an (intentional) race.
+        racy_vars: vec!["readers", "writer_in"],
+    }
+}
+
+/// A retry path that releases its semaphore permit twice: the pool's
+/// capacity silently grows and the critical section overfills.
+pub fn sem_double_release() -> SuiteProgram {
+    let build = |single_release: bool| {
+        let mut b = ProgramBuilder::new(if single_release {
+            "sem_double_release_fixed"
+        } else {
+            "sem_double_release"
+        });
+        let inside = b.var("inside", 0);
+        let flaky = b.var("flaky_mode", 0);
+        let flaky_lock = b.lock("flaky_flag");
+        let pool = b.sem("pool", 1);
+        b.entry(move |ctx| {
+            let trigger = ctx.spawn("trigger", move |ctx| {
+                ctx.yield_now();
+                ctx.with_lock(flaky_lock, |ctx| ctx.write(flaky, 1));
+            });
+            let kids: Vec<ThreadId> = (0..3)
+                .map(|i| {
+                    ctx.spawn(format!("worker{i}"), move |ctx| {
+                        ctx.sem_acquire(pool);
+                        let n = ctx.rmw(inside, |v| v + 1) + 1;
+                        ctx.check(n <= 1, "pool-capacity");
+                        ctx.yield_now();
+                        ctx.rmw(inside, |v| v - 1);
+                        ctx.sem_release(pool);
+                        let f = ctx.with_lock(flaky_lock, |ctx| ctx.read(flaky));
+                        if !single_release && f == 1 && i == 0 {
+                            // BUG: the retry path releases again.
+                            ctx.sem_release(pool);
+                        }
+                    })
+                })
+                .collect();
+            ctx.join(trigger);
+            for k in kids {
+                ctx.join(k);
+            }
+        });
+        b.build()
+    };
+    SuiteProgram {
+        name: "sem_double_release",
+        size: Size::Small,
+        program: build(false),
+        bugs: vec![BugDoc::new(
+            "sem-double-release",
+            BugClass::SemaphoreMisuse,
+            "an error-retry path returns its permit twice; the pool now \
+             admits two workers into a one-permit critical section",
+        )
+        .vars(&["flaky_mode", "inside"])],
+        oracle: Arc::new(|o| {
+            if o.assert_failures.iter().any(|a| a.label == "pool-capacity") {
+                Verdict::bug("sem-double-release")
+            } else {
+                Verdict::clean()
+            }
+        }),
+        fixed: Some(build(true)),
+        racy_vars: vec![],
+    }
+}

@@ -1,0 +1,201 @@
+//! Bug-involvement annotation: marking which trace records touch which
+//! documented bugs.
+//!
+//! The paper's trace format annotates every record with "if this location
+//! is involved in a bug", so that detector output can be scored against
+//! ground truth ("the ratio between real bugs and false warnings can be
+//! easily verified"). A documented bug's *footprint* is the set of shared
+//! variables and locks it involves; a record is involved in the bug when it
+//! operates on any of them.
+
+use crate::record::Trace;
+use mtt_instrument::Op;
+use serde::{Deserialize, Serialize};
+
+/// The resource footprint of one documented bug.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugFootprint {
+    /// Stable bug tag (e.g. `"lost-update-x"`).
+    pub tag: String,
+    /// Names of shared variables the bug involves.
+    pub vars: Vec<String>,
+    /// Names of locks the bug involves.
+    pub locks: Vec<String>,
+    /// Names of condition variables the bug involves.
+    pub conds: Vec<String>,
+}
+
+impl BugFootprint {
+    /// Footprint over variables only.
+    pub fn vars(tag: impl Into<String>, vars: &[&str]) -> Self {
+        BugFootprint {
+            tag: tag.into(),
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Footprint over locks only.
+    pub fn locks(tag: impl Into<String>, locks: &[&str]) -> Self {
+        BugFootprint {
+            tag: tag.into(),
+            locks: locks.iter().map(|s| s.to_string()).collect(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Annotate `trace` in place: each record touching a footprint resource
+/// gets the bug's tag appended (once), and every footprint tag is recorded
+/// in `meta.known_bugs`. Returns the number of records tagged.
+pub fn annotate(trace: &mut Trace, footprints: &[BugFootprint]) -> usize {
+    // Resolve names to ids against the trace's own name tables.
+    struct Resolved<'a> {
+        tag: &'a str,
+        vars: Vec<u32>,
+        locks: Vec<u32>,
+        conds: Vec<u32>,
+    }
+    let resolve = |names: &[String], table: &[String]| -> Vec<u32> {
+        names
+            .iter()
+            .filter_map(|n| table.iter().position(|t| t == n).map(|i| i as u32))
+            .collect()
+    };
+    let resolved: Vec<Resolved> = footprints
+        .iter()
+        .map(|f| Resolved {
+            tag: &f.tag,
+            vars: resolve(&f.vars, &trace.meta.var_names),
+            locks: resolve(&f.locks, &trace.meta.lock_names),
+            conds: resolve(&f.conds, &trace.meta.cond_names),
+        })
+        .collect();
+
+    for f in footprints {
+        if !trace.meta.known_bugs.contains(&f.tag) {
+            trace.meta.known_bugs.push(f.tag.clone());
+        }
+    }
+
+    let mut tagged = 0;
+    for rec in &mut trace.records {
+        for f in &resolved {
+            let involved = match rec.op {
+                Op::VarRead { var, .. } | Op::VarWrite { var, .. } | Op::VarRmw { var, .. } => {
+                    f.vars.contains(&var.0)
+                }
+                Op::LockRequest { lock }
+                | Op::LockAcquire { lock }
+                | Op::LockRelease { lock }
+                | Op::LockTryFail { lock } => f.locks.contains(&lock.0),
+                Op::CondWait { cond, lock } | Op::CondWake { cond, lock } => {
+                    f.conds.contains(&cond.0) || f.locks.contains(&lock.0)
+                }
+                Op::CondNotify { cond, .. } => f.conds.contains(&cond.0),
+                _ => false,
+            };
+            if involved && !rec.bug_tags.iter().any(|t| t == f.tag) {
+                rec.bug_tags.push(f.tag.to_string());
+                tagged += 1;
+            }
+        }
+    }
+    tagged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{TraceMeta, TraceRecord};
+    use mtt_instrument::{CondId, LockId, VarId};
+
+    fn rec(op: Op) -> TraceRecord {
+        TraceRecord {
+            seq: 0,
+            time: 0,
+            thread: 0,
+            file: "p".into(),
+            line: 1,
+            op,
+            locks_held: vec![],
+            bug_tags: vec![],
+        }
+    }
+
+    fn trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                var_names: vec!["x".into(), "y".into()],
+                lock_names: vec!["l".into()],
+                cond_names: vec!["c".into()],
+                ..Default::default()
+            },
+            records: vec![
+                rec(Op::VarWrite {
+                    var: VarId(0),
+                    value: 1,
+                }),
+                rec(Op::VarRead {
+                    var: VarId(1),
+                    value: 0,
+                }),
+                rec(Op::LockAcquire { lock: LockId(0) }),
+                rec(Op::CondNotify {
+                    cond: CondId(0),
+                    all: false,
+                }),
+                rec(Op::Yield),
+            ],
+        }
+    }
+
+    #[test]
+    fn var_footprint_tags_matching_accesses_only() {
+        let mut t = trace();
+        let n = annotate(&mut t, &[BugFootprint::vars("race-x", &["x"])]);
+        assert_eq!(n, 1);
+        assert_eq!(t.records[0].bug_tags, vec!["race-x"]);
+        assert!(t.records[1].bug_tags.is_empty());
+        assert!(t.records[4].bug_tags.is_empty());
+        assert_eq!(t.meta.known_bugs, vec!["race-x"]);
+    }
+
+    #[test]
+    fn lock_and_cond_footprints() {
+        let mut t = trace();
+        let n = annotate(
+            &mut t,
+            &[
+                BugFootprint::locks("dl", &["l"]),
+                BugFootprint {
+                    tag: "lost-notify".into(),
+                    conds: vec!["c".into()],
+                    ..Default::default()
+                },
+            ],
+        );
+        assert_eq!(n, 2);
+        assert_eq!(t.records[2].bug_tags, vec!["dl"]);
+        assert_eq!(t.records[3].bug_tags, vec!["lost-notify"]);
+    }
+
+    #[test]
+    fn annotation_is_idempotent() {
+        let mut t = trace();
+        let fp = [BugFootprint::vars("race-x", &["x"])];
+        annotate(&mut t, &fp);
+        let n2 = annotate(&mut t, &fp);
+        assert_eq!(n2, 0, "second pass must not re-tag");
+        assert_eq!(t.records[0].bug_tags.len(), 1);
+        assert_eq!(t.meta.known_bugs.len(), 1);
+    }
+
+    #[test]
+    fn unknown_names_are_ignored() {
+        let mut t = trace();
+        let n = annotate(&mut t, &[BugFootprint::vars("ghost", &["zzz"])]);
+        assert_eq!(n, 0);
+        assert_eq!(t.meta.known_bugs, vec!["ghost"]);
+    }
+}

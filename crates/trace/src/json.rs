@@ -1,0 +1,190 @@
+//! JSON-lines codec: the human-readable, tool-agnostic "standard format".
+//!
+//! Layout: line 1 is the [`TraceMeta`] object; every following line is one
+//! [`TraceRecord`]. JSON-lines streams (a detector can process a trace
+//! larger than memory) and diffs cleanly in review.
+
+use crate::record::{Trace, TraceMeta, TraceRecord};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from reading a JSON trace.
+#[derive(Debug)]
+pub enum JsonTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line failed to parse.
+    Parse { line: usize, source: serde_json::Error },
+    /// The stream had no meta line.
+    MissingMeta,
+}
+
+impl std::fmt::Display for JsonTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonTraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            JsonTraceError::Parse { line, source } => {
+                write!(f, "trace parse error on line {line}: {source}")
+            }
+            JsonTraceError::MissingMeta => write!(f, "trace stream is empty (no meta line)"),
+        }
+    }
+}
+
+impl std::error::Error for JsonTraceError {}
+
+impl From<io::Error> for JsonTraceError {
+    fn from(e: io::Error) -> Self {
+        JsonTraceError::Io(e)
+    }
+}
+
+/// Serialize `trace` as JSON lines into `w`.
+pub fn write<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    serde_json::to_writer(&mut w, &trace.meta)?;
+    w.write_all(b"\n")?;
+    for r in &trace.records {
+        serde_json::to_writer(&mut w, r)?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()
+}
+
+/// Serialize to an in-memory string (small traces, tests, goldens).
+pub fn to_string(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write(trace, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("serde_json emits UTF-8")
+}
+
+/// Deserialize a JSON-lines trace from `r`.
+pub fn read<R: Read>(r: R) -> Result<Trace, JsonTraceError> {
+    let mut lines = BufReader::new(r).lines();
+    let meta_line = lines.next().ok_or(JsonTraceError::MissingMeta)??;
+    let meta: TraceMeta =
+        serde_json::from_str(&meta_line).map_err(|source| JsonTraceError::Parse {
+            line: 1,
+            source,
+        })?;
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(&line).map_err(|source| JsonTraceError::Parse {
+                line: i + 2,
+                source,
+            })?;
+        records.push(rec);
+    }
+    Ok(Trace { meta, records })
+}
+
+/// Parse from a string.
+pub fn from_str(s: &str) -> Result<Trace, JsonTraceError> {
+    read(s.as_bytes())
+}
+
+/// Write a trace to `path`.
+pub fn save(trace: &Trace, path: impl AsRef<Path>) -> io::Result<()> {
+    write(trace, std::fs::File::create(path)?)
+}
+
+/// Read a trace from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<Trace, JsonTraceError> {
+    read(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_instrument::{Op, VarId};
+
+    fn sample() -> Trace {
+        let mut t = Trace::default();
+        t.meta.program = "demo".into();
+        t.meta.var_names = vec!["x".into()];
+        for i in 0..5 {
+            t.records.push(TraceRecord {
+                seq: i,
+                time: i,
+                thread: (i % 2) as u32,
+                file: "demo.rs".into(),
+                line: 10 + i as u32,
+                op: Op::VarWrite {
+                    var: VarId(0),
+                    value: i as i64,
+                },
+                locks_held: vec![],
+                bug_tags: if i == 2 { vec!["b1".into()] } else { vec![] },
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let s = to_string(&t);
+        let back = from_str(&s).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn format_is_one_json_object_per_line() {
+        let s = to_string(&sample());
+        let lines: Vec<&str> = s.trim_end().lines().collect();
+        assert_eq!(lines.len(), 6); // meta + 5 records
+        for l in lines {
+            assert!(serde_json::from_str::<serde_json::Value>(l).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_bug_tags_are_omitted_from_json() {
+        let s = to_string(&sample());
+        let lines: Vec<&str> = s.trim_end().lines().collect();
+        assert!(!lines[1].contains("bug_tags"));
+        assert!(lines[3].contains("bug_tags"));
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        match from_str("") {
+            Err(JsonTraceError::MissingMeta) => {}
+            other => panic!("expected MissingMeta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_record_line_reports_line_number() {
+        let mut s = to_string(&sample());
+        s.push_str("{not json\n");
+        match from_str(&s) {
+            Err(JsonTraceError::Parse { line, .. }) => assert_eq!(line, 7),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let s = to_string(&sample()).replace('\n', "\n\n");
+        let back = from_str(&s).unwrap();
+        assert_eq!(back.records.len(), 5);
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let dir = std::env::temp_dir().join(format!("mtt-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        let t = sample();
+        save(&t, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,59 @@
+//! Noise-maker shoot-out on server-side workloads — the paper's motivating
+//! scenario ("multi-threaded code is becoming very common, mostly on the
+//! server side") run through prepared experiment E1.
+//!
+//! Compares the full noise-heuristic roster on the bounded-queue task
+//! server and the web-session simulator, then shows the placement question:
+//! the same heuristic consulted everywhere vs only at synchronization
+//! operations vs only at shared-variable accesses.
+//!
+//! ```sh
+//! cargo run --release --example noise_hunt
+//! ```
+
+use mtt::experiment::campaign::{Campaign, ToolConfig};
+use mtt::noise::{placement, RandomSleep};
+use std::sync::Arc;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Round 1: which heuristic? (E1 on two server-ish programs)
+    // ------------------------------------------------------------------
+    let programs = vec![
+        mtt::suite::medium::bounded_queue(3, 3, 1),
+        mtt::suite::large::web_sessions(3, 4),
+    ];
+    let campaign = Campaign::standard(programs, 40);
+    let report = campaign.run();
+    println!("{}", report.table().render());
+    println!("heuristic ranking (mean find-rate):");
+    for (tool, rate) in report.ranking() {
+        println!("  {tool:<14} {rate:.3}");
+    }
+
+    // ------------------------------------------------------------------
+    // Round 2: where to put the noise? (the placement research question)
+    // ------------------------------------------------------------------
+    let noise = |label: &str| {
+        ToolConfig::with_noise(
+            label,
+            Arc::new(|s| Box::new(RandomSleep::new(s, 0.25, 20))),
+        )
+    };
+    let placement_campaign = Campaign {
+        programs: vec![mtt::suite::large::web_sessions(3, 4)],
+        tools: vec![
+            ToolConfig::baseline(),
+            noise("sleep"),
+            noise("sleep").placed(placement::sync_only(), "sync-only"),
+            noise("sleep").placed(placement::var_access_only(), "var-access"),
+        ],
+        runs: 40,
+        base_seed: 0xbeef,
+        max_steps: 60_000,
+    };
+    let placement_report = placement_campaign.run();
+    println!("{}", placement_report.table().render());
+    println!("note: fewer consulted points = less overhead; the find-rate");
+    println!("column shows what each placement gives up.");
+}

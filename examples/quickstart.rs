@@ -1,0 +1,83 @@
+//! Quickstart: write a model program with a seeded concurrency bug, let the
+//! framework find it, and replay the failing schedule deterministically.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mtt::explore::{ExploreOptions, Explorer};
+use mtt::prelude::*;
+use mtt::quick_check;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A tiny "account service" with a classic atomicity bug: the
+    //    balance check and the withdrawal are separate operations.
+    // ------------------------------------------------------------------
+    let mut b = ProgramBuilder::new("account_service");
+    let balance = b.var("balance", 100);
+    let overdrafts = b.var("overdrafts", 0);
+    b.entry(move |ctx| {
+        let kids: Vec<ThreadId> = (0..2)
+            .map(|i| {
+                ctx.spawn(format!("teller{i}"), move |ctx| {
+                    let available = ctx.read(balance); // check…
+                    if available >= 80 {
+                        ctx.yield_now(); //          …window…
+                        let current = ctx.read(balance);
+                        ctx.write(balance, current - 80); // …act.
+                        if ctx.read(balance) < 0 {
+                            ctx.rmw(overdrafts, |o| o + 1);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for k in kids {
+            ctx.join(k);
+        }
+        let final_balance = ctx.read(balance);
+        ctx.check(final_balance >= 0, "no-overdraft");
+    });
+    let program = b.build();
+
+    // ------------------------------------------------------------------
+    // 2. quick_check: noise + both race detectors + lock-order analysis.
+    // ------------------------------------------------------------------
+    let report = quick_check(&program, 30, 7);
+    println!("{}", report.render(&program));
+
+    // ------------------------------------------------------------------
+    // 3. Systematic exploration: find a failing schedule exhaustively and
+    //    save it as a replayable scenario.
+    // ------------------------------------------------------------------
+    let explorer = Explorer::new(&program, ExploreOptions::default());
+    let result = explorer.run();
+    println!(
+        "exploration: {} executions, {} transitions, {} bug(s)",
+        result.executions,
+        result.transitions,
+        result.bugs.len()
+    );
+    let Some(bug) = result.bugs.first() else {
+        println!("no bug found — nothing to replay");
+        return;
+    };
+    println!("counterexample outcome: {}", bug.outcome.summary());
+
+    // ------------------------------------------------------------------
+    // 4. Replay the scenario: same schedule, same failure, every time.
+    // ------------------------------------------------------------------
+    for attempt in 0..3 {
+        let playback = PlaybackScheduler::new(bug.schedule.clone(), DivergencePolicy::Strict);
+        let replayed = Execution::new(&program)
+            .scheduler(Box::new(playback))
+            .run();
+        assert_eq!(
+            replayed.fingerprint(),
+            bug.outcome.fingerprint(),
+            "replay diverged"
+        );
+        println!("replay #{attempt}: reproduced ({})", replayed.summary());
+    }
+}

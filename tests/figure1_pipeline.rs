@@ -1,0 +1,145 @@
+//! F1: every edge of the paper's Figure 1, exercised on one artifact.
+//!
+//! The diagram's information flows: static analysis → instrumentation,
+//! static analysis → dynamic technologies; instrumentation enables noise,
+//! race detection, replay, coverage (online) and trace evaluation
+//! (offline); exploration uses replay to save scenarios. This test drives
+//! a single MiniProg program through all of them.
+
+use mtt::coverage::{ContentionCoverage, CoverageModel, SyncCoverage};
+use mtt::instrument::{shared, InstrumentationPlan};
+use mtt::prelude::*;
+use mtt::statik::{analyze, compile, parse, samples};
+use mtt::trace::TraceCollector;
+
+#[test]
+fn figure1_static_to_dynamic_pipeline() {
+    // ------------------------------------------------------------------
+    // Static side: parse & analyze (the "Static" box).
+    // ------------------------------------------------------------------
+    let ast = parse(samples::LOST_UPDATE).expect("sample parses");
+    let analysis = analyze(&ast);
+    assert!(
+        analysis.shared_vars.contains("x"),
+        "escape analysis must find the shared variable"
+    );
+    assert!(!analysis.races.is_empty(), "static lockset must warn");
+
+    // Static → instrumentation edge: the advice prunes the plan.
+    let advised_plan = InstrumentationPlan::advised(analysis.info.clone());
+    let program = compile(&ast);
+
+    // ------------------------------------------------------------------
+    // Dynamic side, all consumers attached at once (the "Dynamic" box):
+    // noise + race detection + coverage + trace collection, instrumented
+    // through the advised plan, while a recorder captures the schedule.
+    // ------------------------------------------------------------------
+    let (race_sink, race) = shared(VectorClockDetector::new());
+    let (cont_sink, contention) = shared(ContentionCoverage::with_feasible(
+        &program.var_table(),
+        &analysis.info,
+    ));
+    let (sync_sink, sync_cov) = shared(SyncCoverage::new());
+    let (trace_sink, trace_handle) = shared(TraceCollector::new());
+
+    let mut bug_seen = false;
+    let mut recorded: Option<(mtt::replay::ReplayLog, u64)> = None;
+    for seed in 0..80 {
+        let (sched, noise, rec_handle) = record(
+            program.name(),
+            seed,
+            RandomScheduler::sticky(seed, 0.85),
+            RandomSleep::new(seed, 0.3, 12),
+        );
+        let outcome = Execution::new(&program)
+            .scheduler(Box::new(sched))
+            .noise(Box::new(noise))
+            .plan(advised_plan.clone())
+            .sink(Box::new(race_sink.clone()))
+            .sink(Box::new(cont_sink.clone()))
+            .sink(Box::new(sync_sink.clone()))
+            .sink(Box::new(trace_sink.clone()))
+            .run();
+        // The lost update manifests as x != 2 on some schedule.
+        if outcome.ok() && outcome.var("x") != Some(2) {
+            bug_seen = true;
+            if recorded.is_none() {
+                recorded = Some((rec_handle.take_log(), outcome.fingerprint()));
+            }
+        }
+    }
+    assert!(bug_seen, "noise never exposed the lost update in 80 runs");
+
+    // Race detection (online, on the advised event stream) found the race.
+    assert!(
+        !race.lock().unwrap().warnings.is_empty(),
+        "happens-before detector must flag x under some schedule"
+    );
+
+    // Coverage models accumulated concurrency tasks within the feasible
+    // universe the static analysis provided.
+    let cont = contention.lock().unwrap();
+    assert!(
+        cont.covered_tasks().contains("x"),
+        "contention coverage must include x: {:?}",
+        cont.covered_tasks()
+    );
+    assert_eq!(cont.ratio(), Some(1.0), "x is the entire feasible universe");
+    drop(cont);
+    let _ = sync_cov.lock().unwrap().covered_tasks();
+
+    // ------------------------------------------------------------------
+    // Replay edge: the recorded buggy schedule reproduces exactly.
+    // ------------------------------------------------------------------
+    let (log, fingerprint) = recorded.expect("a buggy run was recorded");
+    let playback = PlaybackScheduler::new(log.clone(), DivergencePolicy::Strict);
+    let report = playback.report_handle();
+    let replayed = Execution::new(&program)
+        .scheduler(Box::new(playback))
+        .noise(Box::new(PlaybackNoise::new(&log)))
+        .plan(advised_plan)
+        .run();
+    assert_eq!(replayed.fingerprint(), fingerprint, "replay must reproduce");
+    assert!(report.lock().unwrap().is_clean());
+
+    // ------------------------------------------------------------------
+    // Trace-evaluation edge (offline): the recorded trace, fed to a fresh
+    // offline detector, reaches the same conclusion as the online one.
+    // ------------------------------------------------------------------
+    let trace = {
+        let mut guard = trace_handle.lock().unwrap();
+        std::mem::take(&mut guard.trace)
+    };
+    assert!(!trace.is_empty());
+    let mut offline = VectorClockDetector::new();
+    trace.feed(&mut offline);
+    assert!(
+        !offline.warnings.is_empty(),
+        "offline detection over the stored trace must also flag the race"
+    );
+}
+
+#[test]
+fn figure1_exploration_uses_replay_for_scenarios() {
+    // Exploration (the systematic box) saves scenarios via the replay
+    // component, closing the remaining Figure 1 edge.
+    let ast = parse(samples::CHECK_THEN_ACT).expect("sample parses");
+    let program = compile(&ast);
+    let explorer = mtt::explore::Explorer::new(
+        &program,
+        mtt::explore::ExploreOptions {
+            stateful: true,
+            ..Default::default()
+        },
+    );
+    let result = explorer.run();
+    let bug = result.bugs.first().expect("double-create must be found");
+    assert!(
+        !bug.outcome.assert_failures.is_empty(),
+        "the scenario violates the created-once assertion"
+    );
+    // The saved scenario replays to the identical failure.
+    let playback = PlaybackScheduler::new(bug.schedule.clone(), DivergencePolicy::Strict);
+    let replayed = Execution::new(&program).scheduler(Box::new(playback)).run();
+    assert_eq!(replayed.fingerprint(), bug.outcome.fingerprint());
+}

@@ -1,0 +1,98 @@
+//! The on-line/off-line equivalence guarantee behind §4.1: a detector fed
+//! the *stored trace* of an execution reaches exactly the conclusions it
+//! would have reached attached live. This is what makes "evaluating race
+//! detection algorithms using the traces without any work on the programs"
+//! legitimate.
+
+use mtt::deadlock::LockOrderGraph;
+use mtt::instrument::shared;
+use mtt::prelude::*;
+use mtt::trace::{binary, json};
+
+/// Warning summaries as (variable id, detail) pairs.
+type WarningSummary = Vec<(u32, String)>;
+
+/// (online eraser warnings, online vc warnings, online lock-order
+/// potentials, recorded trace).
+type OnlineResults = (WarningSummary, WarningSummary, usize, mtt::trace::Trace);
+
+fn run_with_everything(program: &Program, seed: u64) -> OnlineResults {
+    let (eraser_sink, eraser) = shared(EraserLockset::new());
+    let (vc_sink, vc) = shared(VectorClockDetector::new());
+    let (graph_sink, graph) = shared(LockOrderGraph::new());
+    let (trace_sink, trace_handle) = shared(TraceCollector::new());
+    let _ = Execution::new(program)
+        .scheduler(Box::new(RandomScheduler::new(seed)))
+        .sink(Box::new(eraser_sink))
+        .sink(Box::new(vc_sink))
+        .sink(Box::new(graph_sink))
+        .sink(Box::new(trace_sink))
+        .max_steps(60_000)
+        .run();
+    let summarize = |ws: &[mtt::race::RaceWarning]| {
+        ws.iter()
+            .map(|w| (w.var.0, w.detail.clone()))
+            .collect::<Vec<_>>()
+    };
+    let e = summarize(&eraser.lock().unwrap().warnings);
+    let v = summarize(&vc.lock().unwrap().warnings);
+    let g = graph.lock().unwrap().potentials().len();
+    let t = {
+        let mut guard = trace_handle.lock().unwrap();
+        std::mem::take(&mut guard.trace)
+    };
+    (e, v, g, t)
+}
+
+#[test]
+fn offline_detection_matches_online_for_every_program() {
+    for entry in mtt::suite::quick_set() {
+        for seed in [1u64, 9] {
+            let (online_e, online_v, online_g, trace) =
+                run_with_everything(&entry.program, seed);
+
+            // Round-trip the trace through BOTH codecs first: offline tools
+            // in practice read from disk.
+            let json_rt = json::from_str(&json::to_string(&trace)).unwrap();
+            let bin_rt = binary::decode(&binary::encode(&trace)).unwrap();
+            assert_eq!(json_rt, trace, "{}: json codec changed the trace", entry.name);
+            assert_eq!(bin_rt, trace, "{}: binary codec changed the trace", entry.name);
+
+            // Offline detectors over the reloaded trace.
+            let mut eraser = EraserLockset::new();
+            bin_rt.feed(&mut eraser);
+            let mut vc = VectorClockDetector::new();
+            bin_rt.feed(&mut vc);
+            let mut graph = LockOrderGraph::new();
+            bin_rt.feed(&mut graph);
+
+            let offline_e: Vec<(u32, String)> = eraser
+                .warnings
+                .iter()
+                .map(|w| (w.var.0, w.detail.clone()))
+                .collect();
+            let offline_v: Vec<(u32, String)> = vc
+                .warnings
+                .iter()
+                .map(|w| (w.var.0, w.detail.clone()))
+                .collect();
+
+            assert_eq!(
+                online_e, offline_e,
+                "{} seed {seed}: eraser online != offline",
+                entry.name
+            );
+            assert_eq!(
+                online_v, offline_v,
+                "{} seed {seed}: vector-clock online != offline",
+                entry.name
+            );
+            assert_eq!(
+                online_g,
+                graph.potentials().len(),
+                "{} seed {seed}: lock-order online != offline",
+                entry.name
+            );
+        }
+    }
+}

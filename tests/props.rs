@@ -1,0 +1,221 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary inputs, not just the hand-picked cases.
+
+use mtt::prelude::*;
+use mtt::trace::{binary, json, Trace, TraceMeta, TraceRecord};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    use mtt::instrument::{BarrierId, CondId, LockId, SemId, VarId};
+    prop_oneof![
+        (any::<u32>(), any::<i64>()).prop_map(|(v, x)| Op::VarRead {
+            var: VarId(v % 64),
+            value: x
+        }),
+        (any::<u32>(), any::<i64>()).prop_map(|(v, x)| Op::VarWrite {
+            var: VarId(v % 64),
+            value: x
+        }),
+        any::<u32>().prop_map(|l| Op::LockRequest { lock: LockId(l % 16) }),
+        any::<u32>().prop_map(|l| Op::LockAcquire { lock: LockId(l % 16) }),
+        any::<u32>().prop_map(|l| Op::LockRelease { lock: LockId(l % 16) }),
+        any::<u32>().prop_map(|l| Op::LockTryFail { lock: LockId(l % 16) }),
+        (any::<u32>(), any::<u32>()).prop_map(|(c, l)| Op::CondWait {
+            cond: CondId(c % 8),
+            lock: LockId(l % 16)
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(c, l)| Op::CondWake {
+            cond: CondId(c % 8),
+            lock: LockId(l % 16)
+        }),
+        (any::<u32>(), any::<bool>()).prop_map(|(c, all)| Op::CondNotify {
+            cond: CondId(c % 8),
+            all
+        }),
+        any::<u32>().prop_map(|s| Op::SemAcquire { sem: SemId(s % 8) }),
+        any::<u32>().prop_map(|s| Op::SemRelease { sem: SemId(s % 8) }),
+        any::<u32>().prop_map(|b| Op::BarrierArrive {
+            barrier: BarrierId(b % 4)
+        }),
+        any::<u32>().prop_map(|t| Op::Spawn {
+            child: ThreadId(t % 32)
+        }),
+        any::<u32>().prop_map(|t| Op::Join {
+            target: ThreadId(t % 32)
+        }),
+        Just(Op::ThreadStart),
+        Just(Op::ThreadExit),
+        Just(Op::Yield),
+        any::<u32>().prop_map(|t| Op::Sleep { ticks: t % 1000 }),
+        any::<u32>().prop_map(|l| Op::Point { label: l % 100 }),
+        any::<u32>().prop_map(|l| Op::AssertFail { label: l % 100 }),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        seq in 0u64..1_000_000,
+        time in 0u64..1_000_000,
+        thread in 0u32..32,
+        line in 1u32..500,
+        op in arb_op(),
+        locks in prop::collection::vec(0u32..16, 0..4),
+        tagged in any::<bool>(),
+    ) -> TraceRecord {
+        TraceRecord {
+            seq,
+            time,
+            thread,
+            file: "prop.rs".to_string(),
+            line,
+            op,
+            locks_held: locks,
+            bug_tags: if tagged { vec!["prop-bug".into()] } else { vec![] },
+        }
+    }
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_record(), 0..64).prop_map(|mut records| {
+        // Codecs delta-encode seq/time: normalize to non-decreasing order
+        // as real traces are.
+        records.sort_by_key(|r| (r.seq, r.time));
+        let mut t = Trace {
+            meta: TraceMeta {
+                program: "prop".into(),
+                var_names: (0..64).map(|i| format!("v{i}")).collect(),
+                ..Default::default()
+            },
+            records,
+        };
+        // Real traces have strictly increasing seq; enforce.
+        for (i, r) in t.records.iter_mut().enumerate() {
+            r.seq = i as u64;
+        }
+        t
+    })
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both trace codecs are lossless for arbitrary well-formed traces.
+    #[test]
+    fn trace_codecs_roundtrip(trace in arb_trace()) {
+        let j = json::to_string(&trace);
+        let back = json::from_str(&j).expect("json parses");
+        prop_assert_eq!(&back, &trace);
+
+        let b = binary::encode(&trace);
+        let back2 = binary::decode(&b).expect("binary decodes");
+        prop_assert_eq!(&back2, &trace);
+    }
+
+    /// The binary codec never loses to JSON on size for real-shaped traces.
+    #[test]
+    fn binary_is_never_larger_for_nonempty(trace in arb_trace()) {
+        prop_assume!(trace.len() >= 4);
+        let j = json::to_string(&trace).len();
+        let b = binary::encode(&trace).len();
+        prop_assert!(b < j, "binary {} >= json {}", b, j);
+    }
+
+    /// Feeding a trace through a sink delivers exactly its records.
+    #[test]
+    fn feed_delivers_every_record(trace in arb_trace()) {
+        let mut seen = 0u64;
+        {
+            let mut sink = |_: &Event| seen += 1;
+            trace.feed(&mut sink);
+        }
+        prop_assert_eq!(seen as usize, trace.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Executions are deterministic: any (seed, structure) pair produces
+    /// the identical outcome fingerprint twice.
+    #[test]
+    fn execution_determinism(
+        seed in 0u64..5_000,
+        threads in 2u32..5,
+        increments in 1u32..4,
+        stickiness in 0u32..2,
+    ) {
+        let build = || {
+            let mut b = ProgramBuilder::new("prop_racy");
+            let x = b.var("x", 0);
+            let l = b.lock("l");
+            b.entry(move |ctx| {
+                let kids: Vec<ThreadId> = (0..threads)
+                    .map(|i| ctx.spawn(format!("t{i}"), move |ctx| {
+                        for k in 0..increments {
+                            if (i + k) % 2 == 0 {
+                                ctx.lock(l);
+                                let v = ctx.read(x);
+                                ctx.write(x, v + 1);
+                                ctx.unlock(l);
+                            } else {
+                                let v = ctx.read(x);
+                                ctx.write(x, v + 1);
+                            }
+                        }
+                    }))
+                    .collect();
+                for k in kids { ctx.join(k); }
+            });
+            b.build()
+        };
+        let p = build();
+        let s = f64::from(stickiness) * 0.9;
+        let run = || Execution::new(&p)
+            .scheduler(Box::new(RandomScheduler::sticky(seed, s)))
+            .run();
+        let a = run();
+        let b2 = run();
+        prop_assert_eq!(a.fingerprint(), b2.fingerprint());
+        // And the final counter is within the possible envelope.
+        let x = a.var("x").unwrap();
+        prop_assert!(x >= 1 && x <= i64::from(threads * increments));
+    }
+
+    /// Record → playback reproduces arbitrary seeded executions.
+    #[test]
+    fn replay_roundtrip_property(seed in 0u64..2_000) {
+        let mut b = ProgramBuilder::new("prop_replay");
+        let x = b.var("x", 0);
+        b.entry(move |ctx| {
+            let a = ctx.spawn("a", move |ctx| {
+                let v = ctx.read(x);
+                ctx.write(x, v + 1);
+            });
+            let c = ctx.spawn("b", move |ctx| {
+                let v = ctx.read(x);
+                ctx.write(x, v * 2 + 1);
+            });
+            ctx.join(a);
+            ctx.join(c);
+        });
+        let p = b.build();
+        let (sched, noise, handle) =
+            record(p.name(), seed, RandomScheduler::new(seed), mtt::runtime::NoNoise);
+        let original = Execution::new(&p)
+            .scheduler(Box::new(sched))
+            .noise(Box::new(noise))
+            .run();
+        let log = handle.take_log();
+        let playback = PlaybackScheduler::new(log, DivergencePolicy::Strict);
+        let replayed = Execution::new(&p).scheduler(Box::new(playback)).run();
+        prop_assert_eq!(original.fingerprint(), replayed.fingerprint());
+    }
+}
