@@ -5,7 +5,9 @@
 
 use criterion::Criterion;
 use mtt_bench::{quick_criterion, workload};
-use mtt_core::noise::{placement, CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield};
+use mtt_core::noise::{
+    placement, CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield,
+};
 use mtt_core::prelude::*;
 use mtt_core::runtime::NoiseMaker;
 
@@ -16,10 +18,7 @@ fn bench(c: &mut Criterion) {
     type NoiseFactory = Box<dyn Fn() -> Box<dyn NoiseMaker>>;
     let heuristics: Vec<(&str, NoiseFactory)> = vec![
         ("none", Box::new(|| Box::new(mtt_core::runtime::NoNoise))),
-        (
-            "yield-0.2",
-            Box::new(|| Box::new(RandomYield::new(1, 0.2))),
-        ),
+        ("yield-0.2", Box::new(|| Box::new(RandomYield::new(1, 0.2)))),
         (
             "sleep-0.2",
             Box::new(|| Box::new(RandomSleep::new(1, 0.2, 20))),

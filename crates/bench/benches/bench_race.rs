@@ -4,7 +4,7 @@
 
 use criterion::{Criterion, Throughput};
 use mtt_bench::quick_criterion;
-use mtt_core::instrument::{Event, EventSink, LockId, Loc, Op, ThreadId, VarId};
+use mtt_core::instrument::{Event, EventSink, Loc, LockId, Op, ThreadId, VarId};
 use mtt_core::prelude::*;
 use std::sync::Arc;
 
@@ -21,13 +21,25 @@ fn synthetic_stream(n: usize, threads: u32, vars: u32) -> Vec<Event> {
         let (op, locks) = match i % 6 {
             0 => (Op::LockAcquire { lock: LockId(0) }, with_lock.clone()),
             1 => (
-                Op::VarWrite { var: v, value: i as i64 },
+                Op::VarWrite {
+                    var: v,
+                    value: i as i64,
+                },
                 with_lock.clone(),
             ),
             2 => (Op::LockRelease { lock: LockId(0) }, empty.clone()),
-            3 => (Op::VarRead { var: v, value: i as i64 }, empty.clone()),
+            3 => (
+                Op::VarRead {
+                    var: v,
+                    value: i as i64,
+                },
+                empty.clone(),
+            ),
             4 => (
-                Op::VarWrite { var: v, value: i as i64 },
+                Op::VarWrite {
+                    var: v,
+                    value: i as i64,
+                },
                 empty.clone(),
             ),
             _ => (Op::Yield, empty.clone()),

@@ -7,6 +7,21 @@ use mtt_core::instrument::{InstrumentationPlan, NullSink};
 use mtt_core::prelude::*;
 use mtt_core::statik::{analyze, compile, parse, samples};
 
+/// A deep synthetic thread body for the dataflow solver: nested loops and
+/// branches with lock churn, the worst case for worklist convergence.
+fn solver_workout_src(depth: usize) -> String {
+    let mut body = String::from("x = x + 1;\n");
+    for i in 0..depth {
+        let lock = if i % 2 == 0 { "a" } else { "b" };
+        body = format!(
+            "acquire {lock};\nwhile (x < {i}) {{\nif (x) {{\n{body}}} else {{\nrelease {lock};\nacquire {lock};\n}}\nx = x + 1;\n}}\nrelease {lock};\n"
+        );
+    }
+    format!(
+        "program workout {{ var x; lock a; lock b; thread t {{\nlocal v = 0;\n{body}v = x;\n}} }}"
+    )
+}
+
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("static_pipeline");
     let src = samples::ABBA;
@@ -15,6 +30,21 @@ fn bench(c: &mut Criterion) {
     let ast = parse(src).unwrap();
     g.bench_function("analyze", |b| b.iter(|| analyze(&ast)));
     g.bench_function("compile", |b| b.iter(|| compile(&ast)));
+
+    // The worklist engine itself, isolated from the rest of the pipeline.
+    {
+        use mtt_core::statik::cfg::build_cfg;
+        use mtt_core::statik::dataflow::{held_locks, solve, ReachingDefs};
+        let workout = parse(&solver_workout_src(8)).unwrap();
+        let cfg = build_cfg(&workout.threads[0]);
+        g.bench_function("dataflow_locks_must", |b| b.iter(|| held_locks(&cfg, true)));
+        g.bench_function("dataflow_reaching_defs", |b| {
+            b.iter(|| solve(&cfg, &ReachingDefs))
+        });
+        g.bench_function("analyze_with_diagnostics_workout", |b| {
+            b.iter(|| analyze(&workout))
+        });
+    }
 
     let analysis = analyze(&ast);
     let program = compile(&ast);

@@ -37,7 +37,9 @@ fn bench(c: &mut Criterion) {
         bin.len(),
         j.len() as f64 / bin.len() as f64
     );
-    g.bench_function("json_decode", |b| b.iter(|| json::from_str(&j).unwrap().len()));
+    g.bench_function("json_decode", |b| {
+        b.iter(|| json::from_str(&j).unwrap().len())
+    });
     g.bench_function("binary_decode", |b| {
         b.iter(|| binary::decode(&bin).unwrap().len())
     });

@@ -47,10 +47,7 @@ pub trait CoverageModel: EventSink {
         if f.is_empty() {
             return Some(1.0);
         }
-        let covered = self
-            .covered_tasks()
-            .intersection(&f)
-            .count();
+        let covered = self.covered_tasks().intersection(&f).count();
         Some(covered as f64 / f.len() as f64)
     }
 }
@@ -564,7 +561,7 @@ mod tests {
         assert_eq!(m.pair_count(), 0);
         m.on_event(&access(2, 1, 3, 0, AccessKind::Read));
         m.on_event(&access(3, 0, 4, 0, AccessKind::Read)); // read-read
-        // (write@2 -> read@3 counts: write then read by other thread)
+                                                           // (write@2 -> read@3 counts: write then read by other thread)
         assert_eq!(m.pair_count(), 1);
     }
 

@@ -22,12 +22,11 @@
 //! Both are [`mtt_instrument::EventSink`]s: attach them to a live execution
 //! or feed them a stored [`mtt_trace::Trace`].
 
-use mtt_instrument::{Event, EventSink, LockId, Loc, Op, ThreadId};
-use serde::Serialize;
+use mtt_instrument::{Event, EventSink, Loc, LockId, Op, ThreadId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One deadlock-potential warning: a cycle in the lock-order graph.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeadlockPotential {
     /// The locks forming the cycle, in order (`cycle[i]` is held while
     /// acquiring `cycle[(i+1) % n]`).
@@ -84,11 +83,7 @@ impl LockOrderGraph {
     /// that (a) involve at least two distinct threads and (b) have no
     /// common gate lock across all edges.
     pub fn potentials(&self) -> Vec<DeadlockPotential> {
-        let locks: BTreeSet<LockId> = self
-            .edges
-            .keys()
-            .flat_map(|(a, b)| [*a, *b])
-            .collect();
+        let locks: BTreeSet<LockId> = self.edges.keys().flat_map(|(a, b)| [*a, *b]).collect();
         let succ: BTreeMap<LockId, Vec<LockId>> = {
             let mut m: BTreeMap<LockId, Vec<LockId>> = BTreeMap::new();
             for (a, b) in self.edges.keys() {
@@ -217,7 +212,7 @@ impl EventSink for LockOrderGraph {
 }
 
 /// An actual-deadlock cycle observed by the online monitor.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeadlockOccurrence {
     /// Threads in the waits-for cycle.
     pub threads: Vec<ThreadId>,
@@ -256,8 +251,7 @@ impl WaitsForMonitor {
             };
             if owner == start {
                 // Cycle closed.
-                let waiting_for: Vec<LockId> =
-                    path.iter().map(|t| self.waiting[t]).collect();
+                let waiting_for: Vec<LockId> = path.iter().map(|t| self.waiting[t]).collect();
                 self.occurrences.push(DeadlockOccurrence {
                     threads: path,
                     waiting_for,

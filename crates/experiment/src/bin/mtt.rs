@@ -5,6 +5,7 @@
 //!
 //! ```text
 //! mtt list                      list benchmark programs and their bugs
+//! mtt lint <sample|file> [--json]  static diagnostics for a MiniProg program
 //! mtt run <program> [seed]      run one program once and print the outcome
 //! mtt trace <program> <n> <dir> generate n annotated traces into dir
 //! mtt e1 [runs]                 noise-heuristic comparison
@@ -21,8 +22,8 @@
 //! ```
 
 use mtt_experiment::{
-    campaign::Campaign,
-    coverage_eval, detector_eval, explore_eval, multiout_eval, replay_eval, static_eval, tracegen,
+    campaign::Campaign, coverage_eval, detector_eval, explore_eval, multiout_eval, replay_eval,
+    static_eval, tracegen,
 };
 use mtt_runtime::{Execution, RandomScheduler};
 use std::env;
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "list" => list(),
+        "lint" => lint(&args[1..]),
         "run" => run_one(&args[1..]),
         "trace" => trace(&args[1..]),
         "e1" => e1(arg_u64(&args, 1, 60)),
@@ -57,7 +59,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: mtt <list|run|trace|e1..e8|all> [args]  (see crate docs)");
+            eprintln!("usage: mtt <list|lint|run|trace|e1..e8|all> [args]  (see crate docs)");
             ExitCode::from(2)
         }
     }
@@ -70,7 +72,10 @@ fn arg_u64(args: &[String], idx: usize, default: u64) -> u64 {
 }
 
 fn list() -> ExitCode {
-    println!("benchmark repository ({} programs):\n", mtt_suite::all().len());
+    println!(
+        "benchmark repository ({} programs):\n",
+        mtt_suite::all().len()
+    );
     for p in mtt_suite::all() {
         println!("  {:<22} [{:?}]", p.name, p.size);
         for b in &p.bugs {
@@ -78,6 +83,73 @@ fn list() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut target = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if target.is_none() => target = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(target) = target else {
+        eprintln!("usage: mtt lint <sample-name|file.mp> [--json]");
+        eprintln!("samples:");
+        for s in mtt_static::samples::catalog() {
+            eprintln!("  {}", s.name);
+        }
+        return ExitCode::from(2);
+    };
+
+    // A known sample name wins; anything else is read as a source file.
+    let (label, src) = match mtt_static::samples::by_name(&target) {
+        Some(s) => (format!("<sample {}>", s.name), s.src.to_string()),
+        None => match std::fs::read_to_string(&target) {
+            Ok(text) => (target.clone(), text),
+            Err(e) => {
+                eprintln!("`{target}` is neither a sample name nor a readable file: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let ast = match mtt_static::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{label}: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = mtt_static::analyze(&ast);
+    if json {
+        println!("{}", mtt_json::to_string(&result.diagnostics));
+    } else if result.diagnostics.is_empty() {
+        println!("{label}: no findings");
+    } else {
+        for d in &result.diagnostics {
+            println!("{}", d.render());
+        }
+        println!(
+            "{label}: {} finding(s) across {} pass(es)",
+            result.diagnostics.len(),
+            result
+                .diagnostics
+                .iter()
+                .map(|d| d.code.clone())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len()
+        );
+    }
+    if result.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run_one(args: &[String]) -> ExitCode {
@@ -222,6 +294,7 @@ fn e6(budget: u64) -> ExitCode {
 fn e7(runs: u64) -> ExitCode {
     let rows = static_eval::run_static_eval(runs);
     println!("{}", static_eval::static_table(&rows).render());
+    println!("{}", static_eval::class_table(&rows).render());
     ExitCode::SUCCESS
 }
 

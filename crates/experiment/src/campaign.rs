@@ -88,8 +88,14 @@ impl ToolConfig {
     pub fn standard_roster() -> Vec<ToolConfig> {
         vec![
             Self::baseline(),
-            Self::with_noise("yield-0.1", Arc::new(|s| Box::new(RandomYield::new(s, 0.1)))),
-            Self::with_noise("yield-0.5", Arc::new(|s| Box::new(RandomYield::new(s, 0.5)))),
+            Self::with_noise(
+                "yield-0.1",
+                Arc::new(|s| Box::new(RandomYield::new(s, 0.1))),
+            ),
+            Self::with_noise(
+                "yield-0.5",
+                Arc::new(|s| Box::new(RandomYield::new(s, 0.5))),
+            ),
             Self::with_noise(
                 "sleep-0.1",
                 Arc::new(|s| Box::new(RandomSleep::new(s, 0.1, 20))),

@@ -45,9 +45,19 @@ pub fn run_coverage_eval(program: &SuiteProgram, runs: u64, base_seed: u64) -> V
     let table = program.program.var_table();
     let mut cumulative: Vec<(&'static str, Cumulative, RunCountAdvisor, Option<usize>)> = vec![
         ("site", Cumulative::new(), RunCountAdvisor::new(3, 2), None),
-        ("contention", Cumulative::new(), RunCountAdvisor::new(3, 2), None),
+        (
+            "contention",
+            Cumulative::new(),
+            RunCountAdvisor::new(3, 2),
+            None,
+        ),
         ("sync", Cumulative::new(), RunCountAdvisor::new(3, 2), None),
-        ("ordered-pair", Cumulative::new(), RunCountAdvisor::new(3, 2), None),
+        (
+            "ordered-pair",
+            Cumulative::new(),
+            RunCountAdvisor::new(3, 2),
+            None,
+        ),
     ];
     let mut buggy_runs = Vec::new();
 

@@ -125,8 +125,11 @@ impl DetectorReport {
 
     /// Aggregate recall per detector across programs.
     pub fn mean_recall(&self, detector: &str) -> f64 {
-        let cells: Vec<&DetectorCell> =
-            self.cells.iter().filter(|c| c.detector == detector).collect();
+        let cells: Vec<&DetectorCell> = self
+            .cells
+            .iter()
+            .filter(|c| c.detector == detector)
+            .collect();
         if cells.is_empty() {
             return 0.0;
         }

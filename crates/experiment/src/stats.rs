@@ -1,6 +1,5 @@
 //! Statistics shared by every prepared experiment.
 
-use serde::Serialize;
 use std::collections::BTreeMap;
 
 /// Find-rate counter with Wilson-score confidence intervals.
@@ -9,7 +8,7 @@ use std::collections::BTreeMap;
 /// using the technology on a specific test but what is the *probability* of
 /// that bug being found"; a binomial proportion with a proper interval is
 /// the honest way to report it at modest run counts.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FindStats {
     /// Runs in which the bug (or any bug, per the caller's bookkeeping)
     /// manifested / was found.
@@ -68,7 +67,7 @@ impl FindStats {
 /// An empirical distribution over outcome signatures — the measurement the
 /// paper's §4.4 benchmark program exists for ("tools such as noise makers
 /// can be compared as to the distribution of their results").
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Distribution {
     /// Count per observed signature.
     pub counts: BTreeMap<String, u64>,

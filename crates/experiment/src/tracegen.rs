@@ -126,7 +126,10 @@ mod tests {
         assert_eq!(t.meta.program, "lost_update");
         assert!(!t.is_empty());
         assert_eq!(t.meta.known_bugs, vec!["lost-update"]);
-        assert!(t.records_tagged("lost-update").count() > 0, "x accesses tagged");
+        assert!(
+            t.records_tagged("lost-update").count() > 0,
+            "x accesses tagged"
+        );
         assert_eq!(t.meta.var_names[0], "x");
         assert!(!t.meta.thread_names.is_empty());
     }

@@ -69,6 +69,9 @@ fn trace_command_writes_annotated_jsonl() {
     let trace = mtt_trace::json::load(&t0).expect("trace file parses");
     assert_eq!(trace.meta.program, "bank_transfer");
     assert!(!trace.is_empty());
-    assert!(trace.meta.known_bugs.contains(&"transfer-atomicity".to_string()));
+    assert!(trace
+        .meta
+        .known_bugs
+        .contains(&"transfer-atomicity".to_string()));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -29,11 +29,9 @@
 //! produce a clean [`mtt_replay::ReplayLog`] — the saved "scenario" that
 //! can be replayed, exactly as the paper prescribes.
 
-use mtt_instrument::{Event, Op, ThreadId};
+use mtt_instrument::{Event, Op, StaticInfo, ThreadId};
 use mtt_replay::{record, ReplayLog};
-use mtt_runtime::{
-    Execution, ExecutionOptions, NoNoise, Outcome, Program, SchedView, Scheduler,
-};
+use mtt_runtime::{Execution, ExecutionOptions, NoNoise, Outcome, Program, SchedView, Scheduler};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -69,10 +67,15 @@ struct ForcedPrefix {
     last_visible: bool,
     stateful: bool,
     state: StateTracker,
+    static_info: Option<Arc<StaticInfo>>,
 }
 
 impl ForcedPrefix {
-    fn new(prefix: Vec<u32>, stateful: bool) -> (Self, Arc<Mutex<RunRecord>>) {
+    fn new(
+        prefix: Vec<u32>,
+        stateful: bool,
+        static_info: Option<Arc<StaticInfo>>,
+    ) -> (Self, Arc<Mutex<RunRecord>>) {
         let record = Arc::new(Mutex::new(RunRecord::default()));
         (
             ForcedPrefix {
@@ -82,6 +85,7 @@ impl ForcedPrefix {
                 last_visible: true,
                 stateful,
                 state: StateTracker::default(),
+                static_info,
             },
             record,
         )
@@ -109,7 +113,8 @@ impl Scheduler for ForcedPrefix {
                 .unwrap_or(view.runnable[0])
         };
         rec.decisions.push(chosen.0);
-        rec.runnables.push(view.runnable.iter().map(|t| t.0).collect());
+        rec.runnables
+            .push(view.runnable.iter().map(|t| t.0).collect());
         rec.prev.push(self.last_prev);
         rec.visible.push(self.last_visible);
         rec.state_hash.push(if self.stateful {
@@ -122,7 +127,15 @@ impl Scheduler for ForcedPrefix {
 
     fn on_event(&mut self, ev: &Event) {
         self.last_prev = Some(ev.thread.0);
-        self.last_visible = is_visible(&ev.op);
+        // Static refinement of the visibility reduction: an operation a
+        // may-happen-in-parallel analysis proved serialized (or thread-local)
+        // commutes with its neighbours just like a yield does, so the point
+        // after it needs no alternatives.
+        self.last_visible = is_visible(&ev.op)
+            && self
+                .static_info
+                .as_ref()
+                .is_none_or(|info| info.site_relevant(&ev.loc));
         if self.stateful {
             self.state.observe(ev);
         }
@@ -243,6 +256,12 @@ pub struct ExploreOptions {
     pub preemption_bound: Option<u32>,
     /// Branch only at points following a visible operation.
     pub branch_only_visible: bool,
+    /// Static analysis facts (escape + may-happen-in-parallel). When set,
+    /// the visibility reduction also treats operations at statically
+    /// irrelevant sites — thread-local or proven serialized — as invisible,
+    /// shrinking the branch tree further (§3: static advice consumed by a
+    /// dynamic tool).
+    pub static_info: Option<Arc<StaticInfo>>,
     /// CMC-style visited-state pruning.
     pub stateful: bool,
     /// Stop at the first bug.
@@ -258,6 +277,7 @@ impl Default for ExploreOptions {
             max_depth: 400,
             preemption_bound: None,
             branch_only_visible: true,
+            static_info: None,
             stateful: false,
             stop_on_first_bug: true,
             max_steps_per_exec: 20_000,
@@ -346,7 +366,11 @@ impl<'p> Explorer<'p> {
     }
 
     fn run_one(&self, prefix: &[u32]) -> (Outcome, RunRecord) {
-        let (sched, record) = ForcedPrefix::new(prefix.to_vec(), self.opts.stateful);
+        let (sched, record) = ForcedPrefix::new(
+            prefix.to_vec(),
+            self.opts.stateful,
+            self.opts.static_info.clone(),
+        );
         let outcome = Execution::new(self.program)
             .scheduler(Box::new(sched))
             .options(ExecutionOptions {
@@ -448,9 +472,7 @@ impl<'p> Explorer<'p> {
                             .collect();
                         if let Some(bound) = self.opts.preemption_bound {
                             let before = untried.len();
-                            untried.retain(|&t| {
-                                running_preemptions + step_preempts(t) <= bound
-                            });
+                            untried.retain(|&t| running_preemptions + step_preempts(t) <= bound);
                             result.pruned_by_preemption += (before - untried.len()) as u64;
                         }
                         if !untried.is_empty() {
@@ -505,7 +527,7 @@ impl<'p> Explorer<'p> {
     /// Re-run a bug schedule under a recording scheduler to produce a clean
     /// replay log (the saved scenario of the paper).
     pub fn reproduce(&self, decisions: &[u32]) -> ReplayLog {
-        let (forced, _) = ForcedPrefix::new(decisions.to_vec(), false);
+        let (forced, _) = ForcedPrefix::new(decisions.to_vec(), false, None);
         let (sched, noise, handle) = record(self.program.name(), 0, forced, NoNoise);
         let _ = Execution::new(self.program)
             .scheduler(Box::new(sched))
@@ -718,7 +740,10 @@ mod tests {
         assert!(!r.bugs.is_empty());
         // Bound 0 ran (and found nothing), bug found at bound 1.
         assert_eq!(counts[0].0, 0);
-        assert!(counts.len() <= 2, "bug should appear at bound 1: {counts:?}");
+        assert!(
+            counts.len() <= 2,
+            "bug should appear at bound 1: {counts:?}"
+        );
     }
 
     #[test]
@@ -777,6 +802,91 @@ mod tests {
             "scenario replay must reproduce the failure"
         );
         assert!(report.lock().unwrap().is_clean());
+    }
+
+    #[test]
+    fn static_advice_shrinks_the_tree_without_losing_outcomes() {
+        // Accesses to `a` are all under `l`: the MHP analysis proves them
+        // serialized, so with static advice those events stop spawning
+        // branch points. Only the genuinely racy `b` (and the lock
+        // operations themselves) still branch.
+        // Note the accesses to `a` sit on their own lines: a line that also
+        // holds the acquire/release stays relevant (sync ops must keep
+        // their instrumentation), so a one-line `lock (l) { a = 1; }`
+        // would not be pruned.
+        let src = "program mp_por {
+            var a = 0;
+            var b = 0;
+            lock l;
+            thread t1 {
+                lock (l) {
+                    a = 1;
+                }
+                b = 1;
+            }
+            thread t2 {
+                local r;
+                lock (l) {
+                    a = 2;
+                }
+                r = b;
+            }
+        }";
+        let ast = mtt_static::parse(src).unwrap();
+        let info = mtt_static::analyze(&ast).info;
+        let p = mtt_static::compile(&ast);
+        let opts = ExploreOptions {
+            stop_on_first_bug: false,
+            max_depth: 14,
+            max_executions: 20_000,
+            ..Default::default()
+        };
+        let plain = Explorer::new(&p, opts.clone()).run();
+        let advised = Explorer::new(
+            &p,
+            ExploreOptions {
+                static_info: Some(Arc::new(info)),
+                ..opts
+            },
+        )
+        .run();
+        assert!(plain.exhausted && advised.exhausted);
+        assert!(
+            advised.executions < plain.executions,
+            "static advice must prune: {} vs {}",
+            advised.executions,
+            plain.executions
+        );
+        assert_eq!(
+            plain.distinct_outcomes, advised.distinct_outcomes,
+            "the refinement may only drop equivalent interleavings"
+        );
+    }
+
+    #[test]
+    fn static_advice_keeps_lock_sites_and_still_finds_deadlock() {
+        let src = "program mp_dl {
+            lock a;
+            lock b;
+            thread t1 { acquire a; acquire b; release b; release a; }
+            thread t2 { acquire b; acquire a; release a; release b; }
+        }";
+        let ast = mtt_static::parse(src).unwrap();
+        let info = mtt_static::analyze(&ast).info;
+        let p = mtt_static::compile(&ast);
+        let r = Explorer::new(
+            &p,
+            ExploreOptions {
+                static_info: Some(Arc::new(info)),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(
+            !r.bugs.is_empty(),
+            "advice must not hide the AB-BA deadlock"
+        );
+        assert!(r.bugs[0].outcome.deadlocked());
     }
 
     #[test]

@@ -8,15 +8,17 @@
 //! a read or write"* — plus the lock context that offline lockset-based race
 //! detectors need.
 
-use serde::Serialize;
+use mtt_json::{FromJson, Json, JsonError, JsonKey, ToJson};
 use std::fmt;
 use std::sync::Arc;
 
 macro_rules! id_type {
     ($(#[$m:meta])* $name:ident) => {
         $(#[$m])*
-        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, serde::Deserialize)]
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u32);
+
+        mtt_json::json_newtype!($name);
 
         impl $name {
             /// Raw index, usable for dense table lookups.
@@ -73,11 +75,13 @@ impl ThreadId {
 }
 
 /// Whether a variable operation reads or writes the shared store.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     Read,
     Write,
 }
+
+mtt_json::json_enum!(AccessKind { Read, Write });
 
 impl AccessKind {
     /// True for [`AccessKind::Write`].
@@ -115,10 +119,40 @@ impl Loc {
     }
 }
 
-impl Serialize for Loc {
+impl ToJson for Loc {
     /// Serialized as `"file:line"` so locations are legal JSON map keys.
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_str(&format_args!("{}:{}", self.file, self.line))
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_key())
+    }
+}
+
+impl FromJson for Loc {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::expected("\"file:line\" string", v))?;
+        Loc::from_key(s)
+    }
+}
+
+impl JsonKey for Loc {
+    fn to_key(&self) -> String {
+        format!("{}:{}", self.file, self.line)
+    }
+
+    /// Parse `"file:line"`; the file part is interned (file names may
+    /// legally contain ':', so the split is at the *last* colon).
+    fn from_key(key: &str) -> Result<Self, JsonError> {
+        let (file, line) = key
+            .rsplit_once(':')
+            .ok_or_else(|| JsonError::msg("location key must be \"file:line\""))?;
+        let line = line
+            .parse::<u32>()
+            .map_err(|_| JsonError::msg("invalid line number in location key"))?;
+        Ok(Loc {
+            file: intern_static(file),
+            line,
+        })
     }
 }
 
@@ -172,7 +206,7 @@ macro_rules! site {
 /// may block and an acquire/pass event once it proceeds — because online
 /// deadlock monitors need to see intent, and noise makers want a hook before
 /// the blocking decision is made.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
     /// A read of `var` that observed `value`.
     VarRead { var: VarId, value: i64 },
@@ -229,8 +263,35 @@ pub enum Op {
     AssertFail { label: u32 },
 }
 
+mtt_json::json_enum!(Op {
+    VarRead { var, value },
+    VarWrite { var, value },
+    VarRmw { var, old, new },
+    LockRequest { lock },
+    LockAcquire { lock },
+    LockRelease { lock },
+    LockTryFail { lock },
+    CondWait { cond, lock },
+    CondWake { cond, lock },
+    CondNotify { cond, all },
+    SemRequest { sem },
+    SemAcquire { sem },
+    SemRelease { sem },
+    BarrierArrive { barrier },
+    BarrierPass { barrier },
+    Spawn { child },
+    JoinRequest { target },
+    Join { target },
+    ThreadStart,
+    ThreadExit,
+    Yield,
+    Sleep { ticks },
+    Point { label },
+    AssertFail { label },
+});
+
 /// Coarse classification of [`Op`]s, used by [`crate::plan`] filters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum OpClass {
     /// `VarRead` / `VarWrite`.
     VarAccess,
@@ -249,6 +310,17 @@ pub enum OpClass {
     /// `Point` and `AssertFail`.
     Marker,
 }
+
+mtt_json::json_enum!(OpClass {
+    VarAccess,
+    Lock,
+    Cond,
+    Sem,
+    Barrier,
+    ThreadLife,
+    Delay,
+    Marker,
+});
 
 impl OpClass {
     /// All classes, in a stable order.
@@ -364,7 +436,7 @@ impl Op {
 /// Events are delivered to [`crate::EventSink`]s in global order (`seq` is
 /// strictly increasing across the whole execution) because the model runtime
 /// interleaves at most one thread at a time.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Event {
     /// Global sequence number, dense from 0.
     pub seq: u64,
@@ -381,6 +453,15 @@ pub struct Event {
     /// changes at lock operations).
     pub locks_held: Arc<[LockId]>,
 }
+
+mtt_json::json_struct!(Event {
+    seq,
+    time,
+    thread,
+    loc,
+    op,
+    locks_held,
+});
 
 impl Event {
     /// Convenience: variable + access kind for variable events.
@@ -471,10 +552,7 @@ mod tests {
         .is_sync());
         assert!(!Op::Sleep { ticks: 1 }.is_sync());
         assert!(Op::LockAcquire { lock: LockId(0) }.is_sync());
-        assert!(Op::Spawn {
-            child: ThreadId(1)
-        }
-        .is_sync());
+        assert!(Op::Spawn { child: ThreadId(1) }.is_sync());
     }
 
     #[test]

@@ -36,9 +36,11 @@ pub mod sink;
 pub mod statics;
 
 pub use event::{
-    intern_static, AccessKind, BarrierId, CondId, Event, LockId, Loc, Op, OpClass, SemId,
-    ThreadId, VarId,
+    intern_static, AccessKind, BarrierId, CondId, Event, Loc, LockId, Op, OpClass, SemId, ThreadId,
+    VarId,
 };
 pub use plan::{InstrumentationPlan, OpClassSet, ResolvedFilter, Select, VarTable};
-pub use sink::{shared, CountingSink, EventSink, FilteredSink, NullSink, RingSink, Shared, Tee, VecSink};
+pub use sink::{
+    shared, CountingSink, EventSink, FilteredSink, NullSink, RingSink, Shared, Tee, VecSink,
+};
 pub use statics::{SiteFacts, StaticInfo, VarFacts};

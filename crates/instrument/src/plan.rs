@@ -18,8 +18,7 @@ use std::collections::BTreeSet;
 
 /// A selection over a namable domain: everything, an allow-list, or a
 /// deny-list.
-#[derive(Clone, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum Select<T: Ord> {
     /// Select every element.
     #[default]
@@ -29,7 +28,6 @@ pub enum Select<T: Ord> {
     /// Select everything but the listed elements.
     Except(BTreeSet<T>),
 }
-
 
 impl<T: Ord> Select<T> {
     /// Build an allow-list selection.
@@ -235,7 +233,7 @@ impl InstrumentationPlan {
                 self.static_info
                     .sites
                     .iter()
-                    .filter(|(_, f)| !(f.switch_relevant && f.touches_shared))
+                    .filter(|(_, f)| !(f.switch_relevant && f.touches_shared && f.may_run_parallel))
                     .map(|(l, _)| *l)
                     .collect()
             } else {
@@ -439,6 +437,7 @@ mod tests {
                 touches_shared: false,
                 switch_relevant: false,
                 reaching_threads: 1,
+                may_run_parallel: true,
             },
         );
         let f = InstrumentationPlan::advised(info).resolve(&table());

@@ -267,7 +267,7 @@ pub fn shared<S: EventSink>(sink: S) -> (Shared<S>, std::sync::Arc<std::sync::Mu
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{LockId, Loc, Op, OpClass, ThreadId, VarId};
+    use crate::event::{Loc, LockId, Op, OpClass, ThreadId, VarId};
     use crate::plan::{InstrumentationPlan, OpClassSet, VarTable};
     use std::sync::Arc;
 
@@ -309,8 +309,12 @@ mod tests {
         // Safety of the test: both closures capture disjoint clones.
         let o1 = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
         let o2 = o1.clone();
-        tee2.push(Box::new(move |e: &Event| o1.lock().unwrap().push(("a", e.seq))));
-        tee2.push(Box::new(move |e: &Event| o2.lock().unwrap().push(("b", e.seq))));
+        tee2.push(Box::new(move |e: &Event| {
+            o1.lock().unwrap().push(("a", e.seq))
+        }));
+        tee2.push(Box::new(move |e: &Event| {
+            o2.lock().unwrap().push(("b", e.seq))
+        }));
         tee2.on_event(&mk_event(5, Op::Yield));
         tee2.finish();
         order.push(0); // silence unused in non-poisoned path

@@ -14,11 +14,10 @@
 //! execution start.
 
 use crate::event::Loc;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Statically derived facts about one shared variable.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VarFacts {
     /// May the variable be accessed by more than one thread? Conservative:
     /// `true` when the analysis cannot prove thread-locality.
@@ -30,8 +29,14 @@ pub struct VarFacts {
     pub guarded_by: Vec<String>,
 }
 
+mtt_json::json_struct!(VarFacts {
+    shared,
+    written,
+    guarded_by,
+});
+
 /// Statically derived facts about one instrumentation site.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SiteFacts {
     /// Does the site touch a variable the analysis considers shared?
     pub touches_shared: bool,
@@ -41,6 +46,11 @@ pub struct SiteFacts {
     pub switch_relevant: bool,
     /// Number of distinct threads that can statically reach this site.
     pub reaching_threads: u32,
+    /// May this site ever execute in parallel with a conflicting access to
+    /// the same data? `false` only when a may-happen-in-parallel analysis
+    /// proved the site serialized against every other access (e.g. all
+    /// accesses share a lock, or only one thread instance can reach it).
+    pub may_run_parallel: bool,
 }
 
 impl Default for SiteFacts {
@@ -50,9 +60,17 @@ impl Default for SiteFacts {
             touches_shared: true,
             switch_relevant: true,
             reaching_threads: u32::MAX,
+            may_run_parallel: true,
         }
     }
 }
+
+mtt_json::json_struct!(SiteFacts {
+    touches_shared,
+    switch_relevant,
+    reaching_threads,
+    may_run_parallel,
+});
 
 /// The full bundle of facts a static analysis exports for one program.
 ///
@@ -60,7 +78,7 @@ impl Default for SiteFacts {
 /// `mtt-instrument` / `mtt-noise` / `mtt-coverage` (consumers). An empty
 /// `StaticInfo` (no facts) is always safe: consumers treat missing entries
 /// conservatively.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct StaticInfo {
     /// Per-variable facts, keyed by the variable's registered name.
     pub vars: BTreeMap<String, VarFacts>,
@@ -74,6 +92,13 @@ pub struct StaticInfo {
     /// lock-name cycle plus an explanation.
     pub deadlock_warnings: Vec<(Vec<String>, String)>,
 }
+
+mtt_json::json_struct!(StaticInfo {
+    vars,
+    sites,
+    race_warnings,
+    deadlock_warnings,
+});
 
 impl StaticInfo {
     /// True when no analysis results are present.
@@ -100,10 +125,12 @@ impl StaticInfo {
     }
 
     /// Is instrumenting `loc` useful? `true` when unknown (conservative).
+    /// A site is prunable when it is switch-irrelevant, touches nothing
+    /// shared, or provably never runs in parallel with a conflicting access.
     pub fn site_relevant(&self, loc: &Loc) -> bool {
         self.sites
             .get(loc)
-            .is_none_or(|f| f.switch_relevant && f.touches_shared)
+            .is_none_or(|f| f.switch_relevant && f.touches_shared && f.may_run_parallel)
     }
 
     /// Merge facts from another analysis pass. Sharing/written flags are
@@ -125,12 +152,15 @@ impl StaticInfo {
                 touches_shared: false,
                 switch_relevant: false,
                 reaching_threads: 0,
+                may_run_parallel: false,
             });
             e.touches_shared |= of.touches_shared;
             e.switch_relevant |= of.switch_relevant;
             e.reaching_threads = e.reaching_threads.max(of.reaching_threads);
+            e.may_run_parallel |= of.may_run_parallel;
         }
-        self.race_warnings.extend(other.race_warnings.iter().cloned());
+        self.race_warnings
+            .extend(other.race_warnings.iter().cloned());
         self.deadlock_warnings
             .extend(other.deadlock_warnings.iter().cloned());
     }
@@ -183,6 +213,7 @@ mod tests {
                 touches_shared: false,
                 switch_relevant: false,
                 reaching_threads: 1,
+                may_run_parallel: true,
             },
         );
         assert!(!info.site_relevant(&loc));
@@ -225,6 +256,7 @@ mod tests {
                 touches_shared: false,
                 switch_relevant: false,
                 reaching_threads: 1,
+                may_run_parallel: false,
             },
         );
         let mut b = StaticInfo::default();
@@ -234,6 +266,7 @@ mod tests {
                 touches_shared: true,
                 switch_relevant: true,
                 reaching_threads: 2,
+                may_run_parallel: true,
             },
         );
         a.merge(&b);

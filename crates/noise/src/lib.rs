@@ -346,11 +346,20 @@ impl<N: NoiseMaker> NoiseMaker for OnVars<N> {
 /// name + instance for each contender, from the no-noise baseline upward.
 pub fn standard_roster(seed: u64) -> Vec<(String, Box<dyn NoiseMaker>)> {
     vec![
-        ("none".into(), Box::new(mtt_runtime::NoNoise) as Box<dyn NoiseMaker>),
+        (
+            "none".into(),
+            Box::new(mtt_runtime::NoNoise) as Box<dyn NoiseMaker>,
+        ),
         ("yield-0.1".into(), Box::new(RandomYield::new(seed, 0.1))),
         ("yield-0.5".into(), Box::new(RandomYield::new(seed, 0.5))),
-        ("sleep-0.1".into(), Box::new(RandomSleep::new(seed, 0.1, 20))),
-        ("sleep-0.3".into(), Box::new(RandomSleep::new(seed, 0.3, 20))),
+        (
+            "sleep-0.1".into(),
+            Box::new(RandomSleep::new(seed, 0.1, 20)),
+        ),
+        (
+            "sleep-0.3".into(),
+            Box::new(RandomSleep::new(seed, 0.3, 20)),
+        ),
         ("mixed-0.2".into(), Box::new(Mixed::new(seed, 0.2, 20))),
         ("halt".into(), Box::new(HaltOneThread::new(seed, 0.05, 200))),
         (
@@ -363,7 +372,7 @@ pub fn standard_roster(seed: u64) -> Vec<(String, Box<dyn NoiseMaker>)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtt_instrument::{LockId, Loc, Op};
+    use mtt_instrument::{Loc, LockId, Op};
     use std::sync::Arc;
 
     fn ev(thread: u32, op: Op) -> Event {

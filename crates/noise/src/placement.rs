@@ -72,7 +72,7 @@ pub fn standard_roster() -> Vec<(&'static str, InstrumentationPlan)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtt_instrument::{Event, LockId, Loc, Op, ThreadId, VarId, VarTable};
+    use mtt_instrument::{Event, Loc, LockId, Op, ThreadId, VarId, VarTable};
     use std::sync::Arc;
 
     fn ev(op: Op) -> Event {

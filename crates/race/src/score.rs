@@ -8,11 +8,10 @@
 
 use crate::warning::RaceWarning;
 use mtt_instrument::VarTable;
-use serde::Serialize;
 use std::collections::BTreeSet;
 
 /// Precision/recall summary for one detector run.
-#[derive(Clone, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DetectorScore {
     /// Racy variables correctly warned about.
     pub true_positives: usize,

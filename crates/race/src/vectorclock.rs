@@ -154,7 +154,10 @@ impl VectorClockDetector {
 
     fn now(&mut self, t: ThreadId) -> Epoch {
         let c = self.clock(t).get(t);
-        Epoch { thread: t, clock: c }
+        Epoch {
+            thread: t,
+            clock: c,
+        }
     }
 
     /// release edge: resource clock joins the thread's, thread ticks.
@@ -282,9 +285,7 @@ impl VectorClockDetector {
         // read-write race?
         let conflict = match &meta.reads {
             ReadState::None => None,
-            ReadState::Epoch(e, info) => {
-                (e.thread != me && !e.le(&my_clock)).then_some(*info)
-            }
+            ReadState::Epoch(e, info) => (e.thread != me && !e.le(&my_clock)).then_some(*info),
             ReadState::Clock(vc, infos) => {
                 if vc.le(&my_clock) {
                     None
@@ -342,12 +343,8 @@ impl EventSink for VectorClockDetector {
             Op::CondNotify { cond, .. } => self.release_into(me, ResourceKey::Cond(cond)),
             Op::SemAcquire { sem } => self.acquire_from(me, ResourceKey::Sem(sem)),
             Op::SemRelease { sem } => self.release_into(me, ResourceKey::Sem(sem)),
-            Op::BarrierArrive { barrier } => {
-                self.release_into(me, ResourceKey::Barrier(barrier.0))
-            }
-            Op::BarrierPass { barrier } => {
-                self.acquire_from(me, ResourceKey::Barrier(barrier.0))
-            }
+            Op::BarrierArrive { barrier } => self.release_into(me, ResourceKey::Barrier(barrier.0)),
+            Op::BarrierPass { barrier } => self.acquire_from(me, ResourceKey::Barrier(barrier.0)),
             Op::Spawn { child } => {
                 let pc = self.clock(me).clone();
                 self.pending_start.insert(child, pc);
@@ -390,11 +387,25 @@ mod tests {
     }
 
     fn read(seq: u64, t: u32, v: u32) -> Event {
-        ev(seq, t, Op::VarRead { var: VarId(v), value: 0 })
+        ev(
+            seq,
+            t,
+            Op::VarRead {
+                var: VarId(v),
+                value: 0,
+            },
+        )
     }
 
     fn write(seq: u64, t: u32, v: u32) -> Event {
-        ev(seq, t, Op::VarWrite { var: VarId(v), value: 0 })
+        ev(
+            seq,
+            t,
+            Op::VarWrite {
+                var: VarId(v),
+                value: 0,
+            },
+        )
     }
 
     #[test]
@@ -444,7 +455,13 @@ mod tests {
         d.on_event(&ev(2, 1, Op::ThreadStart));
         d.on_event(&write(3, 1, 0)); // child writes after inheriting
         d.on_event(&ev(4, 1, Op::ThreadExit));
-        d.on_event(&ev(5, 0, Op::Join { target: ThreadId(1) }));
+        d.on_event(&ev(
+            5,
+            0,
+            Op::Join {
+                target: ThreadId(1),
+            },
+        ));
         d.on_event(&write(6, 0, 0)); // parent writes after join
         assert_eq!(d.warning_count(), 0);
     }
@@ -486,7 +503,14 @@ mod tests {
         d.on_event(&ev(2, 0, Op::CondWait { cond: c, lock: l }));
         d.on_event(&ev(3, 1, Op::LockAcquire { lock: l }));
         d.on_event(&write(4, 1, 0)); // ordered via lock: no race
-        d.on_event(&ev(5, 1, Op::CondNotify { cond: c, all: false }));
+        d.on_event(&ev(
+            5,
+            1,
+            Op::CondNotify {
+                cond: c,
+                all: false,
+            },
+        ));
         d.on_event(&ev(6, 1, Op::LockRelease { lock: l }));
         d.on_event(&ev(7, 0, Op::CondWake { cond: c, lock: l }));
         d.on_event(&write(8, 0, 0)); // ordered via notify/wake + lock

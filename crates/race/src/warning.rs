@@ -1,10 +1,9 @@
 //! Race warnings: the detector output format.
 
 use mtt_instrument::{AccessKind, Loc, ThreadId, VarId};
-use serde::Serialize;
 
 /// One endpoint of a reported race.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessInfo {
     /// Accessing thread.
     pub thread: ThreadId,
@@ -14,8 +13,10 @@ pub struct AccessInfo {
     pub kind: AccessKind,
 }
 
+mtt_json::json_struct!(AccessInfo { thread, loc, kind });
+
 /// A reported (potential) data race on one variable.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RaceWarning {
     /// The racy variable.
     pub var: VarId,

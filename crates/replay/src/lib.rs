@@ -28,7 +28,6 @@
 
 use mtt_instrument::{Event, ThreadId};
 use mtt_runtime::{NoiseDecision, NoiseMaker, NoiseView, SchedView, Scheduler};
-use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
@@ -45,7 +44,7 @@ pub fn event_fingerprint(ev: &Event) -> u64 {
 }
 
 /// One recorded scheduling decision.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Decision {
     /// The thread the scheduler chose.
     pub chosen: u32,
@@ -56,8 +55,14 @@ pub struct Decision {
     pub runnable: u32,
 }
 
+mtt_json::json_struct!(Decision {
+    chosen,
+    fingerprint,
+    runnable
+});
+
 /// A recorded noise decision, keyed by consultation index.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NoiseRecord {
     /// Index of the noise consultation (0-based, counting every consulted
     /// event in order).
@@ -66,8 +71,10 @@ pub struct NoiseRecord {
     pub sleep_ticks: u32,
 }
 
+mtt_json::json_struct!(NoiseRecord { index, sleep_ticks });
+
 /// The serializable replay log.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ReplayLog {
     /// Program name (sanity check at playback).
     pub program: String,
@@ -78,6 +85,13 @@ pub struct ReplayLog {
     /// Non-trivial noise decisions (empty for a partial log).
     pub noise: Vec<NoiseRecord>,
 }
+
+mtt_json::json_struct!(ReplayLog {
+    program,
+    seed,
+    decisions,
+    noise
+});
 
 impl ReplayLog {
     /// A partial-replay log: seed only. Costs nothing to record.
@@ -98,7 +112,7 @@ impl ReplayLog {
     /// Record-phase storage cost in bytes (JSON encoding) — the overhead
     /// axis of experiment E3.
     pub fn storage_bytes(&self) -> usize {
-        serde_json::to_vec(self).map(|v| v.len()).unwrap_or(0)
+        mtt_json::to_vec(self).len()
     }
 }
 
@@ -245,7 +259,7 @@ pub enum DivergencePolicy {
 }
 
 /// Playback statistics: how faithful the replay was.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PlaybackReport {
     /// Decisions taken straight from the log.
     pub followed: u64,
@@ -382,11 +396,7 @@ impl PlaybackNoise {
     /// Play back the noise half of `log`.
     pub fn new(log: &ReplayLog) -> Self {
         PlaybackNoise {
-            by_index: log
-                .noise
-                .iter()
-                .map(|r| (r.index, r.sleep_ticks))
-                .collect(),
+            by_index: log.noise.iter().map(|r| (r.index, r.sleep_ticks)).collect(),
             consults: 0,
         }
     }
@@ -452,8 +462,8 @@ mod tests {
                 sleep_ticks: 5,
             }],
         };
-        let s = serde_json::to_string(&log).unwrap();
-        let back: ReplayLog = serde_json::from_str(&s).unwrap();
+        let s = mtt_json::to_string(&log);
+        let back: ReplayLog = mtt_json::from_str(&s).unwrap();
         assert_eq!(log, back);
         assert!(log.is_full());
         assert!(log.storage_bytes() > 0);

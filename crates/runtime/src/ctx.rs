@@ -362,14 +362,16 @@ impl ThreadCtx {
         let full = g.model.barrier_arrived[barrier.index()].len() as u32
             == g.model.barrier_parties[barrier.index()];
         if full {
-            let arrived: Vec<ThreadId> = g.model.barrier_arrived[barrier.index()].drain(..).collect();
+            let arrived: Vec<ThreadId> =
+                g.model.barrier_arrived[barrier.index()].drain(..).collect();
             for t in arrived {
                 if t != self.me {
                     g.model.threads[t.index()].status = Status::Ready;
                 }
             }
         } else {
-            g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Barrier(barrier));
+            g.model.threads[self.me.index()].status =
+                Status::Blocked(BlockReason::Barrier(barrier));
             self.ctrl.block_and_park(&mut g, self.me);
         }
         g.model.threads[self.me.index()].flush_cache();
@@ -396,7 +398,9 @@ impl ThreadCtx {
             ));
         }
         let child = ThreadId(g.model.threads.len() as u32);
-        g.model.threads.push(crate::state::ThreadState::new(name.into()));
+        g.model
+            .threads
+            .push(crate::state::ThreadState::new(name.into()));
         g.stats.threads += 1;
         let ctrl2 = Arc::clone(&self.ctrl);
         let handle = std::thread::Builder::new()

@@ -24,7 +24,7 @@
 //! collects the [`Outcome`].
 
 use crate::ctx::ThreadCtx;
-use crate::noise::{NoiseDecision, NoiseMaker, NoiseView, NoNoise};
+use crate::noise::{NoNoise, NoiseDecision, NoiseMaker, NoiseView};
 use crate::outcome::{AssertFailure, ExecStats, Outcome, OutcomeKind};
 use crate::program::Program;
 use crate::scheduler::{FifoScheduler, SchedView, Scheduler, ThreadStatusView};
@@ -207,9 +207,8 @@ impl Central {
         }
         let victim = waiters[rng.gen_range(0..waiters.len())];
         let tid = ThreadId(victim as u32);
-        if let Status::Blocked(
-            BlockReason::Cond(c, _) | BlockReason::CondTimed(c, _, _),
-        ) = self.model.threads[victim].status
+        if let Status::Blocked(BlockReason::Cond(c, _) | BlockReason::CondTimed(c, _, _)) =
+            self.model.threads[victim].status
         {
             self.model.cond_queues[c.index()].retain(|q| *q != tid);
             self.model.threads[victim].timed_out = false;
@@ -554,9 +553,7 @@ impl<'p> Execution<'p> {
             let ctrl2 = Arc::clone(&ctrl);
             let handle = std::thread::Builder::new()
                 .name("mtt-main".to_string())
-                .spawn(move || {
-                    thread_main(ctrl2, ThreadId::MAIN, Box::new(move |ctx| entry(ctx)))
-                })
+                .spawn(move || thread_main(ctrl2, ThreadId::MAIN, Box::new(move |ctx| entry(ctx))))
                 .expect("failed to spawn model thread");
             g.os_handles.push(handle);
             g.schedule_next(None, false);

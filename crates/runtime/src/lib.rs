@@ -69,4 +69,4 @@ pub use scheduler::{
 
 // Re-export the instrumentation vocabulary so program authors depend on one
 // crate only.
-pub use mtt_instrument::{BarrierId, CondId, Event, LockId, Loc, Op, SemId, ThreadId, VarId};
+pub use mtt_instrument::{BarrierId, CondId, Event, Loc, LockId, Op, SemId, ThreadId, VarId};

@@ -2,13 +2,13 @@
 //! run of a model program.
 
 use mtt_instrument::{Loc, ThreadId, VarTable};
-use serde::Serialize;
+use mtt_json::{Json, ToJson};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
 /// Why a blocked thread is blocked, as reported in deadlock diagnostics.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WaitEdge {
     /// Waiting for a mutex currently owned by `owner`.
     Lock {
@@ -40,8 +40,16 @@ pub enum WaitEdge {
     },
 }
 
+mtt_json::json_enum!(WaitEdge {
+    Lock { lock, owner },
+    Cond { cond },
+    Sem { sem },
+    Barrier { barrier },
+    Join { target },
+});
+
 /// Diagnostic attached to a deadlocked execution.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct DeadlockInfo {
     /// Every blocked thread and what it waits for, at the moment the
     /// runtime found no runnable or sleeping thread.
@@ -52,6 +60,8 @@ pub struct DeadlockInfo {
     pub cycle: Vec<ThreadId>,
 }
 
+mtt_json::json_struct!(DeadlockInfo { waiting, cycle });
+
 impl DeadlockInfo {
     /// True when the deadlock is a classic cyclic lock wait.
     pub fn is_cyclic(&self) -> bool {
@@ -60,7 +70,7 @@ impl DeadlockInfo {
 }
 
 /// How an execution ended.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub enum OutcomeKind {
     /// Every thread ran to completion.
     Completed,
@@ -82,6 +92,14 @@ pub enum OutcomeKind {
     AssertStop,
 }
 
+mtt_json::json_enum!(OutcomeKind {
+    Completed,
+    Deadlock(info),
+    StepLimit,
+    ThreadPanic { thread, message },
+    AssertStop,
+});
+
 impl OutcomeKind {
     /// Short stable tag used in fingerprints and reports.
     pub fn tag(&self) -> &'static str {
@@ -96,7 +114,7 @@ impl OutcomeKind {
 }
 
 /// One failed executable assertion.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AssertFailure {
     /// The thread whose assertion failed.
     pub thread: ThreadId,
@@ -106,8 +124,10 @@ pub struct AssertFailure {
     pub loc: Loc,
 }
 
+mtt_json::json_struct!(AssertFailure { thread, label, loc });
+
 /// Cheap counters describing the execution.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ExecStats {
     /// Events emitted (before plan filtering).
     pub events: u64,
@@ -122,9 +142,28 @@ pub struct ExecStats {
     pub scheduler_faults: u64,
     /// Noise decisions that disturbed the schedule (yields + sleeps).
     pub noise_injections: u64,
-    /// Wall-clock duration of the run.
-    #[serde(skip)]
+    /// Wall-clock duration of the run. Not serialized: wall time is not a
+    /// property of the schedule and would break fingerprint stability.
     pub wall: Duration,
+}
+
+impl ToJson for ExecStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("events".to_string(), self.events.to_json()),
+            ("sched_points".to_string(), self.sched_points.to_json()),
+            ("threads".to_string(), self.threads.to_json()),
+            ("virtual_time".to_string(), self.virtual_time.to_json()),
+            (
+                "scheduler_faults".to_string(),
+                self.scheduler_faults.to_json(),
+            ),
+            (
+                "noise_injections".to_string(),
+                self.noise_injections.to_json(),
+            ),
+        ])
+    }
 }
 
 /// The result of one execution.

@@ -189,10 +189,7 @@ impl ProgramBuilder {
     /// Declare a (non-reentrant) mutex.
     pub fn lock(&mut self, name: impl Into<String>) -> LockId {
         let name = name.into();
-        assert!(
-            !self.locks.contains(&name),
-            "duplicate lock name {name:?}"
-        );
+        assert!(!self.locks.contains(&name), "duplicate lock name {name:?}");
         let id = LockId(self.locks.len() as u32);
         self.locks.push(name);
         id

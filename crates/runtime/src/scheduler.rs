@@ -421,7 +421,10 @@ mod tests {
         let picks = |seed| {
             let mut s = PctScheduler::new(seed, 3, 50);
             (0..30)
-                .map(|_| s.pick(&view(&runnable, Some(ThreadId(0)), false, &statuses)).0)
+                .map(|_| {
+                    s.pick(&view(&runnable, Some(ThreadId(0)), false, &statuses))
+                        .0
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(picks(4), picks(4), "same seed, same schedule");

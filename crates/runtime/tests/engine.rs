@@ -127,7 +127,11 @@ fn mutex_protects_critical_section() {
             .scheduler(Box::new(RandomScheduler::new(seed)))
             .run();
         assert!(o.ok());
-        assert_eq!(o.var("x"), Some(15), "lock failed to protect at seed {seed}");
+        assert_eq!(
+            o.var("x"),
+            Some(15),
+            "lock failed to protect at seed {seed}"
+        );
     }
 }
 
@@ -176,7 +180,11 @@ fn ab_ba_deadlock_is_detected_under_interleaving() {
 fn ab_ba_completes_under_fifo() {
     let p = ab_ba_program();
     let o = Execution::new(&p).scheduler(Box::new(FifoScheduler)).run();
-    assert!(o.ok(), "FIFO should serialize past the deadlock: {:?}", o.kind);
+    assert!(
+        o.ok(),
+        "FIFO should serialize past the deadlock: {:?}",
+        o.kind
+    );
 }
 
 #[test]
@@ -271,7 +279,10 @@ fn timed_wait_times_out() {
     let o = Execution::new(&p).run();
     assert!(o.ok(), "{:?}", o.kind);
     assert_eq!(o.var("notified"), Some(0), "nobody notifies: must time out");
-    assert!(o.stats.virtual_time >= 10, "virtual time must have advanced");
+    assert!(
+        o.stats.virtual_time >= 10,
+        "virtual time must have advanced"
+    );
 }
 
 #[test]
@@ -503,7 +514,10 @@ fn model_misuse_is_a_thread_panic_outcome() {
     let p = b.build();
     let o = Execution::new(&p).run();
     match o.kind {
-        OutcomeKind::ThreadPanic { thread, ref message } => {
+        OutcomeKind::ThreadPanic {
+            thread,
+            ref message,
+        } => {
             assert_eq!(thread, ThreadId::MAIN);
             assert!(message.contains("does not hold"), "{message}");
         }
@@ -749,7 +763,10 @@ fn spurious_wakeups_break_unguarded_waits() {
             .program_seed(seed)
             .spurious_wakeups(0.10)
             .run();
-        if o.assert_failures.iter().any(|a| a.label == "ready-after-wait") {
+        if o.assert_failures
+            .iter()
+            .any(|a| a.label == "ready-after-wait")
+        {
             exposed = true;
             break;
         }

@@ -2,7 +2,12 @@
 //! no-switch sites — and their export as instrumentation advice.
 
 use crate::ast::MiniProg;
+use crate::atomicity::{self, AtomicityViolation};
 use crate::cfg::{build_cfg, Cfg, NodeKind};
+use crate::dataflow::{held_locks, LockSet};
+use crate::diag::{self, Diagnostic};
+use crate::lints;
+use crate::mhp::{self, MhpFacts};
 use mtt_instrument::{intern_static, Loc, SiteFacts, StaticInfo, VarFacts};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -37,6 +42,23 @@ pub struct UnreleasedLock {
     pub lock: String,
 }
 
+/// Per-thread analysis context: the CFG and its lockset fixpoints, shared
+/// by every pass downstream of the dataflow engine.
+pub struct ThreadCtx {
+    /// Declaration name.
+    pub name: String,
+    /// Replica count (`thread t * N`).
+    pub count: u32,
+    /// The thread's control-flow graph.
+    pub cfg: Cfg,
+    /// Locks must-held on entry to each node.
+    pub must: Vec<LockSet>,
+    /// Locks may-held on entry to each node.
+    pub may: Vec<LockSet>,
+    /// Names declared `local` in the body.
+    pub locals: BTreeSet<String>,
+}
+
 /// Everything the static pass produces.
 #[derive(Clone, Debug, Default)]
 pub struct AnalysisResult {
@@ -55,54 +77,15 @@ pub struct AnalysisResult {
     /// (thread-local computation only) — the paper's "list of program
     /// statements from which there can be no thread switch".
     pub no_switch_lines: BTreeSet<u32>,
+    /// The may-happen-in-parallel relation over shared-access sites.
+    pub mhp: MhpFacts,
+    /// Non-atomic compound regions (Lipton mover analysis).
+    pub atomicity: Vec<AtomicityViolation>,
+    /// Every finding, unified: races, deadlocks, atomicity regions and
+    /// lints as [`Diagnostic`]s, deduplicated and in source order.
+    pub diagnostics: Vec<Diagnostic>,
     /// The advice bundle for the instrumentor.
     pub info: StaticInfo,
-}
-
-type LockSet = BTreeSet<String>;
-
-/// Forward dataflow over a CFG computing, per node, the set of locks held
-/// on entry. `must` selects intersection (must-held) vs union (may-held)
-/// at joins.
-fn held_locks(cfg: &Cfg, must: bool) -> Vec<LockSet> {
-    let preds = cfg.preds();
-    // `None` = unvisited (top for the must analysis).
-    let mut in_sets: Vec<Option<LockSet>> = vec![None; cfg.nodes.len()];
-    in_sets[cfg.entry] = Some(LockSet::new());
-    let mut work: Vec<usize> = vec![cfg.entry];
-    let transfer = |node: usize, mut set: LockSet| -> LockSet {
-        match &cfg.nodes[node].kind {
-            NodeKind::Acquire(l) => {
-                set.insert(l.clone());
-            }
-            NodeKind::Release(l) => {
-                set.remove(l);
-            }
-            // wait releases and re-acquires: held-set unchanged across it.
-            _ => {}
-        }
-        set
-    };
-    while let Some(n) = work.pop() {
-        let out = transfer(n, in_sets[n].clone().unwrap_or_default());
-        for &s in &cfg.succ[n] {
-            let merged = match (&in_sets[s], must) {
-                (None, _) => out.clone(),
-                (Some(cur), true) => cur.intersection(&out).cloned().collect(),
-                (Some(cur), false) => cur.union(&out).cloned().collect(),
-            };
-            if in_sets[s].as_ref() != Some(&merged) {
-                in_sets[s] = Some(merged);
-                work.push(s);
-            }
-        }
-        // Ensure the preds vector is used (kept for future refinement).
-        let _ = &preds;
-    }
-    in_sets
-        .into_iter()
-        .map(|s| s.unwrap_or_default())
-        .collect()
 }
 
 /// Run the full static pass.
@@ -110,23 +93,14 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
     let mut result = AnalysisResult::default();
     let file = intern_static(&prog.name);
 
-    struct ThreadData {
-        name: String,
-        count: u32,
-        cfg: Cfg,
-        must: Vec<LockSet>,
-        may: Vec<LockSet>,
-        locals: BTreeSet<String>,
-    }
-
-    let threads: Vec<ThreadData> = prog
+    let threads: Vec<ThreadCtx> = prog
         .threads
         .iter()
         .map(|t| {
             let cfg = build_cfg(t);
             let must = held_locks(&cfg, true);
             let may = held_locks(&cfg, false);
-            ThreadData {
+            ThreadCtx {
                 name: t.name.clone(),
                 count: t.count,
                 cfg,
@@ -152,14 +126,15 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
         for n in td.cfg.ids() {
             let (reads, write): (Vec<String>, Option<String>) = match &td.cfg.nodes[n].kind {
                 NodeKind::Compute { reads, write } => (reads.clone(), write.clone()),
-                NodeKind::Branch { reads } | NodeKind::Assert { reads } => {
-                    (reads.clone(), None)
-                }
+                NodeKind::Branch { reads } | NodeKind::Assert { reads } => (reads.clone(), None),
                 _ => continue,
             };
             for r in reads {
                 if !td.locals.contains(&r) && prog.is_global(&r) {
-                    accessors.entry(r.clone()).or_default().insert(td.name.clone());
+                    accessors
+                        .entry(r.clone())
+                        .or_default()
+                        .insert(td.name.clone());
                     if td.count > 1 {
                         replicated_access.insert(r.clone());
                     }
@@ -168,7 +143,10 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
             }
             if let Some(w) = write {
                 if !td.locals.contains(&w) && prog.is_global(&w) {
-                    accessors.entry(w.clone()).or_default().insert(td.name.clone());
+                    accessors
+                        .entry(w.clone())
+                        .or_default()
+                        .insert(td.name.clone());
                     if td.count > 1 {
                         replicated_access.insert(w.clone());
                     }
@@ -191,12 +169,17 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
     let mut guards: BTreeMap<String, LockSet> = BTreeMap::new();
     for (var, ti, node) in &accesses {
         let held = &threads[*ti].must[*node];
-        let e = guards.entry(var.clone()).or_insert_with(|| all_locks.clone());
+        let e = guards
+            .entry(var.clone())
+            .or_insert_with(|| all_locks.clone());
         *e = e.intersection(held).cloned().collect();
     }
+    let is_volatile = |v: &str| prog.globals.iter().any(|g| g.name == v && g.volatile);
     for var in &result.shared_vars {
         let guarded = guards.get(var).cloned().unwrap_or_default();
-        if guarded.is_empty() && written.contains(var) {
+        // Volatile accesses are synchronization actions, not races (the
+        // Java volatile-flag idiom must not be flagged).
+        if guarded.is_empty() && written.contains(var) && !is_volatile(var) {
             let threads_list: Vec<String> = accessors
                 .get(var)
                 .map(|s| s.iter().cloned().collect())
@@ -211,6 +194,44 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
         }
         result.guarded_by.insert(var.clone(), guarded);
     }
+
+    // ------------------------------------------------------------------
+    // May-happen-in-parallel: thread overlap structure × lock disjointness.
+    // ------------------------------------------------------------------
+    let shared_ref = &result.shared_vars;
+    result.mhp = mhp::compute(prog, &threads, &|v| shared_ref.contains(v));
+    let contended = result.mhp.contended_vars();
+
+    // ------------------------------------------------------------------
+    // Atomicity: non-atomic compound regions via Lipton movers.
+    // ------------------------------------------------------------------
+    let write_decls: BTreeMap<&str, Vec<usize>> = {
+        let mut m: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (var, ti, node) in &accesses {
+            if matches!(
+                &threads[*ti].cfg.nodes[*node].kind,
+                NodeKind::Compute { write: Some(w), .. } if w == var
+            ) {
+                let e = m.entry(var.as_str()).or_default();
+                if !e.contains(ti) {
+                    e.push(*ti);
+                }
+            }
+        }
+        m
+    };
+    let competing_writer = |v: &str, ti: usize| -> bool {
+        write_decls
+            .get(v)
+            .is_some_and(|decls| decls.iter().any(|&d| d != ti || threads[d].count > 1))
+    };
+    result.atomicity = atomicity::find_violations(
+        &threads,
+        &result.shared_vars,
+        &guards,
+        &contended,
+        &competing_writer,
+    );
 
     // ------------------------------------------------------------------
     // Lock-order graph over (from, to) with thread and gate evidence.
@@ -345,30 +366,35 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
     // ------------------------------------------------------------------
     let mut line_relevant: BTreeMap<u32, bool> = BTreeMap::new();
     let mut line_threads: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut line_sync: BTreeMap<u32, bool> = BTreeMap::new();
     for td in &threads {
         for n in td.cfg.ids() {
             let node = &td.cfg.nodes[n];
             if node.line == 0 {
                 continue;
             }
-            let relevant = match &node.kind {
-                NodeKind::Compute { reads, write } => {
+            let (relevant, sync) = match &node.kind {
+                NodeKind::Compute { reads, write } => (
                     reads
                         .iter()
                         .chain(write.iter())
-                        .any(|v| result.shared_vars.contains(v))
-                }
+                        .any(|v| result.shared_vars.contains(v)),
+                    false,
+                ),
                 NodeKind::Branch { reads } | NodeKind::Assert { reads } => {
-                    reads.iter().any(|v| result.shared_vars.contains(v))
+                    (reads.iter().any(|v| result.shared_vars.contains(v)), false)
                 }
                 NodeKind::Acquire(_)
                 | NodeKind::Release(_)
                 | NodeKind::Wait { .. }
-                | NodeKind::Notify { .. } => true,
-                NodeKind::Yield | NodeKind::Sleep => false,
-                NodeKind::Entry | NodeKind::Exit | NodeKind::Join | NodeKind::Skip => false,
+                | NodeKind::Notify { .. } => (true, true),
+                NodeKind::Yield | NodeKind::Sleep => (false, false),
+                NodeKind::Entry | NodeKind::Exit | NodeKind::Join | NodeKind::Skip => {
+                    (false, false)
+                }
             };
             *line_relevant.entry(node.line).or_insert(false) |= relevant;
+            *line_sync.entry(node.line).or_insert(false) |= sync;
             *line_threads.entry(node.line).or_insert(0) += td.count;
         }
     }
@@ -376,12 +402,19 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
         if !relevant {
             result.no_switch_lines.insert(*line);
         }
+        // MHP refinement: a shared-access line whose every access is
+        // serialized by a common lock cannot interleave — instrumentation
+        // there buys nothing. Sync operations always stay instrumented
+        // (lock-order and blocking analyses need them).
+        let sync = line_sync.get(line).copied().unwrap_or(false);
+        let parallel = sync || result.mhp.line_parallel(*line).unwrap_or(true);
         result.info.sites.insert(
             Loc::new(file, *line),
             SiteFacts {
                 touches_shared: *relevant,
                 switch_relevant: *relevant,
                 reaching_threads: line_threads.get(line).copied().unwrap_or(0),
+                may_run_parallel: parallel,
             },
         );
     }
@@ -417,6 +450,102 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
             .push((d.cycle.clone(), d.message.clone()));
     }
 
+    // ------------------------------------------------------------------
+    // Unified diagnostics: every pass reports through one stream.
+    // ------------------------------------------------------------------
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let access_line = |var: &str| -> u32 {
+        accesses
+            .iter()
+            .filter(|(v, _, _)| v == var)
+            .map(|(_, ti, n)| threads[*ti].cfg.nodes[*n].line)
+            .filter(|l| *l > 0)
+            .min()
+            .unwrap_or(0)
+    };
+    for r in &result.races {
+        diags.push(
+            Diagnostic::new(
+                "R001",
+                diag::Severity::Warning,
+                &prog.name,
+                access_line(&r.var),
+                r.message.clone(),
+                "DataRace",
+            )
+            .note(format!("accessed by threads {:?}", r.threads))
+            .note(format!(
+                "locks held at every access: {:?} (empty = unprotected)",
+                result.guarded_by.get(&r.var).cloned().unwrap_or_default()
+            )),
+        );
+    }
+    let acquire_line = |lock: &str| -> Option<u32> {
+        threads
+            .iter()
+            .flat_map(|td| td.cfg.ids().map(move |n| &td.cfg.nodes[n]))
+            .filter_map(|node| match &node.kind {
+                NodeKind::Acquire(l) if l == lock && node.line > 0 => Some(node.line),
+                _ => None,
+            })
+            .min()
+    };
+    for d in &result.deadlocks {
+        let line = d.cycle.iter().filter_map(|l| acquire_line(l)).min();
+        diags.push(
+            Diagnostic::new(
+                "D001",
+                diag::Severity::Warning,
+                &prog.name,
+                line.unwrap_or(0),
+                d.message.clone(),
+                "Deadlock",
+            )
+            .note(format!("threads on the cycle: {:?}", d.threads)),
+        );
+    }
+    for a in &result.atomicity {
+        let mut diag = Diagnostic::new(
+            "A001",
+            diag::Severity::Warning,
+            &prog.name,
+            a.read_line,
+            format!(
+                "{} on `{}` in thread `{}` is not atomic",
+                a.kind, a.var, a.thread
+            ),
+            "AtomicityViolation",
+        )
+        .span(a.write_line);
+        diag = match &a.lock {
+            Some(l) => diag.note(format!(
+                "`{l}` is released between the read (line {}) and the write (line {}): \
+                 the region's mover string contains L…R and is not reducible",
+                a.read_line, a.write_line
+            )),
+            None => diag.note(
+                "no lock protects the region; a conflicting access can interleave \
+                 between the read and the write"
+                    .to_string(),
+            ),
+        };
+        diags.push(diag);
+    }
+    let unguarded: BTreeSet<String> = result
+        .shared_vars
+        .iter()
+        .filter(|v| result.guarded_by.get(*v).is_none_or(|g| g.is_empty()))
+        .cloned()
+        .collect();
+    diags.extend(lints::run(&lints::LintCtx {
+        prog,
+        threads: &threads,
+        shared: &result.shared_vars,
+        unguarded: &unguarded,
+    }));
+    diag::dedup_and_sort(&mut diags);
+    result.diagnostics = diags;
+
     result
 }
 
@@ -431,9 +560,8 @@ mod tests {
 
     #[test]
     fn thread_local_globals_are_not_shared() {
-        let r = analyze_src(
-            "program p { var a; var b; thread t1 { a = 1; } thread t2 { b = 2; } }",
-        );
+        let r =
+            analyze_src("program p { var a; var b; thread t1 { a = 1; } thread t2 { b = 2; } }");
         assert!(r.shared_vars.is_empty());
         assert!(r.races.is_empty());
         assert!(!r.info.vars["a"].shared);
@@ -441,9 +569,7 @@ mod tests {
 
     #[test]
     fn two_thread_access_is_shared_and_racy_without_locks() {
-        let r = analyze_src(
-            "program p { var x; thread t1 { x = 1; } thread t2 { x = 2; } }",
-        );
+        let r = analyze_src("program p { var x; thread t1 { x = 1; } thread t2 { x = 2; } }");
         assert!(r.shared_vars.contains("x"));
         assert_eq!(r.races.len(), 1);
         assert_eq!(r.races[0].var, "x");
@@ -570,5 +696,40 @@ mod tests {
             !r.shared_vars.contains("x"),
             "shadowed global never actually accessed"
         );
+    }
+
+    #[test]
+    fn replicated_threads_produce_one_diagnostic_per_site() {
+        // `thread t * 3` is one declaration: the race and the atomicity
+        // violation exist once, not once per instance — the dedup
+        // regression for replicated declarations.
+        let r = analyze_src("program p { var x; thread t * 3 { x = x + 1; } }");
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(
+            codes.iter().filter(|c| **c == "R001").count(),
+            1,
+            "one R001 for the single (variable, site) pair: {:?}",
+            r.diagnostics
+        );
+        assert_eq!(
+            codes.iter().filter(|c| **c == "A001").count(),
+            1,
+            "one A001 for the single unprotected RMW: {:?}",
+            r.diagnostics
+        );
+        assert_eq!(r.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn analysis_populates_mhp_and_atomicity_results() {
+        let r = analyze_src(
+            "program p { var x; lock l; thread a {\nlock (l) {\nx = x + 1;\n}\n} thread b {\nx = 2;\n} }",
+        );
+        // x is contended (b writes without the lock), so the sites conflict.
+        assert!(r.mhp.contended_vars().contains(&"x".to_string()));
+        // Every diagnostic carries a non-empty code and message.
+        for d in &r.diagnostics {
+            assert!(!d.code.is_empty() && !d.message.is_empty());
+        }
     }
 }

@@ -1,0 +1,389 @@
+//! Lipton mover-based atomicity inference.
+//!
+//! Lipton's reduction theory classifies actions by how they commute with
+//! concurrent actions of other threads: lock acquires are **right-movers**
+//! (can be deferred past another thread's actions), releases are
+//! **left-movers**, accesses that never conflict in parallel are
+//! **both-movers**, and everything else is a **non-mover**. A code region
+//! is atomic (serializable) when its mover string matches `R* N? L*` —
+//! right-movers, at most one non-mover, then left-movers.
+//!
+//! The pass looks for *compound regions* that a programmer plainly meant
+//! to be atomic — a read of shared `v` whose result flows (through local
+//! temporaries or a branch) into a later write of `v` — and reports the
+//! region when it is **not** reducible:
+//!
+//! * **unguarded** regions over a variable with parallel conflicting
+//!   accesses: any point inside can interleave (check-then-act,
+//!   unprotected read-modify-write);
+//! * **guarded** regions that release and re-acquire the protecting lock
+//!   midway: the release (left-mover) followed by the re-acquire
+//!   (right-mover) is an `L…R` substring, which no `R* N? L*` shuffle
+//!   contains — the classic "two small critical sections pretending to be
+//!   one" bug, invisible to lockset race detectors because every single
+//!   access *is* consistently locked.
+
+use crate::analysis::ThreadCtx;
+use crate::cfg::{Cfg, NodeKind};
+use crate::dataflow::{solve, LockSet, ReachingDefs};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lipton commutativity class of one CFG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mover {
+    /// Commutes rightward past other threads (lock acquire).
+    Right,
+    /// Commutes leftward (lock release).
+    Left,
+    /// Commutes both ways (local computation, serialized accesses).
+    Both,
+    /// Commutes neither way (racy access, wait/notify).
+    Non,
+}
+
+/// Classify one node. `racy` answers whether a variable has parallel
+/// conflicting accesses (from the MHP pass).
+pub fn mover(kind: &NodeKind, racy: &dyn Fn(&str) -> bool) -> Mover {
+    match kind {
+        NodeKind::Acquire(_) => Mover::Right,
+        NodeKind::Release(_) => Mover::Left,
+        NodeKind::Wait { .. } | NodeKind::Notify { .. } => Mover::Non,
+        NodeKind::Compute { reads, write } => {
+            if reads.iter().chain(write.iter()).any(|v| racy(v)) {
+                Mover::Non
+            } else {
+                Mover::Both
+            }
+        }
+        NodeKind::Branch { reads } | NodeKind::Assert { reads } => {
+            if reads.iter().any(|v| racy(v)) {
+                Mover::Non
+            } else {
+                Mover::Both
+            }
+        }
+        NodeKind::Entry
+        | NodeKind::Exit
+        | NodeKind::Join
+        | NodeKind::Skip
+        | NodeKind::Yield
+        | NodeKind::Sleep => Mover::Both,
+    }
+}
+
+/// One non-atomic compound region.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AtomicityViolation {
+    /// The variable whose check/update spans the region.
+    pub var: String,
+    /// Thread declaration containing the region.
+    pub thread: String,
+    /// Line of the initiating read (or check).
+    pub read_line: u32,
+    /// Line of the dependent write.
+    pub write_line: u32,
+    /// The protecting lock released mid-region (`None` = region is
+    /// entirely unguarded).
+    pub lock: Option<String>,
+    /// Short pattern name for evidence ("check-then-act",
+    /// "split-lock read-modify-write", "unprotected read-modify-write").
+    pub kind: &'static str,
+}
+
+/// Nodes reachable from `start` by one or more edges.
+fn reachable_after(cfg: &Cfg, start: usize) -> Vec<bool> {
+    let mut seen = vec![false; cfg.nodes.len()];
+    let mut work: Vec<usize> = cfg.succ[start].clone();
+    while let Some(n) = work.pop() {
+        if !seen[n] {
+            seen[n] = true;
+            work.extend(cfg.succ[n].iter().copied());
+        }
+    }
+    seen
+}
+
+/// Find non-atomic compound regions over the shared variables.
+///
+/// * `guards` — per shared variable, the locks must-held at *every* access
+///   (the static-lockset result); empty set = unguarded.
+/// * `contended` — variables with at least one MHP-parallel conflicting
+///   access pair.
+/// * `competing_writer` — answers whether some *other* thread instance
+///   writes the variable (another declaration, or a replica of the same
+///   declaration).
+pub fn find_violations(
+    threads: &[ThreadCtx],
+    shared: &BTreeSet<String>,
+    guards: &BTreeMap<String, LockSet>,
+    contended: &[String],
+    competing_writer: &dyn Fn(&str, usize) -> bool,
+) -> Vec<AtomicityViolation> {
+    let mut out: BTreeSet<AtomicityViolation> = BTreeSet::new();
+
+    for (ti, td) in threads.iter().enumerate() {
+        let cfg = &td.cfg;
+        let reach_defs = solve(cfg, &ReachingDefs);
+        let reach_fwd: Vec<Vec<bool>> = cfg.ids().map(|n| reachable_after(cfg, n)).collect();
+
+        for v in shared {
+            let guard = guards.get(v).cloned().unwrap_or_default();
+            let interleavable = if guard.is_empty() {
+                contended.contains(v)
+            } else {
+                competing_writer(v, ti)
+            };
+            if !interleavable {
+                continue;
+            }
+            // A node strictly inside a guarded region where no protecting
+            // lock is held is the L…R gap that breaks reducibility.
+            let is_gap = |g: usize| -> bool {
+                guard.is_empty() || td.must[g].intersection(&guard).next().is_none()
+            };
+            let breakable = |d: usize, w: usize| -> bool {
+                if guard.is_empty() {
+                    // Even adjacent read/write nodes interleave: every
+                    // event is a scheduling point.
+                    return true;
+                }
+                cfg.ids()
+                    .any(|g| g != d && g != w && reach_fwd[d][g] && reach_fwd[g][w] && is_gap(g))
+            };
+
+            // Loads of `v` into a local, seeding the taint closure.
+            let mut tainted: BTreeSet<(String, usize)> = BTreeSet::new();
+            let mut load_of: BTreeMap<usize, usize> = BTreeMap::new(); // def node -> load node
+            for n in cfg.ids() {
+                if let NodeKind::Compute {
+                    reads,
+                    write: Some(t),
+                } = &cfg.nodes[n].kind
+                {
+                    if td.locals.contains(t) && reads.contains(v) {
+                        tainted.insert((t.clone(), n));
+                        load_of.insert(n, n);
+                    }
+                }
+            }
+            // Propagate taint through local-to-local computation.
+            loop {
+                let mut grew = false;
+                for n in cfg.ids() {
+                    if let NodeKind::Compute {
+                        reads,
+                        write: Some(m),
+                    } = &cfg.nodes[n].kind
+                    {
+                        if !td.locals.contains(m) || tainted.contains(&(m.clone(), n)) {
+                            continue;
+                        }
+                        let Some(defs) = &reach_defs.before[n] else {
+                            continue;
+                        };
+                        let from_load = reads.iter().find_map(|r| {
+                            defs.iter()
+                                .find(|(name, d)| name == r && tainted.contains(&(r.clone(), *d)))
+                                .map(|(_, d)| *d)
+                        });
+                        if let Some(d) = from_load {
+                            tainted.insert((m.clone(), n));
+                            let origin = load_of.get(&d).copied().unwrap_or(d);
+                            load_of.insert(n, origin);
+                            grew = true;
+                        }
+                    }
+                }
+                if !grew {
+                    break;
+                }
+            }
+            let tainted_origin = |reads: &[String], n: usize| -> Option<usize> {
+                let defs = reach_defs.before[n].as_ref()?;
+                reads.iter().find_map(|r| {
+                    defs.iter()
+                        .find(|(name, d)| name == r && tainted.contains(&(r.clone(), *d)))
+                        .and_then(|(_, d)| load_of.get(d).copied())
+                })
+            };
+            let mut report = |d: usize, w: usize, kind: &'static str| {
+                if breakable(d, w) {
+                    out.insert(AtomicityViolation {
+                        var: v.clone(),
+                        thread: td.name.clone(),
+                        read_line: cfg.nodes[d].line,
+                        write_line: cfg.nodes[w].line,
+                        lock: guard.iter().next().cloned(),
+                        kind,
+                    });
+                }
+            };
+
+            for w in cfg.ids() {
+                match &cfg.nodes[w].kind {
+                    // Dependent write: `v = f(t)` where `t` carries a prior
+                    // read of `v`.
+                    NodeKind::Compute {
+                        reads,
+                        write: Some(tgt),
+                    } if tgt == v => {
+                        if reads.contains(v) && guard.is_empty() {
+                            // Single-statement `v = v + 1`: a read and a
+                            // write with a window between their events.
+                            report(w, w, "unprotected read-modify-write");
+                        }
+                        if let Some(d) = tainted_origin(reads, w) {
+                            let kind = if guard.is_empty() {
+                                "unprotected read-modify-write"
+                            } else {
+                                "split-lock read-modify-write"
+                            };
+                            report(d, w, kind);
+                        }
+                    }
+                    // Check: a branch on `v` (directly or via a tainted
+                    // local) governing a later write of `v`.
+                    NodeKind::Branch { reads } => {
+                        let origin = if reads.contains(v) {
+                            Some(w)
+                        } else {
+                            tainted_origin(reads, w)
+                        };
+                        if let Some(d) = origin {
+                            for w2 in cfg.ids() {
+                                if w2 == w || !reach_fwd[w][w2] {
+                                    continue;
+                                }
+                                if let NodeKind::Compute {
+                                    write: Some(tgt), ..
+                                } = &cfg.nodes[w2].kind
+                                {
+                                    if tgt == v {
+                                        report(d, w2, "check-then-act");
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::parser::parse;
+
+    fn violations(src: &str) -> Vec<AtomicityViolation> {
+        analyze(&parse(src).unwrap()).atomicity
+    }
+
+    #[test]
+    fn unprotected_rmw_is_flagged() {
+        let v = violations("program p { var x; thread t * 2 { x = x + 1; } }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].var, "x");
+        assert_eq!(v[0].kind, "unprotected read-modify-write");
+        assert_eq!(v[0].lock, None);
+    }
+
+    #[test]
+    fn split_temp_rmw_is_flagged_with_read_and_write_lines() {
+        let src = "program p { var x;\nthread a {\nlocal t;\nt = x;\nt = t + 1;\nx = t;\n}\nthread b { x = 5; } }";
+        let v = violations(src);
+        let split = v
+            .iter()
+            .find(|a| a.thread == "a")
+            .expect("thread a region flagged");
+        assert_eq!((split.read_line, split.write_line), (4, 6));
+    }
+
+    #[test]
+    fn check_then_act_via_branch_is_flagged() {
+        let v = violations("program p { var slot; thread t * 2 { if (slot == 0) { slot = 1; } } }");
+        assert!(v.iter().any(|a| a.kind == "check-then-act"), "{v:?}");
+    }
+
+    #[test]
+    fn split_lock_region_is_flagged_despite_consistent_locking() {
+        // Every access is under `l` — no lockset race — yet the region is
+        // not atomic: the L…R gap between the two critical sections.
+        let v = violations(
+            "program p { var x; lock l; thread t * 2 { \
+               local c; \
+               lock (l) { c = x; } \
+               c = c + 1; \
+               lock (l) { x = c; } } }",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].kind, "split-lock read-modify-write");
+        assert_eq!(v[0].lock.as_deref(), Some("l"));
+    }
+
+    #[test]
+    fn single_critical_section_is_atomic() {
+        let v = violations(
+            "program p { var x; lock l; thread t * 2 { \
+               local c; \
+               lock (l) { c = x; c = c + 1; x = c; } } }",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn guarded_rmw_single_statement_is_atomic() {
+        let v = violations("program p { var x; lock l; thread t * 2 { lock (l) { x = x + 1; } } }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn single_thread_region_has_no_violation() {
+        // No competing instance: nothing can interleave with the region.
+        let v = violations("program p { var x; thread t { x = x + 1; } }");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn mover_classification() {
+        use crate::cfg::NodeKind as K;
+        let racy = |v: &str| v == "r";
+        assert_eq!(mover(&K::Acquire("l".into()), &racy), Mover::Right);
+        assert_eq!(mover(&K::Release("l".into()), &racy), Mover::Left);
+        assert_eq!(
+            mover(
+                &K::Compute {
+                    reads: vec!["r".into()],
+                    write: None
+                },
+                &racy
+            ),
+            Mover::Non
+        );
+        assert_eq!(
+            mover(
+                &K::Compute {
+                    reads: vec!["a".into()],
+                    write: Some("b".into())
+                },
+                &racy
+            ),
+            Mover::Both
+        );
+        assert_eq!(
+            mover(
+                &K::Wait {
+                    cond: "c".into(),
+                    lock: "l".into()
+                },
+                &racy
+            ),
+            Mover::Non
+        );
+        assert_eq!(mover(&K::Yield, &racy), Mover::Both);
+    }
+}

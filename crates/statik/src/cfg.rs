@@ -152,7 +152,12 @@ fn lower_stmt(cfg: &mut Cfg, s: &Stmt, cur: usize) -> usize {
             then_branch,
             else_branch,
         } => {
-            let b = cfg.add(s.line, NodeKind::Branch { reads: cond.reads() });
+            let b = cfg.add(
+                s.line,
+                NodeKind::Branch {
+                    reads: cond.reads(),
+                },
+            );
             cfg.edge(cur, b);
             let t_end = lower_block(cfg, then_branch, b);
             let e_end = lower_block(cfg, else_branch, b);
@@ -162,7 +167,12 @@ fn lower_stmt(cfg: &mut Cfg, s: &Stmt, cur: usize) -> usize {
             j
         }
         StmtKind::While { cond, body } => {
-            let b = cfg.add(s.line, NodeKind::Branch { reads: cond.reads() });
+            let b = cfg.add(
+                s.line,
+                NodeKind::Branch {
+                    reads: cond.reads(),
+                },
+            );
             cfg.edge(cur, b);
             let body_end = lower_block(cfg, body, b);
             cfg.edge(body_end, b);
@@ -221,7 +231,12 @@ fn lower_stmt(cfg: &mut Cfg, s: &Stmt, cur: usize) -> usize {
             n
         }
         StmtKind::Assert { cond, .. } => {
-            let n = cfg.add(s.line, NodeKind::Assert { reads: cond.reads() });
+            let n = cfg.add(
+                s.line,
+                NodeKind::Assert {
+                    reads: cond.reads(),
+                },
+            );
             cfg.edge(cur, n);
             n
         }

@@ -40,16 +40,25 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod atomicity;
 pub mod cfg;
+pub mod dataflow;
+pub mod diag;
 pub mod interp;
 pub mod lexer;
+pub mod lints;
+pub mod mhp;
 pub mod parser;
 pub mod printer;
 pub mod samples;
 
-pub use analysis::{analyze, AnalysisResult};
+pub use analysis::{analyze, AnalysisResult, ThreadCtx};
 pub use ast::{BinOp, Expr, GlobalDecl, MiniProg, Stmt, StmtKind, ThreadDecl, UnOp};
+pub use atomicity::{mover, AtomicityViolation, Mover};
 pub use cfg::{build_cfg, Cfg, NodeKind};
+pub use dataflow::{held_locks, solve, Dataflow, LockSet, Solution};
+pub use diag::{Diagnostic, Severity};
 pub use interp::compile;
+pub use mhp::MhpFacts;
 pub use parser::{parse, ParseError};
 pub use printer::{ast_eq_modulo_lines, print};

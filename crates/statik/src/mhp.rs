@@ -1,0 +1,216 @@
+//! May-happen-in-parallel analysis.
+//!
+//! MiniProg's thread structure is flat — every replica of every `thread`
+//! declaration starts at program start and runs to completion, with no
+//! dynamic spawn or join. Two statements may therefore execute in parallel
+//! exactly when they belong to different thread *instances*: different
+//! declarations always overlap, and a declaration replicated `* N` with
+//! N ≥ 2 overlaps with itself. On top of that structural fact the pass
+//! layers the must-lockset: two accesses whose must-held lock sets
+//! intersect are serialized by that common lock even when their threads
+//! overlap.
+//!
+//! The payoff is instrumentation advice sharper than escape analysis
+//! alone: a shared variable whose every access is made under one common
+//! lock escapes (it *is* touched by several threads) but its access sites
+//! can never interleave, so the instrumentor may drop them and the
+//! explorer need not branch there.
+
+use crate::analysis::ThreadCtx;
+use crate::ast::MiniProg;
+use crate::cfg::NodeKind;
+use crate::dataflow::LockSet;
+use std::collections::BTreeMap;
+
+/// One static access to a shared global.
+#[derive(Clone, Debug)]
+pub struct AccessSite {
+    /// Index of the owning thread declaration.
+    pub thread: usize,
+    /// CFG node id within that thread.
+    pub node: usize,
+    /// Accessed global.
+    pub var: String,
+    /// Write access? (reads conflict only with writes).
+    pub write: bool,
+    /// Source line.
+    pub line: u32,
+    /// Locks must-held at the access.
+    pub must: LockSet,
+}
+
+/// The computed MHP relation over shared-access sites.
+#[derive(Clone, Debug, Default)]
+pub struct MhpFacts {
+    /// Every shared-global access site, in deterministic order.
+    pub sites: Vec<AccessSite>,
+    /// Replica count per thread declaration.
+    counts: Vec<u32>,
+    /// Per line: does any access on this line conflict, in parallel, with
+    /// another access? Lines absent from the map carry no shared access.
+    line_parallel: BTreeMap<u32, bool>,
+}
+
+impl MhpFacts {
+    /// May sites `a` and `b` execute in parallel? Symmetric by
+    /// construction: thread-overlap and lockset-disjointness both are.
+    pub fn mhp(&self, a: usize, b: usize) -> bool {
+        let (sa, sb) = (&self.sites[a], &self.sites[b]);
+        let overlap = sa.thread != sb.thread || self.counts[sa.thread] > 1;
+        overlap && sa.must.is_disjoint(&sb.must)
+    }
+
+    /// Do sites `a` and `b` touch the same variable with at least one
+    /// write?
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        let (sa, sb) = (&self.sites[a], &self.sites[b]);
+        sa.var == sb.var && (sa.write || sb.write)
+    }
+
+    /// Is some access on `line` part of a parallel conflict? `None` when
+    /// the line carries no shared access at all.
+    pub fn line_parallel(&self, line: u32) -> Option<bool> {
+        self.line_parallel.get(&line).copied()
+    }
+
+    /// Variables with at least one parallel conflicting access pair — the
+    /// "really racy in some interleaving" set the atomicity pass starts
+    /// from.
+    pub fn contended_vars(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for i in 0..self.sites.len() {
+            for j in i + 1..self.sites.len() {
+                if self.conflicts(i, j) && self.mhp(i, j) {
+                    if !out.contains(&self.sites[i].var) {
+                        out.push(self.sites[i].var.clone());
+                    }
+                    break;
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Compute the MHP relation over every shared-global access in `prog`.
+pub fn compute(prog: &MiniProg, threads: &[ThreadCtx], shared: &dyn Fn(&str) -> bool) -> MhpFacts {
+    let mut facts = MhpFacts {
+        counts: threads.iter().map(|t| t.count).collect(),
+        ..Default::default()
+    };
+    for (ti, td) in threads.iter().enumerate() {
+        for n in td.cfg.ids() {
+            let node = &td.cfg.nodes[n];
+            let (reads, write): (Vec<&String>, Option<&String>) = match &node.kind {
+                NodeKind::Compute { reads, write } => (reads.iter().collect(), write.as_ref()),
+                NodeKind::Branch { reads } | NodeKind::Assert { reads } => {
+                    (reads.iter().collect(), None)
+                }
+                _ => continue,
+            };
+            let mut push = |var: &String, is_write: bool| {
+                if !td.locals.contains(var) && prog.is_global(var) && shared(var) {
+                    facts.sites.push(AccessSite {
+                        thread: ti,
+                        node: n,
+                        var: var.clone(),
+                        write: is_write,
+                        line: node.line,
+                        must: td.must[n].clone(),
+                    });
+                }
+            };
+            for r in reads {
+                push(r, false);
+            }
+            if let Some(w) = write {
+                push(w, true);
+            }
+        }
+    }
+    // A site is parallel-relevant if it conflicts with some site it may
+    // overlap with; a line inherits the OR over its sites.
+    for i in 0..facts.sites.len() {
+        let parallel =
+            (0..facts.sites.len()).any(|j| j != i && facts.conflicts(i, j) && facts.mhp(i, j));
+        let e = facts
+            .line_parallel
+            .entry(facts.sites[i].line)
+            .or_insert(false);
+        *e |= parallel;
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analysis::analyze;
+    use crate::parser::parse;
+
+    fn mhp_of(src: &str) -> super::MhpFacts {
+        analyze(&parse(src).unwrap()).mhp
+    }
+
+    #[test]
+    fn unlocked_writes_from_two_threads_are_parallel() {
+        let m = mhp_of("program p { var x; thread t1 { x = 1; } thread t2 { x = 2; } }");
+        assert_eq!(m.sites.len(), 2);
+        assert!(m.mhp(0, 1));
+        assert!(m.conflicts(0, 1));
+        assert_eq!(m.contended_vars(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn common_lock_serializes_conflicting_accesses() {
+        let m = mhp_of(
+            "program p { var x; lock l; \
+             thread t1 { lock (l) { x = 1; } } \
+             thread t2 { lock (l) { x = x + 1; } } }",
+        );
+        for i in 0..m.sites.len() {
+            for j in 0..m.sites.len() {
+                if i != j {
+                    assert!(!m.mhp(i, j), "sites {i},{j} serialized by `l`");
+                }
+            }
+        }
+        assert!(m.contended_vars().is_empty());
+        for s in &m.sites {
+            assert_eq!(m.line_parallel(s.line), Some(false));
+        }
+    }
+
+    #[test]
+    fn replicated_declaration_overlaps_itself_single_does_not() {
+        let solo =
+            mhp_of("program p { var x; var y; thread t { x = x + 1; } thread u { y = 1; } }");
+        // x is accessed only by the single `t` instance: never parallel.
+        assert!(solo.contended_vars().is_empty());
+        let twin = mhp_of("program p { var x; thread t * 2 { x = x + 1; } }");
+        assert_eq!(twin.contended_vars(), vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn relation_is_symmetric() {
+        let m = mhp_of(
+            "program p { var x; var y; lock l; \
+             thread a { lock (l) { x = 1; } y = 1; } \
+             thread b * 2 { x = x + 1; y = y + 1; } }",
+        );
+        for i in 0..m.sites.len() {
+            for j in 0..m.sites.len() {
+                assert_eq!(m.mhp(i, j), m.mhp(j, i), "mhp must be symmetric ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn read_only_sharing_has_no_conflicts() {
+        let m = mhp_of(
+            "program p { var x; var o1; var o2; thread t1 { o1 = x; } thread t2 { o2 = x; } }",
+        );
+        // x read by both (parallel), but with no write there is no conflict.
+        assert!(m.contended_vars().is_empty());
+    }
+}

@@ -597,7 +597,11 @@ mod tests {
         let p = parse(src).unwrap();
         match &p.threads[0].body[0].kind {
             StmtKind::Assign { value, .. } => match value {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 e => panic!("wrong tree: {e:?}"),

@@ -203,17 +203,28 @@ pub fn ast_eq_modulo_lines(a: &MiniProg, b: &MiniProg) -> bool {
     fn kind_eq(a: &StmtKind, b: &StmtKind) -> bool {
         use StmtKind::*;
         match (a, b) {
+            (Local { name: n1, init: i1 }, Local { name: n2, init: i2 }) => {
+                n1 == n2 && opt_expr_eq(i1, i2)
+            }
             (
-                Local { name: n1, init: i1 },
-                Local { name: n2, init: i2 },
-            ) => n1 == n2 && opt_expr_eq(i1, i2),
-            (
-                Assign { target: t1, value: v1 },
-                Assign { target: t2, value: v2 },
+                Assign {
+                    target: t1,
+                    value: v1,
+                },
+                Assign {
+                    target: t2,
+                    value: v2,
+                },
             ) => t1 == t2 && expr_eq(v1, v2),
             (
-                Assert { cond: c1, label: l1 },
-                Assert { cond: c2, label: l2 },
+                Assert {
+                    cond: c1,
+                    label: l1,
+                },
+                Assert {
+                    cond: c2,
+                    label: l2,
+                },
             ) => expr_eq(c1, c2) && l1 == l2,
             (
                 If {
@@ -241,9 +252,10 @@ pub fn ast_eq_modulo_lines(a: &MiniProg, b: &MiniProg) -> bool {
         && a.locks == b.locks
         && a.conds == b.conds
         && a.threads.len() == b.threads.len()
-        && a.threads.iter().zip(&b.threads).all(|(x, y)| {
-            x.name == y.name && x.count == y.count && stmts_eq(&x.body, &y.body)
-        })
+        && a.threads
+            .iter()
+            .zip(&b.threads)
+            .all(|(x, y)| x.name == y.name && x.count == y.count && stmts_eq(&x.body, &y.body))
 }
 
 #[cfg(test)]

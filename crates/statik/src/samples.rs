@@ -182,17 +182,251 @@ program mp_check_then_act {
 }
 "#;
 
-/// All samples with their names and the bug tags they document (empty tag
-/// list = intentionally clean program).
-pub fn all() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
+/// Split-lock read-modify-write: every single access to `x` is under `l`
+/// (no lockset race), but the increment spans *two* critical sections with
+/// the lock released between them — the atomicity pass's home turf. The
+/// checker asserts the invariant once both workers report done.
+pub const SPLIT_UPDATE: &str = r#"
+program mp_split_update {
+    var x = 0;
+    var done = 0;
+    lock l;
+    thread worker * 2 {
+        local t;
+        lock (l) {
+            t = x;
+        }
+        t = t + 1;
+        lock (l) {
+            x = t;
+        }
+        lock (l) { done = done + 1; }
+    }
+    thread checker {
+        local d = 0;
+        local spins = 0;
+        while (d < 2 && spins < 300) {
+            yield;
+            spins = spins + 1;
+            lock (l) { d = done; }
+        }
+        if (d == 2) {
+            lock (l) {
+                assert x == 2 : "split-update-atomic";
+            }
+        }
+    }
+}
+"#;
+
+/// The Java non-volatile-flag idiom done wrong: the spinner's only exit is
+/// observing `flag`, which is plain (non-volatile) — under the runtime's
+/// weak-visibility model the cached 0 can spin forever. Lint L005; the
+/// hang is the dynamic StaleRead manifestation.
+pub const SPIN_FLAG: &str = r#"
+program mp_spin_flag {
+    var flag = 0;
+    var data = 0;
+    thread writer {
+        data = 42;
+        flag = 1;
+    }
+    thread spinner {
+        local seen;
+        while (flag == 0) { yield; }
+        seen = data;
+        assert seen == 42 : "published-data-visible";
+    }
+}
+"#;
+
+/// Sleep as synchronization: the consumer "waits long enough" for the
+/// producer instead of synchronizing. Noise that delays the producer past
+/// the consumer's nap flips the order. Lint L004.
+pub const SLEEP_SYNC: &str = r#"
+program mp_sleep_sync {
+    var data = 0;
+    thread producer {
+        sleep 3;
+        data = 7;
+    }
+    thread consumer {
+        local v;
+        sleep 5;
+        v = data;
+        assert v == 7 : "producer-won-the-race";
+    }
+}
+"#;
+
+/// Lock leaked on an early-out path: `risky` releases `l` only on the
+/// else-branch, so whenever it observes `balance == 0` it exits still
+/// holding the lock and `steady` blocks forever. Lint L003.
+pub const LOCK_LEAK: &str = r#"
+program mp_lock_leak {
+    var balance = 0;
+    var audited = 0;
+    lock l;
+    thread risky {
+        acquire l;
+        if (balance == 0) {
+            audited = 1;
+        } else {
+            release l;
+        }
+    }
+    thread steady {
+        lock (l) { balance = balance + 2; }
+    }
+}
+"#;
+
+/// Notify aimed at the wrong condition variable: the waiter blocks on
+/// `ready`, the starter signals `launch` — a typo-class bug. The waiter
+/// hangs whenever it gets to its wait before `go` is set. Lint L002.
+pub const NOTIFY_ORPHAN: &str = r#"
+program mp_notify_orphan {
+    var go = 0;
+    lock l;
+    cond ready;
+    cond launch;
+    thread waiter {
+        acquire l;
+        while (go == 0) { wait(ready, l); }
+        release l;
+    }
+    thread starter {
+        lock (l) { go = 1; notify launch; }
+    }
+}
+"#;
+
+/// The volatile-flag hand-off done right (clean control program): both
+/// globals are volatile, so the spin is guaranteed to observe the write
+/// and the static pipeline must stay silent — the false-alarm check.
+pub const HANDOFF_CLEAN: &str = r#"
+program mp_handoff_clean {
+    volatile var flag = 0;
+    volatile var data = 0;
+    thread writer {
+        data = 9;
+        flag = 1;
+    }
+    thread reader {
+        local seen;
+        while (flag == 0) { yield; }
+        seen = data;
+        assert seen == 9 : "handoff-visible";
+    }
+}
+"#;
+
+/// One catalog entry: a MiniProg source plus its documentation — free-form
+/// bug tags and the dynamic bug classes (as `mtt_suite::BugClass` variant
+/// names) the static pipeline is expected to predict. Empty `classes` =
+/// intentionally clean program.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Program name (matches the `program` header).
+    pub name: &'static str,
+    /// MiniProg source.
+    pub src: &'static str,
+    /// Free-form bug tags documenting seeded defects.
+    pub bug_tags: Vec<&'static str>,
+    /// Bug classes the diagnostics should predict (`"DataRace"`, ...).
+    pub classes: Vec<&'static str>,
+}
+
+/// The full sample catalog with per-class documentation.
+pub fn catalog() -> Vec<Sample> {
     vec![
-        ("mp_lost_update", LOST_UPDATE, vec!["race-x"]),
-        ("mp_lost_update_fixed", LOST_UPDATE_FIXED, vec![]),
-        ("mp_abba", ABBA, vec!["deadlock-ab-ba"]),
-        ("mp_missed_signal", MISSED_SIGNAL, vec!["missed-signal"]),
-        ("mp_guarded_wait", GUARDED_WAIT, vec![]),
-        ("mp_check_then_act", CHECK_THEN_ACT, vec!["double-create"]),
+        Sample {
+            name: "mp_lost_update",
+            src: LOST_UPDATE,
+            bug_tags: vec!["race-x"],
+            classes: vec!["DataRace", "AtomicityViolation"],
+        },
+        Sample {
+            name: "mp_lost_update_fixed",
+            src: LOST_UPDATE_FIXED,
+            bug_tags: vec![],
+            classes: vec![],
+        },
+        Sample {
+            name: "mp_abba",
+            src: ABBA,
+            bug_tags: vec!["deadlock-ab-ba"],
+            classes: vec!["Deadlock"],
+        },
+        Sample {
+            name: "mp_missed_signal",
+            src: MISSED_SIGNAL,
+            bug_tags: vec!["missed-signal"],
+            classes: vec!["MissedSignal"],
+        },
+        Sample {
+            name: "mp_guarded_wait",
+            src: GUARDED_WAIT,
+            bug_tags: vec![],
+            classes: vec![],
+        },
+        Sample {
+            name: "mp_check_then_act",
+            src: CHECK_THEN_ACT,
+            bug_tags: vec!["double-create"],
+            classes: vec!["DataRace", "AtomicityViolation"],
+        },
+        Sample {
+            name: "mp_split_update",
+            src: SPLIT_UPDATE,
+            bug_tags: vec!["split-critical-section"],
+            classes: vec!["AtomicityViolation"],
+        },
+        Sample {
+            name: "mp_spin_flag",
+            src: SPIN_FLAG,
+            bug_tags: vec!["nonvolatile-spin"],
+            classes: vec!["DataRace", "StaleRead"],
+        },
+        Sample {
+            name: "mp_sleep_sync",
+            src: SLEEP_SYNC,
+            bug_tags: vec!["sleep-ordering"],
+            classes: vec!["DataRace", "OrderingViolation"],
+        },
+        Sample {
+            name: "mp_lock_leak",
+            src: LOCK_LEAK,
+            bug_tags: vec!["leaked-lock"],
+            classes: vec!["Deadlock"],
+        },
+        Sample {
+            name: "mp_notify_orphan",
+            src: NOTIFY_ORPHAN,
+            bug_tags: vec!["wrong-cond-notify"],
+            classes: vec!["WrongNotify"],
+        },
+        Sample {
+            name: "mp_handoff_clean",
+            src: HANDOFF_CLEAN,
+            bug_tags: vec![],
+            classes: vec![],
+        },
     ]
+}
+
+/// Look a sample up by program name.
+pub fn by_name(name: &str) -> Option<Sample> {
+    catalog().into_iter().find(|s| s.name == name)
+}
+
+/// All samples as `(name, source, bug_tags)` triples (the pre-catalog
+/// shape, kept for callers that only need the sources).
+pub fn all() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
+    catalog()
+        .into_iter()
+        .map(|s| (s.name, s.src, s.bug_tags))
+        .collect()
 }
 
 #[cfg(test)]
@@ -229,5 +463,57 @@ mod tests {
             !r.no_switch_lines.is_empty(),
             "the local-only filler lines must be classified no-switch"
         );
+    }
+
+    #[test]
+    fn catalog_and_all_agree() {
+        let cat = catalog();
+        assert_eq!(cat.len(), all().len());
+        assert_eq!(cat.len(), 12, "the full 12-program catalog");
+        assert!(by_name("mp_spin_flag").is_some());
+        assert!(by_name("no_such_program").is_none());
+    }
+
+    #[test]
+    fn diagnostics_predict_exactly_the_documented_classes() {
+        // The headline contract of the static pipeline: on every catalog
+        // program the set of bug classes named by the diagnostics equals
+        // the documented set — no false alarms on the clean programs, no
+        // misses on the seeded ones.
+        use std::collections::BTreeSet;
+        for s in catalog() {
+            let r = analyze(&parse(s.src).unwrap_or_else(|e| panic!("{}: {e}", s.name)));
+            let got: BTreeSet<&str> = r
+                .diagnostics
+                .iter()
+                .map(|d| d.bug_class.as_str())
+                .filter(|c| !c.is_empty())
+                .collect();
+            let want: BTreeSet<&str> = s.classes.iter().copied().collect();
+            assert_eq!(
+                got, want,
+                "{}: diagnostic classes {:?} != documented {:?}\n{:#?}",
+                s.name, got, want, r.diagnostics
+            );
+        }
+    }
+
+    #[test]
+    fn lint_pack_fires_on_its_designated_samples() {
+        let codes = |src: &str| -> Vec<String> {
+            analyze(&parse(src).unwrap())
+                .diagnostics
+                .iter()
+                .map(|d| d.code.clone())
+                .collect()
+        };
+        assert!(codes(MISSED_SIGNAL).iter().any(|c| c == "L001"));
+        assert!(codes(NOTIFY_ORPHAN).iter().any(|c| c == "L002"));
+        assert!(codes(LOCK_LEAK).iter().any(|c| c == "L003"));
+        assert!(codes(SLEEP_SYNC).iter().any(|c| c == "L004"));
+        assert!(codes(SPIN_FLAG).iter().any(|c| c == "L005"));
+        assert!(codes(SPLIT_UPDATE).iter().any(|c| c == "A001"));
+        // The volatile hand-off is the false-positive control for L005/R001.
+        assert!(codes(HANDOFF_CLEAN).is_empty());
     }
 }

@@ -1,0 +1,85 @@
+//! Properties of the diagnostics pipeline on arbitrary programs:
+//!
+//! * `analyze` is deterministic — two runs agree on every output.
+//! * Diagnostics are stable under a print→parse round-trip: once a program
+//!   has canonical lines, reprinting and reparsing changes neither codes
+//!   nor spans.
+//! * The may-happen-in-parallel relation is symmetric and consistent with
+//!   `conflicts`.
+
+use mtt_static::{analyze, parse, print};
+use proptest::prelude::*;
+
+mod proputil;
+use proputil::arb_prog;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analyze_is_deterministic(prog in arb_prog()) {
+        let a = analyze(&prog);
+        let b = analyze(&prog);
+        prop_assert_eq!(&a.diagnostics, &b.diagnostics);
+        prop_assert_eq!(a.races.len(), b.races.len());
+        prop_assert_eq!(a.deadlocks.len(), b.deadlocks.len());
+        prop_assert_eq!(a.atomicity.len(), b.atomicity.len());
+        prop_assert_eq!(a.mhp.sites.len(), b.mhp.sites.len());
+        prop_assert_eq!(a.mhp.contended_vars(), b.mhp.contended_vars());
+    }
+
+    #[test]
+    fn diagnostics_survive_reprint(prog in arb_prog()) {
+        // Canonicalize first: the generator gives every statement line 1,
+        // so diagnostics of `prog` itself have degenerate spans. After one
+        // print→parse the lines are real, and a second round-trip must
+        // change nothing.
+        let canon = parse(&print(&prog)).expect("reprint parses");
+        let again = parse(&print(&canon)).expect("second reprint parses");
+        let d1 = analyze(&canon).diagnostics;
+        let d2 = analyze(&again).diagnostics;
+        prop_assert_eq!(d1.len(), d2.len());
+        for (x, y) in d1.iter().zip(&d2) {
+            prop_assert_eq!(&x.code, &y.code);
+            prop_assert_eq!(x.line, y.line);
+            prop_assert_eq!(x.end_line, y.end_line);
+            prop_assert_eq!(&x.message, &y.message);
+            prop_assert_eq!(&x.bug_class, &y.bug_class);
+        }
+    }
+
+    #[test]
+    fn mhp_is_symmetric_and_conflicts_need_a_write(prog in arb_prog()) {
+        let canon = parse(&print(&prog)).expect("reprint parses");
+        let r = analyze(&canon);
+        let n = r.mhp.sites.len();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(r.mhp.mhp(i, j), r.mhp.mhp(j, i));
+                prop_assert_eq!(r.mhp.conflicts(i, j), r.mhp.conflicts(j, i));
+                if r.mhp.conflicts(i, j) {
+                    let a = &r.mhp.sites[i];
+                    let b = &r.mhp.sites[j];
+                    prop_assert_eq!(&a.var, &b.var);
+                    prop_assert!(a.write || b.write);
+                }
+            }
+            // A site never conflicts with itself unless it writes.
+            if r.mhp.conflicts(i, i) {
+                prop_assert!(r.mhp.sites[i].write);
+            }
+        }
+        // Every contended variable is backed by a parallel conflicting pair.
+        for v in r.mhp.contended_vars() {
+            let mut witnessed = false;
+            for i in 0..n {
+                for j in 0..n {
+                    if r.mhp.sites[i].var == v && r.mhp.conflicts(i, j) && r.mhp.mhp(i, j) {
+                        witnessed = true;
+                    }
+                }
+            }
+            prop_assert!(witnessed, "contended `{}` has no witness pair", v);
+        }
+    }
+}

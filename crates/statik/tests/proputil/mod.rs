@@ -1,0 +1,134 @@
+//! Shared random-program generator for the property-test suites: arbitrary
+//! well-formed MiniProg ASTs over a fixed vocabulary of globals, locals,
+//! locks and one condition variable.
+
+use mtt_static::{BinOp, Expr, GlobalDecl, MiniProg, Stmt, StmtKind, ThreadDecl, UnOp};
+use proptest::prelude::*;
+
+pub const GLOBALS: [&str; 3] = ["g0", "g1", "g2"];
+pub const LOCALS: [&str; 2] = ["tmp", "acc"];
+pub const LOCKS: [&str; 2] = ["la", "lb"];
+pub const CONDS: [&str; 1] = ["cv"];
+
+pub fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(Expr::Int),
+        prop::sample::select(GLOBALS.to_vec()).prop_map(|s| Expr::Var(s.to_string())),
+        prop::sample::select(LOCALS.to_vec()).prop_map(|s| Expr::Var(s.to_string())),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                prop::sample::select(vec![UnOp::Neg, UnOp::Not])
+            )
+                .prop_map(|(e, op)| Expr::Unary {
+                    op,
+                    expr: Box::new(e)
+                }),
+            (
+                inner.clone(),
+                inner,
+                prop::sample::select(vec![
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Eq,
+                    BinOp::Lt,
+                    BinOp::And,
+                    BinOp::Or,
+                ])
+            )
+                .prop_map(|(l, r, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r)
+                }),
+        ]
+    })
+}
+
+pub fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (prop::sample::select(GLOBALS.to_vec()), arb_expr()).prop_map(|(t, e)| StmtKind::Assign {
+            target: t.to_string(),
+            value: e
+        }),
+        (prop::sample::select(LOCALS.to_vec()), arb_expr()).prop_map(|(t, e)| StmtKind::Assign {
+            target: t.to_string(),
+            value: e
+        }),
+        prop::sample::select(LOCKS.to_vec()).prop_map(|l| StmtKind::Acquire {
+            lock: l.to_string()
+        }),
+        prop::sample::select(LOCKS.to_vec()).prop_map(|l| StmtKind::Release {
+            lock: l.to_string()
+        }),
+        Just(StmtKind::Yield),
+        (0u32..50).prop_map(|t| StmtKind::Sleep { ticks: t }),
+        Just(StmtKind::Skip),
+        (arb_expr(), "[a-z]{1,8}").prop_map(|(e, l)| StmtKind::Assert { cond: e, label: l }),
+        prop::sample::select(CONDS.to_vec()).prop_map(|c| StmtKind::Notify {
+            cond: c.to_string(),
+            all: false
+        }),
+        prop::sample::select(CONDS.to_vec()).prop_map(|c| StmtKind::Notify {
+            cond: c.to_string(),
+            all: true
+        }),
+    ];
+    let nested = simple.prop_recursive(2, 10, 4, |inner| {
+        let block =
+            prop::collection::vec(inner.clone().prop_map(|kind| Stmt { line: 1, kind }), 0..3);
+        prop_oneof![
+            (arb_expr(), block.clone(), block.clone()).prop_map(|(c, t, e)| StmtKind::If {
+                cond: c,
+                then_branch: t,
+                else_branch: e,
+            }),
+            (arb_expr(), block.clone()).prop_map(|(c, b)| StmtKind::While { cond: c, body: b }),
+            (prop::sample::select(LOCKS.to_vec()), block).prop_map(|(l, b)| {
+                StmtKind::LockBlock {
+                    lock: l.to_string(),
+                    body: b,
+                }
+            }),
+        ]
+    });
+    prop_oneof![3 => nested, 1 => Just(StmtKind::Skip)].prop_map(|kind| Stmt { line: 1, kind })
+}
+
+prop_compose! {
+    pub fn arb_prog()(
+        nthreads in 1usize..4,
+        bodies in prop::collection::vec(prop::collection::vec(arb_stmt(), 0..6), 3),
+        counts in prop::collection::vec(1u32..4, 3),
+    ) -> MiniProg {
+        let mut threads = Vec::new();
+        for i in 0..nthreads {
+            // Every thread declares its locals up front so references are valid.
+            let mut body = vec![
+                Stmt { line: 1, kind: StmtKind::Local { name: "tmp".into(), init: None } },
+                Stmt { line: 1, kind: StmtKind::Local { name: "acc".into(), init: Some(Expr::Int(0)) } },
+            ];
+            body.extend(bodies[i].clone());
+            threads.push(ThreadDecl {
+                name: format!("t{i}"),
+                count: counts[i],
+                body,
+            });
+        }
+        MiniProg {
+            name: "prop_prog".into(),
+            globals: GLOBALS.iter().map(|g| GlobalDecl {
+                name: g.to_string(),
+                init: 0,
+                volatile: false,
+            }).collect(),
+            locks: LOCKS.iter().map(|s| s.to_string()).collect(),
+            conds: CONDS.iter().map(|s| s.to_string()).collect(),
+            threads,
+        }
+    }
+}

@@ -31,7 +31,7 @@ use std::sync::Arc;
 
 /// Classification of documented concurrency bugs, following the taxonomy
 /// the paper's §2 walks through.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BugClass {
     /// Unsynchronized conflicting accesses (lost update et al.).
     DataRace,
@@ -56,6 +56,18 @@ pub enum BugClass {
     /// Non-volatile flag read from a stale thread cache.
     StaleRead,
 }
+
+mtt_json::json_enum!(BugClass {
+    DataRace,
+    AtomicityViolation,
+    OrderingViolation,
+    Deadlock,
+    MissedSignal,
+    WrongNotify,
+    SemaphoreMisuse,
+    BarrierMisuse,
+    StaleRead,
+});
 
 /// Documentation of one seeded bug.
 #[derive(Clone, Debug)]
@@ -300,8 +312,12 @@ mod tests {
                     .scheduler(Box::new(RandomScheduler::new(1)))
                     .max_steps(50_000)
                     .run();
-                assert!(p.judge(&o).manifested.is_empty() && o.ok(),
-                    "{}: fixed twin still fails: {:?}", p.name, o.kind);
+                assert!(
+                    p.judge(&o).manifested.is_empty() && o.ok(),
+                    "{}: fixed twin still fails: {:?}",
+                    p.name,
+                    o.kind
+                );
             }
         }
     }

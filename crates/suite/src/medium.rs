@@ -122,7 +122,11 @@ pub fn bank_branch(accounts: u32, transfer_threads: u32) -> SuiteProgram {
     let expected_total = initial * i64::from(accounts);
 
     let build = |fixed: bool| {
-        let mut b = ProgramBuilder::new(if fixed { "bank_branch_fixed" } else { "bank_branch" });
+        let mut b = ProgramBuilder::new(if fixed {
+            "bank_branch_fixed"
+        } else {
+            "bank_branch"
+        });
         let balances: Vec<_> = (0..accounts)
             .map(|i| b.var(format!("balance{i}"), initial))
             .collect();
@@ -240,7 +244,11 @@ pub fn bank_branch(accounts: u32, transfer_threads: u32) -> SuiteProgram {
 /// compute) and the hit/miss statistics are plain racy counters.
 pub fn memo_cache(workers: u32) -> SuiteProgram {
     let build = |locked: bool| {
-        let mut b = ProgramBuilder::new(if locked { "memo_cache_fixed" } else { "memo_cache" });
+        let mut b = ProgramBuilder::new(if locked {
+            "memo_cache_fixed"
+        } else {
+            "memo_cache"
+        });
         let cache_set = b.var("cache_set", 0);
         let cache_val = b.var("cache_val", 0);
         let computes = b.var("computes", 0); // ground-truth rmw counter
@@ -308,8 +316,7 @@ pub fn memo_cache(workers: u32) -> SuiteProgram {
             if o.assert_failures.iter().any(|a| a.label == "computed-once") {
                 v.manifested.push("double-compute");
             }
-            if o
-                .assert_failures
+            if o.assert_failures
                 .iter()
                 .any(|a| a.label == "stats-consistent")
             {
@@ -328,7 +335,11 @@ pub fn memo_cache(workers: u32) -> SuiteProgram {
 pub fn token_ring(n: u32, rounds: u32) -> SuiteProgram {
     assert!(n >= 2);
     let build = |broadcast: bool| {
-        let mut b = ProgramBuilder::new(if broadcast { "token_ring_fixed" } else { "token_ring" });
+        let mut b = ProgramBuilder::new(if broadcast {
+            "token_ring_fixed"
+        } else {
+            "token_ring"
+        });
         let token = b.var("token", 0);
         let passes = b.var("passes", 0);
         let l = b.lock("ring");

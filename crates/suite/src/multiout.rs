@@ -80,13 +80,7 @@ pub fn program() -> Program {
 /// stable string. Two runs with equal signatures behaved identically as
 /// far as the benchmark output is concerned.
 pub fn signature(o: &Outcome) -> String {
-    let vars = [
-        "c1_counter",
-        "c2_creations",
-        "c3_a",
-        "c3_b",
-        "c4_winner",
-    ];
+    let vars = ["c1_counter", "c2_creations", "c3_a", "c3_b", "c4_winner"];
     let vals: Vec<String> = vars
         .iter()
         .map(|v| o.var(v).map_or("?".to_string(), |x| x.to_string()))

@@ -298,7 +298,11 @@ pub fn missed_signal() -> SuiteProgram {
 /// the signal.
 pub fn wrong_notify() -> SuiteProgram {
     let build = |all: bool| {
-        let mut b = ProgramBuilder::new(if all { "wrong_notify_fixed" } else { "wrong_notify" });
+        let mut b = ProgramBuilder::new(if all {
+            "wrong_notify_fixed"
+        } else {
+            "wrong_notify"
+        });
         let pa = b.var("pred_a", 0);
         let pb = b.var("pred_b", 0);
         let l = b.lock("l");
@@ -489,7 +493,11 @@ pub fn ab_ba() -> SuiteProgram {
 /// consumers both take the "same" item.
 pub fn producer_consumer_unsync(items: u32, consumers: u32) -> SuiteProgram {
     let build = |locked: bool| {
-        let mut b = ProgramBuilder::new(if locked { "pc_unsync_fixed" } else { "pc_unsync" });
+        let mut b = ProgramBuilder::new(if locked {
+            "pc_unsync_fixed"
+        } else {
+            "pc_unsync"
+        });
         let count = b.var("count", 0);
         let consumed = b.var("consumed", 0);
         let l = b.lock("q");
@@ -636,7 +644,10 @@ pub fn sleep_sync() -> SuiteProgram {
         )
         .vars(&["data"])],
         oracle: Arc::new(|o| {
-            if o.assert_failures.iter().any(|a| a.label == "read-after-init") {
+            if o.assert_failures
+                .iter()
+                .any(|a| a.label == "read-after-init")
+            {
                 Verdict::bug("sleep-sync")
             } else {
                 Verdict::clean()
@@ -651,7 +662,11 @@ pub fn sleep_sync() -> SuiteProgram {
 /// spin on the stale value. Bounded spin turns the hang into an assertion.
 pub fn stale_flag() -> SuiteProgram {
     let build = |volatile: bool| {
-        let mut b = ProgramBuilder::new(if volatile { "stale_flag_fixed" } else { "stale_flag" });
+        let mut b = ProgramBuilder::new(if volatile {
+            "stale_flag_fixed"
+        } else {
+            "stale_flag"
+        });
         let flag = if volatile {
             b.var("flag", 0)
         } else {
@@ -700,7 +715,11 @@ pub fn stale_flag() -> SuiteProgram {
 /// A semaphore permit leaked on an "error path": later acquirers starve.
 pub fn sem_leak() -> SuiteProgram {
     let build = |always_release: bool| {
-        let mut b = ProgramBuilder::new(if always_release { "sem_leak_fixed" } else { "sem_leak" });
+        let mut b = ProgramBuilder::new(if always_release {
+            "sem_leak_fixed"
+        } else {
+            "sem_leak"
+        });
         let errors = b.var("error_mode", 0);
         let served = b.var("served", 0);
         let err_lock = b.lock("error_flag");
@@ -1040,7 +1059,10 @@ pub fn publish_stale() -> SuiteProgram {
         )
         .vars(&["data", "flag"])],
         oracle: Arc::new(|o| {
-            if o.assert_failures.iter().any(|a| a.label == "payload-visible") {
+            if o.assert_failures
+                .iter()
+                .any(|a| a.label == "payload-visible")
+            {
                 Verdict::bug("publish-stale")
             } else {
                 Verdict::clean()

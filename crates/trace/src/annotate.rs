@@ -10,10 +10,9 @@
 
 use crate::record::Trace;
 use mtt_instrument::Op;
-use serde::{Deserialize, Serialize};
 
 /// The resource footprint of one documented bug.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BugFootprint {
     /// Stable bug tag (e.g. `"lost-update-x"`).
     pub tag: String,

@@ -32,7 +32,7 @@ pub enum BinaryTraceError {
     /// Magic/version mismatch or structural corruption.
     Corrupt(&'static str),
     /// The embedded meta JSON failed to parse.
-    Meta(serde_json::Error),
+    Meta(mtt_json::JsonError),
 }
 
 impl std::fmt::Display for BinaryTraceError {
@@ -223,9 +223,8 @@ fn decode_op(data: &[u8], pos: &mut usize) -> Result<Op, BinaryTraceError> {
         .get(*pos)
         .ok_or(BinaryTraceError::Corrupt("truncated op tag"))?;
     *pos += 1;
-    let v32 = |pos: &mut usize| -> Result<u32, BinaryTraceError> {
-        Ok(get_varint(data, pos)? as u32)
-    };
+    let v32 =
+        |pos: &mut usize| -> Result<u32, BinaryTraceError> { Ok(get_varint(data, pos)? as u32) };
     Ok(match tag {
         0 => Op::VarRead {
             var: VarId(v32(pos)?),
@@ -235,10 +234,18 @@ fn decode_op(data: &[u8], pos: &mut usize) -> Result<Op, BinaryTraceError> {
             var: VarId(v32(pos)?),
             value: get_varint_i64(data, pos)?,
         },
-        2 => Op::LockRequest { lock: LockId(v32(pos)?) },
-        3 => Op::LockAcquire { lock: LockId(v32(pos)?) },
-        4 => Op::LockRelease { lock: LockId(v32(pos)?) },
-        5 => Op::LockTryFail { lock: LockId(v32(pos)?) },
+        2 => Op::LockRequest {
+            lock: LockId(v32(pos)?),
+        },
+        3 => Op::LockAcquire {
+            lock: LockId(v32(pos)?),
+        },
+        4 => Op::LockRelease {
+            lock: LockId(v32(pos)?),
+        },
+        5 => Op::LockTryFail {
+            lock: LockId(v32(pos)?),
+        },
         6 => Op::CondWait {
             cond: CondId(v32(pos)?),
             lock: LockId(v32(pos)?),
@@ -255,9 +262,15 @@ fn decode_op(data: &[u8], pos: &mut usize) -> Result<Op, BinaryTraceError> {
             cond: CondId(v32(pos)?),
             all: true,
         },
-        10 => Op::SemRequest { sem: SemId(v32(pos)?) },
-        11 => Op::SemAcquire { sem: SemId(v32(pos)?) },
-        12 => Op::SemRelease { sem: SemId(v32(pos)?) },
+        10 => Op::SemRequest {
+            sem: SemId(v32(pos)?),
+        },
+        11 => Op::SemAcquire {
+            sem: SemId(v32(pos)?),
+        },
+        12 => Op::SemRelease {
+            sem: SemId(v32(pos)?),
+        },
         13 => Op::BarrierArrive {
             barrier: BarrierId(v32(pos)?),
         },
@@ -276,9 +289,7 @@ fn decode_op(data: &[u8], pos: &mut usize) -> Result<Op, BinaryTraceError> {
         18 => Op::ThreadStart,
         19 => Op::ThreadExit,
         20 => Op::Yield,
-        21 => Op::Sleep {
-            ticks: v32(pos)?,
-        },
+        21 => Op::Sleep { ticks: v32(pos)? },
         22 => Op::Point { label: v32(pos)? },
         23 => Op::AssertFail { label: v32(pos)? },
         24 => Op::VarRmw {
@@ -300,7 +311,7 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
     buf.extend_from_slice(MAGIC);
     buf.push(VERSION);
 
-    let meta = serde_json::to_vec(&trace.meta).expect("meta serializes");
+    let meta = mtt_json::to_vec(&trace.meta);
     put_varint(&mut buf, meta.len() as u64);
     buf.extend_from_slice(&meta);
 
@@ -367,7 +378,7 @@ pub fn decode(data: &[u8]) -> Result<Trace, BinaryTraceError> {
         .checked_add(meta_len)
         .filter(|&e| e <= data.len())
         .ok_or(BinaryTraceError::Corrupt("truncated meta"))?;
-    let meta = serde_json::from_slice(&data[pos..meta_end]).map_err(BinaryTraceError::Meta)?;
+    let meta = mtt_json::from_slice(&data[pos..meta_end]).map_err(BinaryTraceError::Meta)?;
     pos = meta_end;
 
     let nfiles = get_varint(data, &mut pos)? as usize;
@@ -443,25 +454,55 @@ mod tests {
 
     fn all_ops() -> Vec<Op> {
         vec![
-            Op::VarRead { var: VarId(1), value: -42 },
-            Op::VarRmw { var: VarId(1), old: -1, new: 7 },
-            Op::VarWrite { var: VarId(2), value: i64::MAX },
+            Op::VarRead {
+                var: VarId(1),
+                value: -42,
+            },
+            Op::VarRmw {
+                var: VarId(1),
+                old: -1,
+                new: 7,
+            },
+            Op::VarWrite {
+                var: VarId(2),
+                value: i64::MAX,
+            },
             Op::LockRequest { lock: LockId(3) },
             Op::LockAcquire { lock: LockId(3) },
             Op::LockRelease { lock: LockId(3) },
             Op::LockTryFail { lock: LockId(3) },
-            Op::CondWait { cond: CondId(0), lock: LockId(1) },
-            Op::CondWake { cond: CondId(0), lock: LockId(1) },
-            Op::CondNotify { cond: CondId(0), all: false },
-            Op::CondNotify { cond: CondId(0), all: true },
+            Op::CondWait {
+                cond: CondId(0),
+                lock: LockId(1),
+            },
+            Op::CondWake {
+                cond: CondId(0),
+                lock: LockId(1),
+            },
+            Op::CondNotify {
+                cond: CondId(0),
+                all: false,
+            },
+            Op::CondNotify {
+                cond: CondId(0),
+                all: true,
+            },
             Op::SemRequest { sem: SemId(4) },
             Op::SemAcquire { sem: SemId(4) },
             Op::SemRelease { sem: SemId(4) },
-            Op::BarrierArrive { barrier: BarrierId(0) },
-            Op::BarrierPass { barrier: BarrierId(0) },
+            Op::BarrierArrive {
+                barrier: BarrierId(0),
+            },
+            Op::BarrierPass {
+                barrier: BarrierId(0),
+            },
             Op::Spawn { child: ThreadId(7) },
-            Op::JoinRequest { target: ThreadId(7) },
-            Op::Join { target: ThreadId(7) },
+            Op::JoinRequest {
+                target: ThreadId(7),
+            },
+            Op::Join {
+                target: ThreadId(7),
+            },
             Op::ThreadStart,
             Op::ThreadExit,
             Op::Yield,
@@ -480,11 +521,19 @@ mod tests {
                 seq: i as u64,
                 time: (i * 3) as u64,
                 thread: (i % 4) as u32,
-                file: if i % 2 == 0 { "a.rs".into() } else { "b.rs".into() },
+                file: if i % 2 == 0 {
+                    "a.rs".into()
+                } else {
+                    "b.rs".into()
+                },
                 line: i as u32,
                 op,
                 locks_held: vec![0; i % 3],
-                bug_tags: if i % 5 == 0 { vec!["bug".into()] } else { vec![] },
+                bug_tags: if i % 5 == 0 {
+                    vec!["bug".into()]
+                } else {
+                    vec![]
+                },
             });
         }
         t

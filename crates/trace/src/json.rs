@@ -14,7 +14,10 @@ pub enum JsonTraceError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// A line failed to parse.
-    Parse { line: usize, source: serde_json::Error },
+    Parse {
+        line: usize,
+        source: mtt_json::JsonError,
+    },
     /// The stream had no meta line.
     MissingMeta,
 }
@@ -42,10 +45,10 @@ impl From<io::Error> for JsonTraceError {
 /// Serialize `trace` as JSON lines into `w`.
 pub fn write<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
-    serde_json::to_writer(&mut w, &trace.meta)?;
+    w.write_all(mtt_json::to_string(&trace.meta).as_bytes())?;
     w.write_all(b"\n")?;
     for r in &trace.records {
-        serde_json::to_writer(&mut w, r)?;
+        w.write_all(mtt_json::to_string(r).as_bytes())?;
         w.write_all(b"\n")?;
     }
     w.flush()
@@ -55,18 +58,15 @@ pub fn write<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
 pub fn to_string(trace: &Trace) -> String {
     let mut buf = Vec::new();
     write(trace, &mut buf).expect("in-memory write cannot fail");
-    String::from_utf8(buf).expect("serde_json emits UTF-8")
+    String::from_utf8(buf).expect("the JSON printer emits UTF-8")
 }
 
 /// Deserialize a JSON-lines trace from `r`.
 pub fn read<R: Read>(r: R) -> Result<Trace, JsonTraceError> {
     let mut lines = BufReader::new(r).lines();
     let meta_line = lines.next().ok_or(JsonTraceError::MissingMeta)??;
-    let meta: TraceMeta =
-        serde_json::from_str(&meta_line).map_err(|source| JsonTraceError::Parse {
-            line: 1,
-            source,
-        })?;
+    let meta: TraceMeta = mtt_json::from_str(&meta_line)
+        .map_err(|source| JsonTraceError::Parse { line: 1, source })?;
     let mut records = Vec::new();
     for (i, line) in lines.enumerate() {
         let line = line?;
@@ -74,7 +74,7 @@ pub fn read<R: Read>(r: R) -> Result<Trace, JsonTraceError> {
             continue;
         }
         let rec: TraceRecord =
-            serde_json::from_str(&line).map_err(|source| JsonTraceError::Parse {
+            mtt_json::from_str(&line).map_err(|source| JsonTraceError::Parse {
                 line: i + 2,
                 source,
             })?;
@@ -139,7 +139,7 @@ mod tests {
         let lines: Vec<&str> = s.trim_end().lines().collect();
         assert_eq!(lines.len(), 6); // meta + 5 records
         for l in lines {
-            assert!(serde_json::from_str::<serde_json::Value>(l).is_ok());
+            assert!(mtt_json::Json::parse(l).is_ok());
         }
     }
 

@@ -1,7 +1,7 @@
 //! Trace data model and the live-execution collector.
 
-use mtt_instrument::{Event, EventSink, LockId, Loc, Op, ThreadId};
-use serde::{Deserialize, Serialize};
+use mtt_instrument::{Event, EventSink, Loc, LockId, Op, ThreadId};
+use mtt_json::{FromJson, Json, JsonError, ToJson};
 use std::sync::Arc;
 
 pub use mtt_instrument::intern_static;
@@ -12,7 +12,7 @@ pub use mtt_instrument::intern_static;
 /// was instrumented (`op`), which variable was touched (inside `op`),
 /// thread, read-or-write (the `Op` variant), plus the locks held and the
 /// bug-involvement annotation.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TraceRecord {
     /// Global sequence number.
     pub seq: u64,
@@ -30,9 +30,49 @@ pub struct TraceRecord {
     pub locks_held: Vec<u32>,
     /// Tags of documented bugs this record is involved in (empty when the
     /// record is irrelevant to every known bug). Filled by
-    /// [`crate::annotate()`](crate::annotate::annotate).
-    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    /// [`crate::annotate()`](crate::annotate::annotate). Omitted from the
+    /// JSON form when empty, and defaulted when missing on input.
     pub bug_tags: Vec<String>,
+}
+
+impl ToJson for TraceRecord {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("seq".to_string(), self.seq.to_json()),
+            ("time".to_string(), self.time.to_json()),
+            ("thread".to_string(), self.thread.to_json()),
+            ("file".to_string(), self.file.to_json()),
+            ("line".to_string(), self.line.to_json()),
+            ("op".to_string(), self.op.to_json()),
+            ("locks_held".to_string(), self.locks_held.to_json()),
+        ];
+        if !self.bug_tags.is_empty() {
+            fields.push(("bug_tags".to_string(), self.bug_tags.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for TraceRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| JsonError::msg(format!("missing field `{name}` in TraceRecord")))
+        };
+        Ok(TraceRecord {
+            seq: FromJson::from_json(field("seq")?)?,
+            time: FromJson::from_json(field("time")?)?,
+            thread: FromJson::from_json(field("thread")?)?,
+            file: FromJson::from_json(field("file")?)?,
+            line: FromJson::from_json(field("line")?)?,
+            op: FromJson::from_json(field("op")?)?,
+            locks_held: FromJson::from_json(field("locks_held")?)?,
+            bug_tags: match v.get("bug_tags") {
+                Some(tags) => FromJson::from_json(tags)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl TraceRecord {
@@ -73,7 +113,7 @@ impl TraceRecord {
 
 /// Trace header: where the trace came from and the name tables that keep
 /// records compact.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceMeta {
     /// Program the trace was produced from.
     pub program: String,
@@ -103,14 +143,31 @@ pub struct TraceMeta {
     pub manifested_bugs: Vec<String>,
 }
 
+mtt_json::json_struct!(TraceMeta {
+    program,
+    scheduler,
+    noise,
+    seed,
+    thread_names,
+    var_names,
+    lock_names,
+    cond_names,
+    sem_names,
+    barrier_names,
+    known_bugs,
+    manifested_bugs,
+});
+
 /// A complete annotated trace.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Trace {
     /// Header.
     pub meta: TraceMeta,
     /// Records in execution order.
     pub records: Vec<TraceRecord>,
 }
+
+mtt_json::json_struct!(Trace { meta, records });
 
 impl Trace {
     /// Number of records.
@@ -136,7 +193,10 @@ impl Trace {
     }
 
     /// Records involved in the given bug tag.
-    pub fn records_tagged<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+    pub fn records_tagged<'a>(
+        &'a self,
+        tag: &'a str,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
         self.records
             .iter()
             .filter(move |r| r.bug_tags.iter().any(|t| t == tag))

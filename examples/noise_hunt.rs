@@ -35,10 +35,7 @@ fn main() {
     // Round 2: where to put the noise? (the placement research question)
     // ------------------------------------------------------------------
     let noise = |label: &str| {
-        ToolConfig::with_noise(
-            label,
-            Arc::new(|s| Box::new(RandomSleep::new(s, 0.25, 20))),
-        )
+        ToolConfig::with_noise(label, Arc::new(|s| Box::new(RandomSleep::new(s, 0.25, 20))))
     };
     let placement_campaign = Campaign {
         programs: vec![mtt::suite::large::web_sessions(3, 4)],

@@ -70,9 +70,7 @@ fn main() {
     // ------------------------------------------------------------------
     for attempt in 0..3 {
         let playback = PlaybackScheduler::new(bug.schedule.clone(), DivergencePolicy::Strict);
-        let replayed = Execution::new(&program)
-            .scheduler(Box::new(playback))
-            .run();
+        let replayed = Execution::new(&program).scheduler(Box::new(playback)).run();
         assert_eq!(
             replayed.fingerprint(),
             bug.outcome.fingerprint(),

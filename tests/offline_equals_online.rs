@@ -48,15 +48,22 @@ fn run_with_everything(program: &Program, seed: u64) -> OnlineResults {
 fn offline_detection_matches_online_for_every_program() {
     for entry in mtt::suite::quick_set() {
         for seed in [1u64, 9] {
-            let (online_e, online_v, online_g, trace) =
-                run_with_everything(&entry.program, seed);
+            let (online_e, online_v, online_g, trace) = run_with_everything(&entry.program, seed);
 
             // Round-trip the trace through BOTH codecs first: offline tools
             // in practice read from disk.
             let json_rt = json::from_str(&json::to_string(&trace)).unwrap();
             let bin_rt = binary::decode(&binary::encode(&trace)).unwrap();
-            assert_eq!(json_rt, trace, "{}: json codec changed the trace", entry.name);
-            assert_eq!(bin_rt, trace, "{}: binary codec changed the trace", entry.name);
+            assert_eq!(
+                json_rt, trace,
+                "{}: json codec changed the trace",
+                entry.name
+            );
+            assert_eq!(
+                bin_rt, trace,
+                "{}: binary codec changed the trace",
+                entry.name
+            );
 
             // Offline detectors over the reloaded trace.
             let mut eraser = EraserLockset::new();

@@ -20,10 +20,18 @@ fn arb_op() -> impl Strategy<Value = Op> {
             var: VarId(v % 64),
             value: x
         }),
-        any::<u32>().prop_map(|l| Op::LockRequest { lock: LockId(l % 16) }),
-        any::<u32>().prop_map(|l| Op::LockAcquire { lock: LockId(l % 16) }),
-        any::<u32>().prop_map(|l| Op::LockRelease { lock: LockId(l % 16) }),
-        any::<u32>().prop_map(|l| Op::LockTryFail { lock: LockId(l % 16) }),
+        any::<u32>().prop_map(|l| Op::LockRequest {
+            lock: LockId(l % 16)
+        }),
+        any::<u32>().prop_map(|l| Op::LockAcquire {
+            lock: LockId(l % 16)
+        }),
+        any::<u32>().prop_map(|l| Op::LockRelease {
+            lock: LockId(l % 16)
+        }),
+        any::<u32>().prop_map(|l| Op::LockTryFail {
+            lock: LockId(l % 16)
+        }),
         (any::<u32>(), any::<u32>()).prop_map(|(c, l)| Op::CondWait {
             cond: CondId(c % 8),
             lock: LockId(l % 16)

@@ -33,7 +33,7 @@ fn lockset_finds_every_documented_racy_variable() {
         if entry.racy_vars.is_empty() {
             continue;
         }
-        let warned = detect_vars(&entry.program, 25);
+        let warned = detect_vars(&entry.program, 50);
         for racy in &entry.racy_vars {
             assert!(
                 warned.iter().any(|w| w == racy),
@@ -64,7 +64,12 @@ fn fixed_twins_produce_no_happens_before_warnings() {
                 .sink(Box::new(sink.clone()))
                 .max_steps(60_000)
                 .run();
-            assert!(o.ok(), "{} (fixed) failed at {seed}: {:?}", entry.name, o.kind);
+            assert!(
+                o.ok(),
+                "{} (fixed) failed at {seed}: {:?}",
+                entry.name,
+                o.kind
+            );
         }
         let warnings = &det.lock().unwrap().warnings;
         assert!(
