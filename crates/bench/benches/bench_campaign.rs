@@ -1,0 +1,39 @@
+//! The parallel campaign layer: wall-clock scaling of one E1 slice as the
+//! worker count grows. The run matrix is embarrassingly parallel (each run
+//! is a pure function of its seed), so on an N-core machine throughput
+//! should approach Nx until workers outnumber cores; on the single-core CI
+//! container the parallel points mostly measure scheduling overhead, which
+//! is the honest lower bound worth tracking too.
+
+use criterion::Criterion;
+use mtt_bench::quick_criterion;
+use mtt_core::experiment::campaign::Campaign;
+use mtt_core::experiment::jobpool::JobPool;
+
+fn e1_slice(runs: u64) -> Campaign {
+    Campaign::standard(
+        vec![
+            mtt_core::suite::small::lost_update(2, 2),
+            mtt_core::suite::small::ab_ba(),
+        ],
+        runs,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign_jobs");
+    let campaign = e1_slice(10); // x 2 programs x 10 roster tools = 200 runs
+    for jobs in [1usize, 2, 4, 8] {
+        let pool = JobPool::new(jobs);
+        g.bench_function(format!("e1_200runs_jobs{jobs}"), |b| {
+            b.iter(|| campaign.run_on(&pool))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -19,56 +19,166 @@
 //! mtt e7 [runs]                 static advice: reduction + preservation
 //! mtt e8 [seed]                 online/offline trade-off
 //! mtt all                       every experiment with small defaults
+//! mtt help                      this listing
+//! ```
+//!
+//! Global flags (any experiment subcommand):
+//!
+//! ```text
+//! --jobs N | -j N    shard the run matrix across N workers
+//!                    (default: available parallelism; reports are
+//!                    byte-identical for every N — seeds, not threads,
+//!                    define an execution)
+//! --budget-ms N      per-run wall-clock budget; over-budget runs are
+//!                    counted in the report's `timeouts` column
+//! --quiet | -q       suppress the stderr runs/sec + ETA progress line
 //! ```
 
 use mtt_experiment::{
-    campaign::Campaign, coverage_eval, detector_eval, explore_eval, multiout_eval, replay_eval,
-    static_eval, tracegen,
+    campaign::Campaign, cloning::run_cloning_on, coverage_eval, detector_eval, explore_eval,
+    jobpool::JobPool, multiout_eval, replay_eval, static_eval, tracegen,
 };
 use mtt_runtime::{Execution, RandomScheduler};
 use std::env;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Global options shared by every experiment subcommand.
+struct Global {
+    jobs: usize,
+    budget: Option<Duration>,
+    quiet: bool,
+}
+
+impl Global {
+    /// A pool for the experiment `label`, honoring `--jobs`/`--quiet`.
+    fn pool(&self, label: &str) -> JobPool {
+        let pool = JobPool::new(self.jobs);
+        if self.quiet {
+            pool
+        } else {
+            pool.with_progress(label)
+        }
+    }
+}
+
+/// Split `--jobs/-j/--budget-ms/--quiet/-q` out of the raw argument list;
+/// everything else stays positional (subcommand flags like `--json` pass
+/// through). Returns an error message for malformed global flags.
+fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
+    let mut g = Global {
+        jobs: 0, // 0 = available parallelism
+        budget: None,
+        quiet: false,
+    };
+    let mut rest = Vec::new();
+    let mut it = raw.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" | "-j" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                g.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: `{v}` is not a number"))?;
+            }
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms needs a value")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--budget-ms: `{v}` is not a number"))?;
+                g.budget = Some(Duration::from_millis(ms));
+            }
+            "--quiet" | "-q" => g.quiet = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    Ok((g, rest))
+}
 
 fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
-    match cmd {
-        "list" => list(),
-        "lint" => lint(&args[1..]),
-        "run" => run_one(&args[1..]),
-        "trace" => trace(&args[1..]),
-        "e1" => e1(arg_u64(&args, 1, 60)),
-        "e1-detail" => e1_detail(args.get(1).map(String::as_str), arg_u64(&args, 2, 60)),
-        "cloning" => cloning(arg_u64(&args, 1, 60)),
-        "e2" => e2(arg_u64(&args, 1, 10)),
-        "e3" => e3(arg_u64(&args, 1, 20)),
-        "e4" => e4(args.get(1).map(String::as_str), arg_u64(&args, 2, 20)),
-        "e5" => e5(arg_u64(&args, 1, 120)),
-        "e6" => e6(arg_u64(&args, 1, 3000)),
-        "e7" => e7(arg_u64(&args, 1, 40)),
-        "e8" => e8(arg_u64(&args, 1, 7)),
-        "all" => {
-            e1(40);
-            e2(8);
-            e3(15);
-            e4(None, 15);
-            e5(80);
-            e6(2000);
-            e7(30);
-            e8(7);
-            ExitCode::SUCCESS
+    let raw: Vec<String> = env::args().skip(1).collect();
+    let (global, args) = match parse_global(&raw) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("mtt: {msg}");
+            return ExitCode::from(2);
         }
-        _ => {
-            eprintln!("usage: mtt <list|lint|run|trace|e1..e8|all> [args]  (see crate docs)");
+    };
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    let run = || -> Result<ExitCode, String> {
+        match cmd {
+            "list" => Ok(list()),
+            "lint" => Ok(lint(&args[1..])),
+            "run" => Ok(run_one(&args[1..])),
+            "trace" => Ok(trace(&args[1..])),
+            "e1" => Ok(e1(arg_u64(&args, 1, 60)?, &global)),
+            "e1-detail" => Ok(e1_detail(
+                args.get(1).map(String::as_str),
+                arg_u64(&args, 2, 60)?,
+                &global,
+            )),
+            "cloning" => Ok(cloning(arg_u64(&args, 1, 60)?, &global)),
+            "e2" => Ok(e2(arg_u64(&args, 1, 10)?, &global)),
+            "e3" => Ok(e3(arg_u64(&args, 1, 20)?, &global)),
+            "e4" => Ok(e4(
+                args.get(1).map(String::as_str),
+                arg_u64(&args, 2, 20)?,
+                &global,
+            )),
+            "e5" => Ok(e5(arg_u64(&args, 1, 120)?, &global)),
+            "e6" => Ok(e6(arg_u64(&args, 1, 3000)?, &global)),
+            "e7" => Ok(e7(arg_u64(&args, 1, 40)?, &global)),
+            "e8" => Ok(e8(arg_u64(&args, 1, 7)?)),
+            "all" => {
+                e1(40, &global);
+                e2(8, &global);
+                e3(15, &global);
+                e4(None, 15, &global);
+                e5(80, &global);
+                e6(2000, &global);
+                e7(30, &global);
+                e8(7);
+                Ok(ExitCode::SUCCESS)
+            }
+            "help" | "--help" | "-h" => {
+                println!("{USAGE}");
+                Ok(ExitCode::SUCCESS)
+            }
+            "" => {
+                eprintln!("{USAGE}");
+                Ok(ExitCode::from(2))
+            }
+            unknown => {
+                eprintln!("mtt: unknown subcommand `{unknown}`\n{USAGE}");
+                Ok(ExitCode::from(2))
+            }
+        }
+    };
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("mtt: {msg}");
             ExitCode::from(2)
         }
     }
 }
 
-fn arg_u64(args: &[String], idx: usize, default: u64) -> u64 {
-    args.get(idx)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
+const USAGE: &str = "usage: mtt <list|lint|run|trace|e1..e8|cloning|all|help> [args]
+global flags: --jobs N | -j N    worker threads (default: all cores)
+              --budget-ms N      per-run wall-clock budget
+              --quiet | -q       no progress line
+see the crate docs (`cargo doc -p mtt-experiment`) for per-command details";
+
+/// Parse the positional argument at `idx` as a number; the default applies
+/// only when the argument is absent — a malformed value is an error, not a
+/// silent fallback.
+fn arg_u64(args: &[String], idx: usize, default: u64) -> Result<u64, String> {
+    match args.get(idx) {
+        None => Ok(default),
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("argument `{s}` is not a number")),
+    }
 }
 
 fn list() -> ExitCode {
@@ -206,9 +316,10 @@ fn trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn e1(runs: u64) -> ExitCode {
-    let campaign = Campaign::standard(mtt_suite::quick_set(), runs);
-    let report = campaign.run();
+fn e1(runs: u64, g: &Global) -> ExitCode {
+    let mut campaign = Campaign::standard(mtt_suite::quick_set(), runs);
+    campaign.run_budget = g.budget;
+    let report = campaign.run_on(&g.pool("e1"));
     println!("{}", report.table().render());
     println!("ranking (mean find-rate across programs):");
     for (tool, rate) in report.ranking() {
@@ -217,29 +328,31 @@ fn e1(runs: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn e1_detail(program: Option<&str>, runs: u64) -> ExitCode {
+fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> ExitCode {
     let name = program.unwrap_or("web_sessions");
     let Some(p) = mtt_suite::by_name(name) else {
         eprintln!("unknown program `{name}`");
         return ExitCode::from(2);
     };
-    let campaign = Campaign::standard(vec![p], runs);
-    let report = campaign.run();
+    let mut campaign = Campaign::standard(vec![p], runs);
+    campaign.run_budget = g.budget;
+    let report = campaign.run_on(&g.pool("e1-detail"));
     println!("{}", report.per_bug_table(name).render());
     ExitCode::SUCCESS
 }
 
-fn cloning(runs: u64) -> ExitCode {
-    use mtt_experiment::cloning::run_cloning;
+fn cloning(runs: u64, g: &Global) -> ExitCode {
     use mtt_noise::RandomSleep;
     use std::sync::Arc;
+    let pool = g.pool("cloning");
     println!("§2.3 cloning driver: P(cloned test fails)\n");
     for clones in [1u32, 2, 4, 8] {
-        let plain = run_cloning(clones, runs, None);
-        let noisy = run_cloning(
+        let plain = run_cloning_on(clones, runs, None, &pool);
+        let noisy = run_cloning_on(
             clones,
             runs,
             Some(Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 15)))),
+            &pool,
         );
         println!(
             "  {clones} clone(s):  plain {}   + sleep noise {}",
@@ -250,55 +363,58 @@ fn cloning(runs: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn e2(traces: u64) -> ExitCode {
+fn e2(traces: u64, g: &Global) -> ExitCode {
     let programs = mtt_suite::quick_set();
-    let report = detector_eval::run_detector_eval(&programs, traces);
+    let report = detector_eval::run_detector_eval_on(&programs, traces, &g.pool("e2"));
     println!("{}", report.table().render());
     ExitCode::SUCCESS
 }
 
-fn e3(attempts: u64) -> ExitCode {
-    let rows = replay_eval::run_replay_eval(attempts, &[0, 1, 4, 16]);
+fn e3(attempts: u64, g: &Global) -> ExitCode {
+    let rows = replay_eval::run_replay_eval_on(attempts, &[0, 1, 4, 16], &g.pool("e3"));
     println!("{}", replay_eval::replay_table(&rows).render());
     ExitCode::SUCCESS
 }
 
-fn e4(program: Option<&str>, runs: u64) -> ExitCode {
+fn e4(program: Option<&str>, runs: u64, g: &Global) -> ExitCode {
     let name = program.unwrap_or("web_sessions");
     let Some(p) = mtt_suite::by_name(name) else {
         eprintln!("unknown program `{name}`");
         return ExitCode::from(2);
     };
-    let curves = coverage_eval::run_coverage_eval(&p, runs, 0);
+    let curves = coverage_eval::run_coverage_eval_on(&p, runs, 0, &g.pool("e4"));
     println!("{}", coverage_eval::coverage_table(name, &curves).render());
     ExitCode::SUCCESS
 }
 
-fn e5(runs: u64) -> ExitCode {
-    let results = multiout_eval::run_multiout_eval(runs, 0);
+fn e5(runs: u64, g: &Global) -> ExitCode {
+    let results = multiout_eval::run_multiout_eval_on(runs, 0, &g.pool("e5"));
     println!("{}", multiout_eval::multiout_table(&results).render());
     ExitCode::SUCCESS
 }
 
-fn e6(budget: u64) -> ExitCode {
+fn e6(budget: u64, g: &Global) -> ExitCode {
     let programs = vec![
         mtt_suite::small::lost_update(2, 1),
         mtt_suite::small::ab_ba(),
         mtt_suite::small::check_then_act(),
     ];
-    let rows = explore_eval::run_explore_eval(&programs, budget);
+    let rows = explore_eval::run_explore_eval_on(&programs, budget, &g.pool("e6"));
     println!("{}", explore_eval::explore_table(&rows).render());
     ExitCode::SUCCESS
 }
 
-fn e7(runs: u64) -> ExitCode {
-    let rows = static_eval::run_static_eval(runs);
+fn e7(runs: u64, g: &Global) -> ExitCode {
+    let rows = static_eval::run_static_eval_on(runs, &g.pool("e7"));
     println!("{}", static_eval::static_table(&rows).render());
     println!("{}", static_eval::class_table(&rows).render());
     ExitCode::SUCCESS
 }
 
 fn e8(seed: u64) -> ExitCode {
+    // E8 measures online vs offline *wall-clock* overhead: concurrent runs
+    // would contend with each other and poison the measurement, so it
+    // ignores --jobs on purpose.
     let programs = mtt_suite::quick_set();
     let rows = detector_eval::run_tradeoff_eval(&programs, seed);
     println!("{}", detector_eval::tradeoff_table(&rows).render());

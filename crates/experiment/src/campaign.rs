@@ -2,6 +2,7 @@
 //! runs) → find-probability statistics and overhead — experiment E1's
 //! engine, reused by several other experiments.
 
+use crate::jobpool::JobPool;
 use crate::report::Table;
 use crate::stats::FindStats;
 use mtt_instrument::InstrumentationPlan;
@@ -10,7 +11,7 @@ use mtt_runtime::{Execution, NoNoise, NoiseMaker, PctScheduler, RandomScheduler,
 use mtt_suite::SuiteProgram;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Factory producing a fresh scheduler for run seed `s`.
 pub type SchedulerFactory = Arc<dyn Fn(u64) -> Box<dyn Scheduler> + Send + Sync>;
@@ -132,8 +133,11 @@ pub struct CellResult {
     pub avg_points: f64,
     /// Mean noise injections per run.
     pub avg_injections: f64,
-    /// Total wall time spent on this cell.
+    /// Total wall time spent on this cell (sum of per-run durations, so
+    /// the number is comparable across job counts).
     pub wall: Duration,
+    /// Runs that exceeded the campaign's per-run wall-clock budget.
+    pub timed_out: u64,
 }
 
 /// The campaign definition.
@@ -148,6 +152,30 @@ pub struct Campaign {
     pub base_seed: u64,
     /// Per-run step budget.
     pub max_steps: u64,
+    /// Worker threads sharding the (program × tool × seed) matrix
+    /// (1 = serial; 0 = available parallelism).
+    pub jobs: usize,
+    /// Optional per-run wall-clock budget. Runs that exceed it are counted
+    /// in [`CellResult::timed_out`] so a pathological cell is visible in
+    /// the report instead of silently dragging the campaign. Note: run
+    /// *termination* is guaranteed by `max_steps`; the budget only marks.
+    pub run_budget: Option<Duration>,
+    /// Emit a runs/sec + ETA progress line to stderr while running.
+    pub progress: bool,
+}
+
+/// The result of one (program, tool, seed) run — the unit the job pool
+/// shards. Everything a cell aggregates is derived from these records in
+/// canonical index order, which is why parallel and serial reports agree
+/// byte for byte.
+struct RunRecord {
+    failed: bool,
+    manifested: Vec<&'static str>,
+    events: u64,
+    sched_points: u64,
+    injections: u64,
+    elapsed: Duration,
+    timed_out: bool,
 }
 
 impl Campaign {
@@ -159,53 +187,112 @@ impl Campaign {
             runs,
             base_seed: 0x5eed,
             max_steps: 60_000,
+            jobs: 1,
+            run_budget: None,
+            progress: false,
         }
     }
 
-    /// Execute the whole grid.
+    /// Set the worker count (builder style).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Set the per-run wall-clock budget (builder style).
+    pub fn with_run_budget(mut self, budget: Duration) -> Self {
+        self.run_budget = Some(budget);
+        self
+    }
+
+    /// Execute the whole grid on a pool built from this campaign's `jobs`
+    /// and `progress` settings.
     pub fn run(&self) -> CampaignReport {
+        let mut pool = JobPool::new(self.jobs);
+        if self.progress {
+            pool = pool.with_progress("campaign");
+        }
+        self.run_on(&pool)
+    }
+
+    /// Execute the whole grid on an explicit pool. The rendered report is
+    /// byte-identical for every pool size: run `r` of a cell always uses
+    /// seed `base_seed + r`, and shard results merge in canonical
+    /// (program, tool, run) order.
+    pub fn run_on(&self, pool: &JobPool) -> CampaignReport {
+        let n_tools = self.tools.len();
+        let n_runs = self.runs as usize;
+        let total = self.programs.len() * n_tools * n_runs;
+
+        let records = pool.run(total, |i| {
+            let r = i % n_runs;
+            let t = (i / n_runs) % n_tools;
+            let p = i / (n_runs * n_tools);
+            self.one_run(&self.programs[p], &self.tools[t], r as u64)
+        });
+
         let mut cells = BTreeMap::new();
+        let mut records = records.into_iter();
         for prog in &self.programs {
             for tool in &self.tools {
                 let mut cell = CellResult::default();
                 for b in prog.bug_tags() {
                     cell.per_bug.insert(b.to_string(), FindStats::default());
                 }
-                let started = std::time::Instant::now();
                 let mut events = 0u64;
                 let mut points = 0u64;
                 let mut injections = 0u64;
-                for r in 0..self.runs {
-                    let seed = self.base_seed + r;
-                    let mut exec = Execution::new(&prog.program)
-                        .scheduler((tool.scheduler)(seed))
-                        .noise((tool.noise)(seed ^ 0x9e37_79b9))
-                        .max_steps(self.max_steps);
-                    if let Some(plan) = &tool.noise_plan {
-                        exec = exec.noise_plan(plan.clone());
-                    }
-                    if let Some(p) = tool.spurious {
-                        exec = exec.program_seed(seed).spurious_wakeups(p);
-                    }
-                    let outcome = exec.run();
-                    let verdict = prog.judge(&outcome);
-                    cell.any_bug.record(verdict.failed());
+                for _ in 0..self.runs {
+                    let rec = records.next().expect("one record per run");
+                    cell.any_bug.record(rec.failed);
                     for (tag, stats) in cell.per_bug.iter_mut() {
-                        stats.record(verdict.manifested.iter().any(|m| m == tag));
+                        stats.record(rec.manifested.iter().any(|m| m == tag));
                     }
-                    events += outcome.stats.events;
-                    points += outcome.stats.sched_points;
-                    injections += outcome.stats.noise_injections;
+                    events += rec.events;
+                    points += rec.sched_points;
+                    injections += rec.injections;
+                    cell.wall += rec.elapsed;
+                    if rec.timed_out {
+                        cell.timed_out += 1;
+                    }
                 }
                 let n = self.runs.max(1) as f64;
                 cell.avg_events = events as f64 / n;
                 cell.avg_points = points as f64 / n;
                 cell.avg_injections = injections as f64 / n;
-                cell.wall = started.elapsed();
                 cells.insert((prog.name.to_string(), tool.name.clone()), cell);
             }
         }
         CampaignReport { cells }
+    }
+
+    /// One seeded run: the sharding unit. Deterministic given
+    /// (program, tool, r) — the executing thread contributes nothing.
+    fn one_run(&self, prog: &SuiteProgram, tool: &ToolConfig, r: u64) -> RunRecord {
+        let seed = self.base_seed + r;
+        let started = Instant::now();
+        let mut exec = Execution::new(&prog.program)
+            .scheduler((tool.scheduler)(seed))
+            .noise((tool.noise)(seed ^ 0x9e37_79b9))
+            .max_steps(self.max_steps);
+        if let Some(plan) = &tool.noise_plan {
+            exec = exec.noise_plan(plan.clone());
+        }
+        if let Some(p) = tool.spurious {
+            exec = exec.program_seed(seed).spurious_wakeups(p);
+        }
+        let outcome = exec.run();
+        let verdict = prog.judge(&outcome);
+        let elapsed = started.elapsed();
+        RunRecord {
+            failed: verdict.failed(),
+            manifested: verdict.manifested,
+            events: outcome.stats.events,
+            sched_points: outcome.stats.sched_points,
+            injections: outcome.stats.noise_injections,
+            elapsed,
+            timed_out: self.run_budget.is_some_and(|b| elapsed > b),
+        }
     }
 }
 
@@ -223,6 +310,11 @@ impl CampaignReport {
     }
 
     /// Render the find-probability grid (Table E1).
+    ///
+    /// Deliberately contains no wall-clock column: every cell is a pure
+    /// function of (program, tool, seeds), so this table is byte-identical
+    /// whatever `--jobs` produced it. Timings live in
+    /// [`CampaignReport::timing_table`].
     pub fn table(&self) -> Table {
         let mut t = Table::new(
             "E1: bug-find probability per noise heuristic (95% Wilson CI)",
@@ -232,7 +324,7 @@ impl CampaignReport {
                 "P(find any bug)",
                 "avg events/run",
                 "avg injections/run",
-                "wall ms",
+                "timeouts",
             ],
         );
         for ((prog, tool), cell) in &self.cells {
@@ -242,7 +334,27 @@ impl CampaignReport {
                 cell.any_bug.render(),
                 format!("{:.0}", cell.avg_events),
                 format!("{:.1}", cell.avg_injections),
-                format!("{}", cell.wall.as_millis()),
+                cell.timed_out.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// Render the wall-clock companion table. Unlike [`table`], this is
+    /// *not* deterministic across machines or job counts — it reports the
+    /// sum of per-run durations per cell.
+    ///
+    /// [`table`]: CampaignReport::table
+    pub fn timing_table(&self) -> Table {
+        let mut t = Table::new(
+            "E1 timing (not deterministic): summed per-run wall clock",
+            &["program", "tool", "wall ms"],
+        );
+        for ((prog, tool), cell) in &self.cells {
+            t.row(&[
+                prog.clone(),
+                tool.clone(),
+                cell.wall.as_millis().to_string(),
             ]);
         }
         t
@@ -301,6 +413,7 @@ mod tests {
             runs: 40,
             base_seed: 7,
             max_steps: 20_000,
+            ..Campaign::standard(vec![], 0)
         };
         let report = campaign.run();
         assert_eq!(report.cells.len(), 2);
@@ -324,6 +437,53 @@ mod tests {
     }
 
     #[test]
+    fn parallel_campaign_matches_serial_bytes() {
+        let mk = |jobs: usize| {
+            Campaign {
+                programs: vec![
+                    mtt_suite::small::lost_update(2, 2),
+                    mtt_suite::small::ab_ba(),
+                ],
+                tools: vec![ToolConfig::baseline(), ToolConfig::with_spurious(0.05)],
+                runs: 10,
+                base_seed: 21,
+                max_steps: 20_000,
+                ..Campaign::standard(vec![], 0)
+            }
+            .with_jobs(jobs)
+            .run()
+        };
+        let serial = mk(1);
+        let par = mk(4);
+        assert_eq!(serial.table().render(), par.table().render());
+        assert_eq!(serial.table().to_csv(), par.table().to_csv());
+        assert_eq!(
+            serial.per_bug_table("ab_ba").render(),
+            par.per_bug_table("ab_ba").render()
+        );
+    }
+
+    #[test]
+    fn run_budget_marks_cells_instead_of_hanging() {
+        let campaign = Campaign {
+            programs: vec![mtt_suite::small::lost_update(2, 2)],
+            tools: vec![ToolConfig::baseline()],
+            runs: 5,
+            base_seed: 1,
+            max_steps: 20_000,
+            ..Campaign::standard(vec![], 0)
+        }
+        .with_run_budget(Duration::ZERO);
+        let report = campaign.run();
+        let cell = report.cell("lost_update", "none").unwrap();
+        // A zero budget flags every run as over budget, but the campaign
+        // still completes with full statistics.
+        assert_eq!(cell.timed_out, 5);
+        assert_eq!(cell.any_bug.runs, 5);
+        assert!(report.table().render().contains("timeouts"));
+    }
+
+    #[test]
     fn standard_roster_is_complete() {
         let roster = ToolConfig::standard_roster();
         assert!(roster.len() >= 10);
@@ -341,6 +501,7 @@ mod tests {
             runs: 50,
             base_seed: 3,
             max_steps: 20_000,
+            ..Campaign::standard(vec![], 0)
         };
         let report = campaign.run();
         let base = report.cell("unguarded_wait", "none").unwrap();

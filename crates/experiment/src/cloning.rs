@@ -6,6 +6,7 @@
 //! suggested above, such as noise making"), and interprets the clones'
 //! results.
 
+use crate::jobpool::JobPool;
 use crate::stats::FindStats;
 use mtt_runtime::{Execution, NoiseMaker, Program, ProgramBuilder, RandomScheduler, ThreadId};
 use std::sync::Arc;
@@ -53,18 +54,30 @@ pub struct CloningReport {
 /// Run the cloned test `runs` times under a sticky scheduler with the given
 /// clone count; optionally with a noise factory composed on top.
 pub fn run_cloning(clones: u32, runs: u64, noise: OptionalNoise) -> CloningReport {
+    run_cloning_on(clones, runs, noise, &JobPool::serial())
+}
+
+/// [`run_cloning`], sharding the seeded runs across a job pool.
+pub fn run_cloning_on(
+    clones: u32,
+    runs: u64,
+    noise: OptionalNoise,
+    pool: &JobPool,
+) -> CloningReport {
     let program = cloned_counter_test(clones, 2);
-    let mut report = CloningReport::default();
-    for r in 0..runs {
-        let seed = 1000 + r;
+    let fails = pool.run(runs as usize, |r| {
+        let seed = 1000 + r as u64;
         let mut exec = Execution::new(&program)
             .scheduler(Box::new(RandomScheduler::sticky(seed, 0.9)))
             .max_steps(60_000);
         if let Some(n) = &noise {
             exec = exec.noise(n(seed));
         }
-        let o = exec.run();
-        report.fail.record(!o.ok());
+        !exec.run().ok()
+    });
+    let mut report = CloningReport::default();
+    for failed in fails {
+        report.fail.record(failed);
     }
     report
 }

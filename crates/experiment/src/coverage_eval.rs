@@ -3,6 +3,7 @@
 //! ("better measures should be created and their correlation to bug
 //! detection studied").
 
+use crate::jobpool::JobPool;
 use crate::report::Table;
 use mtt_coverage::{
     Advice, ContentionCoverage, CoverageModel, Cumulative, OrderedPairCoverage, RunCountAdvisor,
@@ -11,6 +12,7 @@ use mtt_coverage::{
 use mtt_instrument::shared;
 use mtt_runtime::{Execution, RandomScheduler};
 use mtt_suite::SuiteProgram;
+use std::collections::BTreeSet;
 
 /// Result of tracking one coverage model over a run sequence.
 #[derive(Clone, Debug)]
@@ -42,6 +44,20 @@ impl CoverageCurve {
 /// models simultaneously; compute per-model growth curves and the advisor's
 /// stopping point (window = 3, min runs = 2).
 pub fn run_coverage_eval(program: &SuiteProgram, runs: u64, base_seed: u64) -> Vec<CoverageCurve> {
+    run_coverage_eval_on(program, runs, base_seed, &JobPool::serial())
+}
+
+/// [`run_coverage_eval`] with the runs sharded across a job pool. The
+/// per-run coverage sets are computed in parallel; the *cumulative* fold —
+/// which is inherently ordered, because the growth curve and the advisor
+/// depend on what was already seen — happens afterwards in run order, so
+/// the curves are identical for any worker count.
+pub fn run_coverage_eval_on(
+    program: &SuiteProgram,
+    runs: u64,
+    base_seed: u64,
+    pool: &JobPool,
+) -> Vec<CoverageCurve> {
     let table = program.program.var_table();
     let mut cumulative: Vec<(&'static str, Cumulative, RunCountAdvisor, Option<usize>)> = vec![
         ("site", Cumulative::new(), RunCountAdvisor::new(3, 2), None),
@@ -61,28 +77,32 @@ pub fn run_coverage_eval(program: &SuiteProgram, runs: u64, base_seed: u64) -> V
     ];
     let mut buggy_runs = Vec::new();
 
-    for r in 0..runs {
+    let per_run: Vec<([BTreeSet<String>; 4], bool)> = pool.run(runs as usize, |r| {
         let (site_sink, site_h) = shared(SiteCoverage::new());
         let (cont_sink, cont_h) = shared(ContentionCoverage::new(&table));
         let (sync_sink, sync_h) = shared(SyncCoverage::new());
         let (pair_sink, pair_h) = shared(OrderedPairCoverage::new(&table));
         let outcome = Execution::new(&program.program)
-            .scheduler(Box::new(RandomScheduler::new(base_seed + r)))
+            .scheduler(Box::new(RandomScheduler::new(base_seed + r as u64)))
             .sink(Box::new(site_sink))
             .sink(Box::new(cont_sink))
             .sink(Box::new(sync_sink))
             .sink(Box::new(pair_sink))
             .max_steps(60_000)
             .run();
-        if program.judge(&outcome).failed() {
-            buggy_runs.push(r as usize);
-        }
         let covered = [
             site_h.lock().unwrap().covered_tasks(),
             cont_h.lock().unwrap().covered_tasks(),
             sync_h.lock().unwrap().covered_tasks(),
             pair_h.lock().unwrap().covered_tasks(),
         ];
+        (covered, program.judge(&outcome).failed())
+    });
+
+    for (r, (covered, failed)) in per_run.iter().enumerate() {
+        if *failed {
+            buggy_runs.push(r);
+        }
         for (i, tasks) in covered.iter().enumerate() {
             let (_, cum, advisor, stop) = &mut cumulative[i];
             let fresh = cum.absorb(tasks);

@@ -1,6 +1,7 @@
 //! E6: systematic exploration vs randomized testing — executions and
 //! transitions to the first bug, per search configuration.
 
+use crate::jobpool::JobPool;
 use crate::report::Table;
 use mtt_explore::{ExploreOptions, Explorer};
 use mtt_runtime::{Execution, RandomScheduler};
@@ -21,85 +22,102 @@ pub struct ExploreRow {
     pub exhausted_clean: bool,
 }
 
+/// The systematic search configurations E6 compares (label, options).
+fn search_configs(budget: u64) -> Vec<(&'static str, ExploreOptions)> {
+    vec![
+        (
+            "dfs",
+            ExploreOptions {
+                branch_only_visible: false,
+                max_executions: budget,
+                ..Default::default()
+            },
+        ),
+        (
+            "dfs+por",
+            ExploreOptions {
+                branch_only_visible: true,
+                max_executions: budget,
+                ..Default::default()
+            },
+        ),
+        (
+            "dfs+por+state",
+            ExploreOptions {
+                branch_only_visible: true,
+                stateful: true,
+                max_executions: budget,
+                ..Default::default()
+            },
+        ),
+        (
+            "preempt<=2",
+            ExploreOptions {
+                branch_only_visible: true,
+                preemption_bound: Some(2),
+                max_executions: budget,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
 /// Run E6 on the given programs.
 pub fn run_explore_eval(programs: &[SuiteProgram], budget: u64) -> Vec<ExploreRow> {
-    let mut rows = Vec::new();
-    for p in programs {
-        let oracle_program = p.clone();
-        let mk_oracle = move || {
-            let sp = oracle_program.clone();
-            move |o: &mtt_runtime::Outcome| sp.judge(o).failed()
-        };
-        let configs: Vec<(&'static str, ExploreOptions)> = vec![
-            (
-                "dfs",
-                ExploreOptions {
-                    branch_only_visible: false,
-                    max_executions: budget,
-                    ..Default::default()
-                },
-            ),
-            (
-                "dfs+por",
-                ExploreOptions {
-                    branch_only_visible: true,
-                    max_executions: budget,
-                    ..Default::default()
-                },
-            ),
-            (
-                "dfs+por+state",
-                ExploreOptions {
-                    branch_only_visible: true,
-                    stateful: true,
-                    max_executions: budget,
-                    ..Default::default()
-                },
-            ),
-            (
-                "preempt<=2",
-                ExploreOptions {
-                    branch_only_visible: true,
-                    preemption_bound: Some(2),
-                    max_executions: budget,
-                    ..Default::default()
-                },
-            ),
-        ];
-        for (label, opts) in configs {
-            let explorer = Explorer::new(&p.program, opts).with_oracle(mk_oracle());
+    run_explore_eval_on(programs, budget, &JobPool::serial())
+}
+
+/// [`run_explore_eval`], sharding the (program × search configuration)
+/// grid — including the random baseline — across a job pool. Each grid
+/// cell is an independent deterministic search, so the rows are identical
+/// for any worker count.
+pub fn run_explore_eval_on(
+    programs: &[SuiteProgram],
+    budget: u64,
+    pool: &JobPool,
+) -> Vec<ExploreRow> {
+    let systematic = search_configs(budget);
+    let per_program = systematic.len() + 1; // + random baseline
+    pool.run(programs.len() * per_program, |i| {
+        let p = &programs[i / per_program];
+        let c = i % per_program;
+        if c < systematic.len() {
+            let (label, opts) = &systematic[c];
+            let sp = p.clone();
+            let explorer = Explorer::new(&p.program, opts.clone())
+                .with_oracle(move |o: &mtt_runtime::Outcome| sp.judge(o).failed());
             let r = explorer.run();
-            rows.push(ExploreRow {
+            ExploreRow {
                 program: p.name.to_string(),
                 config: label,
                 execs_to_bug: r.executions_to_first_bug(),
                 transitions: r.transitions,
                 exhausted_clean: r.exhausted && r.bugs.is_empty(),
-            });
-        }
-        // The random-testing baseline: runs until the oracle fires.
-        let mut execs = None;
-        let mut transitions = 0u64;
-        for seed in 0..budget {
-            let o = Execution::new(&p.program)
-                .scheduler(Box::new(RandomScheduler::new(seed)))
-                .max_steps(20_000)
-                .run();
-            transitions += o.stats.sched_points;
-            if p.judge(&o).failed() {
-                execs = Some(seed + 1);
-                break;
+            }
+        } else {
+            // The random-testing baseline: runs until the oracle fires.
+            let mut execs = None;
+            let mut transitions = 0u64;
+            for seed in 0..budget {
+                let o = Execution::new(&p.program)
+                    .scheduler(Box::new(RandomScheduler::new(seed)))
+                    .max_steps(20_000)
+                    .run();
+                transitions += o.stats.sched_points;
+                if p.judge(&o).failed() {
+                    execs = Some(seed + 1);
+                    break;
+                }
+            }
+            ExploreRow {
+                program: p.name.to_string(),
+                config: "random",
+                execs_to_bug: execs,
+                transitions,
+                exhausted_clean: false,
             }
         }
-        rows.push(ExploreRow {
-            program: p.name.to_string(),
-            config: "random",
-            execs_to_bug: execs,
-            transitions,
-            exhausted_clean: false,
-        });
-    }
-    rows
+    })
 }
 
 /// Render Table E6.

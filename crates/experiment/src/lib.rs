@@ -14,12 +14,18 @@
 //! is the push button. [`stats`] holds the shared statistical machinery
 //! (Wilson confidence intervals, outcome-distribution measures), and
 //! [`report`] renders every experiment as aligned text tables plus CSV.
+//!
+//! [`jobpool`] is the parallel execution layer: every experiment's run
+//! matrix shards across `--jobs` workers, and because each run is a pure
+//! function of its seed, the rendered reports are byte-identical at any
+//! job count (the differential tests in `tests/` enforce this).
 
 pub mod campaign;
 pub mod cloning;
 pub mod coverage_eval;
 pub mod detector_eval;
 pub mod explore_eval;
+pub mod jobpool;
 pub mod multiout_eval;
 pub mod replay_eval;
 pub mod report;
@@ -28,5 +34,6 @@ pub mod stats;
 pub mod tracegen;
 
 pub use campaign::{Campaign, CampaignReport, ToolConfig};
+pub use jobpool::JobPool;
 pub use report::Table;
 pub use stats::{entropy, total_variation, Distribution, FindStats};

@@ -3,6 +3,7 @@
 //! compared as to the distribution of their results. Analysis of outcomes
 //! will be produced as part of the prepared experiment."
 
+use crate::jobpool::JobPool;
 use crate::report::Table;
 use crate::stats::{total_variation, Distribution};
 use mtt_noise::{Mixed, RandomSleep, RandomYield};
@@ -73,20 +74,38 @@ pub struct MultioutRow {
 /// Run the multiout program `runs` times under each configuration and
 /// collect the outcome-signature distributions.
 pub fn run_multiout_eval(runs: u64, base_seed: u64) -> Vec<MultioutRow> {
+    run_multiout_eval_on(runs, base_seed, &JobPool::serial())
+}
+
+/// [`run_multiout_eval`], sharding the whole (configuration × seed) matrix
+/// across a job pool. Distributions are count maps, so folding the
+/// per-run signatures in canonical order reproduces the serial result
+/// exactly at any worker count.
+pub fn run_multiout_eval_on(runs: u64, base_seed: u64, pool: &JobPool) -> Vec<MultioutRow> {
     let program = multiout::program();
-    standard_configs()
+    let configs = standard_configs();
+    let n_runs = runs as usize;
+
+    let samples: Vec<(String, String)> = pool.run(configs.len() * n_runs, |i| {
+        let cfg = &configs[i / n_runs];
+        let seed = base_seed + (i % n_runs) as u64;
+        let outcome = Execution::new(&program)
+            .scheduler((cfg.scheduler)(seed))
+            .noise((cfg.noise)(seed ^ 0xabcd))
+            .run();
+        let sig = multiout::signature(&outcome);
+        let vals = sig.split("]/").next().unwrap_or(&sig).to_string();
+        (sig, vals)
+    });
+
+    let mut samples = samples.into_iter();
+    configs
         .into_iter()
         .map(|cfg| {
             let mut full = Distribution::new();
             let mut values = Distribution::new();
-            for r in 0..runs {
-                let seed = base_seed + r;
-                let outcome = Execution::new(&program)
-                    .scheduler((cfg.scheduler)(seed))
-                    .noise((cfg.noise)(seed ^ 0xabcd))
-                    .run();
-                let sig = multiout::signature(&outcome);
-                let vals = sig.split("]/").next().unwrap_or(&sig).to_string();
+            for _ in 0..runs {
+                let (sig, vals) = samples.next().expect("one signature per run");
                 full.record(sig);
                 values.record(vals);
             }

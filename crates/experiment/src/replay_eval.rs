@@ -8,6 +8,7 @@
 //! operations injected, standing in for recompilation/environment change).
 //! Success = the replay reproduces the original outcome fingerprint.
 
+use crate::jobpool::JobPool;
 use crate::report::Table;
 use crate::stats::FindStats;
 use mtt_replay::{record, DivergencePolicy, PlaybackNoise, PlaybackScheduler, ReplayLog};
@@ -64,49 +65,76 @@ pub struct ReplayRow {
 
 /// Run E3 over `attempts` recorded executions per cell.
 pub fn run_replay_eval(attempts: u64, drifts: &[u32]) -> Vec<ReplayRow> {
+    run_replay_eval_on(attempts, drifts, &JobPool::serial())
+}
+
+/// One sharded (drift, attempt) record/playback experiment.
+struct AttemptResult {
+    strict: bool,
+    resync: bool,
+    partial: bool,
+    log_bytes: u64,
+}
+
+/// [`run_replay_eval`], sharding the (drift × attempt) matrix across a
+/// job pool. Each attempt records with its own seed and plays back
+/// deterministically, so the aggregated rows are identical for any worker
+/// count.
+pub fn run_replay_eval_on(attempts: u64, drifts: &[u32], pool: &JobPool) -> Vec<ReplayRow> {
     let original = drifted_program(0);
+    let targets: Vec<Program> = drifts.iter().map(|&d| drifted_program(d)).collect();
+    let n_attempts = attempts as usize;
+
+    let results = pool.run(drifts.len() * n_attempts, |i| {
+        let target = &targets[i / n_attempts];
+        let seed = 100 + (i % n_attempts) as u64;
+        // Record on the original program.
+        let (sched, noise, handle) = record(
+            original.name(),
+            seed,
+            RandomScheduler::new(seed),
+            mtt_runtime::NoNoise,
+        );
+        let recorded = Execution::new(&original)
+            .scheduler(Box::new(sched))
+            .noise(Box::new(noise))
+            .run();
+        let log = handle.take_log();
+        // (c) partial: rerun with the recorded seed.
+        let partial_outcome = Execution::new(target)
+            .scheduler(Box::new(RandomScheduler::new(seed)))
+            .run();
+        AttemptResult {
+            strict: playback_matches(
+                target,
+                &log,
+                DivergencePolicy::Strict,
+                recorded.fingerprint(),
+            ),
+            resync: playback_matches(
+                target,
+                &log,
+                DivergencePolicy::Resync { window: 64 },
+                recorded.fingerprint(),
+            ),
+            partial: partial_outcome.fingerprint() == recorded.fingerprint(),
+            log_bytes: log.storage_bytes() as u64,
+        }
+    });
+
     let mut rows = Vec::new();
+    let mut results = results.into_iter();
     for &drift in drifts {
-        let target = drifted_program(drift);
         let mut strict = FindStats::default();
         let mut resync = FindStats::default();
         let mut partial = FindStats::default();
         let mut log_bytes = 0u64;
-        for a in 0..attempts {
-            let seed = 100 + a;
-            // Record on the original program.
-            let (sched, noise, handle) = record(
-                original.name(),
-                seed,
-                RandomScheduler::new(seed),
-                mtt_runtime::NoNoise,
-            );
-            let recorded = Execution::new(&original)
-                .scheduler(Box::new(sched))
-                .noise(Box::new(noise))
-                .run();
-            let log = handle.take_log();
-            log_bytes += log.storage_bytes() as u64;
-
-            // (a) full + strict
-            strict.record(playback_matches(
-                &target,
-                &log,
-                DivergencePolicy::Strict,
-                recorded.fingerprint(),
-            ));
-            // (b) full + resync
-            resync.record(playback_matches(
-                &target,
-                &log,
-                DivergencePolicy::Resync { window: 64 },
-                recorded.fingerprint(),
-            ));
-            // (c) partial: rerun with the recorded seed.
-            let partial_outcome = Execution::new(&target)
-                .scheduler(Box::new(RandomScheduler::new(seed)))
-                .run();
-            partial.record(partial_outcome.fingerprint() == recorded.fingerprint());
+        for _ in 0..attempts {
+            let r = results.next().expect("one result per attempt");
+            strict.record(r.strict);
+            resync.record(r.resync);
+            partial.record(r.partial);
+            log_bytes += r.log_bytes;
         }
         let n = attempts.max(1);
         rows.push(ReplayRow {

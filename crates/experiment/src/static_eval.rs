@@ -12,6 +12,7 @@
 //!   scored against each sample's documented classes and the dynamic
 //!   oracle (did any documented bug actually manifest under noise?).
 
+use crate::jobpool::JobPool;
 use crate::report::Table;
 use crate::stats::FindStats;
 use mtt_instrument::{shared, CountingSink, InstrumentationPlan, StaticInfo};
@@ -85,8 +86,16 @@ fn advised_points(info: &StaticInfo) -> usize {
 
 /// Run E7 across all MiniProg samples.
 pub fn run_static_eval(runs: u64) -> Vec<StaticRow> {
-    let mut rows = Vec::new();
-    for sample in samples::catalog() {
+    run_static_eval_on(runs, &JobPool::serial())
+}
+
+/// [`run_static_eval`], sharding one job per MiniProg sample across a job
+/// pool (analysis plus the seeded find-rate runs are the per-sample cost).
+/// Rows come back in catalog order at any worker count.
+pub fn run_static_eval_on(runs: u64, pool: &JobPool) -> Vec<StaticRow> {
+    let catalog = samples::catalog();
+    pool.run(catalog.len(), |i| {
+        let sample = &catalog[i];
         let ast = parse(sample.src).expect("sample must parse");
         let analysis = analyze(&ast);
         let program = compile(&ast);
@@ -139,7 +148,7 @@ pub fn run_static_eval(runs: u64) -> Vec<StaticRow> {
             sample.classes.iter().map(|c| c.to_string()).collect();
         let manifests = find_full.hits > 0;
 
-        rows.push(StaticRow {
+        StaticRow {
             program: sample.name.to_string(),
             events_full,
             events_escape,
@@ -154,9 +163,8 @@ pub fn run_static_eval(runs: u64) -> Vec<StaticRow> {
             documented_classes,
             manifests,
             has_bug: !sample.bug_tags.is_empty(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Per-bug-class score of static diagnostics against the documentation

@@ -26,6 +26,15 @@ impl FindStats {
         }
     }
 
+    /// Fold another counter into this one. Merging is commutative and
+    /// associative, so per-shard statistics from a parallel campaign can
+    /// be combined in any order and still equal the serial aggregate
+    /// (property-tested in `tests/props.rs`).
+    pub fn merge(&mut self, other: &FindStats) {
+        self.hits += other.hits;
+        self.runs += other.runs;
+    }
+
     /// Point estimate of the find probability.
     pub fn rate(&self) -> f64 {
         if self.runs == 0 {
@@ -85,6 +94,15 @@ impl Distribution {
     pub fn record(&mut self, signature: impl Into<String>) {
         *self.counts.entry(signature.into()).or_insert(0) += 1;
         self.total += 1;
+    }
+
+    /// Fold another distribution into this one (order-insensitive, like
+    /// [`FindStats::merge`]).
+    pub fn merge(&mut self, other: &Distribution) {
+        for (sig, n) in &other.counts {
+            *self.counts.entry(sig.clone()).or_insert(0) += n;
+        }
+        self.total += other.total;
     }
 
     /// Number of distinct outcomes observed (the support size).

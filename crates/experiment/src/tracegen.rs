@@ -2,6 +2,7 @@
 //! desirable traces in the above format", with bug annotation and
 //! manifested-bug ground truth filled in from the suite oracles.
 
+use crate::jobpool::JobPool;
 use mtt_instrument::shared;
 use mtt_runtime::{Execution, NoiseMaker, RandomScheduler, Scheduler};
 use mtt_suite::SuiteProgram;
@@ -102,17 +103,27 @@ pub fn generate_with(
 /// Produce `count` traces with consecutive seeds — "any number of desirable
 /// traces".
 pub fn generate_many(program: &SuiteProgram, base: &TraceGenOptions, count: u64) -> Vec<Trace> {
-    (0..count)
-        .map(|i| {
-            generate(
-                program,
-                &TraceGenOptions {
-                    seed: base.seed + i,
-                    ..base.clone()
-                },
-            )
-        })
-        .collect()
+    generate_many_on(program, base, count, &JobPool::serial())
+}
+
+/// [`generate_many`], sharded across a job pool. Trace `i` always uses
+/// seed `base.seed + i`, so the returned vector is identical (in content
+/// and order) for any worker count.
+pub fn generate_many_on(
+    program: &SuiteProgram,
+    base: &TraceGenOptions,
+    count: u64,
+    pool: &JobPool,
+) -> Vec<Trace> {
+    pool.run(count as usize, |i| {
+        generate(
+            program,
+            &TraceGenOptions {
+                seed: base.seed + i as u64,
+                ..base.clone()
+            },
+        )
+    })
 }
 
 #[cfg(test)]
@@ -149,6 +160,17 @@ mod tests {
                     .any(|(a, b)| a.thread != b.thread)),
             "all 5 traces identical"
         );
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let p = mtt_suite::small::lost_update(2, 2);
+        let serial = generate_many(&p, &TraceGenOptions::default(), 6);
+        let par = generate_many_on(&p, &TraceGenOptions::default(), 6, &JobPool::new(3));
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a, b, "trace diverged between serial and parallel");
+        }
     }
 
     #[test]

@@ -59,6 +59,55 @@ fn unknown_command_prints_usage() {
 }
 
 #[test]
+fn help_prints_usage_and_succeeds() {
+    let (stdout, _, ok) = mtt(&["help"]);
+    assert!(ok, "`mtt help` must exit 0");
+    assert!(stdout.contains("usage"));
+    assert!(
+        stdout.contains("--jobs"),
+        "global flags documented: {stdout}"
+    );
+}
+
+#[test]
+fn no_arguments_fails_with_usage() {
+    let (_, stderr, ok) = mtt(&[]);
+    assert!(!ok, "bare `mtt` must exit non-zero");
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn malformed_numeric_argument_fails_cleanly() {
+    let (_, stderr, ok) = mtt(&["e1", "bogus"]);
+    assert!(
+        !ok,
+        "`mtt e1 bogus` must exit non-zero, not fall back to a default"
+    );
+    assert!(stderr.contains("not a number"), "stderr: {stderr}");
+}
+
+#[test]
+fn jobs_flag_rejects_missing_and_malformed_values() {
+    let (_, stderr, ok) = mtt(&["e5", "4", "--jobs"]);
+    assert!(!ok, "`--jobs` with no value must exit non-zero");
+    assert!(stderr.contains("--jobs"), "stderr: {stderr}");
+    let (_, stderr, ok) = mtt(&["e5", "4", "--jobs", "many"]);
+    assert!(!ok, "`--jobs many` must exit non-zero");
+    assert!(stderr.contains("--jobs"), "stderr: {stderr}");
+}
+
+#[test]
+fn cli_output_is_identical_across_job_counts() {
+    // The end-to-end determinism claim, at the process boundary: the same
+    // experiment through the real binary, serial vs parallel, byte for byte.
+    let (serial, _, ok) = mtt(&["e5", "6", "--jobs", "1", "--quiet"]);
+    assert!(ok);
+    let (par, _, ok) = mtt(&["e5", "6", "--jobs", "4", "--quiet"]);
+    assert!(ok);
+    assert_eq!(serial, par, "mtt e5 stdout diverged between --jobs 1 and 4");
+}
+
+#[test]
 fn trace_command_writes_annotated_jsonl() {
     let dir = std::env::temp_dir().join(format!("mtt-cli-test-{}", std::process::id()));
     let dir_s = dir.to_string_lossy().into_owned();

@@ -1,0 +1,217 @@
+//! Differential tests: the parallel execution layer's correctness oracle.
+//!
+//! Every prepared experiment that gained `--jobs` must produce **byte
+//! identical** rendered reports (text and CSV) whatever the worker count,
+//! because a run is a function of its seed, not of the thread that happened
+//! to execute it. These tests run each experiment serially and with
+//! `jobs = 2, 4, 8` and compare the bytes.
+
+use mtt_experiment::campaign::{Campaign, CampaignReport, ToolConfig};
+use mtt_experiment::jobpool::JobPool;
+use mtt_experiment::{
+    coverage_eval, detector_eval, explore_eval, multiout_eval, replay_eval, static_eval, tracegen,
+};
+
+const JOB_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn small_campaign(runs: u64) -> Campaign {
+    Campaign {
+        programs: vec![
+            mtt_suite::small::lost_update(2, 2),
+            mtt_suite::small::ab_ba(),
+            mtt_suite::small::unguarded_wait(),
+        ],
+        tools: vec![
+            ToolConfig::baseline(),
+            ToolConfig::with_noise(
+                "sleep-0.3",
+                std::sync::Arc::new(|s| Box::new(mtt_noise::RandomSleep::new(s, 0.3, 20))),
+            ),
+            ToolConfig::with_spurious(0.05),
+        ],
+        runs,
+        base_seed: 0x5eed,
+        max_steps: 20_000,
+        ..Campaign::standard(vec![], 0)
+    }
+}
+
+fn campaign_bytes(report: &CampaignReport) -> (String, String, String) {
+    (
+        report.table().render(),
+        report.table().to_csv(),
+        report.per_bug_table("lost_update").render(),
+    )
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_across_job_counts() {
+    let campaign = small_campaign(12);
+    let serial = campaign_bytes(&campaign.run_on(&JobPool::serial()));
+    for jobs in JOB_COUNTS {
+        let par = campaign_bytes(&campaign.run_on(&JobPool::new(jobs)));
+        assert_eq!(serial.0, par.0, "E1 table text diverged at jobs={jobs}");
+        assert_eq!(serial.1, par.1, "E1 table CSV diverged at jobs={jobs}");
+        assert_eq!(serial.2, par.2, "per-bug table diverged at jobs={jobs}");
+    }
+}
+
+#[test]
+fn detector_eval_reports_are_byte_identical() {
+    let programs = vec![
+        mtt_suite::small::lost_update(2, 2),
+        mtt_suite::small::missed_signal(),
+    ];
+    let serial = detector_eval::run_detector_eval_on(&programs, 4, &JobPool::serial());
+    for jobs in JOB_COUNTS {
+        let par = detector_eval::run_detector_eval_on(&programs, 4, &JobPool::new(jobs));
+        assert_eq!(
+            serial.table().render(),
+            par.table().render(),
+            "E2 table diverged at jobs={jobs}"
+        );
+        assert_eq!(serial.table().to_csv(), par.table().to_csv());
+    }
+}
+
+#[test]
+fn coverage_eval_reports_are_byte_identical() {
+    let p = mtt_suite::small::lost_update(2, 2);
+    let serial = coverage_eval::run_coverage_eval_on(&p, 10, 0, &JobPool::serial());
+    let serial_table = coverage_eval::coverage_table("lost_update", &serial);
+    for jobs in JOB_COUNTS {
+        let par = coverage_eval::run_coverage_eval_on(&p, 10, 0, &JobPool::new(jobs));
+        let par_table = coverage_eval::coverage_table("lost_update", &par);
+        assert_eq!(
+            serial_table.render(),
+            par_table.render(),
+            "E4 table diverged at jobs={jobs}"
+        );
+        assert_eq!(serial_table.to_csv(), par_table.to_csv());
+    }
+}
+
+#[test]
+fn multiout_eval_reports_are_byte_identical() {
+    let serial = multiout_eval::multiout_table(&multiout_eval::run_multiout_eval_on(
+        12,
+        7,
+        &JobPool::serial(),
+    ));
+    for jobs in JOB_COUNTS {
+        let par = multiout_eval::multiout_table(&multiout_eval::run_multiout_eval_on(
+            12,
+            7,
+            &JobPool::new(jobs),
+        ));
+        assert_eq!(
+            serial.render(),
+            par.render(),
+            "E5 table diverged at jobs={jobs}"
+        );
+        assert_eq!(serial.to_csv(), par.to_csv());
+    }
+}
+
+#[test]
+fn explore_eval_reports_are_byte_identical() {
+    let programs = vec![
+        mtt_suite::small::lost_update(2, 1),
+        mtt_suite::small::ab_ba(),
+    ];
+    let serial = explore_eval::explore_table(&explore_eval::run_explore_eval_on(
+        &programs,
+        500,
+        &JobPool::serial(),
+    ));
+    for jobs in JOB_COUNTS {
+        let par = explore_eval::explore_table(&explore_eval::run_explore_eval_on(
+            &programs,
+            500,
+            &JobPool::new(jobs),
+        ));
+        assert_eq!(
+            serial.render(),
+            par.render(),
+            "E6 table diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn replay_eval_reports_are_byte_identical() {
+    let serial = replay_eval::replay_table(&replay_eval::run_replay_eval_on(
+        6,
+        &[0, 4],
+        &JobPool::serial(),
+    ));
+    for jobs in JOB_COUNTS {
+        let par = replay_eval::replay_table(&replay_eval::run_replay_eval_on(
+            6,
+            &[0, 4],
+            &JobPool::new(jobs),
+        ));
+        assert_eq!(
+            serial.render(),
+            par.render(),
+            "E3 table diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn static_eval_reports_are_byte_identical() {
+    let serial = static_eval::static_table(&static_eval::run_static_eval_on(6, &JobPool::serial()));
+    for jobs in JOB_COUNTS {
+        let par =
+            static_eval::static_table(&static_eval::run_static_eval_on(6, &JobPool::new(jobs)));
+        assert_eq!(
+            serial.render(),
+            par.render(),
+            "E7 table diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn tracegen_output_is_identical_across_job_counts() {
+    let p = mtt_suite::small::lost_update(2, 2);
+    let opts = tracegen::TraceGenOptions::default();
+    let serial = tracegen::generate_many_on(&p, &opts, 8, &JobPool::serial());
+    for jobs in JOB_COUNTS {
+        let par = tracegen::generate_many_on(&p, &opts, 8, &JobPool::new(jobs));
+        for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+            assert_eq!(
+                mtt_trace::json::to_string(a),
+                mtt_trace::json::to_string(b),
+                "trace {i} diverged at jobs={jobs}"
+            );
+        }
+    }
+}
+
+/// The CI "slow" variant: the same differential at statistically
+/// meaningful run counts over the full standard roster. Run with
+/// `cargo test --release -p mtt-experiment -- --ignored`.
+#[test]
+#[ignore = "slow: high-volume differential, exercised by the nightly CI step"]
+fn campaign_differential_high_volume() {
+    let campaign = Campaign {
+        programs: vec![
+            mtt_suite::small::lost_update(2, 2),
+            mtt_suite::small::ab_ba(),
+            mtt_suite::small::check_then_act(),
+            mtt_suite::small::unguarded_wait(),
+        ],
+        runs: 100,
+        max_steps: 30_000,
+        ..Campaign::standard(vec![], 0)
+    };
+    let serial = campaign_bytes(&campaign.run_on(&JobPool::serial()));
+    for jobs in [2, 4, 8, 16] {
+        let par = campaign_bytes(&campaign.run_on(&JobPool::new(jobs)));
+        assert_eq!(serial.0, par.0, "E1 table text diverged at jobs={jobs}");
+        assert_eq!(serial.1, par.1, "E1 CSV diverged at jobs={jobs}");
+        assert_eq!(serial.2, par.2, "per-bug table diverged at jobs={jobs}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Golden-report snapshot tests.
+//!
+//! The prepared experiments are deterministic end to end (seeded runs,
+//! canonical-order merges, no wall-clock columns in the default tables),
+//! so their rendered reports can be pinned byte for byte. If a change
+//! legitimately alters a report, regenerate the snapshots with:
+//!
+//! ```text
+//! MTT_BLESS=1 cargo test --release -p mtt-experiment --test golden
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use mtt_experiment::campaign::{Campaign, ToolConfig};
+use mtt_experiment::jobpool::JobPool;
+use mtt_experiment::multiout_eval;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("MTT_BLESS").is_some() {
+        std::fs::write(&path, actual).expect("write blessed snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); run with MTT_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "report drifted from snapshot {name}; if intended, rerun with MTT_BLESS=1 and review the diff"
+    );
+}
+
+/// A tiny fixed-seed E1 campaign: 2 programs x 2 tools x 8 runs.
+fn tiny_campaign() -> Campaign {
+    Campaign {
+        programs: vec![
+            mtt_suite::small::lost_update(2, 2),
+            mtt_suite::small::ab_ba(),
+        ],
+        tools: vec![ToolConfig::baseline(), ToolConfig::with_spurious(0.1)],
+        runs: 8,
+        base_seed: 42,
+        max_steps: 20_000,
+        ..Campaign::standard(vec![], 0)
+    }
+}
+
+#[test]
+fn e1_tiny_campaign_table_matches_golden() {
+    let report = tiny_campaign().run_on(&JobPool::new(4));
+    check_golden("e1_tiny_table.txt", &report.table().render());
+}
+
+#[test]
+fn e1_tiny_campaign_csv_matches_golden() {
+    let report = tiny_campaign().run_on(&JobPool::new(4));
+    check_golden("e1_tiny_table.csv", &report.table().to_csv());
+}
+
+#[test]
+fn e5_multiout_table_matches_golden() {
+    let rows = multiout_eval::run_multiout_eval_on(24, 11, &JobPool::new(4));
+    check_golden(
+        "e5_multiout_table.txt",
+        &multiout_eval::multiout_table(&rows).render(),
+    );
+}

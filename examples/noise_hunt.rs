@@ -48,6 +48,7 @@ fn main() {
         runs: 40,
         base_seed: 0xbeef,
         max_steps: 60_000,
+        ..Campaign::standard(vec![], 0)
     };
     let placement_report = placement_campaign.run();
     println!("{}", placement_report.table().render());

@@ -227,3 +227,142 @@ proptest! {
         prop_assert_eq!(original.fingerprint(), replayed.fingerprint());
     }
 }
+
+// ---------------------------------------------------------------------
+// Statistics invariants (the parallel campaign layer's merge algebra)
+// ---------------------------------------------------------------------
+
+use mtt::experiment::stats::{entropy, total_variation, Distribution, FindStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sharded FindStats merged in ANY permutation equal the serial
+    /// aggregate — the algebraic core of the `--jobs` determinism claim.
+    #[test]
+    fn findstats_shard_merge_is_order_insensitive(
+        outcomes in prop::collection::vec(any::<bool>(), 0..200),
+        cuts in prop::collection::vec(any::<u16>(), 1..8),
+        perm_seed in any::<u64>(),
+    ) {
+        // Serial aggregate.
+        let mut serial = FindStats::default();
+        for &o in &outcomes {
+            serial.record(o);
+        }
+        // Cut the run sequence into shards at arbitrary points.
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|&c| c as usize % (outcomes.len() + 1))
+            .collect();
+        bounds.push(0);
+        bounds.push(outcomes.len());
+        bounds.sort_unstable();
+        let mut shards: Vec<FindStats> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut s = FindStats::default();
+                for &o in &outcomes[w[0]..w[1]] {
+                    s.record(o);
+                }
+                s
+            })
+            .collect();
+        // Merge the shards in a seed-derived permutation (the order workers
+        // happen to finish in is arbitrary).
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut merged = FindStats::default();
+        for i in order {
+            merged.merge(&std::mem::take(&mut shards[i]));
+        }
+        prop_assert_eq!(merged, serial);
+    }
+
+    /// Wilson bounds are a sane interval: 0 <= lo <= p-hat <= hi <= 1.
+    #[test]
+    fn wilson_bounds_bracket_the_point_estimate(
+        runs in 0u64..10_000,
+        hit_ppm in 0u64..=1_000_000,
+    ) {
+        let hits = (runs as f64 * (hit_ppm as f64 / 1e6)) as u64;
+        let s = FindStats { hits, runs };
+        let (lo, hi) = s.wilson95();
+        let p = s.rate();
+        prop_assert!((0.0..=1.0).contains(&lo), "lo={lo}");
+        prop_assert!((0.0..=1.0).contains(&hi), "hi={hi}");
+        prop_assert!(lo <= p + 1e-12, "lo={lo} > p={p}");
+        prop_assert!(p <= hi + 1e-12, "p={p} > hi={hi}");
+    }
+
+    /// Distribution invariants: entropy is within [0, log2(support)], the
+    /// distribution itself is invariant under record-order shuffles, and
+    /// Distribution::merge agrees with recording everything serially.
+    #[test]
+    fn distribution_entropy_and_merge_invariants(
+        raw in prop::collection::vec(0u8..6, 1..120),
+        cut in any::<u16>(),
+        perm_seed in any::<u64>(),
+    ) {
+        let sigs: Vec<String> = raw.iter().map(|s| format!("sig{s}")).collect();
+        let mut serial = Distribution::new();
+        for s in &sigs {
+            serial.record(s.clone());
+        }
+        // Entropy bounds.
+        let h = serial.entropy();
+        let max_h = (serial.support() as f64).log2();
+        prop_assert!(h >= -1e-12, "entropy {h} < 0");
+        prop_assert!(h <= max_h + 1e-9, "entropy {h} > log2(support) {max_h}");
+        prop_assert!((entropy(serial.counts.values().copied(), serial.total) - h).abs() < 1e-12);
+        // Order-shuffle invariance.
+        let mut shuffled_sigs = sigs.clone();
+        let mut state = perm_seed | 1;
+        for i in (1..shuffled_sigs.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled_sigs.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut shuffled = Distribution::new();
+        for s in shuffled_sigs {
+            shuffled.record(s);
+        }
+        prop_assert_eq!(&shuffled, &serial);
+        // Two-shard merge equals the serial aggregate.
+        let k = cut as usize % (sigs.len() + 1);
+        let mut left = Distribution::new();
+        let mut right = Distribution::new();
+        for s in &sigs[..k] {
+            left.record(s.clone());
+        }
+        for s in &sigs[k..] {
+            right.record(s.clone());
+        }
+        left.merge(&right);
+        prop_assert_eq!(&left, &serial);
+    }
+
+    /// Total variation distance is a metric-shaped quantity: within [0,1],
+    /// symmetric, and zero between a distribution and itself.
+    #[test]
+    fn total_variation_is_metric_shaped(
+        raw_a in prop::collection::vec(0u8..6, 0..80),
+        raw_b in prop::collection::vec(0u8..6, 0..80),
+    ) {
+        let mut a = Distribution::new();
+        for s in &raw_a {
+            a.record(format!("sig{s}"));
+        }
+        let mut b = Distribution::new();
+        for s in &raw_b {
+            b.record(format!("sig{s}"));
+        }
+        let d = total_variation(&a, &b);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d), "tv={d}");
+        prop_assert!((total_variation(&b, &a) - d).abs() < 1e-12, "asymmetric");
+        prop_assert!(total_variation(&a, &a).abs() < 1e-12, "tv(a,a) != 0");
+    }
+}
