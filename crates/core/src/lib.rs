@@ -21,6 +21,7 @@
 //! | static analysis + MiniProg | [`statik`] |
 //! | repository of documented-bug programs | [`suite`] |
 //! | prepared experiments | [`experiment`] |
+//! | telemetry: metrics, profiles, run logs | [`telemetry`] |
 //!
 //! ## Quick taste
 //!
@@ -55,6 +56,7 @@ pub use mtt_replay as replay;
 pub use mtt_runtime as runtime;
 pub use mtt_static as statik;
 pub use mtt_suite as suite;
+pub use mtt_telemetry as telemetry;
 pub use mtt_trace as trace;
 
 /// The working set most users want in scope.

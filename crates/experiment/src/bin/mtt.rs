@@ -18,6 +18,9 @@
 //! mtt e6 [budget]               exploration vs random testing
 //! mtt e7 [runs]                 static advice: reduction + preservation
 //! mtt e8 [seed]                 online/offline trade-off
+//! mtt profile <e1..e8|all> [runs] [--csv] [--timing]
+//!                               contention / hot-site / overhead profile
+//! mtt metrics-check <file>      validate an NDJSON run log against the schema
 //! mtt all                       every experiment with small defaults
 //! mtt help                      this listing
 //! ```
@@ -31,14 +34,19 @@
 //!                    define an execution)
 //! --budget-ms N      per-run wall-clock budget; over-budget runs are
 //!                    counted in the report's `timeouts` column
-//! --quiet | -q       suppress the stderr runs/sec + ETA progress line
+//! --quiet | -q       suppress the stderr runs/sec + ETA progress line and
+//!                    the end-of-campaign summary
+//! --metrics FILE     write an NDJSON run log (one JSON object per run, in
+//!                    canonical order — byte-deterministic at any --jobs)
+//!                    for campaign-backed commands (e1, e1-detail, profile)
 //! ```
 
 use mtt_experiment::{
     campaign::Campaign, cloning::run_cloning_on, coverage_eval, detector_eval, explore_eval,
-    jobpool::JobPool, multiout_eval, replay_eval, static_eval, tracegen,
+    jobpool::JobPool, multiout_eval, profile, replay_eval, static_eval, tracegen,
 };
 use mtt_runtime::{Execution, RandomScheduler};
+use mtt_telemetry::{check_run_log_line, RunLogRecord, RunLogWriter};
 use std::env;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -48,6 +56,7 @@ struct Global {
     jobs: usize,
     budget: Option<Duration>,
     quiet: bool,
+    metrics: Option<String>,
 }
 
 impl Global {
@@ -70,6 +79,7 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
         jobs: 0, // 0 = available parallelism
         budget: None,
         quiet: false,
+        metrics: None,
     };
     let mut rest = Vec::new();
     let mut it = raw.iter();
@@ -89,6 +99,10 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
                 g.budget = Some(Duration::from_millis(ms));
             }
             "--quiet" | "-q" => g.quiet = true,
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a file path")?;
+                g.metrics = Some(v.clone());
+            }
             other => rest.push(other.to_string()),
         }
     }
@@ -129,6 +143,8 @@ fn main() -> ExitCode {
             "e6" => Ok(e6(arg_u64(&args, 1, 3000)?, &global)),
             "e7" => Ok(e7(arg_u64(&args, 1, 40)?, &global)),
             "e8" => Ok(e8(arg_u64(&args, 1, 7)?)),
+            "profile" => profile_cmd(&args[1..], &global),
+            "metrics-check" => Ok(metrics_check(&args[1..])),
             "all" => {
                 e1(40, &global);
                 e2(8, &global);
@@ -163,10 +179,15 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: mtt <list|lint|run|trace|e1..e8|cloning|all|help> [args]
+const USAGE: &str =
+    "usage: mtt <list|lint|run|trace|e1..e8|cloning|profile|metrics-check|all|help> [args]
 global flags: --jobs N | -j N    worker threads (default: all cores)
               --budget-ms N      per-run wall-clock budget
-              --quiet | -q       no progress line
+              --quiet | -q       no progress line, no campaign summary
+              --metrics FILE     write an NDJSON run log (campaign-backed
+                                 commands: e1, e1-detail, profile)
+profiling:    mtt profile <e1..e8|all> [runs] [--csv] [--timing]
+              mtt metrics-check <file.ndjson>
 see the crate docs (`cargo doc -p mtt-experiment`) for per-command details";
 
 /// Parse the positional argument at `idx` as a number; the default applies
@@ -316,13 +337,34 @@ fn trace(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Write `records` as NDJSON to `path` (used by every campaign-backed
+/// command honoring `--metrics`).
+fn write_run_log(path: &str, records: &[RunLogRecord]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let mut w = RunLogWriter::new(file);
+    for rec in records {
+        w.write_record(rec)
+            .map_err(|e| format!("write {path}: {e}"))?;
+    }
+    w.flush().map_err(|e| format!("flush {path}: {e}"))?;
+    Ok(())
+}
+
 fn e1(runs: u64, g: &Global) -> ExitCode {
     let mut campaign = Campaign::standard(mtt_suite::quick_set(), runs);
     campaign.run_budget = g.budget;
-    let report = campaign.run_on(&g.pool("e1"));
-    println!("{}", report.table().render());
+    campaign.label = "e1".into();
+    campaign.telemetry = g.metrics.is_some();
+    let run = campaign.run_full(&g.pool("e1"));
+    if let Some(path) = &g.metrics {
+        if let Err(msg) = write_run_log(path, &run.run_log) {
+            eprintln!("mtt: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{}", run.report.table().render());
     println!("ranking (mean find-rate across programs):");
-    for (tool, rate) in report.ranking() {
+    for (tool, rate) in run.report.ranking() {
         println!("  {tool:<14} {rate:.3}");
     }
     ExitCode::SUCCESS
@@ -336,8 +378,95 @@ fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> ExitCode {
     };
     let mut campaign = Campaign::standard(vec![p], runs);
     campaign.run_budget = g.budget;
-    let report = campaign.run_on(&g.pool("e1-detail"));
-    println!("{}", report.per_bug_table(name).render());
+    campaign.label = "e1-detail".into();
+    campaign.telemetry = g.metrics.is_some();
+    let run = campaign.run_full(&g.pool("e1-detail"));
+    if let Some(path) = &g.metrics {
+        if let Err(msg) = write_run_log(path, &run.run_log) {
+            eprintln!("mtt: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{}", run.report.per_bug_table(name).render());
+    ExitCode::SUCCESS
+}
+
+fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
+    let mut csv = false;
+    let mut timing = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--timing" => timing = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let Some(key) = positional.first() else {
+        return Err(format!(
+            "usage: mtt profile <{}|all> [runs] [--csv] [--timing]",
+            profile::PROFILE_KEYS.join("|")
+        ));
+    };
+    let runs = arg_u64(&positional, 1, 20)?;
+    let opts = profile::ProfileOptions {
+        runs,
+        jobs: g.jobs,
+        top_k: 10,
+        progress: !g.quiet,
+    };
+    let keys: Vec<&str> = if key == "all" {
+        profile::PROFILE_KEYS.to_vec()
+    } else {
+        vec![key.as_str()]
+    };
+    let mut all_records = Vec::new();
+    for key in keys {
+        let report = profile::run_profile(key, &opts)?;
+        if csv {
+            print!("{}", report.to_csv());
+        } else {
+            print!("{}", report.render());
+        }
+        if timing {
+            print!("{}", report.render_timing());
+        }
+        all_records.extend(report.run_log);
+    }
+    if let Some(path) = &g.metrics {
+        write_run_log(path, &all_records)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn metrics_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: mtt metrics-check <file.ndjson>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mtt: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut checked = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(msg) = check_run_log_line(line) {
+            eprintln!("{path}:{}: {msg}", i + 1);
+            return ExitCode::FAILURE;
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        eprintln!("{path}: no run-log lines found");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {checked} run-log line(s) conform to the schema");
     ExitCode::SUCCESS
 }
 

@@ -2,13 +2,14 @@
 //! runs) → find-probability statistics and overhead — experiment E1's
 //! engine, reused by several other experiments.
 
-use crate::jobpool::JobPool;
+use crate::jobpool::{JobPool, PoolStats};
 use crate::report::Table;
 use crate::stats::FindStats;
 use mtt_instrument::InstrumentationPlan;
 use mtt_noise::{CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield};
 use mtt_runtime::{Execution, NoNoise, NoiseMaker, PctScheduler, RandomScheduler, Scheduler};
 use mtt_suite::SuiteProgram;
+use mtt_telemetry::{RunLogRecord, RunMetrics, SpanSet, SpanTimings, TelemetrySink};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -162,6 +163,13 @@ pub struct Campaign {
     pub run_budget: Option<Duration>,
     /// Emit a runs/sec + ETA progress line to stderr while running.
     pub progress: bool,
+    /// Attach a [`TelemetrySink`] to every run and collect per-run
+    /// [`RunMetrics`] (off by default: the default campaign pays nothing
+    /// for the telemetry layer beyond this flag check).
+    pub telemetry: bool,
+    /// Label used for progress lines and as the `experiment` field of
+    /// NDJSON run-log records.
+    pub label: String,
 }
 
 /// The result of one (program, tool, seed) run — the unit the job pool
@@ -176,6 +184,10 @@ struct RunRecord {
     injections: u64,
     elapsed: Duration,
     timed_out: bool,
+    seed: u64,
+    outcome_tag: &'static str,
+    /// Present only when the campaign runs with telemetry enabled.
+    metrics: Option<RunMetrics>,
 }
 
 impl Campaign {
@@ -190,6 +202,8 @@ impl Campaign {
             jobs: 1,
             run_budget: None,
             progress: false,
+            telemetry: false,
+            label: "campaign".into(),
         }
     }
 
@@ -210,7 +224,7 @@ impl Campaign {
     pub fn run(&self) -> CampaignReport {
         let mut pool = JobPool::new(self.jobs);
         if self.progress {
-            pool = pool.with_progress("campaign");
+            pool = pool.with_progress(self.label.clone());
         }
         self.run_on(&pool)
     }
@@ -220,18 +234,37 @@ impl Campaign {
     /// seed `base_seed + r`, and shard results merge in canonical
     /// (program, tool, run) order.
     pub fn run_on(&self, pool: &JobPool) -> CampaignReport {
+        self.run_full(pool).report
+    }
+
+    /// Execute the grid and keep everything: the report, the canonical-order
+    /// run log (one [`RunLogRecord`] per run, empty unless `telemetry` is
+    /// on), the merged per-cell [`RunMetrics`], wall-clock span timings of
+    /// the campaign phases, and the pool's per-worker accounting.
+    ///
+    /// The report, run log and cell metrics are deterministic (pure
+    /// functions of the seeds, assembled in canonical order); the spans and
+    /// pool stats are wall-clock and belong in segregated output only.
+    pub fn run_full(&self, pool: &JobPool) -> CampaignRun {
         let n_tools = self.tools.len();
         let n_runs = self.runs as usize;
         let total = self.programs.len() * n_tools * n_runs;
+        let spans = SpanSet::new();
+        let pool = pool.clone().with_spans(spans.clone());
 
-        let records = pool.run(total, |i| {
+        let execute = spans.enter("campaign.execute");
+        let (records, pool_stats) = pool.run_with_stats(total, |i| {
             let r = i % n_runs;
             let t = (i / n_runs) % n_tools;
             let p = i / (n_runs * n_tools);
             self.one_run(&self.programs[p], &self.tools[t], r as u64)
         });
+        drop(execute);
 
+        let _aggregate = spans.enter("campaign.aggregate");
         let mut cells = BTreeMap::new();
+        let mut run_log = Vec::new();
+        let mut cell_metrics = BTreeMap::new();
         let mut records = records.into_iter();
         for prog in &self.programs {
             for tool in &self.tools {
@@ -242,7 +275,8 @@ impl Campaign {
                 let mut events = 0u64;
                 let mut points = 0u64;
                 let mut injections = 0u64;
-                for _ in 0..self.runs {
+                let mut merged = RunMetrics::default();
+                for r in 0..self.runs {
                     let rec = records.next().expect("one record per run");
                     cell.any_bug.record(rec.failed);
                     for (tag, stats) in cell.per_bug.iter_mut() {
@@ -255,15 +289,39 @@ impl Campaign {
                     if rec.timed_out {
                         cell.timed_out += 1;
                     }
+                    if let Some(metrics) = rec.metrics {
+                        merged.merge(&metrics);
+                        run_log.push(RunLogRecord {
+                            experiment: self.label.clone(),
+                            program: prog.name.to_string(),
+                            tool: tool.name.clone(),
+                            run: r,
+                            seed: rec.seed,
+                            outcome: rec.outcome_tag.to_string(),
+                            failed: rec.failed,
+                            metrics,
+                            wall: rec.elapsed,
+                        });
+                    }
                 }
                 let n = self.runs.max(1) as f64;
                 cell.avg_events = events as f64 / n;
                 cell.avg_points = points as f64 / n;
                 cell.avg_injections = injections as f64 / n;
+                if self.telemetry {
+                    cell_metrics.insert((prog.name.to_string(), tool.name.clone()), merged);
+                }
                 cells.insert((prog.name.to_string(), tool.name.clone()), cell);
             }
         }
-        CampaignReport { cells }
+        drop(_aggregate);
+        CampaignRun {
+            report: CampaignReport { cells },
+            run_log,
+            cell_metrics,
+            pool_stats,
+            spans: spans.timings(),
+        }
     }
 
     /// One seeded run: the sharding unit. Deterministic given
@@ -281,9 +339,25 @@ impl Campaign {
         if let Some(p) = tool.spurious {
             exec = exec.program_seed(seed).spurious_wakeups(p);
         }
+        let telemetry = if self.telemetry {
+            let (half, handle) = mtt_instrument::shared(TelemetrySink::new());
+            exec = exec.sink(Box::new(half));
+            Some(handle)
+        } else {
+            None
+        };
         let outcome = exec.run();
         let verdict = prog.judge(&outcome);
         let elapsed = started.elapsed();
+        let metrics = telemetry.map(|handle| {
+            let mut m = handle
+                .lock()
+                .expect("telemetry sink poisoned")
+                .metrics()
+                .clone();
+            m.absorb_stats(&outcome.stats);
+            m
+        });
         RunRecord {
             failed: verdict.failed(),
             manifested: verdict.manifested,
@@ -292,6 +366,9 @@ impl Campaign {
             injections: outcome.stats.noise_injections,
             elapsed,
             timed_out: self.run_budget.is_some_and(|b| elapsed > b),
+            seed,
+            outcome_tag: outcome.kind.tag(),
+            metrics,
         }
     }
 }
@@ -301,6 +378,23 @@ impl Campaign {
 pub struct CampaignReport {
     /// Cell results keyed by (program, tool).
     pub cells: BTreeMap<(String, String), CellResult>,
+}
+
+/// Everything [`Campaign::run_full`] produces beyond the report.
+pub struct CampaignRun {
+    /// The find-probability report (deterministic).
+    pub report: CampaignReport,
+    /// One record per run in canonical (program, tool, run) order; empty
+    /// unless the campaign ran with `telemetry` on. Deterministic except
+    /// for each record's segregated `wall` field.
+    pub run_log: Vec<RunLogRecord>,
+    /// Per-cell telemetry, merged across the cell's runs; empty unless the
+    /// campaign ran with `telemetry` on. Deterministic.
+    pub cell_metrics: BTreeMap<(String, String), RunMetrics>,
+    /// Per-worker wall-clock accounting of the pool (not deterministic).
+    pub pool_stats: PoolStats,
+    /// Wall-clock span timings of the campaign phases (not deterministic).
+    pub spans: SpanTimings,
 }
 
 impl CampaignReport {

@@ -18,9 +18,15 @@
 //! run matrices.
 //!
 //! The pool also owns campaign observability: an optional progress meter
-//! that prints a `runs/sec` + ETA line to stderr once a second, so a
-//! million-run campaign is distinguishable from a hung one.
+//! that keeps a `runs/sec` + ETA line updated in place on stderr, and —
+//! via [`JobPool::run_with_stats`] — a per-worker utilization table
+//! ([`PoolStats`]) telling you how evenly the bag drained. The meter is a
+//! Drop guard: a worker panic or an early unwind clears the in-place line
+//! and joins the ticker thread instead of leaving a partial line and a
+//! leaked thread behind.
 
+use mtt_telemetry::SpanSet;
+use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -29,15 +35,20 @@ use std::time::{Duration, Instant};
 ///
 /// `jobs == 1` executes inline on the calling thread (no spawn overhead),
 /// which is also the reference order the parallel path must reproduce.
-#[derive(Clone, Debug)]
+#[derive(Clone, Default)]
 pub struct JobPool {
     jobs: usize,
     progress: Option<String>,
+    spans: Option<SpanSet>,
 }
 
-impl Default for JobPool {
-    fn default() -> Self {
-        Self::serial()
+impl std::fmt::Debug for JobPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobPool")
+            .field("jobs", &self.jobs)
+            .field("progress", &self.progress)
+            .field("spans", &self.spans.is_some())
+            .finish()
     }
 }
 
@@ -47,6 +58,7 @@ impl JobPool {
         JobPool {
             jobs: 1,
             progress: None,
+            spans: None,
         }
     }
 
@@ -61,6 +73,7 @@ impl JobPool {
         JobPool {
             jobs,
             progress: None,
+            spans: None,
         }
     }
 
@@ -72,6 +85,13 @@ impl JobPool {
     /// Enable the stderr progress line, tagged with `label`.
     pub fn with_progress(mut self, label: impl Into<String>) -> Self {
         self.progress = Some(label.into());
+        self
+    }
+
+    /// Record wall-clock span timings into `spans`: one `pool.worker` span
+    /// per worker (its busy time) and one `pool.run` span per `run` call.
+    pub fn with_spans(mut self, spans: SpanSet) -> Self {
+        self.spans = Some(spans);
         self
     }
 
@@ -91,20 +111,41 @@ impl JobPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        self.run_with_stats(total, f).0
+    }
+
+    /// [`JobPool::run`], also returning how the pool spent its time:
+    /// per-worker claim counts and busy durations plus the overall wall
+    /// time. The results are deterministic; the stats are wall-clock and
+    /// belong in segregated timing output only.
+    pub fn run_with_stats<T, F>(&self, total: usize, f: F) -> (Vec<T>, PoolStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let started = Instant::now();
+        // The meter is a Drop guard: if `f` panics, the unwind drops it
+        // here, which stops and joins the ticker thread and clears any
+        // partial progress line before the panic continues.
         let meter = self
             .progress
             .as_ref()
             .map(|label| ProgressMeter::start(label.clone(), total));
-        let mut indexed: Vec<(usize, T)> = if self.jobs <= 1 || total <= 1 {
-            (0..total)
+        let (mut indexed, workers) = if self.jobs <= 1 || total <= 1 {
+            let mut w = WorkerStats::default();
+            let results: Vec<(usize, T)> = (0..total)
                 .map(|i| {
+                    let t0 = Instant::now();
                     let out = (i, f(i));
+                    w.busy += t0.elapsed();
+                    w.claimed += 1;
                     if let Some(m) = &meter {
                         m.bump();
                     }
                     out
                 })
-                .collect()
+                .collect();
+            (results, vec![w])
         } else {
             self.run_stealing(total, &f, meter.as_ref())
         };
@@ -113,7 +154,17 @@ impl JobPool {
         }
         indexed.sort_unstable_by_key(|(i, _)| *i);
         debug_assert_eq!(indexed.len(), total, "every job produced one result");
-        indexed.into_iter().map(|(_, v)| v).collect()
+        let stats = PoolStats {
+            workers,
+            wall: started.elapsed(),
+        };
+        if let Some(spans) = &self.spans {
+            for w in &stats.workers {
+                spans.add("pool.worker", w.busy);
+            }
+            spans.add("pool.run", stats.wall);
+        }
+        (indexed.into_iter().map(|(_, v)| v).collect(), stats)
     }
 
     fn run_stealing<T, F>(
@@ -121,7 +172,7 @@ impl JobPool {
         total: usize,
         f: &F,
         meter: Option<&ProgressMeter>,
-    ) -> Vec<(usize, T)>
+    ) -> (Vec<(usize, T)>, Vec<WorkerStats>)
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -134,28 +185,37 @@ impl JobPool {
                     let bag = &bag;
                     scope.spawn(move || {
                         let mut local: Vec<(usize, T)> = Vec::new();
+                        let mut stats = WorkerStats::default();
                         loop {
                             // Steal the next unclaimed index from the bag.
                             let i = bag.fetch_add(1, Ordering::Relaxed);
                             if i >= total {
                                 break;
                             }
+                            let t0 = Instant::now();
                             local.push((i, f(i)));
+                            stats.busy += t0.elapsed();
+                            stats.claimed += 1;
                             if let Some(m) = meter {
                                 m.bump();
                             }
                         }
-                        local
+                        (local, stats)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(results) => results,
+            let mut results = Vec::with_capacity(total);
+            let mut worker_stats = Vec::with_capacity(workers);
+            for h in handles {
+                match h.join() {
+                    Ok((local, stats)) => {
+                        results.extend(local);
+                        worker_stats.push(stats);
+                    }
                     Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect()
+                }
+            }
+            (results, worker_stats)
         })
     }
 }
@@ -164,6 +224,70 @@ fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// What one pool worker did: how many jobs it claimed from the bag and how
+/// long it spent inside them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker claimed and completed.
+    pub claimed: u64,
+    /// Wall time spent inside job bodies.
+    pub busy: Duration,
+}
+
+/// Wall-clock accounting of one [`JobPool::run_with_stats`] call.
+///
+/// Everything here is timing — it never feeds the deterministic reports;
+/// render it only in segregated timing output (like
+/// `CampaignReport::timing_table()`).
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// One entry per worker, in spawn order.
+    pub workers: Vec<WorkerStats>,
+    /// Wall time of the whole `run` call.
+    pub wall: Duration,
+}
+
+impl PoolStats {
+    /// Total jobs claimed across workers.
+    pub fn total_claimed(&self) -> u64 {
+        self.workers.iter().map(|w| w.claimed).sum()
+    }
+
+    /// Render the per-worker utilization table: claim count, busy time and
+    /// busy/wall utilization per worker, plus a totals row.
+    pub fn utilization_table(&self) -> String {
+        let wall = self.wall.as_secs_f64();
+        let mut out = String::from("worker   claimed    busy-ms    util%\n");
+        let mut busy_total = Duration::ZERO;
+        for (i, w) in self.workers.iter().enumerate() {
+            busy_total += w.busy;
+            let util = if wall > 0.0 {
+                100.0 * w.busy.as_secs_f64() / wall
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{i:<8} {:>7} {:>10} {util:>8.1}\n",
+                w.claimed,
+                w.busy.as_millis()
+            ));
+        }
+        let util = if wall > 0.0 && !self.workers.is_empty() {
+            100.0 * busy_total.as_secs_f64() / (wall * self.workers.len() as f64)
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "total    {:>7} {:>10} {util:>8.1}  (wall {} ms, {} workers)\n",
+            self.total_claimed(),
+            busy_total.as_millis(),
+            self.wall.as_millis(),
+            self.workers.len()
+        ));
+        out
+    }
 }
 
 /// Shared state between the workers (bumping) and the ticker thread
@@ -175,6 +299,9 @@ struct MeterState {
     stop: AtomicBool,
     started: Instant,
     printed: AtomicBool,
+    /// Length of the last in-place line, so the clearing pass knows how
+    /// much to blank.
+    line_len: AtomicUsize,
 }
 
 impl MeterState {
@@ -194,9 +321,14 @@ impl MeterState {
     }
 }
 
-/// Prints `[label] done/total runs  R runs/s  ETA Ns` to stderr once a
-/// second while a pool drains; silent for workloads that finish before the
-/// first tick, so tests and quick commands stay quiet.
+/// Keeps `[label] done/total runs  R runs/s  ETA Ns` updated **in place**
+/// (carriage return, no newline) on stderr once a second while a pool
+/// drains; silent for workloads that finish before the first tick, so tests
+/// and quick commands stay quiet.
+///
+/// Dropping the meter — normally via [`ProgressMeter::finish`], or during
+/// unwind after a worker panic — stops and joins the ticker thread and
+/// erases the partial line, so nothing half-printed survives the campaign.
 struct ProgressMeter {
     state: Arc<MeterState>,
     ticker: Option<std::thread::JoinHandle<()>>,
@@ -211,6 +343,7 @@ impl ProgressMeter {
             stop: AtomicBool::new(false),
             started: Instant::now(),
             printed: AtomicBool::new(false),
+            line_len: AtomicUsize::new(0),
         });
         let ticker_state = Arc::clone(&state);
         let ticker = std::thread::spawn(move || {
@@ -218,7 +351,12 @@ impl ProgressMeter {
             while !ticker_state.stop.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(50));
                 if last_print.elapsed() >= Duration::from_secs(1) {
-                    eprintln!("{}", ticker_state.line());
+                    let line = ticker_state.line();
+                    // Pad to the previous line's length so a shrinking line
+                    // leaves no trailing garbage.
+                    let prev = ticker_state.line_len.swap(line.len(), Ordering::Relaxed);
+                    eprint!("\r{line:<prev$}");
+                    let _ = std::io::stderr().flush();
                     ticker_state.printed.store(true, Ordering::Relaxed);
                     last_print = Instant::now();
                 }
@@ -234,20 +372,35 @@ impl ProgressMeter {
         self.state.done.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn finish(mut self) {
+    /// Normal end of campaign: clear the line (via Drop) and print the
+    /// one-line summary for campaigns long enough to have shown progress.
+    fn finish(self) {
+        let state = Arc::clone(&self.state);
+        drop(self); // stops the ticker and clears the in-place line
+        if state.printed.load(Ordering::Relaxed) {
+            let secs = state.started.elapsed().as_secs_f64();
+            let done = state.done.load(Ordering::Relaxed);
+            let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+            eprintln!(
+                "[{}] {} runs in {:.1}s ({:.1} runs/s)",
+                state.label, done, secs, rate
+            );
+        }
+    }
+}
+
+impl Drop for ProgressMeter {
+    fn drop(&mut self) {
         self.state.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.ticker.take() {
             let _ = t.join();
         }
-        // Only summarize campaigns long enough to have shown progress.
-        if self.state.printed.load(Ordering::Relaxed) {
-            let secs = self.state.started.elapsed().as_secs_f64();
-            let done = self.state.done.load(Ordering::Relaxed);
-            let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
-            eprintln!(
-                "[{}] {} runs in {:.1}s ({:.1} runs/s)",
-                self.state.label, done, secs, rate
-            );
+        let len = self.state.line_len.load(Ordering::Relaxed);
+        if len > 0 {
+            // Blank the in-place progress line rather than leaving a
+            // partial line for the next writer to collide with.
+            eprint!("\r{:len$}\r", "");
+            let _ = std::io::stderr().flush();
         }
     }
 }
@@ -301,5 +454,49 @@ mod tests {
         // beyond "it terminates and results are right").
         let out = JobPool::new(2).with_progress("test").run(10, |i| i);
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn stats_account_for_every_job() {
+        let (out, stats) = JobPool::new(4).run_with_stats(64, |i| i);
+        assert_eq!(out.len(), 64);
+        assert_eq!(stats.total_claimed(), 64);
+        assert!(!stats.workers.is_empty() && stats.workers.len() <= 4);
+        let table = stats.utilization_table();
+        assert!(table.contains("worker"));
+        assert!(table.contains("total"));
+        assert!(table.contains("64"));
+    }
+
+    #[test]
+    fn serial_stats_have_one_worker() {
+        let (_, stats) = JobPool::serial().run_with_stats(5, |i| i);
+        assert_eq!(stats.workers.len(), 1);
+        assert_eq!(stats.workers[0].claimed, 5);
+    }
+
+    #[test]
+    fn spans_record_pool_timing() {
+        let spans = SpanSet::new();
+        JobPool::new(2).with_spans(spans.clone()).run(8, |i| i);
+        let t = spans.timings();
+        assert_eq!(t.count("pool.run"), 1);
+        assert!(t.count("pool.worker") >= 1);
+    }
+
+    #[test]
+    fn worker_panic_still_cleans_up_the_meter() {
+        // The panic must propagate, and the Drop guard must have cleared
+        // the ticker (no partial line, no leaked thread we could observe
+        // hanging the test).
+        let r = std::panic::catch_unwind(|| {
+            JobPool::new(2).with_progress("boom").run(8, |i| {
+                if i == 3 {
+                    panic!("worker bug");
+                }
+                i
+            });
+        });
+        assert!(r.is_err());
     }
 }

@@ -27,13 +27,15 @@ pub mod detector_eval;
 pub mod explore_eval;
 pub mod jobpool;
 pub mod multiout_eval;
+pub mod profile;
 pub mod replay_eval;
 pub mod report;
 pub mod static_eval;
 pub mod stats;
 pub mod tracegen;
 
-pub use campaign::{Campaign, CampaignReport, ToolConfig};
-pub use jobpool::JobPool;
+pub use campaign::{Campaign, CampaignReport, CampaignRun, ToolConfig};
+pub use jobpool::{JobPool, PoolStats};
+pub use profile::{run_profile, ProfileOptions, ProfileReport, PROFILE_KEYS};
 pub use report::Table;
 pub use stats::{entropy, total_variation, Distribution, FindStats};

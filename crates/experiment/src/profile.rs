@@ -1,0 +1,381 @@
+//! `mtt profile`: the contention / hot-site profile of an experiment's
+//! workload.
+//!
+//! For an experiment key (`e1`..`e8`) the profiler runs that experiment's
+//! program slice through the campaign engine twice over a compact
+//! representative tool roster:
+//!
+//! 1. **telemetry pass** — every run carries a
+//!    [`TelemetrySink`](mtt_telemetry::TelemetrySink), producing per-run
+//!    [`RunMetrics`] that merge into per-tool aggregates, the top-K
+//!    hot-site table and the top-K contention table;
+//! 2. **baseline pass** — the identical seeds with no sink attached (the
+//!    `NullSink` condition), whose per-tool wall time anchors the
+//!    *telemetry overhead* column.
+//!
+//! Everything in [`ProfileReport::render`] / [`ProfileReport::to_csv`] is a
+//! deterministic function of the seeds and is golden-snapshotted; all
+//! wall-clock material (overhead, worker utilization, phase spans) is
+//! segregated into [`ProfileReport::render_timing`], mirroring the
+//! report/timing split of the campaign engine.
+
+use crate::campaign::{Campaign, ToolConfig};
+use crate::jobpool::{JobPool, PoolStats};
+use crate::report::Table;
+use mtt_noise::{Mixed, RandomSleep};
+use mtt_suite::SuiteProgram;
+use mtt_telemetry::{RunLogRecord, RunMetrics, SpanTimings};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The experiment keys `mtt profile` accepts (besides `all`).
+pub const PROFILE_KEYS: &[&str] = &["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+
+/// Profiling knobs.
+#[derive(Clone, Debug)]
+pub struct ProfileOptions {
+    /// Runs per (program, tool) cell.
+    pub runs: u64,
+    /// Worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// Rows in the hot-site / contention tables.
+    pub top_k: usize,
+    /// Show the stderr progress line.
+    pub progress: bool,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            runs: 20,
+            jobs: 1,
+            top_k: 10,
+            progress: false,
+        }
+    }
+}
+
+/// The program slice an experiment key profiles: the programs that
+/// experiment exercises (approximated for experiments whose engine is not
+/// campaign-shaped, where the slice covers the same suite subset).
+pub fn programs_for(key: &str) -> Option<Vec<SuiteProgram>> {
+    let subset = |names: &[&str]| -> Vec<SuiteProgram> {
+        mtt_suite::quick_set()
+            .into_iter()
+            .filter(|p| names.contains(&p.name))
+            .collect()
+    };
+    match key {
+        // Campaign-, detector-, static- and tradeoff-shaped experiments all
+        // sweep the quick set.
+        "e1" | "e2" | "e7" | "e8" => Some(mtt_suite::quick_set()),
+        // Replay and exploration work on the small lock/interleaving trio.
+        "e3" | "e6" => Some(subset(&["lost_update", "ab_ba", "check_then_act"])),
+        // Coverage growth targets one medium program.
+        "e4" => Some(subset(&["bounded_queue"])),
+        // Multiout focuses on outcome diversity under signals and waits.
+        "e5" => Some(subset(&["missed_signal", "wrong_notify", "unguarded_wait"])),
+        _ => None,
+    }
+}
+
+/// The compact representative tool roster profiled for every key: the
+/// baseline plus one of each heuristic family.
+pub fn profile_roster() -> Vec<ToolConfig> {
+    vec![
+        ToolConfig::baseline(),
+        ToolConfig::with_noise(
+            "sleep-0.3",
+            Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 20))),
+        ),
+        ToolConfig::with_noise("mixed-0.2", Arc::new(|s| Box::new(Mixed::new(s, 0.2, 20)))),
+        ToolConfig::with_spurious(0.05),
+        ToolConfig::pct(3, 150),
+    ]
+}
+
+/// Everything one `mtt profile <key>` invocation measured.
+pub struct ProfileReport {
+    /// The experiment key profiled.
+    pub key: String,
+    /// Runs per cell.
+    pub runs: u64,
+    /// Rows in the site tables.
+    pub top_k: usize,
+    /// Runs per tool (programs × runs), the denominator of per-run columns.
+    pub runs_per_tool: u64,
+    /// All metrics merged across every cell.
+    pub totals: RunMetrics,
+    /// Metrics per tool, merged across programs.
+    pub per_tool: BTreeMap<String, RunMetrics>,
+    /// Per-tool wall time of the telemetry pass (segregated).
+    pub wall_with: BTreeMap<String, Duration>,
+    /// Per-tool wall time of the baseline (no-sink) pass (segregated).
+    pub wall_without: BTreeMap<String, Duration>,
+    /// Pool accounting of the telemetry pass (segregated).
+    pub pool_stats: PoolStats,
+    /// Phase span timings of the telemetry pass (segregated).
+    pub spans: SpanTimings,
+    /// The canonical-order run log of the telemetry pass.
+    pub run_log: Vec<RunLogRecord>,
+}
+
+/// Run the profiler for one experiment key.
+pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, String> {
+    let programs = programs_for(key).ok_or_else(|| {
+        format!(
+            "unknown profile key `{key}` (expected one of {} or `all`)",
+            PROFILE_KEYS.join(", ")
+        )
+    })?;
+    let tools = profile_roster();
+    let tool_names: Vec<String> = tools.iter().map(|t| t.name.clone()).collect();
+    let mut campaign = Campaign {
+        programs,
+        tools,
+        runs: opts.runs,
+        base_seed: 0x5eed,
+        max_steps: 60_000,
+        jobs: opts.jobs,
+        run_budget: None,
+        progress: opts.progress,
+        telemetry: true,
+        label: format!("profile-{key}"),
+    };
+    let pool = {
+        let mut p = JobPool::new(opts.jobs);
+        if opts.progress {
+            p = p.with_progress(campaign.label.clone());
+        }
+        p
+    };
+    let telemetry_pass = campaign.run_full(&pool);
+
+    // Baseline pass: identical seeds, no sink — the NullSink condition the
+    // overhead column compares against.
+    campaign.telemetry = false;
+    let baseline_pass = campaign.run_full(&pool);
+
+    let mut per_tool: BTreeMap<String, RunMetrics> = BTreeMap::new();
+    let mut totals = RunMetrics::default();
+    for ((_, tool), m) in &telemetry_pass.cell_metrics {
+        per_tool.entry(tool.clone()).or_default().merge(m);
+        totals.merge(m);
+    }
+    let wall_per_tool = |report: &crate::campaign::CampaignReport| -> BTreeMap<String, Duration> {
+        let mut walls: BTreeMap<String, Duration> = BTreeMap::new();
+        for ((_, tool), cell) in &report.cells {
+            *walls.entry(tool.clone()).or_default() += cell.wall;
+        }
+        walls
+    };
+    let n_programs = telemetry_pass
+        .report
+        .cells
+        .keys()
+        .map(|(p, _)| p)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len() as u64;
+    Ok(ProfileReport {
+        key: key.to_string(),
+        runs: opts.runs,
+        top_k: opts.top_k,
+        runs_per_tool: n_programs * opts.runs,
+        totals,
+        per_tool: tool_names
+            .iter()
+            .filter_map(|t| per_tool.get(t).map(|m| (t.clone(), m.clone())))
+            .collect(),
+        wall_with: wall_per_tool(&telemetry_pass.report),
+        wall_without: wall_per_tool(&baseline_pass.report),
+        pool_stats: telemetry_pass.pool_stats,
+        spans: telemetry_pass.spans,
+        run_log: telemetry_pass.run_log,
+    })
+}
+
+impl ProfileReport {
+    /// Top-K hot sites across every run (deterministic).
+    pub fn site_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("profile {}: top-{} hot sites", self.key, self.top_k),
+            &["site", "events", "share"],
+        );
+        let total = self.totals.events.max(1);
+        for (loc, n) in self.totals.top_sites(self.top_k) {
+            t.row(&[
+                loc.to_string(),
+                n.to_string(),
+                format!("{:.1}%", 100.0 * n as f64 / total as f64),
+            ]);
+        }
+        t
+    }
+
+    /// Top-K contended sites across every run (deterministic).
+    pub fn contention_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("profile {}: top-{} contended sites", self.key, self.top_k),
+            &["site", "contended encounters"],
+        );
+        for (loc, n) in self.totals.top_contended_sites(self.top_k) {
+            t.row(&[loc.to_string(), n.to_string()]);
+        }
+        t
+    }
+
+    /// Per-tool telemetry averages (deterministic).
+    pub fn tool_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "profile {}: per-tool telemetry ({} runs/tool)",
+                self.key, self.runs_per_tool
+            ),
+            &[
+                "tool",
+                "events/run",
+                "ctx-switch/run",
+                "yields/run",
+                "injections/run",
+                "spurious/run",
+                "lock-acq/run",
+                "contention/run",
+                "waits/run",
+                "min steps-to-bug",
+            ],
+        );
+        let n = self.runs_per_tool.max(1) as f64;
+        for (tool, m) in &self.per_tool {
+            t.row(&[
+                tool.clone(),
+                format!("{:.1}", m.events as f64 / n),
+                format!("{:.1}", m.context_switches as f64 / n),
+                format!("{:.1}", m.forced_yields as f64 / n),
+                format!("{:.1}", m.noise_injections as f64 / n),
+                format!("{:.2}", m.spurious_wakeups as f64 / n),
+                format!("{:.1}", m.lock_acquires as f64 / n),
+                format!("{:.2}", m.lock_contentions as f64 / n),
+                format!("{:.2}", m.waits as f64 / n),
+                m.steps_to_first_bug
+                    .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            ]);
+        }
+        t
+    }
+
+    /// Per-tool wall time with and without the telemetry sink attached —
+    /// wall-clock, so **not** deterministic; segregated from `render`.
+    pub fn overhead_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "profile {} timing (not deterministic): telemetry overhead vs no-sink baseline",
+                self.key
+            ),
+            &["tool", "telemetry ms", "baseline ms", "overhead"],
+        );
+        for (tool, with) in &self.wall_with {
+            let without = self.wall_without.get(tool).copied().unwrap_or_default();
+            let overhead = if without.as_secs_f64() > 0.0 {
+                100.0 * (with.as_secs_f64() - without.as_secs_f64()) / without.as_secs_f64()
+            } else {
+                0.0
+            };
+            t.row(&[
+                tool.clone(),
+                with.as_millis().to_string(),
+                without.as_millis().to_string(),
+                format!("{overhead:+.1}%"),
+            ]);
+        }
+        t
+    }
+
+    /// The deterministic report: hot sites, contention, per-tool telemetry.
+    /// Byte-identical at any `--jobs`; golden-snapshotted.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}\n{}",
+            self.site_table().render(),
+            self.contention_table().render(),
+            self.tool_table().render()
+        )
+    }
+
+    /// The deterministic report as CSV (one section per table).
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{}\n{}\n{}",
+            self.site_table().to_csv(),
+            self.contention_table().to_csv(),
+            self.tool_table().to_csv()
+        )
+    }
+
+    /// The segregated wall-clock companion: overhead vs baseline, worker
+    /// utilization, phase spans.
+    pub fn render_timing(&self) -> String {
+        format!(
+            "{}\n{}\n{}",
+            self.overhead_table().render(),
+            self.pool_stats.utilization_table(),
+            self.spans.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ProfileOptions {
+        ProfileOptions {
+            runs: 4,
+            jobs: 1,
+            top_k: 5,
+            progress: false,
+        }
+    }
+
+    #[test]
+    fn profile_rejects_unknown_keys() {
+        assert!(run_profile("e99", &tiny()).is_err());
+        assert!(run_profile("", &tiny()).is_err());
+    }
+
+    #[test]
+    fn every_key_has_programs() {
+        for key in PROFILE_KEYS {
+            let programs = programs_for(key).unwrap();
+            assert!(!programs.is_empty(), "{key} resolves to no programs");
+        }
+    }
+
+    #[test]
+    fn profile_e3_is_deterministic_across_jobs() {
+        let serial = run_profile("e3", &tiny()).unwrap();
+        let par = run_profile("e3", &ProfileOptions { jobs: 4, ..tiny() }).unwrap();
+        assert_eq!(serial.render(), par.render());
+        assert_eq!(serial.to_csv(), par.to_csv());
+        assert_eq!(serial.run_log.len(), par.run_log.len());
+        // The run logs agree except for the segregated wall field.
+        for (a, b) in serial.run_log.iter().zip(&par.run_log) {
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!((a.seed, a.run, &a.outcome), (b.seed, b.run, &b.outcome));
+        }
+    }
+
+    #[test]
+    fn profile_measures_real_activity() {
+        let report = run_profile("e3", &tiny()).unwrap();
+        assert!(report.totals.events > 0);
+        assert!(report.totals.lock_acquires > 0);
+        assert!(!report.per_tool.is_empty());
+        assert_eq!(
+            report.run_log.len() as u64,
+            report.runs_per_tool * report.per_tool.len() as u64
+        );
+        // The segregated timing render exists and mentions the overhead table.
+        assert!(report.render_timing().contains("baseline"));
+    }
+}

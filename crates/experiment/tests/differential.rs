@@ -56,6 +56,67 @@ fn campaign_reports_are_byte_identical_across_job_counts() {
     }
 }
 
+/// Render a campaign's run log through the default (deterministic, no
+/// wall-clock) NDJSON writer and hand back the bytes.
+fn run_log_bytes(records: &[mtt_telemetry::RunLogRecord]) -> String {
+    let mut buf = Vec::new();
+    let mut w = mtt_telemetry::RunLogWriter::new(&mut buf);
+    for r in records {
+        w.write_record(r).expect("in-memory write");
+    }
+    w.flush().expect("in-memory flush");
+    drop(w);
+    String::from_utf8(buf).expect("NDJSON is UTF-8")
+}
+
+#[test]
+fn telemetry_enabled_campaign_is_byte_identical_across_job_counts() {
+    let campaign = Campaign {
+        telemetry: true,
+        ..small_campaign(10)
+    };
+    let serial = campaign.run_full(&JobPool::serial());
+    let serial_report = campaign_bytes(&serial.report);
+    let serial_log = run_log_bytes(&serial.run_log);
+    assert!(!serial.run_log.is_empty(), "telemetry must produce a log");
+    for line in serial_log.lines() {
+        mtt_telemetry::check_run_log_line(line).expect("log line conforms to schema");
+    }
+    for jobs in JOB_COUNTS {
+        let par = campaign.run_full(&JobPool::new(jobs));
+        let par_report = campaign_bytes(&par.report);
+        assert_eq!(
+            serial_report, par_report,
+            "report diverged at jobs={jobs} with telemetry on"
+        );
+        assert_eq!(
+            serial_log,
+            run_log_bytes(&par.run_log),
+            "NDJSON run log diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.cell_metrics, par.cell_metrics,
+            "aggregated cell metrics diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn telemetry_does_not_change_the_report() {
+    // Attaching the telemetry sink must be observationally invisible to
+    // the judged outcomes: the rendered report with telemetry on equals
+    // the one with telemetry off, run for run.
+    let plain = small_campaign(10);
+    let instrumented = Campaign {
+        telemetry: true,
+        ..small_campaign(10)
+    };
+    assert_eq!(
+        campaign_bytes(&plain.run_on(&JobPool::new(4))),
+        campaign_bytes(&instrumented.run_full(&JobPool::new(4)).report),
+    );
+}
+
 #[test]
 fn detector_eval_reports_are_byte_identical() {
     let programs = vec![

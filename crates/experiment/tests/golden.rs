@@ -68,6 +68,48 @@ fn e1_tiny_campaign_csv_matches_golden() {
 }
 
 #[test]
+fn profile_e3_report_matches_golden() {
+    // `mtt profile` output is deterministic (seeded runs, canonical-order
+    // merges, wall-clock segregated into render_timing), so the rendered
+    // report and its CSV can be pinned byte for byte.
+    let report = mtt_experiment::run_profile(
+        "e3",
+        &mtt_experiment::ProfileOptions {
+            runs: 6,
+            jobs: 2,
+            ..Default::default()
+        },
+    )
+    .expect("e3 is a known profile key");
+    check_golden("profile_e3.txt", &report.render());
+    check_golden("profile_e3.csv", &report.to_csv());
+}
+
+#[test]
+fn profile_run_log_matches_golden() {
+    let report = mtt_experiment::run_profile(
+        "e3",
+        &mtt_experiment::ProfileOptions {
+            runs: 6,
+            jobs: 2,
+            ..Default::default()
+        },
+    )
+    .expect("e3 is a known profile key");
+    let mut buf = Vec::new();
+    let mut w = mtt_telemetry::RunLogWriter::new(&mut buf);
+    for r in &report.run_log {
+        w.write_record(r).expect("in-memory write");
+    }
+    w.flush().expect("in-memory flush");
+    drop(w);
+    check_golden(
+        "profile_e3_runlog.ndjson",
+        &String::from_utf8(buf).expect("NDJSON is UTF-8"),
+    );
+}
+
+#[test]
 fn e5_multiout_table_matches_golden() {
     let rows = multiout_eval::run_multiout_eval_on(24, 11, &JobPool::new(4));
     check_golden(

@@ -83,6 +83,52 @@ impl Json {
         out
     }
 
+    /// Stream the compact rendering into an `io::Write`, propagating I/O
+    /// errors instead of panicking — the variant file and pipe writers must
+    /// use (a full disk is an error to report, not a crash).
+    pub fn write_to<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
+        match self {
+            Json::Null => w.write_all(b"null"),
+            Json::Bool(b) => w.write_all(if *b { b"true" } else { b"false" }),
+            Json::Int(v) => write!(w, "{v}"),
+            Json::UInt(v) => write!(w, "{v}"),
+            Json::Float(v) => {
+                let mut s = String::new();
+                write_float(*v, &mut s);
+                w.write_all(s.as_bytes())
+            }
+            Json::Str(s) => {
+                let mut out = String::new();
+                write_escaped(s, &mut out);
+                w.write_all(out.as_bytes())
+            }
+            Json::Arr(items) => {
+                w.write_all(b"[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        w.write_all(b",")?;
+                    }
+                    item.write_to(w)?;
+                }
+                w.write_all(b"]")
+            }
+            Json::Obj(fields) => {
+                w.write_all(b"{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        w.write_all(b",")?;
+                    }
+                    let mut key = String::new();
+                    write_escaped(k, &mut key);
+                    w.write_all(key.as_bytes())?;
+                    w.write_all(b":")?;
+                    v.write_to(w)?;
+                }
+                w.write_all(b"}")
+            }
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),
@@ -482,6 +528,14 @@ pub fn to_vec<T: ToJson + ?Sized>(value: &T) -> Vec<u8> {
     to_string(value).into_bytes()
 }
 
+/// Serialize `value` compactly into an `io::Write`, propagating I/O errors.
+pub fn to_writer<T: ToJson + ?Sized, W: std::io::Write>(
+    value: &T,
+    w: &mut W,
+) -> std::io::Result<()> {
+    value.to_json().write_to(w)
+}
+
 /// Parse `text` and convert to `T`.
 pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
     T::from_json(&Json::parse(text)?)
@@ -865,6 +919,33 @@ macro_rules! json_enum {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn write_to_matches_dump_and_propagates_errors() {
+        let v = Json::Obj(vec![
+            ("s".into(), Json::Str("a\"b".into())),
+            ("n".into(), Json::Arr(vec![Json::UInt(1), Json::Null])),
+            ("f".into(), Json::Float(1.5)),
+        ]);
+        let mut buf = Vec::new();
+        v.write_to(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), v.dump());
+
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink broke"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(v.write_to(&mut Broken).is_err());
+        assert!(to_writer(&42u32, &mut Broken).is_err());
+        let mut ok = Vec::new();
+        to_writer(&vec![1u8, 2], &mut ok).unwrap();
+        assert_eq!(ok, b"[1,2]");
+    }
 
     #[test]
     fn scalars_roundtrip() {

@@ -499,6 +499,9 @@ impl ThreadCtx {
         }
         let mut g = self.ctrl.mx.lock();
         let li = g.intern_label(label);
+        if g.stats.first_failure_step.is_none() {
+            g.stats.first_failure_step = Some(g.stats.sched_points);
+        }
         g.assert_failures.push(AssertFailureRecord {
             thread: self.me,
             label: label.to_string(),

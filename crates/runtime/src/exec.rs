@@ -166,9 +166,14 @@ impl Central {
         decision
     }
 
-    /// Record an abort cause (first one wins).
+    /// Record an abort cause (first one wins). Failure aborts (anything but
+    /// step-limit exhaustion, which is a budget artifact) stamp
+    /// `first_failure_step` if no assertion failed earlier.
     pub fn do_abort(&mut self, kind: OutcomeKind) {
         if self.abort.is_none() {
+            if !matches!(kind, OutcomeKind::StepLimit) && self.stats.first_failure_step.is_none() {
+                self.stats.first_failure_step = Some(self.stats.sched_points);
+            }
             self.abort = Some(kind);
         }
     }
@@ -213,6 +218,7 @@ impl Central {
             self.model.cond_queues[c.index()].retain(|q| *q != tid);
             self.model.threads[victim].timed_out = false;
             self.model.threads[victim].status = Status::Ready;
+            self.stats.spurious_wakeups += 1;
         }
     }
 
@@ -276,6 +282,9 @@ impl Central {
             self.stats.scheduler_faults += 1;
             pick = self.scratch_runnable[0];
         }
+        if prev.is_some() && prev != Some(pick) {
+            self.stats.context_switches += 1;
+        }
         self.model.threads[pick.index()].status = Status::Running;
         self.model.current = Some(pick);
     }
@@ -317,6 +326,7 @@ impl Controller {
             NoiseDecision::Yield => {
                 forced_yield = true;
                 g.stats.noise_injections += 1;
+                g.stats.forced_yields += 1;
             }
             NoiseDecision::Sleep(ticks) => {
                 let wake = g.model.time + u64::from(ticks.max(1));

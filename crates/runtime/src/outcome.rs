@@ -133,6 +133,9 @@ pub struct ExecStats {
     pub events: u64,
     /// Scheduling points (== scheduler `pick` calls).
     pub sched_points: u64,
+    /// Scheduling points at which the token moved to a different thread
+    /// than the one that triggered the point.
+    pub context_switches: u64,
     /// Threads created, including main.
     pub threads: u32,
     /// Final virtual time.
@@ -142,6 +145,15 @@ pub struct ExecStats {
     pub scheduler_faults: u64,
     /// Noise decisions that disturbed the schedule (yields + sleeps).
     pub noise_injections: u64,
+    /// Noise decisions that forced a yield (subset of `noise_injections`).
+    pub forced_yields: u64,
+    /// Spurious condition-variable wakeups actually injected.
+    pub spurious_wakeups: u64,
+    /// Scheduling point of the first observed failure — a failed assertion
+    /// or an abnormal termination (deadlock, panic, assert-stop). `None`
+    /// when the run stayed clean; step-limit exhaustion is a budget
+    /// artifact, not a failure, and does not set it.
+    pub first_failure_step: Option<u64>,
     /// Wall-clock duration of the run. Not serialized: wall time is not a
     /// property of the schedule and would break fingerprint stability.
     pub wall: Duration,
@@ -152,6 +164,10 @@ impl ToJson for ExecStats {
         Json::Obj(vec![
             ("events".to_string(), self.events.to_json()),
             ("sched_points".to_string(), self.sched_points.to_json()),
+            (
+                "context_switches".to_string(),
+                self.context_switches.to_json(),
+            ),
             ("threads".to_string(), self.threads.to_json()),
             ("virtual_time".to_string(), self.virtual_time.to_json()),
             (
@@ -161,6 +177,15 @@ impl ToJson for ExecStats {
             (
                 "noise_injections".to_string(),
                 self.noise_injections.to_json(),
+            ),
+            ("forced_yields".to_string(), self.forced_yields.to_json()),
+            (
+                "spurious_wakeups".to_string(),
+                self.spurious_wakeups.to_json(),
+            ),
+            (
+                "first_failure_step".to_string(),
+                self.first_failure_step.to_json(),
             ),
         ])
     }

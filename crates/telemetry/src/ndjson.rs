@@ -1,0 +1,257 @@
+//! The NDJSON structured run log: one JSON object per run.
+//!
+//! Layout: every line is a flat object with the run's coordinates
+//! (`experiment`, `program`, `tool`, `run`, `seed`), its judged outcome
+//! (`outcome` tag + `failed` flag) and the deterministic [`RunMetrics`]
+//! counters. The default record is a pure function of the run's seed, so a
+//! log written at `--jobs 8` is byte-identical to the serial one — the
+//! writer is always fed in canonical (program, tool, run) order after the
+//! shards merge. Wall-clock duration is segregated behind
+//! [`RunLogWriter::with_wall`], mirroring how `timing_table()` keeps time
+//! out of the deterministic tables; turning it on adds a `wall_us` field
+//! and forfeits byte-determinism, never the schema.
+//!
+//! All writes propagate `io::Result` — a full disk or a closed pipe is an
+//! error the campaign reports, not a panic.
+
+use crate::run::RunMetrics;
+use mtt_json::{Json, ToJson};
+use std::io::{self, BufWriter, Write};
+use std::time::Duration;
+
+/// Field names every run-log line must carry, in emission order — the
+/// documented schema, used by `mtt metrics-check` and the CI validator.
+pub const RUN_LOG_REQUIRED_FIELDS: &[&str] = &[
+    "experiment",
+    "program",
+    "tool",
+    "run",
+    "seed",
+    "outcome",
+    "failed",
+    "events",
+    "sched_points",
+    "context_switches",
+    "forced_yields",
+    "noise_injections",
+    "spurious_wakeups",
+    "lock_acquires",
+    "lock_contentions",
+    "waits",
+    "notifies",
+    "threads",
+    "steps_to_first_bug",
+];
+
+/// One run-log line before serialization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunLogRecord {
+    /// Experiment key (`e1`, `profile`, …).
+    pub experiment: String,
+    /// Program under test.
+    pub program: String,
+    /// Tool configuration name.
+    pub tool: String,
+    /// Run index within the (program, tool) cell.
+    pub run: u64,
+    /// The seed that defined the execution.
+    pub seed: u64,
+    /// Outcome tag (`completed`, `deadlock`, `step-limit`, `panic`,
+    /// `assert-stop`).
+    pub outcome: String,
+    /// Did the program's oracle judge the run as having manifested a bug?
+    pub failed: bool,
+    /// Deterministic per-run counters.
+    pub metrics: RunMetrics,
+    /// Wall-clock duration of the run; only emitted when the writer opts
+    /// into wall fields.
+    pub wall: Duration,
+}
+
+impl RunLogRecord {
+    fn to_json_line(&self, with_wall: bool) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("experiment".into(), self.experiment.to_json()),
+            ("program".into(), self.program.to_json()),
+            ("tool".into(), self.tool.to_json()),
+            ("run".into(), self.run.to_json()),
+            ("seed".into(), self.seed.to_json()),
+            ("outcome".into(), self.outcome.to_json()),
+            ("failed".into(), self.failed.to_json()),
+        ];
+        match self.metrics.to_json() {
+            Json::Obj(metric_fields) => fields.extend(metric_fields),
+            other => fields.push(("metrics".into(), other)),
+        }
+        if with_wall {
+            fields.push(("wall_us".into(), (self.wall.as_micros() as u64).to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Streaming NDJSON writer over any `io::Write`.
+pub struct RunLogWriter<W: Write> {
+    w: BufWriter<W>,
+    with_wall: bool,
+    lines: u64,
+}
+
+impl<W: Write> RunLogWriter<W> {
+    /// Wrap `w`; wall-clock fields are off (deterministic output).
+    pub fn new(w: W) -> Self {
+        RunLogWriter {
+            w: BufWriter::new(w),
+            with_wall: false,
+            lines: 0,
+        }
+    }
+
+    /// Also emit the segregated `wall_us` field on every line. The log is
+    /// then no longer byte-deterministic across machines or job counts.
+    pub fn with_wall(mut self, yes: bool) -> Self {
+        self.with_wall = yes;
+        self
+    }
+
+    /// Append one record as one line.
+    pub fn write_record(&mut self, rec: &RunLogRecord) -> io::Result<()> {
+        let line = rec.to_json_line(self.with_wall).dump();
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush buffered lines to the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn into_inner(self) -> io::Result<W> {
+        self.w.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+/// Validate one NDJSON run-log line against the documented schema: it must
+/// parse as a JSON object and carry every [`RUN_LOG_REQUIRED_FIELDS`] key
+/// with a sane type. Returns a description of the first violation.
+pub fn check_run_log_line(line: &str) -> Result<(), String> {
+    let v = Json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Json::Obj(_) = v else {
+        return Err("line is not a JSON object".into());
+    };
+    for field in RUN_LOG_REQUIRED_FIELDS {
+        let Some(val) = v.get(field) else {
+            return Err(format!("missing required field `{field}`"));
+        };
+        let ok = match *field {
+            "experiment" | "program" | "tool" | "outcome" => val.as_str().is_some(),
+            "failed" => matches!(val, Json::Bool(_)),
+            "steps_to_first_bug" => matches!(val, Json::Null) || val.as_u64().is_some(),
+            _ => val.as_u64().is_some(),
+        };
+        if !ok {
+            return Err(format!("field `{field}` has the wrong type"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(run: u64) -> RunLogRecord {
+        RunLogRecord {
+            experiment: "e1".into(),
+            program: "lost_update".into(),
+            tool: "none".into(),
+            run,
+            seed: 0x5eed + run,
+            outcome: "completed".into(),
+            failed: run.is_multiple_of(2),
+            metrics: RunMetrics {
+                events: 10 + run,
+                sched_points: 20,
+                ..Default::default()
+            },
+            wall: Duration::from_micros(123),
+        }
+    }
+
+    #[test]
+    fn default_log_is_deterministic_and_schema_valid() {
+        let mut buf = Vec::new();
+        {
+            let mut w = RunLogWriter::new(&mut buf);
+            w.write_record(&record(0)).unwrap();
+            w.write_record(&record(1)).unwrap();
+            assert_eq!(w.lines(), 2);
+            w.flush().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            check_run_log_line(line).unwrap();
+            assert!(!line.contains("wall_us"), "wall must be segregated");
+        }
+        assert!(text.contains("\"experiment\":\"e1\""));
+        assert!(text.contains("\"steps_to_first_bug\":null"));
+    }
+
+    #[test]
+    fn wall_field_is_opt_in() {
+        let mut buf = Vec::new();
+        let mut w = RunLogWriter::new(&mut buf).with_wall(true);
+        w.write_record(&record(0)).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"wall_us\":123"));
+        check_run_log_line(text.lines().next().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn checker_rejects_bad_lines() {
+        assert!(check_run_log_line("not json").is_err());
+        assert!(check_run_log_line("[1,2]").is_err());
+        assert!(check_run_log_line("{\"experiment\":\"e1\"}")
+            .unwrap_err()
+            .contains("missing required field"));
+        // Right fields, wrong type.
+        let mut buf = Vec::new();
+        let mut w = RunLogWriter::new(&mut buf);
+        w.write_record(&record(0)).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let line = String::from_utf8(buf).unwrap();
+        let broken = line.trim_end().replace("\"run\":0", "\"run\":\"zero\"");
+        assert!(check_run_log_line(&broken)
+            .unwrap_err()
+            .contains("wrong type"));
+    }
+
+    #[test]
+    fn write_errors_propagate_not_panic() {
+        struct FullDisk;
+        impl Write for FullDisk {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = RunLogWriter::new(FullDisk);
+        // BufWriter may absorb the first write; flush must surface the error.
+        let r = w.write_record(&record(0)).and_then(|_| w.flush());
+        assert!(r.is_err());
+    }
+}

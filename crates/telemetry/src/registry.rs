@@ -1,0 +1,373 @@
+//! The metrics registry: named counters, gauges and histograms with
+//! lock-free hot paths and a mergeable snapshot.
+//!
+//! Registration (name → handle) takes a mutex once; after that every
+//! `inc`/`record`/`observe` is a single atomic RMW on a shared `Arc`, so
+//! campaign workers on different threads can bump the same metric without
+//! serializing. [`Snapshot`] freezes the registry into plain maps whose
+//! [`Snapshot::merge`] is commutative and associative — the same
+//! permutation-invariant algebra `mtt_experiment::stats` uses for
+//! `FindStats`/`Distribution` — so shard snapshots combine deterministically
+//! in any order.
+
+use mtt_json::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cheap to clone (shared state).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A high-watermark gauge: `record` keeps the maximum ever seen.
+///
+/// Max (not last-write) is deliberate: it is the only gauge semantics whose
+/// merge is commutative and associative, which the snapshot algebra needs.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Record an observation; the gauge keeps the maximum.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current high watermark.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram: counts of observations `<=` each bound, plus
+/// an overflow bucket, a total count and a sum (for means).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending bounds");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Frozen histogram state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds (`buckets[i]` counts values `<=`
+    /// `bounds[i]`; the final bucket is overflow).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts, `bounds.len() + 1` long.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+mtt_json::json_struct!(HistogramSnapshot {
+    bounds,
+    buckets,
+    count,
+    sum
+});
+
+impl HistogramSnapshot {
+    /// Mean observation, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise sum. Both operands must share bucket bounds (they come
+    /// from same-named histograms, which the registry creates with one
+    /// bound set).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.bounds.is_empty() && self.buckets.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bucket bounds"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+/// A shared registry of named metrics. Clones share state.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl MetricsRegistry {
+    /// Fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the max-gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name` with the given bucket bounds
+    /// (bounds of an existing histogram win; they are part of the name's
+    /// identity for merge purposes).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.inner.histograms.lock().expect("registry poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new(bounds)))
+            .clone()
+    }
+
+    /// Freeze current values into a mergeable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Frozen registry state: plain maps, `Clone`, and mergeable with a
+/// permutation-invariant algebra (counter/histogram sums, gauge max).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge high watermarks by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+mtt_json::json_struct!(Snapshot {
+    counters,
+    gauges,
+    histograms
+});
+
+impl Snapshot {
+    /// Fold `other` into `self`. Commutative and associative: merging any
+    /// permutation of shard snapshots yields the same result (property
+    /// tested in `tests/props.rs`).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(0);
+            *e = (*e).max(*v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(v);
+        }
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+impl ToJson for MetricsRegistry {
+    fn to_json(&self) -> Json {
+        self.snapshot().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_across_clones() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("runs");
+        let b = reg.counter("runs");
+        a.inc();
+        b.add(4);
+        assert_eq!(reg.counter("runs").get(), 5);
+        assert_eq!(reg.snapshot().counter("runs"), 5);
+        assert_eq!(reg.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauge_keeps_maximum() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("peak");
+        g.record(3);
+        g.record(10);
+        g.record(7);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10, 100]);
+        for v in [1, 9, 10, 11, 1000] {
+            h.observe(v);
+        }
+        let s = reg.snapshot().histograms["lat"].clone();
+        assert_eq!(s.buckets, vec![3, 1, 1]); // <=10, <=100, overflow
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1031);
+        assert!((s.mean() - 206.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_combined_run() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        let all = MetricsRegistry::new();
+        for (reg, vals) in [(&a, &[1u64, 5][..]), (&b, &[3, 2][..])] {
+            for &v in vals {
+                reg.counter("n").add(v);
+                reg.gauge("g").record(v);
+                reg.histogram("h", &[2, 4]).observe(v);
+                all.counter("n").add(v);
+                all.gauge("g").record(v);
+                all.histogram("h", &[2, 4]).observe(v);
+            }
+        }
+        let mut ab = a.snapshot();
+        ab.merge(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.merge(&a.snapshot());
+        assert_eq!(ab, ba, "merge must commute");
+        assert_eq!(ab, all.snapshot(), "merge must equal the serial run");
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.gauge("g").record(2);
+        let json = mtt_json::to_string(&reg.snapshot());
+        assert!(json.contains("\"c\":1"));
+        assert!(json.contains("\"g\":2"));
+        let back: Snapshot = mtt_json::from_str(&json).unwrap();
+        assert_eq!(back, reg.snapshot());
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket bounds")]
+    fn histogram_merge_rejects_mismatched_bounds() {
+        let mut a = HistogramSnapshot {
+            bounds: vec![1],
+            buckets: vec![0, 0],
+            count: 0,
+            sum: 0,
+        };
+        let b = HistogramSnapshot {
+            bounds: vec![2],
+            buckets: vec![0, 0],
+            count: 0,
+            sum: 0,
+        };
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,212 @@
+//! [`RunMetrics`]: the per-run telemetry record.
+//!
+//! One `RunMetrics` describes one execution: the event-derived counts a
+//! [`TelemetrySink`](crate::TelemetrySink) accumulates plus the runtime's
+//! own `ExecStats` counters (scheduling points, context switches, forced
+//! yields, noise injections, spurious wakeups, steps to the first observed
+//! failure). Every field is a deterministic function of the run's seed —
+//! wall clock is deliberately absent; it lives in span timings and the
+//! segregated timing tables instead.
+
+use mtt_instrument::Loc;
+use mtt_json::{Json, ToJson};
+use mtt_runtime::ExecStats;
+use std::collections::BTreeMap;
+
+/// Deterministic telemetry of one run (or, after merging, of a cell or a
+/// whole campaign — all fields aggregate permutation-invariantly).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Events observed by the telemetry sink.
+    pub events: u64,
+    /// Per-class event counts, indexed by `OpClass::bit()`.
+    pub by_class: [u64; 8],
+    /// Successful mutex acquisitions.
+    pub lock_acquires: u64,
+    /// Contended lock encounters (blocking requests + failed try-locks).
+    pub lock_contentions: u64,
+    /// Condition-variable waits entered.
+    pub waits: u64,
+    /// Condition-variable notifications issued.
+    pub notifies: u64,
+    /// Events per static program site (the hot-site profile).
+    pub sites: BTreeMap<Loc, u64>,
+    /// Contended lock encounters per site (the contention profile).
+    pub contended_sites: BTreeMap<Loc, u64>,
+    /// Scheduling points (from the runtime).
+    pub sched_points: u64,
+    /// Scheduling points at which the token moved to a different thread.
+    pub context_switches: u64,
+    /// Noise decisions that forced a yield.
+    pub forced_yields: u64,
+    /// All schedule-disturbing noise decisions (yields + sleeps).
+    pub noise_injections: u64,
+    /// Spurious condition-variable wakeups injected.
+    pub spurious_wakeups: u64,
+    /// Threads created, including main.
+    pub threads: u64,
+    /// Scheduling points until the first observed failure (failed
+    /// assertion or abnormal termination); `None` when the run stayed
+    /// clean. Merges by minimum.
+    pub steps_to_first_bug: Option<u64>,
+}
+
+impl RunMetrics {
+    /// Copy the runtime's counters into this record (the event-derived
+    /// fields come from a [`TelemetrySink`](crate::TelemetrySink)).
+    pub fn absorb_stats(&mut self, stats: &ExecStats) {
+        self.sched_points += stats.sched_points;
+        self.context_switches += stats.context_switches;
+        self.forced_yields += stats.forced_yields;
+        self.noise_injections += stats.noise_injections;
+        self.spurious_wakeups += stats.spurious_wakeups;
+        self.threads += u64::from(stats.threads);
+        self.steps_to_first_bug = match (self.steps_to_first_bug, stats.first_failure_step) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Fold another record into this one. Sums everywhere except
+    /// `steps_to_first_bug`, which merges by minimum — all of it
+    /// commutative and associative, so shard aggregates are
+    /// permutation-invariant like the rest of the experiment statistics.
+    pub fn merge(&mut self, other: &RunMetrics) {
+        self.events += other.events;
+        for (a, b) in self.by_class.iter_mut().zip(&other.by_class) {
+            *a += b;
+        }
+        self.lock_acquires += other.lock_acquires;
+        self.lock_contentions += other.lock_contentions;
+        self.waits += other.waits;
+        self.notifies += other.notifies;
+        for (site, n) in &other.sites {
+            *self.sites.entry(*site).or_insert(0) += n;
+        }
+        for (site, n) in &other.contended_sites {
+            *self.contended_sites.entry(*site).or_insert(0) += n;
+        }
+        self.sched_points += other.sched_points;
+        self.context_switches += other.context_switches;
+        self.forced_yields += other.forced_yields;
+        self.noise_injections += other.noise_injections;
+        self.spurious_wakeups += other.spurious_wakeups;
+        self.threads += other.threads;
+        self.steps_to_first_bug = match (self.steps_to_first_bug, other.steps_to_first_bug) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// The `k` busiest sites, by event count then site order (total order,
+    /// so the ranking is deterministic).
+    pub fn top_sites(&self, k: usize) -> Vec<(Loc, u64)> {
+        let mut v: Vec<(Loc, u64)> = self.sites.iter().map(|(l, n)| (*l, *n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// The `k` most contended sites, ranked like [`RunMetrics::top_sites`].
+    pub fn top_contended_sites(&self, k: usize) -> Vec<(Loc, u64)> {
+        let mut v: Vec<(Loc, u64)> = self.contended_sites.iter().map(|(l, n)| (*l, *n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+impl ToJson for RunMetrics {
+    /// Flat object of the scalar counters (the NDJSON run-log payload).
+    /// The per-site maps are profile-report material and deliberately
+    /// excluded — a run log with a million runs must stay one compact
+    /// object per line.
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("events".into(), self.events.to_json()),
+            ("sched_points".into(), self.sched_points.to_json()),
+            ("context_switches".into(), self.context_switches.to_json()),
+            ("forced_yields".into(), self.forced_yields.to_json()),
+            ("noise_injections".into(), self.noise_injections.to_json()),
+            ("spurious_wakeups".into(), self.spurious_wakeups.to_json()),
+            ("lock_acquires".into(), self.lock_acquires.to_json()),
+            ("lock_contentions".into(), self.lock_contentions.to_json()),
+            ("waits".into(), self.waits.to_json()),
+            ("notifies".into(), self.notifies.to_json()),
+            ("threads".into(), self.threads.to_json()),
+            (
+                "steps_to_first_bug".into(),
+                self.steps_to_first_bug.to_json(),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(events: u64, first_bug: Option<u64>) -> RunMetrics {
+        RunMetrics {
+            events,
+            lock_acquires: events / 2,
+            steps_to_first_bug: first_bug,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn merge_sums_and_takes_min_first_bug() {
+        let mut a = metrics(10, Some(40));
+        a.sites.insert(Loc::new("p", 1), 3);
+        let mut b = metrics(6, Some(12));
+        b.sites.insert(Loc::new("p", 1), 2);
+        b.sites.insert(Loc::new("p", 2), 9);
+        a.merge(&b);
+        assert_eq!(a.events, 16);
+        assert_eq!(a.lock_acquires, 8);
+        assert_eq!(a.steps_to_first_bug, Some(12));
+        assert_eq!(a.sites[&Loc::new("p", 1)], 5);
+        assert_eq!(a.top_sites(1), vec![(Loc::new("p", 2), 9)]);
+    }
+
+    #[test]
+    fn merge_keeps_some_over_none() {
+        let mut a = metrics(1, None);
+        a.merge(&metrics(1, Some(7)));
+        assert_eq!(a.steps_to_first_bug, Some(7));
+        let mut b = metrics(1, Some(7));
+        b.merge(&metrics(1, None));
+        assert_eq!(b.steps_to_first_bug, Some(7));
+    }
+
+    #[test]
+    fn absorb_stats_copies_runtime_counters() {
+        let mut m = RunMetrics::default();
+        let stats = ExecStats {
+            sched_points: 100,
+            context_switches: 40,
+            forced_yields: 3,
+            noise_injections: 5,
+            spurious_wakeups: 1,
+            threads: 4,
+            first_failure_step: Some(60),
+            ..Default::default()
+        };
+        m.absorb_stats(&stats);
+        assert_eq!(m.sched_points, 100);
+        assert_eq!(m.context_switches, 40);
+        assert_eq!(m.threads, 4);
+        assert_eq!(m.steps_to_first_bug, Some(60));
+    }
+
+    #[test]
+    fn json_is_flat_and_omits_sites() {
+        let mut m = metrics(3, None);
+        m.sites.insert(Loc::new("p", 1), 3);
+        let s = mtt_json::to_string(&m);
+        assert!(s.contains("\"events\":3"));
+        assert!(s.contains("\"steps_to_first_bug\":null"));
+        assert!(!s.contains("sites"));
+    }
+}

@@ -1,0 +1,156 @@
+//! [`TelemetrySink`]: the event-stream side of per-run telemetry.
+//!
+//! Everything this sink measures is derived from the instrumented event
+//! stream alone, so it composes with any tool under evaluation through the
+//! existing [`EventSink`] plumbing — `Tee` it next to a detector, wrap it
+//! in a `FilteredSink`, or attach it directly to an `Execution`. It never
+//! touches a clock: all of its numbers are deterministic functions of the
+//! schedule.
+
+use crate::run::RunMetrics;
+use mtt_instrument::{Event, EventSink, Op, ThreadId};
+use std::collections::BTreeMap;
+
+/// Counts event classes, hot sites and synchronization traffic from an
+/// instrumented event stream.
+///
+/// Lock *contention* is derived structurally: the runtime emits
+/// `LockRequest` only when the requested lock is currently owned by another
+/// thread (an uncontended acquire goes straight to `LockAcquire`), so every
+/// `LockRequest` — and every failed `try_lock` — is one contended
+/// encounter. The sink also keeps the owner map implied by
+/// acquire/release events as a cross-check for held-lock accounting.
+#[derive(Debug, Default)]
+pub struct TelemetrySink {
+    metrics: RunMetrics,
+    owners: BTreeMap<u32, ThreadId>,
+    finished: bool,
+}
+
+impl TelemetrySink {
+    /// Fresh sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics accumulated so far (event-derived fields only; combine
+    /// with [`RunMetrics::absorb_stats`] for the runtime counters).
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+
+    /// Consume the sink, yielding its metrics.
+    pub fn into_metrics(self) -> RunMetrics {
+        self.metrics
+    }
+
+    /// Has `finish` run?
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
+impl EventSink for TelemetrySink {
+    fn on_event(&mut self, ev: &Event) {
+        let m = &mut self.metrics;
+        m.events += 1;
+        m.by_class[ev.op.class().bit() as usize] += 1;
+        *m.sites.entry(ev.loc).or_insert(0) += 1;
+        match ev.op {
+            Op::LockAcquire { lock } => {
+                m.lock_acquires += 1;
+                self.owners.insert(lock.0, ev.thread);
+            }
+            Op::LockRelease { lock } => {
+                self.owners.remove(&lock.0);
+            }
+            Op::LockRequest { .. } | Op::LockTryFail { .. } => {
+                m.lock_contentions += 1;
+                *m.contended_sites.entry(ev.loc).or_insert(0) += 1;
+            }
+            Op::CondWait { .. } => m.waits += 1,
+            Op::CondNotify { .. } => m.notifies += 1,
+            _ => {}
+        }
+    }
+
+    fn finish(&mut self) {
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_instrument::{Loc, LockId, VarId};
+    use std::sync::Arc;
+
+    fn ev(seq: u64, thread: u32, loc: Loc, op: Op) -> Event {
+        Event {
+            seq,
+            time: seq,
+            thread: ThreadId(thread),
+            loc,
+            op,
+            locks_held: Arc::from(Vec::<LockId>::new()),
+        }
+    }
+
+    #[test]
+    fn counts_contention_and_sites() {
+        let site_a = Loc::new("p", 1);
+        let site_b = Loc::new("p", 2);
+        let l = LockId(0);
+        let mut sink = TelemetrySink::new();
+        // t0 acquires uncontended; t1 contends, then acquires after release.
+        sink.on_event(&ev(0, 0, site_a, Op::LockAcquire { lock: l }));
+        sink.on_event(&ev(1, 1, site_b, Op::LockRequest { lock: l }));
+        sink.on_event(&ev(2, 0, site_a, Op::LockRelease { lock: l }));
+        sink.on_event(&ev(3, 1, site_b, Op::LockAcquire { lock: l }));
+        sink.on_event(&ev(
+            4,
+            1,
+            site_b,
+            Op::VarRead {
+                var: VarId(0),
+                value: 7,
+            },
+        ));
+        sink.finish();
+        let m = sink.metrics();
+        assert_eq!(m.events, 5);
+        assert_eq!(m.lock_acquires, 2);
+        assert_eq!(m.lock_contentions, 1);
+        assert_eq!(m.sites[&site_b], 3);
+        assert_eq!(m.contended_sites[&site_b], 1);
+        assert!(!m.contended_sites.contains_key(&site_a));
+        assert!(sink.is_finished());
+    }
+
+    #[test]
+    fn counts_cond_traffic() {
+        use mtt_instrument::CondId;
+        let mut sink = TelemetrySink::new();
+        let loc = Loc::new("p", 9);
+        sink.on_event(&ev(
+            0,
+            0,
+            loc,
+            Op::CondWait {
+                cond: CondId(0),
+                lock: LockId(0),
+            },
+        ));
+        sink.on_event(&ev(
+            1,
+            1,
+            loc,
+            Op::CondNotify {
+                cond: CondId(0),
+                all: true,
+            },
+        ));
+        assert_eq!(sink.metrics().waits, 1);
+        assert_eq!(sink.metrics().notifies, 1);
+    }
+}

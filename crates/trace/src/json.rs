@@ -42,23 +42,29 @@ impl From<io::Error> for JsonTraceError {
     }
 }
 
-/// Serialize `trace` as JSON lines into `w`.
+/// Serialize `trace` as JSON lines into `w`, propagating every I/O error
+/// (a full disk or a closed pipe is an error to report, not a panic).
 pub fn write<W: Write>(trace: &Trace, w: W) -> io::Result<()> {
     let mut w = BufWriter::new(w);
-    w.write_all(mtt_json::to_string(&trace.meta).as_bytes())?;
+    mtt_json::to_writer(&trace.meta, &mut w)?;
     w.write_all(b"\n")?;
     for r in &trace.records {
-        w.write_all(mtt_json::to_string(r).as_bytes())?;
+        mtt_json::to_writer(r, &mut w)?;
         w.write_all(b"\n")?;
     }
     w.flush()
 }
 
 /// Serialize to an in-memory string (small traces, tests, goldens).
+/// Builds the lines directly — no fallible I/O anywhere on this path.
 pub fn to_string(trace: &Trace) -> String {
-    let mut buf = Vec::new();
-    write(trace, &mut buf).expect("in-memory write cannot fail");
-    String::from_utf8(buf).expect("the JSON printer emits UTF-8")
+    let mut out = mtt_json::to_string(&trace.meta);
+    out.push('\n');
+    for r in &trace.records {
+        out.push_str(&mtt_json::to_string(r));
+        out.push('\n');
+    }
+    out
 }
 
 /// Deserialize a JSON-lines trace from `r`.
@@ -174,6 +180,20 @@ mod tests {
         let s = to_string(&sample()).replace('\n', "\n\n");
         let back = from_str(&s).unwrap();
         assert_eq!(back.records.len(), 5);
+    }
+
+    #[test]
+    fn write_propagates_io_errors() {
+        struct FullDisk;
+        impl Write for FullDisk {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        assert!(write(&sample(), FullDisk).is_err());
     }
 
     #[test]

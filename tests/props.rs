@@ -345,6 +345,118 @@ proptest! {
         prop_assert_eq!(&left, &serial);
     }
 
+    /// Telemetry snapshots merged in ANY permutation equal the snapshot of
+    /// one registry that saw every operation — counters sum, gauges take
+    /// the max, histograms add bucket-wise. This is the algebra that lets
+    /// per-worker metric shards combine deterministically at any `--jobs`.
+    #[test]
+    fn telemetry_snapshot_merge_is_permutation_invariant(
+        // (metric index, value) operations, sharded at arbitrary points.
+        ops in prop::collection::vec((0u8..4, 1u64..1_000), 0..200),
+        cuts in prop::collection::vec(any::<u16>(), 1..8),
+        perm_seed in any::<u64>(),
+    ) {
+        use mtt::telemetry::MetricsRegistry;
+
+        let apply = |reg: &MetricsRegistry, shard: &[(u8, u64)]| {
+            for &(idx, v) in shard {
+                reg.counter(&format!("c{}", idx % 2)).add(v);
+                reg.gauge(&format!("g{idx}")).record(v);
+                reg.histogram("h", &[10, 100, 500]).observe(v);
+            }
+        };
+
+        // Serial reference: one registry sees everything.
+        let serial = MetricsRegistry::new();
+        apply(&serial, &ops);
+
+        // Cut the op sequence into shards at arbitrary points, one
+        // registry per shard (as each campaign worker owns its own).
+        let mut bounds: Vec<usize> = cuts
+            .iter()
+            .map(|&c| c as usize % (ops.len() + 1))
+            .collect();
+        bounds.push(0);
+        bounds.push(ops.len());
+        bounds.sort_unstable();
+        let shards: Vec<_> = bounds
+            .windows(2)
+            .map(|w| {
+                let reg = MetricsRegistry::new();
+                apply(&reg, &ops[w[0]..w[1]]);
+                reg.snapshot()
+            })
+            .collect();
+
+        // Merge the shard snapshots in a seed-derived permutation (worker
+        // completion order is arbitrary).
+        let mut order: Vec<usize> = (0..shards.len()).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut merged = mtt::telemetry::Snapshot::default();
+        for i in order {
+            merged.merge(&shards[i]);
+        }
+        // Empty shards contribute no keys; registries that saw at least
+        // one op always created h, so drop the distinction by comparing
+        // only when something happened, else both sides are empty.
+        if ops.is_empty() {
+            prop_assert_eq!(merged.counters.len(), 0);
+        } else {
+            prop_assert_eq!(merged, serial.snapshot());
+        }
+    }
+
+    /// RunMetrics::merge is likewise order-insensitive, including the
+    /// min-semantics of `steps_to_first_bug` (Some beats None; smaller
+    /// wins between Somes).
+    #[test]
+    fn run_metrics_merge_is_permutation_invariant(
+        raw_runs in prop::collection::vec(
+            (0u64..500, 0u64..50, any::<bool>(), 1u64..10_000),
+            0..40,
+        ),
+        perm_seed in any::<u64>(),
+    ) {
+        use mtt::telemetry::RunMetrics;
+
+        let runs: Vec<(u64, u64, Option<u64>)> = raw_runs
+            .into_iter()
+            .map(|(e, c, has_bug, steps)| (e, c, has_bug.then_some(steps)))
+            .collect();
+
+        let mk = |&(events, contentions, first_bug): &(u64, u64, Option<u64>)| RunMetrics {
+            events,
+            lock_contentions: contentions,
+            steps_to_first_bug: first_bug,
+            ..Default::default()
+        };
+
+        let mut serial = RunMetrics::default();
+        for r in &runs {
+            serial.merge(&mk(r));
+        }
+
+        let mut order: Vec<usize> = (0..runs.len()).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut shuffled = RunMetrics::default();
+        for i in order {
+            shuffled.merge(&mk(&runs[i]));
+        }
+        prop_assert_eq!(shuffled, serial.clone());
+        prop_assert_eq!(
+            serial.steps_to_first_bug,
+            runs.iter().filter_map(|r| r.2).min()
+        );
+    }
+
     /// Total variation distance is a metric-shaped quantity: within [0,1],
     /// symmetric, and zero between a distribution and itself.
     #[test]
