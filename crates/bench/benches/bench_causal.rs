@@ -1,0 +1,77 @@
+//! Causal-annotation overhead: what `mtt explain` / `--annotate` add on
+//! top of plain trace generation.
+//!
+//! The acceptance bar for the observability layer is that annotating a
+//! trace (vector clocks + happens-before edges) costs well under 10% of
+//! generating it in the first place — the annotator is a single linear
+//! pass over the records. `tracegen_only` is the baseline, `tracegen_plus_
+//! annotate` the full pipeline; the downstream renderings (timeline, diff)
+//! are pinned separately since `mtt explain` pays them once per
+//! invocation, not per run.
+
+use criterion::Criterion;
+use mtt_bench::quick_criterion;
+use mtt_core::causal::{annotate_trace, render_timeline, TraceDiff};
+use mtt_core::experiment::tracegen::{self, TraceGenOptions};
+
+fn opts(seed: u64) -> TraceGenOptions {
+    TraceGenOptions {
+        seed,
+        stickiness: 0.0,
+        max_steps: 20_000,
+    }
+}
+
+fn bench_annotation_overhead(c: &mut Criterion) {
+    // The E1 slice the telemetry bench also uses: two small programs, a
+    // handful of seeds each.
+    let programs = [
+        mtt_core::suite::small::lost_update(2, 2),
+        mtt_core::suite::small::ab_ba(),
+    ];
+    let mut g = c.benchmark_group("causal_annotation");
+    g.bench_function("tracegen_only_2progs_x8seeds", |b| {
+        b.iter(|| {
+            let mut events = 0usize;
+            for p in &programs {
+                for seed in 0..8 {
+                    events += tracegen::generate(p, &opts(seed)).records.len();
+                }
+            }
+            events
+        })
+    });
+    g.bench_function("tracegen_plus_annotate_2progs_x8seeds", |b| {
+        b.iter(|| {
+            let mut edges = 0usize;
+            for p in &programs {
+                for seed in 0..8 {
+                    let t = tracegen::generate(p, &opts(seed));
+                    let ann = annotate_trace(&t);
+                    edges += ann.notes.iter().map(|n| n.hb_from.len()).sum::<usize>();
+                }
+            }
+            edges
+        })
+    });
+    g.finish();
+}
+
+fn bench_renderings(c: &mut Criterion) {
+    let p = mtt_core::suite::small::lost_update(2, 2);
+    let fail = tracegen::generate(&p, &opts(2));
+    let pass = tracegen::generate(&p, &opts(0));
+    let ann = annotate_trace(&fail);
+    let mut g = c.benchmark_group("causal_render");
+    g.bench_function("annotate_one_trace", |b| b.iter(|| annotate_trace(&fail)));
+    g.bench_function("timeline", |b| b.iter(|| render_timeline(&fail, &ann)));
+    g.bench_function("diff", |b| b.iter(|| TraceDiff::compute(&fail, &pass)));
+    g.finish();
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench_annotation_overhead(&mut c);
+    bench_renderings(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,341 @@
+//! The annotated-trace NDJSON format: the standard trace format plus
+//! per-event causal annotations.
+//!
+//! Layout (one JSON object per line):
+//!
+//! * **line 1 — header**: `{"schema":"mtt-annotated-trace","version":1,
+//!   "first_failure":<seq|null>,"meta":{…TraceMeta…}}`.
+//! * **every further line — one record**: all [`TraceRecord`] fields
+//!   exactly as the plain JSON-lines codec emits them, plus `clock` (the
+//!   event's vector-clock components), `hb_from` (incoming sync-edge
+//!   source sequence numbers; omitted when empty, like `bug_tags`) and
+//!   `first_failure:true` on the single first-failure record.
+//!
+//! The format is a strict extension: stripping the extra keys yields plain
+//! trace records. `version` bumps on any removal or retyping of a field;
+//! *adding* optional fields is allowed within a version (the checker
+//! ignores unknown keys). Everything is emitted in canonical order, so the
+//! bytes are deterministic for a deterministic trace.
+
+use crate::hb::CausalAnnotations;
+use mtt_json::{Json, ToJson};
+use mtt_trace::Trace;
+use std::io::{self, Write};
+
+/// The `schema` tag of the header line.
+pub const ANNOTATED_SCHEMA: &str = "mtt-annotated-trace";
+/// Current schema version.
+pub const ANNOTATED_VERSION: u64 = 1;
+
+/// Record fields every annotated line must carry (the plain trace record
+/// fields plus `clock`).
+pub const ANNOTATED_REQUIRED_FIELDS: &[&str] = &[
+    "seq",
+    "time",
+    "thread",
+    "file",
+    "line",
+    "op",
+    "locks_held",
+    "clock",
+];
+
+fn header_json(trace: &Trace, ann: &CausalAnnotations) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), ANNOTATED_SCHEMA.to_json()),
+        ("version".into(), ANNOTATED_VERSION.to_json()),
+        (
+            "first_failure".into(),
+            match ann.first_failure {
+                Some(seq) => seq.to_json(),
+                None => Json::Null,
+            },
+        ),
+        ("meta".into(), trace.meta.to_json()),
+    ])
+}
+
+fn record_json(trace: &Trace, ann: &CausalAnnotations, i: usize) -> Json {
+    let rec = &trace.records[i];
+    let mut fields = match rec.to_json() {
+        Json::Obj(fields) => fields,
+        other => vec![("record".into(), other)],
+    };
+    if let Some(note) = ann.notes.get(i) {
+        fields.push((
+            "clock".into(),
+            Json::Arr(
+                note.clock
+                    .components()
+                    .iter()
+                    .map(|c| c.to_json())
+                    .collect(),
+            ),
+        ));
+        if !note.hb_from.is_empty() {
+            fields.push(("hb_from".into(), note.hb_from.to_json()));
+        }
+    }
+    if ann.first_failure == Some(rec.seq) {
+        fields.push(("first_failure".into(), Json::Bool(true)));
+    }
+    Json::Obj(fields)
+}
+
+/// Stream the annotated trace as NDJSON, propagating I/O errors.
+pub fn write_annotated<W: Write>(
+    trace: &Trace,
+    ann: &CausalAnnotations,
+    w: &mut W,
+) -> io::Result<()> {
+    header_json(trace, ann).write_to(w)?;
+    w.write_all(b"\n")?;
+    for i in 0..trace.records.len() {
+        record_json(trace, ann, i).write_to(w)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Render the annotated trace to a string.
+pub fn annotated_to_string(trace: &Trace, ann: &CausalAnnotations) -> String {
+    let mut out = Vec::new();
+    write_annotated(trace, ann, &mut out).expect("string write cannot fail");
+    String::from_utf8(out).expect("JSON is UTF-8")
+}
+
+/// Validate the header line. Returns the declared `first_failure` seq.
+pub fn check_annotated_header(line: &str) -> Result<Option<u64>, String> {
+    let v = Json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("header is missing the `schema` string")?;
+    if schema != ANNOTATED_SCHEMA {
+        return Err(format!(
+            "header schema is `{schema}`, expected `{ANNOTATED_SCHEMA}`"
+        ));
+    }
+    let version = v
+        .get("version")
+        .and_then(|x| x.as_u64())
+        .ok_or("header is missing the `version` number")?;
+    if version != ANNOTATED_VERSION {
+        return Err(format!(
+            "unsupported annotated-trace version {version} (this reader understands {ANNOTATED_VERSION})"
+        ));
+    }
+    let Some(Json::Obj(_)) = v.get("meta") else {
+        return Err("header is missing the `meta` object".into());
+    };
+    match v.get("first_failure") {
+        None => Err("header is missing the `first_failure` field".into()),
+        Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "`first_failure` must be a sequence number or null".into()),
+    }
+}
+
+/// Validate one record line. Returns the record's `seq` and whether it
+/// carries the `first_failure` marker.
+pub fn check_annotated_record(line: &str) -> Result<(u64, bool), String> {
+    let v = Json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Json::Obj(_) = v else {
+        return Err("record line is not a JSON object".into());
+    };
+    for field in ANNOTATED_REQUIRED_FIELDS {
+        let Some(val) = v.get(field) else {
+            return Err(format!("missing required field `{field}`"));
+        };
+        let ok = match *field {
+            "file" => val.as_str().is_some(),
+            "op" => matches!(val, Json::Obj(_) | Json::Str(_)),
+            "locks_held" | "clock" => val
+                .as_arr()
+                .is_some_and(|a| a.iter().all(|x| x.as_u64().is_some())),
+            _ => val.as_u64().is_some(),
+        };
+        if !ok {
+            return Err(format!("field `{field}` has the wrong type"));
+        }
+    }
+    let thread = v.get("thread").and_then(|x| x.as_u64()).unwrap_or(0) as usize;
+    let clock = v.get("clock").and_then(|x| x.as_arr()).unwrap_or(&[]);
+    match clock.get(thread).and_then(|x| x.as_u64()) {
+        Some(own) if own >= 1 => {}
+        _ => {
+            return Err(format!(
+                "clock has no positive component for the executing thread {thread}"
+            ))
+        }
+    }
+    if let Some(hb) = v.get("hb_from") {
+        let ok = hb
+            .as_arr()
+            .is_some_and(|a| !a.is_empty() && a.iter().all(|x| x.as_u64().is_some()));
+        if !ok {
+            return Err(
+                "`hb_from`, when present, must be a non-empty array of sequence numbers".into(),
+            );
+        }
+    }
+    if let Some(ff) = v.get("first_failure") {
+        if !matches!(ff, Json::Bool(true)) {
+            return Err("`first_failure` on a record must be literally true".into());
+        }
+    }
+    let seq = v
+        .get("seq")
+        .and_then(|x| x.as_u64())
+        .expect("checked above");
+    Ok((seq, v.get("first_failure").is_some()))
+}
+
+/// Validate a whole annotated NDJSON document: header, every record, and
+/// the header/record agreement on the first-failure marker. Returns the
+/// number of record lines.
+pub fn check_annotated(text: &str) -> Result<u64, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header)) = lines.next() else {
+        return Err("empty document: expected an annotated-trace header line".into());
+    };
+    let declared = check_annotated_header(header).map_err(|e| format!("line 1: {e}"))?;
+    let mut records = 0u64;
+    let mut flagged = None;
+    for (i, line) in lines {
+        let (seq, is_ff) =
+            check_annotated_record(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        if is_ff {
+            if flagged.is_some() {
+                return Err(format!("line {}: second `first_failure` record", i + 1));
+            }
+            flagged = Some(seq);
+        }
+        records += 1;
+    }
+    if declared != flagged {
+        return Err(format!(
+            "header declares first_failure {declared:?} but the records mark {flagged:?}"
+        ));
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::annotate_trace;
+    use mtt_instrument::{Event, EventSink, Loc, LockId, Op, ThreadId, VarId};
+    use mtt_trace::TraceCollector;
+    use std::sync::Arc;
+
+    fn sample_trace(fail: bool) -> Trace {
+        let mut c = TraceCollector::new();
+        let ops = [
+            (0u32, Op::ThreadStart),
+            (0, Op::Spawn { child: ThreadId(1) }),
+            (1, Op::ThreadStart),
+            (
+                1,
+                Op::VarWrite {
+                    var: VarId(0),
+                    value: 1,
+                },
+            ),
+            (
+                1,
+                if fail {
+                    Op::AssertFail { label: 0 }
+                } else {
+                    Op::Yield
+                },
+            ),
+            (1, Op::ThreadExit),
+        ];
+        for (seq, (t, op)) in ops.into_iter().enumerate() {
+            c.on_event(&Event {
+                seq: seq as u64,
+                time: seq as u64,
+                thread: ThreadId(t),
+                loc: Loc::new("p", seq as u32 + 1),
+                op,
+                locks_held: Arc::from(Vec::<LockId>::new()),
+            });
+        }
+        let mut t = c.into_trace();
+        t.meta.program = "sample".into();
+        t
+    }
+
+    #[test]
+    fn roundtrip_validates() {
+        let trace = sample_trace(true);
+        let ann = annotate_trace(&trace);
+        assert_eq!(ann.first_failure, Some(4));
+        let text = annotated_to_string(&trace, &ann);
+        assert_eq!(check_annotated(&text), Ok(trace.records.len() as u64));
+        assert!(text.lines().next().unwrap().contains(ANNOTATED_SCHEMA));
+        assert!(text.contains("\"first_failure\":true"));
+        assert!(
+            text.contains("\"hb_from\":[1]"),
+            "start acquired from spawn"
+        );
+    }
+
+    #[test]
+    fn passing_trace_has_null_first_failure() {
+        let trace = sample_trace(false);
+        let ann = annotate_trace(&trace);
+        assert_eq!(ann.first_failure, None);
+        let text = annotated_to_string(&trace, &ann);
+        assert_eq!(check_annotated(&text), Ok(6));
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"first_failure\":null"));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_documents() {
+        assert!(check_annotated("").is_err());
+        assert!(check_annotated("not json\n").is_err());
+        assert!(check_annotated("{\"schema\":\"other\"}\n").is_err());
+        let trace = sample_trace(true);
+        let ann = annotate_trace(&trace);
+        let good = annotated_to_string(&trace, &ann);
+        // Wrong version.
+        let bad = good.replacen("\"version\":1", "\"version\":99", 1);
+        assert!(check_annotated(&bad).unwrap_err().contains("version"));
+        // Drop a record's clock.
+        let bad = good.replace("\"clock\":", "\"clokk\":");
+        assert!(check_annotated(&bad).unwrap_err().contains("clock"));
+        // Header/record disagreement on the failure marker.
+        let bad = good.replacen("\"first_failure\":4", "\"first_failure\":null", 1);
+        assert!(check_annotated(&bad).unwrap_err().contains("declares"));
+    }
+
+    #[test]
+    fn write_propagates_io_errors() {
+        struct FullDisk;
+        impl std::io::Write for FullDisk {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "disk full",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let trace = sample_trace(true);
+        let ann = annotate_trace(&trace);
+        assert!(write_annotated(&trace, &ann, &mut FullDisk).is_err());
+    }
+}

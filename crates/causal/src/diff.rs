@@ -1,0 +1,376 @@
+//! Failing-vs-passing trace alignment.
+//!
+//! [`TraceDiff::compute`] aligns two traces of the same program with a
+//! longest-common-subsequence over canonical event keys — (thread, file,
+//! line, operation with data values erased) — so that the same program
+//! action matches across runs even when the observed values differ. The
+//! report names the **divergence window**: the first position where the
+//! schedules split (which thread ran in each run), and the *critical
+//! events* — actions only the failing run performed between the divergence
+//! and its first-failure event.
+//!
+//! The DP is quadratic, so traces longer than [`DIFF_LCS_CAP`] events (after
+//! common prefix/suffix stripping) are aligned only up to the cap; the
+//! remainder is reported as unmatched and the diff says so via
+//! [`TraceDiff::truncated`] — a bounded cost, never a silent lie.
+
+use crate::hb::first_failure_seq;
+use crate::timeline::{op_label, thread_label};
+use mtt_instrument::Op;
+use mtt_trace::{Trace, TraceRecord};
+
+/// Maximum number of events per side entering the quadratic LCS (after
+/// common prefix/suffix stripping).
+pub const DIFF_LCS_CAP: usize = 2000;
+
+/// How many critical-window events the text rendering lists.
+const CRITICAL_SHOWN: usize = 20;
+
+/// Erase run-specific data values so the same program action compares
+/// equal across runs.
+fn canon_op(op: Op) -> Op {
+    match op {
+        Op::VarRead { var, .. } => Op::VarRead { var, value: 0 },
+        Op::VarWrite { var, .. } => Op::VarWrite { var, value: 0 },
+        Op::VarRmw { var, .. } => Op::VarRmw {
+            var,
+            old: 0,
+            new: 0,
+        },
+        other => other,
+    }
+}
+
+/// The canonical alignment key of one record.
+fn key(r: &TraceRecord) -> (u32, &str, u32, Op) {
+    (r.thread, r.file.as_str(), r.line, canon_op(r.op))
+}
+
+/// The computed alignment of a failing against a passing trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceDiff {
+    /// Events in the failing trace.
+    pub fail_len: usize,
+    /// Events in the passing trace.
+    pub pass_len: usize,
+    /// Length of the identical schedule prefix — the divergence index.
+    pub common_prefix: usize,
+    /// Length of the longest common subsequence.
+    pub lcs_len: usize,
+    /// Indices (into the failing trace) of events with no match.
+    pub fail_only: Vec<usize>,
+    /// Indices (into the passing trace) of events with no match.
+    pub pass_only: Vec<usize>,
+    /// Index (into the failing trace) of the first-failure event.
+    pub first_failure: Option<usize>,
+    /// Failing-only indices between the divergence and the first failure —
+    /// the critical window.
+    pub critical: Vec<usize>,
+    /// True when one side exceeded [`DIFF_LCS_CAP`] and the tail was left
+    /// unaligned.
+    pub truncated: bool,
+}
+
+impl TraceDiff {
+    /// Align `fail` against `pass`.
+    pub fn compute(fail: &Trace, pass: &Trace) -> TraceDiff {
+        let fk: Vec<_> = fail.records.iter().map(key).collect();
+        let pk: Vec<_> = pass.records.iter().map(key).collect();
+        let (n, m) = (fk.len(), pk.len());
+
+        let mut prefix = 0;
+        while prefix < n && prefix < m && fk[prefix] == pk[prefix] {
+            prefix += 1;
+        }
+        let mut suffix = 0;
+        while suffix < n - prefix && suffix < m - prefix && fk[n - 1 - suffix] == pk[m - 1 - suffix]
+        {
+            suffix += 1;
+        }
+
+        // LCS over the distinct middles, capped.
+        let fmid = &fk[prefix..n - suffix];
+        let pmid = &pk[prefix..m - suffix];
+        let truncated = fmid.len() > DIFF_LCS_CAP || pmid.len() > DIFF_LCS_CAP;
+        let fa = &fmid[..fmid.len().min(DIFF_LCS_CAP)];
+        let pa = &pmid[..pmid.len().min(DIFF_LCS_CAP)];
+        let (rows, cols) = (fa.len(), pa.len());
+        let mut dp = vec![0u32; (rows + 1) * (cols + 1)];
+        let at = |i: usize, j: usize| i * (cols + 1) + j;
+        for i in (0..rows).rev() {
+            for j in (0..cols).rev() {
+                dp[at(i, j)] = if fa[i] == pa[j] {
+                    dp[at(i + 1, j + 1)] + 1
+                } else {
+                    dp[at(i + 1, j)].max(dp[at(i, j + 1)])
+                };
+            }
+        }
+        let mut fail_matched = vec![false; n];
+        let mut pass_matched = vec![false; m];
+        for i in 0..prefix {
+            fail_matched[i] = true;
+            pass_matched[i] = true;
+        }
+        for s in 0..suffix {
+            fail_matched[n - 1 - s] = true;
+            pass_matched[m - 1 - s] = true;
+        }
+        let (mut i, mut j) = (0, 0);
+        while i < rows && j < cols {
+            if fa[i] == pa[j] {
+                fail_matched[prefix + i] = true;
+                pass_matched[prefix + j] = true;
+                i += 1;
+                j += 1;
+            } else if dp[at(i + 1, j)] >= dp[at(i, j + 1)] {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        let lcs_len = prefix + suffix + dp[at(0, 0)] as usize;
+        let fail_only: Vec<usize> = (0..n).filter(|&i| !fail_matched[i]).collect();
+        let pass_only: Vec<usize> = (0..m).filter(|&j| !pass_matched[j]).collect();
+
+        let first_failure =
+            first_failure_seq(fail).and_then(|seq| fail.records.iter().position(|r| r.seq == seq));
+        let critical = fail_only
+            .iter()
+            .copied()
+            .filter(|&i| i >= prefix && first_failure.is_none_or(|ff| i <= ff))
+            .collect();
+        TraceDiff {
+            fail_len: n,
+            pass_len: m,
+            common_prefix: prefix,
+            lcs_len,
+            fail_only,
+            pass_only,
+            first_failure,
+            critical,
+            truncated,
+        }
+    }
+
+    /// The divergence index, when the schedules split at all.
+    pub fn divergence(&self) -> Option<usize> {
+        (self.common_prefix < self.fail_len || self.common_prefix < self.pass_len)
+            .then_some(self.common_prefix)
+    }
+
+    fn describe(trace: &Trace, idx: usize) -> String {
+        let r = &trace.records[idx];
+        let tags = if r.bug_tags.is_empty() {
+            String::new()
+        } else {
+            format!("  [{}]", r.bug_tags.join(","))
+        };
+        format!(
+            "seq {}  {}  {}  @ {}:{}{tags}",
+            r.seq,
+            thread_label(&trace.meta, r.thread),
+            op_label(&r.op, &trace.meta),
+            r.file,
+            r.line
+        )
+    }
+
+    /// Render the divergence-window report as text.
+    pub fn render(&self, fail: &Trace, pass: &Trace) -> String {
+        let mut out = format!(
+            "trace diff: {}  fail seed {} ({} events)  vs  pass seed {} ({} events)\n",
+            fail.meta.program, fail.meta.seed, self.fail_len, pass.meta.seed, self.pass_len
+        );
+        out.push_str(&format!(
+            "  aligned: {} events (LCS), common schedule prefix: {}{}\n",
+            self.lcs_len,
+            self.common_prefix,
+            if self.truncated {
+                "  (long middle: alignment capped)"
+            } else {
+                ""
+            }
+        ));
+        match self.divergence() {
+            None => out.push_str("  divergence: none — the schedules are identical\n"),
+            Some(d) => {
+                out.push_str(&format!("  divergence at index {d}:\n"));
+                match fail.records.get(d) {
+                    Some(_) => {
+                        out.push_str(&format!("    fail ran  {}\n", Self::describe(fail, d)))
+                    }
+                    None => out.push_str("    fail ended here\n"),
+                }
+                match pass.records.get(d) {
+                    Some(_) => {
+                        out.push_str(&format!("    pass ran  {}\n", Self::describe(pass, d)))
+                    }
+                    None => out.push_str("    pass ended here\n"),
+                }
+            }
+        }
+        match self.first_failure {
+            Some(ff) => out.push_str(&format!("  first failure: {}\n", Self::describe(fail, ff))),
+            None => out.push_str("  first failure: none recorded in the failing trace\n"),
+        }
+        out.push_str(&format!(
+            "  critical window: {} failing-only event(s) between divergence and failure\n",
+            self.critical.len()
+        ));
+        for &i in self.critical.iter().take(CRITICAL_SHOWN) {
+            out.push_str(&format!("    {}\n", Self::describe(fail, i)));
+        }
+        if self.critical.len() > CRITICAL_SHOWN {
+            out.push_str(&format!(
+                "    ... and {} more\n",
+                self.critical.len() - CRITICAL_SHOWN
+            ));
+        }
+        out.push_str(&format!(
+            "  unmatched: {} fail-only, {} pass-only event(s)\n",
+            self.fail_only.len(),
+            self.pass_only.len()
+        ));
+        out
+    }
+
+    /// The alignment as CSV: one row per event of both traces.
+    pub fn to_csv(&self, fail: &Trace, pass: &Trace) -> String {
+        let mut out = String::from("side,index,seq,thread,op,file,line,matched,critical\n");
+        let fail_only: std::collections::BTreeSet<_> = self.fail_only.iter().copied().collect();
+        let pass_only: std::collections::BTreeSet<_> = self.pass_only.iter().copied().collect();
+        let critical: std::collections::BTreeSet<_> = self.critical.iter().copied().collect();
+        let mut push = |side: &str, trace: &Trace, idx: usize, matched: bool, crit: bool| {
+            let r = &trace.records[idx];
+            out.push_str(&format!(
+                "{side},{idx},{},{},{},{},{},{},{}\n",
+                r.seq,
+                thread_label(&trace.meta, r.thread),
+                op_label(&r.op, &trace.meta),
+                r.file,
+                r.line,
+                matched,
+                crit
+            ));
+        };
+        for i in 0..self.fail_len {
+            push(
+                "fail",
+                fail,
+                i,
+                !fail_only.contains(&i),
+                critical.contains(&i),
+            );
+        }
+        for j in 0..self.pass_len {
+            push("pass", pass, j, !pass_only.contains(&j), false);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_instrument::{Event, EventSink, Loc, LockId, Op, ThreadId, VarId};
+    use mtt_trace::TraceCollector;
+    use std::sync::Arc;
+
+    fn trace_of(steps: &[(u32, Op)], manifested: bool) -> Trace {
+        let mut c = TraceCollector::new();
+        for (seq, (t, op)) in steps.iter().enumerate() {
+            c.on_event(&Event {
+                seq: seq as u64,
+                time: seq as u64,
+                thread: ThreadId(*t),
+                loc: Loc::new("p", 1),
+                op: *op,
+                locks_held: Arc::from(Vec::<LockId>::new()),
+            });
+        }
+        let mut t = c.into_trace();
+        t.meta.program = "demo".into();
+        if manifested {
+            t.meta.manifested_bugs = vec!["bug".into()];
+            if let Some(last) = t.records.last_mut() {
+                last.bug_tags = vec!["bug".into()];
+            }
+        }
+        t
+    }
+
+    fn wr(t: u32, value: i64) -> (u32, Op) {
+        (
+            t,
+            Op::VarWrite {
+                var: VarId(0),
+                value,
+            },
+        )
+    }
+
+    #[test]
+    fn identical_schedules_have_no_divergence() {
+        let a = trace_of(&[wr(0, 1), wr(1, 2)], false);
+        let d = TraceDiff::compute(&a, &a);
+        assert_eq!(d.divergence(), None);
+        assert_eq!(d.lcs_len, 2);
+        assert!(d.fail_only.is_empty() && d.pass_only.is_empty());
+        assert!(d.render(&a, &a).contains("divergence: none"));
+    }
+
+    #[test]
+    fn value_differences_do_not_break_alignment() {
+        // Same schedule, different observed values: canonical keys align.
+        let fail = trace_of(&[wr(0, 1), wr(1, 99)], false);
+        let pass = trace_of(&[wr(0, 1), wr(1, 2)], false);
+        let d = TraceDiff::compute(&fail, &pass);
+        assert_eq!(d.divergence(), None);
+        assert_eq!(d.lcs_len, 2);
+    }
+
+    #[test]
+    fn divergence_and_critical_window_are_reported() {
+        // fail: t0 writes, then t1 sneaks in two writes, t0 writes again
+        // (the last write is the manifestation point).
+        let fail = trace_of(&[wr(0, 0), wr(1, 1), wr(1, 2), wr(0, 3)], true);
+        // pass: t0 runs both its writes first.
+        let pass = trace_of(&[wr(0, 0), wr(0, 3), wr(1, 1), wr(1, 2)], false);
+        let d = TraceDiff::compute(&fail, &pass);
+        assert_eq!(d.divergence(), Some(1));
+        assert_eq!(d.first_failure, Some(3));
+        // Between divergence (1) and failure (3) the failing run did
+        // something the aligned passing run didn't.
+        assert!(!d.critical.is_empty());
+        let text = d.render(&fail, &pass);
+        assert!(text.contains("divergence at index 1"));
+        assert!(text.contains("fail ran  seq 1  t1"));
+        assert!(text.contains("pass ran  seq 1  t0"));
+        assert!(text.contains("first failure: seq 3"));
+        let csv = d.to_csv(&fail, &pass);
+        assert_eq!(csv.lines().count(), 1 + 4 + 4);
+        assert!(csv.contains("fail,"));
+        assert!(csv.contains("pass,"));
+    }
+
+    #[test]
+    fn length_difference_is_a_divergence() {
+        let fail = trace_of(&[wr(0, 0), wr(0, 1), wr(1, 2)], false);
+        let pass = trace_of(&[wr(0, 0), wr(0, 1)], false);
+        let d = TraceDiff::compute(&fail, &pass);
+        assert_eq!(d.divergence(), Some(2));
+        assert!(d.render(&fail, &pass).contains("pass ended here"));
+    }
+
+    #[test]
+    fn long_middles_are_capped_not_quadratic() {
+        let steps_fail: Vec<(u32, Op)> = (0..DIFF_LCS_CAP + 50).map(|i| wr(0, i as i64)).collect();
+        let steps_pass: Vec<(u32, Op)> = (0..DIFF_LCS_CAP + 50).map(|i| wr(1, i as i64)).collect();
+        let fail = trace_of(&steps_fail, false);
+        let pass = trace_of(&steps_pass, false);
+        let d = TraceDiff::compute(&fail, &pass);
+        assert!(d.truncated);
+        assert!(d.render(&fail, &pass).contains("capped"));
+    }
+}

@@ -1,0 +1,400 @@
+//! Per-event happens-before annotation.
+//!
+//! [`HbAnnotator`] replays an event stream and stamps every event with the
+//! vector clock of its thread *after* the event took effect, plus the
+//! sequence numbers of the release-side events it synchronized with. The
+//! sync edges mirror the model's synchronization order exactly as the
+//! FastTrack detector in `mtt-race` interprets it: lock release→acquire,
+//! notify→wake (through both the condition and the re-acquired lock),
+//! semaphore release→acquire, barrier arrive→pass, atomic RMW→RMW,
+//! spawn→start and exit→join.
+//!
+//! Unlike the race detector — which ticks a thread's clock only at release
+//! edges, the minimum FastTrack needs — the annotator ticks at *every*
+//! event, so each event owns a distinct timestamp and the induced
+//! happens-before relation is a strict partial order over events (the
+//! property-tested contract of [`happens_before`]).
+
+use crate::clock::VectorClock;
+use mtt_instrument::{Event, EventSink, Op, ThreadId};
+use mtt_trace::Trace;
+use std::collections::HashMap;
+
+/// The causal annotation of one event: its vector-clock timestamp and the
+/// incoming cross-thread synchronization edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CausalNote {
+    /// Sequence number of the annotated event.
+    pub seq: u64,
+    /// Executing thread.
+    pub thread: u32,
+    /// The thread's vector clock after the event.
+    pub clock: VectorClock,
+    /// Sequence numbers of the release-side events this event acquired
+    /// from, *when the acquisition taught the thread something new* — a
+    /// re-acquire of a lock the thread itself just released produces no
+    /// edge. Sorted, deduplicated; at most two entries (a `CondWake` joins
+    /// both the lock and the condition clock).
+    pub hb_from: Vec<u64>,
+}
+
+/// The full causal annotation of a trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CausalAnnotations {
+    /// One note per trace record, in record order.
+    pub notes: Vec<CausalNote>,
+    /// Sequence number of the first-failure event, when the trace contains
+    /// one (see [`first_failure_seq`]).
+    pub first_failure: Option<u64>,
+}
+
+impl CausalAnnotations {
+    /// The note for a given sequence number, if present.
+    pub fn note(&self, seq: u64) -> Option<&CausalNote> {
+        self.notes.iter().find(|n| n.seq == seq)
+    }
+}
+
+/// Does event `a` happen before event `b` under the annotated sync order?
+///
+/// Strict: `happens_before(a, a)` is false, and two causally unordered
+/// events are ordered in neither direction.
+pub fn happens_before(a: &CausalNote, b: &CausalNote) -> bool {
+    a.seq != b.seq && a.clock.get(ThreadId(a.thread)) <= b.clock.get(ThreadId(a.thread))
+}
+
+/// Neither `happens_before(a, b)` nor `happens_before(b, a)`: the two
+/// events are concurrent.
+pub fn concurrent(a: &CausalNote, b: &CausalNote) -> bool {
+    a.seq != b.seq && !happens_before(a, b) && !happens_before(b, a)
+}
+
+/// The trace's first-failure event:
+///
+/// 1. the first `AssertFail` record, when the program asserts; otherwise
+/// 2. the last record tagged with a bug that *manifested* in this execution
+///    (for value-oracle bugs such as a lost update, the failure becomes
+///    visible at the final access of the damaged variable); otherwise
+/// 3. `None` — the run passed.
+pub fn first_failure_seq(trace: &Trace) -> Option<u64> {
+    if let Some(r) = trace
+        .records
+        .iter()
+        .find(|r| matches!(r.op, Op::AssertFail { .. }))
+    {
+        return Some(r.seq);
+    }
+    trace
+        .records
+        .iter()
+        .rev()
+        .find(|r| {
+            r.bug_tags
+                .iter()
+                .any(|t| trace.meta.manifested_bugs.iter().any(|m| m == t))
+        })
+        .map(|r| r.seq)
+}
+
+/// Annotate a recorded trace: replay its records through an
+/// [`HbAnnotator`] and attach the first-failure marker.
+pub fn annotate_trace(trace: &Trace) -> CausalAnnotations {
+    let mut hb = HbAnnotator::new();
+    trace.feed(&mut hb);
+    CausalAnnotations {
+        notes: hb.notes,
+        first_failure: first_failure_seq(trace),
+    }
+}
+
+/// Synchronization resources a release edge can flow through.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum ResKey {
+    Lock(u32),
+    Cond(u32),
+    Sem(u32),
+    Barrier(u32),
+    /// Per-variable sync clock for atomic RMW chains.
+    Atomic(u32),
+    /// Spawn→start handoff for a child thread (consumed at `ThreadStart`).
+    Start(u32),
+    /// Exit→join handoff for a finished thread.
+    Exit(u32),
+}
+
+/// The release-side state of one resource: the joined clock of every
+/// release into it, and the sequence number of the latest one.
+struct Source {
+    clock: VectorClock,
+    last: u64,
+}
+
+/// [`EventSink`] computing [`CausalNote`]s for a live or replayed stream.
+#[derive(Default)]
+pub struct HbAnnotator {
+    threads: HashMap<ThreadId, VectorClock>,
+    sources: HashMap<ResKey, Source>,
+    /// Accumulated notes, in event order.
+    pub notes: Vec<CausalNote>,
+}
+
+impl HbAnnotator {
+    /// Fresh annotator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clock(&mut self, t: ThreadId) -> &mut VectorClock {
+        self.threads.entry(t).or_insert_with(|| {
+            let mut vc = VectorClock::new();
+            vc.set(t, 1);
+            vc
+        })
+    }
+
+    /// Acquire edge: join the resource clock into the thread's, recording
+    /// the source event when the join is informative.
+    fn acquire(&mut self, t: ThreadId, key: ResKey, hb_from: &mut Vec<u64>, consume: bool) {
+        let src = if consume {
+            self.sources.remove(&key)
+        } else {
+            self.sources.get(&key).map(|s| Source {
+                clock: s.clock.clone(),
+                last: s.last,
+            })
+        };
+        if let Some(src) = src {
+            let tc = self.clock(t);
+            if !src.clock.le(tc) {
+                hb_from.push(src.last);
+            }
+            tc.join(&src.clock);
+        }
+    }
+
+    /// Release edge: push the thread's post-event snapshot into the
+    /// resource clock and remember this event as the latest source.
+    fn release(&mut self, key: ResKey, snapshot: &VectorClock, seq: u64) {
+        let src = self.sources.entry(key).or_insert(Source {
+            clock: VectorClock::new(),
+            last: seq,
+        });
+        src.clock.join(snapshot);
+        src.last = seq;
+    }
+}
+
+impl EventSink for HbAnnotator {
+    fn on_event(&mut self, ev: &Event) {
+        let me = ev.thread;
+        let mut hb_from = Vec::new();
+        match ev.op {
+            Op::LockAcquire { lock } => self.acquire(me, ResKey::Lock(lock.0), &mut hb_from, false),
+            Op::CondWake { cond, lock } => {
+                self.acquire(me, ResKey::Lock(lock.0), &mut hb_from, false);
+                self.acquire(me, ResKey::Cond(cond.0), &mut hb_from, false);
+            }
+            Op::SemAcquire { sem } => self.acquire(me, ResKey::Sem(sem.0), &mut hb_from, false),
+            Op::BarrierPass { barrier } => {
+                self.acquire(me, ResKey::Barrier(barrier.0), &mut hb_from, false)
+            }
+            Op::VarRmw { var, .. } => self.acquire(me, ResKey::Atomic(var.0), &mut hb_from, false),
+            Op::ThreadStart => self.acquire(me, ResKey::Start(me.0), &mut hb_from, true),
+            Op::Join { target } => self.acquire(me, ResKey::Exit(target.0), &mut hb_from, false),
+            _ => {}
+        }
+        self.clock(me).tick(me);
+        let snapshot = self.clock(me).clone();
+        match ev.op {
+            Op::LockRelease { lock } | Op::CondWait { lock, .. } => {
+                self.release(ResKey::Lock(lock.0), &snapshot, ev.seq)
+            }
+            Op::CondNotify { cond, .. } => self.release(ResKey::Cond(cond.0), &snapshot, ev.seq),
+            Op::SemRelease { sem } => self.release(ResKey::Sem(sem.0), &snapshot, ev.seq),
+            Op::BarrierArrive { barrier } => {
+                self.release(ResKey::Barrier(barrier.0), &snapshot, ev.seq)
+            }
+            Op::VarRmw { var, .. } => self.release(ResKey::Atomic(var.0), &snapshot, ev.seq),
+            Op::Spawn { child } => self.release(ResKey::Start(child.0), &snapshot, ev.seq),
+            Op::ThreadExit => self.release(ResKey::Exit(me.0), &snapshot, ev.seq),
+            _ => {}
+        }
+        hb_from.sort_unstable();
+        hb_from.dedup();
+        self.notes.push(CausalNote {
+            seq: ev.seq,
+            thread: me.0,
+            clock: snapshot,
+            hb_from,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_instrument::{CondId, Loc, LockId, VarId};
+    use std::sync::Arc;
+
+    fn ev(seq: u64, thread: u32, op: Op) -> Event {
+        Event {
+            seq,
+            time: seq,
+            thread: ThreadId(thread),
+            loc: Loc::new("p", seq as u32 + 1),
+            op,
+            locks_held: Arc::from(Vec::<LockId>::new()),
+        }
+    }
+
+    fn notes_for(events: &[Event]) -> Vec<CausalNote> {
+        let mut hb = HbAnnotator::new();
+        for e in events {
+            hb.on_event(e);
+        }
+        hb.notes
+    }
+
+    #[test]
+    fn lock_handoff_creates_edge_with_source_seq() {
+        let l = LockId(0);
+        let notes = notes_for(&[
+            ev(0, 0, Op::LockAcquire { lock: l }),
+            ev(
+                1,
+                0,
+                Op::VarWrite {
+                    var: VarId(0),
+                    value: 1,
+                },
+            ),
+            ev(2, 0, Op::LockRelease { lock: l }),
+            ev(3, 1, Op::LockAcquire { lock: l }),
+            ev(
+                4,
+                1,
+                Op::VarWrite {
+                    var: VarId(0),
+                    value: 2,
+                },
+            ),
+        ]);
+        // t1's acquire synchronized with t0's release (seq 2).
+        assert_eq!(notes[3].hb_from, vec![2]);
+        // The write before the release happens before the write after the
+        // acquire; the two acquires of different threads stay ordered too.
+        assert!(happens_before(&notes[1], &notes[4]));
+        assert!(!happens_before(&notes[4], &notes[1]));
+    }
+
+    #[test]
+    fn reacquire_by_same_thread_is_not_an_edge() {
+        let l = LockId(0);
+        let notes = notes_for(&[
+            ev(0, 0, Op::LockAcquire { lock: l }),
+            ev(1, 0, Op::LockRelease { lock: l }),
+            ev(2, 0, Op::LockAcquire { lock: l }),
+        ]);
+        assert!(notes[2].hb_from.is_empty(), "self-handoff is not an arrow");
+    }
+
+    #[test]
+    fn unsynchronized_events_are_concurrent() {
+        let notes = notes_for(&[
+            ev(
+                0,
+                0,
+                Op::VarWrite {
+                    var: VarId(0),
+                    value: 0,
+                },
+            ),
+            ev(
+                1,
+                1,
+                Op::VarWrite {
+                    var: VarId(0),
+                    value: 1,
+                },
+            ),
+        ]);
+        assert!(concurrent(&notes[0], &notes[1]));
+        assert!(!happens_before(&notes[0], &notes[0]), "irreflexive");
+    }
+
+    #[test]
+    fn spawn_start_exit_join_chain() {
+        let notes = notes_for(&[
+            ev(0, 0, Op::Spawn { child: ThreadId(1) }),
+            ev(1, 1, Op::ThreadStart),
+            ev(2, 1, Op::ThreadExit),
+            ev(
+                3,
+                0,
+                Op::Join {
+                    target: ThreadId(1),
+                },
+            ),
+        ]);
+        assert_eq!(notes[1].hb_from, vec![0]);
+        assert_eq!(notes[3].hb_from, vec![2]);
+        assert!(happens_before(&notes[0], &notes[2]));
+        assert!(happens_before(&notes[2], &notes[3]));
+    }
+
+    #[test]
+    fn notify_wake_joins_cond_and_lock() {
+        let (c, l) = (CondId(0), LockId(0));
+        let notes = notes_for(&[
+            ev(0, 0, Op::LockAcquire { lock: l }),
+            ev(1, 0, Op::CondWait { cond: c, lock: l }),
+            ev(2, 1, Op::LockAcquire { lock: l }),
+            ev(
+                3,
+                1,
+                Op::CondNotify {
+                    cond: c,
+                    all: false,
+                },
+            ),
+            ev(4, 1, Op::LockRelease { lock: l }),
+            ev(5, 0, Op::CondWake { cond: c, lock: l }),
+        ]);
+        // The wake synchronizes with the lock release; the notify's clock
+        // is already contained in it (same releasing thread), so only the
+        // informative edge is recorded — yet the notify is still ordered
+        // before the wake.
+        assert_eq!(notes[5].hb_from, vec![4]);
+        assert!(happens_before(&notes[3], &notes[5]));
+    }
+
+    #[test]
+    fn program_order_is_happens_before() {
+        let notes = notes_for(&[
+            ev(0, 0, Op::Yield),
+            ev(1, 0, Op::Yield),
+            ev(2, 0, Op::Yield),
+        ]);
+        assert!(happens_before(&notes[0], &notes[1]));
+        assert!(happens_before(&notes[1], &notes[2]));
+        assert!(happens_before(&notes[0], &notes[2]));
+    }
+
+    #[test]
+    fn rmw_chains_order_atomics() {
+        let rmw = |seq, t| {
+            ev(
+                seq,
+                t,
+                Op::VarRmw {
+                    var: VarId(0),
+                    old: 0,
+                    new: 1,
+                },
+            )
+        };
+        let notes = notes_for(&[rmw(0, 0), rmw(1, 1)]);
+        assert_eq!(notes[1].hb_from, vec![0]);
+        assert!(happens_before(&notes[0], &notes[1]));
+    }
+}

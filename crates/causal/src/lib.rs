@@ -1,0 +1,40 @@
+//! # mtt-causal — causal annotation of execution traces
+//!
+//! The execution-level observability layer over `mtt-trace`: given a
+//! recorded event stream, compute per-event **vector clocks** and
+//! **happens-before edges** from the model's synchronization operations
+//! (thread create/join, lock acquire/release, wait/notify, semaphores,
+//! barriers, atomic RMW), and surface them three ways:
+//!
+//! * [`annotated`] — a versioned NDJSON *annotated trace* extension of the
+//!   standard trace format, with a `mtt metrics-check`-style schema
+//!   validator ([`check_annotated`]).
+//! * [`timeline`] — a human-readable per-thread schedule timeline (aligned
+//!   columns, lock-hold bars, cross-thread HB arrows, first-failure
+//!   highlight) in text and CSV.
+//! * [`diff`] — an LCS alignment of a failing against a passing trace of
+//!   the same program, reporting the *divergence window* and the critical
+//!   events between divergence and failure.
+//!
+//! [`clock::VectorClock`] is the canonical vector-clock implementation;
+//! `mtt-race`'s FastTrack detector re-exports and reuses it. All renderings
+//! are pure functions of their input traces, so every default output is
+//! byte-deterministic.
+
+pub mod annotated;
+pub mod clock;
+pub mod diff;
+pub mod hb;
+pub mod timeline;
+
+pub use annotated::{
+    annotated_to_string, check_annotated, check_annotated_header, check_annotated_record,
+    write_annotated, ANNOTATED_REQUIRED_FIELDS, ANNOTATED_SCHEMA, ANNOTATED_VERSION,
+};
+pub use clock::VectorClock;
+pub use diff::{TraceDiff, DIFF_LCS_CAP};
+pub use hb::{
+    annotate_trace, concurrent, first_failure_seq, happens_before, CausalAnnotations, CausalNote,
+    HbAnnotator,
+};
+pub use timeline::{op_label, render_timeline, thread_label, timeline_csv};

@@ -1,0 +1,339 @@
+//! Per-thread schedule timeline rendering.
+//!
+//! One row per trace record, one aligned column per thread. The executing
+//! thread's cell shows a compact operation label (resolved through the
+//! trace's name tables); every other thread that currently holds a lock
+//! shows a `|` marker, so lock-hold intervals read as vertical bars. The
+//! `hb` column lists the incoming cross-thread synchronization arrows
+//! (`<-seq`), and the first-failure row is flagged with a `*` gutter.
+//! Everything is a pure function of the trace, so the rendering is
+//! byte-deterministic.
+
+use crate::hb::CausalAnnotations;
+use mtt_instrument::Op;
+use mtt_trace::{Trace, TraceMeta};
+
+fn name(table: &[String], idx: u32, prefix: &str) -> String {
+    table
+        .get(idx as usize)
+        .filter(|s| !s.is_empty())
+        .cloned()
+        .unwrap_or_else(|| format!("{prefix}{idx}"))
+}
+
+/// Thread display label: `"t{id}:{name}"` when the name table knows the
+/// thread, `"t{id}"` otherwise.
+pub fn thread_label(meta: &TraceMeta, t: u32) -> String {
+    match meta.thread_names.get(t as usize).filter(|s| !s.is_empty()) {
+        Some(n) => format!("t{t}:{n}"),
+        None => format!("t{t}"),
+    }
+}
+
+/// Compact human-readable label for an operation, resolved through the
+/// trace's name tables.
+pub fn op_label(op: &Op, meta: &TraceMeta) -> String {
+    let var = |v: u32| name(&meta.var_names, v, "v");
+    let lock = |l: u32| name(&meta.lock_names, l, "l");
+    let cond = |c: u32| name(&meta.cond_names, c, "c");
+    let sem = |s: u32| name(&meta.sem_names, s, "s");
+    let barrier = |b: u32| name(&meta.barrier_names, b, "b");
+    let thread = |t: u32| name(&meta.thread_names, t, "t");
+    match *op {
+        Op::VarRead { var: v, value } => format!("rd {}={value}", var(v.0)),
+        Op::VarWrite { var: v, value } => format!("wr {}={value}", var(v.0)),
+        Op::VarRmw { var: v, old, new } => format!("rmw {} {old}->{new}", var(v.0)),
+        Op::LockRequest { lock: l } => format!("req {}", lock(l.0)),
+        Op::LockAcquire { lock: l } => format!("lock {}", lock(l.0)),
+        Op::LockRelease { lock: l } => format!("unlock {}", lock(l.0)),
+        Op::LockTryFail { lock: l } => format!("tryfail {}", lock(l.0)),
+        Op::CondWait { cond: c, .. } => format!("wait {}", cond(c.0)),
+        Op::CondWake { cond: c, .. } => format!("wake {}", cond(c.0)),
+        Op::CondNotify { cond: c, all } => {
+            format!("{} {}", if all { "notifyall" } else { "notify" }, cond(c.0))
+        }
+        Op::SemRequest { sem: s } => format!("sem-req {}", sem(s.0)),
+        Op::SemAcquire { sem: s } => format!("sem-acq {}", sem(s.0)),
+        Op::SemRelease { sem: s } => format!("sem-rel {}", sem(s.0)),
+        Op::BarrierArrive { barrier: b } => format!("arrive {}", barrier(b.0)),
+        Op::BarrierPass { barrier: b } => format!("pass {}", barrier(b.0)),
+        Op::Spawn { child } => format!("spawn {}", thread(child.0)),
+        Op::JoinRequest { target } => format!("join-req {}", thread(target.0)),
+        Op::Join { target } => format!("join {}", thread(target.0)),
+        Op::ThreadStart => "start".into(),
+        Op::ThreadExit => "exit".into(),
+        Op::Yield => "yield".into(),
+        Op::Sleep { ticks } => format!("sleep {ticks}"),
+        Op::Point { label } => format!("point {label}"),
+        Op::AssertFail { label } => format!("ASSERT-FAIL {label}"),
+    }
+}
+
+/// Render the aligned per-thread timeline as text.
+pub fn render_timeline(trace: &Trace, ann: &CausalAnnotations) -> String {
+    let meta = &trace.meta;
+    let nthreads = trace
+        .records
+        .iter()
+        .map(|r| r.thread as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let labels: Vec<String> = (0..nthreads)
+        .map(|t| thread_label(meta, t as u32))
+        .collect();
+
+    // One row per record: (first-failure?, seq, per-thread cell, hb cell).
+    let mut held: Vec<Vec<u32>> = vec![Vec::new(); nthreads];
+    let mut rows: Vec<(bool, u64, Vec<String>, String)> = Vec::new();
+    for (i, rec) in trace.records.iter().enumerate() {
+        let t = rec.thread as usize;
+        held[t] = rec.locks_held.clone();
+        let mut cells = vec![String::new(); nthreads];
+        for (other, cell) in cells.iter_mut().enumerate() {
+            if other != t && !held[other].is_empty() {
+                *cell = "|".into();
+            }
+        }
+        cells[t] = op_label(&rec.op, meta);
+        if !rec.locks_held.is_empty() {
+            let locks: Vec<String> = rec
+                .locks_held
+                .iter()
+                .map(|&l| name(&meta.lock_names, l, "l"))
+                .collect();
+            cells[t] = format!("{} [{}]", cells[t], locks.join(","));
+        }
+        let hb = ann
+            .notes
+            .get(i)
+            .map(|n| {
+                n.hb_from
+                    .iter()
+                    .map(|s| format!("<-{s}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .unwrap_or_default();
+        rows.push((ann.first_failure == Some(rec.seq), rec.seq, cells, hb));
+    }
+
+    let seq_w = rows
+        .iter()
+        .map(|(_, s, _, _)| s.to_string().len())
+        .max()
+        .unwrap_or(1)
+        .max(3);
+    let mut widths: Vec<usize> = labels.iter().map(|l| l.len()).collect();
+    for (_, _, cells, _) in &rows {
+        for (t, c) in cells.iter().enumerate() {
+            widths[t] = widths[t].max(c.len());
+        }
+    }
+
+    let mut out = format!(
+        "schedule timeline: {} (scheduler {} seed {}, noise {})\n",
+        meta.program, meta.scheduler, meta.seed, meta.noise
+    );
+    match ann.first_failure.and_then(|seq| {
+        trace
+            .records
+            .iter()
+            .find(|r| r.seq == seq)
+            .map(|r| (seq, r))
+    }) {
+        Some((seq, r)) => {
+            let tags = if r.bug_tags.is_empty() {
+                String::new()
+            } else {
+                format!("  [{}]", r.bug_tags.join(","))
+            };
+            out.push_str(&format!(
+                "first failure: seq {seq}  {}  {}{tags}\n",
+                thread_label(meta, r.thread),
+                op_label(&r.op, meta),
+            ));
+        }
+        None => out.push_str("first failure: none (the run passed)\n"),
+    }
+    out.push('\n');
+    out.push_str(&format!("  {:>seq_w$}", "seq"));
+    for (t, l) in labels.iter().enumerate() {
+        out.push_str(&format!("  {:<w$}", l, w = widths[t]));
+    }
+    out.push_str("  hb\n");
+    for (ff, seq, cells, hb) in &rows {
+        out.push_str(if *ff { "* " } else { "  " });
+        out.push_str(&format!("{seq:>seq_w$}"));
+        for (t, c) in cells.iter().enumerate() {
+            out.push_str(&format!("  {:<w$}", c, w = widths[t]));
+        }
+        out.push_str("  ");
+        out.push_str(hb);
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The timeline as flat CSV: one row per record with the causal columns.
+pub fn timeline_csv(trace: &Trace, ann: &CausalAnnotations) -> String {
+    let meta = &trace.meta;
+    let mut out =
+        String::from("seq,time,thread,op,locks_held,bug_tags,clock,hb_from,first_failure\n");
+    for (i, rec) in trace.records.iter().enumerate() {
+        let locks: Vec<String> = rec
+            .locks_held
+            .iter()
+            .map(|&l| name(&meta.lock_names, l, "l"))
+            .collect();
+        let (clock, hb) = match ann.notes.get(i) {
+            Some(n) => (
+                n.clock
+                    .components()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";"),
+                n.hb_from
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+                    .join(";"),
+            ),
+            None => (String::new(), String::new()),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            rec.seq,
+            rec.time,
+            thread_label(meta, rec.thread),
+            op_label(&rec.op, meta),
+            locks.join(";"),
+            rec.bug_tags.join(";"),
+            clock,
+            hb,
+            if ann.first_failure == Some(rec.seq) {
+                "true"
+            } else {
+                ""
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hb::annotate_trace;
+    use mtt_instrument::{Event, EventSink, Loc, LockId, Op, ThreadId, VarId};
+    use mtt_trace::TraceCollector;
+    use std::sync::Arc;
+
+    fn trace() -> Trace {
+        let mut c = TraceCollector::new();
+        let steps: Vec<(u32, Op, Vec<u32>)> = vec![
+            (0, Op::ThreadStart, vec![]),
+            (0, Op::LockAcquire { lock: LockId(0) }, vec![0]),
+            (0, Op::Spawn { child: ThreadId(1) }, vec![0]),
+            (1, Op::ThreadStart, vec![]),
+            (
+                1,
+                Op::VarRead {
+                    var: VarId(0),
+                    value: 7,
+                },
+                vec![],
+            ),
+            (0, Op::LockRelease { lock: LockId(0) }, vec![]),
+            (
+                1,
+                Op::VarWrite {
+                    var: VarId(0),
+                    value: 8,
+                },
+                vec![],
+            ),
+        ];
+        for (seq, (t, op, held)) in steps.into_iter().enumerate() {
+            c.on_event(&Event {
+                seq: seq as u64,
+                time: seq as u64,
+                thread: ThreadId(t),
+                loc: Loc::new("p", seq as u32 + 1),
+                op,
+                locks_held: Arc::from(held.into_iter().map(LockId).collect::<Vec<_>>()),
+            });
+        }
+        let mut t = c.into_trace();
+        t.meta.program = "demo".into();
+        t.meta.scheduler = "random".into();
+        t.meta.noise = "none".into();
+        t.meta.thread_names = vec!["main".into(), "worker".into()];
+        t.meta.var_names = vec!["x".into()];
+        t.meta.lock_names = vec!["m".into()];
+        t.meta.manifested_bugs = vec!["demo-bug".into()];
+        t.records[6].bug_tags = vec!["demo-bug".into()];
+        t
+    }
+
+    #[test]
+    fn timeline_shows_columns_holds_and_arrows() {
+        let t = trace();
+        let ann = annotate_trace(&t);
+        let text = render_timeline(&t, &ann);
+        assert!(text.contains("t0:main"));
+        assert!(text.contains("t1:worker"));
+        assert!(
+            text.contains("lock m [m]"),
+            "acquire with held set:\n{text}"
+        );
+        // While main holds m, worker rows show the hold bar.
+        assert!(text.lines().any(|l| l.contains("start") && l.contains('|')));
+        assert!(text.contains("<-2"), "start arrow from spawn:\n{text}");
+        // The first-failure gutter marks the tagged write.
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("*") && l.contains("wr x=8")));
+        assert!(text.contains("first failure: seq 6"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_record() {
+        let t = trace();
+        let ann = annotate_trace(&t);
+        let csv = timeline_csv(&t, &ann);
+        assert_eq!(csv.lines().count(), t.records.len() + 1);
+        assert!(csv.lines().next().unwrap().starts_with("seq,time,thread"));
+        assert!(csv.contains("demo-bug"));
+        assert!(
+            csv.ends_with("true\n"),
+            "failure marker on last row:\n{csv}"
+        );
+    }
+
+    #[test]
+    fn op_labels_resolve_names() {
+        let t = trace();
+        assert_eq!(
+            op_label(
+                &Op::VarWrite {
+                    var: VarId(0),
+                    value: 3
+                },
+                &t.meta
+            ),
+            "wr x=3"
+        );
+        assert_eq!(
+            op_label(&Op::LockAcquire { lock: LockId(0) }, &t.meta),
+            "lock m"
+        );
+        assert_eq!(
+            op_label(&Op::LockAcquire { lock: LockId(9) }, &t.meta),
+            "lock l9"
+        );
+    }
+}

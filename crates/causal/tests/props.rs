@@ -1,0 +1,203 @@
+//! Property tests for the causal layer.
+//!
+//! Three families of laws:
+//!
+//! 1. **Vector-clock algebra** — `join` is commutative, associative and
+//!    idempotent, and never loses information (the join dominates both
+//!    operands).
+//! 2. **Happens-before is a strict partial order** — over the annotations
+//!    of real executions (random suite program × random seed): irreflexive,
+//!    antisymmetric, transitive, and consistent with program order.
+//! 3. **Replay stability** — recording a run and playing the log back
+//!    yields a byte-identical trace and identical causal annotations.
+
+use mtt_causal::{annotate_trace, happens_before, VectorClock};
+use mtt_instrument::shared;
+use mtt_replay::{record, DivergencePolicy, PlaybackScheduler};
+use mtt_runtime::{Execution, NoNoise, RandomScheduler};
+use mtt_suite::SuiteProgram;
+use mtt_trace::{Trace, TraceCollector};
+use proptest::prelude::*;
+
+fn clock(components: Vec<u32>) -> VectorClock {
+    VectorClock::from_components(components)
+}
+
+/// One of the small catalog programs, chosen by index.
+fn program(idx: usize) -> SuiteProgram {
+    let all = [
+        mtt_suite::small::lost_update(2, 2),
+        mtt_suite::small::check_then_act(),
+        mtt_suite::small::unguarded_wait(),
+        mtt_suite::small::ab_ba(),
+        mtt_suite::small::missed_signal(),
+    ];
+    all.into_iter().nth(idx % 5).expect("index in range")
+}
+
+/// Execute `program` once at `seed` and collect the raw trace.
+fn run_trace(program: &SuiteProgram, seed: u64) -> Trace {
+    let (sink, handle) = shared(TraceCollector::new());
+    Execution::new(&program.program)
+        .scheduler(Box::new(RandomScheduler::sticky(seed, 0.0)))
+        .max_steps(20_000)
+        .sink(Box::new(sink))
+        .run();
+    let mut guard = handle.lock().expect("collector poisoned");
+    std::mem::take(&mut guard.trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn clock_join_is_commutative(a in proptest::collection::vec(0u32..40, 0..6),
+                                 b in proptest::collection::vec(0u32..40, 0..6)) {
+        let mut ab = clock(a.clone());
+        ab.join(&clock(b.clone()));
+        let mut ba = clock(b);
+        ba.join(&clock(a));
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn clock_join_is_associative(a in proptest::collection::vec(0u32..40, 0..6),
+                                 b in proptest::collection::vec(0u32..40, 0..6),
+                                 c in proptest::collection::vec(0u32..40, 0..6)) {
+        let mut left = clock(a.clone());
+        left.join(&clock(b.clone()));
+        left.join(&clock(c.clone()));
+        let mut bc = clock(b);
+        bc.join(&clock(c));
+        let mut right = clock(a);
+        right.join(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn clock_join_is_idempotent_and_dominating(
+        a in proptest::collection::vec(0u32..40, 0..6),
+        b in proptest::collection::vec(0u32..40, 0..6),
+    ) {
+        let mut aa = clock(a.clone());
+        aa.join(&clock(a.clone()));
+        prop_assert_eq!(&aa, &clock(a.clone()));
+        let mut ab = clock(a.clone());
+        ab.join(&clock(b.clone()));
+        prop_assert!(clock(a).le(&ab), "join must dominate its left operand");
+        prop_assert!(clock(b).le(&ab), "join must dominate its right operand");
+    }
+
+    #[test]
+    fn happens_before_is_a_strict_partial_order(idx in 0usize..5, seed in 0u64..500) {
+        let trace = run_trace(&program(idx), seed);
+        let ann = annotate_trace(&trace);
+        let notes = &ann.notes;
+        prop_assert_eq!(notes.len(), trace.records.len());
+        // Irreflexivity.
+        for n in notes {
+            prop_assert!(!happens_before(n, n), "seq {} before itself", n.seq);
+        }
+        // Antisymmetry over all pairs; transitivity over a bounded sample of
+        // triples (full cubic scan is too slow for the larger traces).
+        for a in notes {
+            for b in notes {
+                if a.seq != b.seq && happens_before(a, b) {
+                    prop_assert!(
+                        !happens_before(b, a),
+                        "cycle between seq {} and {}", a.seq, b.seq
+                    );
+                }
+            }
+        }
+        let stride = (notes.len() / 12).max(1);
+        for a in notes.iter().step_by(stride) {
+            for b in notes.iter().step_by(stride) {
+                for c in notes.iter().step_by(stride) {
+                    if happens_before(a, b) && happens_before(b, c) {
+                        prop_assert!(
+                            happens_before(a, c),
+                            "transitivity broke at {} -> {} -> {}", a.seq, b.seq, c.seq
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_order_implies_happens_before(idx in 0usize..5, seed in 0u64..500) {
+        let trace = run_trace(&program(idx), seed);
+        let ann = annotate_trace(&trace);
+        for (i, a) in ann.notes.iter().enumerate() {
+            for b in ann.notes.iter().skip(i + 1) {
+                if a.thread == b.thread {
+                    prop_assert!(
+                        happens_before(a, b),
+                        "same-thread seq {} !-> seq {}", a.seq, b.seq
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hb_edges_point_at_earlier_cross_thread_events(idx in 0usize..5, seed in 0u64..500) {
+        let trace = run_trace(&program(idx), seed);
+        let ann = annotate_trace(&trace);
+        for (i, note) in ann.notes.iter().enumerate() {
+            for &src in &note.hb_from {
+                prop_assert!(src < note.seq, "edge from the future at seq {}", note.seq);
+                let source = &ann.notes[src as usize];
+                prop_assert!(
+                    happens_before(source, &ann.notes[i]),
+                    "recorded edge {} -> {} is not a happens-before", src, note.seq
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replayed_trace_has_identical_annotations(idx in 0usize..5, seed in 0u64..200) {
+        let p = program(idx);
+        // Record.
+        let (rec_sched, rec_noise, recorder) =
+            record(p.name, seed, RandomScheduler::sticky(seed, 0.0), NoNoise);
+        let (sink, handle) = shared(TraceCollector::new());
+        Execution::new(&p.program)
+            .scheduler(Box::new(rec_sched))
+            .noise(Box::new(rec_noise))
+            .max_steps(20_000)
+            .sink(Box::new(sink))
+            .run();
+        let recorded = {
+            let mut g = handle.lock().expect("collector poisoned");
+            std::mem::take(&mut g.trace)
+        };
+        let log = recorder.take_log();
+        // Play back.
+        let playback = PlaybackScheduler::new(log, DivergencePolicy::Strict);
+        let report = playback.report_handle();
+        let (sink, handle) = shared(TraceCollector::new());
+        Execution::new(&p.program)
+            .scheduler(Box::new(playback))
+            .max_steps(20_000)
+            .sink(Box::new(sink))
+            .run();
+        let replayed = {
+            let mut g = handle.lock().expect("collector poisoned");
+            std::mem::take(&mut g.trace)
+        };
+        prop_assert!(report.lock().expect("report poisoned").is_clean());
+        prop_assert_eq!(&recorded.records, &replayed.records);
+        let a = annotate_trace(&recorded);
+        let b = annotate_trace(&replayed);
+        prop_assert_eq!(a.first_failure, b.first_failure);
+        prop_assert_eq!(a.notes.len(), b.notes.len());
+        for (x, y) in a.notes.iter().zip(&b.notes) {
+            prop_assert_eq!(x.seq, y.seq);
+            prop_assert_eq!(&x.clock, &y.clock);
+            prop_assert_eq!(&x.hb_from, &y.hb_from);
+        }
+    }
+}

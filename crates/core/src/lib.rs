@@ -14,6 +14,7 @@
 //! | standard annotated trace format | [`trace`] |
 //! | noise makers | [`noise`] |
 //! | race detection (lockset + happens-before) | [`race`] |
+//! | causal annotation: vector clocks, timelines, trace diffs | [`causal`] |
 //! | deadlock detection (waits-for + lock graphs) | [`deadlock`] |
 //! | replay (record / playback) | [`replay`] |
 //! | concurrency coverage | [`coverage`] |
@@ -45,6 +46,7 @@
 //! first-contact use; everything it does can be assembled by hand from the
 //! re-exported parts.
 
+pub use mtt_causal as causal;
 pub use mtt_coverage as coverage;
 pub use mtt_deadlock as deadlock;
 pub use mtt_experiment as experiment;

@@ -8,6 +8,11 @@
 //! mtt lint <sample|file> [--json]  static diagnostics for a MiniProg program
 //! mtt run <program> [seed]      run one program once and print the outcome
 //! mtt trace <program> <n> <dir> generate n annotated traces into dir
+//! mtt explain <program> [--seed-fail N] [--seed-pass N] [--timeline]
+//!             [--diff] [--annotate FILE] [--scan N] [--csv]
+//!                               causal post-mortem: happens-before timeline
+//!                               of a failing run + schedule diff against a
+//!                               passing run (divergence window)
 //! mtt e1 [runs]                 noise-heuristic comparison
 //! mtt e1-detail <program> [runs] per-bug find probability for one program
 //! mtt cloning [runs]            §2.3 cloning/load-test driver
@@ -18,9 +23,10 @@
 //! mtt e6 [budget]               exploration vs random testing
 //! mtt e7 [runs]                 static advice: reduction + preservation
 //! mtt e8 [seed]                 online/offline trade-off
-//! mtt profile <e1..e8|all> [runs] [--csv] [--timing]
+//! mtt profile <e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR]
 //!                               contention / hot-site / overhead profile
 //! mtt metrics-check <file>      validate an NDJSON run log against the schema
+//! mtt trace-check <file>        validate an annotated trace against the schema
 //! mtt all                       every experiment with small defaults
 //! mtt help                      this listing
 //! ```
@@ -42,8 +48,8 @@
 //! ```
 
 use mtt_experiment::{
-    campaign::Campaign, cloning::run_cloning_on, coverage_eval, detector_eval, explore_eval,
-    jobpool::JobPool, multiout_eval, profile, replay_eval, static_eval, tracegen,
+    campaign::Campaign, cli_spec, cloning::run_cloning_on, coverage_eval, detector_eval, explain,
+    explore_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, static_eval, tracegen,
 };
 use mtt_runtime::{Execution, RandomScheduler};
 use mtt_telemetry::{check_run_log_line, RunLogRecord, RunLogWriter};
@@ -125,12 +131,13 @@ fn main() -> ExitCode {
             "lint" => Ok(lint(&args[1..])),
             "run" => Ok(run_one(&args[1..])),
             "trace" => Ok(trace(&args[1..])),
-            "e1" => Ok(e1(arg_u64(&args, 1, 60)?, &global)),
-            "e1-detail" => Ok(e1_detail(
+            "explain" => explain_cmd(&args[1..], &global),
+            "e1" => e1(arg_u64(&args, 1, 60)?, &global),
+            "e1-detail" => e1_detail(
                 args.get(1).map(String::as_str),
                 arg_u64(&args, 2, 60)?,
                 &global,
-            )),
+            ),
             "cloning" => Ok(cloning(arg_u64(&args, 1, 60)?, &global)),
             "e2" => Ok(e2(arg_u64(&args, 1, 10)?, &global)),
             "e3" => Ok(e3(arg_u64(&args, 1, 20)?, &global)),
@@ -145,8 +152,9 @@ fn main() -> ExitCode {
             "e8" => Ok(e8(arg_u64(&args, 1, 7)?)),
             "profile" => profile_cmd(&args[1..], &global),
             "metrics-check" => Ok(metrics_check(&args[1..])),
+            "trace-check" => Ok(trace_check(&args[1..])),
             "all" => {
-                e1(40, &global);
+                e1(40, &global)?;
                 e2(8, &global);
                 e3(15, &global);
                 e4(None, 15, &global);
@@ -157,15 +165,15 @@ fn main() -> ExitCode {
                 Ok(ExitCode::SUCCESS)
             }
             "help" | "--help" | "-h" => {
-                println!("{USAGE}");
+                println!("{}", cli_spec::usage());
                 Ok(ExitCode::SUCCESS)
             }
             "" => {
-                eprintln!("{USAGE}");
+                eprintln!("{}", cli_spec::usage());
                 Ok(ExitCode::from(2))
             }
             unknown => {
-                eprintln!("mtt: unknown subcommand `{unknown}`\n{USAGE}");
+                eprintln!("mtt: unknown subcommand `{unknown}`\n{}", cli_spec::usage());
                 Ok(ExitCode::from(2))
             }
         }
@@ -178,17 +186,6 @@ fn main() -> ExitCode {
         }
     }
 }
-
-const USAGE: &str =
-    "usage: mtt <list|lint|run|trace|e1..e8|cloning|profile|metrics-check|all|help> [args]
-global flags: --jobs N | -j N    worker threads (default: all cores)
-              --budget-ms N      per-run wall-clock budget
-              --quiet | -q       no progress line, no campaign summary
-              --metrics FILE     write an NDJSON run log (campaign-backed
-                                 commands: e1, e1-detail, profile)
-profiling:    mtt profile <e1..e8|all> [runs] [--csv] [--timing]
-              mtt metrics-check <file.ndjson>
-see the crate docs (`cargo doc -p mtt-experiment`) for per-command details";
 
 /// Parse the positional argument at `idx` as a number; the default applies
 /// only when the argument is absent — a malformed value is an error, not a
@@ -350,31 +347,28 @@ fn write_run_log(path: &str, records: &[RunLogRecord]) -> Result<(), String> {
     Ok(())
 }
 
-fn e1(runs: u64, g: &Global) -> ExitCode {
+fn e1(runs: u64, g: &Global) -> Result<ExitCode, String> {
     let mut campaign = Campaign::standard(mtt_suite::quick_set(), runs);
     campaign.run_budget = g.budget;
     campaign.label = "e1".into();
     campaign.telemetry = g.metrics.is_some();
     let run = campaign.run_full(&g.pool("e1"));
     if let Some(path) = &g.metrics {
-        if let Err(msg) = write_run_log(path, &run.run_log) {
-            eprintln!("mtt: {msg}");
-            return ExitCode::FAILURE;
-        }
+        write_run_log(path, &run.run_log)?;
     }
     println!("{}", run.report.table().render());
     println!("ranking (mean find-rate across programs):");
     for (tool, rate) in run.report.ranking() {
         println!("  {tool:<14} {rate:.3}");
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> ExitCode {
+fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> Result<ExitCode, String> {
     let name = program.unwrap_or("web_sessions");
     let Some(p) = mtt_suite::by_name(name) else {
         eprintln!("unknown program `{name}`");
-        return ExitCode::from(2);
+        return Ok(ExitCode::from(2));
     };
     let mut campaign = Campaign::standard(vec![p], runs);
     campaign.run_budget = g.budget;
@@ -382,29 +376,135 @@ fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> ExitCode {
     campaign.telemetry = g.metrics.is_some();
     let run = campaign.run_full(&g.pool("e1-detail"));
     if let Some(path) = &g.metrics {
-        if let Err(msg) = write_run_log(path, &run.run_log) {
-            eprintln!("mtt: {msg}");
-            return ExitCode::FAILURE;
-        }
+        write_run_log(path, &run.run_log)?;
     }
     println!("{}", run.report.per_bug_table(name).render());
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
+}
+
+fn explain_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
+    let mut opts = explain::ExplainOptions::default();
+    let mut timeline = false;
+    let mut diff = false;
+    let mut csv = false;
+    let mut annotate: Option<String> = None;
+    let mut name: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed-fail" => {
+                let v = it.next().ok_or("--seed-fail needs a value")?;
+                opts.seed_fail = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed-fail: `{v}` is not a number"))?,
+                );
+            }
+            "--seed-pass" => {
+                let v = it.next().ok_or("--seed-pass needs a value")?;
+                opts.seed_pass = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed-pass: `{v}` is not a number"))?,
+                );
+            }
+            "--scan" => {
+                let v = it.next().ok_or("--scan needs a value")?;
+                opts.scan = v
+                    .parse()
+                    .map_err(|_| format!("--scan: `{v}` is not a number"))?;
+            }
+            "--annotate" => {
+                let v = it.next().ok_or("--annotate needs a file path")?;
+                annotate = Some(v.clone());
+            }
+            "--timeline" => timeline = true,
+            "--diff" => diff = true,
+            "--csv" => csv = true,
+            other if name.is_none() && !other.starts_with('-') => name = Some(other.to_string()),
+            other => return Err(format!("explain: unexpected argument `{other}`")),
+        }
+    }
+    let Some(name) = name else {
+        return Err(
+            "usage: mtt explain <program> [--seed-fail N] [--seed-pass N] \
+             [--timeline] [--diff] [--annotate FILE] [--scan N] [--csv]"
+                .into(),
+        );
+    };
+    let Some(p) = mtt_suite::by_name(&name) else {
+        return Err(format!("unknown program `{name}` — try `mtt list`"));
+    };
+    let e = explain::explain_on(&p, &opts, &g.pool("explain"))?;
+    print!("{}", e.render_summary());
+    if timeline || (!diff && !csv) {
+        println!();
+        if csv {
+            print!("{}", e.timeline_csv());
+        } else {
+            print!("{}", e.render_timeline());
+        }
+    }
+    if diff {
+        let rendered = if csv { e.diff_csv() } else { e.render_diff() };
+        match rendered {
+            Some(text) => {
+                println!();
+                print!("{text}");
+            }
+            None => eprintln!("mtt: no passing run to diff against (see --seed-pass / --scan)"),
+        }
+    }
+    if let Some(path) = annotate {
+        std::fs::write(&path, e.annotated_ndjson())
+            .map_err(|err| format!("write {path}: {err}"))?;
+        println!("annotated trace written to {path}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn trace_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: mtt trace-check <file.ndjson>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mtt: read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mtt_causal::check_annotated(&text) {
+        Ok(n) => {
+            println!("{path}: annotated trace conforms to the schema ({n} record(s))");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
     let mut csv = false;
     let mut timing = false;
+    let mut annotate_dir = None;
     let mut positional = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--csv" => csv = true,
             "--timing" => timing = true,
+            "--annotate" => {
+                let v = it.next().ok_or("--annotate needs a directory")?;
+                annotate_dir = Some(v.clone());
+            }
             other => positional.push(other.to_string()),
         }
     }
     let Some(key) = positional.first() else {
         return Err(format!(
-            "usage: mtt profile <{}|all> [runs] [--csv] [--timing]",
+            "usage: mtt profile <{}|all> [runs] [--csv] [--timing] [--annotate DIR]",
             profile::PROFILE_KEYS.join("|")
         ));
     };
@@ -414,6 +514,7 @@ fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
         jobs: g.jobs,
         top_k: 10,
         progress: !g.quiet,
+        annotate_dir,
     };
     let keys: Vec<&str> = if key == "all" {
         profile::PROFILE_KEYS.to_vec()
@@ -430,6 +531,9 @@ fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
         }
         if timing {
             print!("{}", report.render_timing());
+        }
+        for path in &report.annotated {
+            println!("annotated trace written to {path}");
         }
         all_records.extend(report.run_log);
     }

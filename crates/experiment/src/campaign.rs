@@ -10,7 +10,9 @@ use mtt_noise::{CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield
 use mtt_runtime::{Execution, NoNoise, NoiseMaker, PctScheduler, RandomScheduler, Scheduler};
 use mtt_suite::SuiteProgram;
 use mtt_telemetry::{RunLogRecord, RunMetrics, SpanSet, SpanTimings, TelemetrySink};
+use mtt_trace::Trace;
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -85,6 +87,26 @@ impl ToolConfig {
         self
     }
 
+    /// Apply this tool's scheduler, noise, placement plan, and spurious
+    /// wakeups to an execution for run seed `seed`. This is *the* place a
+    /// tool configuration turns into execution settings: the campaign's
+    /// statistics runs and the annotated-trace regeneration both call it,
+    /// which is what guarantees a persisted trace replays the exact run the
+    /// grid counted.
+    pub fn configure<'p>(&self, exec: Execution<'p>, seed: u64, max_steps: u64) -> Execution<'p> {
+        let mut exec = exec
+            .scheduler((self.scheduler)(seed))
+            .noise((self.noise)(seed ^ 0x9e37_79b9))
+            .max_steps(max_steps);
+        if let Some(plan) = &self.noise_plan {
+            exec = exec.noise_plan(plan.clone());
+        }
+        if let Some(p) = self.spurious {
+            exec = exec.program_seed(seed).spurious_wakeups(p);
+        }
+        exec
+    }
+
     /// The standard roster compared in experiment E1: the baseline plus
     /// every heuristic of `mtt-noise`.
     pub fn standard_roster() -> Vec<ToolConfig> {
@@ -139,6 +161,11 @@ pub struct CellResult {
     pub wall: Duration,
     /// Runs that exceeded the campaign's per-run wall-clock budget.
     pub timed_out: u64,
+    /// Seed of the first run (in canonical run order) where a documented
+    /// bug manifested — the natural exhibit for `mtt explain`.
+    pub first_fail_seed: Option<u64>,
+    /// Seed of the first run where no bug manifested (the diff baseline).
+    pub first_pass_seed: Option<u64>,
 }
 
 /// The campaign definition.
@@ -279,6 +306,11 @@ impl Campaign {
                 for r in 0..self.runs {
                     let rec = records.next().expect("one record per run");
                     cell.any_bug.record(rec.failed);
+                    if rec.failed {
+                        cell.first_fail_seed.get_or_insert(rec.seed);
+                    } else {
+                        cell.first_pass_seed.get_or_insert(rec.seed);
+                    }
                     for (tag, stats) in cell.per_bug.iter_mut() {
                         stats.record(rec.manifested.iter().any(|m| m == tag));
                     }
@@ -329,16 +361,7 @@ impl Campaign {
     fn one_run(&self, prog: &SuiteProgram, tool: &ToolConfig, r: u64) -> RunRecord {
         let seed = self.base_seed + r;
         let started = Instant::now();
-        let mut exec = Execution::new(&prog.program)
-            .scheduler((tool.scheduler)(seed))
-            .noise((tool.noise)(seed ^ 0x9e37_79b9))
-            .max_steps(self.max_steps);
-        if let Some(plan) = &tool.noise_plan {
-            exec = exec.noise_plan(plan.clone());
-        }
-        if let Some(p) = tool.spurious {
-            exec = exec.program_seed(seed).spurious_wakeups(p);
-        }
+        let mut exec = tool.configure(Execution::new(&prog.program), seed, self.max_steps);
         let telemetry = if self.telemetry {
             let (half, handle) = mtt_instrument::shared(TelemetrySink::new());
             exec = exec.sink(Box::new(half));
@@ -370,6 +393,57 @@ impl Campaign {
             outcome_tag: outcome.kind.tag(),
             metrics,
         }
+    }
+
+    /// Re-execute one (program, tool, seed) run with a trace collector
+    /// attached and return the fully annotated trace. Because the runtime
+    /// is deterministic in (program, scheduler, noise, seed), the trace
+    /// reproduces exactly the run the campaign grid counted.
+    pub fn annotated_trace(&self, prog: &SuiteProgram, tool: &ToolConfig, seed: u64) -> Trace {
+        let noise_name = (tool.noise)(seed ^ 0x9e37_79b9).name().to_string();
+        let meta = crate::tracegen::trace_meta(prog, &tool.name, &noise_name, seed);
+        crate::tracegen::run_with_meta(prog, meta, |exec| {
+            tool.configure(exec, seed, self.max_steps)
+        })
+    }
+
+    /// Persist a causally annotated NDJSON trace for every bug-finding cell
+    /// of `report` into `dir` (created if missing): each cell that found a
+    /// bug gets `<program>--<tool>.ndjson` regenerated from its first
+    /// failing seed. Returns the written paths in canonical cell order.
+    pub fn persist_annotated(
+        &self,
+        report: &CampaignReport,
+        dir: &Path,
+    ) -> Result<Vec<String>, String> {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let mut written = Vec::new();
+        for ((prog_name, tool_name), cell) in &report.cells {
+            let Some(seed) = cell.first_fail_seed else {
+                continue;
+            };
+            let (Some(prog), Some(tool)) = (
+                self.programs.iter().find(|p| p.name == *prog_name),
+                self.tools.iter().find(|t| t.name == *tool_name),
+            ) else {
+                continue;
+            };
+            let trace = self.annotated_trace(prog, tool, seed);
+            let ann = mtt_causal::annotate_trace(&trace);
+            let path = dir.join(format!(
+                "{}--{}.ndjson",
+                prog_name,
+                tool_name.replace(['/', '@'], "_")
+            ));
+            let file = std::fs::File::create(&path)
+                .map_err(|e| format!("create {}: {e}", path.display()))?;
+            let mut w = std::io::BufWriter::new(file);
+            mtt_causal::write_annotated(&trace, &ann, &mut w)
+                .and_then(|()| std::io::Write::flush(&mut w))
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+            written.push(path.display().to_string());
+        }
+        Ok(written)
     }
 }
 
@@ -584,6 +658,38 @@ mod tests {
         assert_eq!(roster[0].name, "none");
         assert!(roster.iter().any(|t| t.name.starts_with("spurious")));
         assert!(roster.iter().any(|t| t.name.starts_with("pct")));
+    }
+
+    #[test]
+    fn annotated_trace_reproduces_counted_run() {
+        let campaign = Campaign {
+            programs: vec![mtt_suite::small::lost_update(2, 2)],
+            tools: vec![ToolConfig::baseline()],
+            runs: 30,
+            base_seed: 7,
+            max_steps: 20_000,
+            ..Campaign::standard(vec![], 0)
+        };
+        let report = campaign.run();
+        let cell = report.cell("lost_update", "none").unwrap();
+        let fail = cell.first_fail_seed.expect("30 runs should hit the bug");
+        // Regenerating the first failing run must reproduce the failure the
+        // grid counted: the trace's oracle verdict says the bug manifested.
+        let trace = campaign.annotated_trace(&campaign.programs[0], &campaign.tools[0], fail);
+        assert_eq!(trace.meta.manifested_bugs, vec!["lost-update"]);
+        assert_eq!(trace.meta.seed, fail);
+        assert_eq!(trace.meta.scheduler, "none");
+        if let Some(pass) = cell.first_pass_seed {
+            let t = campaign.annotated_trace(&campaign.programs[0], &campaign.tools[0], pass);
+            assert!(t.meta.manifested_bugs.is_empty(), "pass seed reproduced");
+        }
+        // Persisting writes one schema-valid file per bug-finding cell.
+        let dir = std::env::temp_dir().join(format!("mtt-annot-{}", std::process::id()));
+        let written = campaign.persist_annotated(&report, &dir).unwrap();
+        assert_eq!(written.len(), 1);
+        let text = std::fs::read_to_string(&written[0]).unwrap();
+        mtt_causal::check_annotated(&text).expect("persisted trace schema-valid");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! The single source of truth for the `mtt` command-line surface.
+//!
+//! The binary's `help` text is generated from these tables, and the CLI
+//! tests assert that both the generated help and the README's command
+//! table cover every entry — so a new subcommand or flag that is added
+//! here (and only here) cannot silently drift out of the documentation.
+
+/// One `mtt` subcommand.
+pub struct CommandSpec {
+    /// Subcommand name as typed.
+    pub name: &'static str,
+    /// Argument synopsis (may be empty).
+    pub args: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// One global flag (accepted before or after any subcommand).
+pub struct FlagSpec {
+    /// Flag spelling(s), e.g. `--jobs N | -j N`.
+    pub flags: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every `mtt` subcommand, in help order.
+pub const SUBCOMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "list",
+        args: "",
+        summary: "list benchmark programs and their bugs",
+    },
+    CommandSpec {
+        name: "lint",
+        args: "<sample|file> [--json]",
+        summary: "static diagnostics for a MiniProg program",
+    },
+    CommandSpec {
+        name: "run",
+        args: "<program> [seed]",
+        summary: "run one program once and print the outcome",
+    },
+    CommandSpec {
+        name: "trace",
+        args: "<program> <n> <dir>",
+        summary: "generate n annotated traces into dir",
+    },
+    CommandSpec {
+        name: "explain",
+        args: "<program> [--seed-fail N] [--seed-pass N] [--timeline] [--diff] [--annotate FILE] [--scan N] [--csv]",
+        summary: "causal post-mortem: HB timeline + failing-vs-passing schedule diff",
+    },
+    CommandSpec {
+        name: "e1",
+        args: "[runs]",
+        summary: "noise-heuristic comparison",
+    },
+    CommandSpec {
+        name: "e1-detail",
+        args: "<program> [runs]",
+        summary: "per-bug find probability for one program",
+    },
+    CommandSpec {
+        name: "cloning",
+        args: "[runs]",
+        summary: "§2.3 cloning/load-test driver",
+    },
+    CommandSpec {
+        name: "e2",
+        args: "[traces]",
+        summary: "race detectors on annotated traces",
+    },
+    CommandSpec {
+        name: "e3",
+        args: "[attempts]",
+        summary: "replay success vs drift",
+    },
+    CommandSpec {
+        name: "e4",
+        args: "<program> [runs]",
+        summary: "coverage growth + run-count advice",
+    },
+    CommandSpec {
+        name: "e5",
+        args: "[runs]",
+        summary: "multiout outcome distributions",
+    },
+    CommandSpec {
+        name: "e6",
+        args: "[budget]",
+        summary: "exploration vs random testing",
+    },
+    CommandSpec {
+        name: "e7",
+        args: "[runs]",
+        summary: "static advice: reduction + preservation",
+    },
+    CommandSpec {
+        name: "e8",
+        args: "[seed]",
+        summary: "online/offline trade-off",
+    },
+    CommandSpec {
+        name: "profile",
+        args: "<e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR]",
+        summary: "contention / hot-site / overhead profile",
+    },
+    CommandSpec {
+        name: "metrics-check",
+        args: "<file.ndjson>",
+        summary: "validate an NDJSON run log against the schema",
+    },
+    CommandSpec {
+        name: "trace-check",
+        args: "<file.ndjson>",
+        summary: "validate an annotated trace against the schema",
+    },
+    CommandSpec {
+        name: "all",
+        args: "",
+        summary: "every experiment with small defaults",
+    },
+    CommandSpec {
+        name: "help",
+        args: "",
+        summary: "this listing",
+    },
+];
+
+/// Every global flag, in help order.
+pub const GLOBAL_FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        flags: "--jobs N | -j N",
+        summary: "worker threads (default: all cores; output is byte-identical for every N)",
+    },
+    FlagSpec {
+        flags: "--budget-ms N",
+        summary: "per-run wall-clock budget (over-budget runs land in the timeouts column)",
+    },
+    FlagSpec {
+        flags: "--quiet | -q",
+        summary: "no progress line, no campaign summary",
+    },
+    FlagSpec {
+        flags: "--metrics FILE",
+        summary: "write an NDJSON run log (campaign-backed commands: e1, e1-detail, profile)",
+    },
+];
+
+/// The `mtt help` text, generated from the tables above.
+pub fn usage() -> String {
+    let mut out = String::from("usage: mtt <command> [args] [global flags]\n\ncommands:\n");
+    let width = SUBCOMMANDS
+        .iter()
+        .map(|c| {
+            c.name.len()
+                + if c.args.is_empty() {
+                    0
+                } else {
+                    c.args.len() + 1
+                }
+        })
+        .max()
+        .unwrap_or(0)
+        .min(34);
+    for c in SUBCOMMANDS {
+        let head = if c.args.is_empty() {
+            c.name.to_string()
+        } else {
+            format!("{} {}", c.name, c.args)
+        };
+        if head.len() > width {
+            out.push_str(&format!(
+                "  mtt {head}\n  {:w$}      {}\n",
+                "",
+                c.summary,
+                w = width
+            ));
+        } else {
+            out.push_str(&format!("  mtt {head:width$}  {}\n", c.summary));
+        }
+    }
+    out.push_str("\nglobal flags:\n");
+    let fwidth = GLOBAL_FLAGS
+        .iter()
+        .map(|f| f.flags.len())
+        .max()
+        .unwrap_or(0);
+    for f in GLOBAL_FLAGS {
+        out.push_str(&format!("  {:fwidth$}  {}\n", f.flags, f.summary));
+    }
+    out.push_str("\nsee the crate docs (`cargo doc -p mtt-experiment`) for per-command details");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_covers_every_command_and_flag() {
+        let text = usage();
+        for c in SUBCOMMANDS {
+            assert!(text.contains(c.name), "help missing `{}`", c.name);
+            assert!(
+                text.contains(c.summary),
+                "help missing summary of `{}`",
+                c.name
+            );
+        }
+        for f in GLOBAL_FLAGS {
+            assert!(text.contains(f.flags), "help missing `{}`", f.flags);
+        }
+        // The regression that motivated this module: profile's --timing flag
+        // existed in the binary but not in the help text.
+        assert!(text.contains("--timing"));
+        assert!(text.contains("--annotate"));
+    }
+
+    #[test]
+    fn command_names_are_unique() {
+        let mut names: Vec<_> = SUBCOMMANDS.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SUBCOMMANDS.len());
+    }
+}

@@ -21,9 +21,11 @@
 //! job count (the differential tests in `tests/` enforce this).
 
 pub mod campaign;
+pub mod cli_spec;
 pub mod cloning;
 pub mod coverage_eval;
 pub mod detector_eval;
+pub mod explain;
 pub mod explore_eval;
 pub mod jobpool;
 pub mod multiout_eval;
@@ -35,6 +37,7 @@ pub mod stats;
 pub mod tracegen;
 
 pub use campaign::{Campaign, CampaignReport, CampaignRun, ToolConfig};
+pub use explain::{explain_on, ExplainOptions, Explanation};
 pub use jobpool::{JobPool, PoolStats};
 pub use profile::{run_profile, ProfileOptions, ProfileReport, PROFILE_KEYS};
 pub use report::Table;

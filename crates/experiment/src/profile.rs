@@ -43,6 +43,10 @@ pub struct ProfileOptions {
     pub top_k: usize,
     /// Show the stderr progress line.
     pub progress: bool,
+    /// Persist a causally annotated NDJSON trace for every bug-finding
+    /// cell into this directory (regenerated from the cell's first failing
+    /// seed).
+    pub annotate_dir: Option<String>,
 }
 
 impl Default for ProfileOptions {
@@ -52,6 +56,7 @@ impl Default for ProfileOptions {
             jobs: 1,
             top_k: 10,
             progress: false,
+            annotate_dir: None,
         }
     }
 }
@@ -119,6 +124,9 @@ pub struct ProfileReport {
     pub spans: SpanTimings,
     /// The canonical-order run log of the telemetry pass.
     pub run_log: Vec<RunLogRecord>,
+    /// Annotated-trace files written when
+    /// [`ProfileOptions::annotate_dir`] was set (canonical cell order).
+    pub annotated: Vec<String>,
 }
 
 /// Run the profiler for one experiment key.
@@ -151,6 +159,13 @@ pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, St
         p
     };
     let telemetry_pass = campaign.run_full(&pool);
+
+    let annotated = match &opts.annotate_dir {
+        Some(dir) => {
+            campaign.persist_annotated(&telemetry_pass.report, std::path::Path::new(dir))?
+        }
+        None => Vec::new(),
+    };
 
     // Baseline pass: identical seeds, no sink — the NullSink condition the
     // overhead column compares against.
@@ -192,6 +207,7 @@ pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, St
         pool_stats: telemetry_pass.pool_stats,
         spans: telemetry_pass.spans,
         run_log: telemetry_pass.run_log,
+        annotated,
     })
 }
 
@@ -334,6 +350,7 @@ mod tests {
             jobs: 1,
             top_k: 5,
             progress: false,
+            annotate_dir: None,
         }
     }
 
@@ -363,6 +380,25 @@ mod tests {
             assert_eq!(a.metrics, b.metrics);
             assert_eq!((a.seed, a.run, &a.outcome), (b.seed, b.run, &b.outcome));
         }
+    }
+
+    #[test]
+    fn profile_annotate_dir_persists_valid_traces() {
+        let dir = std::env::temp_dir().join(format!("mtt-profile-annot-{}", std::process::id()));
+        let report = run_profile(
+            "e3",
+            &ProfileOptions {
+                annotate_dir: Some(dir.display().to_string()),
+                ..tiny()
+            },
+        )
+        .unwrap();
+        assert!(!report.annotated.is_empty(), "e3 cells should find bugs");
+        for path in &report.annotated {
+            let text = std::fs::read_to_string(path).unwrap();
+            mtt_causal::check_annotated(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -50,11 +50,24 @@ pub fn generate_with(
     noise: Box<dyn NoiseMaker>,
     opts: &TraceGenOptions,
 ) -> Trace {
-    let meta = TraceMeta {
+    let meta = trace_meta(program, "random", noise.name(), opts.seed);
+    run_with_meta(program, meta, |exec| {
+        exec.scheduler(scheduler)
+            .noise(noise)
+            .max_steps(opts.max_steps)
+    })
+}
+
+/// The trace header for an execution of `program`: provenance plus every
+/// name table known before the run (thread names are filled from the
+/// outcome afterwards). Shared by the trace generator and the campaign's
+/// annotated-trace persistence.
+pub fn trace_meta(program: &SuiteProgram, scheduler: &str, noise: &str, seed: u64) -> TraceMeta {
+    TraceMeta {
         program: program.name.to_string(),
-        scheduler: "random".into(),
-        noise: noise.name().to_string(),
-        seed: opts.seed,
+        scheduler: scheduler.into(),
+        noise: noise.into(),
+        seed,
         var_names: program
             .program
             .vars()
@@ -76,13 +89,19 @@ pub fn generate_with(
             .map(|b| b.name.clone())
             .collect(),
         ..Default::default()
-    };
+    }
+}
+
+/// Run `program` once with a trace collector attached — `configure` sets
+/// the scheduler/noise/budget — and return the collected trace with bug
+/// annotations and the oracle's manifested-bug ground truth filled in.
+pub fn run_with_meta<'p, F>(program: &'p SuiteProgram, meta: TraceMeta, configure: F) -> Trace
+where
+    F: FnOnce(Execution<'p>) -> Execution<'p>,
+{
     let (sink, handle) = shared(TraceCollector::with_meta(meta));
-    let outcome = Execution::new(&program.program)
-        .scheduler(scheduler)
-        .noise(noise)
+    let outcome = configure(Execution::new(&program.program))
         .sink(Box::new(sink))
-        .max_steps(opts.max_steps)
         .run();
 
     let mut trace = {

@@ -16,6 +16,20 @@ fn mtt(args: &[&str]) -> (String, String, bool) {
     )
 }
 
+/// Like [`mtt`] but returning the exact exit code (for the exit-convention
+/// tests: 2 = usage error, 1 = failure).
+fn mtt_code(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mtt"))
+        .args(args)
+        .output()
+        .expect("mtt binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().expect("not killed by a signal"),
+    )
+}
+
 #[test]
 fn list_prints_the_whole_repository() {
     let (stdout, _, ok) = mtt(&["list"]);
@@ -70,6 +84,60 @@ fn help_prints_usage_and_succeeds() {
 }
 
 #[test]
+fn help_covers_the_whole_cli_surface() {
+    // The help text is generated from `cli_spec`, so every subcommand the
+    // dispatcher knows and every global flag the parser accepts must appear
+    // in it — including historical drift victims like profile's --timing.
+    let (stdout, _, ok) = mtt(&["help"]);
+    assert!(ok);
+    for c in mtt_experiment::cli_spec::SUBCOMMANDS {
+        assert!(
+            stdout.contains(c.name),
+            "help missing subcommand `{}`",
+            c.name
+        );
+    }
+    for f in mtt_experiment::cli_spec::GLOBAL_FLAGS {
+        assert!(stdout.contains(f.flags), "help missing flag `{}`", f.flags);
+    }
+    assert!(stdout.contains("--timing"), "profile --timing documented");
+}
+
+#[test]
+fn readme_documents_every_subcommand() {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+        .expect("workspace README exists");
+    for c in mtt_experiment::cli_spec::SUBCOMMANDS {
+        assert!(
+            readme.contains(&format!("mtt {}", c.name))
+                || readme.contains(&format!("`{}`", c.name)),
+            "README command table missing `mtt {}`",
+            c.name
+        );
+    }
+    assert!(
+        readme.contains("--timing"),
+        "README must document profile's --timing flag"
+    );
+}
+
+#[test]
+fn unwritable_metrics_path_is_a_usage_error() {
+    // --metrics pointing into a nonexistent directory must exit 2 with a
+    // clean message, not panic and not exit 1.
+    let (_, stderr, code) = mtt_code(&[
+        "e1",
+        "2",
+        "--quiet",
+        "--metrics",
+        "/nonexistent-dir-mtt/run.ndjson",
+    ]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("create"), "stderr: {stderr}");
+    assert!(!stderr.contains("panic"), "stderr: {stderr}");
+}
+
+#[test]
 fn no_arguments_fails_with_usage() {
     let (_, stderr, ok) = mtt(&[]);
     assert!(!ok, "bare `mtt` must exit non-zero");
@@ -105,6 +173,70 @@ fn cli_output_is_identical_across_job_counts() {
     let (par, _, ok) = mtt(&["e5", "6", "--jobs", "4", "--quiet"]);
     assert!(ok);
     assert_eq!(serial, par, "mtt e5 stdout diverged between --jobs 1 and 4");
+}
+
+#[test]
+fn explain_output_is_identical_across_job_counts() {
+    // The causal post-mortem at the process boundary: timeline + diff on
+    // the real binary must not depend on the seed-scan worker count.
+    let args = |jobs: &'static str| {
+        [
+            "explain",
+            "lost_update",
+            "--timeline",
+            "--diff",
+            "--scan",
+            "64",
+            "--quiet",
+            "--jobs",
+            jobs,
+        ]
+    };
+    let (serial, _, ok) = mtt(&args("1"));
+    assert!(ok);
+    let (par, _, ok) = mtt(&args("4"));
+    assert!(ok);
+    assert_eq!(serial, par, "mtt explain diverged between --jobs 1 and 4");
+    assert!(serial.contains("first failure"), "{serial}");
+    assert!(serial.contains("divergence at index"), "{serial}");
+    assert!(serial.contains("schedule timeline"), "{serial}");
+}
+
+#[test]
+fn explain_annotate_roundtrips_through_trace_check() {
+    let dir = std::env::temp_dir().join(format!("mtt-explain-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lost_update.ndjson");
+    let path_s = path.to_string_lossy().into_owned();
+    let (stdout, stderr, ok) = mtt(&[
+        "explain",
+        "lost_update",
+        "--scan",
+        "64",
+        "--quiet",
+        "--annotate",
+        &path_s,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("annotated trace written"), "{stdout}");
+    let (stdout, stderr, ok) = mtt(&["trace-check", &path_s]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("conforms to the schema"), "{stdout}");
+    // A corrupted line must be rejected with a line-numbered message.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let corrupted = text.replacen("\"clock\":[", "\"clock\":[-1,", 1);
+    std::fs::write(&path, corrupted).unwrap();
+    let (_, stderr, code) = mtt_code(&["trace-check", &path_s]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("line"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_unknown_program_is_a_usage_error() {
+    let (_, stderr, code) = mtt_code(&["explain", "no_such_program"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown program"), "stderr: {stderr}");
 }
 
 #[test]

@@ -251,6 +251,46 @@ fn tracegen_output_is_identical_across_job_counts() {
     }
 }
 
+#[test]
+fn explain_output_is_byte_identical_across_job_counts() {
+    // `mtt explain` scans seeds on the pool and renders pure functions of
+    // the chosen seeds, so every rendering — summary, timeline (text and
+    // CSV), diff, annotated NDJSON — must be byte-identical at any worker
+    // count.
+    let p = mtt_suite::small::lost_update(2, 2);
+    let opts = mtt_experiment::ExplainOptions {
+        scan: 64,
+        max_steps: 20_000,
+        ..Default::default()
+    };
+    let serial = mtt_experiment::explain_on(&p, &opts, &JobPool::serial()).unwrap();
+    for jobs in JOB_COUNTS {
+        let par = mtt_experiment::explain_on(&p, &opts, &JobPool::new(jobs)).unwrap();
+        assert_eq!(
+            serial.render_summary(),
+            par.render_summary(),
+            "explain summary diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial.render_timeline(),
+            par.render_timeline(),
+            "explain timeline diverged at jobs={jobs}"
+        );
+        assert_eq!(serial.timeline_csv(), par.timeline_csv());
+        assert_eq!(
+            serial.render_diff(),
+            par.render_diff(),
+            "explain diff diverged at jobs={jobs}"
+        );
+        assert_eq!(serial.diff_csv(), par.diff_csv());
+        assert_eq!(
+            serial.annotated_ndjson(),
+            par.annotated_ndjson(),
+            "annotated NDJSON diverged at jobs={jobs}"
+        );
+    }
+}
+
 /// The CI "slow" variant: the same differential at statistically
 /// meaningful run counts over the full standard roster. Run with
 /// `cargo test --release -p mtt-experiment -- --ignored`.

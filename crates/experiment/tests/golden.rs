@@ -109,6 +109,45 @@ fn profile_run_log_matches_golden() {
     );
 }
 
+/// `mtt explain` on one catalog sample with the default seed scan:
+/// timeline, diff, and annotated NDJSON, each pinned byte for byte.
+fn check_explain_goldens(program: mtt_suite::SuiteProgram) {
+    let opts = mtt_experiment::ExplainOptions {
+        scan: 64,
+        max_steps: 20_000,
+        ..Default::default()
+    };
+    let e = mtt_experiment::explain_on(&program, &opts, &JobPool::new(4))
+        .expect("catalog sample fails within 64 seeds");
+    check_golden(
+        &format!("explain_{}_timeline.txt", e.program),
+        &format!("{}\n{}", e.render_summary(), e.render_timeline()),
+    );
+    check_golden(
+        &format!("explain_{}_diff.txt", e.program),
+        &e.render_diff()
+            .expect("catalog sample passes within 64 seeds"),
+    );
+    let ndjson = e.annotated_ndjson();
+    mtt_causal::check_annotated(&ndjson).expect("golden NDJSON conforms to its own schema");
+    check_golden(&format!("explain_{}.ndjson", e.program), &ndjson);
+}
+
+#[test]
+fn explain_lost_update_matches_golden() {
+    check_explain_goldens(mtt_suite::small::lost_update(2, 2));
+}
+
+#[test]
+fn explain_check_then_act_matches_golden() {
+    check_explain_goldens(mtt_suite::small::check_then_act());
+}
+
+#[test]
+fn explain_unguarded_wait_matches_golden() {
+    check_explain_goldens(mtt_suite::small::unguarded_wait());
+}
+
 #[test]
 fn e5_multiout_table_matches_golden() {
     let rows = multiout_eval::run_multiout_eval_on(24, 11, &JobPool::new(4));

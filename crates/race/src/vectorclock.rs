@@ -14,59 +14,10 @@ use crate::warning::{AccessInfo, RaceWarning};
 use mtt_instrument::{AccessKind, CondId, Event, EventSink, LockId, Op, SemId, ThreadId, VarId};
 use std::collections::HashMap;
 
-/// A grow-on-demand vector clock.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct VectorClock {
-    clocks: Vec<u32>,
-}
-
-impl VectorClock {
-    /// The zero clock.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Component for `t` (0 when never set).
-    #[inline]
-    pub fn get(&self, t: ThreadId) -> u32 {
-        self.clocks.get(t.index()).copied().unwrap_or(0)
-    }
-
-    /// Set component `t`.
-    pub fn set(&mut self, t: ThreadId, v: u32) {
-        if self.clocks.len() <= t.index() {
-            self.clocks.resize(t.index() + 1, 0);
-        }
-        self.clocks[t.index()] = v;
-    }
-
-    /// Increment component `t`, returning the new value.
-    pub fn tick(&mut self, t: ThreadId) -> u32 {
-        let v = self.get(t) + 1;
-        self.set(t, v);
-        v
-    }
-
-    /// Pointwise maximum (join).
-    pub fn join(&mut self, other: &VectorClock) {
-        if self.clocks.len() < other.clocks.len() {
-            self.clocks.resize(other.clocks.len(), 0);
-        }
-        for (i, &v) in other.clocks.iter().enumerate() {
-            if self.clocks[i] < v {
-                self.clocks[i] = v;
-            }
-        }
-    }
-
-    /// Pointwise `self ≤ other` (happens-before or equal).
-    pub fn le(&self, other: &VectorClock) -> bool {
-        self.clocks
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| v <= other.clocks.get(i).copied().unwrap_or(0))
-    }
-}
+// The vector-clock lattice itself lives in `mtt-causal` (one
+// implementation shared with the trace annotator); re-exported here so the
+// detector's public API is unchanged.
+pub use mtt_causal::VectorClock;
 
 /// A FastTrack epoch: one (thread, clock) pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

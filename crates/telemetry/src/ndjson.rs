@@ -254,4 +254,32 @@ mod tests {
         let r = w.write_record(&record(0)).and_then(|_| w.flush());
         assert!(r.is_err());
     }
+
+    #[test]
+    fn into_inner_surfaces_buffered_write_errors() {
+        #[derive(Debug)]
+        struct FullDisk;
+        impl Write for FullDisk {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // The record sits in the BufWriter; into_inner's final flush must
+        // report the failure instead of silently dropping the bytes.
+        let mut w = RunLogWriter::new(FullDisk);
+        w.write_record(&record(0)).expect("buffered write succeeds");
+        assert_eq!(w.lines(), 1);
+        let err = w.into_inner().expect_err("into_inner must flush and fail");
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+
+        // And on a healthy writer it hands the bytes back intact.
+        let mut w = RunLogWriter::new(Vec::new());
+        w.write_record(&record(0)).unwrap();
+        let buf = w.into_inner().expect("in-memory writer cannot fail");
+        let line = String::from_utf8(buf).unwrap();
+        check_run_log_line(line.trim_end()).expect("flushed line conforms to schema");
+    }
 }
