@@ -1,64 +1,44 @@
 //! E1's overhead axis: "two noise makers can be compared to each other
 //! with regard to the performance overhead and the likelihood of
 //! uncovering bugs" — this bench measures the first half, per heuristic
-//! and per placement strategy.
+//! and per placement strategy. The tool stacks come from the `mtt-tools`
+//! registry, so the benched configurations are exactly the ones a
+//! `--tools` flag can name.
 
 use criterion::Criterion;
 use mtt_bench::{quick_criterion, workload};
-use mtt_core::noise::{
-    placement, CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield,
-};
 use mtt_core::prelude::*;
-use mtt_core::runtime::NoiseMaker;
+use mtt_core::tools::ToolConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("noise_overhead");
     let p = workload(4, 20);
 
-    type NoiseFactory = Box<dyn Fn() -> Box<dyn NoiseMaker>>;
-    let heuristics: Vec<(&str, NoiseFactory)> = vec![
-        ("none", Box::new(|| Box::new(mtt_core::runtime::NoNoise))),
-        ("yield-0.2", Box::new(|| Box::new(RandomYield::new(1, 0.2)))),
-        (
-            "sleep-0.2",
-            Box::new(|| Box::new(RandomSleep::new(1, 0.2, 20))),
-        ),
-        ("mixed-0.2", Box::new(|| Box::new(Mixed::new(1, 0.2, 20)))),
-        (
-            "halt",
-            Box::new(|| Box::new(HaltOneThread::new(1, 0.05, 200))),
-        ),
-        (
-            "coverage",
-            Box::new(|| Box::new(CoverageDirected::new(1, 0.6, 0.05, 20))),
-        ),
+    let heuristics = [
+        "sticky:0.9+name=none",
+        "sticky:0.9+noise=yield:0.2+name=yield-0.2",
+        "sticky:0.9+noise=sleep:0.2:20+name=sleep-0.2",
+        "sticky:0.9+noise=mixed:0.2:20+name=mixed-0.2",
+        "sticky:0.9+noise=halt+name=halt",
+        "sticky:0.9+noise=coverage+name=coverage",
     ];
-    for (name, mk) in &heuristics {
-        g.bench_function(*name, |b| {
-            b.iter(|| {
-                Execution::new(&p)
-                    .scheduler(Box::new(RandomScheduler::sticky(1, 0.9)))
-                    .noise(mk())
-                    .run()
-            })
+    for spec in heuristics {
+        let cfg = ToolConfig::from_spec_str(spec).expect("bench specs are valid");
+        g.bench_function(&cfg.name, |b| {
+            b.iter(|| cfg.configure(Execution::new(&p), 1, u64::MAX).run())
         });
     }
 
     // Placement: the same heuristic consulted at fewer points.
     let placements = [
-        ("placed-everywhere", placement::everywhere()),
-        ("placed-sync-only", placement::sync_only()),
-        ("placed-var-access", placement::var_access_only()),
+        "sticky:0.9+noise=sleep:0.2:20+place=everywhere+name=placed-everywhere",
+        "sticky:0.9+noise=sleep:0.2:20+place=sync+name=placed-sync-only",
+        "sticky:0.9+noise=sleep:0.2:20+place=vars+name=placed-var-access",
     ];
-    for (name, plan) in &placements {
-        g.bench_function(*name, |b| {
-            b.iter(|| {
-                Execution::new(&p)
-                    .scheduler(Box::new(RandomScheduler::sticky(1, 0.9)))
-                    .noise(Box::new(RandomSleep::new(1, 0.2, 20)))
-                    .noise_plan(plan.clone())
-                    .run()
-            })
+    for spec in placements {
+        let cfg = ToolConfig::from_spec_str(spec).expect("bench specs are valid");
+        g.bench_function(&cfg.name, |b| {
+            b.iter(|| cfg.configure(Execution::new(&p), 1, u64::MAX).run())
         });
     }
     g.finish();

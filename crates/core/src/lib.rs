@@ -23,6 +23,7 @@
 //! | repository of documented-bug programs | [`suite`] |
 //! | prepared experiments | [`experiment`] |
 //! | telemetry: metrics, profiles, run logs | [`telemetry`] |
+//! | component registry + declarative tool specs | [`tools`] ([`tools::ToolSpec`], [`tools::ToolConfig`]) |
 //!
 //! ## Quick taste
 //!
@@ -59,6 +60,7 @@ pub use mtt_runtime as runtime;
 pub use mtt_static as statik;
 pub use mtt_suite as suite;
 pub use mtt_telemetry as telemetry;
+pub use mtt_tools as tools;
 pub use mtt_trace as trace;
 
 /// The working set most users want in scope.

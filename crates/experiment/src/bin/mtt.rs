@@ -9,7 +9,7 @@
 //! mtt run <program> [seed]      run one program once and print the outcome
 //! mtt trace <program> <n> <dir> generate n annotated traces into dir
 //! mtt explain <program> [--seed-fail N] [--seed-pass N] [--timeline]
-//!             [--diff] [--annotate FILE] [--scan N] [--csv]
+//!             [--diff] [--annotate FILE] [--scan N] [--csv] [--tool SPEC]
 //!                               causal post-mortem: happens-before timeline
 //!                               of a failing run + schedule diff against a
 //!                               passing run (divergence window)
@@ -25,6 +25,10 @@
 //! mtt e8 [seed]                 online/offline trade-off
 //! mtt profile <e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR]
 //!                               contention / hot-site / overhead profile
+//! mtt tools [list|specs|describe <spec>|validate <spec...|--file F>] [--json]
+//!                               the component registry: list components,
+//!                               print the standard roster, describe or
+//!                               validate tool specs
 //! mtt metrics-check <file>      validate an NDJSON run log against the schema
 //! mtt trace-check <file>        validate an annotated trace against the schema
 //! mtt all                       every experiment with small defaults
@@ -45,6 +49,11 @@
 //! --metrics FILE     write an NDJSON run log (one JSON object per run, in
 //!                    canonical order — byte-deterministic at any --jobs)
 //!                    for campaign-backed commands (e1, e1-detail, profile)
+//! --tools SPECS      replace the tool roster with a comma-separated list
+//!                    of tool specs (see `mtt tools`) — honored by e1,
+//!                    e1-detail, profile, e5, and cloning
+//! --tools-file FILE  like --tools, reading one spec per line (blank lines
+//!                    and `#` comments ignored)
 //! ```
 
 use mtt_experiment::{
@@ -53,6 +62,7 @@ use mtt_experiment::{
 };
 use mtt_runtime::{Execution, RandomScheduler};
 use mtt_telemetry::{check_run_log_line, RunLogRecord, RunLogWriter};
+use mtt_tools::{ToolConfig, ToolSpec};
 use std::env;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -63,6 +73,7 @@ struct Global {
     budget: Option<Duration>,
     quiet: bool,
     metrics: Option<String>,
+    tools: Option<Vec<ToolSpec>>,
 }
 
 impl Global {
@@ -73,6 +84,19 @@ impl Global {
             pool
         } else {
             pool.with_progress(label)
+        }
+    }
+
+    /// The `--tools`/`--tools-file` roster resolved to runnable configs,
+    /// or `None` when neither flag was given.
+    fn resolved_tools(&self) -> Result<Option<Vec<ToolConfig>>, String> {
+        match &self.tools {
+            None => Ok(None),
+            Some(specs) => specs
+                .iter()
+                .map(|s| s.resolve())
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some),
         }
     }
 }
@@ -86,6 +110,7 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
         budget: None,
         quiet: false,
         metrics: None,
+        tools: None,
     };
     let mut rest = Vec::new();
     let mut it = raw.iter();
@@ -108,6 +133,28 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
             "--metrics" => {
                 let v = it.next().ok_or("--metrics needs a file path")?;
                 g.metrics = Some(v.clone());
+            }
+            "--tools" => {
+                let v = it
+                    .next()
+                    .ok_or("--tools needs a comma-separated spec list")?;
+                let specs = ToolSpec::parse_list(v)
+                    .map_err(|e| format!("--tools: invalid spec\n{}", e.render()))?;
+                if specs.is_empty() {
+                    return Err("--tools: empty spec list".into());
+                }
+                g.tools = Some(specs);
+            }
+            "--tools-file" => {
+                let path = it.next().ok_or("--tools-file needs a file path")?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("--tools-file: read {path}: {e}"))?;
+                let specs = ToolSpec::parse_file(&text)
+                    .map_err(|e| format!("--tools-file {path}: invalid spec\n{}", e.render()))?;
+                if specs.is_empty() {
+                    return Err(format!("--tools-file: no specs in {path}"));
+                }
+                g.tools = Some(specs);
             }
             other => rest.push(other.to_string()),
         }
@@ -138,7 +185,7 @@ fn main() -> ExitCode {
                 arg_u64(&args, 2, 60)?,
                 &global,
             ),
-            "cloning" => Ok(cloning(arg_u64(&args, 1, 60)?, &global)),
+            "cloning" => cloning(arg_u64(&args, 1, 60)?, &global),
             "e2" => Ok(e2(arg_u64(&args, 1, 10)?, &global)),
             "e3" => Ok(e3(arg_u64(&args, 1, 20)?, &global)),
             "e4" => Ok(e4(
@@ -146,11 +193,12 @@ fn main() -> ExitCode {
                 arg_u64(&args, 2, 20)?,
                 &global,
             )),
-            "e5" => Ok(e5(arg_u64(&args, 1, 120)?, &global)),
+            "e5" => e5(arg_u64(&args, 1, 120)?, &global),
             "e6" => Ok(e6(arg_u64(&args, 1, 3000)?, &global)),
             "e7" => Ok(e7(arg_u64(&args, 1, 40)?, &global)),
             "e8" => Ok(e8(arg_u64(&args, 1, 7)?)),
             "profile" => profile_cmd(&args[1..], &global),
+            "tools" => tools_cmd(&args[1..]),
             "metrics-check" => Ok(metrics_check(&args[1..])),
             "trace-check" => Ok(trace_check(&args[1..])),
             "all" => {
@@ -158,7 +206,7 @@ fn main() -> ExitCode {
                 e2(8, &global);
                 e3(15, &global);
                 e4(None, 15, &global);
-                e5(80, &global);
+                e5(80, &global)?;
                 e6(2000, &global);
                 e7(30, &global);
                 e8(7);
@@ -349,6 +397,9 @@ fn write_run_log(path: &str, records: &[RunLogRecord]) -> Result<(), String> {
 
 fn e1(runs: u64, g: &Global) -> Result<ExitCode, String> {
     let mut campaign = Campaign::standard(mtt_suite::quick_set(), runs);
+    if let Some(tools) = g.resolved_tools()? {
+        campaign.tools = tools;
+    }
     campaign.run_budget = g.budget;
     campaign.label = "e1".into();
     campaign.telemetry = g.metrics.is_some();
@@ -371,6 +422,9 @@ fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> Result<ExitCode, S
         return Ok(ExitCode::from(2));
     };
     let mut campaign = Campaign::standard(vec![p], runs);
+    if let Some(tools) = g.resolved_tools()? {
+        campaign.tools = tools;
+    }
     campaign.run_budget = g.budget;
     campaign.label = "e1-detail".into();
     campaign.telemetry = g.metrics.is_some();
@@ -416,6 +470,13 @@ fn explain_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--annotate needs a file path")?;
                 annotate = Some(v.clone());
             }
+            "--tool" => {
+                let v = it.next().ok_or("--tool needs a spec")?;
+                opts.tool = Some(
+                    ToolSpec::parse(v)
+                        .map_err(|e| format!("--tool: invalid spec\n{}", e.render()))?,
+                );
+            }
             "--timeline" => timeline = true,
             "--diff" => diff = true,
             "--csv" => csv = true,
@@ -426,7 +487,7 @@ fn explain_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
     let Some(name) = name else {
         return Err(
             "usage: mtt explain <program> [--seed-fail N] [--seed-pass N] \
-             [--timeline] [--diff] [--annotate FILE] [--scan N] [--csv]"
+             [--timeline] [--diff] [--annotate FILE] [--scan N] [--csv] [--tool SPEC]"
                 .into(),
         );
     };
@@ -515,6 +576,7 @@ fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
         top_k: 10,
         progress: !g.quiet,
         annotate_dir,
+        tools: g.tools.clone(),
     };
     let keys: Vec<&str> = if key == "all" {
         profile::PROFILE_KEYS.to_vec()
@@ -541,6 +603,159 @@ fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
         write_run_log(path, &all_records)?;
     }
     Ok(ExitCode::SUCCESS)
+}
+
+/// `mtt tools` — the component registry surface: list the catalog, print
+/// the standard roster's canonical specs, describe one spec, or validate
+/// specs (from arguments or a file). Validation failures exit 2 with a
+/// column-pointing error, mirroring how the global `--tools` flag fails.
+fn tools_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut file: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--file" => {
+                let v = it.next().ok_or("tools: --file needs a path")?;
+                file = Some(v.clone());
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let verb = rest.first().map(String::as_str).unwrap_or("list");
+    match verb {
+        "list" => {
+            if json {
+                println!("{}", mtt_tools::catalog_json().dump());
+            } else {
+                println!(
+                    "component registry ({} components):\n",
+                    mtt_tools::catalog().len()
+                );
+                let mut kind = "";
+                for c in mtt_tools::catalog() {
+                    if c.kind.label() != kind {
+                        kind = c.kind.label();
+                        println!("{kind}:");
+                    }
+                    let params = c
+                        .params
+                        .iter()
+                        .map(|p| format!("{}={}", p.name, p.default))
+                        .collect::<Vec<_>>()
+                        .join(":");
+                    let head = if params.is_empty() {
+                        c.id.to_string()
+                    } else {
+                        format!("{}  [{params}]", c.id)
+                    };
+                    println!("  {head:<38} {}", c.summary);
+                }
+                println!("\nspec grammar: scheduler[:p...][+noise=id[:p...]][+place=id][+race=id][+deadlock=id][+cov=id][+spurious=p][+name=label]");
+                println!("standard roster: `mtt tools specs`");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "specs" => {
+            for s in mtt_tools::STANDARD_ROSTER_SPECS {
+                let spec = ToolSpec::parse(s).expect("standard roster specs are valid");
+                println!("{}", spec.canonical());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "describe" => {
+            let Some(text) = rest.get(1) else {
+                return Err("usage: mtt tools describe <spec>".into());
+            };
+            let spec = match ToolSpec::parse(text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{}", e.render());
+                    return Ok(ExitCode::from(2));
+                }
+            };
+            let cfg = spec.resolve()?;
+            println!("spec:      {}", spec.canonical());
+            println!("name:      {}", cfg.name);
+            let describe = |kind, c: &mtt_tools::ComponentSpec| {
+                let info = mtt_tools::registry::lookup(kind, &c.id).expect("validated");
+                let params = info
+                    .params
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| format!("{}={}", p.name, mtt_tools::registry::param(info, c, i)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                if params.is_empty() {
+                    format!("{} — {}", c.id, info.summary)
+                } else {
+                    format!("{} ({params}) — {}", c.id, info.summary)
+                }
+            };
+            println!(
+                "scheduler: {}",
+                describe(mtt_tools::ComponentKind::Scheduler, &spec.scheduler)
+            );
+            println!(
+                "noise:     {}",
+                describe(mtt_tools::ComponentKind::Noise, &spec.noise)
+            );
+            if let Some(place) = &spec.place {
+                println!(
+                    "placement: {}",
+                    describe(mtt_tools::ComponentKind::Placement, place)
+                );
+            }
+            for (kind, sink) in &spec.sinks {
+                println!(
+                    "{:<9}  {}",
+                    format!("{}:", kind.key()),
+                    describe(mtt_tools::ComponentKind::of_sink(*kind), sink)
+                );
+            }
+            if let Some(p) = spec.spurious {
+                println!("spurious:  wakeup probability {p}");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "validate" => {
+            if let Some(path) = &file {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("tools validate: read {path}: {e}"))?;
+                return match ToolSpec::parse_file(&text) {
+                    Ok(specs) => {
+                        for s in &specs {
+                            println!("{}", s.canonical());
+                        }
+                        println!("{path}: {} spec(s) valid", specs.len());
+                        Ok(ExitCode::SUCCESS)
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: {}", e.render());
+                        Ok(ExitCode::from(2))
+                    }
+                };
+            }
+            if rest.len() < 2 {
+                return Err("usage: mtt tools validate <spec...> | --file FILE".into());
+            }
+            for text in &rest[1..] {
+                match ToolSpec::parse(text) {
+                    Ok(spec) => println!("{}", spec.canonical()),
+                    Err(e) => {
+                        eprintln!("{}", e.render());
+                        return Ok(ExitCode::from(2));
+                    }
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!(
+            "tools: unknown verb `{other}` (expected list, specs, describe, or validate)"
+        )),
+    }
 }
 
 fn metrics_check(args: &[String]) -> ExitCode {
@@ -574,26 +789,37 @@ fn metrics_check(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cloning(runs: u64, g: &Global) -> ExitCode {
-    use mtt_noise::RandomSleep;
-    use std::sync::Arc;
+fn cloning(runs: u64, g: &Global) -> Result<ExitCode, String> {
     let pool = g.pool("cloning");
     println!("§2.3 cloning driver: P(cloned test fails)\n");
-    for clones in [1u32, 2, 4, 8] {
-        let plain = run_cloning_on(clones, runs, None, &pool);
-        let noisy = run_cloning_on(
-            clones,
-            runs,
-            Some(Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 15)))),
-            &pool,
-        );
-        println!(
-            "  {clones} clone(s):  plain {}   + sleep noise {}",
-            plain.fail.render(),
-            noisy.fail.render()
-        );
+    match &g.tools {
+        None => {
+            // The historical comparison: bare cloning vs sleep noise on top.
+            let noisy_spec =
+                ToolSpec::parse("sticky:0.9+noise=sleep:0.3:15").expect("default spec is valid");
+            for clones in [1u32, 2, 4, 8] {
+                let plain = run_cloning_on(clones, runs, None, &pool);
+                let noisy = run_cloning_on(clones, runs, Some(&noisy_spec), &pool);
+                println!(
+                    "  {clones} clone(s):  plain {}   + sleep noise {}",
+                    plain.fail.render(),
+                    noisy.fail.render()
+                );
+            }
+        }
+        Some(specs) => {
+            for clones in [1u32, 2, 4, 8] {
+                let plain = run_cloning_on(clones, runs, None, &pool);
+                let mut line = format!("  {clones} clone(s):  plain {}", plain.fail.render());
+                for spec in specs {
+                    let r = run_cloning_on(clones, runs, Some(spec), &pool);
+                    line.push_str(&format!("   + {} {}", spec.display_name(), r.fail.render()));
+                }
+                println!("{line}");
+            }
+        }
     }
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 fn e2(traces: u64, g: &Global) -> ExitCode {
@@ -620,10 +846,13 @@ fn e4(program: Option<&str>, runs: u64, g: &Global) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn e5(runs: u64, g: &Global) -> ExitCode {
-    let results = multiout_eval::run_multiout_eval_on(runs, 0, &g.pool("e5"));
+fn e5(runs: u64, g: &Global) -> Result<ExitCode, String> {
+    let results = match g.resolved_tools()? {
+        Some(tools) => multiout_eval::run_multiout_eval_with(runs, 0, tools, &g.pool("e5")),
+        None => multiout_eval::run_multiout_eval_on(runs, 0, &g.pool("e5")),
+    };
     println!("{}", multiout_eval::multiout_table(&results).render());
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 fn e6(budget: u64, g: &Global) -> ExitCode {

@@ -5,143 +5,18 @@
 use crate::jobpool::{JobPool, PoolStats};
 use crate::report::Table;
 use crate::stats::FindStats;
-use mtt_instrument::InstrumentationPlan;
-use mtt_noise::{CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield};
-use mtt_runtime::{Execution, NoNoise, NoiseMaker, PctScheduler, RandomScheduler, Scheduler};
+use mtt_runtime::Execution;
 use mtt_suite::SuiteProgram;
 use mtt_telemetry::{RunLogRecord, RunMetrics, SpanSet, SpanTimings, TelemetrySink};
 use mtt_trace::Trace;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Factory producing a fresh scheduler for run seed `s`.
-pub type SchedulerFactory = Arc<dyn Fn(u64) -> Box<dyn Scheduler> + Send + Sync>;
-/// Factory producing a fresh noise maker for run seed `s`.
-pub type NoiseFactory = Arc<dyn Fn(u64) -> Box<dyn NoiseMaker> + Send + Sync>;
-
-/// One tool configuration under evaluation: scheduler + noise heuristic +
-/// noise placement.
-#[derive(Clone)]
-pub struct ToolConfig {
-    /// Display name.
-    pub name: String,
-    /// Scheduler factory (fresh instance per run).
-    pub scheduler: SchedulerFactory,
-    /// Noise factory (fresh instance per run).
-    pub noise: NoiseFactory,
-    /// Where the noise maker is consulted (None = everywhere).
-    pub noise_plan: Option<InstrumentationPlan>,
-    /// Spurious-wakeup probability per scheduling point (None = off).
-    pub spurious: Option<f64>,
-}
-
-impl ToolConfig {
-    /// The "realistic JVM" baseline: a sticky random scheduler with no
-    /// noise — the environment in which, per the paper, "executing the same
-    /// tests repeatedly does not help" much.
-    pub fn baseline() -> Self {
-        ToolConfig {
-            name: "none".into(),
-            scheduler: Arc::new(|s| Box::new(RandomScheduler::sticky(s, 0.9))),
-            noise: Arc::new(|_| Box::new(NoNoise)),
-            noise_plan: None,
-            spurious: None,
-        }
-    }
-
-    /// Baseline scheduler + spurious condition-variable wakeups — the
-    /// injection that targets missing predicate loops specifically.
-    pub fn with_spurious(p: f64) -> Self {
-        ToolConfig {
-            name: format!("spurious-{p}"),
-            spurious: Some(p),
-            ..Self::baseline()
-        }
-    }
-
-    /// PCT scheduling (no noise): the priority-based randomized scheduler
-    /// with a per-run bug-finding guarantee.
-    pub fn pct(depth: u32, expected_len: u64) -> Self {
-        ToolConfig {
-            name: format!("pct-d{depth}"),
-            scheduler: Arc::new(move |s| Box::new(PctScheduler::new(s, depth, expected_len))),
-            ..Self::baseline()
-        }
-    }
-
-    /// Baseline scheduler + the given noise factory.
-    pub fn with_noise(name: impl Into<String>, noise: NoiseFactory) -> Self {
-        ToolConfig {
-            name: name.into(),
-            noise,
-            ..Self::baseline()
-        }
-    }
-
-    /// Replace the noise placement plan.
-    pub fn placed(mut self, plan: InstrumentationPlan, label: &str) -> Self {
-        self.name = format!("{}@{label}", self.name);
-        self.noise_plan = Some(plan);
-        self
-    }
-
-    /// Apply this tool's scheduler, noise, placement plan, and spurious
-    /// wakeups to an execution for run seed `seed`. This is *the* place a
-    /// tool configuration turns into execution settings: the campaign's
-    /// statistics runs and the annotated-trace regeneration both call it,
-    /// which is what guarantees a persisted trace replays the exact run the
-    /// grid counted.
-    pub fn configure<'p>(&self, exec: Execution<'p>, seed: u64, max_steps: u64) -> Execution<'p> {
-        let mut exec = exec
-            .scheduler((self.scheduler)(seed))
-            .noise((self.noise)(seed ^ 0x9e37_79b9))
-            .max_steps(max_steps);
-        if let Some(plan) = &self.noise_plan {
-            exec = exec.noise_plan(plan.clone());
-        }
-        if let Some(p) = self.spurious {
-            exec = exec.program_seed(seed).spurious_wakeups(p);
-        }
-        exec
-    }
-
-    /// The standard roster compared in experiment E1: the baseline plus
-    /// every heuristic of `mtt-noise`.
-    pub fn standard_roster() -> Vec<ToolConfig> {
-        vec![
-            Self::baseline(),
-            Self::with_noise(
-                "yield-0.1",
-                Arc::new(|s| Box::new(RandomYield::new(s, 0.1))),
-            ),
-            Self::with_noise(
-                "yield-0.5",
-                Arc::new(|s| Box::new(RandomYield::new(s, 0.5))),
-            ),
-            Self::with_noise(
-                "sleep-0.1",
-                Arc::new(|s| Box::new(RandomSleep::new(s, 0.1, 20))),
-            ),
-            Self::with_noise(
-                "sleep-0.3",
-                Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 20))),
-            ),
-            Self::with_noise("mixed-0.2", Arc::new(|s| Box::new(Mixed::new(s, 0.2, 20)))),
-            Self::with_noise(
-                "halt",
-                Arc::new(|s| Box::new(HaltOneThread::new(s, 0.05, 200))),
-            ),
-            Self::with_noise(
-                "coverage",
-                Arc::new(|s| Box::new(CoverageDirected::new(s, 0.6, 0.05, 20))),
-            ),
-            Self::with_spurious(0.05),
-            Self::pct(3, 150),
-        ]
-    }
-}
+// The tool configuration the grid evaluates now lives in `mtt-tools`, built
+// from declarative [`mtt_tools::ToolSpec`] strings; re-exported here so the
+// campaign API reads the same as before the registry refactor.
+pub use mtt_tools::ToolConfig;
 
 /// One (program, tool) cell of the campaign grid.
 #[derive(Clone, Debug, Default)]
@@ -327,6 +202,7 @@ impl Campaign {
                             experiment: self.label.clone(),
                             program: prog.name.to_string(),
                             tool: tool.name.clone(),
+                            tool_spec: tool.spec_string(),
                             run: r,
                             seed: rec.seed,
                             outcome: rec.outcome_tag.to_string(),
@@ -401,7 +277,8 @@ impl Campaign {
     /// reproduces exactly the run the campaign grid counted.
     pub fn annotated_trace(&self, prog: &SuiteProgram, tool: &ToolConfig, seed: u64) -> Trace {
         let noise_name = (tool.noise)(seed ^ 0x9e37_79b9).name().to_string();
-        let meta = crate::tracegen::trace_meta(prog, &tool.name, &noise_name, seed);
+        let mut meta = crate::tracegen::trace_meta(prog, &tool.name, &noise_name, seed);
+        meta.tool_spec = tool.spec_string();
         crate::tracegen::run_with_meta(prog, meta, |exec| {
             tool.configure(exec, seed, self.max_steps)
         })
@@ -573,10 +450,7 @@ mod tests {
             programs,
             tools: vec![
                 ToolConfig::baseline(),
-                ToolConfig::with_noise(
-                    "sleep-0.3",
-                    Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 20))),
-                ),
+                ToolConfig::from_spec_str("sticky:0.9+noise=sleep:0.3:20+name=sleep-0.3").unwrap(),
             ],
             runs: 40,
             base_seed: 7,

@@ -47,7 +47,7 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "explain",
-        args: "<program> [--seed-fail N] [--seed-pass N] [--timeline] [--diff] [--annotate FILE] [--scan N] [--csv]",
+        args: "<program> [--seed-fail N] [--seed-pass N] [--timeline] [--diff] [--annotate FILE] [--scan N] [--csv] [--tool SPEC]",
         summary: "causal post-mortem: HB timeline + failing-vs-passing schedule diff",
     },
     CommandSpec {
@@ -106,6 +106,11 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
         summary: "contention / hot-site / overhead profile",
     },
     CommandSpec {
+        name: "tools",
+        args: "[list|specs|describe <spec>|validate <spec...|--file F>] [--json]",
+        summary: "the component registry: list, describe, and validate tool specs",
+    },
+    CommandSpec {
         name: "metrics-check",
         args: "<file.ndjson>",
         summary: "validate an NDJSON run log against the schema",
@@ -144,6 +149,14 @@ pub const GLOBAL_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         flags: "--metrics FILE",
         summary: "write an NDJSON run log (campaign-backed commands: e1, e1-detail, profile)",
+    },
+    FlagSpec {
+        flags: "--tools SPEC[,SPEC...]",
+        summary: "replace the tool roster with parsed specs (e1, e1-detail, profile, e5, cloning)",
+    },
+    FlagSpec {
+        flags: "--tools-file FILE",
+        summary: "like --tools, one spec per line (# comments allowed)",
     },
 ];
 

@@ -8,11 +8,8 @@
 
 use crate::jobpool::JobPool;
 use crate::stats::FindStats;
-use mtt_runtime::{Execution, NoiseMaker, Program, ProgramBuilder, RandomScheduler, ThreadId};
-use std::sync::Arc;
-
-/// Optional noise factory composed on top of the cloning driver.
-pub type OptionalNoise = Option<Arc<dyn Fn(u64) -> Box<dyn NoiseMaker> + Send + Sync>>;
+use mtt_runtime::{Execution, Program, ProgramBuilder, ThreadId};
+use mtt_tools::ToolSpec;
 
 /// A cloneable test over the shared counter fixture: each clone increments
 /// a shared counter `per_clone` times through a read-modify-write that is
@@ -51,27 +48,36 @@ pub struct CloningReport {
     pub fail: FindStats,
 }
 
-/// Run the cloned test `runs` times under a sticky scheduler with the given
-/// clone count; optionally with a noise factory composed on top.
-pub fn run_cloning(clones: u32, runs: u64, noise: OptionalNoise) -> CloningReport {
-    run_cloning_on(clones, runs, noise, &JobPool::serial())
+/// Run the cloned test `runs` times with the given clone count under the
+/// given tool stack (`None` = the bare `sticky:0.9` baseline). Only the
+/// spec's scheduler and noise components apply here; the cloning driver
+/// seeds the noise maker with the raw run seed, matching its historical
+/// behavior.
+pub fn run_cloning(clones: u32, runs: u64, tool: Option<&ToolSpec>) -> CloningReport {
+    run_cloning_on(clones, runs, tool, &JobPool::serial())
 }
 
 /// [`run_cloning`], sharding the seeded runs across a job pool.
 pub fn run_cloning_on(
     clones: u32,
     runs: u64,
-    noise: OptionalNoise,
+    tool: Option<&ToolSpec>,
     pool: &JobPool,
 ) -> CloningReport {
+    let baseline = ToolSpec::parse("sticky:0.9").expect("baseline spec is valid");
+    let cfg = tool
+        .unwrap_or(&baseline)
+        .resolve()
+        .expect("cloning tool spec resolves");
+    let has_noise = tool.is_some_and(|t| t.noise.id != "none");
     let program = cloned_counter_test(clones, 2);
     let fails = pool.run(runs as usize, |r| {
         let seed = 1000 + r as u64;
         let mut exec = Execution::new(&program)
-            .scheduler(Box::new(RandomScheduler::sticky(seed, 0.9)))
+            .scheduler((cfg.scheduler)(seed))
             .max_steps(60_000);
-        if let Some(n) = &noise {
-            exec = exec.noise(n(seed));
+        if has_noise {
+            exec = exec.noise((cfg.noise)(seed));
         }
         !exec.run().ok()
     });
@@ -85,7 +91,6 @@ pub fn run_cloning_on(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtt_noise::RandomSleep;
 
     #[test]
     fn sequential_test_passes() {
@@ -104,11 +109,8 @@ mod tests {
             eight.fail.rate(),
             two.fail.rate()
         );
-        let noisy = run_cloning(
-            2,
-            60,
-            Some(Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 15)))),
-        );
+        let spec = ToolSpec::parse("sticky:0.9+noise=sleep:0.3:15").unwrap();
+        let noisy = run_cloning(2, 60, Some(&spec));
         assert!(
             noisy.fail.rate() > two.fail.rate(),
             "noise on top of cloning should help: {} vs {}",

@@ -18,6 +18,7 @@ use mtt_causal::{
 };
 use mtt_runtime::{Execution, RandomScheduler};
 use mtt_suite::SuiteProgram;
+use mtt_tools::{ToolConfig, ToolSpec};
 use mtt_trace::Trace;
 
 /// Options for [`explain_on`].
@@ -31,6 +32,9 @@ pub struct ExplainOptions {
     pub scan: u64,
     /// Per-run step budget.
     pub max_steps: u64,
+    /// Tool stack to scan and regenerate under (`--tool`); `None` is the
+    /// historical bare uniform-random scheduler (`sticky:0`).
+    pub tool: Option<ToolSpec>,
 }
 
 impl Default for ExplainOptions {
@@ -40,6 +44,7 @@ impl Default for ExplainOptions {
             seed_pass: None,
             scan: 200,
             max_steps: 60_000,
+            tool: None,
         }
     }
 }
@@ -63,15 +68,19 @@ pub struct Explanation {
     pub diff: Option<TraceDiff>,
 }
 
-/// Does one bare run of `program` at `seed` manifest a documented bug?
-/// Must mirror [`tracegen::generate`]'s execution settings exactly, so a
-/// seed classified here reproduces when the trace is regenerated.
-fn manifests(program: &SuiteProgram, seed: u64, max_steps: u64) -> bool {
-    let outcome = Execution::new(&program.program)
-        .scheduler(Box::new(RandomScheduler::sticky(seed, 0.0)))
-        .max_steps(max_steps)
-        .run();
-    program.judge(&outcome).failed()
+/// Does one run of `program` at `seed` under `tool` (`None` = bare uniform
+/// random) manifest a documented bug? Must mirror the trace-regeneration
+/// settings exactly, so a seed classified here reproduces when the trace is
+/// regenerated.
+fn manifests(program: &SuiteProgram, tool: Option<&ToolConfig>, seed: u64, max_steps: u64) -> bool {
+    let exec = Execution::new(&program.program);
+    let exec = match tool {
+        Some(t) => t.configure(exec, seed, max_steps),
+        None => exec
+            .scheduler(Box::new(RandomScheduler::sticky(seed, 0.0)))
+            .max_steps(max_steps),
+    };
+    program.judge(&exec.run()).failed()
 }
 
 /// Compute an [`Explanation`] for `program`, sharding the seed scan over
@@ -81,11 +90,15 @@ pub fn explain_on(
     opts: &ExplainOptions,
     pool: &JobPool,
 ) -> Result<Explanation, String> {
+    let tool = match &opts.tool {
+        Some(spec) => Some(spec.resolve()?),
+        None => None,
+    };
     let (fail_seed, pass_seed) = match (opts.seed_fail, opts.seed_pass) {
         (Some(f), Some(p)) => (f, Some(p)),
         (f, p) => {
             let verdicts = pool.run(opts.scan as usize, |i| {
-                manifests(program, i as u64, opts.max_steps)
+                manifests(program, tool.as_ref(), i as u64, opts.max_steps)
             });
             let first = |want: bool| verdicts.iter().position(|&v| v == want).map(|i| i as u64);
             let fail = match f.or_else(|| first(true)) {
@@ -101,14 +114,16 @@ pub fn explain_on(
         }
     };
     let gen = |seed| {
-        tracegen::generate(
-            program,
-            &TraceGenOptions {
-                seed,
-                stickiness: 0.0,
-                max_steps: opts.max_steps,
-            },
-        )
+        let gen_opts = TraceGenOptions {
+            seed,
+            stickiness: 0.0,
+            max_steps: opts.max_steps,
+        };
+        match &opts.tool {
+            Some(spec) => tracegen::generate_from_spec(program, spec, &gen_opts)
+                .expect("tool spec resolved above"),
+            None => tracegen::generate(program, &gen_opts),
+        }
     };
     let fail_trace = gen(fail_seed);
     let fail_ann = annotate_trace(&fail_trace);

@@ -6,56 +6,29 @@
 use crate::jobpool::JobPool;
 use crate::report::Table;
 use crate::stats::{total_variation, Distribution};
-use mtt_noise::{Mixed, RandomSleep, RandomYield};
-use mtt_runtime::{Execution, FifoScheduler, NoNoise, NoiseMaker, RandomScheduler, Scheduler};
+use mtt_runtime::Execution;
 use mtt_suite::multiout;
-use std::sync::Arc;
+use mtt_tools::ToolConfig;
 
-/// A contender in the distribution comparison.
-pub struct DistConfig {
-    /// Display name.
-    pub name: String,
-    /// Scheduler factory.
-    pub scheduler: Arc<dyn Fn(u64) -> Box<dyn Scheduler> + Send + Sync>,
-    /// Noise factory.
-    pub noise: Arc<dyn Fn(u64) -> Box<dyn NoiseMaker> + Send + Sync>,
-}
+/// The specs of the standard E5 roster: deterministic baseline, sticky
+/// random, uniform random, and noise on top of sticky. The `name=` clauses
+/// pin the historical display names (which predate the spec grammar and
+/// contain `+`).
+pub const MULTIOUT_ROSTER_SPECS: &[&str] = &[
+    "fifo+name=fifo",
+    "sticky:0.9+name=sticky-0.9",
+    "random+name=uniform",
+    "sticky:0.9+noise=yield:0.3+name=sticky+yield",
+    "sticky:0.9+noise=sleep:0.2:15+name=sticky+sleep",
+    "sticky:0.9+noise=mixed:0.25:15+name=sticky+mixed",
+];
 
-/// The standard E5 roster: deterministic baseline, sticky random, uniform
-/// random, and noise on top of sticky.
-pub fn standard_configs() -> Vec<DistConfig> {
-    vec![
-        DistConfig {
-            name: "fifo".into(),
-            scheduler: Arc::new(|_| Box::new(FifoScheduler)),
-            noise: Arc::new(|_| Box::new(NoNoise)),
-        },
-        DistConfig {
-            name: "sticky-0.9".into(),
-            scheduler: Arc::new(|s| Box::new(RandomScheduler::sticky(s, 0.9))),
-            noise: Arc::new(|_| Box::new(NoNoise)),
-        },
-        DistConfig {
-            name: "uniform".into(),
-            scheduler: Arc::new(|s| Box::new(RandomScheduler::new(s))),
-            noise: Arc::new(|_| Box::new(NoNoise)),
-        },
-        DistConfig {
-            name: "sticky+yield".into(),
-            scheduler: Arc::new(|s| Box::new(RandomScheduler::sticky(s, 0.9))),
-            noise: Arc::new(|s| Box::new(RandomYield::new(s, 0.3))),
-        },
-        DistConfig {
-            name: "sticky+sleep".into(),
-            scheduler: Arc::new(|s| Box::new(RandomScheduler::sticky(s, 0.9))),
-            noise: Arc::new(|s| Box::new(RandomSleep::new(s, 0.2, 15))),
-        },
-        DistConfig {
-            name: "sticky+mixed".into(),
-            scheduler: Arc::new(|s| Box::new(RandomScheduler::sticky(s, 0.9))),
-            noise: Arc::new(|s| Box::new(Mixed::new(s, 0.25, 15))),
-        },
-    ]
+/// The standard E5 roster, resolved from [`MULTIOUT_ROSTER_SPECS`].
+pub fn standard_configs() -> Vec<ToolConfig> {
+    MULTIOUT_ROSTER_SPECS
+        .iter()
+        .map(|s| ToolConfig::from_spec_str(s).expect("multiout roster specs are valid"))
+        .collect()
 }
 
 /// One configuration's measured distributions: over the full §4.4
@@ -82,8 +55,20 @@ pub fn run_multiout_eval(runs: u64, base_seed: u64) -> Vec<MultioutRow> {
 /// per-run signatures in canonical order reproduces the serial result
 /// exactly at any worker count.
 pub fn run_multiout_eval_on(runs: u64, base_seed: u64, pool: &JobPool) -> Vec<MultioutRow> {
+    run_multiout_eval_with(runs, base_seed, standard_configs(), pool)
+}
+
+/// [`run_multiout_eval_on`] over an explicit tool roster (the `--tools` /
+/// `--tools-file` path). Only each tool's scheduler and noise components
+/// matter to the distribution comparison; the E5 driver seeds the noise
+/// maker with `seed ^ 0xabcd`, matching its historical behavior.
+pub fn run_multiout_eval_with(
+    runs: u64,
+    base_seed: u64,
+    configs: Vec<ToolConfig>,
+    pool: &JobPool,
+) -> Vec<MultioutRow> {
     let program = multiout::program();
-    let configs = standard_configs();
     let n_runs = runs as usize;
 
     let samples: Vec<(String, String)> = pool.run(configs.len() * n_runs, |i| {

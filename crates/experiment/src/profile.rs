@@ -22,11 +22,10 @@
 use crate::campaign::{Campaign, ToolConfig};
 use crate::jobpool::{JobPool, PoolStats};
 use crate::report::Table;
-use mtt_noise::{Mixed, RandomSleep};
 use mtt_suite::SuiteProgram;
 use mtt_telemetry::{RunLogRecord, RunMetrics, SpanTimings};
+use mtt_tools::ToolSpec;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// The experiment keys `mtt profile` accepts (besides `all`).
@@ -47,6 +46,9 @@ pub struct ProfileOptions {
     /// cell into this directory (regenerated from the cell's first failing
     /// seed).
     pub annotate_dir: Option<String>,
+    /// Tool stacks to profile instead of the default
+    /// [`PROFILE_ROSTER_SPECS`] roster (`--tools` / `--tools-file`).
+    pub tools: Option<Vec<ToolSpec>>,
 }
 
 impl Default for ProfileOptions {
@@ -57,6 +59,7 @@ impl Default for ProfileOptions {
             top_k: 10,
             progress: false,
             annotate_dir: None,
+            tools: None,
         }
     }
 }
@@ -85,19 +88,24 @@ pub fn programs_for(key: &str) -> Option<Vec<SuiteProgram>> {
     }
 }
 
-/// The compact representative tool roster profiled for every key: the
-/// baseline plus one of each heuristic family.
+/// The specs of the compact representative tool roster profiled for every
+/// key: the baseline plus one of each heuristic family. The `name=` clauses
+/// pin the historical display names the profile goldens use.
+pub const PROFILE_ROSTER_SPECS: &[&str] = &[
+    "sticky:0.9+name=none",
+    "sticky:0.9+noise=sleep:0.3:20+name=sleep-0.3",
+    "sticky:0.9+noise=mixed:0.2:20+name=mixed-0.2",
+    "sticky:0.9+spurious=0.05+name=spurious-0.05",
+    "pct:3:150+name=pct-d3",
+];
+
+/// The compact representative tool roster profiled for every key, resolved
+/// from [`PROFILE_ROSTER_SPECS`].
 pub fn profile_roster() -> Vec<ToolConfig> {
-    vec![
-        ToolConfig::baseline(),
-        ToolConfig::with_noise(
-            "sleep-0.3",
-            Arc::new(|s| Box::new(RandomSleep::new(s, 0.3, 20))),
-        ),
-        ToolConfig::with_noise("mixed-0.2", Arc::new(|s| Box::new(Mixed::new(s, 0.2, 20)))),
-        ToolConfig::with_spurious(0.05),
-        ToolConfig::pct(3, 150),
-    ]
+    PROFILE_ROSTER_SPECS
+        .iter()
+        .map(|s| ToolConfig::from_spec_str(s).expect("profile roster specs are valid"))
+        .collect()
 }
 
 /// Everything one `mtt profile <key>` invocation measured.
@@ -137,7 +145,13 @@ pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, St
             PROFILE_KEYS.join(", ")
         )
     })?;
-    let tools = profile_roster();
+    let tools = match &opts.tools {
+        Some(specs) => specs
+            .iter()
+            .map(|s| s.resolve())
+            .collect::<Result<Vec<_>, _>>()?,
+        None => profile_roster(),
+    };
     let tool_names: Vec<String> = tools.iter().map(|t| t.name.clone()).collect();
     let mut campaign = Campaign {
         programs,
@@ -351,6 +365,7 @@ mod tests {
             top_k: 5,
             progress: false,
             annotate_dir: None,
+            tools: None,
         }
     }
 

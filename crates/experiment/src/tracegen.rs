@@ -4,8 +4,9 @@
 
 use crate::jobpool::JobPool;
 use mtt_instrument::shared;
-use mtt_runtime::{Execution, NoiseMaker, RandomScheduler, Scheduler};
+use mtt_runtime::{Execution, RandomScheduler};
 use mtt_suite::SuiteProgram;
+use mtt_tools::ToolSpec;
 use mtt_trace::{annotate, Trace, TraceCollector, TraceMeta};
 
 /// Options for one generated trace.
@@ -34,28 +35,36 @@ impl Default for TraceGenOptions {
 /// and the ones that actually manifested in this execution (the detector
 /// ground truth).
 pub fn generate(program: &SuiteProgram, opts: &TraceGenOptions) -> Trace {
-    generate_with(
-        program,
-        Box::new(RandomScheduler::sticky(opts.seed, opts.stickiness)),
-        Box::new(mtt_runtime::NoNoise),
-        opts,
-    )
+    let mut meta = trace_meta(program, "random", "none", opts.seed);
+    // A bare sticky scheduler at the requested stickiness is exactly what
+    // this path runs, so that is the provenance spec the header carries.
+    meta.tool_spec = format!("sticky:{}", opts.stickiness);
+    run_with_meta(program, meta, |exec| {
+        exec.scheduler(Box::new(RandomScheduler::sticky(
+            opts.seed,
+            opts.stickiness,
+        )))
+        .noise(Box::new(mtt_runtime::NoNoise))
+        .max_steps(opts.max_steps)
+    })
 }
 
-/// Like [`generate`] but with explicit scheduler/noise (used by experiments
-/// that want noisy traces).
-pub fn generate_with(
+/// Like [`generate`] but under an arbitrary tool stack (used by experiments
+/// that want noisy traces). The spec's scheduler, noise, placement, and
+/// spurious components all apply, exactly as in a campaign run; the trace
+/// header records the canonical spec string.
+pub fn generate_from_spec(
     program: &SuiteProgram,
-    scheduler: Box<dyn Scheduler>,
-    noise: Box<dyn NoiseMaker>,
+    spec: &ToolSpec,
     opts: &TraceGenOptions,
-) -> Trace {
-    let meta = trace_meta(program, "random", noise.name(), opts.seed);
-    run_with_meta(program, meta, |exec| {
-        exec.scheduler(scheduler)
-            .noise(noise)
-            .max_steps(opts.max_steps)
-    })
+) -> Result<Trace, String> {
+    let tool = spec.resolve()?;
+    let noise_name = (tool.noise)(opts.seed ^ 0x9e37_79b9).name().to_string();
+    let mut meta = trace_meta(program, &tool.name, &noise_name, opts.seed);
+    meta.tool_spec = tool.spec_string();
+    Ok(run_with_meta(program, meta, |exec| {
+        tool.configure(exec, opts.seed, opts.max_steps)
+    }))
 }
 
 /// The trace header for an execution of `program`: provenance plus every

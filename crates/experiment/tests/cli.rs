@@ -240,6 +240,85 @@ fn explain_unknown_program_is_a_usage_error() {
 }
 
 #[test]
+fn tools_lists_the_component_catalog() {
+    let (stdout, _, ok) = mtt(&["tools"]);
+    assert!(ok);
+    for id in ["sticky", "pct", "fifo", "mixed", "lockset", "lockorder"] {
+        assert!(stdout.contains(id), "catalog missing `{id}`: {stdout}");
+    }
+    let (json, _, ok) = mtt(&["tools", "list", "--json"]);
+    assert!(ok);
+    assert!(json.contains("\"schema\":\"mtt-tools-catalog\""), "{json}");
+}
+
+#[test]
+fn tools_specs_prints_the_standard_roster() {
+    let (stdout, _, ok) = mtt(&["tools", "specs"]);
+    assert!(ok);
+    for spec in mtt_tools::STANDARD_ROSTER_SPECS {
+        assert!(
+            stdout.lines().any(|l| l == *spec),
+            "roster spec `{spec}` missing from:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn tools_describe_explains_each_component() {
+    let (stdout, _, ok) = mtt(&[
+        "tools",
+        "describe",
+        "pct:3:150+noise=mixed:0.2:20+race=lockset",
+    ]);
+    assert!(ok);
+    for needle in ["scheduler", "pct", "mixed", "lockset"] {
+        assert!(
+            stdout.contains(needle),
+            "describe missing `{needle}`: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn tools_validate_rejects_malformed_specs_with_a_caret() {
+    let (stdout, _, code) = mtt_code(&["tools", "validate", "sticky:0.9"]);
+    assert_eq!(code, 0, "valid spec must pass: {stdout}");
+    let (_, stderr, code) = mtt_code(&["tools", "validate", "sticky:0.9+noise=slep:0.3"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("column 18"), "stderr: {stderr}");
+    assert!(
+        stderr
+            .lines()
+            .any(|l| l.trim_end() == format!("{}^", " ".repeat(17))),
+        "caret must point at the bad component: {stderr}"
+    );
+    assert!(stderr.contains("slep"), "stderr: {stderr}");
+}
+
+#[test]
+fn tools_flag_with_bad_spec_is_a_usage_error() {
+    let (_, stderr, code) = mtt_code(&["e1", "2", "--quiet", "--tools", "sticky:7"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("column"), "stderr: {stderr}");
+}
+
+#[test]
+fn tools_file_errors_carry_the_line_number() {
+    let dir = std::env::temp_dir().join(format!("mtt-tools-file-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roster.txt");
+    std::fs::write(&path, "# ok\nfifo\nsticky:9\n").unwrap();
+    let path_s = path.to_string_lossy().into_owned();
+    let (_, stderr, code) = mtt_code(&["e1", "2", "--quiet", "--tools-file", &path_s]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("line 3"), "stderr: {stderr}");
+    let (_, stderr, code) = mtt_code(&["tools", "validate", "--file", &path_s]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("line 3"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn trace_command_writes_annotated_jsonl() {
     let dir = std::env::temp_dir().join(format!("mtt-cli-test-{}", std::process::id()));
     let dir_s = dir.to_string_lossy().into_owned();

@@ -23,10 +23,7 @@ fn small_campaign(runs: u64) -> Campaign {
         ],
         tools: vec![
             ToolConfig::baseline(),
-            ToolConfig::with_noise(
-                "sleep-0.3",
-                std::sync::Arc::new(|s| Box::new(mtt_noise::RandomSleep::new(s, 0.3, 20))),
-            ),
+            ToolConfig::from_spec_str("sticky:0.9+noise=sleep:0.3:20+name=sleep-0.3").unwrap(),
             ToolConfig::with_spurious(0.05),
         ],
         runs,

@@ -149,6 +149,21 @@ fn explain_unguarded_wait_matches_golden() {
 }
 
 #[test]
+fn tools_catalog_json_matches_golden() {
+    // The registry's JSON catalog is part of the CLI surface: pin it so a
+    // component or roster change shows up as a reviewable golden diff.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_mtt"))
+        .args(["tools", "list", "--json"])
+        .output()
+        .expect("spawn mtt tools list --json");
+    assert!(out.status.success(), "mtt tools list --json failed");
+    check_golden(
+        "tools_catalog.json",
+        &String::from_utf8(out.stdout).expect("catalog JSON is UTF-8"),
+    );
+}
+
+#[test]
 fn e5_multiout_table_matches_golden() {
     let rows = multiout_eval::run_multiout_eval_on(24, 11, &JobPool::new(4));
     check_golden(

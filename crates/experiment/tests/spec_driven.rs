@@ -1,0 +1,133 @@
+//! Spec-driven campaigns are the hardcoded campaigns, byte for byte.
+//!
+//! The issue's core acceptance criterion: a roster that reaches the
+//! campaign through the declarative spec pipeline (`--tools-file` of the
+//! canonical standard-roster specs) must produce the same report text,
+//! CSV, and NDJSON run log as the built-in roster — both in-process and
+//! through the real binary.
+
+use mtt_experiment::campaign::{Campaign, ToolConfig};
+use mtt_experiment::jobpool::JobPool;
+use mtt_tools::{ToolSpec, STANDARD_ROSTER_SPECS};
+use std::process::Command;
+
+fn run_log_bytes(records: &[mtt_telemetry::RunLogRecord]) -> String {
+    let mut buf = Vec::new();
+    let mut w = mtt_telemetry::RunLogWriter::new(&mut buf);
+    for r in records {
+        w.write_record(r).expect("in-memory write");
+    }
+    w.flush().expect("in-memory flush");
+    drop(w);
+    String::from_utf8(buf).expect("NDJSON is UTF-8")
+}
+
+fn campaign_with(tools: Vec<ToolConfig>) -> Campaign {
+    Campaign {
+        programs: vec![
+            mtt_suite::small::lost_update(2, 2),
+            mtt_suite::small::unguarded_wait(),
+        ],
+        tools,
+        runs: 8,
+        telemetry: true,
+        ..Campaign::standard(vec![], 0)
+    }
+}
+
+/// The full standard roster, routed through the textual pipeline: print
+/// each built-in spec canonically, parse it back, resolve. If this
+/// campaign diverges from the hardcoded one in any byte, the spec layer
+/// is not a faithful encoding of the roster.
+#[test]
+fn parsed_canonical_specs_reproduce_the_hardcoded_campaign() {
+    let via_text: Vec<ToolConfig> = STANDARD_ROSTER_SPECS
+        .iter()
+        .map(|s| {
+            let canonical = ToolSpec::parse(s).expect("roster spec parses").canonical();
+            ToolConfig::from_spec_str(&canonical).expect("canonical form resolves")
+        })
+        .collect();
+    let pool = JobPool::new(4);
+    let hard = campaign_with(ToolConfig::standard_roster()).run_full(&pool);
+    let spec = campaign_with(via_text).run_full(&pool);
+    assert_eq!(
+        hard.report.table().render(),
+        spec.report.table().render(),
+        "report text diverged between hardcoded and spec-driven rosters"
+    );
+    assert_eq!(
+        hard.report.table().to_csv(),
+        spec.report.table().to_csv(),
+        "report CSV diverged between hardcoded and spec-driven rosters"
+    );
+    assert_eq!(
+        run_log_bytes(&hard.run_log),
+        run_log_bytes(&spec.run_log),
+        "NDJSON run log diverged between hardcoded and spec-driven rosters"
+    );
+}
+
+/// Every record a spec-driven campaign logs carries a `tool_spec` that
+/// `mtt tools validate` (i.e. the parser) accepts, and the annotated
+/// traces' headers do too.
+#[test]
+fn run_log_tool_specs_are_valid_specs() {
+    let run = campaign_with(ToolConfig::standard_roster()).run_full(&JobPool::new(2));
+    assert!(!run.run_log.is_empty());
+    for rec in &run.run_log {
+        ToolSpec::parse(&rec.tool_spec).unwrap_or_else(|e| {
+            panic!(
+                "run-log tool_spec `{}` must validate:\n{}",
+                rec.tool_spec,
+                e.render()
+            )
+        });
+    }
+}
+
+/// The process-level half: `mtt e1 --tools-file <standard specs>` is byte
+/// identical to plain `mtt e1`, report and run log both, at two worker
+/// counts.
+#[test]
+fn tools_file_of_standard_specs_is_byte_identical_through_the_binary() {
+    let dir = std::env::temp_dir().join(format!("mtt-spec-driven-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let roster = dir.join("roster.txt");
+    let mut text = String::from("# the standard roster, as specs\n");
+    for s in STANDARD_ROSTER_SPECS {
+        text.push_str(s);
+        text.push('\n');
+    }
+    std::fs::write(&roster, text).unwrap();
+
+    for jobs in ["1", "4"] {
+        let log_a = dir.join(format!("hard-{jobs}.ndjson"));
+        let log_b = dir.join(format!("spec-{jobs}.ndjson"));
+        let base = |log: &std::path::Path| {
+            let mut c = Command::new(env!("CARGO_BIN_EXE_mtt"));
+            c.args(["e1", "4", "--quiet", "--jobs", jobs, "--metrics"])
+                .arg(log);
+            c
+        };
+        let hard = base(&log_a).output().expect("mtt e1 runs");
+        assert!(hard.status.success(), "{:?}", hard);
+        let spec = base(&log_b)
+            .arg("--tools-file")
+            .arg(&roster)
+            .output()
+            .expect("mtt e1 --tools-file runs");
+        assert!(spec.status.success(), "{:?}", spec);
+        assert_eq!(
+            String::from_utf8_lossy(&hard.stdout),
+            String::from_utf8_lossy(&spec.stdout),
+            "stdout diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            std::fs::read(&log_a).unwrap(),
+            std::fs::read(&log_b).unwrap(),
+            "run log diverged at jobs={jobs}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -25,6 +25,7 @@ pub const RUN_LOG_REQUIRED_FIELDS: &[&str] = &[
     "experiment",
     "program",
     "tool",
+    "tool_spec",
     "run",
     "seed",
     "outcome",
@@ -52,6 +53,9 @@ pub struct RunLogRecord {
     pub program: String,
     /// Tool configuration name.
     pub tool: String,
+    /// Canonical tool-spec string the run can be re-created from
+    /// (`mtt tools validate` accepts it; see `mtt-tools`).
+    pub tool_spec: String,
     /// Run index within the (program, tool) cell.
     pub run: u64,
     /// The seed that defined the execution.
@@ -74,6 +78,7 @@ impl RunLogRecord {
             ("experiment".into(), self.experiment.to_json()),
             ("program".into(), self.program.to_json()),
             ("tool".into(), self.tool.to_json()),
+            ("tool_spec".into(), self.tool_spec.to_json()),
             ("run".into(), self.run.to_json()),
             ("seed".into(), self.seed.to_json()),
             ("outcome".into(), self.outcome.to_json()),
@@ -152,7 +157,7 @@ pub fn check_run_log_line(line: &str) -> Result<(), String> {
             return Err(format!("missing required field `{field}`"));
         };
         let ok = match *field {
-            "experiment" | "program" | "tool" | "outcome" => val.as_str().is_some(),
+            "experiment" | "program" | "tool" | "tool_spec" | "outcome" => val.as_str().is_some(),
             "failed" => matches!(val, Json::Bool(_)),
             "steps_to_first_bug" => matches!(val, Json::Null) || val.as_u64().is_some(),
             _ => val.as_u64().is_some(),
@@ -173,6 +178,7 @@ mod tests {
             experiment: "e1".into(),
             program: "lost_update".into(),
             tool: "none".into(),
+            tool_spec: "sticky:0.9+name=none".into(),
             run,
             seed: 0x5eed + run,
             outcome: "completed".into(),

@@ -1,0 +1,330 @@
+//! [`ToolConfig`]: the resolved, runnable form of a [`ToolSpec`].
+//!
+//! This is the one home of the factory typedefs that used to be
+//! copy-pasted across the experiment layer (`NoiseFactory` in campaign.rs,
+//! `OptionalNoise` in cloning.rs, inline `Arc<dyn Fn…>` in
+//! multiout_eval.rs). A `ToolConfig` always carries the `ToolSpec` it was
+//! resolved from, so every run it configures can report the canonical spec
+//! string as provenance.
+
+use crate::registry::{self, ComponentKind};
+use crate::spec::{ComponentSpec, SinkKind, ToolSpec};
+use mtt_instrument::{EventSink, InstrumentationPlan};
+use mtt_runtime::Execution;
+use std::sync::Arc;
+
+/// Factory producing a fresh scheduler for run seed `s`.
+pub type SchedulerFactory = Arc<dyn Fn(u64) -> Box<dyn mtt_runtime::Scheduler> + Send + Sync>;
+/// Factory producing a fresh noise maker for run seed `s`.
+pub type NoiseFactory = Arc<dyn Fn(u64) -> Box<dyn mtt_runtime::NoiseMaker> + Send + Sync>;
+/// Factory producing a fresh detector/coverage event sink per run.
+pub type SinkFactory = Arc<dyn Fn() -> Box<dyn EventSink> + Send + Sync>;
+
+/// The canonical specs of the standard experiment-E1 roster: the baseline
+/// plus every heuristic of `mtt-noise`, spurious wakeups, and PCT. The
+/// `name=` overrides pin the legacy display names, which is what keeps
+/// spec-driven reports byte-identical to the historical hardcoded roster.
+pub const STANDARD_ROSTER_SPECS: &[&str] = &[
+    "sticky:0.9+name=none",
+    "sticky:0.9+noise=yield:0.1+name=yield-0.1",
+    "sticky:0.9+noise=yield:0.5+name=yield-0.5",
+    "sticky:0.9+noise=sleep:0.1:20+name=sleep-0.1",
+    "sticky:0.9+noise=sleep:0.3:20+name=sleep-0.3",
+    "sticky:0.9+noise=mixed:0.2:20+name=mixed-0.2",
+    "sticky:0.9+noise=halt:0.05:200+name=halt",
+    "sticky:0.9+noise=coverage:0.6:0.05:20+name=coverage",
+    "sticky:0.9+spurious=0.05+name=spurious-0.05",
+    "pct:3:150+name=pct-d3",
+];
+
+/// One tool configuration under evaluation: scheduler + noise heuristic +
+/// placement + optional detector sinks, resolved from a [`ToolSpec`].
+#[derive(Clone)]
+pub struct ToolConfig {
+    /// Display name (the spec's `name=` override, or its canonical form).
+    pub name: String,
+    /// The spec this configuration was resolved from (provenance).
+    pub spec: ToolSpec,
+    /// Scheduler factory (fresh instance per run).
+    pub scheduler: SchedulerFactory,
+    /// Noise factory (fresh instance per run).
+    pub noise: NoiseFactory,
+    /// Where the noise maker is consulted (None = everywhere).
+    pub noise_plan: Option<InstrumentationPlan>,
+    /// Spurious-wakeup probability per scheduling point (None = off).
+    pub spurious: Option<f64>,
+    /// Detector / coverage sinks attached to every run.
+    pub sinks: Vec<SinkFactory>,
+}
+
+impl ToolConfig {
+    /// Parse `text` and resolve it — the one-call path from grammar to
+    /// runnable configuration.
+    pub fn from_spec_str(text: &str) -> Result<ToolConfig, crate::spec::SpecError> {
+        let spec = ToolSpec::parse(text)?;
+        spec.resolve().map_err(|msg| crate::spec::SpecError {
+            spec: text.to_string(),
+            col: 1,
+            line: None,
+            message: msg,
+        })
+    }
+
+    /// The canonical spec string — what run logs and annotated traces
+    /// record as `tool_spec`.
+    pub fn spec_string(&self) -> String {
+        self.spec.canonical()
+    }
+
+    /// The "realistic JVM" baseline: a sticky random scheduler with no
+    /// noise — the environment in which, per the paper, "executing the same
+    /// tests repeatedly does not help" much.
+    pub fn baseline() -> Self {
+        Self::from_spec_str("sticky:0.9+name=none").expect("baseline spec is valid")
+    }
+
+    /// Baseline scheduler + spurious condition-variable wakeups — the
+    /// injection that targets missing predicate loops specifically.
+    pub fn with_spurious(p: f64) -> Self {
+        Self::from_spec_str(&format!("sticky:0.9+spurious={p}+name=spurious-{p}"))
+            .expect("spurious probability must be in [0, 1]")
+    }
+
+    /// PCT scheduling (no noise): the priority-based randomized scheduler
+    /// with a per-run bug-finding guarantee.
+    pub fn pct(depth: u32, expected_len: u64) -> Self {
+        Self::from_spec_str(&format!("pct:{depth}:{expected_len}+name=pct-d{depth}"))
+            .expect("pct depth and length must be >= 1")
+    }
+
+    /// The standard roster compared in experiment E1 — resolved from
+    /// [`STANDARD_ROSTER_SPECS`], so the hardcoded and `--tools-file`
+    /// paths are the same path.
+    pub fn standard_roster() -> Vec<ToolConfig> {
+        STANDARD_ROSTER_SPECS
+            .iter()
+            .map(|s| Self::from_spec_str(s).expect("standard roster specs are valid"))
+            .collect()
+    }
+
+    /// Apply this tool's scheduler, noise, placement plan, spurious
+    /// wakeups, and detector sinks to an execution for run seed `seed`.
+    /// This is *the* place a tool configuration turns into execution
+    /// settings: the campaign's statistics runs and the annotated-trace
+    /// regeneration both call it, which is what guarantees a persisted
+    /// trace replays the exact run the grid counted.
+    pub fn configure<'p>(&self, exec: Execution<'p>, seed: u64, max_steps: u64) -> Execution<'p> {
+        let mut exec = exec
+            .scheduler((self.scheduler)(seed))
+            .noise((self.noise)(seed ^ 0x9e37_79b9))
+            .max_steps(max_steps);
+        if let Some(plan) = &self.noise_plan {
+            exec = exec.noise_plan(plan.clone());
+        }
+        if let Some(p) = self.spurious {
+            exec = exec.program_seed(seed).spurious_wakeups(p);
+        }
+        for sink in &self.sinks {
+            exec = exec.sink(sink());
+        }
+        exec
+    }
+}
+
+impl ToolSpec {
+    /// Resolve this spec into a runnable [`ToolConfig`] via the registry.
+    /// Specs built by [`ToolSpec::parse`] are already validated and cannot
+    /// fail here; programmatically built specs are re-validated.
+    pub fn resolve(&self) -> Result<ToolConfig, String> {
+        let scheduler = resolve_scheduler(&self.scheduler)?;
+        let noise = resolve_noise(&self.noise)?;
+        let noise_plan = match &self.place {
+            Some(p) => Some(resolve_placement(p)?),
+            None => None,
+        };
+        if let Some(p) = self.spurious {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("spurious probability {p} is not in [0, 1]"));
+            }
+        }
+        let mut sinks = Vec::new();
+        for (kind, c) in &self.sinks {
+            sinks.push(resolve_sink(*kind, c)?);
+        }
+        Ok(ToolConfig {
+            name: self.display_name(),
+            spec: self.clone(),
+            scheduler,
+            noise,
+            noise_plan,
+            spurious: self.spurious,
+            sinks,
+        })
+    }
+}
+
+fn checked(
+    kind: ComponentKind,
+    c: &ComponentSpec,
+) -> Result<&'static registry::ComponentInfo, String> {
+    registry::validate_component(kind, c)?;
+    Ok(registry::lookup(kind, &c.id).expect("validated component exists"))
+}
+
+fn resolve_scheduler(c: &ComponentSpec) -> Result<SchedulerFactory, String> {
+    use mtt_runtime::{FifoScheduler, PctScheduler, RandomScheduler, RoundRobinScheduler};
+    let info = checked(ComponentKind::Scheduler, c)?;
+    Ok(match c.id.as_str() {
+        "sticky" => {
+            let stickiness = registry::param(info, c, 0);
+            Arc::new(move |s| Box::new(RandomScheduler::sticky(s, stickiness)))
+        }
+        "random" => Arc::new(|s| Box::new(RandomScheduler::new(s))),
+        "fifo" => Arc::new(|_| Box::new(FifoScheduler)),
+        "rr" => Arc::new(|_| Box::new(RoundRobinScheduler::new())),
+        "pct" => {
+            let depth = registry::param(info, c, 0) as u32;
+            let expected_len = registry::param(info, c, 1) as u64;
+            Arc::new(move |s| Box::new(PctScheduler::new(s, depth, expected_len)))
+        }
+        other => unreachable!("scheduler `{other}` is in the catalog but not resolvable"),
+    })
+}
+
+fn resolve_noise(c: &ComponentSpec) -> Result<NoiseFactory, String> {
+    use mtt_noise::{CoverageDirected, HaltOneThread, Mixed, RandomSleep, RandomYield};
+    let info = checked(ComponentKind::Noise, c)?;
+    Ok(match c.id.as_str() {
+        "none" => Arc::new(|_| Box::new(mtt_runtime::NoNoise)),
+        "yield" => {
+            let p = registry::param(info, c, 0);
+            Arc::new(move |s| Box::new(RandomYield::new(s, p)))
+        }
+        "sleep" => {
+            let p = registry::param(info, c, 0);
+            let strength = registry::param(info, c, 1) as u32;
+            Arc::new(move |s| Box::new(RandomSleep::new(s, p, strength)))
+        }
+        "mixed" => {
+            let p = registry::param(info, c, 0);
+            let strength = registry::param(info, c, 1) as u32;
+            Arc::new(move |s| Box::new(Mixed::new(s, p, strength)))
+        }
+        "halt" => {
+            let p = registry::param(info, c, 0);
+            let duration = registry::param(info, c, 1) as u32;
+            Arc::new(move |s| Box::new(HaltOneThread::new(s, p, duration)))
+        }
+        "coverage" => {
+            let p_hot = registry::param(info, c, 0);
+            let p_cold = registry::param(info, c, 1);
+            let strength = registry::param(info, c, 2) as u32;
+            Arc::new(move |s| Box::new(CoverageDirected::new(s, p_hot, p_cold, strength)))
+        }
+        other => unreachable!("noise `{other}` is in the catalog but not resolvable"),
+    })
+}
+
+fn resolve_placement(c: &ComponentSpec) -> Result<InstrumentationPlan, String> {
+    use mtt_noise::placement;
+    checked(ComponentKind::Placement, c)?;
+    Ok(match c.id.as_str() {
+        "everywhere" => placement::everywhere(),
+        "sync" => placement::sync_only(),
+        "vars" => placement::var_access_only(),
+        other => unreachable!("placement `{other}` is in the catalog but not resolvable"),
+    })
+}
+
+fn resolve_sink(kind: SinkKind, c: &ComponentSpec) -> Result<SinkFactory, String> {
+    checked(ComponentKind::of_sink(kind), c)?;
+    Ok(match (kind, c.id.as_str()) {
+        (SinkKind::Race, "lockset") => Arc::new(|| Box::new(mtt_race::EraserLockset::new())),
+        (SinkKind::Race, "hb") => Arc::new(|| Box::new(mtt_race::VectorClockDetector::new())),
+        (SinkKind::Deadlock, "lockorder") => {
+            Arc::new(|| Box::new(mtt_deadlock::LockOrderGraph::new()))
+        }
+        (SinkKind::Deadlock, "waitsfor") => {
+            Arc::new(|| Box::new(mtt_deadlock::WaitsForMonitor::new()))
+        }
+        (SinkKind::Coverage, "sites") => Arc::new(|| Box::new(mtt_coverage::SiteCoverage::new())),
+        (SinkKind::Coverage, "sync") => Arc::new(|| Box::new(mtt_coverage::SyncCoverage::new())),
+        (_, other) => unreachable!("sink `{other}` is in the catalog but not resolvable"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_roster_keeps_the_legacy_names() {
+        let roster = ToolConfig::standard_roster();
+        let names: Vec<&str> = roster.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "none",
+                "yield-0.1",
+                "yield-0.5",
+                "sleep-0.1",
+                "sleep-0.3",
+                "mixed-0.2",
+                "halt",
+                "coverage",
+                "spurious-0.05",
+                "pct-d3"
+            ]
+        );
+    }
+
+    #[test]
+    fn roster_specs_roundtrip_through_the_grammar() {
+        for text in STANDARD_ROSTER_SPECS {
+            let spec = ToolSpec::parse(text).expect(text);
+            assert_eq!(&spec.canonical(), text, "roster specs are canonical");
+            spec.resolve().expect(text);
+        }
+    }
+
+    #[test]
+    fn constructors_match_their_specs() {
+        assert_eq!(ToolConfig::baseline().name, "none");
+        assert_eq!(ToolConfig::with_spurious(0.05).name, "spurious-0.05");
+        assert_eq!(ToolConfig::with_spurious(0.05).spurious, Some(0.05));
+        assert_eq!(ToolConfig::pct(3, 150).name, "pct-d3");
+        assert_eq!(
+            ToolConfig::pct(3, 150).spec_string(),
+            "pct:3:150+name=pct-d3"
+        );
+    }
+
+    #[test]
+    fn default_parameters_are_applied_at_resolution() {
+        let cfg = ToolConfig::from_spec_str("sticky+noise=sleep").unwrap();
+        // Defaults come from the registry; the instantiated noise maker
+        // reports its own name, proving the factory is live.
+        assert_eq!((cfg.noise)(1).name(), "sleep(p=0.1,s=20)");
+    }
+
+    #[test]
+    fn detector_sinks_resolve_and_attach() {
+        let cfg = ToolConfig::from_spec_str("sticky:0.9+race=lockset+deadlock=lockorder+cov=sites")
+            .unwrap();
+        assert_eq!(cfg.sinks.len(), 3);
+        // The factories produce working sinks.
+        for f in &cfg.sinks {
+            let mut sink = f();
+            sink.finish();
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_programmatic_garbage() {
+        let mut spec = ToolSpec::bare(ComponentSpec::bare("sticky"));
+        spec.spurious = Some(9.0);
+        assert!(spec.resolve().is_err());
+        let spec = ToolSpec::bare(ComponentSpec::bare("warp-drive"));
+        assert!(spec.resolve().is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! # mtt-tools — tool configurations as data
+//!
+//! §4.3 of the paper calls for a "repository of tools with standard (open)
+//! interfaces" so a researcher can replace one component and reuse the
+//! rest. This crate makes that openness explicit:
+//!
+//! - [`registry`] — the component catalog: every named, parameterized
+//!   factory behind the open traits (`Scheduler`, `NoiseMaker`, detector
+//!   and coverage `EventSink`s, noise placement plans);
+//! - [`ToolSpec`] — a declarative tool stack with a compact textual
+//!   grammar (`pct:3:150+noise=mixed:0.2:20+race=lockset`) that parses,
+//!   pretty-prints round-trip, and serializes via `mtt-json`;
+//! - [`ToolConfig`] — the resolved, runnable form a `ToolSpec` turns into,
+//!   which the campaign engine, profiler, trace generator, and CLI all
+//!   consume.
+//!
+//! ```
+//! use mtt_tools::{ToolConfig, ToolSpec};
+//!
+//! let spec = ToolSpec::parse("sticky:0.9+noise=sleep:0.3:20").unwrap();
+//! assert_eq!(spec.canonical(), "sticky:0.9+noise=sleep:0.3:20");
+//! let tool: ToolConfig = spec.resolve().unwrap();
+//! assert_eq!(tool.name, "sticky:0.9+noise=sleep:0.3:20");
+//! ```
+
+pub mod config;
+pub mod registry;
+pub mod spec;
+
+pub use config::{NoiseFactory, SchedulerFactory, SinkFactory, ToolConfig, STANDARD_ROSTER_SPECS};
+pub use registry::{catalog, catalog_json, catalog_markdown, ComponentInfo, ComponentKind};
+pub use spec::{ComponentSpec, SinkKind, SpecError, ToolSpec};

@@ -1,0 +1,31 @@
+//! Docs drift guard: the component catalogue embedded in EXPERIMENTS.md
+//! must equal the registry's generated markdown. Rebless after a registry
+//! change with:
+//!
+//! ```text
+//! MTT_BLESS=1 cargo test -p mtt-tools --test docs
+//! ```
+
+const BEGIN: &str = "<!-- registry:catalog:begin -->";
+const END: &str = "<!-- registry:catalog:end -->";
+
+#[test]
+fn experiments_md_catalog_matches_the_registry() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+    let text = std::fs::read_to_string(path).expect("EXPERIMENTS.md exists");
+    let begin = text.find(BEGIN).expect("catalog begin marker present") + BEGIN.len();
+    let end = text.find(END).expect("catalog end marker present");
+    assert!(begin <= end, "catalog markers out of order");
+    let expected = format!("\n{}", mtt_tools::catalog_markdown());
+    if std::env::var_os("MTT_BLESS").is_some() {
+        let blessed = format!("{}{}{}", &text[..begin], expected, &text[end..]);
+        std::fs::write(path, blessed).expect("write blessed EXPERIMENTS.md");
+        return;
+    }
+    assert_eq!(
+        &text[begin..end],
+        expected,
+        "EXPERIMENTS.md catalogue drifted from the registry; rerun with \
+         MTT_BLESS=1 and review the diff"
+    );
+}

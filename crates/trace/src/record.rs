@@ -121,6 +121,9 @@ pub struct TraceMeta {
     pub scheduler: String,
     /// Noise maker used.
     pub noise: String,
+    /// Canonical tool-spec string (`mtt-tools` grammar) the producing
+    /// configuration can be re-created from.
+    pub tool_spec: String,
     /// Scheduler seed (0 when not applicable).
     pub seed: u64,
     /// Thread names by id.
@@ -147,6 +150,7 @@ mtt_json::json_struct!(TraceMeta {
     program,
     scheduler,
     noise,
+    tool_spec,
     seed,
     thread_names,
     var_names,

@@ -12,8 +12,6 @@
 //! ```
 
 use mtt::experiment::campaign::{Campaign, ToolConfig};
-use mtt::noise::{placement, RandomSleep};
-use std::sync::Arc;
 
 fn main() {
     // ------------------------------------------------------------------
@@ -34,16 +32,16 @@ fn main() {
     // ------------------------------------------------------------------
     // Round 2: where to put the noise? (the placement research question)
     // ------------------------------------------------------------------
-    let noise = |label: &str| {
-        ToolConfig::with_noise(label, Arc::new(|s| Box::new(RandomSleep::new(s, 0.25, 20))))
-    };
+    // Tool stacks as declarative specs: same heuristic, three placements —
+    // exactly what `mtt e1 --tools <spec,...>` would run.
+    let spec = |s: &str| ToolConfig::from_spec_str(s).expect("example specs are valid");
     let placement_campaign = Campaign {
         programs: vec![mtt::suite::large::web_sessions(3, 4)],
         tools: vec![
             ToolConfig::baseline(),
-            noise("sleep"),
-            noise("sleep").placed(placement::sync_only(), "sync-only"),
-            noise("sleep").placed(placement::var_access_only(), "var-access"),
+            spec("sticky:0.9+noise=sleep:0.25:20+name=sleep"),
+            spec("sticky:0.9+noise=sleep:0.25:20+place=sync+name=sync-only"),
+            spec("sticky:0.9+noise=sleep:0.25:20+place=vars+name=var-access"),
         ],
         runs: 40,
         base_seed: 0xbeef,
