@@ -5,7 +5,10 @@
 //!
 //! ```text
 //! mtt list                      list benchmark programs and their bugs
-//! mtt lint <sample|file> [--json]  static diagnostics for a MiniProg program
+//! mtt lint <sample|file> [--json] [--deny IDS] [--allow IDS]
+//!                               static diagnostics for a MiniProg program;
+//!                               --deny exits 3 when a denied lint fires,
+//!                               --allow suppresses listed codes (`all` ok)
 //! mtt run <program> [seed]      run one program once and print the outcome
 //! mtt trace <program> <n> <dir> generate n annotated traces into dir
 //! mtt explain <program> [--seed-fail N] [--seed-pass N] [--timeline]
@@ -23,6 +26,9 @@
 //! mtt e6 [budget]               exploration vs random testing
 //! mtt e7 [runs]                 static advice: reduction + preservation
 //! mtt e8 [seed]                 online/offline trade-off
+//! mtt e11 [runs] [--csv|--json] static vs dynamic scoreboard: per-class
+//!                               precision/recall of L001–L007 + R/D/A001
+//!                               against the dynamic detector roster
 //! mtt profile <e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR]
 //!                               contention / hot-site / overhead profile
 //! mtt tools [list|specs|describe <spec>|validate <spec...|--file F>] [--json]
@@ -58,7 +64,8 @@
 
 use mtt_experiment::{
     campaign::Campaign, cli_spec, cloning::run_cloning_on, coverage_eval, detector_eval, explain,
-    explore_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, static_eval, tracegen,
+    explore_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, scoreboard, static_eval,
+    tracegen,
 };
 use mtt_runtime::{Execution, RandomScheduler};
 use mtt_telemetry::{check_run_log_line, RunLogRecord, RunLogWriter};
@@ -197,6 +204,7 @@ fn main() -> ExitCode {
             "e6" => Ok(e6(arg_u64(&args, 1, 3000)?, &global)),
             "e7" => Ok(e7(arg_u64(&args, 1, 40)?, &global)),
             "e8" => Ok(e8(arg_u64(&args, 1, 7)?)),
+            "e11" => e11(&args[1..], &global),
             "profile" => profile_cmd(&args[1..], &global),
             "tools" => tools_cmd(&args[1..]),
             "metrics-check" => Ok(metrics_check(&args[1..])),
@@ -210,6 +218,7 @@ fn main() -> ExitCode {
                 e6(2000, &global);
                 e7(30, &global);
                 e8(7);
+                e11(&["12".into()], &global)?;
                 Ok(ExitCode::SUCCESS)
             }
             "help" | "--help" | "-h" => {
@@ -261,12 +270,53 @@ fn list() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse a `--deny`/`--allow` value: `all` or a comma-separated code list.
+/// `None` means "every code" (the `all` sentinel).
+fn parse_code_list(value: &str) -> Option<Vec<String>> {
+    if value == "all" {
+        None
+    } else {
+        Some(
+            value
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.to_string())
+                .collect(),
+        )
+    }
+}
+
+/// Does `codes` (None = all) cover diagnostic code `code`?
+fn code_matches(codes: &Option<Vec<String>>, code: &str) -> bool {
+    match codes {
+        None => true,
+        Some(list) => list.iter().any(|c| c == code),
+    }
+}
+
 fn lint(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut target = None;
-    for a in args {
+    let mut deny: Option<Option<Vec<String>>> = None;
+    let mut allow: Option<Option<Vec<String>>> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--deny" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--deny needs a code list (or `all`)");
+                    return ExitCode::from(2);
+                };
+                deny = Some(parse_code_list(v));
+            }
+            "--allow" => {
+                let Some(v) = it.next() else {
+                    eprintln!("--allow needs a code list (or `all`)");
+                    return ExitCode::from(2);
+                };
+                allow = Some(parse_code_list(v));
+            }
             other if target.is_none() => target = Some(other.to_string()),
             other => {
                 eprintln!("unexpected argument `{other}`");
@@ -275,7 +325,7 @@ fn lint(args: &[String]) -> ExitCode {
         }
     }
     let Some(target) = target else {
-        eprintln!("usage: mtt lint <sample-name|file.mp> [--json]");
+        eprintln!("usage: mtt lint <sample-name|file.mp> [--json] [--deny IDS] [--allow IDS]");
         eprintln!("samples:");
         for s in mtt_static::samples::catalog() {
             eprintln!("  {}", s.name);
@@ -302,26 +352,46 @@ fn lint(args: &[String]) -> ExitCode {
         }
     };
     let result = mtt_static::analyze(&ast);
+    // `--allow` suppresses matching diagnostics entirely; `--deny` marks
+    // the remaining matches as gate failures (exit 3, for CI).
+    let diagnostics: Vec<_> = result
+        .diagnostics
+        .iter()
+        .filter(|d| match &allow {
+            Some(codes) => !code_matches(codes, &d.code),
+            None => true,
+        })
+        .cloned()
+        .collect();
+    let denied = diagnostics
+        .iter()
+        .filter(|d| match &deny {
+            Some(codes) => code_matches(codes, &d.code),
+            None => false,
+        })
+        .count();
     if json {
-        println!("{}", mtt_json::to_string(&result.diagnostics));
-    } else if result.diagnostics.is_empty() {
+        println!("{}", mtt_json::to_string(&diagnostics));
+    } else if diagnostics.is_empty() {
         println!("{label}: no findings");
     } else {
-        for d in &result.diagnostics {
+        for d in &diagnostics {
             println!("{}", d.render());
         }
         println!(
             "{label}: {} finding(s) across {} pass(es)",
-            result.diagnostics.len(),
-            result
-                .diagnostics
+            diagnostics.len(),
+            diagnostics
                 .iter()
                 .map(|d| d.code.clone())
                 .collect::<std::collections::BTreeSet<_>>()
                 .len()
         );
     }
-    if result.diagnostics.is_empty() {
+    if denied > 0 {
+        eprintln!("{label}: {denied} denied finding(s)");
+        ExitCode::from(3)
+    } else if diagnostics.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -871,6 +941,29 @@ fn e7(runs: u64, g: &Global) -> ExitCode {
     println!("{}", static_eval::static_table(&rows).render());
     println!("{}", static_eval::class_table(&rows).render());
     ExitCode::SUCCESS
+}
+
+fn e11(args: &[String], g: &Global) -> Result<ExitCode, String> {
+    let mut csv = false;
+    let mut json = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--json" => json = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let runs = arg_u64(&positional, 0, 20)?;
+    let rows = scoreboard::run_scoreboard_on(runs, &g.pool("e11"));
+    if json {
+        println!("{}", scoreboard::scoreboard_json(&rows).dump());
+    } else if csv {
+        print!("{}", scoreboard::render_csv(&rows));
+    } else {
+        print!("{}", scoreboard::render_report(&rows));
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn e8(seed: u64) -> ExitCode {

@@ -32,8 +32,8 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "lint",
-        args: "<sample|file> [--json]",
-        summary: "static diagnostics for a MiniProg program",
+        args: "<sample|file> [--json] [--deny IDS] [--allow IDS]",
+        summary: "static diagnostics for a MiniProg program (--deny gates CI via exit 3)",
     },
     CommandSpec {
         name: "run",
@@ -99,6 +99,11 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
         name: "e8",
         args: "[seed]",
         summary: "online/offline trade-off",
+    },
+    CommandSpec {
+        name: "e11",
+        args: "[runs] [--csv|--json]",
+        summary: "static vs dynamic scoreboard: per-class precision/recall",
     },
     CommandSpec {
         name: "profile",

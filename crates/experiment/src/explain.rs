@@ -17,7 +17,7 @@ use mtt_causal::{
     CausalAnnotations, TraceDiff,
 };
 use mtt_runtime::{Execution, RandomScheduler};
-use mtt_suite::SuiteProgram;
+use mtt_suite::{BugClass, SuiteProgram};
 use mtt_tools::{ToolConfig, ToolSpec};
 use mtt_trace::Trace;
 
@@ -66,6 +66,52 @@ pub struct Explanation {
     pub pass: Option<(Trace, CausalAnnotations)>,
     /// LCS schedule diff (failing vs passing), when a passing run exists.
     pub diff: Option<TraceDiff>,
+    /// When the failing run manifested a deadlock that the static
+    /// lock-order analysis (L006) also predicts on the program's MiniProg
+    /// twin, the cross-link note naming the predicted cycle sites.
+    pub static_note: Option<String>,
+}
+
+/// The MiniProg sample that models a suite program, where one exists —
+/// the bridge that lets the dynamic post-mortem cite static predictions.
+fn miniprog_twin(name: &str) -> Option<&'static str> {
+    match name {
+        "ab_ba" => Some("mp_abba"),
+        "dining_philosophers" => Some("mp_lock_cycle3"),
+        _ => None,
+    }
+}
+
+/// If the failing trace manifested a documented deadlock and the static
+/// lock-order pass (L006) flags the program's MiniProg twin, produce the
+/// cross-link note with the predicted acquisition sites.
+fn static_deadlock_note(program: &SuiteProgram, fail: &Trace) -> Option<String> {
+    let deadlocked = fail.meta.manifested_bugs.iter().any(|tag| {
+        program
+            .bugs
+            .iter()
+            .any(|b| b.tag == tag.as_str() && b.class == BugClass::Deadlock)
+    });
+    if !deadlocked {
+        return None;
+    }
+    let twin = miniprog_twin(program.name)?;
+    let sample = mtt_static::samples::by_name(twin)?;
+    let ast = mtt_static::parse(sample.src).ok()?;
+    let analysis = mtt_static::analyze(&ast);
+    let sites: Vec<String> = analysis
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "L006")
+        .map(|d| format!("{twin}:{}", d.line))
+        .collect();
+    if sites.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "statically predicted: L006 flags the lock-order cycle on twin sample {} — this deadlock was foreseeable without running",
+        sites.join(", ")
+    ))
 }
 
 /// Does one run of `program` at `seed` under `tool` (`None` = bare uniform
@@ -135,6 +181,7 @@ pub fn explain_on(
     let diff = pass
         .as_ref()
         .map(|(pt, _)| TraceDiff::compute(&fail_trace, pt));
+    let static_note = static_deadlock_note(program, &fail_trace);
     Ok(Explanation {
         program: program.name.to_string(),
         fail_seed,
@@ -143,6 +190,7 @@ pub fn explain_on(
         fail_ann,
         pass,
         diff,
+        static_note,
     })
 }
 
@@ -173,6 +221,10 @@ impl Explanation {
                         "manifested bugs: {}\n",
                         self.fail_trace.meta.manifested_bugs.join(", ")
                     ));
+                }
+                if let Some(note) = &self.static_note {
+                    out.push_str(note);
+                    out.push('\n');
                 }
             }
             None => out.push_str("first failure: none recorded\n"),
@@ -265,6 +317,26 @@ mod tests {
         )
         .unwrap();
         assert_eq!(pinned.render_timeline(), auto.render_timeline());
+    }
+
+    #[test]
+    fn deadlock_explanation_cites_the_static_l006_prediction() {
+        let p = mtt_suite::small::ab_ba();
+        let e = explain_on(&p, &ExplainOptions::default(), &JobPool::new(4)).unwrap();
+        let note = e
+            .static_note
+            .as_deref()
+            .expect("ab_ba deadlock is statically predicted");
+        assert!(note.contains("L006"), "{note}");
+        assert!(note.contains("mp_abba"), "{note}");
+        assert!(e.render_summary().contains("statically predicted"));
+    }
+
+    #[test]
+    fn non_deadlock_failures_carry_no_static_note() {
+        let p = mtt_suite::small::lost_update(2, 2);
+        let e = explain_on(&p, &ExplainOptions::default(), &JobPool::serial()).unwrap();
+        assert!(e.static_note.is_none(), "lost_update is not a deadlock");
     }
 
     #[test]

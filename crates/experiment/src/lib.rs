@@ -10,7 +10,7 @@
 //! compared to alternative approaches."
 //!
 //! Each `*_eval` module is one such prepared experiment (the experiment ids
-//! E1–E8 are indexed in DESIGN.md §6 and EXPERIMENTS.md); the `mtt` binary
+//! E1–E11 are indexed in DESIGN.md §6 and EXPERIMENTS.md); the `mtt` binary
 //! is the push button. [`stats`] holds the shared statistical machinery
 //! (Wilson confidence intervals, outcome-distribution measures), and
 //! [`report`] renders every experiment as aligned text tables plus CSV.
@@ -32,6 +32,7 @@ pub mod multiout_eval;
 pub mod profile;
 pub mod replay_eval;
 pub mod report;
+pub mod scoreboard;
 pub mod static_eval;
 pub mod stats;
 pub mod tracegen;

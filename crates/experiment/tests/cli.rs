@@ -335,3 +335,28 @@ fn trace_command_writes_annotated_jsonl() {
         .contains(&"transfer-atomicity".to_string()));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn lint_deny_gates_with_exit_3() {
+    // A denied lint that fires exits 3 (distinct from 1 = ungated findings
+    // and 2 = usage), so CI can assert "these samples must trip the gate".
+    let (_, stderr, code) = mtt_code(&["lint", "mp_abba", "--deny", "all"]);
+    assert_eq!(code, 3, "stderr: {stderr}");
+    assert!(stderr.contains("denied finding"), "stderr: {stderr}");
+
+    // A clean sample passes the same gate with exit 0.
+    let (_, stderr, code) = mtt_code(&["lint", "mp_branch_release", "--deny", "all"]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+
+    // --allow strips the findings before the gate sees them.
+    let (stdout, _, code) = mtt_code(&["lint", "mp_abba", "--deny", "all", "--allow", "all"]);
+    assert_eq!(code, 0, "stdout: {stdout}");
+
+    // Denying a code the sample never emits leaves only exit 1 (findings).
+    let (_, _, code) = mtt_code(&["lint", "mp_abba", "--deny", "L001"]);
+    assert_eq!(code, 1);
+
+    // A missing flag value is a usage error.
+    let (_, _, code) = mtt_code(&["lint", "mp_abba", "--deny"]);
+    assert_eq!(code, 2);
+}

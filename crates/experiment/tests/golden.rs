@@ -164,6 +164,23 @@ fn tools_catalog_json_matches_golden() {
 }
 
 #[test]
+fn e11_scoreboard_matches_golden() {
+    // The E11 report at the CLI's default run count is pinned byte for
+    // byte: CI diffs `mtt e11 --jobs 4` against this same snapshot, so a
+    // detector or lint change that moves a score shows up as a reviewable
+    // golden diff in both places.
+    let rows = mtt_experiment::scoreboard::run_scoreboard_on(20, &JobPool::new(4));
+    check_golden(
+        "e11_scoreboard.txt",
+        &mtt_experiment::scoreboard::render_report(&rows),
+    );
+    check_golden(
+        "e11_scoreboard.csv",
+        &mtt_experiment::scoreboard::render_csv(&rows),
+    );
+}
+
+#[test]
 fn e5_multiout_table_matches_golden() {
     let rows = multiout_eval::run_multiout_eval_on(24, 11, &JobPool::new(4));
     check_golden(

@@ -24,12 +24,21 @@
 //!   set over model-state fingerprints (shared store + lock owners +
 //!   per-thread observation history); deterministic model threads make the
 //!   pruning sound modulo hash collision.
+//! * **Sleep-set DPOR** ([`ExploreOptions::sleep_sets`]): Godefroid-style
+//!   sleep sets fed by a *static* independence oracle
+//!   ([`StaticInfo::lines_independent`], produced by `mtt-static`'s
+//!   `StaticIndependence` pass). When an alternative has been fully
+//!   explored from a branch point, the sibling runs carry it in their
+//!   sleep set and skip re-exploring it until a dependent operation (per
+//!   the oracle) wakes it. An absent oracle fact means "dependent", so
+//!   missing static advice degrades to plain exploration, never to an
+//!   unsound one.
 //!
 //! Every bug found is reproduced once more under a recording scheduler to
 //! produce a clean [`mtt_replay::ReplayLog`] — the saved "scenario" that
 //! can be replayed, exactly as the paper prescribes.
 
-use mtt_instrument::{Event, Op, StaticInfo, ThreadId};
+use mtt_instrument::{Event, Loc, Op, StaticInfo, ThreadId};
 use mtt_replay::{record, ReplayLog};
 use mtt_runtime::{Execution, ExecutionOptions, NoNoise, Outcome, Program, SchedView, Scheduler};
 use std::collections::hash_map::DefaultHasher;
@@ -55,6 +64,9 @@ struct RunRecord {
     visible: Vec<bool>,
     /// Model-state fingerprint at each point (only filled in stateful mode).
     state_hash: Vec<u64>,
+    /// Source location of the event each decision produced (`locs[k]` is
+    /// the op run by `decisions[k]`); feeds the sleep-set wake rule.
+    locs: Vec<Loc>,
 }
 
 /// Scheduler that forces a decision prefix and then runs a deterministic
@@ -127,6 +139,11 @@ impl Scheduler for ForcedPrefix {
 
     fn on_event(&mut self, ev: &Event) {
         self.last_prev = Some(ev.thread.0);
+        self.record
+            .lock()
+            .expect("run record poisoned")
+            .locs
+            .push(ev.loc);
         // Static refinement of the visibility reduction: an operation a
         // may-happen-in-parallel analysis proved serialized (or thread-local)
         // commutes with its neighbours just like a yield does, so the point
@@ -262,6 +279,14 @@ pub struct ExploreOptions {
     /// shrinking the branch tree further (§3: static advice consumed by a
     /// dynamic tool).
     pub static_info: Option<Arc<StaticInfo>>,
+    /// Sleep-set DPOR driven by the static independence oracle in
+    /// [`StaticInfo::independent_line_pairs`]. Once a branch alternative is
+    /// fully explored, sibling runs keep it asleep — skipping it at later
+    /// branch points — until an operation the oracle cannot prove
+    /// independent wakes it. Without `static_info` (or with an empty
+    /// oracle) every operation wakes everything and the search is plain
+    /// visible-operation POR.
+    pub sleep_sets: bool,
     /// CMC-style visited-state pruning.
     pub stateful: bool,
     /// Stop at the first bug.
@@ -278,6 +303,7 @@ impl Default for ExploreOptions {
             preemption_bound: None,
             branch_only_visible: true,
             static_info: None,
+            sleep_sets: false,
             stateful: false,
             stop_on_first_bug: true,
             max_steps_per_exec: 20_000,
@@ -317,6 +343,9 @@ pub struct ExploreResult {
     pub pruned_by_visibility: u64,
     /// Alternatives skipped by the preemption bound.
     pub pruned_by_preemption: u64,
+    /// Alternatives skipped because they were asleep (already covered by an
+    /// explored sibling per the static independence oracle).
+    pub pruned_by_sleep: u64,
 }
 
 impl ExploreResult {
@@ -346,6 +375,26 @@ struct Branch {
     prefix: Vec<u32>,
     /// Alternatives not yet tried at this point.
     untried: Vec<u32>,
+    /// Sleep set valid on entry to this branch point (sleep-set mode only):
+    /// thread choices already covered by earlier exploration, each with the
+    /// location of the op it performed when it was explored.
+    sleep: Vec<(u32, Loc)>,
+    /// Choices already explored from this point (the original run's default
+    /// pick, then each popped alternative), with the op each performed.
+    /// Sibling runs start with these asleep.
+    explored: Vec<(u32, Loc)>,
+}
+
+/// A run the DFS still has to perform.
+struct Pending {
+    /// Forced decision prefix.
+    prefix: Vec<u32>,
+    /// Sleep set on entry to the branch point this run diverges at
+    /// (`prefix.len() - 1`); empty for the root run.
+    sleep: Vec<(u32, Loc)>,
+    /// Stack index of the [`Branch`] this run was popped from (None for the
+    /// root run); its `explored` list is extended once the run completes.
+    origin: Option<usize>,
 }
 
 impl<'p> Explorer<'p> {
@@ -388,6 +437,7 @@ impl<'p> Explorer<'p> {
                     prev: g.prev.clone(),
                     visible: g.visible.clone(),
                     state_hash: g.state_hash.clone(),
+                    locs: g.locs.clone(),
                 }
             });
         (outcome, rec)
@@ -407,22 +457,58 @@ impl<'p> Explorer<'p> {
         p
     }
 
+    /// Sleep-set wake rule: after thread `who` executes the op at `loc`,
+    /// drop every sleeping entry that is `who` itself (its continuation
+    /// changed) or that the oracle cannot prove independent of the op.
+    /// Missing information (no oracle, no recorded loc) wakes everything —
+    /// the conservative direction.
+    fn wake(
+        sleep: &mut Vec<(u32, Loc)>,
+        who: Option<u32>,
+        loc: Option<Loc>,
+        info: Option<&StaticInfo>,
+    ) {
+        let (Some(who), Some(loc), Some(info)) = (who, loc, info) else {
+            sleep.clear();
+            return;
+        };
+        sleep.retain(|(t, tl)| *t != who && info.lines_independent(loc.line, tl.line));
+    }
+
     /// Run the depth-first exploration.
     pub fn run(&self) -> ExploreResult {
         let mut result = ExploreResult::default();
         let mut visited: HashSet<u64> = HashSet::new();
         let mut stack: Vec<Branch> = Vec::new();
-        let mut next_prefix: Option<Vec<u32>> = Some(Vec::new());
+        let mut next: Option<Pending> = Some(Pending {
+            prefix: Vec::new(),
+            sleep: Vec::new(),
+            origin: None,
+        });
+        let sleeping = self.opts.sleep_sets;
+        let info = self.opts.static_info.as_deref();
 
-        while let Some(prefix) = next_prefix.take() {
+        while let Some(pending) = next.take() {
             if self.opts.max_executions > 0 && result.executions >= self.opts.max_executions {
                 result.exhausted = false;
                 return result;
             }
+            let prefix = pending.prefix;
             let (outcome, rec) = self.run_one(&prefix);
             result.executions += 1;
             result.transitions += rec.decisions.len() as u64;
             result.distinct_outcomes.insert(outcome.fingerprint());
+
+            // This run is now part of the covered subtree of the branch it
+            // diverged from: siblings popped later start with it asleep.
+            if sleeping {
+                if let Some(oi) = pending.origin {
+                    let i0 = prefix.len() - 1;
+                    if let (Some(&d), Some(&l)) = (rec.decisions.get(i0), rec.locs.get(i0)) {
+                        stack[oi].explored.push((d, l));
+                    }
+                }
+            }
 
             if (self.oracle)(&outcome) {
                 let schedule = self.reproduce(&rec.decisions);
@@ -443,6 +529,19 @@ impl<'p> Explorer<'p> {
                 &rec.decisions[..prefix.len().min(rec.decisions.len())],
             );
 
+            // Advance the sleep set over the forced divergence step, so it
+            // is valid on entry to the first expandable point.
+            let mut sleep = pending.sleep;
+            if sleeping && pending.origin.is_some() && !prefix.is_empty() {
+                let i0 = prefix.len() - 1;
+                Self::wake(
+                    &mut sleep,
+                    rec.decisions.get(i0).copied(),
+                    rec.locs.get(i0).copied(),
+                    info,
+                );
+            }
+
             // Expand new branch points discovered beyond the forced prefix.
             let limit = if self.opts.max_depth == 0 {
                 rec.decisions.len()
@@ -451,6 +550,14 @@ impl<'p> Explorer<'p> {
             };
             let mut running_preemptions = base_preemptions;
             for i in prefix.len()..limit {
+                if sleeping && i > prefix.len() {
+                    Self::wake(
+                        &mut sleep,
+                        rec.decisions.get(i - 1).copied(),
+                        rec.locs.get(i - 1).copied(),
+                        info,
+                    );
+                }
                 let runnable = &rec.runnables[i];
                 // Maintain the preemption count along the default path.
                 let step_preempts = |choice: u32| -> u32 {
@@ -470,6 +577,11 @@ impl<'p> Explorer<'p> {
                             .copied()
                             .filter(|&t| t != rec.decisions[i])
                             .collect();
+                        if sleeping && !sleep.is_empty() {
+                            let before = untried.len();
+                            untried.retain(|t| !sleep.iter().any(|(s, _)| s == t));
+                            result.pruned_by_sleep += (before - untried.len()) as u64;
+                        }
                         if let Some(bound) = self.opts.preemption_bound {
                             let before = untried.len();
                             untried.retain(|&t| running_preemptions + step_preempts(t) <= bound);
@@ -479,6 +591,15 @@ impl<'p> Explorer<'p> {
                             stack.push(Branch {
                                 prefix: rec.decisions[..i].to_vec(),
                                 untried,
+                                sleep: if sleeping { sleep.clone() } else { Vec::new() },
+                                explored: if sleeping {
+                                    match (rec.decisions.get(i), rec.locs.get(i)) {
+                                        (Some(&d), Some(&l)) => vec![(d, l)],
+                                        _ => Vec::new(),
+                                    }
+                                } else {
+                                    Vec::new()
+                                },
                             });
                         }
                     }
@@ -491,7 +612,18 @@ impl<'p> Explorer<'p> {
                 if let Some(alt) = top.untried.pop() {
                     let mut p = top.prefix.clone();
                     p.push(alt);
-                    next_prefix = Some(p);
+                    let sleep = if sleeping {
+                        let mut s = top.sleep.clone();
+                        s.extend(top.explored.iter().copied());
+                        s
+                    } else {
+                        Vec::new()
+                    };
+                    next = Some(Pending {
+                        prefix: p,
+                        sleep,
+                        origin: Some(stack.len() - 1),
+                    });
                     break;
                 }
                 stack.pop();
@@ -861,6 +993,101 @@ mod tests {
             plain.distinct_outcomes, advised.distinct_outcomes,
             "the refinement may only drop equivalent interleavings"
         );
+    }
+
+    #[test]
+    fn sleep_sets_prune_strictly_and_preserve_outcome_support() {
+        // The exhaustiveness-preserving differential: on each program,
+        // sleep-set DPOR driven by the StaticIndependence oracle must
+        // explore strictly fewer executions than visible-op POR alone while
+        // discovering the exact same set of distinct outcomes. Both sides
+        // get the same static advice; only `sleep_sets` differs.
+        for (name, depth) in [
+            ("mp_abba", 12usize),
+            ("mp_check_then_act", 12),
+            ("mp_split_update", 9),
+        ] {
+            let sample = mtt_static::samples::by_name(name).expect(name);
+            let ast = mtt_static::parse(sample.src).unwrap();
+            let info = mtt_static::analyze(&ast).info;
+            let p = mtt_static::compile(&ast);
+            let opts = ExploreOptions {
+                stop_on_first_bug: false,
+                max_depth: depth,
+                max_executions: 20_000,
+                static_info: Some(Arc::new(info)),
+                ..Default::default()
+            };
+            let plain = Explorer::new(&p, opts.clone()).run();
+            let advised = Explorer::new(
+                &p,
+                ExploreOptions {
+                    sleep_sets: true,
+                    ..opts
+                },
+            )
+            .run();
+            assert!(plain.exhausted && advised.exhausted, "{name} not exhausted");
+            assert!(
+                advised.executions < plain.executions,
+                "{name}: sleep sets must prune strictly: {} vs {}",
+                advised.executions,
+                plain.executions
+            );
+            assert!(advised.pruned_by_sleep > 0, "{name}: no sleep pruning");
+            assert_eq!(
+                plain.distinct_outcomes, advised.distinct_outcomes,
+                "{name}: sleep sets may only drop equivalent interleavings"
+            );
+        }
+    }
+
+    #[test]
+    fn sleep_sets_still_find_the_deadlock() {
+        // Lock operations on the same lock are never independent, so the
+        // sleep sets cannot hide the AB-BA interleaving.
+        let src = "program mp_dl {
+            lock a;
+            lock b;
+            thread t1 { acquire a; acquire b; release b; release a; }
+            thread t2 { acquire b; acquire a; release a; release b; }
+        }";
+        let ast = mtt_static::parse(src).unwrap();
+        let info = mtt_static::analyze(&ast).info;
+        let p = mtt_static::compile(&ast);
+        let r = Explorer::new(
+            &p,
+            ExploreOptions {
+                sleep_sets: true,
+                static_info: Some(Arc::new(info)),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(!r.bugs.is_empty(), "sleep sets must not hide the deadlock");
+        assert!(r.bugs[0].outcome.deadlocked());
+    }
+
+    #[test]
+    fn sleep_sets_without_oracle_degrade_to_plain_por() {
+        // No static_info means every op wakes everything: identical search.
+        let p = racy(1);
+        let opts = ExploreOptions {
+            stop_on_first_bug: false,
+            ..Default::default()
+        };
+        let plain = Explorer::new(&p, opts.clone()).run();
+        let sleepy = Explorer::new(
+            &p,
+            ExploreOptions {
+                sleep_sets: true,
+                ..opts
+            },
+        )
+        .run();
+        assert_eq!(plain.executions, sleepy.executions);
+        assert_eq!(sleepy.pruned_by_sleep, 0);
+        assert_eq!(plain.distinct_outcomes, sleepy.distinct_outcomes);
     }
 
     #[test]

@@ -91,6 +91,11 @@ pub struct StaticInfo {
     /// Statically detected potential deadlocks (lock-order cycles), as the
     /// lock-name cycle plus an explanation.
     pub deadlock_warnings: Vec<(Vec<String>, String)>,
+    /// Source-line pairs proven to commute by an independence analysis,
+    /// canonically ordered `(min, max)` and sorted. Consumed by sleep-set
+    /// partial-order reduction; an absent pair always means "dependent",
+    /// so the empty vector is the safe default.
+    pub independent_line_pairs: Vec<(u32, u32)>,
 }
 
 mtt_json::json_struct!(StaticInfo {
@@ -98,6 +103,7 @@ mtt_json::json_struct!(StaticInfo {
     sites,
     race_warnings,
     deadlock_warnings,
+    independent_line_pairs,
 });
 
 impl StaticInfo {
@@ -133,9 +139,18 @@ impl StaticInfo {
             .is_none_or(|f| f.switch_relevant && f.touches_shared && f.may_run_parallel)
     }
 
+    /// Are the operations at lines `a` and `b` proven to commute?
+    /// `false` when no fact is recorded — the conservative default.
+    pub fn lines_independent(&self, a: u32, b: u32) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.independent_line_pairs.binary_search(&key).is_ok()
+    }
+
     /// Merge facts from another analysis pass. Sharing/written flags are
     /// OR-ed (conservative union); guard sets are intersected; site facts
-    /// are OR-ed on relevance.
+    /// are OR-ed on relevance. Independence pairs are intersected (a pair
+    /// survives only if both passes proved it), with "no facts" treated as
+    /// "defer to the other pass".
     pub fn merge(&mut self, other: &StaticInfo) {
         for (name, of) in &other.vars {
             let e = self.vars.entry(name.clone()).or_default();
@@ -163,6 +178,12 @@ impl StaticInfo {
             .extend(other.race_warnings.iter().cloned());
         self.deadlock_warnings
             .extend(other.deadlock_warnings.iter().cloned());
+        if self.independent_line_pairs.is_empty() {
+            self.independent_line_pairs = other.independent_line_pairs.clone();
+        } else if !other.independent_line_pairs.is_empty() {
+            self.independent_line_pairs
+                .retain(|p| other.independent_line_pairs.binary_search(p).is_ok());
+        }
     }
 }
 
@@ -272,5 +293,39 @@ mod tests {
         a.merge(&b);
         assert!(a.site_relevant(&loc));
         assert_eq!(a.sites[&loc].reaching_threads, 2);
+    }
+
+    #[test]
+    fn independence_lookup_is_symmetric_and_conservative() {
+        let info = StaticInfo {
+            independent_line_pairs: vec![(2, 5), (3, 3)],
+            ..Default::default()
+        };
+        assert!(info.lines_independent(2, 5));
+        assert!(info.lines_independent(5, 2));
+        assert!(info.lines_independent(3, 3));
+        assert!(!info.lines_independent(2, 3), "absent pair means dependent");
+    }
+
+    #[test]
+    fn merge_intersects_independence_pairs() {
+        let mut a = StaticInfo {
+            independent_line_pairs: vec![(1, 2), (2, 5)],
+            ..Default::default()
+        };
+        let b = StaticInfo {
+            independent_line_pairs: vec![(2, 5), (7, 9)],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.independent_line_pairs, vec![(2, 5)]);
+
+        // Empty defers to the other pass, in both directions.
+        let mut c = StaticInfo::default();
+        c.merge(&b);
+        assert_eq!(c.independent_line_pairs, vec![(2, 5), (7, 9)]);
+        let mut d = b.clone();
+        d.merge(&StaticInfo::default());
+        assert_eq!(d.independent_line_pairs, vec![(2, 5), (7, 9)]);
     }
 }

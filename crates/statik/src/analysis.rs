@@ -6,7 +6,9 @@ use crate::atomicity::{self, AtomicityViolation};
 use crate::cfg::{build_cfg, Cfg, NodeKind};
 use crate::dataflow::{held_locks, LockSet};
 use crate::diag::{self, Diagnostic};
+use crate::independence::StaticIndependence;
 use crate::lints;
+use crate::lockorder;
 use crate::mhp::{self, MhpFacts};
 use mtt_instrument::{intern_static, Loc, SiteFacts, StaticInfo, VarFacts};
 use std::collections::{BTreeMap, BTreeSet};
@@ -84,6 +86,9 @@ pub struct AnalysisResult {
     /// Every finding, unified: races, deadlocks, atomicity regions and
     /// lints as [`Diagnostic`]s, deduplicated and in source order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Which source-line pairs provably commute (the sleep-set DPOR fuel;
+    /// also exported through [`StaticInfo::independent_line_pairs`]).
+    pub independence: StaticIndependence,
     /// The advice bundle for the instrumentor.
     pub info: StaticInfo,
 }
@@ -234,119 +239,18 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
     );
 
     // ------------------------------------------------------------------
-    // Lock-order graph over (from, to) with thread and gate evidence.
+    // Lock-order graph: sites, annotated edges, canonical cycles with
+    // gate suppression (see `lockorder`). The surviving cycles become the
+    // D001 analysis warnings; `lockorder::lints` renders them as L006.
     // ------------------------------------------------------------------
-    #[derive(Default)]
-    struct Edge {
-        threads: BTreeSet<String>,
-        effective_threads: u32,
-        gates: Option<LockSet>,
-    }
-    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
-    for td in &threads {
-        for n in td.cfg.ids() {
-            if let NodeKind::Acquire(l2) = &td.cfg.nodes[n].kind {
-                for l1 in &td.may[n] {
-                    if l1 == l2 {
-                        continue;
-                    }
-                    let e = edges.entry((l1.clone(), l2.clone())).or_default();
-                    e.threads.insert(td.name.clone());
-                    e.effective_threads += td.count;
-                    let mut gate: LockSet = td.must[n].clone();
-                    gate.remove(l1);
-                    gate.remove(l2);
-                    e.gates = Some(match e.gates.take() {
-                        None => gate,
-                        Some(mut acc) => {
-                            acc.retain(|g| gate.contains(g));
-                            acc
-                        }
-                    });
-                }
-            }
-        }
-    }
-    // Cycle enumeration (canonical: smallest lock name first).
-    let lock_names: BTreeSet<String> = edges
-        .keys()
-        .flat_map(|(a, b)| [a.clone(), b.clone()])
-        .collect();
-    let succ: BTreeMap<&str, Vec<&str>> = {
-        let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
-        for (a, b) in edges.keys() {
-            m.entry(a.as_str()).or_default().push(b.as_str());
-        }
-        m
-    };
-    fn dfs<'a>(
-        start: &'a str,
-        cur: &'a str,
-        succ: &BTreeMap<&'a str, Vec<&'a str>>,
-        path: &mut Vec<&'a str>,
-        found: &mut Vec<Vec<String>>,
-    ) {
-        if path.len() > 6 {
-            return;
-        }
-        if let Some(nexts) = succ.get(cur) {
-            for &n in nexts {
-                if n == start && path.len() >= 2 {
-                    found.push(path.iter().map(|s| s.to_string()).collect());
-                } else if n > start && !path.contains(&n) {
-                    path.push(n);
-                    dfs(start, n, succ, path, found);
-                    path.pop();
-                }
-            }
-        }
-    }
-    let mut cycles = Vec::new();
-    for l in &lock_names {
-        let mut path = vec![l.as_str()];
-        dfs(l, l, &succ, &mut path, &mut cycles);
-    }
-    for cycle in cycles {
-        let n = cycle.len();
-        let mut cycle_threads: BTreeSet<String> = BTreeSet::new();
-        let mut effective = 0u32;
-        let mut common_gate: Option<LockSet> = None;
-        let mut ok = true;
-        for i in 0..n {
-            let key = (cycle[i].clone(), cycle[(i + 1) % n].clone());
-            match edges.get(&key) {
-                Some(e) => {
-                    cycle_threads.extend(e.threads.iter().cloned());
-                    effective = effective.max(e.effective_threads);
-                    let g = e.gates.clone().unwrap_or_default();
-                    common_gate = Some(match common_gate {
-                        None => g,
-                        Some(mut acc) => {
-                            acc.retain(|x| g.contains(x));
-                            acc
-                        }
-                    });
-                }
-                None => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if !ok {
-            continue;
-        }
-        // Need at least two participants (distinct threads, or a replicated
-        // thread racing with itself).
-        let multi = cycle_threads.len() >= 2 || effective >= 2;
-        let gated = common_gate.as_ref().is_some_and(|g| !g.is_empty());
-        if multi && !gated {
-            result.deadlocks.push(StaticDeadlock {
-                cycle: cycle.clone(),
-                threads: cycle_threads.iter().cloned().collect(),
-                message: format!("locks {cycle:?} can be acquired in conflicting orders"),
-            });
-        }
+    let lock_graph = lockorder::LockOrderGraph::build(&threads);
+    for cy in lock_graph.deadlock_cycles() {
+        let cycle = cy.locks.clone();
+        result.deadlocks.push(StaticDeadlock {
+            message: format!("locks {cycle:?} can be acquired in conflicting orders"),
+            cycle,
+            threads: cy.threads.clone(),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -354,6 +258,18 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
     // ------------------------------------------------------------------
     for td in &threads {
         for l in &td.may[td.cfg.exit] {
+            // Skip the path-insensitivity false positive: a release split
+            // across correlated branches (see `lints::released_on_every_path`).
+            if !td.must[td.cfg.exit].contains(l) {
+                let decl = prog.threads.iter().find(|t| t.name == td.name);
+                if let Some(decl) = decl {
+                    if lints::released_on_every_path(decl, l, &td.locals, &result.shared_vars)
+                        == Some(true)
+                    {
+                        continue;
+                    }
+                }
+            }
             result.unreleased.push(UnreleasedLock {
                 thread: td.name.clone(),
                 lock: l.clone(),
@@ -480,18 +396,12 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
             )),
         );
     }
-    let acquire_line = |lock: &str| -> Option<u32> {
-        threads
-            .iter()
-            .flat_map(|td| td.cfg.ids().map(move |n| &td.cfg.nodes[n]))
-            .filter_map(|node| match &node.kind {
-                NodeKind::Acquire(l) if l == lock && node.line > 0 => Some(node.line),
-                _ => None,
-            })
-            .min()
-    };
     for d in &result.deadlocks {
-        let line = d.cycle.iter().filter_map(|l| acquire_line(l)).min();
+        let line = d
+            .cycle
+            .iter()
+            .filter_map(|l| lock_graph.acquire_line(l))
+            .min();
         diags.push(
             Diagnostic::new(
                 "D001",
@@ -543,8 +453,16 @@ pub fn analyze(prog: &MiniProg) -> AnalysisResult {
         shared: &result.shared_vars,
         unguarded: &unguarded,
     }));
+    diags.extend(lockorder::lints(&prog.name, &lock_graph));
+    diags.extend(lockorder::lost_notify(prog, &threads));
     diag::dedup_and_sort(&mut diags);
     result.diagnostics = diags;
+
+    // ------------------------------------------------------------------
+    // Static independence: which line pairs commute (sleep-set DPOR fuel).
+    // ------------------------------------------------------------------
+    result.independence = StaticIndependence::compute(prog, &threads, &result.shared_vars);
+    result.info.independent_line_pairs = result.independence.pairs_vec();
 
     result
 }

@@ -19,6 +19,8 @@
 //! | L003 | lock not released on some path | Deadlock |
 //! | L004 | sleep used as synchronization | OrderingViolation |
 //! | L005 | spin on non-volatile flag | StaleRead |
+//! | L006 | lock-order graph cycle (gate-suppressed) | Deadlock |
+//! | L007 | notify without the waiters' lock (lost notify) | MissedSignal |
 
 use std::fmt;
 
@@ -52,7 +54,7 @@ impl fmt::Display for Severity {
 /// One finding from the static pipeline.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Diagnostic {
-    /// Stable code (`R001`, `D001`, `A001`, `L001`..`L005`).
+    /// Stable code (`R001`, `D001`, `A001`, `L001`..`L007`).
     pub code: String,
     /// Severity.
     pub severity: Severity,

@@ -44,9 +44,11 @@ pub mod atomicity;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
+pub mod independence;
 pub mod interp;
 pub mod lexer;
 pub mod lints;
+pub mod lockorder;
 pub mod mhp;
 pub mod parser;
 pub mod printer;
@@ -58,7 +60,9 @@ pub use atomicity::{mover, AtomicityViolation, Mover};
 pub use cfg::{build_cfg, Cfg, NodeKind};
 pub use dataflow::{held_locks, solve, Dataflow, LockSet, Solution};
 pub use diag::{Diagnostic, Severity};
+pub use independence::StaticIndependence;
 pub use interp::compile;
+pub use lockorder::{LockCycle, LockEdge, LockOrderGraph, LockSite};
 pub use mhp::MhpFacts;
 pub use parser::{parse, ParseError};
 pub use printer::{ast_eq_modulo_lines, print};

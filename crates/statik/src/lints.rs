@@ -18,7 +18,7 @@
 //!   stale cached value can spin forever.
 
 use crate::analysis::ThreadCtx;
-use crate::ast::{MiniProg, Stmt, StmtKind};
+use crate::ast::{Expr, MiniProg, Stmt, StmtKind, ThreadDecl};
 use crate::cfg::NodeKind;
 use crate::diag::{Diagnostic, Severity};
 use std::collections::BTreeSet;
@@ -127,6 +127,184 @@ fn notify_without_waiter(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// One path's lock-balance state in [`released_on_every_path`].
+#[derive(Clone)]
+struct PathState {
+    /// Acquire/release balance for the one lock under scrutiny.
+    held: i64,
+    /// Branch decisions already taken, replayed when a later condition is
+    /// syntactically identical and none of its variables changed since.
+    decisions: Vec<(Expr, bool)>,
+}
+
+/// Cap on simultaneously-tracked paths; exceeding it bails to `None`.
+const MAX_PATHS: usize = 64;
+
+/// Variables written anywhere in `block` (assignment targets and local
+/// declarations), used to invalidate branch correlations across a loop.
+fn writes_of(block: &[Stmt], out: &mut BTreeSet<String>) {
+    walk(block, false, &mut |s, _| match &s.kind {
+        StmtKind::Assign { target, .. } => {
+            out.insert(target.clone());
+        }
+        StmtKind::Local { name, .. } => {
+            out.insert(name.clone());
+        }
+        _ => {}
+    });
+}
+
+fn run_paths(
+    block: &[Stmt],
+    mut states: Vec<PathState>,
+    lock: &str,
+    correlatable: &dyn Fn(&Expr) -> bool,
+) -> Option<Vec<PathState>> {
+    for s in block {
+        match &s.kind {
+            StmtKind::Acquire { lock: l } if l == lock => {
+                for st in &mut states {
+                    st.held += 1;
+                }
+            }
+            StmtKind::Release { lock: l } if l == lock => {
+                for st in &mut states {
+                    st.held -= 1;
+                    if st.held < 0 {
+                        // Over-release: the runtime errors out here, so the
+                        // path model no longer matches execution. Bail.
+                        return None;
+                    }
+                }
+            }
+            StmtKind::LockBlock { lock: l, body } => {
+                if l == lock {
+                    for st in &mut states {
+                        st.held += 1;
+                    }
+                }
+                states = run_paths(body, states, lock, correlatable)?;
+                if l == lock {
+                    for st in &mut states {
+                        st.held -= 1;
+                        if st.held < 0 {
+                            return None;
+                        }
+                    }
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let mut next = Vec::new();
+                for st in states {
+                    let decided = st
+                        .decisions
+                        .iter()
+                        .find(|(c, _)| c == cond)
+                        .map(|(_, taken)| *taken);
+                    match decided {
+                        Some(true) => {
+                            next.extend(run_paths(then_branch, vec![st], lock, correlatable)?)
+                        }
+                        Some(false) => {
+                            next.extend(run_paths(else_branch, vec![st], lock, correlatable)?)
+                        }
+                        None => {
+                            let mut t = st.clone();
+                            let mut e = st;
+                            if correlatable(cond) {
+                                t.decisions.push((cond.clone(), true));
+                                e.decisions.push((cond.clone(), false));
+                            }
+                            next.extend(run_paths(then_branch, vec![t], lock, correlatable)?);
+                            next.extend(run_paths(else_branch, vec![e], lock, correlatable)?);
+                        }
+                    }
+                    if next.len() > MAX_PATHS {
+                        return None;
+                    }
+                }
+                states = next;
+            }
+            StmtKind::While { body, .. } => {
+                // Any iteration count is balance-equivalent iff the body is
+                // lock-neutral on every path; prove that with a fresh probe,
+                // then model the loop as zero iterations.
+                let probe = run_paths(
+                    body,
+                    vec![PathState {
+                        held: 0,
+                        decisions: Vec::new(),
+                    }],
+                    lock,
+                    correlatable,
+                )?;
+                if probe.iter().any(|st| st.held != 0) {
+                    return None;
+                }
+                let mut written = BTreeSet::new();
+                writes_of(body, &mut written);
+                for st in &mut states {
+                    st.decisions
+                        .retain(|(c, _)| c.reads().iter().all(|v| !written.contains(v)));
+                }
+            }
+            StmtKind::Assign { target, .. } => {
+                for st in &mut states {
+                    st.decisions.retain(|(c, _)| !c.reads().contains(target));
+                }
+            }
+            StmtKind::Local { name, .. } => {
+                for st in &mut states {
+                    st.decisions.retain(|(c, _)| !c.reads().contains(name));
+                }
+            }
+            // `wait` releases and reacquires its lock: balance-neutral.
+            _ => {}
+        }
+    }
+    Some(states)
+}
+
+/// Branch-correlating path refinement for the lock-leak lint.
+///
+/// The may-held dataflow is path-insensitive, so a release split across two
+/// `if`s over the same condition — `if (c) { release l; }` … `if (!taken)`
+/// shapes — looks leaky even though every real path releases. This walker
+/// enumerates paths through the AST, replaying a branch decision when a
+/// later condition is syntactically identical, provided the condition reads
+/// only variables other threads cannot touch and this thread has not
+/// reassigned since (otherwise the two tests may genuinely disagree).
+///
+/// Returns `Some(every_path_releases)`, or `None` when the walk cannot
+/// decide (path budget exhausted, lock-imbalanced loop body, over-release)
+/// — callers then keep the path-insensitive verdict.
+pub(crate) fn released_on_every_path(
+    decl: &ThreadDecl,
+    lock: &str,
+    locals: &BTreeSet<String>,
+    shared: &BTreeSet<String>,
+) -> Option<bool> {
+    let correlatable = |cond: &Expr| {
+        cond.reads()
+            .iter()
+            .all(|v| locals.contains(v) || !shared.contains(v))
+    };
+    let finals = run_paths(
+        &decl.body,
+        vec![PathState {
+            held: 0,
+            decisions: Vec::new(),
+        }],
+        lock,
+        &correlatable,
+    )?;
+    Some(finals.iter().all(|st| st.held == 0))
+}
+
 /// L003: a lock still held at thread exit — on every path (never released)
 /// or only on some (a branch leaks it).
 fn lock_leaks(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
@@ -134,6 +312,17 @@ fn lock_leaks(ctx: &LintCtx<'_>, out: &mut Vec<Diagnostic>) {
         let exit = td.cfg.exit;
         for lock in &td.may[exit] {
             let always = td.must[exit].contains(lock);
+            // Path-insensitive "may be held" with correlated branches is the
+            // classic false positive; re-check with the branch-replaying
+            // walker before reporting.
+            if !always {
+                let decl = ctx.prog.threads.iter().find(|t| t.name == td.name);
+                if let Some(decl) = decl {
+                    if released_on_every_path(decl, lock, &td.locals, ctx.shared) == Some(true) {
+                        continue;
+                    }
+                }
+            }
             // Anchor at the last acquire of the leaked lock.
             let line = td
                 .cfg
@@ -398,6 +587,58 @@ mod tests {
             .expect("never-released lock flagged");
         assert!(leak.message.contains("never released"));
         assert_eq!(leak.severity, crate::diag::Severity::Error);
+    }
+
+    #[test]
+    fn l003_correlated_branch_release_is_not_a_leak() {
+        // Release split across two ifs over the same unshared condition:
+        // every real path releases exactly once, and the may-held dataflow's
+        // "some path" verdict is refuted by the branch-replaying walker.
+        let clean = analyze(
+            &parse(
+                "program p { lock l; thread t { \
+                   local c = 1; \
+                   acquire l; \
+                   if (c == 1) { release l; } else { skip; } \
+                   if (c == 1) { skip; } else { release l; } } }",
+            )
+            .unwrap(),
+        );
+        assert!(
+            !clean.diagnostics.iter().any(|d| d.code == "L003"),
+            "{:?}",
+            clean.diagnostics
+        );
+        assert!(clean.unreleased.is_empty());
+
+        // Reassigning the condition between the two tests breaks the
+        // correlation, so the warning must come back.
+        let dirty = analyze(
+            &parse(
+                "program p { lock l; thread t { \
+                   local c = 1; \
+                   acquire l; \
+                   if (c == 1) { release l; } else { skip; } \
+                   c = 0; \
+                   if (c == 1) { skip; } else { release l; } } }",
+            )
+            .unwrap(),
+        );
+        assert!(dirty.diagnostics.iter().any(|d| d.code == "L003"));
+
+        // So does another thread writing the condition variable.
+        let shared = analyze(
+            &parse(
+                "program p { var x; lock l; \
+                 thread t { \
+                   acquire l; \
+                   if (x == 0) { release l; } else { skip; } \
+                   if (x == 0) { skip; } else { release l; } } \
+                 thread u { x = 1; } }",
+            )
+            .unwrap(),
+        );
+        assert!(shared.diagnostics.iter().any(|d| d.code == "L003"));
     }
 
     #[test]

@@ -321,6 +321,94 @@ program mp_handoff_clean {
 }
 "#;
 
+/// Three-lock circular acquisition: each courier nests a different pair of
+/// the locks `a`→`b`→`c`→`a`, so no two-lock comparison sees the problem —
+/// only the full lock-order graph closes the cycle. Lint L006 (and the
+/// D001 order warning); dynamically a circular deadlock.
+pub const LOCK_CYCLE3: &str = r#"
+program mp_lock_cycle3 {
+    var n1 = 0;
+    var n2 = 0;
+    var n3 = 0;
+    lock a;
+    lock b;
+    lock c;
+    thread p1 {
+        lock (a) {
+            yield;
+            lock (b) { n1 = n1 + 1; }
+        }
+    }
+    thread p2 {
+        lock (b) {
+            yield;
+            lock (c) { n2 = n2 + 1; }
+        }
+    }
+    thread p3 {
+        lock (c) {
+            yield;
+            lock (a) { n3 = n3 + 1; }
+        }
+    }
+}
+"#;
+
+/// Lost notify: the signaller flips the (volatile, hence race-free) flag
+/// and notifies **without holding the waiters' lock**, so the wakeup can
+/// land in the window between the waiter's predicate check and its
+/// `wait` — and is lost, leaving the waiter blocked forever. Lint L007;
+/// the predicate loop keeps L001 quiet (the bug is on the notify side).
+pub const LOST_NOTIFY: &str = r#"
+program mp_lost_notify {
+    volatile var go = 0;
+    lock m;
+    cond c;
+    thread waiter {
+        acquire m;
+        while (go == 0) {
+            wait(c, m);
+        }
+        release m;
+    }
+    thread signaller {
+        go = 1;
+        notify c;
+    }
+}
+"#;
+
+/// Clean control program for the L003 branch-correlation fix: the teller
+/// releases `l` in the first `if`'s then-arm or the second `if`'s
+/// else-arm, and the two conditions test the same untouched local — every
+/// real path releases exactly once, but a path-insensitive may-held
+/// analysis believes a leaky `then`+`then` path exists. Must stay
+/// diagnostic-free.
+pub const BRANCH_RELEASE: &str = r#"
+program mp_branch_release {
+    var paid = 0;
+    lock l;
+    thread teller {
+        local fast = 1;
+        acquire l;
+        if (fast == 1) {
+            paid = paid + 1;
+            release l;
+        } else {
+            skip;
+        }
+        if (fast == 1) {
+            skip;
+        } else {
+            release l;
+        }
+    }
+    thread auditor {
+        lock (l) { paid = paid + 1; }
+    }
+}
+"#;
+
 /// One catalog entry: a MiniProg source plus its documentation — free-form
 /// bug tags and the dynamic bug classes (as `mtt_suite::BugClass` variant
 /// names) the static pipeline is expected to predict. Empty `classes` =
@@ -412,6 +500,24 @@ pub fn catalog() -> Vec<Sample> {
             bug_tags: vec![],
             classes: vec![],
         },
+        Sample {
+            name: "mp_lock_cycle3",
+            src: LOCK_CYCLE3,
+            bug_tags: vec!["deadlock-cycle-3"],
+            classes: vec!["Deadlock"],
+        },
+        Sample {
+            name: "mp_lost_notify",
+            src: LOST_NOTIFY,
+            bug_tags: vec!["unlocked-notify"],
+            classes: vec!["MissedSignal"],
+        },
+        Sample {
+            name: "mp_branch_release",
+            src: BRANCH_RELEASE,
+            bug_tags: vec![],
+            classes: vec![],
+        },
     ]
 }
 
@@ -469,7 +575,7 @@ mod tests {
     fn catalog_and_all_agree() {
         let cat = catalog();
         assert_eq!(cat.len(), all().len());
-        assert_eq!(cat.len(), 12, "the full 12-program catalog");
+        assert_eq!(cat.len(), 15, "the full 15-program catalog");
         assert!(by_name("mp_spin_flag").is_some());
         assert!(by_name("no_such_program").is_none());
     }
@@ -513,7 +619,11 @@ mod tests {
         assert!(codes(SLEEP_SYNC).iter().any(|c| c == "L004"));
         assert!(codes(SPIN_FLAG).iter().any(|c| c == "L005"));
         assert!(codes(SPLIT_UPDATE).iter().any(|c| c == "A001"));
+        assert!(codes(LOCK_CYCLE3).iter().any(|c| c == "L006"));
+        assert!(codes(LOST_NOTIFY).iter().any(|c| c == "L007"));
         // The volatile hand-off is the false-positive control for L005/R001.
         assert!(codes(HANDOFF_CLEAN).is_empty());
+        // And the correlated branch release is the control for L003.
+        assert!(codes(BRANCH_RELEASE).is_empty());
     }
 }
