@@ -1,0 +1,129 @@
+//! The variant-family generator's cost axes: programs generated per second
+//! (a family is a pure function of `(seed, index)`, so generation speed
+//! bounds how large an E10 population is practical) and E10 scoreboard
+//! cells evaluated per second (one cell = one tool judging one member).
+
+use criterion::{black_box, Criterion};
+use mtt_bench::quick_criterion;
+use mtt_core::experiment::gen_eval::{run_gen_eval_on, GenEvalOptions};
+use mtt_core::experiment::jobpool::JobPool;
+use mtt_core::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gen_pipeline");
+
+    // One family end to end: pattern draw, knob draw, render, canonical
+    // parse/print round-trip, manifest-line location — for both twins.
+    g.bench_function("family", |b| {
+        let mut index = 0u64;
+        b.iter(|| {
+            index = (index + 1) % 64;
+            black_box(gen::family(42, index))
+        })
+    });
+
+    // Generation only, amortized over a realistic population.
+    g.bench_function("generate_families_8", |b| {
+        b.iter(|| {
+            black_box(gen::generate_families(&gen::GenOptions {
+                seed: 42,
+                families: 8,
+            }))
+        })
+    });
+
+    // Members straight into the runtime: the compile path E10 exercises.
+    g.bench_function("member_compile", |b| {
+        let fam = gen::family(42, 0);
+        let member = fam.buggy().next().expect("race family has a buggy member");
+        b.iter(|| black_box(member.compile()))
+    });
+
+    // The full E10 kernel at a small scale: static oracle plus the dynamic
+    // roster over every member of four families.
+    g.bench_function("e10_four_families", |b| {
+        let opts = GenEvalOptions {
+            seed: 42,
+            families: 4,
+            runs: 2,
+        };
+        let pool = JobPool::serial();
+        b.iter(|| black_box(run_gen_eval_on(&opts, &pool)))
+    });
+
+    g.finish();
+}
+
+/// Smoke throughput for the generator, written to `BENCH_gen.json` at the
+/// repository root so CI (and the roadmap's per-PR bench artifact) can
+/// diff generation and E10 scoring cost without parsing Criterion output.
+fn write_smoke_json() {
+    fn ns_per_iter(iters: u32, mut f: impl FnMut()) -> u64 {
+        for _ in 0..4 {
+            f();
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        (start.elapsed().as_nanos() / iters as u128) as u64
+    }
+
+    // Programs per second: members produced per wall-clock second,
+    // measured over a 16-family population (one `family()` call yields
+    // every member of one family).
+    let opts = gen::GenOptions {
+        seed: 42,
+        families: 16,
+    };
+    let members: u64 = gen::generate_families(&opts)
+        .iter()
+        .map(|f| f.members.len() as u64)
+        .sum();
+    let gen_ns = ns_per_iter(32, || {
+        gen::generate_families(&opts);
+    });
+    let programs_per_sec = members.saturating_mul(1_000_000_000) / gen_ns.max(1);
+
+    // E10 cells per second: one cell is one (tool, member) judgment.
+    let eval_opts = GenEvalOptions {
+        seed: 42,
+        families: 4,
+        runs: 2,
+    };
+    let pool = JobPool::serial();
+    let rows = run_gen_eval_on(&eval_opts, &pool);
+    let eval_members: u64 = rows.iter().map(|f| f.members.len() as u64).sum();
+    let tools = mtt_core::experiment::gen_eval::score_tools(&rows).len() as u64;
+    let cells = eval_members * tools;
+    let eval_ns = ns_per_iter(8, || {
+        run_gen_eval_on(&eval_opts, &pool);
+    });
+    let e10_cells_per_sec = cells.saturating_mul(1_000_000_000) / eval_ns.max(1);
+
+    let results = [
+        ("family_population_16", gen_ns),
+        ("e10_four_families", eval_ns),
+    ];
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(name, ns)| format!(r#"{{"name":"{name}","ns_per_iter":{ns}}}"#))
+        .collect();
+    let json = format!(
+        "{{\"schema\":\"mtt-bench-gen\",\"version\":1,\"programs_per_sec\":{programs_per_sec},\"e10_cells_per_sec\":{e10_cells_per_sec},\"results\":[{}]}}\n",
+        entries.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gen.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+    write_smoke_json();
+}

@@ -52,6 +52,7 @@ pub use mtt_coverage as coverage;
 pub use mtt_deadlock as deadlock;
 pub use mtt_experiment as experiment;
 pub use mtt_explore as explore;
+pub use mtt_gen as gen;
 pub use mtt_instrument as instrument;
 pub use mtt_noise as noise;
 pub use mtt_race as race;

@@ -26,6 +26,14 @@
 //! mtt e6 [budget]               exploration vs random testing
 //! mtt e7 [runs]                 static advice: reduction + preservation
 //! mtt e8 [seed]                 online/offline trade-off
+//! mtt e10 [--seed S] [--families N] [--runs R] [--csv|--json]
+//!                               precision/recall + robust detection over
+//!                               generated variant families with planted
+//!                               ground truth (full TP/FP/FN/TN matrix)
+//! mtt gen <list|describe <family>|dump <family|member>> [--seed S] [--families N]
+//!                               inspect the generated population: list
+//!                               family ids, describe a family's members
+//!                               and mutations, dump MiniProg source
 //! mtt e11 [runs] [--csv|--json] static vs dynamic scoreboard: per-class
 //!                               precision/recall of L001–L007 + R/D/A001
 //!                               against the dynamic detector roster
@@ -64,8 +72,8 @@
 
 use mtt_experiment::{
     campaign::Campaign, cli_spec, cloning::run_cloning_on, coverage_eval, detector_eval, explain,
-    explore_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, scoreboard, static_eval,
-    tracegen,
+    explore_eval, gen_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, scoreboard,
+    static_eval, tracegen,
 };
 use mtt_runtime::{Execution, RandomScheduler};
 use mtt_telemetry::{check_run_log_line, RunLogRecord, RunLogWriter};
@@ -204,6 +212,8 @@ fn main() -> ExitCode {
             "e6" => Ok(e6(arg_u64(&args, 1, 3000)?, &global)),
             "e7" => Ok(e7(arg_u64(&args, 1, 40)?, &global)),
             "e8" => Ok(e8(arg_u64(&args, 1, 7)?)),
+            "e10" => e10(&args[1..], &global),
+            "gen" => gen_cmd(&args[1..]),
             "e11" => e11(&args[1..], &global),
             "profile" => profile_cmd(&args[1..], &global),
             "tools" => tools_cmd(&args[1..]),
@@ -218,6 +228,10 @@ fn main() -> ExitCode {
                 e6(2000, &global);
                 e7(30, &global);
                 e8(7);
+                e10(
+                    &["--families".into(), "8".into(), "--runs".into(), "2".into()],
+                    &global,
+                )?;
                 e11(&["12".into()], &global)?;
                 Ok(ExitCode::SUCCESS)
             }
@@ -941,6 +955,118 @@ fn e7(runs: u64, g: &Global) -> ExitCode {
     println!("{}", static_eval::static_table(&rows).render());
     println!("{}", static_eval::class_table(&rows).render());
     ExitCode::SUCCESS
+}
+
+fn e10(args: &[String], g: &Global) -> Result<ExitCode, String> {
+    let mut opts = gen_eval::GenEvalOptions::default();
+    let mut csv = false;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--json" => json = true,
+            "--seed" | "--families" | "--runs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{a} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{a}: {e}"))?;
+                match a.as_str() {
+                    "--seed" => opts.seed = v,
+                    "--families" => opts.families = v,
+                    _ => opts.runs = v,
+                }
+            }
+            other => return Err(format!("e10: unknown argument `{other}`")),
+        }
+    }
+    let rows = gen_eval::run_gen_eval_on(&opts, &g.pool("e10"));
+    if json {
+        println!("{}", gen_eval::gen_eval_json(&opts, &rows).dump());
+    } else if csv {
+        print!("{}", gen_eval::render_csv(&rows));
+    } else {
+        print!("{}", gen_eval::render_report(&rows));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `mtt gen list|describe|dump`: inspect the generated population
+/// without scoring it. Generation is fast and serial, so no job pool.
+fn gen_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut opts = mtt_gen::GenOptions::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" | "--families" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{a} needs a value"))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("{a}: {e}"))?;
+                if a == "--seed" {
+                    opts.seed = v;
+                } else {
+                    opts.families = v;
+                }
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let verb = positional.first().map(String::as_str).unwrap_or("list");
+    match verb {
+        "list" => {
+            let mut t = mtt_experiment::Table::new(
+                format!("generated families (seed {}, {})", opts.seed, opts.families),
+                &["family", "pattern", "class", "members", "buggy", "benign"],
+            );
+            for f in mtt_gen::generate_families(&opts) {
+                t.row(&[
+                    f.id.clone(),
+                    f.pattern.key().to_string(),
+                    format!("{:?}", f.pattern.class()),
+                    f.members.len().to_string(),
+                    f.buggy().count().to_string(),
+                    f.benign().count().to_string(),
+                ]);
+            }
+            print!("{}", t.render());
+            Ok(ExitCode::SUCCESS)
+        }
+        "describe" => {
+            let id = positional
+                .get(1)
+                .ok_or("gen describe needs a family id (see `mtt gen list`)")?;
+            let fam = mtt_gen::family_by_id(&opts, id)
+                .ok_or_else(|| format!("no family `{id}` in the first {} draws", opts.families))?;
+            print!("{}", fam.describe());
+            Ok(ExitCode::SUCCESS)
+        }
+        "dump" => {
+            let id = positional
+                .get(1)
+                .ok_or("gen dump needs a family or member name")?;
+            for f in mtt_gen::generate_families(&opts) {
+                if f.id == *id {
+                    for m in &f.members {
+                        print!("{}", m.src);
+                    }
+                    return Ok(ExitCode::SUCCESS);
+                }
+                if let Some(m) = f.members.iter().find(|m| m.name == *id) {
+                    print!("{}", m.src);
+                    return Ok(ExitCode::SUCCESS);
+                }
+            }
+            Err(format!(
+                "no family or member `{id}` in the first {} draws",
+                opts.families
+            ))
+        }
+        other => Err(format!("gen: unknown verb `{other}`")),
+    }
 }
 
 fn e11(args: &[String], g: &Global) -> Result<ExitCode, String> {

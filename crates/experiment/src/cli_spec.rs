@@ -101,6 +101,16 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
         summary: "online/offline trade-off",
     },
     CommandSpec {
+        name: "e10",
+        args: "[--seed S] [--families N] [--runs R] [--csv|--json]",
+        summary: "precision/recall + robust detection over generated variant families",
+    },
+    CommandSpec {
+        name: "gen",
+        args: "<list|describe <family>|dump <family|member>> [--seed S] [--families N]",
+        summary: "inspect generated variant families: ids, mutations, ground truth, source",
+    },
+    CommandSpec {
         name: "e11",
         args: "[runs] [--csv|--json]",
         summary: "static vs dynamic scoreboard: per-class precision/recall",

@@ -27,6 +27,7 @@ pub mod coverage_eval;
 pub mod detector_eval;
 pub mod explain;
 pub mod explore_eval;
+pub mod gen_eval;
 pub mod jobpool;
 pub mod multiout_eval;
 pub mod profile;

@@ -111,13 +111,77 @@ pub fn dynamic_roster() -> Vec<ToolConfig> {
         .collect()
 }
 
-/// The bug class a dynamic tool's first detector sink claims.
-fn sink_class(cfg: &ToolConfig) -> Option<&'static str> {
+/// The bug class a dynamic tool's first detector sink claims. Public so
+/// other scoreboard experiments (E10 runs the same roster over generated
+/// families) share one definition of "what this tool is accountable for".
+pub fn sink_class(cfg: &ToolConfig) -> Option<&'static str> {
     cfg.spec.sinks.iter().find_map(|(kind, _)| match kind {
         SinkKind::Race => Some("DataRace"),
         SinkKind::Deadlock => Some("Deadlock"),
         SinkKind::Coverage => None,
     })
+}
+
+/// Run one dynamic tool stack over `program` for `runs` seeded
+/// executions (the shared `40 + r` seed ladder) and report whether any
+/// detector sink warned. This is the per-cell kernel both E11 (sample
+/// catalog) and E10 (generated variant families) score with.
+pub fn dynamic_warned(
+    program: &mtt_runtime::Program,
+    cfg: &ToolConfig,
+    runs: u64,
+    max_steps: u64,
+) -> bool {
+    for r in 0..runs {
+        let seed = 40 + r;
+        let mut exec = Execution::new(program)
+            .scheduler((cfg.scheduler)(seed))
+            .noise((cfg.noise)(seed ^ 0x9e37_79b9))
+            .max_steps(max_steps);
+        enum Handle {
+            Lockset(std::sync::Arc<std::sync::Mutex<EraserLockset>>),
+            Hb(std::sync::Arc<std::sync::Mutex<VectorClockDetector>>),
+            LockOrder(std::sync::Arc<std::sync::Mutex<LockOrderGraph>>),
+            WaitsFor(std::sync::Arc<std::sync::Mutex<WaitsForMonitor>>),
+        }
+        let mut handles = Vec::new();
+        for (kind, c) in &cfg.spec.sinks {
+            match (kind, c.id.as_str()) {
+                (SinkKind::Race, "lockset") => {
+                    let (s, h) = shared(EraserLockset::new());
+                    exec = exec.sink(Box::new(s));
+                    handles.push(Handle::Lockset(h));
+                }
+                (SinkKind::Race, "hb") => {
+                    let (s, h) = shared(VectorClockDetector::new());
+                    exec = exec.sink(Box::new(s));
+                    handles.push(Handle::Hb(h));
+                }
+                (SinkKind::Deadlock, "lockorder") => {
+                    let (s, h) = shared(LockOrderGraph::new());
+                    exec = exec.sink(Box::new(s));
+                    handles.push(Handle::LockOrder(h));
+                }
+                (SinkKind::Deadlock, "waitsfor") => {
+                    let (s, h) = shared(WaitsForMonitor::new());
+                    exec = exec.sink(Box::new(s));
+                    handles.push(Handle::WaitsFor(h));
+                }
+                _ => {}
+            }
+        }
+        let _ = exec.run();
+        let warned = handles.iter().any(|h| match h {
+            Handle::Lockset(h) => !h.lock().unwrap().warnings.is_empty(),
+            Handle::Hb(h) => !h.lock().unwrap().warnings.is_empty(),
+            Handle::LockOrder(h) => !h.lock().unwrap().potentials().is_empty(),
+            Handle::WaitsFor(h) => !h.lock().unwrap().occurrences.is_empty(),
+        });
+        if warned {
+            return true;
+        }
+    }
+    false
 }
 
 /// Run E11 serially.
@@ -166,56 +230,7 @@ pub fn run_scoreboard_on(runs: u64, pool: &JobPool) -> Vec<SampleOutcomes> {
             .iter()
             .filter_map(|cfg| {
                 let class = sink_class(cfg)?;
-                let mut warned = false;
-                for r in 0..runs {
-                    let seed = 40 + r;
-                    let mut exec = Execution::new(&program)
-                        .scheduler((cfg.scheduler)(seed))
-                        .noise((cfg.noise)(seed ^ 0x9e37_79b9))
-                        .max_steps(30_000);
-                    enum Handle {
-                        Lockset(std::sync::Arc<std::sync::Mutex<EraserLockset>>),
-                        Hb(std::sync::Arc<std::sync::Mutex<VectorClockDetector>>),
-                        LockOrder(std::sync::Arc<std::sync::Mutex<LockOrderGraph>>),
-                        WaitsFor(std::sync::Arc<std::sync::Mutex<WaitsForMonitor>>),
-                    }
-                    let mut handles = Vec::new();
-                    for (kind, c) in &cfg.spec.sinks {
-                        match (kind, c.id.as_str()) {
-                            (SinkKind::Race, "lockset") => {
-                                let (s, h) = shared(EraserLockset::new());
-                                exec = exec.sink(Box::new(s));
-                                handles.push(Handle::Lockset(h));
-                            }
-                            (SinkKind::Race, "hb") => {
-                                let (s, h) = shared(VectorClockDetector::new());
-                                exec = exec.sink(Box::new(s));
-                                handles.push(Handle::Hb(h));
-                            }
-                            (SinkKind::Deadlock, "lockorder") => {
-                                let (s, h) = shared(LockOrderGraph::new());
-                                exec = exec.sink(Box::new(s));
-                                handles.push(Handle::LockOrder(h));
-                            }
-                            (SinkKind::Deadlock, "waitsfor") => {
-                                let (s, h) = shared(WaitsForMonitor::new());
-                                exec = exec.sink(Box::new(s));
-                                handles.push(Handle::WaitsFor(h));
-                            }
-                            _ => {}
-                        }
-                    }
-                    let _ = exec.run();
-                    warned = handles.iter().any(|h| match h {
-                        Handle::Lockset(h) => !h.lock().unwrap().warnings.is_empty(),
-                        Handle::Hb(h) => !h.lock().unwrap().warnings.is_empty(),
-                        Handle::LockOrder(h) => !h.lock().unwrap().potentials().is_empty(),
-                        Handle::WaitsFor(h) => !h.lock().unwrap().occurrences.is_empty(),
-                    });
-                    if warned {
-                        break;
-                    }
-                }
+                let warned = dynamic_warned(&program, cfg, runs, 30_000);
                 Some(DynamicHit {
                     tool: cfg.name.clone(),
                     class: class.to_string(),

@@ -360,3 +360,91 @@ fn lint_deny_gates_with_exit_3() {
     let (_, _, code) = mtt_code(&["lint", "mp_abba", "--deny"]);
     assert_eq!(code, 2);
 }
+
+#[test]
+fn e10_rejects_malformed_seed_and_families_with_exit_2() {
+    // The usage-error convention on the generator flags: a value that does
+    // not parse as a number is exit 2 with a clean message, never a panic
+    // and never a silent fallback to the default.
+    let (_, stderr, code) = mtt_code(&["e10", "--families", "bogus"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("--families"), "stderr: {stderr}");
+    assert!(!stderr.contains("panic"), "stderr: {stderr}");
+
+    let (_, stderr, code) = mtt_code(&["e10", "--seed", "-3"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("--seed"), "stderr: {stderr}");
+
+    // A flag with no value at all is the same usage error.
+    let (_, stderr, code) = mtt_code(&["e10", "--families"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("--families"), "stderr: {stderr}");
+}
+
+#[test]
+fn e10_output_is_identical_across_job_counts() {
+    // The E10 determinism claim at the process boundary: same scoreboard,
+    // byte for byte, whatever the worker count.
+    let args = |jobs: &'static str| {
+        [
+            "e10",
+            "--families",
+            "4",
+            "--runs",
+            "2",
+            "--quiet",
+            "--jobs",
+            jobs,
+        ]
+    };
+    let (serial, stderr, ok) = mtt(&args("1"));
+    assert!(ok, "stderr: {stderr}");
+    let (par, stderr, ok) = mtt(&args("4"));
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(
+        serial, par,
+        "mtt e10 stdout diverged between --jobs 1 and 4"
+    );
+    assert!(serial.contains("E10"), "{serial}");
+    assert!(serial.contains("robust"), "{serial}");
+}
+
+#[test]
+fn e10_json_is_schema_stamped() {
+    let (stdout, stderr, ok) = mtt(&["e10", "--families", "4", "--runs", "2", "--quiet", "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        stdout.contains("\"schema\":\"mtt-e10-scoreboard\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"family_outcomes\""), "{stdout}");
+}
+
+#[test]
+fn gen_lists_describes_and_dumps_families() {
+    let (stdout, stderr, ok) = mtt(&["gen", "list", "--families", "4"]);
+    assert!(ok, "stderr: {stderr}");
+    for pat in ["race", "dlock", "notif", "atom"] {
+        assert!(stdout.contains(pat), "gen list missing `{pat}`: {stdout}");
+    }
+
+    let (stdout, stderr, ok) = mtt(&["gen", "describe", "g42_f000_race"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("mutations:"), "{stdout}");
+    assert!(stdout.contains("manifest_lines:"), "{stdout}");
+
+    // Dumping a member prints a parseable MiniProg source.
+    let (stdout, stderr, ok) = mtt(&["gen", "dump", "g42_f000_race_v0_bug"]);
+    assert!(ok, "stderr: {stderr}");
+    mtt_static::parse(&stdout).expect("dumped member source parses");
+}
+
+#[test]
+fn gen_unknown_family_is_a_usage_error() {
+    let (_, stderr, code) = mtt_code(&["gen", "describe", "no_such_family"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("no_such_family"), "stderr: {stderr}");
+
+    let (_, stderr, code) = mtt_code(&["gen", "frobnicate"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+}

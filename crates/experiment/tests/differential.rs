@@ -9,7 +9,8 @@
 use mtt_experiment::campaign::{Campaign, CampaignReport, ToolConfig};
 use mtt_experiment::jobpool::JobPool;
 use mtt_experiment::{
-    coverage_eval, detector_eval, explore_eval, multiout_eval, replay_eval, static_eval, tracegen,
+    coverage_eval, detector_eval, explore_eval, gen_eval, multiout_eval, replay_eval, static_eval,
+    tracegen,
 };
 
 const JOB_COUNTS: [usize; 3] = [2, 4, 8];
@@ -284,6 +285,69 @@ fn explain_output_is_byte_identical_across_job_counts() {
             serial.annotated_ndjson(),
             par.annotated_ndjson(),
             "annotated NDJSON diverged at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn gen_eval_reports_are_byte_identical() {
+    // `mtt e10` text + CSV + JSON at jobs 1/2/4/8: every family is a
+    // pure function of (seed, index) and every execution is seeded, so
+    // the scoreboard must not move by a byte with the worker count.
+    let opts = gen_eval::GenEvalOptions {
+        seed: 42,
+        families: 6,
+        runs: 2,
+    };
+    let serial = gen_eval::run_gen_eval_on(&opts, &JobPool::serial());
+    let serial_text = gen_eval::render_report(&serial);
+    let serial_csv = gen_eval::render_csv(&serial);
+    let serial_json = gen_eval::gen_eval_json(&opts, &serial).dump();
+    for jobs in JOB_COUNTS {
+        let par = gen_eval::run_gen_eval_on(&opts, &JobPool::new(jobs));
+        assert_eq!(
+            serial_text,
+            gen_eval::render_report(&par),
+            "E10 text diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial_csv,
+            gen_eval::render_csv(&par),
+            "E10 CSV diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial_json,
+            gen_eval::gen_eval_json(&opts, &par).dump(),
+            "E10 JSON diverged at jobs={jobs}"
+        );
+    }
+}
+
+/// The acceptance-criteria scale: ≥200 generated families through the
+/// full roster, byte-equal at every job count. Run with
+/// `cargo test --release -p mtt-experiment -- --ignored`.
+#[test]
+#[ignore = "slow: 200-family E10 differential, exercised by the CI variant-families step"]
+fn gen_eval_differential_high_volume() {
+    let opts = gen_eval::GenEvalOptions {
+        seed: 42,
+        families: 200,
+        runs: 2,
+    };
+    let serial = gen_eval::run_gen_eval_on(&opts, &JobPool::serial());
+    let serial_text = gen_eval::render_report(&serial);
+    let serial_csv = gen_eval::render_csv(&serial);
+    for jobs in [2, 4, 8, 16] {
+        let par = gen_eval::run_gen_eval_on(&opts, &JobPool::new(jobs));
+        assert_eq!(
+            serial_text,
+            gen_eval::render_report(&par),
+            "E10 text diverged at jobs={jobs}"
+        );
+        assert_eq!(
+            serial_csv,
+            gen_eval::render_csv(&par),
+            "E10 CSV diverged at jobs={jobs}"
         );
     }
 }

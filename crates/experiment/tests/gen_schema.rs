@@ -1,0 +1,81 @@
+//! Generated programs through the standard data pipelines.
+//!
+//! `mtt-gen` members are full citizens of the suite: convertible to
+//! [`SuiteProgram`]s, runnable under a telemetry-enabled campaign whose
+//! NDJSON run log conforms to the run-log schema, and traceable through
+//! the annotated-trace format that `mtt trace-check` validates. This test
+//! pins that end to end, so a generator change that produces a program
+//! the runtime or the schema checkers reject fails here, not in a user's
+//! pipeline.
+
+use mtt_experiment::campaign::{Campaign, ToolConfig};
+use mtt_experiment::jobpool::JobPool;
+use mtt_experiment::tracegen;
+
+/// One buggy and one benign member from each of the four patterns at the
+/// default seed.
+fn sample_members() -> Vec<mtt_suite::SuiteProgram> {
+    let mut out = Vec::new();
+    for index in 0..4 {
+        let fam = mtt_gen::family(42, index);
+        let buggy = fam.buggy().next().expect("family has a buggy member");
+        let benign = fam.benign().next().expect("family has a benign twin");
+        out.push(mtt_gen::to_suite_program(buggy));
+        out.push(mtt_gen::to_suite_program(benign));
+    }
+    out
+}
+
+#[test]
+fn generated_members_produce_schema_valid_run_logs() {
+    let campaign = Campaign {
+        programs: sample_members(),
+        tools: vec![ToolConfig::baseline()],
+        runs: 2,
+        base_seed: 42,
+        max_steps: 10_000,
+        telemetry: true,
+        ..Campaign::standard(vec![], 0)
+    };
+    let full = campaign.run_full(&JobPool::new(2));
+    assert!(
+        !full.run_log.is_empty(),
+        "telemetry campaign over generated programs must produce a run log"
+    );
+    let mut buf = Vec::new();
+    let mut w = mtt_telemetry::RunLogWriter::new(&mut buf);
+    for r in &full.run_log {
+        w.write_record(r).expect("in-memory write");
+    }
+    w.flush().expect("in-memory flush");
+    drop(w);
+    let text = String::from_utf8(buf).expect("NDJSON is UTF-8");
+    for (i, line) in text.lines().enumerate() {
+        mtt_telemetry::check_run_log_line(line)
+            .unwrap_or_else(|e| panic!("run-log line {}: {e}", i + 1));
+    }
+}
+
+#[test]
+fn generated_members_produce_schema_valid_annotated_traces() {
+    for sp in sample_members() {
+        let trace = tracegen::generate(
+            &sp,
+            &tracegen::TraceGenOptions {
+                seed: 7,
+                stickiness: 0.5,
+                max_steps: 10_000,
+            },
+        );
+        assert!(
+            !trace.is_empty(),
+            "{}: generated member must produce trace events",
+            sp.name
+        );
+        let ann = mtt_causal::annotate_trace(&trace);
+        let text = mtt_causal::annotated_to_string(&trace, &ann);
+        let records = mtt_causal::check_annotated(&text)
+            .unwrap_or_else(|e| panic!("{}: annotated trace rejected: {e}", sp.name));
+        assert_eq!(records, trace.records.len() as u64, "{}", sp.name);
+    }
+}

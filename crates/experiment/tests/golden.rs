@@ -181,6 +181,37 @@ fn e11_scoreboard_matches_golden() {
 }
 
 #[test]
+fn e10_gen_scoreboard_matches_golden() {
+    // The E10 report at the CLI's defaults (seed 42, 20 families, 4 runs)
+    // is pinned byte for byte: CI diffs `mtt e10 --jobs 4` against this
+    // same snapshot, so a generator or detector change that moves a
+    // precision/recall cell shows up as a reviewable golden diff.
+    let opts = mtt_experiment::gen_eval::GenEvalOptions::default();
+    let rows = mtt_experiment::gen_eval::run_gen_eval_on(&opts, &JobPool::new(4));
+    check_golden(
+        "e10_scoreboard.txt",
+        &mtt_experiment::gen_eval::render_report(&rows),
+    );
+    check_golden(
+        "e10_scoreboard.csv",
+        &mtt_experiment::gen_eval::render_csv(&rows),
+    );
+}
+
+#[test]
+fn gen_describe_matches_golden() {
+    // `mtt gen describe` is the human-readable ground-truth record: family
+    // id, pattern, per-member mutation metadata and manifest lines. Pin
+    // the first four families (one per pattern) at the default seed.
+    let mut out = String::new();
+    for index in 0..4 {
+        out.push_str(&mtt_gen::family(42, index).describe());
+        out.push('\n');
+    }
+    check_golden("gen_describe.txt", &out);
+}
+
+#[test]
 fn e5_multiout_table_matches_golden() {
     let rows = multiout_eval::run_multiout_eval_on(24, 11, &JobPool::new(4));
     check_golden(

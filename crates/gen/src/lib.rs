@@ -1,0 +1,595 @@
+//! # mtt-gen — the seeded variant-family generator
+//!
+//! §4.1 of the paper asks for a benchmark *repository* of multi-threaded
+//! programs with documented bugs. Hand-written samples top out at a few
+//! dozen; scoring tools beyond anecdote needs *populations*. This crate
+//! generates them: a seeded composer picks one of four bug patterns
+//! (data race, lock-cycle deadlock, lost notify, split-lock atomicity
+//! violation), draws structural mutations (guard added/removed, thread
+//! count 2–8, noise ops, op reordering, variable aliasing/splitting,
+//! cycle length, waiter count), and emits a **family** of MiniProg
+//! variants — every buggy member paired with a benign twin that shares
+//! its knobs and differs only in the guard discipline.
+//!
+//! Every member carries a machine-checkable [`GroundTruth`] record
+//! (primary bug class, structurally implied secondary classes, the
+//! source lines where the bug lives, and the benign bit), so precision /
+//! recall / robust-detection scoring (experiment E10) never depends on a
+//! human label. Ground truth is *by construction*: the composer knows
+//! where it planted the bug.
+//!
+//! Determinism is the load-bearing property: [`family`] is a pure
+//! function of `(seed, index)` — same inputs, byte-identical sources,
+//! names, and metadata, on any machine at any parallelism. The E10
+//! scoreboard leans on this to shard family evaluation across a job
+//! pool and still render byte-identical reports.
+
+use mtt_static::ast::MiniProg;
+use mtt_static::{analyze, compile, parse, print};
+use mtt_suite::{BugClass, BugDoc, OracleFn, Size, SuiteProgram, Verdict};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+mod patterns;
+mod verify;
+
+pub use patterns::Knobs;
+pub use verify::check_member;
+
+// ---------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------
+
+/// The four composable bug patterns. Each has a buggy form and a benign
+/// twin; the twin shares every structural knob and differs only in guard
+/// discipline (the injected defect).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Unguarded read-modify-write on a shared counter (lost update).
+    Race,
+    /// Cyclic nested lock acquisition across 2–3 locks (AB-BA family).
+    LockCycle,
+    /// Signal delivered without the waiters' lock (lost notify).
+    LostNotify,
+    /// Every access locked, but the RMW spans two critical sections.
+    SplitAtomic,
+}
+
+/// Round-robin pattern order: family `index % 4` picks the pattern, so
+/// any contiguous run of families covers every class evenly.
+pub const PATTERNS: [Pattern; 4] = [
+    Pattern::Race,
+    Pattern::LockCycle,
+    Pattern::LostNotify,
+    Pattern::SplitAtomic,
+];
+
+impl Pattern {
+    /// Short key used in family ids and tables.
+    pub fn key(self) -> &'static str {
+        match self {
+            Pattern::Race => "race",
+            Pattern::LockCycle => "dlock",
+            Pattern::LostNotify => "notif",
+            Pattern::SplitAtomic => "atom",
+        }
+    }
+
+    /// The primary bug class the buggy members inject.
+    pub fn class(self) -> BugClass {
+        match self {
+            Pattern::Race => BugClass::DataRace,
+            Pattern::LockCycle => BugClass::Deadlock,
+            Pattern::LostNotify => BugClass::MissedSignal,
+            Pattern::SplitAtomic => BugClass::AtomicityViolation,
+        }
+    }
+
+    /// Secondary classes the injected structure *also* exhibits (an
+    /// unguarded RMW is simultaneously a data race and a non-atomic
+    /// compound update). Tools claiming a secondary class are credited,
+    /// not charged, when they flag the member.
+    pub fn also(self) -> Vec<BugClass> {
+        match self {
+            Pattern::Race => vec![BugClass::AtomicityViolation],
+            _ => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutations and ground truth
+// ---------------------------------------------------------------------
+
+/// One structural mutation the composer applied, recorded so tests can
+/// verify the emitted program really has the claimed shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Buggy member: the critical ops are *not* under `lock`.
+    GuardRemoved {
+        /// The guard lock the benign twin uses.
+        lock: String,
+    },
+    /// Benign twin: the critical ops are wrapped in `lock`.
+    GuardAdded {
+        /// The guard lock.
+        lock: String,
+    },
+    /// Buggy split-atomic member: the guard is *present* but the RMW is
+    /// split across two separately-locked critical sections.
+    GuardSplit {
+        /// The guard lock.
+        lock: String,
+    },
+    /// Buggy lock-cycle member: nested acquisitions follow a cyclic
+    /// order over these locks.
+    OrderCycled {
+        /// The locks, in cycle order.
+        locks: Vec<String>,
+    },
+    /// Benign lock-cycle twin: every thread nests its pair in the
+    /// global sorted order (acyclic acquisition graph).
+    OrderSorted {
+        /// The locks, in the global order.
+        locks: Vec<String>,
+    },
+    /// Worker replica count (race / split-atomic patterns).
+    ThreadCount {
+        /// Replicas, 2–8.
+        threads: u32,
+    },
+    /// Side-effect-free padding ops inserted before the critical region.
+    NoiseOps {
+        /// How many.
+        count: u32,
+    },
+    /// The noise ops were rotated from their canonical order.
+    OpsReordered {
+        /// Left-rotation distance (1 ≤ rotation < noise count).
+        rotation: u32,
+    },
+    /// The hot variable was renamed from the canonical `x`.
+    VarAliased {
+        /// Canonical name.
+        from: String,
+        /// Emitted name.
+        to: String,
+    },
+    /// The hot counter was split into two variables, each with its own
+    /// (unguarded) RMW and its own assert.
+    VarSplit {
+        /// The emitted variable names.
+        vars: Vec<String>,
+    },
+    /// Lock-cycle length (deadlock pattern).
+    CycleLen {
+        /// Number of locks and threads in the cycle (2 or 3).
+        locks: u32,
+    },
+    /// Waiter replica count (lost-notify pattern).
+    Waiters {
+        /// Replicas, 1–3.
+        count: u32,
+    },
+}
+
+impl Mutation {
+    /// Compact single-token rendering for tables and `mtt gen describe`.
+    pub fn render(&self) -> String {
+        match self {
+            Mutation::GuardRemoved { lock } => format!("guard_removed({lock})"),
+            Mutation::GuardAdded { lock } => format!("guard_added({lock})"),
+            Mutation::GuardSplit { lock } => format!("guard_split({lock})"),
+            Mutation::OrderCycled { locks } => format!("order_cycled({})", locks.join(",")),
+            Mutation::OrderSorted { locks } => format!("order_sorted({})", locks.join(",")),
+            Mutation::ThreadCount { threads } => format!("threads({threads})"),
+            Mutation::NoiseOps { count } => format!("noise_ops({count})"),
+            Mutation::OpsReordered { rotation } => format!("ops_reordered({rotation})"),
+            Mutation::VarAliased { from, to } => format!("var_aliased({from}->{to})"),
+            Mutation::VarSplit { vars } => format!("var_split({})", vars.join(",")),
+            Mutation::CycleLen { locks } => format!("cycle({locks})"),
+            Mutation::Waiters { count } => format!("waiters({count})"),
+        }
+    }
+}
+
+/// The machine-checkable label every generated member carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroundTruth {
+    /// Primary injected bug class (the family's pattern class).
+    pub class: BugClass,
+    /// Secondary classes the same structure implies (see
+    /// [`Pattern::also`]); empty for benign members.
+    pub also: Vec<BugClass>,
+    /// 1-based source lines of the bug site in [`GenProgram::src`]
+    /// (unguarded writes, inner lock acquisitions, the unlocked notify,
+    /// or the two halves of the split critical section). Empty for
+    /// benign members.
+    pub manifest_lines: Vec<u32>,
+    /// Is this the benign twin (no injected bug)?
+    pub benign: bool,
+}
+
+impl GroundTruth {
+    /// All classes a detector is *credited* for flagging on this member
+    /// (primary plus implied); empty for benign members.
+    pub fn positive_classes(&self) -> Vec<BugClass> {
+        if self.benign {
+            return Vec::new();
+        }
+        let mut v = vec![self.class];
+        v.extend(self.also.iter().copied());
+        v
+    }
+}
+
+/// One generated program: canonical MiniProg source plus its label.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// Unique member name (also the `program` header in `src`).
+    pub name: String,
+    /// Owning family id.
+    pub family: String,
+    /// The pattern this member instantiates.
+    pub pattern: Pattern,
+    /// Canonical MiniProg source (`print(parse(..))` normal form).
+    pub src: String,
+    /// The ground-truth label.
+    pub truth: GroundTruth,
+    /// The mutations applied, in application order.
+    pub mutations: Vec<Mutation>,
+}
+
+impl GenProgram {
+    /// Parse the member back to an AST (generated sources always parse).
+    pub fn ast(&self) -> MiniProg {
+        parse(&self.src).expect("generated member source parses")
+    }
+
+    /// Compile the member to a runnable runtime program.
+    pub fn compile(&self) -> mtt_runtime::Program {
+        compile(&self.ast())
+    }
+}
+
+/// One variant family: buggy members and their benign twins, all from
+/// one pattern and one `(seed, index)` draw.
+#[derive(Clone, Debug)]
+pub struct Family {
+    /// Stable id: `g{seed}_f{index:03}_{pattern}`.
+    pub id: String,
+    /// Root seed the family was drawn from.
+    pub seed: u64,
+    /// Family index under that seed.
+    pub index: u64,
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Members: for each variant draw, the buggy member immediately
+    /// followed by its benign twin.
+    pub members: Vec<GenProgram>,
+}
+
+impl Family {
+    /// Members with an injected bug.
+    pub fn buggy(&self) -> impl Iterator<Item = &GenProgram> {
+        self.members.iter().filter(|m| !m.truth.benign)
+    }
+
+    /// Benign twins.
+    pub fn benign(&self) -> impl Iterator<Item = &GenProgram> {
+        self.members.iter().filter(|m| m.truth.benign)
+    }
+
+    /// Human-readable description: one header plus one block per member
+    /// (mutations, ground truth). Pinned by a golden test.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "family {} (seed {}, index {}, pattern {}, class {:?})\n",
+            self.id,
+            self.seed,
+            self.index,
+            self.pattern.key(),
+            self.pattern.class(),
+        );
+        for m in &self.members {
+            out.push_str(&format!(
+                "  member {} [{}]\n",
+                m.name,
+                if m.truth.benign { "benign" } else { "buggy" }
+            ));
+            out.push_str(&format!(
+                "    mutations: {}\n",
+                m.mutations
+                    .iter()
+                    .map(Mutation::render)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+            if m.truth.benign {
+                out.push_str("    manifest_lines: -\n");
+            } else {
+                out.push_str(&format!(
+                    "    manifest_lines: {}\n",
+                    m.truth
+                        .manifest_lines
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Generation options: the root seed and how many families to draw.
+#[derive(Clone, Copy, Debug)]
+pub struct GenOptions {
+    /// Root seed; every family derives its RNG from `(seed, index)`.
+    pub seed: u64,
+    /// Number of families.
+    pub families: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            seed: 42,
+            families: 20,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The composer
+// ---------------------------------------------------------------------
+
+/// SplitMix-style seed mixer: decorrelates per-family RNG streams so
+/// family `i` under seed `s` is a pure function of `(s, i)`.
+fn mix(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generate family `index` under `seed`: a pure function — the same
+/// arguments always yield byte-identical members.
+pub fn family(seed: u64, index: u64) -> Family {
+    let pattern = PATTERNS[(index % PATTERNS.len() as u64) as usize];
+    let id = format!("g{}_f{:03}_{}", seed, index, pattern.key());
+    let mut rng = ChaCha8Rng::seed_from_u64(mix(seed, index));
+    let variants = 2 + rng.gen_range(0..2u32);
+    let mut members = Vec::new();
+    for v in 0..variants {
+        let knobs = Knobs::draw(pattern, &mut rng);
+        for benign in [false, true] {
+            let name = format!("{id}_v{v}_{}", if benign { "ok" } else { "bug" });
+            members.push(build_member(&id, &name, pattern, &knobs, benign));
+        }
+    }
+    Family {
+        id,
+        seed,
+        index,
+        pattern,
+        members,
+    }
+}
+
+/// Generate `opts.families` families under `opts.seed`, in index order.
+pub fn generate_families(opts: &GenOptions) -> Vec<Family> {
+    (0..opts.families).map(|i| family(opts.seed, i)).collect()
+}
+
+/// Find a family by id within the first `opts.families` draws.
+pub fn family_by_id(opts: &GenOptions, id: &str) -> Option<Family> {
+    (0..opts.families)
+        .map(|i| family(opts.seed, i))
+        .find(|f| f.id == id)
+}
+
+/// Build one member: render the pattern template, canonicalize through
+/// the printer, and locate the manifest lines in the canonical source.
+fn build_member(
+    family: &str,
+    name: &str,
+    pattern: Pattern,
+    knobs: &Knobs,
+    benign: bool,
+) -> GenProgram {
+    let raw = patterns::render(name, pattern, knobs, benign);
+    let ast = parse(&raw).unwrap_or_else(|e| panic!("generated template must parse: {e}\n{raw}"));
+    let src = print(&ast);
+    let canonical =
+        parse(&src).unwrap_or_else(|e| panic!("canonical source must re-parse: {e}\n{src}"));
+    let manifest_lines = if benign {
+        Vec::new()
+    } else {
+        patterns::manifest_lines(&canonical, pattern, knobs)
+    };
+    GenProgram {
+        name: name.to_string(),
+        family: family.to_string(),
+        pattern,
+        src,
+        truth: GroundTruth {
+            class: pattern.class(),
+            also: pattern.also(),
+            manifest_lines,
+            benign,
+        },
+        mutations: knobs.mutations(pattern, benign),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suite interop
+// ---------------------------------------------------------------------
+
+/// Convert a generated member into a [`SuiteProgram`] so it can flow
+/// through every existing campaign / telemetry / trace pipeline. The
+/// oracle is ground-truth-backed: for buggy members any failed run
+/// (assert, deadlock, or timeout) counts as the documented bug
+/// manifesting; benign members always judge clean.
+///
+/// `SuiteProgram` fields are `&'static str` by design (the hand-written
+/// catalog is static data); generated names are leaked once per call, so
+/// convert members once and reuse the result.
+pub fn to_suite_program(member: &GenProgram) -> SuiteProgram {
+    let name: &'static str = Box::leak(member.name.clone().into_boxed_str());
+    let tag: &'static str =
+        Box::leak(format!("{}-{}", member.pattern.key(), "injected").into_boxed_str());
+    let program = member.compile();
+    let benign = member.truth.benign;
+    let oracle: OracleFn = Arc::new(move |o: &mtt_runtime::Outcome| {
+        if !benign && !o.ok() {
+            Verdict {
+                manifested: vec![tag],
+            }
+        } else {
+            Verdict::default()
+        }
+    });
+    let bugs = if benign {
+        Vec::new()
+    } else {
+        vec![BugDoc {
+            tag,
+            class: member.truth.class,
+            description: Box::leak(
+                format!(
+                    "generated {} variant; bug at lines {:?}",
+                    member.pattern.key(),
+                    member.truth.manifest_lines
+                )
+                .into_boxed_str(),
+            ),
+            vars: Vec::new(),
+            locks: Vec::new(),
+            conds: Vec::new(),
+        }]
+    };
+    SuiteProgram {
+        name,
+        size: Size::Small,
+        program,
+        bugs,
+        oracle,
+        fixed: None,
+        racy_vars: Vec::new(),
+    }
+}
+
+/// Static-oracle view of one member: the diagnostic codes `analyze`
+/// emits on its source.
+pub fn static_codes(member: &GenProgram) -> Vec<String> {
+    let mut codes: Vec<String> = analyze(&member.ast())
+        .diagnostics
+        .iter()
+        .map(|d| d.code.clone())
+        .collect();
+    codes.sort();
+    codes.dedup();
+    codes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_is_deterministic() {
+        let a = family(42, 0);
+        let b = family(42, 0);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.members.len(), b.members.len());
+        for (x, y) in a.members.iter().zip(&b.members) {
+            assert_eq!(x.src, y.src);
+            assert_eq!(x.mutations, y.mutations);
+            assert_eq!(x.truth, y.truth);
+        }
+        assert_eq!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn patterns_round_robin_and_twins_pair_up() {
+        for i in 0..8u64 {
+            let f = family(7, i);
+            assert_eq!(f.pattern, PATTERNS[(i % 4) as usize]);
+            assert_eq!(f.buggy().count(), f.benign().count());
+            assert!(f.members.len() >= 4 && f.members.len() <= 6);
+            // Twins are adjacent and share their knob mutations.
+            for pair in f.members.chunks(2) {
+                assert!(!pair[0].truth.benign);
+                assert!(pair[1].truth.benign);
+            }
+        }
+    }
+
+    #[test]
+    fn every_member_passes_the_consistency_check() {
+        for i in 0..8u64 {
+            let f = family(42, i);
+            for m in &f.members {
+                check_member(m).unwrap_or_else(|e| panic!("{}: {e}\n{}", m.name, m.src));
+            }
+        }
+    }
+
+    #[test]
+    fn buggy_members_carry_their_class_statically_and_benign_twins_are_clean() {
+        for i in 0..8u64 {
+            let f = family(11, i);
+            for m in &f.members {
+                let analysis = analyze(&m.ast());
+                if m.truth.benign {
+                    assert!(
+                        analysis.diagnostics.is_empty(),
+                        "{} is benign but got {:?}\n{}",
+                        m.name,
+                        analysis
+                            .diagnostics
+                            .iter()
+                            .map(|d| d.code.clone())
+                            .collect::<Vec<_>>(),
+                        m.src
+                    );
+                } else {
+                    let want = format!("{:?}", m.truth.class);
+                    assert!(
+                        analysis.diagnostics.iter().any(|d| d.bug_class == want),
+                        "{} should statically exhibit {want}\n{}",
+                        m.name,
+                        m.src
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_members_compile_and_run() {
+        use mtt_runtime::{Execution, RandomScheduler};
+        let f = family(42, 0);
+        let m = &f.members[1]; // a benign twin: must complete cleanly
+        let program = m.compile();
+        let o = Execution::new(&program)
+            .scheduler(Box::new(RandomScheduler::sticky(1, 0.9)))
+            .max_steps(30_000)
+            .run();
+        assert!(o.ok(), "benign member failed: {:?}", o.kind);
+    }
+
+    #[test]
+    fn suite_conversion_keeps_the_oracle_ground_truth_backed() {
+        let f = family(42, 1); // dlock family
+        let buggy = f.buggy().next().unwrap();
+        let sp = to_suite_program(buggy);
+        assert_eq!(sp.name, buggy.name);
+        assert_eq!(sp.bugs.len(), 1);
+        assert_eq!(sp.bugs[0].class, BugClass::Deadlock);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the variant-family generator (the ISSUE's
+//! satellite 1): determinism, mutation-metadata consistency, and the
+//! static-oracle guarantee that benign twins never contain the injected
+//! bug — over arbitrary seeds and family indices, not just the defaults
+//! the unit tests pin.
+
+use mtt_gen::{check_member, family, static_codes, GenOptions, Pattern};
+use mtt_static::analyze;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_seed_same_family_byte_for_byte(seed in any::<u64>(), index in 0u64..64) {
+        let a = family(seed, index);
+        let b = family(seed, index);
+        prop_assert_eq!(a.id.clone(), b.id.clone());
+        prop_assert_eq!(a.describe(), b.describe());
+        prop_assert_eq!(a.members.len(), b.members.len());
+        for (x, y) in a.members.iter().zip(&b.members) {
+            prop_assert_eq!(&x.name, &y.name);
+            prop_assert_eq!(&x.src, &y.src);
+            prop_assert_eq!(&x.mutations, &y.mutations);
+            prop_assert_eq!(&x.truth, &y.truth);
+        }
+    }
+
+    #[test]
+    fn mutation_metadata_is_consistent_with_the_source(seed in any::<u64>(), index in 0u64..64) {
+        let f = family(seed, index);
+        for m in &f.members {
+            if let Err(e) = check_member(m) {
+                return Err(TestCaseError::Fail(format!("{e}\n{}", m.src)));
+            }
+        }
+    }
+
+    #[test]
+    fn benign_twins_are_clean_per_the_static_oracle(seed in any::<u64>(), index in 0u64..64) {
+        let f = family(seed, index);
+        for m in f.benign() {
+            let diags = analyze(&m.ast()).diagnostics;
+            prop_assert!(
+                diags.is_empty(),
+                "benign twin {} carries diagnostics {:?}\n{}",
+                m.name,
+                diags.iter().map(|d| d.code.clone()).collect::<Vec<_>>(),
+                m.src
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_members_statically_exhibit_their_class(seed in any::<u64>(), index in 0u64..64) {
+        let f = family(seed, index);
+        for m in f.buggy() {
+            let want = format!("{:?}", m.truth.class);
+            let hit = analyze(&m.ast())
+                .diagnostics
+                .iter()
+                .any(|d| d.bug_class == want);
+            prop_assert!(
+                hit,
+                "buggy member {} (codes {:?}) lacks class {want}\n{}",
+                m.name,
+                static_codes(m),
+                m.src
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_members_never_emit_codes_outside_their_claimed_classes(
+        seed in any::<u64>(),
+        index in 0u64..64,
+    ) {
+        // Ground-truth trust cuts both ways: a buggy member must not
+        // smuggle in *extra* bug classes beyond `class` + `also`, or the
+        // E10 false-positive column would charge tools for real bugs.
+        let f = family(seed, index);
+        for m in f.buggy() {
+            let allowed: Vec<String> = m
+                .truth
+                .positive_classes()
+                .iter()
+                .map(|c| format!("{c:?}"))
+                .collect();
+            for d in analyze(&m.ast()).diagnostics {
+                prop_assert!(
+                    allowed.contains(&d.bug_class),
+                    "{}: diagnostic {} predicts {} outside claimed {:?}\n{}",
+                    m.name,
+                    d.code,
+                    d.bug_class,
+                    allowed,
+                    m.src
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_lines_point_at_the_bug(seed in any::<u64>(), index in 0u64..64) {
+        let f = family(seed, index);
+        for m in &f.members {
+            if m.truth.benign {
+                prop_assert!(m.truth.manifest_lines.is_empty());
+            } else {
+                prop_assert!(
+                    !m.truth.manifest_lines.is_empty(),
+                    "buggy member {} has no manifest lines",
+                    m.name
+                );
+                let max_line = m.src.lines().count() as u32;
+                for l in &m.truth.manifest_lines {
+                    prop_assert!(*l >= 1 && *l <= max_line);
+                    // The named line is part of the pattern's bug site:
+                    // it mentions a lock op, a notify, or the hot write.
+                    let text = m.src.lines().nth((*l - 1) as usize).unwrap_or("");
+                    let site = match m.pattern {
+                        Pattern::Race => text.contains("= t;"),
+                        Pattern::LockCycle | Pattern::SplitAtomic => text.contains("lock ("),
+                        Pattern::LostNotify => text.contains("notify"),
+                    };
+                    prop_assert!(site, "{}: line {l} `{text}` is not a bug site", m.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    // Not a tautology (a constant generator would pass everything
+    // above): two seeds must disagree on at least one member source
+    // within a handful of families.
+    let a = GenOptions {
+        seed: 1,
+        families: 8,
+    };
+    let b = GenOptions {
+        seed: 2,
+        families: 8,
+    };
+    let srcs = |o: &GenOptions| {
+        mtt_gen::generate_families(o)
+            .iter()
+            .flat_map(|f| f.members.iter().map(|m| m.src.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_ne!(srcs(&a), srcs(&b));
+}
