@@ -1,0 +1,170 @@
+//! Flight-recorder cost axes: journal records appended per second (every
+//! campaign cell writes a `start` and a `done` line through one mutex, so
+//! append throughput bounds how fine-grained journaling can be), status
+//! folds per second (the `mtt status`/`watch` read path), and the
+//! per-cell overhead a journal adds to a real campaign.
+
+use criterion::{black_box, Criterion};
+use mtt_bench::quick_criterion;
+use mtt_core::experiment::campaign::Campaign;
+use mtt_core::experiment::jobpool::JobPool;
+use mtt_core::obs::{content_address, CellDone, JournalSink, MetricScalars, StatusSummary};
+use std::sync::Arc;
+
+/// A `done` record shaped like a real E1 cell.
+fn sample_done(i: u64) -> CellDone {
+    CellDone {
+        cell: content_address("web_sessions", "sticky:0.9+noise=sleep:0.3:15", i, "0.1.0"),
+        program: "web_sessions".into(),
+        tool: "sleep-noise".into(),
+        tool_spec: "sticky:0.9+noise=sleep:0.3:15".into(),
+        seed: i,
+        run: i,
+        outcome: "completed".into(),
+        failed: i.is_multiple_of(3),
+        manifested: if i.is_multiple_of(3) {
+            vec!["lost-update".into()]
+        } else {
+            Vec::new()
+        },
+        events: 4200 + i,
+        sched_points: 900 + i,
+        injections: 17,
+        timed_out: false,
+        wall_us: 1200 + i,
+        t_us: 0,
+        worker: i % 8,
+        metrics: Some(MetricScalars {
+            events: 4200 + i,
+            sched_points: 900 + i,
+            ..MetricScalars::default()
+        }),
+    }
+}
+
+/// A synthetic journal with `n` done records, as NDJSON text.
+fn sample_journal(n: u64) -> String {
+    let sink_buf = Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
+    struct Buf(Arc<std::sync::Mutex<Vec<u8>>>);
+    impl std::io::Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+    let sink = JournalSink::from_writer(Buf(Arc::clone(&sink_buf)));
+    sink.campaign(mtt_core::obs::CampaignMeta {
+        label: "bench".into(),
+        total_cells: n,
+        ..Default::default()
+    });
+    for i in 0..n {
+        sink.done(sample_done(i));
+    }
+    sink.end("bench", n);
+    let buf = sink_buf.lock().unwrap();
+    String::from_utf8(buf.clone()).expect("journal is UTF-8")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flight_recorder");
+
+    // Serialization + flush through the sink mutex, the per-cell write cost.
+    g.bench_function("journal_append", |b| {
+        let sink = JournalSink::from_writer(std::io::sink());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            sink.done(black_box(sample_done(i)));
+        })
+    });
+
+    // The `mtt status` read path: parse NDJSON, fold permutation-invariantly.
+    g.bench_function("status_fold_256", |b| {
+        let text = sample_journal(256);
+        b.iter(|| {
+            let parsed = mtt_core::obs::parse_journal(&text).expect("valid journal");
+            black_box(StatusSummary::from_journal(&parsed))
+        })
+    });
+
+    // A real (tiny) campaign with and without a journal attached.
+    let programs = || vec![mtt_core::suite::by_name("lost_update").expect("suite has lost_update")];
+    g.bench_function("campaign_bare", |b| {
+        let pool = JobPool::serial();
+        b.iter(|| {
+            let campaign = Campaign::standard(programs(), 2);
+            black_box(campaign.run_full(&pool))
+        })
+    });
+    g.bench_function("campaign_journaled", |b| {
+        let pool = JobPool::serial();
+        b.iter(|| {
+            let mut campaign = Campaign::standard(programs(), 2);
+            campaign.journal = Some(Arc::new(JournalSink::from_writer(std::io::sink())));
+            black_box(campaign.run_full(&pool))
+        })
+    });
+
+    g.finish();
+}
+
+/// Smoke throughput for the flight recorder, written to `BENCH_events.json`
+/// at the repository root so CI can diff journaling cost without parsing
+/// Criterion output. `events_per_sec` is journal records appended per
+/// wall-clock second through the sink's mutex + flush path.
+fn write_smoke_json() {
+    fn ns_per_iter(iters: u32, mut f: impl FnMut()) -> u64 {
+        for _ in 0..4 {
+            f();
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        (start.elapsed().as_nanos() / iters as u128) as u64
+    }
+
+    // Journal records per second (the bound on journaling granularity).
+    let sink = JournalSink::from_writer(std::io::sink());
+    let mut i = 0u64;
+    let append_ns = ns_per_iter(4096, || {
+        i += 1;
+        sink.done(sample_done(i));
+    });
+    let events_per_sec = 1_000_000_000 / append_ns.max(1);
+
+    // Status folds per second over a 256-record journal (the watch path).
+    let text = sample_journal(256);
+    let fold_ns = ns_per_iter(64, || {
+        let parsed = mtt_core::obs::parse_journal(&text).expect("valid journal");
+        StatusSummary::from_journal(&parsed);
+    });
+    let folds_per_sec = 1_000_000_000 / fold_ns.max(1);
+
+    let results = [("journal_append", append_ns), ("status_fold_256", fold_ns)];
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(name, ns)| format!(r#"{{"name":"{name}","ns_per_iter":{ns}}}"#))
+        .collect();
+    let json = format!(
+        "{{\"schema\":\"mtt-bench-events\",\"version\":1,\"events_per_sec\":{events_per_sec},\"status_folds_per_sec\":{folds_per_sec},\"results\":[{}]}}\n",
+        entries.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_events.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+    write_smoke_json();
+}

@@ -23,6 +23,7 @@
 //! | repository of documented-bug programs | [`suite`] |
 //! | prepared experiments | [`experiment`] |
 //! | telemetry: metrics, profiles, run logs | [`telemetry`] |
+//! | flight recorder: durable journal, resume, status, chrome-trace | [`obs`] |
 //! | component registry + declarative tool specs | [`tools`] ([`tools::ToolSpec`], [`tools::ToolConfig`]) |
 //!
 //! ## Quick taste
@@ -55,6 +56,7 @@ pub use mtt_explore as explore;
 pub use mtt_gen as gen;
 pub use mtt_instrument as instrument;
 pub use mtt_noise as noise;
+pub use mtt_obs as obs;
 pub use mtt_race as race;
 pub use mtt_replay as replay;
 pub use mtt_runtime as runtime;

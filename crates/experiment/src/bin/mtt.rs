@@ -38,13 +38,22 @@
 //!                               precision/recall of L001–L007 + R/D/A001
 //!                               against the dynamic detector roster
 //! mtt profile <e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR]
-//!                               contention / hot-site / overhead profile
+//!             [--chrome-trace FILE]
+//!                               contention / hot-site / overhead profile;
+//!                               --chrome-trace writes a chrome://tracing
+//!                               timeline of phases, workers and cells
+//! mtt status <dir|file>         one-shot progress/ETA/utilization view of
+//!                               campaign journals (second-process safe)
+//! mtt watch <dir|file> [--interval-ms N] [--max-polls N]
+//!                               poll journals until every campaign completes
 //! mtt tools [list|specs|describe <spec>|validate <spec...|--file F>] [--json]
 //!                               the component registry: list components,
 //!                               print the standard roster, describe or
 //!                               validate tool specs
 //! mtt metrics-check <file>      validate an NDJSON run log against the schema
 //! mtt trace-check <file>        validate an annotated trace against the schema
+//! mtt journal-check <dir|file>  strictly validate campaign journals
+//!                               against schema v1 (exit 2 on corruption)
 //! mtt all                       every experiment with small defaults
 //! mtt help                      this listing
 //! ```
@@ -68,6 +77,13 @@
 //!                    e1-detail, profile, e5, and cloning
 //! --tools-file FILE  like --tools, reading one spec per line (blank lines
 //!                    and `#` comments ignored)
+//! --journal DIR      append a durable NDJSON flight-recorder journal to
+//!                    DIR/<label>.ndjson while the command runs (observable
+//!                    live from another process via `mtt status`)
+//! --resume           with --journal: look completed cells up in the
+//!                    existing journal by content address and skip them —
+//!                    the resumed output is byte-identical to an
+//!                    uninterrupted run (e1, e1-detail)
 //! ```
 
 use mtt_experiment::{
@@ -75,11 +91,14 @@ use mtt_experiment::{
     explore_eval, gen_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, scoreboard,
     static_eval, tracegen,
 };
+use mtt_obs::{JournalSink, ResumeCache, StatusSummary};
 use mtt_runtime::{Execution, RandomScheduler};
 use mtt_telemetry::{check_run_log_line, RunLogRecord, RunLogWriter};
 use mtt_tools::{ToolConfig, ToolSpec};
 use std::env;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Global options shared by every experiment subcommand.
@@ -89,6 +108,8 @@ struct Global {
     quiet: bool,
     metrics: Option<String>,
     tools: Option<Vec<ToolSpec>>,
+    journal: Option<String>,
+    resume: bool,
 }
 
 impl Global {
@@ -114,6 +135,71 @@ impl Global {
                 .map(Some),
         }
     }
+
+    /// Open `--journal DIR/<label>.ndjson` if journaling was requested.
+    /// With `--resume` the existing journal is tail-repaired, parsed
+    /// (corruption is exit 2) and turned into a [`ResumeCache`]; the sink
+    /// then appends. Without `--resume` the file is truncated.
+    fn open_journal(
+        &self,
+        label: &str,
+    ) -> Result<(Option<Arc<JournalSink>>, Option<ResumeCache>), String> {
+        let Some(dir) = &self.journal else {
+            if self.resume {
+                return Err(
+                    "--resume needs --journal DIR (there is no journal to resume from)".to_string(),
+                );
+            }
+            return Ok((None, None));
+        };
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("--journal: cannot create directory {dir}: {e}"))?;
+        let path = Path::new(dir).join(format!("{label}.ndjson"));
+        let mut cache = None;
+        if self.resume && path.exists() {
+            // A crash can only ever truncate the final line; cut that
+            // fragment off so appended records start on a line boundary.
+            mtt_obs::truncate_partial_tail(&path)
+                .map_err(|e| format!("--resume: cannot repair {}: {e}", path.display()))?;
+            let parsed = mtt_obs::load_journal(&path)?;
+            cache = Some(ResumeCache::from_records(&parsed.records));
+        }
+        let sink = JournalSink::to_file(&path, self.resume)
+            .map_err(|e| format!("--journal: cannot open {}: {e}", path.display()))?;
+        Ok((Some(Arc::new(sink)), cache))
+    }
+
+    /// A journaled pool for non-campaign commands: generic `job` records
+    /// only, so `--resume` (a content-address cache over campaign cells)
+    /// is rejected with a pointed message.
+    fn journaled_pool(&self, label: &str) -> Result<(JobPool, JournalGuard), String> {
+        if self.resume {
+            return Err(format!(
+                "--resume is not supported by `{label}` — only campaign-shaped \
+                 commands (e1, e1-detail) can skip completed cells"
+            ));
+        }
+        let (sink, _) = self.open_journal(label)?;
+        let mut pool = self.pool(label);
+        if let Some(s) = &sink {
+            pool = pool.with_journal(Arc::clone(s), label);
+        }
+        Ok((pool, JournalGuard(sink)))
+    }
+}
+
+/// Post-run check that every journal record actually reached disk; a
+/// latched write error (disk full, deleted directory) becomes exit 2
+/// instead of a silently incomplete journal.
+struct JournalGuard(Option<Arc<JournalSink>>);
+
+impl JournalGuard {
+    fn finish(self) -> Result<(), String> {
+        match self.0.as_ref().and_then(|s| s.error()) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Split `--jobs/-j/--budget-ms/--quiet/-q` out of the raw argument list;
@@ -126,6 +212,8 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
         quiet: false,
         metrics: None,
         tools: None,
+        journal: None,
+        resume: false,
     };
     let mut rest = Vec::new();
     let mut it = raw.iter();
@@ -160,6 +248,11 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
                 }
                 g.tools = Some(specs);
             }
+            "--journal" => {
+                let v = it.next().ok_or("--journal needs a directory")?;
+                g.journal = Some(v.clone());
+            }
+            "--resume" => g.resume = true,
             "--tools-file" => {
                 let path = it.next().ok_or("--tools-file needs a file path")?;
                 let text = std::fs::read_to_string(path)
@@ -194,39 +287,42 @@ fn main() -> ExitCode {
             "run" => Ok(run_one(&args[1..])),
             "trace" => Ok(trace(&args[1..])),
             "explain" => explain_cmd(&args[1..], &global),
-            "e1" => e1(arg_u64(&args, 1, 60)?, &global),
+            "e1" => e1(&args[1..], &global),
             "e1-detail" => e1_detail(
                 args.get(1).map(String::as_str),
                 arg_u64(&args, 2, 60)?,
                 &global,
             ),
             "cloning" => cloning(arg_u64(&args, 1, 60)?, &global),
-            "e2" => Ok(e2(arg_u64(&args, 1, 10)?, &global)),
-            "e3" => Ok(e3(arg_u64(&args, 1, 20)?, &global)),
-            "e4" => Ok(e4(
+            "e2" => e2(arg_u64(&args, 1, 10)?, &global),
+            "e3" => e3(arg_u64(&args, 1, 20)?, &global),
+            "e4" => e4(
                 args.get(1).map(String::as_str),
                 arg_u64(&args, 2, 20)?,
                 &global,
-            )),
+            ),
             "e5" => e5(arg_u64(&args, 1, 120)?, &global),
-            "e6" => Ok(e6(arg_u64(&args, 1, 3000)?, &global)),
-            "e7" => Ok(e7(arg_u64(&args, 1, 40)?, &global)),
+            "e6" => e6(arg_u64(&args, 1, 3000)?, &global),
+            "e7" => e7(arg_u64(&args, 1, 40)?, &global),
             "e8" => Ok(e8(arg_u64(&args, 1, 7)?)),
             "e10" => e10(&args[1..], &global),
             "gen" => gen_cmd(&args[1..]),
             "e11" => e11(&args[1..], &global),
             "profile" => profile_cmd(&args[1..], &global),
+            "status" => status_cmd(&args[1..]),
+            "watch" => watch_cmd(&args[1..]),
             "tools" => tools_cmd(&args[1..]),
             "metrics-check" => Ok(metrics_check(&args[1..])),
             "trace-check" => Ok(trace_check(&args[1..])),
+            "journal-check" => journal_check(&args[1..]),
             "all" => {
-                e1(40, &global)?;
-                e2(8, &global);
-                e3(15, &global);
-                e4(None, 15, &global);
+                e1(&["40".into()], &global)?;
+                e2(8, &global)?;
+                e3(15, &global)?;
+                e4(None, 15, &global)?;
                 e5(80, &global)?;
-                e6(2000, &global);
-                e7(30, &global);
+                e6(2000, &global)?;
+                e7(30, &global)?;
                 e8(7);
                 e10(
                     &["--families".into(), "8".into(), "--runs".into(), "2".into()],
@@ -479,22 +575,40 @@ fn write_run_log(path: &str, records: &[RunLogRecord]) -> Result<(), String> {
     Ok(())
 }
 
-fn e1(runs: u64, g: &Global) -> Result<ExitCode, String> {
+fn e1(args: &[String], g: &Global) -> Result<ExitCode, String> {
+    let mut csv = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--csv" => csv = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let runs = arg_u64(&positional, 0, 60)?;
     let mut campaign = Campaign::standard(mtt_suite::quick_set(), runs);
     if let Some(tools) = g.resolved_tools()? {
         campaign.tools = tools;
     }
     campaign.run_budget = g.budget;
+    campaign.jobs = g.jobs;
     campaign.label = "e1".into();
     campaign.telemetry = g.metrics.is_some();
+    let (sink, cache) = g.open_journal("e1")?;
+    campaign.journal = sink.clone();
+    campaign.resume = cache;
     let run = campaign.run_full(&g.pool("e1"));
+    JournalGuard(sink).finish()?;
     if let Some(path) = &g.metrics {
         write_run_log(path, &run.run_log)?;
     }
-    println!("{}", run.report.table().render());
-    println!("ranking (mean find-rate across programs):");
-    for (tool, rate) in run.report.ranking() {
-        println!("  {tool:<14} {rate:.3}");
+    if csv {
+        print!("{}", run.report.table().to_csv());
+    } else {
+        println!("{}", run.report.table().render());
+        println!("ranking (mean find-rate across programs):");
+        for (tool, rate) in run.report.ranking() {
+            println!("  {tool:<14} {rate:.3}");
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -510,9 +624,14 @@ fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> Result<ExitCode, S
         campaign.tools = tools;
     }
     campaign.run_budget = g.budget;
+    campaign.jobs = g.jobs;
     campaign.label = "e1-detail".into();
     campaign.telemetry = g.metrics.is_some();
+    let (sink, cache) = g.open_journal("e1-detail")?;
+    campaign.journal = sink.clone();
+    campaign.resume = cache;
     let run = campaign.run_full(&g.pool("e1-detail"));
+    JournalGuard(sink).finish()?;
     if let Some(path) = &g.metrics {
         write_run_log(path, &run.run_log)?;
     }
@@ -578,7 +697,9 @@ fn explain_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
     let Some(p) = mtt_suite::by_name(&name) else {
         return Err(format!("unknown program `{name}` — try `mtt list`"));
     };
-    let e = explain::explain_on(&p, &opts, &g.pool("explain"))?;
+    let (pool, journal) = g.journaled_pool("explain")?;
+    let e = explain::explain_on(&p, &opts, &pool)?;
+    journal.finish()?;
     print!("{}", e.render_summary());
     if timeline || (!diff && !csv) {
         println!();
@@ -634,6 +755,7 @@ fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
     let mut csv = false;
     let mut timing = false;
     let mut annotate_dir = None;
+    let mut chrome_path: Option<String> = None;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -644,32 +766,54 @@ fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
                 let v = it.next().ok_or("--annotate needs a directory")?;
                 annotate_dir = Some(v.clone());
             }
+            "--chrome-trace" => {
+                let v = it.next().ok_or("--chrome-trace needs a file path")?;
+                chrome_path = Some(v.clone());
+            }
             other => positional.push(other.to_string()),
         }
     }
     let Some(key) = positional.first() else {
         return Err(format!(
-            "usage: mtt profile <{}|all> [runs] [--csv] [--timing] [--annotate DIR]",
+            "usage: mtt profile <{}|all> [runs] [--csv] [--timing] [--annotate DIR] \
+             [--chrome-trace FILE]",
             profile::PROFILE_KEYS.join("|")
         ));
     };
+    if g.resume {
+        // A profile needs full site maps, which the journal's 12-scalar
+        // metric summary cannot round-trip — so cached cells can't stand in
+        // for executed ones here.
+        return Err(
+            "--resume is not supported by `profile` (hot-site maps cannot be \
+             reconstructed from the journal); use e1/e1-detail, or drop --resume"
+                .into(),
+        );
+    }
     let runs = arg_u64(&positional, 1, 20)?;
-    let opts = profile::ProfileOptions {
-        runs,
-        jobs: g.jobs,
-        top_k: 10,
-        progress: !g.quiet,
-        annotate_dir,
-        tools: g.tools.clone(),
-    };
     let keys: Vec<&str> = if key == "all" {
         profile::PROFILE_KEYS.to_vec()
     } else {
         vec![key.as_str()]
     };
+    if chrome_path.is_some() && keys.len() > 1 {
+        return Err("--chrome-trace needs a single profile key, not `all`".into());
+    }
     let mut all_records = Vec::new();
     for key in keys {
+        let (sink, _) = g.open_journal(&format!("profile-{key}"))?;
+        let opts = profile::ProfileOptions {
+            runs,
+            jobs: g.jobs,
+            top_k: 10,
+            progress: !g.quiet,
+            annotate_dir: annotate_dir.clone(),
+            tools: g.tools.clone(),
+            chrome: chrome_path.is_some(),
+            journal: sink.clone(),
+        };
         let report = profile::run_profile(key, &opts)?;
+        JournalGuard(sink).finish()?;
         if csv {
             print!("{}", report.to_csv());
         } else {
@@ -681,10 +825,136 @@ fn profile_cmd(args: &[String], g: &Global) -> Result<ExitCode, String> {
         for path in &report.annotated {
             println!("annotated trace written to {path}");
         }
+        if let Some(path) = &chrome_path {
+            let trace = report.chrome_trace();
+            std::fs::write(path, trace.dump())
+                .map_err(|e| format!("--chrome-trace: write {path}: {e}"))?;
+            println!(
+                "chrome trace written to {path} ({} event(s); load via chrome://tracing)",
+                trace.len()
+            );
+        }
         all_records.extend(report.run_log);
     }
     if let Some(path) = &g.metrics {
         write_run_log(path, &all_records)?;
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Resolve a `status`/`watch`/`journal-check` target: a directory becomes
+/// its sorted `*.ndjson` files, a file is itself. No journals is an error —
+/// a typo'd path should not look like a healthy empty campaign.
+fn journal_files(target: &str) -> Result<Vec<PathBuf>, String> {
+    let path = Path::new(target);
+    if path.is_dir() {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("read {target}: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.is_file() && p.extension().map(|x| x == "ndjson").unwrap_or(false))
+            .collect();
+        files.sort();
+        if files.is_empty() {
+            return Err(format!("no *.ndjson journals in {target}"));
+        }
+        Ok(files)
+    } else if path.is_file() {
+        Ok(vec![path.to_path_buf()])
+    } else {
+        Err(format!("{target}: no such file or directory"))
+    }
+}
+
+/// Fold the journals under `target` into per-campaign summaries, in file
+/// order. Read-only: a half-written final record is tolerated (and flagged
+/// in the summary), never repaired on disk — the writing process may still
+/// be mid-append.
+fn load_summaries(target: &str) -> Result<Vec<(PathBuf, StatusSummary)>, String> {
+    journal_files(target)?
+        .into_iter()
+        .map(|path| {
+            let parsed = mtt_obs::load_journal(&path)?;
+            let summary = StatusSummary::from_journal(&parsed);
+            Ok((path, summary))
+        })
+        .collect()
+}
+
+fn status_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let Some(target) = args.first() else {
+        return Err("usage: mtt status <dir|file.ndjson>".into());
+    };
+    for (path, summary) in load_summaries(target)? {
+        print!("{}: {}", path.display(), summary.render());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn watch_cmd(args: &[String]) -> Result<ExitCode, String> {
+    let mut interval_ms: u64 = 1000;
+    let mut max_polls: u64 = u64::MAX;
+    let mut target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval-ms" => {
+                let v = it.next().ok_or("--interval-ms needs a value")?;
+                interval_ms = v
+                    .parse()
+                    .map_err(|_| format!("--interval-ms: `{v}` is not a number"))?;
+            }
+            "--max-polls" => {
+                let v = it.next().ok_or("--max-polls needs a value")?;
+                max_polls = v
+                    .parse()
+                    .map_err(|_| format!("--max-polls: `{v}` is not a number"))?;
+            }
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => return Err(format!("watch: unexpected argument `{other}`")),
+        }
+    }
+    let Some(target) = target else {
+        return Err("usage: mtt watch <dir|file.ndjson> [--interval-ms N] [--max-polls N]".into());
+    };
+    for poll in 0..max_polls {
+        if poll > 0 {
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+        let summaries = load_summaries(&target)?;
+        for (path, summary) in &summaries {
+            print!("{}: {}", path.display(), summary.render());
+        }
+        if summaries.iter().all(|(_, s)| s.complete) {
+            println!("all campaigns complete");
+            return Ok(ExitCode::SUCCESS);
+        }
+        println!("---");
+    }
+    eprintln!("mtt watch: campaigns still running after {max_polls} poll(s)");
+    Ok(ExitCode::FAILURE)
+}
+
+fn journal_check(args: &[String]) -> Result<ExitCode, String> {
+    let Some(target) = args.first() else {
+        return Err("usage: mtt journal-check <dir|file.ndjson>".into());
+    };
+    for path in journal_files(target)? {
+        let parsed = mtt_obs::load_journal(&path)?;
+        if parsed.tail_discarded {
+            return Err(format!(
+                "{}: truncated final record (crash mid-write); `--resume` \
+                 discards it, but a strict check does not pass",
+                path.display()
+            ));
+        }
+        println!(
+            "{}: {} record(s) conform to journal schema v{}",
+            path.display(),
+            parsed.records.len(),
+            mtt_obs::JOURNAL_VERSION
+        );
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -874,7 +1144,7 @@ fn metrics_check(args: &[String]) -> ExitCode {
 }
 
 fn cloning(runs: u64, g: &Global) -> Result<ExitCode, String> {
-    let pool = g.pool("cloning");
+    let (pool, journal) = g.journaled_pool("cloning")?;
     println!("§2.3 cloning driver: P(cloned test fails)\n");
     match &g.tools {
         None => {
@@ -903,58 +1173,71 @@ fn cloning(runs: u64, g: &Global) -> Result<ExitCode, String> {
             }
         }
     }
+    journal.finish()?;
     Ok(ExitCode::SUCCESS)
 }
 
-fn e2(traces: u64, g: &Global) -> ExitCode {
+fn e2(traces: u64, g: &Global) -> Result<ExitCode, String> {
+    let (pool, journal) = g.journaled_pool("e2")?;
     let programs = mtt_suite::quick_set();
-    let report = detector_eval::run_detector_eval_on(&programs, traces, &g.pool("e2"));
+    let report = detector_eval::run_detector_eval_on(&programs, traces, &pool);
+    journal.finish()?;
     println!("{}", report.table().render());
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn e3(attempts: u64, g: &Global) -> ExitCode {
-    let rows = replay_eval::run_replay_eval_on(attempts, &[0, 1, 4, 16], &g.pool("e3"));
+fn e3(attempts: u64, g: &Global) -> Result<ExitCode, String> {
+    let (pool, journal) = g.journaled_pool("e3")?;
+    let rows = replay_eval::run_replay_eval_on(attempts, &[0, 1, 4, 16], &pool);
+    journal.finish()?;
     println!("{}", replay_eval::replay_table(&rows).render());
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn e4(program: Option<&str>, runs: u64, g: &Global) -> ExitCode {
+fn e4(program: Option<&str>, runs: u64, g: &Global) -> Result<ExitCode, String> {
     let name = program.unwrap_or("web_sessions");
     let Some(p) = mtt_suite::by_name(name) else {
         eprintln!("unknown program `{name}`");
-        return ExitCode::from(2);
+        return Ok(ExitCode::from(2));
     };
-    let curves = coverage_eval::run_coverage_eval_on(&p, runs, 0, &g.pool("e4"));
+    let (pool, journal) = g.journaled_pool("e4")?;
+    let curves = coverage_eval::run_coverage_eval_on(&p, runs, 0, &pool);
+    journal.finish()?;
     println!("{}", coverage_eval::coverage_table(name, &curves).render());
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 fn e5(runs: u64, g: &Global) -> Result<ExitCode, String> {
+    let (pool, journal) = g.journaled_pool("e5")?;
     let results = match g.resolved_tools()? {
-        Some(tools) => multiout_eval::run_multiout_eval_with(runs, 0, tools, &g.pool("e5")),
-        None => multiout_eval::run_multiout_eval_on(runs, 0, &g.pool("e5")),
+        Some(tools) => multiout_eval::run_multiout_eval_with(runs, 0, tools, &pool),
+        None => multiout_eval::run_multiout_eval_on(runs, 0, &pool),
     };
+    journal.finish()?;
     println!("{}", multiout_eval::multiout_table(&results).render());
     Ok(ExitCode::SUCCESS)
 }
 
-fn e6(budget: u64, g: &Global) -> ExitCode {
+fn e6(budget: u64, g: &Global) -> Result<ExitCode, String> {
     let programs = vec![
         mtt_suite::small::lost_update(2, 1),
         mtt_suite::small::ab_ba(),
         mtt_suite::small::check_then_act(),
     ];
-    let rows = explore_eval::run_explore_eval_on(&programs, budget, &g.pool("e6"));
+    let (pool, journal) = g.journaled_pool("e6")?;
+    let rows = explore_eval::run_explore_eval_on(&programs, budget, &pool);
+    journal.finish()?;
     println!("{}", explore_eval::explore_table(&rows).render());
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
-fn e7(runs: u64, g: &Global) -> ExitCode {
-    let rows = static_eval::run_static_eval_on(runs, &g.pool("e7"));
+fn e7(runs: u64, g: &Global) -> Result<ExitCode, String> {
+    let (pool, journal) = g.journaled_pool("e7")?;
+    let rows = static_eval::run_static_eval_on(runs, &pool);
+    journal.finish()?;
     println!("{}", static_eval::static_table(&rows).render());
     println!("{}", static_eval::class_table(&rows).render());
-    ExitCode::SUCCESS
+    Ok(ExitCode::SUCCESS)
 }
 
 fn e10(args: &[String], g: &Global) -> Result<ExitCode, String> {
@@ -981,7 +1264,9 @@ fn e10(args: &[String], g: &Global) -> Result<ExitCode, String> {
             other => return Err(format!("e10: unknown argument `{other}`")),
         }
     }
-    let rows = gen_eval::run_gen_eval_on(&opts, &g.pool("e10"));
+    let (pool, journal) = g.journaled_pool("e10")?;
+    let rows = gen_eval::run_gen_eval_on(&opts, &pool);
+    journal.finish()?;
     if json {
         println!("{}", gen_eval::gen_eval_json(&opts, &rows).dump());
     } else if csv {
@@ -1081,7 +1366,9 @@ fn e11(args: &[String], g: &Global) -> Result<ExitCode, String> {
         }
     }
     let runs = arg_u64(&positional, 0, 20)?;
-    let rows = scoreboard::run_scoreboard_on(runs, &g.pool("e11"));
+    let (pool, journal) = g.journaled_pool("e11")?;
+    let rows = scoreboard::run_scoreboard_on(runs, &pool);
+    journal.finish()?;
     if json {
         println!("{}", scoreboard::scoreboard_json(&rows).dump());
     } else if csv {

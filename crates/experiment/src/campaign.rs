@@ -5,12 +5,17 @@
 use crate::jobpool::{JobPool, PoolStats};
 use crate::report::Table;
 use crate::stats::FindStats;
+use mtt_obs::{
+    content_address, CampaignMeta, CellDone, CellStart, JournalSink, MetricScalars, ResumeCache,
+};
 use mtt_runtime::Execution;
 use mtt_suite::SuiteProgram;
-use mtt_telemetry::{RunLogRecord, RunMetrics, SpanSet, SpanTimings, TelemetrySink};
+use mtt_telemetry::{RunLogRecord, RunMetrics, SpanEvent, SpanSet, SpanTimings, TelemetrySink};
 use mtt_trace::Trace;
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 // The tool configuration the grid evaluates now lives in `mtt-tools`, built
@@ -72,6 +77,17 @@ pub struct Campaign {
     /// Label used for progress lines and as the `experiment` field of
     /// NDJSON run-log records.
     pub label: String,
+    /// Optional flight-recorder journal: the campaign writes one header,
+    /// a `start`/`done` record per executed cell (content-addressed), and
+    /// an `end` marker. Cells served from [`Campaign::resume`] are *not*
+    /// re-journaled — the resumed file already holds their `done` records.
+    pub journal: Option<Arc<JournalSink>>,
+    /// Optional resume cache (a previous journal's `done` records indexed
+    /// by content address). Cells found here are reconstructed without
+    /// executing; because every aggregate is a pure function of the
+    /// deterministic payload, a resumed report is byte-identical to an
+    /// uninterrupted one.
+    pub resume: Option<ResumeCache>,
 }
 
 /// The result of one (program, tool, seed) run — the unit the job pool
@@ -80,16 +96,56 @@ pub struct Campaign {
 /// byte for byte.
 struct RunRecord {
     failed: bool,
-    manifested: Vec<&'static str>,
+    manifested: Vec<String>,
     events: u64,
     sched_points: u64,
     injections: u64,
     elapsed: Duration,
     timed_out: bool,
     seed: u64,
-    outcome_tag: &'static str,
+    outcome_tag: String,
     /// Present only when the campaign runs with telemetry enabled.
     metrics: Option<RunMetrics>,
+}
+
+/// The telemetry scalars a journal `done` record carries: exactly the
+/// fields `RunMetrics::to_json` serializes, so a cache-reconstructed run
+/// log is byte-identical. The per-site maps are absent by design (their
+/// `Loc` keys cannot round-trip through a file); `mtt profile` needs them
+/// and therefore refuses `--resume`.
+fn scalars_of(m: &RunMetrics) -> MetricScalars {
+    MetricScalars {
+        events: m.events,
+        sched_points: m.sched_points,
+        context_switches: m.context_switches,
+        forced_yields: m.forced_yields,
+        noise_injections: m.noise_injections,
+        spurious_wakeups: m.spurious_wakeups,
+        lock_acquires: m.lock_acquires,
+        lock_contentions: m.lock_contentions,
+        waits: m.waits,
+        notifies: m.notifies,
+        threads: m.threads,
+        steps_to_first_bug: m.steps_to_first_bug,
+    }
+}
+
+fn metrics_from_scalars(s: &MetricScalars) -> RunMetrics {
+    RunMetrics {
+        events: s.events,
+        sched_points: s.sched_points,
+        context_switches: s.context_switches,
+        forced_yields: s.forced_yields,
+        noise_injections: s.noise_injections,
+        spurious_wakeups: s.spurious_wakeups,
+        lock_acquires: s.lock_acquires,
+        lock_contentions: s.lock_contentions,
+        waits: s.waits,
+        notifies: s.notifies,
+        threads: s.threads,
+        steps_to_first_bug: s.steps_to_first_bug,
+        ..RunMetrics::default()
+    }
 }
 
 impl Campaign {
@@ -106,6 +162,8 @@ impl Campaign {
             progress: false,
             telemetry: false,
             label: "campaign".into(),
+            journal: None,
+            resume: None,
         }
     }
 
@@ -154,14 +212,34 @@ impl Campaign {
         let spans = SpanSet::new();
         let pool = pool.clone().with_spans(spans.clone());
 
+        if let Some(sink) = &self.journal {
+            sink.campaign(CampaignMeta {
+                label: self.label.clone(),
+                total_cells: total as u64,
+                programs: self.programs.len() as u64,
+                tools: n_tools as u64,
+                runs: self.runs,
+                base_seed: self.base_seed,
+                runtime: mtt_runtime::RUNTIME_VERSION.to_string(),
+                jobs: self.jobs as u64,
+                telemetry: self.telemetry,
+            });
+        }
+        // Cells this process actually executed (resume-cache hits excluded);
+        // reported in the journal's `end` record.
+        let executed = AtomicU64::new(0);
+
         let execute = spans.enter("campaign.execute");
         let (records, pool_stats) = pool.run_with_stats(total, |i| {
             let r = i % n_runs;
             let t = (i / n_runs) % n_tools;
             let p = i / (n_runs * n_tools);
-            self.one_run(&self.programs[p], &self.tools[t], r as u64)
+            self.cell_run(&self.programs[p], &self.tools[t], r as u64, &executed)
         });
         drop(execute);
+        if let Some(sink) = &self.journal {
+            sink.end(&self.label, executed.load(Ordering::Relaxed));
+        }
 
         let _aggregate = spans.enter("campaign.aggregate");
         let mut cells = BTreeMap::new();
@@ -228,8 +306,83 @@ impl Campaign {
             run_log,
             cell_metrics,
             pool_stats,
+            span_events: spans.events(),
             spans: spans.timings(),
         }
+    }
+
+    /// One cell of the grid, with flight-recorder bookkeeping around the
+    /// run: resume-cache lookup first (a hit reconstructs the record
+    /// without executing), then `start`/`done` journal records bracketing
+    /// the actual execution.
+    fn cell_run(
+        &self,
+        prog: &SuiteProgram,
+        tool: &ToolConfig,
+        r: u64,
+        executed: &AtomicU64,
+    ) -> RunRecord {
+        if self.journal.is_none() && self.resume.is_none() {
+            return self.one_run(prog, tool, r);
+        }
+        let seed = self.base_seed + r;
+        let spec = tool.spec_string();
+        let addr = content_address(prog.name, &spec, seed, mtt_runtime::RUNTIME_VERSION);
+        if let Some(cache) = &self.resume {
+            if let Some(done) = cache.get(&addr) {
+                // A cached cell is only usable if it carries everything this
+                // campaign needs: telemetry campaigns must re-run cells a
+                // metrics-less pass recorded.
+                if !self.telemetry || done.metrics.is_some() {
+                    return RunRecord {
+                        failed: done.failed,
+                        manifested: done.manifested.clone(),
+                        events: done.events,
+                        sched_points: done.sched_points,
+                        injections: done.injections,
+                        elapsed: Duration::from_micros(done.wall_us),
+                        timed_out: done.timed_out,
+                        seed: done.seed,
+                        outcome_tag: done.outcome.clone(),
+                        metrics: done.metrics.as_ref().map(metrics_from_scalars),
+                    };
+                }
+            }
+        }
+        if let Some(sink) = &self.journal {
+            sink.start(CellStart {
+                cell: addr.clone(),
+                program: prog.name.to_string(),
+                tool: tool.name.clone(),
+                seed,
+                run: r,
+                t_us: 0,
+            });
+        }
+        let rec = self.one_run(prog, tool, r);
+        executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = &self.journal {
+            sink.done(CellDone {
+                cell: addr,
+                program: prog.name.to_string(),
+                tool: tool.name.clone(),
+                tool_spec: spec,
+                seed,
+                run: r,
+                outcome: rec.outcome_tag.clone(),
+                failed: rec.failed,
+                manifested: rec.manifested.clone(),
+                events: rec.events,
+                sched_points: rec.sched_points,
+                injections: rec.injections,
+                timed_out: rec.timed_out,
+                wall_us: rec.elapsed.as_micros() as u64,
+                t_us: 0,
+                worker: 0,
+                metrics: rec.metrics.as_ref().map(scalars_of),
+            });
+        }
+        rec
     }
 
     /// One seeded run: the sharding unit. Deterministic given
@@ -259,14 +412,14 @@ impl Campaign {
         });
         RunRecord {
             failed: verdict.failed(),
-            manifested: verdict.manifested,
+            manifested: verdict.manifested.iter().map(|m| m.to_string()).collect(),
             events: outcome.stats.events,
             sched_points: outcome.stats.sched_points,
             injections: outcome.stats.noise_injections,
             elapsed,
             timed_out: self.run_budget.is_some_and(|b| elapsed > b),
             seed,
-            outcome_tag: outcome.kind.tag(),
+            outcome_tag: outcome.kind.tag().to_string(),
             metrics,
         }
     }
@@ -344,6 +497,9 @@ pub struct CampaignRun {
     pub cell_metrics: BTreeMap<(String, String), RunMetrics>,
     /// Per-worker wall-clock accounting of the pool (not deterministic).
     pub pool_stats: PoolStats,
+    /// Individual phase intervals on the campaign's span clock — the
+    /// chrome-trace "phases" track (not deterministic).
+    pub span_events: Vec<SpanEvent>,
     /// Wall-clock span timings of the campaign phases (not deterministic).
     pub spans: SpanTimings,
 }
@@ -564,6 +720,87 @@ mod tests {
         let text = std::fs::read_to_string(&written[0]).unwrap();
         mtt_causal::check_annotated(&text).expect("persisted trace schema-valid");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resumed_campaign_replays_from_the_journal_byte_for_byte() {
+        use std::io::Write;
+        use std::sync::Mutex;
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mk = || Campaign {
+            programs: vec![
+                mtt_suite::small::lost_update(2, 2),
+                mtt_suite::small::ab_ba(),
+            ],
+            tools: vec![ToolConfig::baseline(), ToolConfig::with_spurious(0.05)],
+            runs: 6,
+            base_seed: 21,
+            max_steps: 20_000,
+            telemetry: true,
+            label: "resume-test".into(),
+            ..Campaign::standard(vec![], 0)
+        };
+
+        // First pass: execute everything, journaling each cell.
+        let buf = SharedBuf::default();
+        let mut first = mk();
+        first.journal = Some(Arc::new(JournalSink::from_writer(buf.clone())));
+        let pool = JobPool::serial();
+        let original = first.run_full(&pool);
+
+        // Second pass: the whole grid is in the cache, so nothing executes
+        // and the output is reconstructed from the journal alone.
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let parsed = mtt_obs::parse_journal(&text).expect("journal parses");
+        let cache = ResumeCache::from_records(&parsed.records);
+        assert_eq!(cache.len(), 2 * 2 * 6, "every cell cached");
+        let tail = SharedBuf::default();
+        let mut second = mk();
+        second.journal = Some(Arc::new(JournalSink::from_writer(tail.clone())));
+        second.resume = Some(cache);
+        let resumed = second.run_full(&pool);
+
+        assert_eq!(
+            original.report.table().render(),
+            resumed.report.table().render()
+        );
+        assert_eq!(
+            original.report.table().to_csv(),
+            resumed.report.table().to_csv()
+        );
+        // The deterministic run log (no wall fields) matches byte for byte.
+        let dump = |records: &[RunLogRecord]| {
+            let mut w = mtt_telemetry::RunLogWriter::new(Vec::new());
+            for r in records {
+                w.write_record(r).unwrap();
+            }
+            w.into_inner().unwrap()
+        };
+        assert_eq!(dump(&original.run_log), dump(&resumed.run_log));
+        // The resumed process executed zero cells — its `end` record says so.
+        let tail_text = String::from_utf8(tail.0.lock().unwrap().clone()).unwrap();
+        let tail_parsed = mtt_obs::parse_journal(&tail_text).expect("tail journal parses");
+        let ended: Vec<_> = tail_parsed
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                mtt_obs::JournalRecord::End(e) => Some(e.completed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ended, vec![0], "full cache hit executes nothing");
     }
 
     #[test]

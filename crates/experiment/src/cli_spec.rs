@@ -52,7 +52,7 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "e1",
-        args: "[runs]",
+        args: "[runs] [--csv]",
         summary: "noise-heuristic comparison",
     },
     CommandSpec {
@@ -117,8 +117,18 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "profile",
-        args: "<e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR]",
-        summary: "contention / hot-site / overhead profile",
+        args: "<e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR] [--chrome-trace FILE]",
+        summary: "contention / hot-site / overhead profile (+ chrome://tracing timeline)",
+    },
+    CommandSpec {
+        name: "status",
+        args: "<dir|file.ndjson>",
+        summary: "one-shot progress/ETA/utilization view of campaign journals",
+    },
+    CommandSpec {
+        name: "watch",
+        args: "<dir|file.ndjson> [--interval-ms N] [--max-polls N]",
+        summary: "poll campaign journals until every campaign completes",
     },
     CommandSpec {
         name: "tools",
@@ -134,6 +144,11 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
         name: "trace-check",
         args: "<file.ndjson>",
         summary: "validate an annotated trace against the schema",
+    },
+    CommandSpec {
+        name: "journal-check",
+        args: "<dir|file.ndjson>",
+        summary: "strictly validate campaign journals against schema v1 (exit 2 on corruption)",
     },
     CommandSpec {
         name: "all",
@@ -172,6 +187,14 @@ pub const GLOBAL_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         flags: "--tools-file FILE",
         summary: "like --tools, one spec per line (# comments allowed)",
+    },
+    FlagSpec {
+        flags: "--journal DIR",
+        summary: "append a durable NDJSON flight-recorder journal to DIR/<label>.ndjson",
+    },
+    FlagSpec {
+        flags: "--resume",
+        summary: "with --journal: skip cells a previous journal completed (byte-identical output)",
     },
 ];
 

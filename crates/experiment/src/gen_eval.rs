@@ -222,11 +222,7 @@ fn tally(
             .any(|m| !m.benign && m.classes.contains(class));
         if claims {
             robust_total += 1;
-            let all_buggy_hit = fam
-                .members
-                .iter()
-                .filter(|m| !m.benign)
-                .all(&predicted);
+            let all_buggy_hit = fam.members.iter().filter(|m| !m.benign).all(&predicted);
             let no_benign_hit = fam
                 .members
                 .iter()

@@ -25,6 +25,7 @@
 //! and joins the ticker thread instead of leaving a partial line and a
 //! leaked thread behind.
 
+use mtt_obs::{CampaignMeta, JobDone, JournalSink};
 use mtt_telemetry::SpanSet;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -40,6 +41,8 @@ pub struct JobPool {
     jobs: usize,
     progress: Option<String>,
     spans: Option<SpanSet>,
+    timeline: bool,
+    journal: Option<(Arc<JournalSink>, String)>,
 }
 
 impl std::fmt::Debug for JobPool {
@@ -48,6 +51,8 @@ impl std::fmt::Debug for JobPool {
             .field("jobs", &self.jobs)
             .field("progress", &self.progress)
             .field("spans", &self.spans.is_some())
+            .field("timeline", &self.timeline)
+            .field("journal", &self.journal.as_ref().map(|(_, l)| l))
             .finish()
     }
 }
@@ -57,8 +62,7 @@ impl JobPool {
     pub fn serial() -> Self {
         JobPool {
             jobs: 1,
-            progress: None,
-            spans: None,
+            ..JobPool::default()
         }
     }
 
@@ -72,8 +76,7 @@ impl JobPool {
         };
         JobPool {
             jobs,
-            progress: None,
-            spans: None,
+            ..JobPool::default()
         }
     }
 
@@ -92,6 +95,25 @@ impl JobPool {
     /// per worker (its busy time) and one `pool.run` span per `run` call.
     pub fn with_spans(mut self, spans: SpanSet) -> Self {
         self.spans = Some(spans);
+        self
+    }
+
+    /// Record one [`JobSpan`] per job into [`PoolStats::timeline`] — the
+    /// per-cell track of the chrome-trace export. Off by default: the
+    /// timeline is wall-clock data nobody should pay for (or accidentally
+    /// print) on deterministic runs.
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = true;
+        self
+    }
+
+    /// Journal this pool's generic jobs into `sink` under `label`: one
+    /// `campaign` header (grid fields zeroed — an indexed job space has no
+    /// program × tool × seed structure), one `job` record per completed
+    /// index, and an `end` marker. Campaign-driven pools do **not** use
+    /// this — `Campaign` writes its own cell-addressed records.
+    pub fn with_journal(mut self, sink: Arc<JournalSink>, label: impl Into<String>) -> Self {
+        self.journal = Some((sink, label.into()));
         self
     }
 
@@ -124,6 +146,15 @@ impl JobPool {
         F: Fn(usize) -> T + Sync,
     {
         let started = Instant::now();
+        if let Some((sink, label)) = &self.journal {
+            // Generic header: grid fields zeroed, `total_cells` = job count.
+            sink.campaign(CampaignMeta {
+                label: label.clone(),
+                total_cells: total as u64,
+                jobs: self.jobs as u64,
+                ..CampaignMeta::default()
+            });
+        }
         // The meter is a Drop guard: if `f` panics, the unwind drops it
         // here, which stops and joins the ticker thread and clears any
         // partial progress line before the panic continues.
@@ -131,38 +162,60 @@ impl JobPool {
             .progress
             .as_ref()
             .map(|label| ProgressMeter::start(label.clone(), total));
-        let (mut indexed, workers) = if self.jobs <= 1 || total <= 1 {
+        let (mut indexed, workers, mut timeline) = if self.jobs <= 1 || total <= 1 {
             let mut w = WorkerStats::default();
+            let mut spans: Vec<JobSpan> = Vec::new();
             let results: Vec<(usize, T)> = (0..total)
                 .map(|i| {
                     let t0 = Instant::now();
                     let out = (i, f(i));
-                    w.busy += t0.elapsed();
+                    let dur = t0.elapsed();
+                    w.busy += dur;
                     w.claimed += 1;
+                    if self.timeline {
+                        spans.push(JobSpan {
+                            index: i,
+                            worker: 0,
+                            start: t0.saturating_duration_since(started),
+                            dur,
+                        });
+                    }
+                    if let Some((sink, _)) = &self.journal {
+                        sink.job(JobDone {
+                            index: i as u64,
+                            wall_us: dur.as_micros() as u64,
+                            ..JobDone::default()
+                        });
+                    }
                     if let Some(m) = &meter {
                         m.bump();
                     }
                     out
                 })
                 .collect();
-            (results, vec![w])
+            (results, vec![w], spans)
         } else {
-            self.run_stealing(total, &f, meter.as_ref())
+            self.run_stealing(total, &f, meter.as_ref(), started)
         };
         if let Some(m) = meter {
             m.finish();
         }
         indexed.sort_unstable_by_key(|(i, _)| *i);
         debug_assert_eq!(indexed.len(), total, "every job produced one result");
+        timeline.sort_unstable_by_key(|s| s.index);
         let stats = PoolStats {
             workers,
             wall: started.elapsed(),
+            timeline,
         };
         if let Some(spans) = &self.spans {
             for w in &stats.workers {
                 spans.add("pool.worker", w.busy);
             }
             spans.add("pool.run", stats.wall);
+        }
+        if let Some((sink, label)) = &self.journal {
+            sink.end(label, total as u64);
         }
         (indexed.into_iter().map(|(_, v)| v).collect(), stats)
     }
@@ -172,7 +225,8 @@ impl JobPool {
         total: usize,
         f: &F,
         meter: Option<&ProgressMeter>,
-    ) -> (Vec<(usize, T)>, Vec<WorkerStats>)
+        started: Instant,
+    ) -> (Vec<(usize, T)>, Vec<WorkerStats>, Vec<JobSpan>)
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
@@ -181,10 +235,11 @@ impl JobPool {
         let workers = self.jobs.min(total);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|worker| {
                     let bag = &bag;
                     scope.spawn(move || {
                         let mut local: Vec<(usize, T)> = Vec::new();
+                        let mut spans: Vec<JobSpan> = Vec::new();
                         let mut stats = WorkerStats::default();
                         loop {
                             // Steal the next unclaimed index from the bag.
@@ -194,28 +249,46 @@ impl JobPool {
                             }
                             let t0 = Instant::now();
                             local.push((i, f(i)));
-                            stats.busy += t0.elapsed();
+                            let dur = t0.elapsed();
+                            stats.busy += dur;
                             stats.claimed += 1;
+                            if self.timeline {
+                                spans.push(JobSpan {
+                                    index: i,
+                                    worker,
+                                    start: t0.saturating_duration_since(started),
+                                    dur,
+                                });
+                            }
+                            if let Some((sink, _)) = &self.journal {
+                                sink.job(JobDone {
+                                    index: i as u64,
+                                    wall_us: dur.as_micros() as u64,
+                                    ..JobDone::default()
+                                });
+                            }
                             if let Some(m) = meter {
                                 m.bump();
                             }
                         }
-                        (local, stats)
+                        (local, stats, spans)
                     })
                 })
                 .collect();
             let mut results = Vec::with_capacity(total);
             let mut worker_stats = Vec::with_capacity(workers);
+            let mut timeline = Vec::new();
             for h in handles {
                 match h.join() {
-                    Ok((local, stats)) => {
+                    Ok((local, stats, spans)) => {
                         results.extend(local);
                         worker_stats.push(stats);
+                        timeline.extend(spans);
                     }
                     Err(panic) => std::panic::resume_unwind(panic),
                 }
             }
-            (results, worker_stats)
+            (results, worker_stats, timeline)
         })
     }
 }
@@ -236,6 +309,22 @@ pub struct WorkerStats {
     pub busy: Duration,
 }
 
+/// One job on the pool's wall-clock timeline (recorded only when
+/// [`JobPool::with_timeline`] is on): which worker ran index `index`, when
+/// it started relative to the `run` call, and for how long. The raw
+/// material of the chrome-trace worker tracks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobSpan {
+    /// Job index in the run matrix.
+    pub index: usize,
+    /// Worker (spawn order; `0` on the serial path) that ran the job.
+    pub worker: usize,
+    /// Offset from the start of the `run` call.
+    pub start: Duration,
+    /// Time spent inside the job body.
+    pub dur: Duration,
+}
+
 /// Wall-clock accounting of one [`JobPool::run_with_stats`] call.
 ///
 /// Everything here is timing — it never feeds the deterministic reports;
@@ -247,6 +336,9 @@ pub struct PoolStats {
     pub workers: Vec<WorkerStats>,
     /// Wall time of the whole `run` call.
     pub wall: Duration,
+    /// Per-job spans sorted by index; empty unless the pool was built
+    /// [`JobPool::with_timeline`].
+    pub timeline: Vec<JobSpan>,
 }
 
 impl PoolStats {
@@ -482,6 +574,55 @@ mod tests {
         let t = spans.timings();
         assert_eq!(t.count("pool.run"), 1);
         assert!(t.count("pool.worker") >= 1);
+    }
+
+    #[test]
+    fn timeline_records_every_job_in_index_order() {
+        for jobs in [1, 4] {
+            let (_, stats) = JobPool::new(jobs).with_timeline().run_with_stats(16, |i| i);
+            assert_eq!(stats.timeline.len(), 16, "jobs={jobs}");
+            let indices: Vec<usize> = stats.timeline.iter().map(|s| s.index).collect();
+            assert_eq!(indices, (0..16).collect::<Vec<_>>(), "jobs={jobs}");
+            assert!(
+                stats.timeline.iter().all(|s| s.worker < jobs.max(1)),
+                "jobs={jobs}"
+            );
+        }
+        // Off by default.
+        let (_, stats) = JobPool::new(2).run_with_stats(8, |i| i);
+        assert!(stats.timeline.is_empty());
+    }
+
+    #[test]
+    fn journaled_pool_writes_header_jobs_and_end() {
+        use mtt_obs::{parse_journal, StatusSummary};
+        use std::io::{self, Write};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let sink = Arc::new(JournalSink::from_writer(buf.clone()));
+        let out = JobPool::new(3)
+            .with_journal(Arc::clone(&sink), "trace")
+            .run(9, |i| i);
+        assert_eq!(out.len(), 9);
+        assert!(sink.error().is_none());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let parsed = parse_journal(&text).unwrap();
+        let s = StatusSummary::from_journal(&parsed);
+        assert_eq!(s.label, "trace");
+        assert_eq!((s.total, s.done), (Some(9), 9));
+        assert!(s.complete);
     }
 
     #[test]

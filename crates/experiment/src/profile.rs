@@ -22,10 +22,13 @@
 use crate::campaign::{Campaign, ToolConfig};
 use crate::jobpool::{JobPool, PoolStats};
 use crate::report::Table;
+use mtt_json::ToJson;
+use mtt_obs::{ChromeTrace, JournalSink};
 use mtt_suite::SuiteProgram;
-use mtt_telemetry::{RunLogRecord, RunMetrics, SpanTimings};
+use mtt_telemetry::{RunLogRecord, RunMetrics, SpanEvent, SpanTimings};
 use mtt_tools::ToolSpec;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The experiment keys `mtt profile` accepts (besides `all`).
@@ -49,6 +52,14 @@ pub struct ProfileOptions {
     /// Tool stacks to profile instead of the default
     /// [`PROFILE_ROSTER_SPECS`] roster (`--tools` / `--tools-file`).
     pub tools: Option<Vec<ToolSpec>>,
+    /// Collect the per-cell pool timeline of the telemetry pass so
+    /// [`ProfileReport::chrome_trace`] has worker tracks
+    /// (`--chrome-trace FILE`).
+    pub chrome: bool,
+    /// Journal the telemetry pass into this sink (`--journal DIR`). The
+    /// baseline pass is deliberately not journaled: it re-runs the same
+    /// content addresses and would only write duplicate cells.
+    pub journal: Option<Arc<JournalSink>>,
 }
 
 impl Default for ProfileOptions {
@@ -60,6 +71,8 @@ impl Default for ProfileOptions {
             progress: false,
             annotate_dir: None,
             tools: None,
+            chrome: false,
+            journal: None,
         }
     }
 }
@@ -135,6 +148,15 @@ pub struct ProfileReport {
     /// Annotated-trace files written when
     /// [`ProfileOptions::annotate_dir`] was set (canonical cell order).
     pub annotated: Vec<String>,
+    /// Phase intervals of the telemetry pass (chrome "phases" track;
+    /// segregated).
+    pub span_events: Vec<SpanEvent>,
+    /// Program names in grid order (index → cell decoding for the trace).
+    pub program_names: Vec<String>,
+    /// Tool names in grid order.
+    pub tool_names: Vec<String>,
+    /// Base seed of the profiled campaign (run `r` uses `base_seed + r`).
+    pub base_seed: u64,
 }
 
 /// Run the profiler for one experiment key.
@@ -153,6 +175,7 @@ pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, St
         None => profile_roster(),
     };
     let tool_names: Vec<String> = tools.iter().map(|t| t.name.clone()).collect();
+    let program_names: Vec<String> = programs.iter().map(|p| p.name.to_string()).collect();
     let mut campaign = Campaign {
         programs,
         tools,
@@ -164,11 +187,16 @@ pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, St
         progress: opts.progress,
         telemetry: true,
         label: format!("profile-{key}"),
+        journal: opts.journal.clone(),
+        resume: None,
     };
     let pool = {
         let mut p = JobPool::new(opts.jobs);
         if opts.progress {
             p = p.with_progress(campaign.label.clone());
+        }
+        if opts.chrome {
+            p = p.with_timeline();
         }
         p
     };
@@ -182,8 +210,11 @@ pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, St
     };
 
     // Baseline pass: identical seeds, no sink — the NullSink condition the
-    // overhead column compares against.
+    // overhead column compares against. Not journaled (same content
+    // addresses as the telemetry pass; duplicates would only confuse the
+    // status view).
     campaign.telemetry = false;
+    campaign.journal = None;
     let baseline_pass = campaign.run_full(&pool);
 
     let mut per_tool: BTreeMap<String, RunMetrics> = BTreeMap::new();
@@ -222,6 +253,10 @@ pub fn run_profile(key: &str, opts: &ProfileOptions) -> Result<ProfileReport, St
         spans: telemetry_pass.spans,
         run_log: telemetry_pass.run_log,
         annotated,
+        span_events: telemetry_pass.span_events,
+        program_names,
+        tool_names,
+        base_seed: 0x5eed,
     })
 }
 
@@ -352,6 +387,48 @@ impl ProfileReport {
             self.spans.render()
         )
     }
+
+    /// The `chrome://tracing` timeline of the telemetry pass: tid 0 holds
+    /// the campaign phases, tid `1 + w` holds worker `w`'s cells, each cell
+    /// named `program/tool#run` and carrying its seed. Wall-clock by
+    /// definition; requires [`ProfileOptions::chrome`] for the worker
+    /// tracks (without it only phases appear).
+    pub fn chrome_trace(&self) -> ChromeTrace {
+        let us = |d: Duration| d.as_micros() as u64;
+        let mut t = ChromeTrace::new();
+        t.process_name(1, &format!("mtt profile-{}", self.key));
+        t.thread_name(1, 0, "phases");
+        for ev in &self.span_events {
+            t.complete(1, 0, "phase", &ev.name, us(ev.start), us(ev.dur), vec![]);
+        }
+        let n_runs = self.runs.max(1) as usize;
+        let n_tools = self.tool_names.len().max(1);
+        let mut named_workers = std::collections::BTreeSet::new();
+        for span in &self.pool_stats.timeline {
+            let tid = 1 + span.worker as u64;
+            if named_workers.insert(span.worker) {
+                t.thread_name(1, tid, &format!("worker {}", span.worker));
+            }
+            let r = span.index % n_runs;
+            let tool = (span.index / n_runs) % n_tools;
+            let prog = span.index / (n_runs * n_tools);
+            let name = format!(
+                "{}/{}#{r}",
+                self.program_names.get(prog).map_or("?", |p| p.as_str()),
+                self.tool_names.get(tool).map_or("?", |t| t.as_str()),
+            );
+            t.complete(
+                1,
+                tid,
+                "cell",
+                &name,
+                us(span.start),
+                us(span.dur),
+                vec![("seed".into(), (self.base_seed + r as u64).to_json())],
+            );
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -363,9 +440,7 @@ mod tests {
             runs: 4,
             jobs: 1,
             top_k: 5,
-            progress: false,
-            annotate_dir: None,
-            tools: None,
+            ..ProfileOptions::default()
         }
     }
 
@@ -414,6 +489,33 @@ mod tests {
             mtt_causal::check_annotated(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chrome_trace_covers_every_cell_and_validates() {
+        let report = run_profile(
+            "e3",
+            &ProfileOptions {
+                jobs: 2,
+                chrome: true,
+                ..tiny()
+            },
+        )
+        .unwrap();
+        let trace = report.chrome_trace();
+        let text = trace.dump();
+        let complete = mtt_obs::check_chrome_trace(&text).expect("trace is structurally valid");
+        // One complete event per cell of the telemetry pass, plus the
+        // phase spans.
+        let cells = report.pool_stats.timeline.len();
+        assert!(cells > 0, "timeline collected");
+        assert!(complete >= cells, "{complete} < {cells}");
+        assert!(text.contains("lost_update/none#0"), "{text}");
+        assert!(text.contains("\"seed\""));
+        // Without `chrome`, only phases appear (no worker tracks).
+        let bare = run_profile("e3", &tiny()).unwrap();
+        assert!(bare.pool_stats.timeline.is_empty());
+        assert!(mtt_obs::check_chrome_trace(&bare.chrome_trace().dump()).unwrap() > 0);
     }
 
     #[test]

@@ -1,0 +1,793 @@
+//! The durable, append-only campaign journal (NDJSON, schema v1).
+//!
+//! Every line is one JSON object carrying a `"v"` schema version and a
+//! `"kind"` tag. A campaign writes one `campaign` header, a `start`/`done`
+//! pair per grid cell, and a final `end` marker; pool-backed commands that
+//! are not campaign-shaped write generic `job` records instead. `done`
+//! records are keyed by a **content address** — a stable hash of
+//! `(program, canonical tool_spec, seed, runtime version)` — which is what
+//! makes the journal a result cache: a resumed campaign looks each cell up
+//! by address and skips the ones a previous process already completed.
+//!
+//! Durability discipline: the sink flushes after every record, so the only
+//! record a crash can corrupt is the final, possibly unterminated line.
+//! Readers therefore treat *a missing trailing newline* as "crash
+//! mid-write" and discard the fragment; any newline-**terminated** line
+//! that fails to parse is real corruption and is reported as an error.
+//! (`mtt journal-check` is stricter and flags both.)
+//!
+//! Wall-clock fields (`t_us`, `wall_us`) exist for the live `mtt status` /
+//! `mtt watch` views and chrome traces only; nothing deterministic is ever
+//! derived from them — resumed campaigns reconstruct reports from the
+//! deterministic payload fields alone, which is why resumed output is
+//! byte-identical to an uninterrupted run.
+
+use mtt_json::{json_struct, FromJson, Json, ToJson};
+use std::collections::HashMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Journal schema version emitted in every record's `v` field.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// Environment variable that makes a [`JournalSink`] abort the process
+/// (exit code 9, evoking SIGKILL) after writing N `done`/`job` records — a
+/// test/CI hook for simulating a campaign killed mid-flight.
+pub const KILL_AFTER_ENV: &str = "MTT_JOURNAL_KILL_AFTER";
+
+// ---------------------------------------------------------------------
+// Content addressing
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The content address of one campaign cell: a 16-hex-digit FNV-1a hash of
+/// `(program, canonical tool_spec, seed, runtime version)`, the complete
+/// set of inputs that determine a run's deterministic outcome. Two runs
+/// with the same address are the same run; a runtime version bump changes
+/// every address, so a cache can never serve results produced by different
+/// semantics.
+pub fn content_address(program: &str, tool_spec: &str, seed: u64, runtime: &str) -> String {
+    let mut h = FNV_OFFSET;
+    h = fnv1a(h, program.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, tool_spec.as_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, &seed.to_le_bytes());
+    h = fnv1a(h, &[0]);
+    h = fnv1a(h, runtime.as_bytes());
+    format!("{h:016x}")
+}
+
+// ---------------------------------------------------------------------
+// Record types
+// ---------------------------------------------------------------------
+
+/// The scalar slice of a run's telemetry — exactly the counters the NDJSON
+/// run log emits, so a resumed campaign can rebuild run-log lines
+/// byte-identically. The per-site maps are deliberately absent (they hold
+/// `&'static str` source locations that cannot round-trip through a file);
+/// commands that need them, like `mtt profile`, refuse to resume.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricScalars {
+    pub events: u64,
+    pub sched_points: u64,
+    pub context_switches: u64,
+    pub forced_yields: u64,
+    pub noise_injections: u64,
+    pub spurious_wakeups: u64,
+    pub lock_acquires: u64,
+    pub lock_contentions: u64,
+    pub waits: u64,
+    pub notifies: u64,
+    pub threads: u64,
+    pub steps_to_first_bug: Option<u64>,
+}
+
+json_struct!(MetricScalars {
+    events,
+    sched_points,
+    context_switches,
+    forced_yields,
+    noise_injections,
+    spurious_wakeups,
+    lock_acquires,
+    lock_contentions,
+    waits,
+    notifies,
+    threads,
+    steps_to_first_bug,
+});
+
+/// The `campaign` header record: grid shape and provenance, written once
+/// per process that appends to the journal (a resumed campaign appends a
+/// second header — readers dedup `done` records by address, not headers).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignMeta {
+    /// Campaign label (`e1`, `profile-e3`, …).
+    pub label: String,
+    /// Total cells in the grid (programs × tools × runs).
+    pub total_cells: u64,
+    pub programs: u64,
+    pub tools: u64,
+    pub runs: u64,
+    pub base_seed: u64,
+    /// Runtime version baked into every cell's content address.
+    pub runtime: String,
+    pub jobs: u64,
+    /// Whether runs carry telemetry (and `done` records carry `metrics`).
+    pub telemetry: bool,
+}
+
+json_struct!(CampaignMeta {
+    label,
+    total_cells,
+    programs,
+    tools,
+    runs,
+    base_seed,
+    runtime,
+    jobs,
+    telemetry,
+});
+
+/// A cell claimed by a worker (in-flight marker for the live status view).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellStart {
+    /// Content address of the cell.
+    pub cell: String,
+    pub program: String,
+    pub tool: String,
+    pub seed: u64,
+    pub run: u64,
+    /// Microseconds since this process opened the journal.
+    pub t_us: u64,
+}
+
+json_struct!(CellStart {
+    cell,
+    program,
+    tool,
+    seed,
+    run,
+    t_us
+});
+
+/// A completed cell: the full deterministic payload a resumed campaign
+/// needs to reconstruct the run without executing it, plus segregated
+/// wall-clock fields for the status/trace views.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellDone {
+    /// Content address of the cell (the cache key).
+    pub cell: String,
+    pub program: String,
+    pub tool: String,
+    /// Canonical tool-spec string (run-log provenance).
+    pub tool_spec: String,
+    pub seed: u64,
+    pub run: u64,
+    /// Outcome tag (`completed`, `deadlock`, `step-limit`, …).
+    pub outcome: String,
+    /// Did the oracle judge the run as having manifested a bug?
+    pub failed: bool,
+    /// Tags of the documented bugs that manifested.
+    pub manifested: Vec<String>,
+    pub events: u64,
+    pub sched_points: u64,
+    pub injections: u64,
+    pub timed_out: bool,
+    /// Wall-clock duration of the run (segregated; never deterministic).
+    pub wall_us: u64,
+    /// Microseconds since this process opened the journal (segregated).
+    pub t_us: u64,
+    /// Pool worker that executed the run (segregated; assignment order is
+    /// wall-clock dependent).
+    pub worker: u64,
+    /// Telemetry scalars; present iff the campaign ran with telemetry.
+    pub metrics: Option<MetricScalars>,
+}
+
+json_struct!(CellDone {
+    cell,
+    program,
+    tool,
+    tool_spec,
+    seed,
+    run,
+    outcome,
+    failed,
+    manifested,
+    events,
+    sched_points,
+    injections,
+    timed_out,
+    wall_us,
+    t_us,
+    worker,
+    metrics,
+});
+
+/// A completed generic pool job (non-campaign commands: one record per
+/// job index, no content address — those workloads are not resumable).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobDone {
+    pub index: u64,
+    pub wall_us: u64,
+    pub t_us: u64,
+    pub worker: u64,
+}
+
+json_struct!(JobDone {
+    index,
+    wall_us,
+    t_us,
+    worker
+});
+
+/// The campaign finished cleanly (a journal without one was interrupted).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CampaignEnd {
+    pub label: String,
+    /// Cells completed by the writing process (cache hits excluded).
+    pub completed: u64,
+    pub t_us: u64,
+}
+
+json_struct!(CampaignEnd {
+    label,
+    completed,
+    t_us
+});
+
+/// One journal line.
+///
+/// `Done` dominates the payload size by design — it carries the full
+/// deterministic cell result — and records live briefly (parse, fold,
+/// drop), so boxing the large variant would only add indirection.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalRecord {
+    Campaign(CampaignMeta),
+    Start(CellStart),
+    Done(CellDone),
+    Job(JobDone),
+    End(CampaignEnd),
+}
+
+impl JournalRecord {
+    /// The record's `kind` tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalRecord::Campaign(_) => "campaign",
+            JournalRecord::Start(_) => "start",
+            JournalRecord::Done(_) => "done",
+            JournalRecord::Job(_) => "job",
+            JournalRecord::End(_) => "end",
+        }
+    }
+}
+
+impl ToJson for JournalRecord {
+    fn to_json(&self) -> Json {
+        let payload = match self {
+            JournalRecord::Campaign(r) => r.to_json(),
+            JournalRecord::Start(r) => r.to_json(),
+            JournalRecord::Done(r) => r.to_json(),
+            JournalRecord::Job(r) => r.to_json(),
+            JournalRecord::End(r) => r.to_json(),
+        };
+        let Json::Obj(fields) = payload else {
+            unreachable!("journal payloads are objects");
+        };
+        let mut out = Vec::with_capacity(fields.len() + 2);
+        out.push(("v".to_string(), JOURNAL_VERSION.to_json()));
+        out.push(("kind".to_string(), self.kind().to_json()));
+        out.extend(fields);
+        Json::Obj(out)
+    }
+}
+
+/// Validate one journal line against the v1 schema and decode it. The
+/// error message names the first violation — `mtt journal-check` prefixes
+/// it with `file:line:`.
+pub fn check_journal_line(line: &str) -> Result<JournalRecord, String> {
+    let v = Json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Json::Obj(_) = v else {
+        return Err("line is not a JSON object".into());
+    };
+    let version = v
+        .get("v")
+        .ok_or("missing required field `v`")?
+        .as_u64()
+        .ok_or("field `v` has the wrong type")?;
+    if version != JOURNAL_VERSION {
+        return Err(format!(
+            "unsupported journal version {version} (this build reads v{JOURNAL_VERSION})"
+        ));
+    }
+    let kind = v
+        .get("kind")
+        .ok_or("missing required field `kind`")?
+        .as_str()
+        .ok_or("field `kind` has the wrong type")?;
+    let decoded = match kind {
+        "campaign" => CampaignMeta::from_json(&v).map(JournalRecord::Campaign),
+        "start" => CellStart::from_json(&v).map(JournalRecord::Start),
+        "done" => CellDone::from_json(&v).map(JournalRecord::Done),
+        "job" => JobDone::from_json(&v).map(JournalRecord::Job),
+        "end" => CampaignEnd::from_json(&v).map(JournalRecord::End),
+        other => return Err(format!("unknown record kind `{other}`")),
+    };
+    decoded.map_err(|e| format!("invalid `{kind}` record: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------
+
+/// A fully parsed journal.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedJournal {
+    /// Every schema-valid, newline-terminated record, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Whether a half-written final fragment (no trailing newline — the
+    /// signature of a crash mid-write) was discarded.
+    pub tail_discarded: bool,
+}
+
+/// Parse journal text. Newline-terminated lines must conform to the
+/// schema (`Err((1-based line, message))` otherwise); an unterminated
+/// final fragment is discarded as a crash artifact, not an error.
+pub fn parse_journal(text: &str) -> Result<ParsedJournal, (usize, String)> {
+    let (complete, tail) = match text.rfind('\n') {
+        Some(pos) => (&text[..=pos], &text[pos + 1..]),
+        None => ("", text),
+    };
+    let mut records = Vec::new();
+    for (i, line) in complete.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(check_journal_line(line).map_err(|msg| (i + 1, msg))?);
+    }
+    Ok(ParsedJournal {
+        records,
+        tail_discarded: !tail.is_empty(),
+    })
+}
+
+/// Read and parse a journal file; errors are prefixed `path[:line]:`.
+pub fn load_journal(path: &Path) -> Result<ParsedJournal, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    parse_journal(&text).map_err(|(line, msg)| format!("{}:{line}: {msg}", path.display()))
+}
+
+/// If the file's final record was truncated mid-write (no trailing
+/// newline), cut the fragment off so subsequent appends start on a clean
+/// line boundary. Returns whether anything was truncated. Must run before
+/// reopening a journal in append mode — appending after a fragment would
+/// weld two records into one corrupt line.
+pub fn truncate_partial_tail(path: &Path) -> io::Result<bool> {
+    let mut file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    if bytes.is_empty() || bytes.ends_with(b"\n") {
+        return Ok(false);
+    }
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    file.set_len(keep as u64)?;
+    file.seek(SeekFrom::End(0))?;
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------
+// Resume cache
+// ---------------------------------------------------------------------
+
+/// The content-address → completed-cell cache a resumed campaign consults
+/// before executing each cell.
+#[derive(Clone, Debug, Default)]
+pub struct ResumeCache {
+    map: HashMap<String, CellDone>,
+}
+
+impl ResumeCache {
+    /// Index every `done` record by its content address (later duplicates
+    /// win; duplicates only arise from re-runs of the same cell, whose
+    /// deterministic payloads are identical anyway).
+    pub fn from_records(records: &[JournalRecord]) -> Self {
+        let mut map = HashMap::new();
+        for rec in records {
+            if let JournalRecord::Done(d) = rec {
+                map.insert(d.cell.clone(), d.clone());
+            }
+        }
+        ResumeCache { map }
+    }
+
+    /// Look a cell up by content address.
+    pub fn get(&self, address: &str) -> Option<&CellDone> {
+        self.map.get(address)
+    }
+
+    /// Number of cached cells.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+struct SinkState {
+    w: Box<dyn Write + Send>,
+    /// Worker-id assignment: first thread to complete a record becomes
+    /// worker 0, and so on. Wall-clock dependent, like everything the ids
+    /// feed (utilization views only).
+    workers: HashMap<ThreadId, u64>,
+    error: Option<String>,
+    written: u64,
+}
+
+/// The append-only journal writer shared by every pool worker. Each record
+/// is written and flushed under one mutex, so lines never interleave and a
+/// crash can only ever truncate the final line. I/O errors are latched
+/// (not panicked): the campaign finishes and the CLI reports the first
+/// failure with exit 2.
+pub struct JournalSink {
+    state: Mutex<SinkState>,
+    epoch: Instant,
+    kill_after: Option<u64>,
+}
+
+impl std::fmt::Debug for JournalSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock().expect("journal sink poisoned");
+        f.debug_struct("JournalSink")
+            .field("written", &s.written)
+            .field("error", &s.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JournalSink {
+    fn with_writer(w: Box<dyn Write + Send>) -> Self {
+        let kill_after = std::env::var(KILL_AFTER_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok());
+        JournalSink {
+            state: Mutex::new(SinkState {
+                w,
+                workers: HashMap::new(),
+                error: None,
+                written: 0,
+            }),
+            epoch: Instant::now(),
+            kill_after,
+        }
+    }
+
+    /// Open `path` for journaling: truncating for a fresh campaign,
+    /// appending (after tail repair, see [`truncate_partial_tail`]) for a
+    /// resumed one.
+    pub fn to_file(path: &Path, append: bool) -> io::Result<Self> {
+        let file = if append {
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?
+        } else {
+            std::fs::File::create(path)?
+        };
+        Ok(Self::with_writer(Box::new(file)))
+    }
+
+    /// A sink over any writer (tests, in-memory journals).
+    pub fn from_writer(w: impl Write + Send + 'static) -> Self {
+        Self::with_writer(Box::new(w))
+    }
+
+    /// Microseconds since this sink was opened (the `t_us` clock).
+    pub fn t_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// The first write error, if any occurred. Checked by the CLI after
+    /// the campaign so journal I/O failure is exit 2, not a panic.
+    pub fn error(&self) -> Option<String> {
+        self.state
+            .lock()
+            .expect("journal sink poisoned")
+            .error
+            .clone()
+    }
+
+    fn append(&self, rec: &JournalRecord, countable: bool) {
+        let line = rec.to_json().dump();
+        let mut s = self.state.lock().expect("journal sink poisoned");
+        if s.error.is_some() {
+            return;
+        }
+        let r =
+            s.w.write_all(line.as_bytes())
+                .and_then(|()| s.w.write_all(b"\n"))
+                .and_then(|()| s.w.flush());
+        if let Err(e) = r {
+            s.error = Some(format!("journal write failed: {e}"));
+            return;
+        }
+        if countable {
+            s.written += 1;
+            if self.kill_after.is_some_and(|n| s.written >= n) {
+                // Test hook: simulate a campaign killed mid-flight. The
+                // record just written is flushed; nothing after it exists.
+                std::process::exit(9);
+            }
+        }
+    }
+
+    fn worker_id(&self) -> u64 {
+        let mut s = self.state.lock().expect("journal sink poisoned");
+        let next = s.workers.len() as u64;
+        *s.workers.entry(std::thread::current().id()).or_insert(next)
+    }
+
+    /// Write the campaign header.
+    pub fn campaign(&self, meta: CampaignMeta) {
+        self.append(&JournalRecord::Campaign(meta), false);
+    }
+
+    /// Write a cell-claimed marker (fills `t_us`).
+    pub fn start(&self, mut rec: CellStart) {
+        rec.t_us = self.t_us();
+        self.append(&JournalRecord::Start(rec), false);
+    }
+
+    /// Write a completed cell (fills `t_us` and `worker`).
+    pub fn done(&self, mut rec: CellDone) {
+        rec.t_us = self.t_us();
+        rec.worker = self.worker_id();
+        self.append(&JournalRecord::Done(rec), true);
+    }
+
+    /// Write a completed generic pool job (fills `t_us` and `worker`).
+    pub fn job(&self, mut rec: JobDone) {
+        rec.t_us = self.t_us();
+        rec.worker = self.worker_id();
+        self.append(&JournalRecord::Job(rec), true);
+    }
+
+    /// Write the clean-completion marker.
+    pub fn end(&self, label: &str, completed: u64) {
+        self.append(
+            &JournalRecord::End(CampaignEnd {
+                label: label.to_string(),
+                completed,
+                t_us: self.t_us(),
+            }),
+            false,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    fn done(cell: &str, seed: u64) -> CellDone {
+        CellDone {
+            cell: cell.into(),
+            program: "lost_update".into(),
+            tool: "none".into(),
+            tool_spec: "sticky:0.9+name=none".into(),
+            seed,
+            run: seed,
+            outcome: "completed".into(),
+            failed: seed.is_multiple_of(2),
+            manifested: if seed.is_multiple_of(2) {
+                vec!["lost-update".into()]
+            } else {
+                vec![]
+            },
+            events: 10 + seed,
+            sched_points: 20,
+            injections: 0,
+            timed_out: false,
+            wall_us: 100,
+            t_us: 0,
+            worker: 0,
+            metrics: None,
+        }
+    }
+
+    #[test]
+    fn content_address_is_stable_and_input_sensitive() {
+        let a = content_address("p", "sticky:0.9", 7, "0.1.0");
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, content_address("p", "sticky:0.9", 7, "0.1.0"));
+        // Every input perturbs the address.
+        assert_ne!(a, content_address("q", "sticky:0.9", 7, "0.1.0"));
+        assert_ne!(a, content_address("p", "sticky:0.8", 7, "0.1.0"));
+        assert_ne!(a, content_address("p", "sticky:0.9", 8, "0.1.0"));
+        assert_ne!(a, content_address("p", "sticky:0.9", 7, "0.2.0"));
+        // The separator defends against concatenation collisions.
+        assert_ne!(
+            content_address("ab", "c", 0, "r"),
+            content_address("a", "bc", 0, "r")
+        );
+    }
+
+    /// A shared Vec<u8> the sink can own while the test keeps reading it.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn sink_roundtrips_every_record_kind() {
+        let buf = SharedBuf::default();
+        let sink = JournalSink::from_writer(buf.clone());
+        sink.campaign(CampaignMeta {
+            label: "e1".into(),
+            total_cells: 2,
+            programs: 1,
+            tools: 1,
+            runs: 2,
+            base_seed: 7,
+            runtime: "0.1.0".into(),
+            jobs: 1,
+            telemetry: true,
+        });
+        sink.start(CellStart {
+            cell: "aa".into(),
+            program: "p".into(),
+            tool: "t".into(),
+            seed: 7,
+            run: 0,
+            t_us: 0,
+        });
+        sink.done(CellDone {
+            metrics: Some(MetricScalars {
+                events: 3,
+                ..Default::default()
+            }),
+            ..done("aa", 7)
+        });
+        sink.job(JobDone::default());
+        sink.end("e1", 1);
+        assert!(sink.error().is_none());
+        let text = buf.text();
+        let parsed = parse_journal(&text).unwrap();
+        assert!(!parsed.tail_discarded);
+        let kinds: Vec<_> = parsed.records.iter().map(|r| r.kind()).collect();
+        assert_eq!(kinds, ["campaign", "start", "done", "job", "end"]);
+        let JournalRecord::Done(d) = &parsed.records[2] else {
+            panic!("expected done");
+        };
+        assert_eq!(d.metrics.as_ref().unwrap().events, 3);
+        assert_eq!(d.seed, 7);
+    }
+
+    #[test]
+    fn unterminated_tail_is_discarded_not_an_error() {
+        let buf = SharedBuf::default();
+        let sink = JournalSink::from_writer(buf.clone());
+        sink.done(done("aa", 1));
+        let mut text = buf.text();
+        // Simulate a crash mid-write of a second record.
+        text.push_str("{\"v\":1,\"kind\":\"done\",\"cell\":\"bb");
+        let parsed = parse_journal(&text).unwrap();
+        assert!(parsed.tail_discarded);
+        assert_eq!(parsed.records.len(), 1);
+    }
+
+    #[test]
+    fn terminated_corruption_is_an_error_with_line_number() {
+        let text =
+            "{\"v\":1,\"kind\":\"end\",\"label\":\"e1\",\"completed\":1,\"t_us\":0}\nnot json\n";
+        let (line, msg) = parse_journal(text).unwrap_err();
+        assert_eq!(line, 2);
+        assert!(msg.contains("not valid JSON"), "{msg}");
+    }
+
+    #[test]
+    fn checker_rejects_schema_violations() {
+        assert!(check_journal_line("[]").is_err());
+        assert!(check_journal_line("{\"kind\":\"done\"}")
+            .unwrap_err()
+            .contains("missing required field `v`"));
+        assert!(check_journal_line("{\"v\":2,\"kind\":\"end\"}")
+            .unwrap_err()
+            .contains("unsupported journal version"));
+        assert!(check_journal_line("{\"v\":1,\"kind\":\"nope\"}")
+            .unwrap_err()
+            .contains("unknown record kind"));
+        assert!(
+            check_journal_line("{\"v\":1,\"kind\":\"end\",\"label\":\"x\"}")
+                .unwrap_err()
+                .contains("invalid `end` record")
+        );
+    }
+
+    #[test]
+    fn truncate_partial_tail_repairs_crashed_files() {
+        let dir = std::env::temp_dir().join(format!("mtt-obs-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.ndjson");
+        std::fs::write(&path, "{\"v\":1,\"kind\":\"job\",\"index\":0,\"wall_us\":1,\"t_us\":2,\"worker\":0}\n{\"v\":1,\"kind\":\"jo").unwrap();
+        assert!(truncate_partial_tail(&path).unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        assert_eq!(parse_journal(&text).unwrap().records.len(), 1);
+        // A clean file is left untouched.
+        assert!(!truncate_partial_tail(&path).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_cache_indexes_done_records_by_address() {
+        let recs = vec![
+            JournalRecord::Done(done("aa", 1)),
+            JournalRecord::Done(done("bb", 2)),
+            JournalRecord::End(CampaignEnd::default()),
+        ];
+        let cache = ResumeCache::from_records(&recs);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("aa").unwrap().seed, 1);
+        assert!(cache.get("cc").is_none());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn sink_latches_write_errors() {
+        struct FullDisk;
+        impl Write for FullDisk {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = JournalSink::from_writer(FullDisk);
+        sink.done(done("aa", 1));
+        let err = sink.error().expect("error latched");
+        assert!(err.contains("journal write failed"));
+        // Subsequent writes are no-ops, not panics.
+        sink.end("e1", 1);
+    }
+}

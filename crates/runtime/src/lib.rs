@@ -49,6 +49,12 @@
 //! assert!(x_final == 1 || x_final == 2); // 1 ⇔ the lost-update race fired
 //! ```
 
+/// The runtime's semantic version. Baked into every campaign cell's
+/// content address (see `mtt-obs`), so cached results recorded by one
+/// runtime version are never replayed by a build whose execution semantics
+/// may differ.
+pub const RUNTIME_VERSION: &str = env!("CARGO_PKG_VERSION");
+
 pub mod ctx;
 pub mod exec;
 pub mod noise;

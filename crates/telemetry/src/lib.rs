@@ -39,4 +39,4 @@ pub use ndjson::{check_run_log_line, RunLogRecord, RunLogWriter, RUN_LOG_REQUIRE
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, Snapshot};
 pub use run::RunMetrics;
 pub use sink::TelemetrySink;
-pub use span::{Span, SpanSet, SpanTimings};
+pub use span::{Span, SpanEvent, SpanSet, SpanTimings};

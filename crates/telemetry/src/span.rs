@@ -16,15 +16,54 @@ struct Entry {
     total: Duration,
 }
 
-/// A shared set of named span accumulators. Clones share state, so a set
-/// can be handed to every worker of a pool.
-#[derive(Clone, Default)]
+/// One completed interval on the set's shared clock — the raw material of
+/// a chrome-trace timeline (aggregates alone cannot place a phase in
+/// time). Recorded by [`SpanSet::enter`] spans on drop; the bulk
+/// [`SpanSet::add`] path stays aggregate-only so per-job worker loops do
+/// not flood the event list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: String,
+    /// Offset from the set's creation instant.
+    pub start: Duration,
+    /// Interval length.
+    pub dur: Duration,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: BTreeMap<String, Entry>,
+    events: Vec<SpanEvent>,
+}
+
+struct Shared {
+    inner: Mutex<Inner>,
+    /// The zero point every [`SpanEvent::start`] is measured from.
+    epoch: Instant,
+}
+
+/// A shared set of named span accumulators. Clones share state (and the
+/// epoch), so a set can be handed to every worker of a pool.
+#[derive(Clone)]
 pub struct SpanSet {
-    entries: Arc<Mutex<BTreeMap<String, Entry>>>,
+    shared: Arc<Shared>,
+}
+
+impl Default for SpanSet {
+    fn default() -> Self {
+        SpanSet {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(Inner::default()),
+                epoch: Instant::now(),
+            }),
+        }
+    }
 }
 
 impl SpanSet {
-    /// Fresh, empty set.
+    /// Fresh, empty set; its epoch (the zero of [`SpanSet::events`]
+    /// offsets) is now.
     pub fn new() -> Self {
         Self::default()
     }
@@ -40,24 +79,55 @@ impl SpanSet {
 
     /// Add one finished interval to `name` directly (for callers that
     /// already measured, e.g. a worker loop with its own clock).
+    /// Aggregate-only: no [`SpanEvent`] is recorded.
     pub fn add(&self, name: &str, elapsed: Duration) {
-        let mut map = self.entries.lock().expect("span set poisoned");
-        let e = map.entry(name.to_string()).or_default();
+        let mut inner = self.shared.inner.lock().expect("span set poisoned");
+        let e = inner.entries.entry(name.to_string()).or_default();
         e.count += 1;
         e.total += elapsed;
+    }
+
+    fn record_span(&self, name: &str, started: Instant, elapsed: Duration) {
+        let start = started.saturating_duration_since(self.shared.epoch);
+        let mut inner = self.shared.inner.lock().expect("span set poisoned");
+        let e = inner.entries.entry(name.to_string()).or_default();
+        e.count += 1;
+        e.total += elapsed;
+        inner.events.push(SpanEvent {
+            name: name.to_string(),
+            start,
+            dur: elapsed,
+        });
     }
 
     /// Freeze the accumulated timings.
     pub fn timings(&self) -> SpanTimings {
         SpanTimings {
             entries: self
-                .entries
+                .shared
+                .inner
                 .lock()
                 .expect("span set poisoned")
+                .entries
                 .iter()
                 .map(|(k, e)| (k.clone(), (e.count, e.total)))
                 .collect(),
         }
+    }
+
+    /// The completed intervals so far, sorted by start offset then name
+    /// (concurrent spans may complete in any order; the sort keeps the
+    /// timeline stable).
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let mut v = self
+            .shared
+            .inner
+            .lock()
+            .expect("span set poisoned")
+            .events
+            .clone();
+        v.sort_by(|a, b| a.start.cmp(&b.start).then_with(|| a.name.cmp(&b.name)));
+        v
     }
 }
 
@@ -77,7 +147,8 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        self.set.add(&self.name, self.started.elapsed());
+        self.set
+            .record_span(&self.name, self.started, self.started.elapsed());
     }
 }
 
@@ -151,5 +222,21 @@ mod tests {
         let other = set.clone();
         drop(other.enter("x"));
         assert_eq!(set.timings().count("x"), 1);
+    }
+
+    #[test]
+    fn entered_spans_record_events_but_add_does_not() {
+        let set = SpanSet::new();
+        drop(set.enter("a"));
+        drop(set.enter("b"));
+        set.add("w", Duration::from_millis(3));
+        let events = set.events();
+        assert_eq!(events.len(), 2);
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"a") && names.contains(&"b"));
+        // Events are sorted by start offset; offsets never precede the epoch.
+        assert!(events.windows(2).all(|w| w[0].start <= w[1].start));
+        // `add` feeds aggregates only.
+        assert_eq!(set.timings().count("w"), 1);
     }
 }
