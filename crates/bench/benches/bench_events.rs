@@ -34,6 +34,7 @@ fn sample_done(i: u64) -> CellDone {
         wall_us: 1200 + i,
         t_us: 0,
         worker: i % 8,
+        fingerprint: Some(format!("{:032x}", 0xc0ffee_u128 + u128::from(i))),
         metrics: Some(MetricScalars {
             events: 4200 + i,
             sched_points: 900 + i,

@@ -1,0 +1,495 @@
+//! Canonical Mazurkiewicz-trace fingerprints.
+//!
+//! A [`TraceFingerprint`] is a stable 128-bit hash of the happens-before
+//! *partial order* of an execution, not of its linearization: two runs hash
+//! equal exactly when they are the same Mazurkiewicz trace — the same
+//! per-thread event sequences with the same dependence edges between them —
+//! and reordering *independent* operations never changes the value. This is
+//! what lets the schedule-coverage layer (`mtt-coverage`,
+//! `ScheduleCoverage`) count *genuinely distinct* schedules instead of
+//! distinct interleavings.
+//!
+//! The construction:
+//!
+//! 1. Replay the event stream through a dependence-aware vector-clock
+//!    machine. It mirrors [`crate::hb::HbAnnotator`]'s synchronization
+//!    edges (release→acquire, spawn→start, exit→join, notify→wake,
+//!    barrier, semaphore, atomic RMW chains) **plus** per-variable
+//!    conflict edges: every access joins the clock of the last write to
+//!    the variable, and a write additionally joins the accumulated clocks
+//!    of the reads since that write. Read–read pairs stay independent.
+//!    Sync-only clocks would not do: two *racing* writes are concurrent
+//!    under the sync order, so swapping them would not change any clock —
+//!    but it is a different trace, and the conflict edges see that.
+//! 2. Fold each thread's events, **in program order**, into a per-thread
+//!    running hash over (location, op kind, resource ids, dependence
+//!    clock). Sequence numbers, virtual time, and data values are
+//!    excluded — they vary across equivalent linearizations or replays.
+//! 3. Combine the per-thread lanes in thread-id order.
+//!
+//! Per-thread order and the dependence clocks are invariants of the
+//! equivalence class (clock joins happen only along dependence edges, and
+//! dependent events keep their relative order in every linearization of
+//! the same trace), so the whole fingerprint is too. Property tests in
+//! `tests/props.rs` pin both directions of the contract.
+
+use crate::clock::VectorClock;
+use mtt_instrument::{AccessKind, Event, EventSink, Op, ThreadId};
+use mtt_trace::Trace;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// A canonical fingerprint of one Mazurkiewicz trace (HB-equivalence class
+/// of executions). Rendered as 32 lowercase hex digits.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceFingerprint(pub u128);
+
+impl TraceFingerprint {
+    /// The canonical 32-hex-digit rendering (journal / run-log form).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+impl fmt::Display for TraceFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for TraceFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceFingerprint({:032x})", self.0)
+    }
+}
+
+/// Incremental FNV-1a-128 state.
+#[derive(Clone, Copy)]
+struct Fnv(u128);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Dependence resources a clock can flow through (the sync half mirrors
+/// `HbAnnotator`'s private key set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Res {
+    Lock(u32),
+    Cond(u32),
+    Sem(u32),
+    Barrier(u32),
+    /// Per-variable sync clock for atomic RMW chains.
+    Atomic(u32),
+    /// Spawn→start handoff (consumed at `ThreadStart`).
+    Start(u32),
+    /// Exit→join handoff.
+    Exit(u32),
+}
+
+/// [`EventSink`] computing a [`TraceFingerprint`] over a live or replayed
+/// event stream in O(events) time and O(threads + resources) space — cheap
+/// enough to ride along on every campaign run.
+#[derive(Clone, Debug, Default)]
+pub struct Fingerprinter {
+    threads: HashMap<ThreadId, VectorClock>,
+    sync: HashMap<Res, VectorClock>,
+    /// Clock of the last write per plain variable.
+    last_write: HashMap<u32, VectorClock>,
+    /// Joined clocks of the reads since the last write, per variable.
+    reads: HashMap<u32, VectorClock>,
+    /// Per-thread (event count, running lane hash), keyed by thread id so
+    /// the final fold is in canonical order.
+    lanes: BTreeMap<u32, (u64, u128)>,
+    events: u64,
+}
+
+impl Fingerprinter {
+    /// Fresh fingerprinter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn clock(&mut self, t: ThreadId) -> &mut VectorClock {
+        self.threads.entry(t).or_insert_with(|| {
+            let mut vc = VectorClock::new();
+            vc.set(t, 1);
+            vc
+        })
+    }
+
+    /// Acquire side of a sync edge: join the resource clock into the
+    /// thread's.
+    fn join_sync(&mut self, t: ThreadId, key: Res, consume: bool) {
+        let src = if consume {
+            self.sync.remove(&key)
+        } else {
+            self.sync.get(&key).cloned()
+        };
+        if let Some(src) = src {
+            self.clock(t).join(&src);
+        }
+    }
+
+    /// Release side: publish the thread's post-event snapshot.
+    fn publish_sync(&mut self, key: Res, snapshot: &VectorClock) {
+        self.sync.entry(key).or_default().join(snapshot);
+    }
+
+    /// The fingerprint of everything consumed so far.
+    pub fn fingerprint(&self) -> TraceFingerprint {
+        let mut h = Fnv::new();
+        for (&t, &(count, lane)) in &self.lanes {
+            h.write_u32(t);
+            h.write(&count.to_le_bytes());
+            h.write(&lane.to_le_bytes());
+        }
+        TraceFingerprint(h.0)
+    }
+}
+
+/// Feed the structural label of an event: location, op kind, resource ids.
+/// Deliberately excluded: `seq`, `time`, data values (they differ between
+/// equivalent linearizations or across replay modes).
+fn hash_label(h: &mut Fnv, ev: &Event) {
+    h.write(ev.loc.file.as_bytes());
+    h.write_u32(ev.loc.line);
+    match ev.op {
+        Op::VarRead { var, .. } => {
+            h.write_u32(1);
+            h.write_u32(var.0);
+        }
+        Op::VarWrite { var, .. } => {
+            h.write_u32(2);
+            h.write_u32(var.0);
+        }
+        Op::VarRmw { var, .. } => {
+            h.write_u32(3);
+            h.write_u32(var.0);
+        }
+        Op::LockRequest { lock } => {
+            h.write_u32(4);
+            h.write_u32(lock.0);
+        }
+        Op::LockAcquire { lock } => {
+            h.write_u32(5);
+            h.write_u32(lock.0);
+        }
+        Op::LockRelease { lock } => {
+            h.write_u32(6);
+            h.write_u32(lock.0);
+        }
+        Op::LockTryFail { lock } => {
+            h.write_u32(7);
+            h.write_u32(lock.0);
+        }
+        Op::CondWait { cond, lock } => {
+            h.write_u32(8);
+            h.write_u32(cond.0);
+            h.write_u32(lock.0);
+        }
+        Op::CondWake { cond, lock } => {
+            h.write_u32(9);
+            h.write_u32(cond.0);
+            h.write_u32(lock.0);
+        }
+        Op::CondNotify { cond, all } => {
+            h.write_u32(10);
+            h.write_u32(cond.0);
+            h.write_u32(u32::from(all));
+        }
+        Op::SemRequest { sem } => {
+            h.write_u32(11);
+            h.write_u32(sem.0);
+        }
+        Op::SemAcquire { sem } => {
+            h.write_u32(12);
+            h.write_u32(sem.0);
+        }
+        Op::SemRelease { sem } => {
+            h.write_u32(13);
+            h.write_u32(sem.0);
+        }
+        Op::BarrierArrive { barrier } => {
+            h.write_u32(14);
+            h.write_u32(barrier.0);
+        }
+        Op::BarrierPass { barrier } => {
+            h.write_u32(15);
+            h.write_u32(barrier.0);
+        }
+        Op::Spawn { child } => {
+            h.write_u32(16);
+            h.write_u32(child.0);
+        }
+        Op::JoinRequest { target } => {
+            h.write_u32(17);
+            h.write_u32(target.0);
+        }
+        Op::Join { target } => {
+            h.write_u32(18);
+            h.write_u32(target.0);
+        }
+        Op::ThreadStart => h.write_u32(19),
+        Op::ThreadExit => h.write_u32(20),
+        Op::Yield => h.write_u32(21),
+        Op::Sleep { ticks } => {
+            h.write_u32(22);
+            h.write_u32(ticks);
+        }
+        Op::Point { label } => {
+            h.write_u32(23);
+            h.write_u32(label);
+        }
+        Op::AssertFail { label } => {
+            h.write_u32(24);
+            h.write_u32(label);
+        }
+    }
+}
+
+/// Feed a clock as sparse (index, value) pairs so trailing zeros (threads
+/// a clock never saw) cannot perturb the hash.
+fn hash_clock(h: &mut Fnv, clock: &VectorClock) {
+    for (i, &v) in clock.components().iter().enumerate() {
+        if v != 0 {
+            h.write_u32(i as u32);
+            h.write_u32(v);
+        }
+    }
+}
+
+impl EventSink for Fingerprinter {
+    fn on_event(&mut self, ev: &Event) {
+        let me = ev.thread;
+        // Sync acquire edges — the exact `HbAnnotator` table.
+        match ev.op {
+            Op::LockAcquire { lock } => self.join_sync(me, Res::Lock(lock.0), false),
+            Op::CondWake { cond, lock } => {
+                self.join_sync(me, Res::Lock(lock.0), false);
+                self.join_sync(me, Res::Cond(cond.0), false);
+            }
+            Op::SemAcquire { sem } => self.join_sync(me, Res::Sem(sem.0), false),
+            Op::BarrierPass { barrier } => self.join_sync(me, Res::Barrier(barrier.0), false),
+            Op::VarRmw { var, .. } => self.join_sync(me, Res::Atomic(var.0), false),
+            Op::ThreadStart => self.join_sync(me, Res::Start(me.0), true),
+            Op::Join { target } => self.join_sync(me, Res::Exit(target.0), false),
+            _ => {}
+        }
+        // Conflict edges: any access sees the last write; a write also
+        // sees every read since then. Read–read pairs stay independent.
+        if let (Some(var), Some(kind)) = (ev.op.var(), ev.op.access_kind()) {
+            if let Some(w) = self.last_write.get(&var.0).cloned() {
+                self.clock(me).join(&w);
+            }
+            if kind == AccessKind::Write {
+                if let Some(r) = self.reads.remove(&var.0) {
+                    self.clock(me).join(&r);
+                }
+            }
+        }
+        self.clock(me).tick(me);
+        let snapshot = self.clock(me).clone();
+        // Sync release edges.
+        match ev.op {
+            Op::LockRelease { lock } | Op::CondWait { lock, .. } => {
+                self.publish_sync(Res::Lock(lock.0), &snapshot)
+            }
+            Op::CondNotify { cond, .. } => self.publish_sync(Res::Cond(cond.0), &snapshot),
+            Op::SemRelease { sem } => self.publish_sync(Res::Sem(sem.0), &snapshot),
+            Op::BarrierArrive { barrier } => self.publish_sync(Res::Barrier(barrier.0), &snapshot),
+            Op::VarRmw { var, .. } => self.publish_sync(Res::Atomic(var.0), &snapshot),
+            Op::Spawn { child } => self.publish_sync(Res::Start(child.0), &snapshot),
+            Op::ThreadExit => self.publish_sync(Res::Exit(me.0), &snapshot),
+            _ => {}
+        }
+        // Conflict bookkeeping.
+        if let (Some(var), Some(kind)) = (ev.op.var(), ev.op.access_kind()) {
+            match kind {
+                AccessKind::Read => self.reads.entry(var.0).or_default().join(&snapshot),
+                AccessKind::Write => {
+                    self.last_write.insert(var.0, snapshot.clone());
+                }
+            }
+        }
+        // Fold into the thread's lane.
+        let lane = self.lanes.entry(me.0).or_insert((0, FNV_OFFSET));
+        let mut h = Fnv(lane.1);
+        hash_label(&mut h, ev);
+        hash_clock(&mut h, &snapshot);
+        lane.0 += 1;
+        lane.1 = h.0;
+        self.events += 1;
+    }
+}
+
+/// Fingerprint a recorded trace by replaying its records.
+pub fn fingerprint_trace(trace: &Trace) -> TraceFingerprint {
+    let mut f = Fingerprinter::new();
+    trace.feed(&mut f);
+    f.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtt_instrument::{Loc, LockId, VarId};
+    use std::sync::Arc;
+
+    fn ev(seq: u64, thread: u32, op: Op) -> Event {
+        Event {
+            seq,
+            time: seq * 3 + 1,
+            thread: ThreadId(thread),
+            loc: Loc::new("p", thread + 1),
+            op,
+            locks_held: Arc::from(Vec::<LockId>::new()),
+        }
+    }
+
+    fn fp(events: &[Event]) -> TraceFingerprint {
+        let mut f = Fingerprinter::new();
+        for e in events {
+            f.on_event(e);
+        }
+        f.finish();
+        f.fingerprint()
+    }
+
+    fn write(var: u32, value: i64) -> Op {
+        Op::VarWrite {
+            var: VarId(var),
+            value,
+        }
+    }
+
+    fn read(var: u32) -> Op {
+        Op::VarRead {
+            var: VarId(var),
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn hex_form_is_32_digits() {
+        let f = fp(&[ev(0, 0, write(0, 1))]);
+        assert_eq!(f.to_hex().len(), 32);
+        assert_eq!(format!("{f}"), f.to_hex());
+    }
+
+    #[test]
+    fn independent_interleavings_hash_equal() {
+        // Two threads touching disjoint variables: every interleaving is
+        // the same Mazurkiewicz trace.
+        let a = fp(&[
+            ev(0, 0, write(0, 1)),
+            ev(1, 1, write(1, 2)),
+            ev(2, 0, read(0)),
+            ev(3, 1, read(1)),
+        ]);
+        let b = fp(&[
+            ev(0, 1, write(1, 2)),
+            ev(1, 1, read(1)),
+            ev(2, 0, write(0, 1)),
+            ev(3, 0, read(0)),
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn racing_write_order_distinguishes() {
+        // Same events, opposite order of two *dependent* (racing) writes:
+        // different trace, different fingerprint. Sync-only clocks would
+        // miss this — the conflict edges are what see it.
+        let a = fp(&[ev(0, 0, write(0, 1)), ev(1, 1, write(0, 2))]);
+        let b = fp(&[ev(0, 1, write(0, 2)), ev(1, 0, write(0, 1))]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn read_read_pairs_stay_independent() {
+        let setup = ev(0, 0, write(0, 7));
+        let a = fp(&[setup.clone(), ev(1, 1, read(0)), ev(2, 2, read(0))]);
+        let b = fp(&[setup, ev(1, 2, read(0)), ev(2, 1, read(0))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn write_read_order_distinguishes() {
+        let a = fp(&[ev(0, 0, write(0, 1)), ev(1, 1, read(0))]);
+        let b = fp(&[ev(0, 1, read(0)), ev(1, 0, write(0, 1))]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lock_handoff_order_distinguishes() {
+        let l = LockId(0);
+        let crit = |t: u32, base: u64| {
+            vec![
+                ev(base, t, Op::LockAcquire { lock: l }),
+                ev(base + 1, t, Op::LockRelease { lock: l }),
+            ]
+        };
+        let mut a = crit(0, 0);
+        a.extend(crit(1, 2));
+        let mut b = crit(1, 0);
+        b.extend(crit(0, 2));
+        assert_ne!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn seq_and_time_and_values_do_not_matter() {
+        let a = fp(&[ev(0, 0, write(0, 1)), ev(1, 0, read(0))]);
+        let mut shifted = vec![ev(10, 0, write(0, 5)), ev(42, 0, read(0))];
+        shifted[0].time = 999;
+        shifted[1].time = 1000;
+        assert_eq!(a, fp(&shifted));
+    }
+
+    #[test]
+    fn trace_replay_matches_live_feed() {
+        use mtt_trace::{TraceCollector, TraceRecord};
+        let events = vec![
+            ev(0, 0, Op::Spawn { child: ThreadId(1) }),
+            ev(1, 1, Op::ThreadStart),
+            ev(2, 1, write(0, 3)),
+            ev(3, 1, Op::ThreadExit),
+            ev(
+                4,
+                0,
+                Op::Join {
+                    target: ThreadId(1),
+                },
+            ),
+        ];
+        let live = fp(&events);
+        let mut c = TraceCollector::new();
+        for e in &events {
+            c.trace.records.push(TraceRecord::from_event(e));
+        }
+        assert_eq!(fingerprint_trace(&c.into_trace()), live);
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`diff`] — an LCS alignment of a failing against a passing trace of
 //!   the same program, reporting the *divergence window* and the critical
 //!   events between divergence and failure.
+//! * [`fingerprint`] — a canonical 128-bit hash of the HB partial order
+//!   ([`TraceFingerprint`]), equal for two executions iff they are the
+//!   same Mazurkiewicz trace; the unit of schedule-coverage counting.
 //!
 //! [`clock::VectorClock`] is the canonical vector-clock implementation;
 //! `mtt-race`'s FastTrack detector re-exports and reuses it. All renderings
@@ -24,6 +27,7 @@
 pub mod annotated;
 pub mod clock;
 pub mod diff;
+pub mod fingerprint;
 pub mod hb;
 pub mod timeline;
 
@@ -33,6 +37,7 @@ pub use annotated::{
 };
 pub use clock::VectorClock;
 pub use diff::{TraceDiff, DIFF_LCS_CAP};
+pub use fingerprint::{fingerprint_trace, Fingerprinter, TraceFingerprint};
 pub use hb::{
     annotate_trace, concurrent, first_failure_seq, happens_before, CausalAnnotations, CausalNote,
     HbAnnotator,

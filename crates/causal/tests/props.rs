@@ -201,3 +201,142 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Trace-fingerprint laws: the fingerprint is a function of the Mazurkiewicz
+// trace (the HB partial order up to reordering of independent operations),
+// nothing else.
+
+use mtt_causal::fingerprint_trace;
+use mtt_instrument::Op;
+
+/// Is the adjacent pair (a, b) independent for fingerprint purposes? We
+/// deliberately use the *narrowest* sufficient condition — two plain
+/// variable accesses from different threads that do not conflict — so the
+/// property asserts invariance only where the dependence relation
+/// guarantees it.
+fn independent_plain_accesses(a: &mtt_trace::TraceRecord, b: &mtt_trace::TraceRecord) -> bool {
+    if a.thread == b.thread {
+        return false;
+    }
+    let plain = |op: &Op| matches!(op, Op::VarRead { .. } | Op::VarWrite { .. });
+    if !plain(&a.op) || !plain(&b.op) {
+        return false;
+    }
+    match (a.op.var(), b.op.var()) {
+        (Some(va), Some(vb)) if va == vb => {
+            // Same variable: independent only when both are reads.
+            matches!(a.op, Op::VarRead { .. }) && matches!(b.op, Op::VarRead { .. })
+        }
+        _ => true,
+    }
+}
+
+/// Is the adjacent pair (a, b) a conflicting (racing) access pair — same
+/// variable, different threads, at least one write?
+fn conflicting_accesses(a: &mtt_trace::TraceRecord, b: &mtt_trace::TraceRecord) -> bool {
+    if a.thread == b.thread {
+        return false;
+    }
+    let plain = |op: &Op| matches!(op, Op::VarRead { .. } | Op::VarWrite { .. });
+    if !plain(&a.op) || !plain(&b.op) {
+        return false;
+    }
+    match (a.op.var(), b.op.var()) {
+        (Some(va), Some(vb)) if va == vb => {
+            matches!(a.op, Op::VarWrite { .. }) || matches!(b.op, Op::VarWrite { .. })
+        }
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn permuting_independent_adjacent_ops_preserves_the_fingerprint(
+        idx in 0usize..5,
+        seed in 0u64..300,
+    ) {
+        let trace = run_trace(&program(idx), seed);
+        let base = fingerprint_trace(&trace);
+        let mut checked = 0usize;
+        for i in 0..trace.records.len().saturating_sub(1) {
+            if independent_plain_accesses(&trace.records[i], &trace.records[i + 1]) {
+                let mut permuted = trace.clone();
+                permuted.records.swap(i, i + 1);
+                prop_assert_eq!(fingerprint_trace(&permuted), base);
+                checked += 1;
+            }
+        }
+        // Not every (program, seed) exposes an adjacent independent pair,
+        // but across the sample space most do; when one exists it must be
+        // invariant (asserted above).
+        let _ = checked;
+    }
+
+    #[test]
+    fn swapping_racing_adjacent_ops_changes_the_fingerprint(
+        seed in 0u64..300,
+    ) {
+        // lost_update is two unlocked writers on one counter: racing
+        // adjacent accesses abound.
+        let trace = run_trace(&program(0), seed);
+        let base = fingerprint_trace(&trace);
+        for i in 0..trace.records.len().saturating_sub(1) {
+            if conflicting_accesses(&trace.records[i], &trace.records[i + 1]) {
+                let mut swapped = trace.clone();
+                swapped.records.swap(i, i + 1);
+                prop_assert!(fingerprint_trace(&swapped) != base);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_values_seq_and_time(
+        idx in 0usize..5,
+        seed in 0u64..300,
+    ) {
+        let trace = run_trace(&program(idx), seed);
+        let base = fingerprint_trace(&trace);
+        let mut scrambled = trace.clone();
+        for (k, r) in scrambled.records.iter_mut().enumerate() {
+            r.seq = (r.seq + 1000) * 3;
+            r.time += 17;
+            match &mut r.op {
+                Op::VarRead { value, .. } | Op::VarWrite { value, .. } => {
+                    *value += 1 + k as i64;
+                }
+                Op::VarRmw { old, new, .. } => {
+                    *old -= 5;
+                    *new += 9;
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(fingerprint_trace(&scrambled), base);
+    }
+}
+
+#[test]
+fn fingerprint_is_deterministic_across_concurrent_hashers() {
+    // The E12 jobs-differential at the library level: hashing the same
+    // trace from many threads at once must agree bit for bit with the
+    // serial answer — the fingerprint is a pure function with no hidden
+    // global state (no address-based hashing, no randomized seeds).
+    for (idx, seed) in [(0usize, 7u64), (1, 11), (3, 42)] {
+        let trace = std::sync::Arc::new(run_trace(&program(idx), seed));
+        let serial = fingerprint_trace(&trace);
+        for threads in [1, 2, 4, 8] {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let t = std::sync::Arc::clone(&trace);
+                    std::thread::spawn(move || fingerprint_trace(&t))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("hasher thread"), serial);
+            }
+        }
+    }
+}

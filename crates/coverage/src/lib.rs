@@ -25,9 +25,17 @@
 //! * [`RunCountAdvisor`] — the paper's run-count question, answered with
 //!   plateau detection: keep re-running a test until `window` consecutive
 //!   runs add no new tasks.
+//! * [`ScheduleCoverage`] + [`SaturationAdvisor`] — the run-count question
+//!   answered *principledly* over the interleaving space itself: accumulate
+//!   canonical Mazurkiewicz-trace fingerprints (`mtt-causal`'s
+//!   `TraceFingerprint`), track the rarefaction curve, and estimate the
+//!   still-unseen probability mass with the **Good–Turing** estimator
+//!   `G = N₁/n` (classes seen exactly once over total runs). Stop when the
+//!   estimated mass of undiscovered schedules drops below ε — a budget
+//!   advisor `mtt-explore` consumes directly.
 
 use mtt_instrument::{Event, EventSink, Loc, Op, StaticInfo, ThreadId, VarId, VarTable};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A coverage model: consumes events, produces covered tasks.
 pub trait CoverageModel: EventSink {
@@ -419,6 +427,140 @@ impl RunCountAdvisor {
     }
 }
 
+// ---------------------------------------------------------------------
+// Schedule coverage over Mazurkiewicz-trace fingerprints
+// ---------------------------------------------------------------------
+
+/// Accumulator over canonical trace fingerprints: how many *genuinely
+/// distinct* schedules (HB-equivalence classes) a tool has visited, how
+/// fast the set is still growing, and — via Good–Turing — how much of the
+/// reachable class distribution is estimated to remain unseen.
+///
+/// Keys are opaque strings (the 32-hex rendering of `mtt-causal`'s
+/// `TraceFingerprint` in practice), keeping this crate's string-task
+/// genericity and letting journal readers feed it directly.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ScheduleCoverage {
+    /// Observation count per distinct class.
+    counts: BTreeMap<String, u64>,
+    runs: u64,
+    /// Distinct-class count after each observed run — the rarefaction
+    /// (saturation) curve.
+    pub history: Vec<usize>,
+}
+
+impl ScheduleCoverage {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one run's fingerprint; returns whether the class was new.
+    pub fn observe(&mut self, fingerprint: impl Into<String>) -> bool {
+        self.runs += 1;
+        let count = self.counts.entry(fingerprint.into()).or_insert(0);
+        *count += 1;
+        let new = *count == 1;
+        self.history.push(self.counts.len());
+        new
+    }
+
+    /// Runs observed so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Distinct schedule classes seen.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Classes seen exactly once (Good–Turing's `N₁`).
+    pub fn singletons(&self) -> usize {
+        self.counts.values().filter(|&&c| c == 1).count()
+    }
+
+    /// The Good–Turing estimate of the probability that the *next* run
+    /// lands in a class never seen before: `G = N₁ / n`. With no runs at
+    /// all everything is unseen, so the estimate is 1.
+    pub fn good_turing_unseen_mass(&self) -> f64 {
+        if self.runs == 0 {
+            1.0
+        } else {
+            self.singletons() as f64 / self.runs as f64
+        }
+    }
+
+    /// Normalized area under the rarefaction curve:
+    /// `Σᵢ history[i] / (runs × distinct)`, in `(0, 1]`. A tool that finds
+    /// all its classes immediately scores ~1; one still discovering on the
+    /// last run scores lower. 0 when nothing was observed.
+    pub fn auc(&self) -> f64 {
+        if self.runs == 0 || self.counts.is_empty() {
+            return 0.0;
+        }
+        let area: usize = self.history.iter().sum();
+        area as f64 / (self.runs as f64 * self.counts.len() as f64)
+    }
+
+    /// Observation count per class, in key order.
+    pub fn class_counts(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// The principled upgrade of [`RunCountAdvisor`]: instead of "no new
+/// coverage for `window` runs", stop when the **Good–Turing unseen mass**
+/// of the schedule-class distribution drops below `epsilon` (and at least
+/// `min_runs` ran). `mtt-explore` consumes this as an execution budget
+/// (`ExploreOptions::saturation`).
+#[derive(Debug, Clone)]
+pub struct SaturationAdvisor {
+    epsilon: f64,
+    min_runs: usize,
+    coverage: ScheduleCoverage,
+}
+
+impl SaturationAdvisor {
+    /// Stop once the estimated unseen mass is below `epsilon`, but never
+    /// before `min_runs` runs.
+    pub fn new(epsilon: f64, min_runs: usize) -> Self {
+        assert!(epsilon >= 0.0, "epsilon must be non-negative");
+        SaturationAdvisor {
+            epsilon,
+            min_runs,
+            coverage: ScheduleCoverage::new(),
+        }
+    }
+
+    /// Report a finished run's schedule fingerprint; receive the verdict.
+    pub fn observe(&mut self, fingerprint: impl Into<String>) -> Advice {
+        self.coverage.observe(fingerprint);
+        if self.coverage.runs() as usize >= self.min_runs
+            && self.coverage.good_turing_unseen_mass() < self.epsilon
+        {
+            Advice::Stop
+        } else {
+            Advice::Continue
+        }
+    }
+
+    /// Current Good–Turing unseen-mass estimate.
+    pub fn unseen_mass(&self) -> f64 {
+        self.coverage.good_turing_unseen_mass()
+    }
+
+    /// The underlying accumulator (distinct counts, rarefaction curve).
+    pub fn coverage(&self) -> &ScheduleCoverage {
+        &self.coverage
+    }
+
+    /// Runs observed so far.
+    pub fn runs(&self) -> usize {
+        self.coverage.runs() as usize
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,5 +746,71 @@ mod tests {
             assert_eq!(a.after_run(0), Advice::Continue);
         }
         assert_eq!(a.after_run(0), Advice::Stop);
+    }
+
+    #[test]
+    fn schedule_coverage_counts_and_curve() {
+        let mut s = ScheduleCoverage::new();
+        assert!(s.observe("a"));
+        assert!(s.observe("b"));
+        assert!(!s.observe("a"));
+        assert!(!s.observe("a"));
+        assert_eq!(s.runs(), 4);
+        assert_eq!(s.distinct(), 2);
+        assert_eq!(s.history, vec![1, 2, 2, 2]);
+        // a seen 3×, b once: N₁ = 1, G = 1/4.
+        assert_eq!(s.singletons(), 1);
+        assert!((s.good_turing_unseen_mass() - 0.25).abs() < 1e-12);
+        let counts: Vec<_> = s.class_counts().collect();
+        assert_eq!(counts, vec![("a", 3), ("b", 1)]);
+    }
+
+    #[test]
+    fn unseen_mass_is_one_before_any_run_and_zero_when_saturated() {
+        let mut s = ScheduleCoverage::new();
+        assert_eq!(s.good_turing_unseen_mass(), 1.0);
+        for _ in 0..5 {
+            s.observe("only");
+        }
+        assert_eq!(s.good_turing_unseen_mass(), 0.0);
+    }
+
+    #[test]
+    fn auc_rewards_early_saturation() {
+        // Saturates on run 1 of 4: AUC = (1+1+1+1)/(4·1) = 1.
+        let mut fast = ScheduleCoverage::new();
+        for _ in 0..4 {
+            fast.observe("x");
+        }
+        assert!((fast.auc() - 1.0).abs() < 1e-12);
+        // Still discovering on the last run: AUC = (1+2+3+4)/(4·4) = 0.625.
+        let mut slow = ScheduleCoverage::new();
+        for k in ["a", "b", "c", "d"] {
+            slow.observe(k);
+        }
+        assert!((slow.auc() - 0.625).abs() < 1e-12);
+        assert_eq!(ScheduleCoverage::new().auc(), 0.0);
+    }
+
+    #[test]
+    fn saturation_advisor_stops_below_epsilon() {
+        let mut a = SaturationAdvisor::new(0.3, 3);
+        assert_eq!(a.observe("a"), Advice::Continue); // G = 1
+        assert_eq!(a.observe("a"), Advice::Continue); // G = 0
+                                                      // min_runs not reached yet even though G < ε.
+        assert_eq!(a.runs(), 2);
+        assert_eq!(a.observe("a"), Advice::Stop); // n = 3, G = 0 < 0.3
+        assert_eq!(a.coverage().distinct(), 1);
+        assert_eq!(a.unseen_mass(), 0.0);
+    }
+
+    #[test]
+    fn saturation_advisor_keeps_going_while_discovering() {
+        let mut a = SaturationAdvisor::new(0.5, 1);
+        // Every run a fresh class: G stays 1, never stops.
+        for i in 0..10 {
+            assert_eq!(a.observe(format!("c{i}")), Advice::Continue);
+        }
+        assert!((a.unseen_mass() - 1.0).abs() < 1e-12);
     }
 }

@@ -37,6 +37,10 @@
 //! mtt e11 [runs] [--csv|--json] static vs dynamic scoreboard: per-class
 //!                               precision/recall of L001–L007 + R/D/A001
 //!                               against the dynamic detector roster
+//! mtt e12 [runs] [--csv|--json] schedule-space saturation scoreboard:
+//!                               distinct Mazurkiewicz-trace classes,
+//!                               rarefaction curve AUC, and Good–Turing
+//!                               unseen-mass estimate per tool
 //! mtt profile <e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR]
 //!             [--chrome-trace FILE]
 //!                               contention / hot-site / overhead profile;
@@ -53,7 +57,7 @@
 //! mtt metrics-check <file>      validate an NDJSON run log against the schema
 //! mtt trace-check <file>        validate an annotated trace against the schema
 //! mtt journal-check <dir|file>  strictly validate campaign journals
-//!                               against schema v1 (exit 2 on corruption)
+//!                               against schema v2 (v1 accepted; exit 2 on corruption)
 //! mtt all                       every experiment with small defaults
 //! mtt help                      this listing
 //! ```
@@ -88,8 +92,8 @@
 
 use mtt_experiment::{
     campaign::Campaign, cli_spec, cloning::run_cloning_on, coverage_eval, detector_eval, explain,
-    explore_eval, gen_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, scoreboard,
-    static_eval, tracegen,
+    explore_eval, gen_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, saturation_eval,
+    scoreboard, static_eval, tracegen,
 };
 use mtt_obs::{JournalSink, ResumeCache, StatusSummary};
 use mtt_runtime::{Execution, RandomScheduler};
@@ -202,6 +206,23 @@ impl JournalGuard {
     }
 }
 
+/// The argument of a path-taking flag. Rejecting flag-shaped values here
+/// is what keeps a typo like `mtt e1 --metrics --journal DIR` from
+/// silently writing a run log to a file literally named `--journal`.
+fn path_value(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+    what: &str,
+) -> Result<String, String> {
+    match it.next() {
+        Some(v) if !v.starts_with('-') => Ok(v.clone()),
+        Some(v) => Err(format!(
+            "{flag} needs {what}, but the next argument is `{v}` — a flag, not a path"
+        )),
+        None => Err(format!("{flag} needs {what}")),
+    }
+}
+
 /// Split `--jobs/-j/--budget-ms/--quiet/-q` out of the raw argument list;
 /// everything else stays positional (subcommand flags like `--json` pass
 /// through). Returns an error message for malformed global flags.
@@ -234,8 +255,7 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
             }
             "--quiet" | "-q" => g.quiet = true,
             "--metrics" => {
-                let v = it.next().ok_or("--metrics needs a file path")?;
-                g.metrics = Some(v.clone());
+                g.metrics = Some(path_value(&mut it, "--metrics", "a file path")?);
             }
             "--tools" => {
                 let v = it
@@ -249,8 +269,7 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
                 g.tools = Some(specs);
             }
             "--journal" => {
-                let v = it.next().ok_or("--journal needs a directory")?;
-                g.journal = Some(v.clone());
+                g.journal = Some(path_value(&mut it, "--journal", "a directory")?);
             }
             "--resume" => g.resume = true,
             "--tools-file" => {
@@ -308,6 +327,7 @@ fn main() -> ExitCode {
             "e10" => e10(&args[1..], &global),
             "gen" => gen_cmd(&args[1..]),
             "e11" => e11(&args[1..], &global),
+            "e12" => e12(&args[1..], &global),
             "profile" => profile_cmd(&args[1..], &global),
             "status" => status_cmd(&args[1..]),
             "watch" => watch_cmd(&args[1..]),
@@ -329,6 +349,7 @@ fn main() -> ExitCode {
                     &global,
                 )?;
                 e11(&["12".into()], &global)?;
+                e12(&["12".into()], &global)?;
                 Ok(ExitCode::SUCCESS)
             }
             "help" | "--help" | "-h" => {
@@ -1375,6 +1396,31 @@ fn e11(args: &[String], g: &Global) -> Result<ExitCode, String> {
         print!("{}", scoreboard::render_csv(&rows));
     } else {
         print!("{}", scoreboard::render_report(&rows));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn e12(args: &[String], g: &Global) -> Result<ExitCode, String> {
+    let mut csv = false;
+    let mut json = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--json" => json = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let runs = arg_u64(&positional, 0, 40)?;
+    let (pool, journal) = g.journaled_pool("e12")?;
+    let cells = saturation_eval::run_saturation_on(runs, &pool);
+    journal.finish()?;
+    if json {
+        println!("{}", saturation_eval::saturation_json(&cells).dump());
+    } else if csv {
+        print!("{}", saturation_eval::render_csv(&cells));
+    } else {
+        print!("{}", saturation_eval::render_report(&cells));
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -106,6 +106,10 @@ struct RunRecord {
     outcome_tag: String,
     /// Present only when the campaign runs with telemetry enabled.
     metrics: Option<RunMetrics>,
+    /// Canonical Mazurkiewicz-trace fingerprint of the run (32 hex digits);
+    /// computed whenever the campaign has somewhere to report it (telemetry
+    /// or a journal), `None` on the bare fast path.
+    fingerprint: Option<String>,
 }
 
 /// The telemetry scalars a journal `done` record carries: exactly the
@@ -285,6 +289,7 @@ impl Campaign {
                             seed: rec.seed,
                             outcome: rec.outcome_tag.to_string(),
                             failed: rec.failed,
+                            fingerprint: rec.fingerprint.clone(),
                             metrics,
                             wall: rec.elapsed,
                         });
@@ -345,6 +350,7 @@ impl Campaign {
                         seed: done.seed,
                         outcome_tag: done.outcome.clone(),
                         metrics: done.metrics.as_ref().map(metrics_from_scalars),
+                        fingerprint: done.fingerprint.clone(),
                     };
                 }
             }
@@ -380,6 +386,7 @@ impl Campaign {
                 t_us: 0,
                 worker: 0,
                 metrics: rec.metrics.as_ref().map(scalars_of),
+                fingerprint: rec.fingerprint.clone(),
             });
         }
         rec
@@ -391,13 +398,27 @@ impl Campaign {
         let seed = self.base_seed + r;
         let started = Instant::now();
         let mut exec = tool.configure(Execution::new(&prog.program), seed, self.max_steps);
+        let mut sinks = mtt_instrument::Tee::new();
         let telemetry = if self.telemetry {
             let (half, handle) = mtt_instrument::shared(TelemetrySink::new());
-            exec = exec.sink(Box::new(half));
+            sinks.push(Box::new(half));
             Some(handle)
         } else {
             None
         };
+        // Fingerprint whenever the run has a consumer for it — the NDJSON
+        // run log or the flight-recorder journal. The bare fast path (no
+        // telemetry, no journal) keeps paying nothing for the event layer.
+        let fingerprinter = if self.telemetry || self.journal.is_some() {
+            let (half, handle) = mtt_instrument::shared(mtt_causal::Fingerprinter::default());
+            sinks.push(Box::new(half));
+            Some(handle)
+        } else {
+            None
+        };
+        if !sinks.is_empty() {
+            exec = exec.sink(Box::new(sinks));
+        }
         let outcome = exec.run();
         let verdict = prog.judge(&outcome);
         let elapsed = started.elapsed();
@@ -410,6 +431,13 @@ impl Campaign {
             m.absorb_stats(&outcome.stats);
             m
         });
+        let fingerprint = fingerprinter.map(|handle| {
+            handle
+                .lock()
+                .expect("fingerprint sink poisoned")
+                .fingerprint()
+                .to_hex()
+        });
         RunRecord {
             failed: verdict.failed(),
             manifested: verdict.manifested.iter().map(|m| m.to_string()).collect(),
@@ -421,6 +449,7 @@ impl Campaign {
             seed,
             outcome_tag: outcome.kind.tag().to_string(),
             metrics,
+            fingerprint,
         }
     }
 

@@ -116,6 +116,11 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
         summary: "static vs dynamic scoreboard: per-class precision/recall",
     },
     CommandSpec {
+        name: "e12",
+        args: "[runs] [--csv|--json]",
+        summary: "schedule-space saturation: distinct trace classes, curve AUC, unseen mass",
+    },
+    CommandSpec {
         name: "profile",
         args: "<e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR] [--chrome-trace FILE]",
         summary: "contention / hot-site / overhead profile (+ chrome://tracing timeline)",
@@ -148,7 +153,7 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "journal-check",
         args: "<dir|file.ndjson>",
-        summary: "strictly validate campaign journals against schema v1 (exit 2 on corruption)",
+        summary: "strictly validate campaign journals against schema v2 (v1 accepted; exit 2 on corruption)",
     },
     CommandSpec {
         name: "all",

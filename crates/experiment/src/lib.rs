@@ -33,6 +33,7 @@ pub mod multiout_eval;
 pub mod profile;
 pub mod replay_eval;
 pub mod report;
+pub mod saturation_eval;
 pub mod scoreboard;
 pub mod static_eval;
 pub mod stats;

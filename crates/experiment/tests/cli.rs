@@ -448,3 +448,59 @@ fn gen_unknown_family_is_a_usage_error() {
     let (_, stderr, code) = mtt_code(&["gen", "frobnicate"]);
     assert_eq!(code, 2, "stderr: {stderr}");
 }
+
+#[test]
+fn e12_prints_saturation_scoreboard_in_all_formats() {
+    let (stdout, stderr, ok) = mtt(&["e12", "6", "--quiet"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("E12"), "{stdout}");
+    assert!(stdout.contains("unseen mass"), "{stdout}");
+    assert!(stdout.contains("fifo"), "{stdout}");
+
+    let (csv, stderr, ok) = mtt(&["e12", "6", "--quiet", "--csv"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(csv.contains("program,tool,runs,distinct"), "{csv}");
+
+    let (json, stderr, ok) = mtt(&["e12", "6", "--quiet", "--json"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(json.contains("\"schema\":\"mtt-e12-saturation\""), "{json}");
+    assert!(json.contains("\"curve\""), "{json}");
+}
+
+#[test]
+fn e12_is_byte_identical_across_process_level_job_counts() {
+    // The differential at the process boundary: the whole binary, not
+    // just the library, must emit identical bytes at every --jobs.
+    let reference = mtt(&["e12", "8", "--quiet", "--jobs", "1", "--json"]);
+    assert!(reference.2, "stderr: {}", reference.1);
+    for jobs in ["2", "4", "8"] {
+        let (stdout, stderr, ok) = mtt(&["e12", "8", "--quiet", "--jobs", jobs, "--json"]);
+        assert!(ok, "stderr: {stderr}");
+        assert_eq!(stdout, reference.0, "e12 JSON diverged at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn path_flags_reject_flag_shaped_arguments() {
+    // Regression: `--journal` (or `--metrics`) swallowing the next flag
+    // used to create a file literally named `--journal` in the cwd.
+    let (_, stderr, code) = mtt_code(&["e1", "2", "--quiet", "--journal", "--csv"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("--journal needs a directory"),
+        "pointed message expected: {stderr}"
+    );
+    assert!(
+        stderr.contains("--csv"),
+        "names the offending flag: {stderr}"
+    );
+
+    let (_, stderr, code) = mtt_code(&["e1", "2", "--quiet", "--journal"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("--journal needs a directory"), "{stderr}");
+
+    let (_, stderr, code) = mtt_code(&["e1", "2", "--quiet", "--metrics", "--journal"]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(stderr.contains("--metrics needs a file path"), "{stderr}");
+    assert!(!std::path::Path::new("--journal").exists());
+}

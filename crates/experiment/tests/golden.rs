@@ -219,3 +219,21 @@ fn e5_multiout_table_matches_golden() {
         &multiout_eval::multiout_table(&rows).render(),
     );
 }
+
+#[test]
+fn e12_saturation_matches_golden() {
+    // The E12 saturation report at the CLI's default run count is pinned
+    // byte for byte: CI diffs `mtt e12 --jobs 4` against this same
+    // snapshot, so a scheduler or fingerprint change that moves a distinct
+    // count, curve AUC, or unseen-mass cell shows up as a reviewable
+    // golden diff in both places.
+    let cells = mtt_experiment::saturation_eval::run_saturation_on(40, &JobPool::new(4));
+    check_golden(
+        "e12_saturation.txt",
+        &mtt_experiment::saturation_eval::render_report(&cells),
+    );
+    check_golden(
+        "e12_saturation.csv",
+        &mtt_experiment::saturation_eval::render_csv(&cells),
+    );
+}

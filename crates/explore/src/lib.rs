@@ -37,8 +37,18 @@
 //! Every bug found is reproduced once more under a recording scheduler to
 //! produce a clean [`mtt_replay::ReplayLog`] — the saved "scenario" that
 //! can be replayed, exactly as the paper prescribes.
+//!
+//! Orthogonal to the reductions, [`ExploreOptions::saturation`] attaches a
+//! Good–Turing **saturation budget** (`mtt-coverage`'s
+//! [`SaturationAdvisor`]): every execution's canonical Mazurkiewicz-trace
+//! fingerprint (`mtt-causal`) feeds the advisor, and the search stops once
+//! the estimated unseen mass of schedule classes drops below ε — the
+//! principled answer to the paper's "how many times should each test be
+//! executed" question.
 
-use mtt_instrument::{Event, Loc, Op, StaticInfo, ThreadId};
+use mtt_causal::Fingerprinter;
+use mtt_coverage::{Advice, SaturationAdvisor};
+use mtt_instrument::{Event, EventSink, Loc, Op, StaticInfo, ThreadId};
 use mtt_replay::{record, ReplayLog};
 use mtt_runtime::{Execution, ExecutionOptions, NoNoise, Outcome, Program, SchedView, Scheduler};
 use std::collections::hash_map::DefaultHasher;
@@ -67,6 +77,9 @@ struct RunRecord {
     /// Source location of the event each decision produced (`locs[k]` is
     /// the op run by `decisions[k]`); feeds the sleep-set wake rule.
     locs: Vec<Loc>,
+    /// Mazurkiewicz-trace fingerprint state, fed only when a saturation
+    /// budget is attached.
+    fp: Fingerprinter,
 }
 
 /// Scheduler that forces a decision prefix and then runs a deterministic
@@ -78,6 +91,7 @@ struct ForcedPrefix {
     last_prev: Option<u32>,
     last_visible: bool,
     stateful: bool,
+    fingerprint: bool,
     state: StateTracker,
     static_info: Option<Arc<StaticInfo>>,
 }
@@ -86,6 +100,7 @@ impl ForcedPrefix {
     fn new(
         prefix: Vec<u32>,
         stateful: bool,
+        fingerprint: bool,
         static_info: Option<Arc<StaticInfo>>,
     ) -> (Self, Arc<Mutex<RunRecord>>) {
         let record = Arc::new(Mutex::new(RunRecord::default()));
@@ -96,6 +111,7 @@ impl ForcedPrefix {
                 last_prev: None,
                 last_visible: true,
                 stateful,
+                fingerprint,
                 state: StateTracker::default(),
                 static_info,
             },
@@ -139,11 +155,13 @@ impl Scheduler for ForcedPrefix {
 
     fn on_event(&mut self, ev: &Event) {
         self.last_prev = Some(ev.thread.0);
-        self.record
-            .lock()
-            .expect("run record poisoned")
-            .locs
-            .push(ev.loc);
+        {
+            let mut rec = self.record.lock().expect("run record poisoned");
+            rec.locs.push(ev.loc);
+            if self.fingerprint {
+                rec.fp.on_event(ev);
+            }
+        }
         // Static refinement of the visibility reduction: an operation a
         // may-happen-in-parallel analysis proved serialized (or thread-local)
         // commutes with its neighbours just like a yield does, so the point
@@ -287,6 +305,11 @@ pub struct ExploreOptions {
     /// oracle) every operation wakes everything and the search is plain
     /// visible-operation POR.
     pub sleep_sets: bool,
+    /// Good–Turing saturation budget: each execution's Mazurkiewicz-trace
+    /// fingerprint feeds the advisor, and the search stops once the
+    /// estimated unseen schedule-class mass drops below the advisor's ε
+    /// (after its `min_runs`). `None` = run to the other budgets.
+    pub saturation: Option<SaturationAdvisor>,
     /// CMC-style visited-state pruning.
     pub stateful: bool,
     /// Stop at the first bug.
@@ -304,6 +327,7 @@ impl Default for ExploreOptions {
             branch_only_visible: true,
             static_info: None,
             sleep_sets: false,
+            saturation: None,
             stateful: false,
             stop_on_first_bug: true,
             max_steps_per_exec: 20_000,
@@ -346,6 +370,13 @@ pub struct ExploreResult {
     /// Alternatives skipped because they were asleep (already covered by an
     /// explored sibling per the static independence oracle).
     pub pruned_by_sleep: u64,
+    /// Distinct Mazurkiewicz-trace classes visited (saturation mode only;
+    /// 0 when no budget was attached).
+    pub distinct_schedules: usize,
+    /// Final Good–Turing unseen-mass estimate (saturation mode only).
+    pub unseen_mass: Option<f64>,
+    /// Whether the saturation budget ended the search.
+    pub stopped_by_saturation: bool,
 }
 
 impl ExploreResult {
@@ -356,6 +387,14 @@ impl ExploreResult {
         } else {
             Some(self.executions)
         }
+    }
+}
+
+/// Copy the saturation advisor's final tallies into the result.
+fn note_saturation(result: &mut ExploreResult, advisor: Option<&SaturationAdvisor>) {
+    if let Some(a) = advisor {
+        result.distinct_schedules = a.coverage().distinct();
+        result.unseen_mass = Some(a.unseen_mass());
     }
 }
 
@@ -418,6 +457,7 @@ impl<'p> Explorer<'p> {
         let (sched, record) = ForcedPrefix::new(
             prefix.to_vec(),
             self.opts.stateful,
+            self.opts.saturation.is_some(),
             self.opts.static_info.clone(),
         );
         let outcome = Execution::new(self.program)
@@ -438,6 +478,7 @@ impl<'p> Explorer<'p> {
                     visible: g.visible.clone(),
                     state_hash: g.state_hash.clone(),
                     locs: g.locs.clone(),
+                    fp: g.fp.clone(),
                 }
             });
         (outcome, rec)
@@ -478,6 +519,7 @@ impl<'p> Explorer<'p> {
     /// Run the depth-first exploration.
     pub fn run(&self) -> ExploreResult {
         let mut result = ExploreResult::default();
+        let mut advisor = self.opts.saturation.clone();
         let mut visited: HashSet<u64> = HashSet::new();
         let mut stack: Vec<Branch> = Vec::new();
         let mut next: Option<Pending> = Some(Pending {
@@ -491,6 +533,7 @@ impl<'p> Explorer<'p> {
         while let Some(pending) = next.take() {
             if self.opts.max_executions > 0 && result.executions >= self.opts.max_executions {
                 result.exhausted = false;
+                note_saturation(&mut result, advisor.as_ref());
                 return result;
             }
             let prefix = pending.prefix;
@@ -498,6 +541,13 @@ impl<'p> Explorer<'p> {
             result.executions += 1;
             result.transitions += rec.decisions.len() as u64;
             result.distinct_outcomes.insert(outcome.fingerprint());
+            if let Some(adv) = advisor.as_mut() {
+                if adv.observe(rec.fp.fingerprint().to_hex()) == Advice::Stop {
+                    result.stopped_by_saturation = true;
+                    note_saturation(&mut result, advisor.as_ref());
+                    return result;
+                }
+            }
 
             // This run is now part of the covered subtree of the branch it
             // diverged from: siblings popped later start with it asleep.
@@ -518,6 +568,7 @@ impl<'p> Explorer<'p> {
                     schedule,
                 });
                 if self.opts.stop_on_first_bug {
+                    note_saturation(&mut result, advisor.as_ref());
                     return result;
                 }
             }
@@ -630,6 +681,7 @@ impl<'p> Explorer<'p> {
             }
         }
         result.exhausted = true;
+        note_saturation(&mut result, advisor.as_ref());
         result
     }
 
@@ -659,7 +711,7 @@ impl<'p> Explorer<'p> {
     /// Re-run a bug schedule under a recording scheduler to produce a clean
     /// replay log (the saved scenario of the paper).
     pub fn reproduce(&self, decisions: &[u32]) -> ReplayLog {
-        let (forced, _) = ForcedPrefix::new(decisions.to_vec(), false, None);
+        let (forced, _) = ForcedPrefix::new(decisions.to_vec(), false, false, None);
         let (sched, noise, handle) = record(self.program.name(), 0, forced, NoNoise);
         let _ = Execution::new(self.program)
             .scheduler(Box::new(sched))
@@ -1114,6 +1166,62 @@ mod tests {
             "advice must not hide the AB-BA deadlock"
         );
         assert!(r.bugs[0].outcome.deadlocked());
+    }
+
+    #[test]
+    fn saturation_budget_stops_at_min_runs_with_permissive_epsilon() {
+        // ε = 2.0 makes "G < ε" always true, so the advisor stops exactly
+        // when min_runs is reached — a deterministic pin of the budget path.
+        let p = racy(2);
+        let r = Explorer::new(
+            &p,
+            ExploreOptions {
+                stop_on_first_bug: false,
+                saturation: Some(SaturationAdvisor::new(2.0, 4)),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(r.executions, 4);
+        assert!(r.stopped_by_saturation);
+        assert!(!r.exhausted);
+        assert!(r.distinct_schedules >= 1);
+        assert!(r.unseen_mass.is_some());
+    }
+
+    #[test]
+    fn saturation_epsilon_zero_never_stops_early_and_dedups_classes() {
+        // ε = 0: "G < 0" is impossible, so the search runs to exhaustion
+        // exactly like the plain explorer — but now it also counts the
+        // distinct Mazurkiewicz classes it visited. Without POR, distinct
+        // interleavings vastly outnumber distinct classes.
+        let p = racy(1);
+        let opts = ExploreOptions {
+            stop_on_first_bug: false,
+            branch_only_visible: false,
+            ..Default::default()
+        };
+        let plain = Explorer::new(&p, opts.clone()).run();
+        let sat = Explorer::new(
+            &p,
+            ExploreOptions {
+                saturation: Some(SaturationAdvisor::new(0.0, 1)),
+                ..opts
+            },
+        )
+        .run();
+        assert!(!sat.stopped_by_saturation);
+        assert!(sat.exhausted);
+        assert_eq!(plain.executions, sat.executions);
+        assert_eq!(plain.distinct_outcomes, sat.distinct_outcomes);
+        assert!(sat.distinct_schedules > 0);
+        assert!(
+            (sat.distinct_schedules as u64) < sat.executions,
+            "full interleaving enumeration must revisit HB classes: {} classes in {} runs",
+            sat.distinct_schedules,
+            sat.executions
+        );
+        assert!(sat.unseen_mass.is_some());
     }
 
     #[test]

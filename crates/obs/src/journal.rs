@@ -1,7 +1,11 @@
-//! The durable, append-only campaign journal (NDJSON, schema v1).
+//! The durable, append-only campaign journal (NDJSON, schema v2).
 //!
 //! Every line is one JSON object carrying a `"v"` schema version and a
-//! `"kind"` tag. A campaign writes one `campaign` header, a `start`/`done`
+//! `"kind"` tag. Schema history: v2 added the optional `fingerprint`
+//! field on `done` records (the canonical Mazurkiewicz-trace hash behind
+//! the live distinct-schedule count); readers accept v1 records — the
+//! fingerprint simply reads as absent — so mixed-version journals written
+//! by old and new builds keep parsing. A campaign writes one `campaign` header, a `start`/`done`
 //! pair per grid cell, and a final `end` marker; pool-backed commands that
 //! are not campaign-shaped write generic `job` records instead. `done`
 //! records are keyed by a **content address** — a stable hash of
@@ -31,7 +35,11 @@ use std::thread::ThreadId;
 use std::time::Instant;
 
 /// Journal schema version emitted in every record's `v` field.
-pub const JOURNAL_VERSION: u64 = 1;
+pub const JOURNAL_VERSION: u64 = 2;
+
+/// Oldest journal schema version this build still reads (v1 records lack
+/// the optional `fingerprint` field, which decodes as absent).
+pub const JOURNAL_MIN_VERSION: u64 = 1;
 
 /// Environment variable that makes a [`JournalSink`] abort the process
 /// (exit code 9, evoking SIGKILL) after writing N `done`/`job` records — a
@@ -196,27 +204,74 @@ pub struct CellDone {
     pub worker: u64,
     /// Telemetry scalars; present iff the campaign ran with telemetry.
     pub metrics: Option<MetricScalars>,
+    /// Canonical Mazurkiewicz-trace fingerprint of the run (32 hex digits),
+    /// when the campaign computed one. Added in schema v2; absent on v1
+    /// records — the codec below is hand-written (not `json_struct!`)
+    /// precisely so a missing field decodes as `None` instead of erroring.
+    pub fingerprint: Option<String>,
 }
 
-json_struct!(CellDone {
-    cell,
-    program,
-    tool,
-    tool_spec,
-    seed,
-    run,
-    outcome,
-    failed,
-    manifested,
-    events,
-    sched_points,
-    injections,
-    timed_out,
-    wall_us,
-    t_us,
-    worker,
-    metrics,
-});
+impl ToJson for CellDone {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("cell".to_string(), self.cell.to_json()),
+            ("program".to_string(), self.program.to_json()),
+            ("tool".to_string(), self.tool.to_json()),
+            ("tool_spec".to_string(), self.tool_spec.to_json()),
+            ("seed".to_string(), self.seed.to_json()),
+            ("run".to_string(), self.run.to_json()),
+            ("outcome".to_string(), self.outcome.to_json()),
+            ("failed".to_string(), self.failed.to_json()),
+            ("manifested".to_string(), self.manifested.to_json()),
+            ("events".to_string(), self.events.to_json()),
+            ("sched_points".to_string(), self.sched_points.to_json()),
+            ("injections".to_string(), self.injections.to_json()),
+            ("timed_out".to_string(), self.timed_out.to_json()),
+            ("wall_us".to_string(), self.wall_us.to_json()),
+            ("t_us".to_string(), self.t_us.to_json()),
+            ("worker".to_string(), self.worker.to_json()),
+            ("metrics".to_string(), self.metrics.to_json()),
+        ];
+        if let Some(fp) = &self.fingerprint {
+            fields.push(("fingerprint".to_string(), fp.to_json()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl FromJson for CellDone {
+    fn from_json(v: &Json) -> Result<Self, mtt_json::JsonError> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| {
+                mtt_json::JsonError::msg(format!("missing field `{name}` in CellDone"))
+            })
+        };
+        Ok(CellDone {
+            cell: FromJson::from_json(field("cell")?)?,
+            program: FromJson::from_json(field("program")?)?,
+            tool: FromJson::from_json(field("tool")?)?,
+            tool_spec: FromJson::from_json(field("tool_spec")?)?,
+            seed: FromJson::from_json(field("seed")?)?,
+            run: FromJson::from_json(field("run")?)?,
+            outcome: FromJson::from_json(field("outcome")?)?,
+            failed: FromJson::from_json(field("failed")?)?,
+            manifested: FromJson::from_json(field("manifested")?)?,
+            events: FromJson::from_json(field("events")?)?,
+            sched_points: FromJson::from_json(field("sched_points")?)?,
+            injections: FromJson::from_json(field("injections")?)?,
+            timed_out: FromJson::from_json(field("timed_out")?)?,
+            wall_us: FromJson::from_json(field("wall_us")?)?,
+            t_us: FromJson::from_json(field("t_us")?)?,
+            worker: FromJson::from_json(field("worker")?)?,
+            metrics: FromJson::from_json(field("metrics")?)?,
+            // Absent on v1 records: tolerate, don't error.
+            fingerprint: match v.get("fingerprint") {
+                Some(fp) => FromJson::from_json(fp)?,
+                None => None,
+            },
+        })
+    }
+}
 
 /// A completed generic pool job (non-campaign commands: one record per
 /// job index, no content address — those workloads are not resumable).
@@ -298,9 +353,11 @@ impl ToJson for JournalRecord {
     }
 }
 
-/// Validate one journal line against the v1 schema and decode it. The
-/// error message names the first violation — `mtt journal-check` prefixes
-/// it with `file:line:`.
+/// Validate one journal line against the schema and decode it. Accepts
+/// every version in `JOURNAL_MIN_VERSION..=JOURNAL_VERSION` (v1 records
+/// simply lack the optional fields later versions added). The error
+/// message names the first violation — `mtt journal-check` prefixes it
+/// with `file:line:`.
 pub fn check_journal_line(line: &str) -> Result<JournalRecord, String> {
     let v = Json::parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
     let Json::Obj(_) = v else {
@@ -311,9 +368,9 @@ pub fn check_journal_line(line: &str) -> Result<JournalRecord, String> {
         .ok_or("missing required field `v`")?
         .as_u64()
         .ok_or("field `v` has the wrong type")?;
-    if version != JOURNAL_VERSION {
+    if !(JOURNAL_MIN_VERSION..=JOURNAL_VERSION).contains(&version) {
         return Err(format!(
-            "unsupported journal version {version} (this build reads v{JOURNAL_VERSION})"
+            "unsupported journal version {version} (this build reads v{JOURNAL_MIN_VERSION}..v{JOURNAL_VERSION})"
         ));
     }
     let kind = v
@@ -619,6 +676,7 @@ mod tests {
             t_us: 0,
             worker: 0,
             metrics: None,
+            fingerprint: Some(format!("{:032x}", 0xfeed_u128 + seed as u128)),
         }
     }
 
@@ -730,7 +788,7 @@ mod tests {
         assert!(check_journal_line("{\"kind\":\"done\"}")
             .unwrap_err()
             .contains("missing required field `v`"));
-        assert!(check_journal_line("{\"v\":2,\"kind\":\"end\"}")
+        assert!(check_journal_line("{\"v\":3,\"kind\":\"end\"}")
             .unwrap_err()
             .contains("unsupported journal version"));
         assert!(check_journal_line("{\"v\":1,\"kind\":\"nope\"}")
@@ -741,6 +799,47 @@ mod tests {
                 .unwrap_err()
                 .contains("invalid `end` record")
         );
+    }
+
+    #[test]
+    fn done_record_roundtrips_fingerprint_and_omits_it_when_absent() {
+        let with = done("aa", 1);
+        let line = JournalRecord::Done(with.clone()).to_json().dump();
+        assert!(line.contains("\"fingerprint\""), "{line}");
+        let JournalRecord::Done(back) = check_journal_line(&line).unwrap() else {
+            panic!("expected done");
+        };
+        assert_eq!(back, with);
+        let without = CellDone {
+            fingerprint: None,
+            ..done("bb", 2)
+        };
+        let line = JournalRecord::Done(without).to_json().dump();
+        assert!(!line.contains("fingerprint"), "{line}");
+    }
+
+    #[test]
+    fn mixed_version_journal_parses_v1_records_without_fingerprint() {
+        // A journal first written by a v1 build, then resumed by a v2
+        // build: v1 `done` lines lack the fingerprint field entirely and
+        // must decode as `fingerprint: None`; v2 lines carry it.
+        let v1 = "{\"v\":1,\"kind\":\"done\",\"cell\":\"aa\",\"program\":\"p\",\"tool\":\"t\",\
+                   \"tool_spec\":\"s\",\"seed\":1,\"run\":0,\"outcome\":\"completed\",\
+                   \"failed\":false,\"manifested\":[],\"events\":5,\"sched_points\":2,\
+                   \"injections\":0,\"timed_out\":false,\"wall_us\":9,\"t_us\":1,\
+                   \"worker\":0,\"metrics\":null}";
+        let v2 = JournalRecord::Done(done("bb", 2)).to_json().dump();
+        let text = format!("{v1}\n{v2}\n");
+        let parsed = parse_journal(&text).expect("mixed-version journal parses");
+        assert_eq!(parsed.records.len(), 2);
+        let JournalRecord::Done(old) = &parsed.records[0] else {
+            panic!("expected done");
+        };
+        assert_eq!(old.fingerprint, None);
+        let JournalRecord::Done(new) = &parsed.records[1] else {
+            panic!("expected done");
+        };
+        assert!(new.fingerprint.is_some());
     }
 
     #[test]

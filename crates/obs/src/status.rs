@@ -40,6 +40,11 @@ pub struct StatusSummary {
     /// Cells with a `start` but no `done` record (claimed, in flight —
     /// or lost to a crash).
     pub in_flight: u64,
+    /// Distinct Mazurkiewicz-trace fingerprints across completed cells —
+    /// the live count of genuinely distinct schedules the campaign has
+    /// visited. 0 when no record carries a fingerprint (e.g. a v1
+    /// journal). Set-union semantics, so record order cannot matter.
+    pub distinct_schedules: u64,
     /// Whether a clean `end` marker was seen.
     pub complete: bool,
     /// Latest `t_us` across all records: elapsed time of the most recent
@@ -65,6 +70,7 @@ impl StatusSummary {
         let mut done_cells: BTreeMap<String, (u64, u64, u64, bool, bool)> = BTreeMap::new();
         let mut jobs: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
         let mut started: BTreeSet<String> = BTreeSet::new();
+        let mut schedules: BTreeSet<String> = BTreeSet::new();
         for rec in &parsed.records {
             match rec {
                 JournalRecord::Campaign(m) => {
@@ -80,6 +86,9 @@ impl StatusSummary {
                 }
                 JournalRecord::Done(d) => {
                     elapsed_us = elapsed_us.max(d.t_us);
+                    if let Some(fp) = &d.fingerprint {
+                        schedules.insert(fp.clone());
+                    }
                     let witness = (d.t_us, d.worker, d.wall_us, d.failed, d.timed_out);
                     let e = done_cells.entry(d.cell.clone()).or_insert(witness);
                     if witness < *e {
@@ -136,6 +145,7 @@ impl StatusSummary {
             failed,
             timeouts,
             in_flight,
+            distinct_schedules: schedules.len() as u64,
             complete,
             elapsed_us,
             workers: workers.into_values().collect(),
@@ -176,6 +186,9 @@ impl StatusSummary {
         );
         if self.in_flight > 0 {
             out.push_str(&format!("  in flight {}", self.in_flight));
+        }
+        if self.distinct_schedules > 0 {
+            out.push_str(&format!("  distinct schedules {}", self.distinct_schedules));
         }
         if self.complete {
             out.push_str("  complete");
@@ -275,6 +288,36 @@ mod tests {
         assert!(s.complete);
         assert!(s.render().contains("complete"));
         assert!(s.eta_secs().is_none());
+    }
+
+    #[test]
+    fn distinct_schedules_union_dedups_and_tolerates_missing() {
+        let fp = |cell: &str, fp: Option<&str>| {
+            JournalRecord::Done(CellDone {
+                cell: cell.into(),
+                fingerprint: fp.map(str::to_string),
+                ..CellDone::default()
+            })
+        };
+        let recs = vec![
+            fp("aa", Some("0badc0de")),
+            fp("bb", Some("0badc0de")), // same schedule, different cell
+            fp("cc", Some("deadbeef")),
+            fp("dd", None), // v1 record: no fingerprint
+        ];
+        let fwd = StatusSummary::from_journal(&journal(recs.clone()));
+        assert_eq!(fwd.distinct_schedules, 2);
+        assert!(
+            fwd.render().contains("distinct schedules 2"),
+            "{}",
+            fwd.render()
+        );
+        let rev = StatusSummary::from_journal(&journal(recs.into_iter().rev().collect()));
+        assert_eq!(fwd, rev);
+        // No fingerprints at all: the column stays out of the render.
+        let bare = StatusSummary::from_journal(&journal(vec![fp("aa", None)]));
+        assert_eq!(bare.distinct_schedules, 0);
+        assert!(!bare.render().contains("distinct schedules"));
     }
 
     #[test]

@@ -52,6 +52,13 @@ fn journal_records(cells: u64, done: u64, workers: u64, ended: bool) -> Vec<Jour
             t_us: 100 + i * 10,
             worker: i % workers.max(1),
             metrics: None,
+            // Mix of shared classes and fingerprint-less (v1-style) cells
+            // so the distinct-schedule union is exercised by both props.
+            fingerprint: if i % 4 == 3 {
+                None
+            } else {
+                Some(format!("{:032x}", i % 3))
+            },
         }));
     }
     if ended {

@@ -65,6 +65,10 @@ pub struct RunLogRecord {
     pub outcome: String,
     /// Did the program's oracle judge the run as having manifested a bug?
     pub failed: bool,
+    /// Canonical Mazurkiewicz-trace fingerprint of the run's HB partial
+    /// order (32 hex digits), when the campaign computed one. Optional so
+    /// logs written by fingerprint-less producers stay schema-valid.
+    pub fingerprint: Option<String>,
     /// Deterministic per-run counters.
     pub metrics: RunMetrics,
     /// Wall-clock duration of the run; only emitted when the writer opts
@@ -84,6 +88,9 @@ impl RunLogRecord {
             ("outcome".into(), self.outcome.to_json()),
             ("failed".into(), self.failed.to_json()),
         ];
+        if let Some(fp) = &self.fingerprint {
+            fields.push(("fingerprint".into(), fp.to_json()));
+        }
         match self.metrics.to_json() {
             Json::Obj(metric_fields) => fields.extend(metric_fields),
             other => fields.push(("metrics".into(), other)),
@@ -166,6 +173,13 @@ pub fn check_run_log_line(line: &str) -> Result<(), String> {
             return Err(format!("field `{field}` has the wrong type"));
         }
     }
+    // `fingerprint` is optional (older producers omit it), but when present
+    // it must be a string.
+    if let Some(fp) = v.get("fingerprint") {
+        if fp.as_str().is_none() {
+            return Err("field `fingerprint` has the wrong type".into());
+        }
+    }
     Ok(())
 }
 
@@ -183,6 +197,7 @@ mod tests {
             seed: 0x5eed + run,
             outcome: "completed".into(),
             failed: run.is_multiple_of(2),
+            fingerprint: (run > 0).then(|| format!("{:032x}", 0xabad1dea_u128 + u128::from(run))),
             metrics: RunMetrics {
                 events: 10 + run,
                 sched_points: 20,
@@ -210,6 +225,31 @@ mod tests {
         }
         assert!(text.contains("\"experiment\":\"e1\""));
         assert!(text.contains("\"steps_to_first_bug\":null"));
+        // The optional fingerprint appears exactly on the run that has one.
+        let mut lines = text.lines();
+        assert!(!lines.next().unwrap().contains("fingerprint"));
+        assert!(lines
+            .next()
+            .unwrap()
+            .contains("\"fingerprint\":\"000000000000000000000000abad1deb\""));
+    }
+
+    #[test]
+    fn fingerprint_when_present_must_be_a_string() {
+        let mut buf = Vec::new();
+        let mut w = RunLogWriter::new(&mut buf);
+        w.write_record(&record(1)).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let line = String::from_utf8(buf).unwrap();
+        check_run_log_line(line.trim_end()).unwrap();
+        let broken = line.trim_end().replace(
+            "\"fingerprint\":\"000000000000000000000000abad1deb\"",
+            "\"fingerprint\":7",
+        );
+        assert!(check_run_log_line(&broken)
+            .unwrap_err()
+            .contains("fingerprint"));
     }
 
     #[test]
