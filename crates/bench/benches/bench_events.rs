@@ -14,7 +14,13 @@ use std::sync::Arc;
 /// A `done` record shaped like a real E1 cell.
 fn sample_done(i: u64) -> CellDone {
     CellDone {
-        cell: content_address("web_sessions", "sticky:0.9+noise=sleep:0.3:15", i, "0.1.0"),
+        cell: content_address(
+            "web_sessions",
+            "sticky:0.9+noise=sleep:0.3:15",
+            i,
+            "0.1.0",
+            "model",
+        ),
         program: "web_sessions".into(),
         tool: "sleep-noise".into(),
         tool_spec: "sticky:0.9+noise=sleep:0.3:15".into(),
@@ -35,6 +41,7 @@ fn sample_done(i: u64) -> CellDone {
         t_us: 0,
         worker: i % 8,
         fingerprint: Some(format!("{:032x}", 0xc0ffee_u128 + u128::from(i))),
+        backend: None,
         metrics: Some(MetricScalars {
             events: 4200 + i,
             sched_points: 900 + i,

@@ -1,0 +1,121 @@
+//! Native-backend cost axes: how expensive is a run on real `std::thread`
+//! compared to the model interpreter, and what does the event pipeline
+//! (global sequence numbers through one atomic, `RaceCell` shadow writes)
+//! add on top of raw thread spawn/join? The ratio is the price E13 pays
+//! per differential cell, and the budget `mtt e13` wall-clock scales with.
+
+use criterion::{black_box, Criterion};
+use mtt_bench::quick_criterion;
+use mtt_core::runtime::{Execution, RuntimeBackend};
+use mtt_core::suite;
+use mtt_core::tools::ToolConfig;
+
+const MAX_STEPS: u64 = 60_000;
+
+/// One seeded run of `lost_update` on the given backend — the E13 kernel
+/// with the campaign-standard step budget and a short native watchdog.
+fn one_run(cfg: &ToolConfig, seed: u64) -> mtt_core::runtime::Outcome {
+    let p = suite::small::lost_update(2, 2);
+    let mut exec = cfg.configure(Execution::new(&p.program), seed, MAX_STEPS);
+    if cfg.backend.is_native() {
+        exec = exec.wall_budget(std::time::Duration::from_secs(5));
+    }
+    exec.run()
+}
+
+fn roster() -> (ToolConfig, ToolConfig) {
+    let model = ToolConfig::from_spec_str("sticky:0.9+name=model").expect("valid spec");
+    let mut spec = model.spec.clone();
+    spec.backend = RuntimeBackend::Native;
+    let native = spec.resolve().expect("native spec resolves");
+    (model, native)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_backend");
+    let (model, native) = roster();
+
+    g.bench_function("model_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(one_run(&model, seed))
+        })
+    });
+
+    g.bench_function("native_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(one_run(&native, seed))
+        })
+    });
+
+    // Raw spawn/join floor: two threads doing nothing through the engine,
+    // so the delta to `native_run` is the event + RaceCell pipeline.
+    g.bench_function("thread_spawn_join_floor", |b| {
+        b.iter(|| {
+            let hs: Vec<_> = (0..2)
+                .map(|i| std::thread::spawn(move || black_box(i)))
+                .collect();
+            for h in hs {
+                let _ = h.join();
+            }
+        })
+    });
+
+    g.finish();
+}
+
+/// Smoke throughput written to `BENCH_native.json` at the repository root
+/// so CI can watch the model/native cost ratio without parsing Criterion
+/// output.
+fn write_smoke_json() {
+    fn ns_per_iter(iters: u32, mut f: impl FnMut()) -> u64 {
+        for _ in 0..4 {
+            f();
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        (start.elapsed().as_nanos() / iters as u128) as u64
+    }
+
+    let (model, native) = roster();
+    let mut seed = 0u64;
+    let model_ns = ns_per_iter(256, || {
+        seed += 1;
+        let _ = one_run(&model, seed);
+    });
+    let native_ns = ns_per_iter(64, || {
+        seed += 1;
+        let _ = one_run(&native, seed);
+    });
+    let model_runs_per_sec = 1_000_000_000 / model_ns.max(1);
+    let native_runs_per_sec = 1_000_000_000 / native_ns.max(1);
+    let overhead = native_ns as f64 / model_ns.max(1) as f64;
+
+    let results = [("model_run", model_ns), ("native_run", native_ns)];
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(name, ns)| format!(r#"{{"name":"{name}","ns_per_iter":{ns}}}"#))
+        .collect();
+    let json = format!(
+        "{{\"schema\":\"mtt-bench-native\",\"version\":1,\"model_runs_per_sec\":{model_runs_per_sec},\"native_runs_per_sec\":{native_runs_per_sec},\"native_over_model\":{overhead:.2},\"results\":[{}]}}\n",
+        entries.join(",")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_native.json");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("wrote {path}");
+    }
+}
+
+fn main() {
+    let mut c = quick_criterion();
+    bench(&mut c);
+    c.final_summary();
+    write_smoke_json();
+}

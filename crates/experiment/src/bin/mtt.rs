@@ -91,12 +91,12 @@
 //! ```
 
 use mtt_experiment::{
-    campaign::Campaign, cli_spec, cloning::run_cloning_on, coverage_eval, detector_eval, explain,
-    explore_eval, gen_eval, jobpool::JobPool, multiout_eval, profile, replay_eval, saturation_eval,
-    scoreboard, static_eval, tracegen,
+    campaign::Campaign, cli_spec, cloning::run_cloning_on, coverage_eval, detector_eval,
+    differential_eval, explain, explore_eval, gen_eval, jobpool::JobPool, multiout_eval, profile,
+    replay_eval, saturation_eval, scoreboard, static_eval, tracegen,
 };
 use mtt_obs::{JournalSink, ResumeCache, StatusSummary};
-use mtt_runtime::{Execution, RandomScheduler};
+use mtt_runtime::{Execution, RandomScheduler, RuntimeBackend};
 use mtt_telemetry::{check_run_log_line, RunLogRecord, RunLogWriter};
 use mtt_tools::{ToolConfig, ToolSpec};
 use std::env;
@@ -114,6 +114,7 @@ struct Global {
     tools: Option<Vec<ToolSpec>>,
     journal: Option<String>,
     resume: bool,
+    backend: Option<RuntimeBackend>,
 }
 
 impl Global {
@@ -136,7 +137,23 @@ impl Global {
                 .iter()
                 .map(|s| s.resolve())
                 .collect::<Result<Vec<_>, _>>()
-                .map(Some),
+                .map(|mut tools| {
+                    self.apply_backend(&mut tools);
+                    Some(tools)
+                }),
+        }
+    }
+
+    /// Force every tool onto the `--backend` engine, if the flag was
+    /// given. Both the runnable config and its provenance spec are
+    /// rewritten, so canonical spec strings, journal content addresses,
+    /// and run-log records all name the engine that actually ran.
+    fn apply_backend(&self, tools: &mut [ToolConfig]) {
+        if let Some(b) = self.backend {
+            for cfg in tools {
+                cfg.backend = b;
+                cfg.spec.backend = b;
+            }
         }
     }
 
@@ -235,6 +252,7 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
         tools: None,
         journal: None,
         resume: false,
+        backend: None,
     };
     let mut rest = Vec::new();
     let mut it = raw.iter();
@@ -272,6 +290,14 @@ fn parse_global(raw: &[String]) -> Result<(Global, Vec<String>), String> {
                 g.journal = Some(path_value(&mut it, "--journal", "a directory")?);
             }
             "--resume" => g.resume = true,
+            "--backend" => {
+                let v = it
+                    .next()
+                    .ok_or("--backend needs a value (model or native)")?;
+                g.backend = Some(RuntimeBackend::parse(v).ok_or_else(|| {
+                    format!("--backend: unknown backend `{v}` (known: model, native)")
+                })?);
+            }
             "--tools-file" => {
                 let path = it.next().ok_or("--tools-file needs a file path")?;
                 let text = std::fs::read_to_string(path)
@@ -328,6 +354,7 @@ fn main() -> ExitCode {
             "gen" => gen_cmd(&args[1..]),
             "e11" => e11(&args[1..], &global),
             "e12" => e12(&args[1..], &global),
+            "e13" => e13(&args[1..], &global),
             "profile" => profile_cmd(&args[1..], &global),
             "status" => status_cmd(&args[1..]),
             "watch" => watch_cmd(&args[1..]),
@@ -350,6 +377,7 @@ fn main() -> ExitCode {
                 )?;
                 e11(&["12".into()], &global)?;
                 e12(&["12".into()], &global)?;
+                e13(&["6".into()], &global)?;
                 Ok(ExitCode::SUCCESS)
             }
             "help" | "--help" | "-h" => {
@@ -610,6 +638,7 @@ fn e1(args: &[String], g: &Global) -> Result<ExitCode, String> {
     if let Some(tools) = g.resolved_tools()? {
         campaign.tools = tools;
     }
+    g.apply_backend(&mut campaign.tools);
     campaign.run_budget = g.budget;
     campaign.jobs = g.jobs;
     campaign.label = "e1".into();
@@ -644,6 +673,7 @@ fn e1_detail(program: Option<&str>, runs: u64, g: &Global) -> Result<ExitCode, S
     if let Some(tools) = g.resolved_tools()? {
         campaign.tools = tools;
     }
+    g.apply_backend(&mut campaign.tools);
     campaign.run_budget = g.budget;
     campaign.jobs = g.jobs;
     campaign.label = "e1-detail".into();
@@ -1421,6 +1451,41 @@ fn e12(args: &[String], g: &Global) -> Result<ExitCode, String> {
         print!("{}", saturation_eval::render_csv(&cells));
     } else {
         print!("{}", saturation_eval::render_report(&cells));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn e13(args: &[String], g: &Global) -> Result<ExitCode, String> {
+    let mut csv = false;
+    let mut json = false;
+    let mut model_only = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--json" => json = true,
+            "--model-csv" => model_only = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    if g.backend.is_some() {
+        return Err(
+            "--backend is not supported by `e13` — the differential always runs both backends"
+                .to_string(),
+        );
+    }
+    let runs = arg_u64(&positional, 0, 12)?;
+    let (pool, journal) = g.journaled_pool("e13")?;
+    let cells = differential_eval::run_differential_on(runs, &pool);
+    journal.finish()?;
+    if json {
+        println!("{}", differential_eval::differential_json(&cells).dump());
+    } else if model_only {
+        print!("{}", differential_eval::model_csv(&cells));
+    } else if csv {
+        print!("{}", differential_eval::render_csv(&cells));
+    } else {
+        print!("{}", differential_eval::render_report(&cells));
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -289,6 +289,10 @@ impl Campaign {
                             seed: rec.seed,
                             outcome: rec.outcome_tag.to_string(),
                             failed: rec.failed,
+                            backend: tool
+                                .backend
+                                .is_native()
+                                .then(|| tool.backend.tag().to_string()),
                             fingerprint: rec.fingerprint.clone(),
                             metrics,
                             wall: rec.elapsed,
@@ -332,7 +336,13 @@ impl Campaign {
         }
         let seed = self.base_seed + r;
         let spec = tool.spec_string();
-        let addr = content_address(prog.name, &spec, seed, mtt_runtime::RUNTIME_VERSION);
+        let addr = content_address(
+            prog.name,
+            &spec,
+            seed,
+            mtt_runtime::RUNTIME_VERSION,
+            tool.backend.tag(),
+        );
         if let Some(cache) = &self.resume {
             if let Some(done) = cache.get(&addr) {
                 // A cached cell is only usable if it carries everything this
@@ -387,6 +397,10 @@ impl Campaign {
                 worker: 0,
                 metrics: rec.metrics.as_ref().map(scalars_of),
                 fingerprint: rec.fingerprint.clone(),
+                backend: tool
+                    .backend
+                    .is_native()
+                    .then(|| tool.backend.tag().to_string()),
             });
         }
         rec
@@ -398,6 +412,14 @@ impl Campaign {
         let seed = self.base_seed + r;
         let started = Instant::now();
         let mut exec = tool.configure(Execution::new(&prog.program), seed, self.max_steps);
+        if tool.backend.is_native() {
+            // A native run can genuinely hang, so the campaign's per-run
+            // budget becomes a hard wall-clock watchdog (the native engine
+            // applies its own default when no budget is set).
+            if let Some(budget) = self.run_budget {
+                exec = exec.wall_budget(budget);
+            }
+        }
         let mut sinks = mtt_instrument::Tee::new();
         let telemetry = if self.telemetry {
             let (half, handle) = mtt_instrument::shared(TelemetrySink::new());

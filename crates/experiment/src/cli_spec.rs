@@ -121,6 +121,11 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
         summary: "schedule-space saturation: distinct trace classes, curve AUC, unseen mass",
     },
     CommandSpec {
+        name: "e13",
+        args: "[runs] [--csv|--json|--model-csv]",
+        summary: "model vs native differential: find probability, outcome distributions, TV distance",
+    },
+    CommandSpec {
         name: "profile",
         args: "<e1..e8|all> [runs] [--csv] [--timing] [--annotate DIR] [--chrome-trace FILE]",
         summary: "contention / hot-site / overhead profile (+ chrome://tracing timeline)",
@@ -153,7 +158,7 @@ pub const SUBCOMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "journal-check",
         args: "<dir|file.ndjson>",
-        summary: "strictly validate campaign journals against schema v2 (v1 accepted; exit 2 on corruption)",
+        summary: "strictly validate campaign journals against schema v3 (v1/v2 accepted; exit 2 on corruption)",
     },
     CommandSpec {
         name: "all",
@@ -200,6 +205,11 @@ pub const GLOBAL_FLAGS: &[FlagSpec] = &[
     FlagSpec {
         flags: "--resume",
         summary: "with --journal: skip cells a previous journal completed (byte-identical output)",
+    },
+    FlagSpec {
+        flags: "--backend model|native",
+        summary:
+            "execution engine: deterministic model (default) or real std::thread (e1, e1-detail)",
     },
 ];
 

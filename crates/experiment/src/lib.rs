@@ -25,6 +25,7 @@ pub mod cli_spec;
 pub mod cloning;
 pub mod coverage_eval;
 pub mod detector_eval;
+pub mod differential_eval;
 pub mod explain;
 pub mod explore_eval;
 pub mod gen_eval;

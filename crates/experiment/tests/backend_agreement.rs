@@ -1,0 +1,86 @@
+//! Backend-agreement property: for race-free deterministic programs the
+//! model and native engines must agree on what the program *computes* —
+//! the same final variable values and the same outcome kind — even though
+//! they disagree (by design) on *how* it was scheduled.
+//!
+//! The generator's benign twins are exactly that population: every racy
+//! access is guarded, so the final state is a pure function of the program
+//! and its seeded coin flips (pinned to the same `program_seed` under both
+//! backends). Native runs are real concurrency, so nothing here is
+//! byte-golden: the property asserts *semantic* agreement only, and the
+//! assertions on the buggy siblings are tolerance-shaped (a race the model
+//! can show may or may not manifest on real threads in any given run).
+
+use mtt_experiment::differential_eval::{native_twin, run_differential_leg};
+use mtt_runtime::Outcome;
+use mtt_tools::ToolConfig;
+use proptest::prelude::*;
+
+const MAX_STEPS: u64 = 60_000;
+
+fn run_both(member: &mtt_gen::GenProgram, cfg: &ToolConfig, seed: u64) -> (Outcome, Outcome) {
+    let program = member.compile();
+    let model = run_differential_leg(&program, cfg, seed, MAX_STEPS);
+    let native = run_differential_leg(&program, &native_twin(cfg), seed, MAX_STEPS);
+    (model, native)
+}
+
+proptest! {
+    // Every case compiles and runs real threads; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Benign twins: same outcome kind, same final variables, no torn
+    /// reads — under the noisiest tool on the roster.
+    #[test]
+    fn model_and_native_agree_on_benign_twins(
+        family_index in 0u64..6,
+        seed in 0u64..1000,
+        noisy in any::<bool>(),
+    ) {
+        let fam = mtt_gen::family(0x5eed, family_index);
+        let spec = if noisy {
+            "sticky:0.9+noise=mixed:0.2:10+name=agree"
+        } else {
+            "sticky:0.9+name=agree"
+        };
+        let cfg = ToolConfig::from_spec_str(spec).expect("valid spec");
+        for member in fam.benign() {
+            let (model, native) = run_both(member, &cfg, seed);
+            prop_assert!(
+                model.kind.tag() == native.kind.tag(),
+                "{}: outcome kind diverged: model={} native={}",
+                member.name, model.kind.tag(), native.kind.tag()
+            );
+            prop_assert!(
+                model.final_vars == native.final_vars,
+                "{}: final state diverged: model={:?} native={:?}",
+                member.name, model.final_vars, native.final_vars
+            );
+            prop_assert!(
+                !native.assert_failures.iter().any(|f| f.label.starts_with("race:torn-read:")),
+                "{}: benign twin tore on real threads", member.name
+            );
+        }
+    }
+
+    /// Buggy members: the engines need not agree run-for-run (that is the
+    /// point of E13), but both must stay inside the outcome vocabulary
+    /// and the native watchdog must have converted any hang into a
+    /// bounded outcome rather than wedging the test.
+    #[test]
+    fn native_runs_of_buggy_members_always_terminate(
+        family_index in 0u64..6,
+        seed in 0u64..1000,
+    ) {
+        let fam = mtt_gen::family(0x5eed, family_index);
+        let cfg = ToolConfig::from_spec_str("sticky:0.9+noise=sleep:0.3:10+name=term")
+            .expect("valid spec");
+        for member in fam.buggy().take(1) {
+            let (model, native) = run_both(member, &cfg, seed);
+            const KINDS: [&str; 5] =
+                ["completed", "deadlock", "step-limit", "panic", "assert-stop"];
+            prop_assert!(KINDS.contains(&model.kind.tag()), "model: {}", model.kind.tag());
+            prop_assert!(KINDS.contains(&native.kind.tag()), "native: {}", native.kind.tag());
+        }
+    }
+}

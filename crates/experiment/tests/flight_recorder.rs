@@ -127,7 +127,7 @@ fn interrupted_then_resumed_is_byte_identical_at_every_job_count() {
         // The resumed journal is strictly valid and reads as complete.
         let (stdout, stderr, code) = mtt(&["journal-check", &jdir_s]);
         assert_eq!(code, 0, "stderr: {stderr}");
-        assert!(stdout.contains("conform to journal schema v2"), "{stdout}");
+        assert!(stdout.contains("conform to journal schema v3"), "{stdout}");
     }
 
     // The default text report also matches, not just the CSV.

@@ -119,6 +119,48 @@ impl Loc {
     }
 }
 
+impl Loc {
+    /// The interned `(file id, line)` key for this location.
+    ///
+    /// Hot-path consumers (per-event site counters, coverage models) key
+    /// their tables on this pair instead of on `Loc` itself: comparing or
+    /// hashing a `LocKey` is two integer operations, where keying on `Loc`
+    /// compares/hashes the whole file-path string — and formatting the
+    /// JSON key form would even allocate a `String` per lookup. The string
+    /// form survives only at serialization time, once per *distinct* site.
+    pub fn key(&self) -> LocKey {
+        LocKey {
+            file: intern_file_id(self.file),
+            line: self.line,
+        }
+    }
+}
+
+/// Interned form of a [`Loc`]: a dense file id plus the line number.
+///
+/// Ordering on `LocKey` is by id, which is *insertion* order of the file
+/// pool — stable within a process but not across processes. Anything
+/// serialized must therefore convert back to [`Loc`] (see
+/// [`LocKey::loc`]) and use its lexicographic string order, which is what
+/// keeps reports byte-identical across runs and job counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocKey {
+    /// Dense id of the interned file name (see [`intern_file_id`]).
+    pub file: u32,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl LocKey {
+    /// Resolve back to the string-keyed location.
+    pub fn loc(self) -> Loc {
+        Loc {
+            file: file_name(self.file),
+            line: self.line,
+        }
+    }
+}
+
 impl ToJson for Loc {
     /// Serialized as `"file:line"` so locations are legal JSON map keys.
     fn to_json(&self) -> Json {
@@ -186,6 +228,55 @@ pub fn intern_static(s: &str) -> &'static str {
     let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
     set.insert(leaked);
     leaked
+}
+
+/// The process-wide file-id pool backing [`Loc::key`].
+struct FilePool {
+    by_name: std::collections::HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn file_pool() -> &'static std::sync::RwLock<FilePool> {
+    use std::sync::{OnceLock, RwLock};
+    static POOL: OnceLock<RwLock<FilePool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(FilePool {
+            by_name: std::collections::HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Intern a file name into a dense `u32` id (first come, first numbered).
+///
+/// Ids are per-process: the set of distinct source files is tiny, so the
+/// common case is a read-locked hash lookup; the write lock is taken once
+/// per new file ever seen.
+pub fn intern_file_id(file: &'static str) -> u32 {
+    if let Some(&id) = file_pool()
+        .read()
+        .expect("file pool poisoned")
+        .by_name
+        .get(file)
+    {
+        return id;
+    }
+    let mut pool = file_pool().write().expect("file pool poisoned");
+    if let Some(&id) = pool.by_name.get(file) {
+        return id;
+    }
+    let id = pool.names.len() as u32;
+    pool.names.push(file);
+    pool.by_name.insert(file, id);
+    id
+}
+
+/// Resolve a file id handed out by [`intern_file_id`] back to its name.
+///
+/// # Panics
+/// On an id that was never issued in this process.
+pub fn file_name(id: u32) -> &'static str {
+    file_pool().read().expect("file pool poisoned").names[id as usize]
 }
 
 /// Capture the current source location as a [`Loc`].

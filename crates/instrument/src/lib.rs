@@ -36,8 +36,8 @@ pub mod sink;
 pub mod statics;
 
 pub use event::{
-    intern_static, AccessKind, BarrierId, CondId, Event, Loc, LockId, Op, OpClass, SemId, ThreadId,
-    VarId,
+    file_name, intern_file_id, intern_static, AccessKind, BarrierId, CondId, Event, Loc, LocKey,
+    LockId, Op, OpClass, SemId, ThreadId, VarId,
 };
 pub use plan::{InstrumentationPlan, OpClassSet, ResolvedFilter, Select, VarTable};
 pub use sink::{

@@ -3,9 +3,10 @@
 //! Every line is one JSON object carrying a `"v"` schema version and a
 //! `"kind"` tag. Schema history: v2 added the optional `fingerprint`
 //! field on `done` records (the canonical Mazurkiewicz-trace hash behind
-//! the live distinct-schedule count); readers accept v1 records — the
-//! fingerprint simply reads as absent — so mixed-version journals written
-//! by old and new builds keep parsing. A campaign writes one `campaign` header, a `start`/`done`
+//! the live distinct-schedule count); v3 added the optional `backend`
+//! field on `done` records (present only for non-model backends). Readers
+//! accept older records — the optional fields simply read as absent — so
+//! mixed-version journals written by old and new builds keep parsing. A campaign writes one `campaign` header, a `start`/`done`
 //! pair per grid cell, and a final `end` marker; pool-backed commands that
 //! are not campaign-shaped write generic `job` records instead. `done`
 //! records are keyed by a **content address** — a stable hash of
@@ -35,10 +36,11 @@ use std::thread::ThreadId;
 use std::time::Instant;
 
 /// Journal schema version emitted in every record's `v` field.
-pub const JOURNAL_VERSION: u64 = 2;
+pub const JOURNAL_VERSION: u64 = 3;
 
-/// Oldest journal schema version this build still reads (v1 records lack
-/// the optional `fingerprint` field, which decodes as absent).
+/// Oldest journal schema version this build still reads (older records
+/// lack the optional `fingerprint`/`backend` fields, which decode as
+/// absent).
 pub const JOURNAL_MIN_VERSION: u64 = 1;
 
 /// Environment variable that makes a [`JournalSink`] abort the process
@@ -61,12 +63,24 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
 }
 
 /// The content address of one campaign cell: a 16-hex-digit FNV-1a hash of
-/// `(program, canonical tool_spec, seed, runtime version)`, the complete
-/// set of inputs that determine a run's deterministic outcome. Two runs
-/// with the same address are the same run; a runtime version bump changes
-/// every address, so a cache can never serve results produced by different
-/// semantics.
-pub fn content_address(program: &str, tool_spec: &str, seed: u64, runtime: &str) -> String {
+/// `(program, canonical tool_spec, seed, runtime version, backend)`, the
+/// complete set of inputs that determine a run's deterministic outcome.
+/// Two runs with the same address are the same run; a runtime version bump
+/// changes every address, so a cache can never serve results produced by
+/// different semantics.
+///
+/// `backend` is the execution-engine tag (`"model"` or `"native"`). The
+/// default `"model"` contributes nothing to the hash — every address ever
+/// written by a model campaign is unchanged — while any other backend is
+/// mixed in after a separator, so a native cell can never satisfy a
+/// `--resume` lookup for a model cell (or vice versa).
+pub fn content_address(
+    program: &str,
+    tool_spec: &str,
+    seed: u64,
+    runtime: &str,
+    backend: &str,
+) -> String {
     let mut h = FNV_OFFSET;
     h = fnv1a(h, program.as_bytes());
     h = fnv1a(h, &[0]);
@@ -75,6 +89,10 @@ pub fn content_address(program: &str, tool_spec: &str, seed: u64, runtime: &str)
     h = fnv1a(h, &seed.to_le_bytes());
     h = fnv1a(h, &[0]);
     h = fnv1a(h, runtime.as_bytes());
+    if backend != "model" {
+        h = fnv1a(h, &[0]);
+        h = fnv1a(h, backend.as_bytes());
+    }
     format!("{h:016x}")
 }
 
@@ -209,6 +227,11 @@ pub struct CellDone {
     /// records — the codec below is hand-written (not `json_struct!`)
     /// precisely so a missing field decodes as `None` instead of erroring.
     pub fingerprint: Option<String>,
+    /// Execution-backend tag (`"native"`), present only when the cell ran
+    /// on a non-model backend. Added in schema v3; absent (= model) on
+    /// older records and on every model cell, keeping model journals
+    /// byte-identical across the version bump.
+    pub backend: Option<String>,
 }
 
 impl ToJson for CellDone {
@@ -234,6 +257,9 @@ impl ToJson for CellDone {
         ];
         if let Some(fp) = &self.fingerprint {
             fields.push(("fingerprint".to_string(), fp.to_json()));
+        }
+        if let Some(backend) = &self.backend {
+            fields.push(("backend".to_string(), backend.to_json()));
         }
         Json::Obj(fields)
     }
@@ -267,6 +293,11 @@ impl FromJson for CellDone {
             // Absent on v1 records: tolerate, don't error.
             fingerprint: match v.get("fingerprint") {
                 Some(fp) => FromJson::from_json(fp)?,
+                None => None,
+            },
+            // Absent on v1/v2 records and on model cells: tolerate.
+            backend: match v.get("backend") {
+                Some(b) => FromJson::from_json(b)?,
                 None => None,
             },
         })
@@ -677,24 +708,48 @@ mod tests {
             worker: 0,
             metrics: None,
             fingerprint: Some(format!("{:032x}", 0xfeed_u128 + seed as u128)),
+            backend: None,
         }
     }
 
     #[test]
     fn content_address_is_stable_and_input_sensitive() {
-        let a = content_address("p", "sticky:0.9", 7, "0.1.0");
+        let a = content_address("p", "sticky:0.9", 7, "0.1.0", "model");
         assert_eq!(a.len(), 16);
-        assert_eq!(a, content_address("p", "sticky:0.9", 7, "0.1.0"));
+        assert_eq!(a, content_address("p", "sticky:0.9", 7, "0.1.0", "model"));
         // Every input perturbs the address.
-        assert_ne!(a, content_address("q", "sticky:0.9", 7, "0.1.0"));
-        assert_ne!(a, content_address("p", "sticky:0.8", 7, "0.1.0"));
-        assert_ne!(a, content_address("p", "sticky:0.9", 8, "0.1.0"));
-        assert_ne!(a, content_address("p", "sticky:0.9", 7, "0.2.0"));
+        assert_ne!(a, content_address("q", "sticky:0.9", 7, "0.1.0", "model"));
+        assert_ne!(a, content_address("p", "sticky:0.8", 7, "0.1.0", "model"));
+        assert_ne!(a, content_address("p", "sticky:0.9", 8, "0.1.0", "model"));
+        assert_ne!(a, content_address("p", "sticky:0.9", 7, "0.2.0", "model"));
         // The separator defends against concatenation collisions.
         assert_ne!(
-            content_address("ab", "c", 0, "r"),
-            content_address("a", "bc", 0, "r")
+            content_address("ab", "c", 0, "r", "model"),
+            content_address("a", "bc", 0, "r", "model")
         );
+    }
+
+    #[test]
+    fn backend_perturbs_the_content_address() {
+        let model = content_address("p", "sticky:0.9", 7, "0.1.0", "model");
+        let native = content_address("p", "sticky:0.9", 7, "0.1.0", "native");
+        // A native cell can never satisfy a resume lookup for the model
+        // cell of the same (program, tool, seed, runtime) — or vice versa.
+        assert_ne!(model, native);
+        // The default backend contributes nothing: model addresses are
+        // byte-identical to every address written before the field existed.
+        let legacy = {
+            let mut h = FNV_OFFSET;
+            h = fnv1a(h, b"p");
+            h = fnv1a(h, &[0]);
+            h = fnv1a(h, b"sticky:0.9");
+            h = fnv1a(h, &[0]);
+            h = fnv1a(h, &7u64.to_le_bytes());
+            h = fnv1a(h, &[0]);
+            h = fnv1a(h, b"0.1.0");
+            format!("{h:016x}")
+        };
+        assert_eq!(model, legacy);
     }
 
     /// A shared Vec<u8> the sink can own while the test keeps reading it.
@@ -788,7 +843,7 @@ mod tests {
         assert!(check_journal_line("{\"kind\":\"done\"}")
             .unwrap_err()
             .contains("missing required field `v`"));
-        assert!(check_journal_line("{\"v\":3,\"kind\":\"end\"}")
+        assert!(check_journal_line("{\"v\":4,\"kind\":\"end\"}")
             .unwrap_err()
             .contains("unsupported journal version"));
         assert!(check_journal_line("{\"v\":1,\"kind\":\"nope\"}")
@@ -840,6 +895,45 @@ mod tests {
             panic!("expected done");
         };
         assert!(new.fingerprint.is_some());
+    }
+
+    #[test]
+    fn mixed_backend_journal_roundtrips_and_cells_stay_distinct() {
+        // One campaign journal holding both a model cell and the native
+        // cell of the same (program, tool, seed, runtime): the two carry
+        // distinct content addresses, the model line never mentions a
+        // backend, and the resume cache keeps them apart.
+        let model_addr = content_address("p", "sticky:0.9", 7, "0.1.0", "model");
+        let native_addr = content_address("p", "sticky:0.9", 7, "0.1.0", "native");
+        let model_cell = done(&model_addr, 7);
+        let native_cell = CellDone {
+            backend: Some("native".into()),
+            ..done(&native_addr, 7)
+        };
+        let model_line = JournalRecord::Done(model_cell.clone()).to_json().dump();
+        let native_line = JournalRecord::Done(native_cell.clone()).to_json().dump();
+        assert!(!model_line.contains("backend"), "{model_line}");
+        assert!(
+            native_line.contains("\"backend\":\"native\""),
+            "{native_line}"
+        );
+
+        let text = format!("{model_line}\n{native_line}\n");
+        let parsed = parse_journal(&text).expect("mixed-backend journal parses");
+        assert_eq!(parsed.records.len(), 2);
+        for (rec, want) in parsed.records.iter().zip([&model_cell, &native_cell]) {
+            let JournalRecord::Done(d) = rec else {
+                panic!("expected done");
+            };
+            assert_eq!(d, want);
+        }
+        let cache = ResumeCache::from_records(&parsed.records);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&model_addr).unwrap().backend, None);
+        assert_eq!(
+            cache.get(&native_addr).unwrap().backend.as_deref(),
+            Some("native")
+        );
     }
 
     #[test]

@@ -59,6 +59,9 @@ fn journal_records(cells: u64, done: u64, workers: u64, ended: bool) -> Vec<Jour
             } else {
                 Some(format!("{:032x}", i % 3))
             },
+            // A sprinkling of native cells: the optional field must fold
+            // exactly like its absence does.
+            backend: (i % 6 == 5).then(|| "native".to_string()),
         }));
     }
     if ended {

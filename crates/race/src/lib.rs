@@ -24,13 +24,20 @@
 //! [`score()`](score::score) grades a detector's warnings against the ground truth carried
 //! by annotated traces, yielding the detection/false-alarm table of
 //! experiment E2.
+//!
+//! A third oracle, [`RaceCell`], serves the *native-threads* runtime
+//! backend: it detects physically torn reads of a redundantly-stored value,
+//! giving ground-truth evidence of a real race on real hardware — where
+//! there is no serialized event stream to reason over.
 
 pub mod lockset;
+pub mod racecell;
 pub mod score;
 pub mod vectorclock;
 pub mod warning;
 
 pub use lockset::EraserLockset;
+pub use racecell::{RaceCell, Racey};
 pub use score::{score, DetectorScore};
 pub use vectorclock::{VectorClock, VectorClockDetector};
 pub use warning::{AccessInfo, RaceWarning};

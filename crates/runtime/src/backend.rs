@@ -1,0 +1,76 @@
+//! [`RuntimeBackend`]: the seam between the *model* engine and the
+//! *native-threads* engine.
+//!
+//! The model backend (the default, and the only engine this crate had
+//! before the seam) serializes all program activity through a token-passing
+//! controller: executions are deterministic functions of the scheduler's
+//! decisions, which is what replay, systematic exploration and byte-stable
+//! experiment reports are built on.
+//!
+//! The native backend runs the *same* program closures on real
+//! `std::thread`s with real mutexes and atomics. Nothing serializes program
+//! steps, so outcomes are genuinely nondeterministic — which is the point:
+//! it answers "does the model's find-probability survive contact with a
+//! real scheduler and a real memory system?" (experiment E13). Races there
+//! are physical, so the native engine uses `mtt_race::RaceCell` torn-value
+//! detection as its race oracle instead of an event-stream detector.
+//!
+//! Everything *around* the engines — programs, noise makers, event sinks,
+//! outcomes — is shared: both backends emit the same [`crate::Event`]
+//! stream and produce the same [`crate::Outcome`] shape.
+
+/// Which execution engine an [`crate::Execution`] uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RuntimeBackend {
+    /// The deterministic token-passing model engine (default).
+    #[default]
+    Model,
+    /// Real OS threads, real synchronization, wall-clock time.
+    Native,
+}
+
+impl RuntimeBackend {
+    /// Short stable tag, used in tool specs, run logs and journal keys.
+    pub fn tag(self) -> &'static str {
+        match self {
+            RuntimeBackend::Model => "model",
+            RuntimeBackend::Native => "native",
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "model" => Some(RuntimeBackend::Model),
+            "native" => Some(RuntimeBackend::Native),
+            _ => None,
+        }
+    }
+
+    /// Is this the native-threads engine?
+    pub fn is_native(self) -> bool {
+        matches!(self, RuntimeBackend::Native)
+    }
+}
+
+impl std::fmt::Display for RuntimeBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip() {
+        for b in [RuntimeBackend::Model, RuntimeBackend::Native] {
+            assert_eq!(RuntimeBackend::parse(b.tag()), Some(b));
+        }
+        assert_eq!(RuntimeBackend::parse("simulated"), None);
+        assert_eq!(RuntimeBackend::default(), RuntimeBackend::Model);
+        assert!(!RuntimeBackend::Model.is_native());
+        assert_eq!(RuntimeBackend::Native.to_string(), "native");
+    }
+}

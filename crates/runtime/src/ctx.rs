@@ -7,12 +7,20 @@
 //! [`Loc`] — the automatic equivalent of a bytecode instrumentor recording
 //! "the location in the program from which it was called".
 //!
+//! The context is the **backend seam** (see [`crate::backend`]): the same
+//! program closure runs unchanged under the deterministic model engine or
+//! on real OS threads. Each operation dispatches on [`CtxInner`] — the
+//! model arm drives the token-passing controller in [`crate::exec`], the
+//! native arm performs real loads/stores/waits via [`crate::native`].
+//!
 //! Misusing the model (unlocking a lock you don't hold, waiting on a
 //! condition without its lock, recursive locking, joining yourself) aborts
-//! the execution with [`crate::OutcomeKind::ThreadPanic`]; such misuse is
-//! itself a bug class benchmark programs may exhibit.
+//! the execution with [`crate::OutcomeKind::ThreadPanic`] under **both**
+//! backends; such misuse is itself a bug class benchmark programs may
+//! exhibit.
 
 use crate::exec::{thread_main, Controller, ModelMisuse};
+use crate::native::NativeRt;
 use crate::state::{BlockReason, Status};
 use mtt_instrument::{BarrierId, CondId, Loc, LockId, Op, SemId, ThreadId, VarId};
 use rand::{Rng, SeedableRng};
@@ -34,12 +42,26 @@ fn misuse(msg: String) -> ! {
     panic_any(ModelMisuse(msg))
 }
 
+/// Which engine this context drives.
+pub(crate) enum CtxInner {
+    /// Token-passing model controller.
+    Model(Arc<Controller>),
+    /// Native-threads runtime.
+    Native(Arc<NativeRt>),
+}
+
 /// Handle through which a model thread performs all shared-memory and
 /// synchronization operations.
 pub struct ThreadCtx {
-    ctrl: Arc<Controller>,
+    inner: CtxInner,
     me: ThreadId,
     rng: ChaCha8Rng,
+}
+
+/// The per-thread RNG seed: identical under both backends, so program
+/// logic driven by [`ThreadCtx::random`] is backend-independent.
+fn thread_rng(program_seed: u64, me: ThreadId) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(program_seed ^ (u64::from(me.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 impl ThreadCtx {
@@ -48,9 +70,20 @@ impl ThreadCtx {
             let g = ctrl.mx.lock();
             g.opts.program_seed
         };
-        let rng =
-            ChaCha8Rng::seed_from_u64(seed ^ (u64::from(me.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        ThreadCtx { ctrl, me, rng }
+        ThreadCtx {
+            inner: CtxInner::Model(ctrl),
+            me,
+            rng: thread_rng(seed, me),
+        }
+    }
+
+    pub(crate) fn new_native(rt: Arc<NativeRt>, me: ThreadId) -> Self {
+        let seed = rt.program_seed();
+        ThreadCtx {
+            inner: CtxInner::Native(rt),
+            me,
+            rng: thread_rng(seed, me),
+        }
     }
 
     /// This thread's id.
@@ -63,7 +96,9 @@ impl ThreadCtx {
     // ------------------------------------------------------------------
 
     /// Read a shared variable. Non-volatile variables may return a stale,
-    /// thread-cached value (see [`crate::ProgramBuilder::var_nonvolatile`]).
+    /// thread-cached value (see [`crate::ProgramBuilder::var_nonvolatile`])
+    /// under the model backend; natively they are plain racy loads with
+    /// torn-read detection.
     #[track_caller]
     pub fn read(&mut self, var: VarId) -> i64 {
         self.read_at(var, caller_loc())
@@ -72,11 +107,17 @@ impl ThreadCtx {
     /// [`Self::read`] with an explicit site (used by code generators such
     /// as the MiniProg interpreter).
     pub fn read_at(&mut self, var: VarId, loc: Loc) -> i64 {
-        let mut g = self.ctrl.mx.lock();
-        let value = g.model.read_var(self.me, var);
-        let nd = g.emit(self.me, loc, Op::VarRead { var, value });
-        self.ctrl.point(&mut g, self.me, nd);
-        value
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let value = g.model.read_var(self.me, var);
+                let nd = g.emit(self.me, loc, Op::VarRead { var, value });
+                ctrl.point(&mut g, self.me, nd);
+                value
+            }
+            CtxInner::Native(rt) => rt.read_at(self.me, var, loc),
+        }
     }
 
     /// Write a shared variable.
@@ -87,10 +128,16 @@ impl ThreadCtx {
 
     /// [`Self::write`] with an explicit site.
     pub fn write_at(&mut self, var: VarId, value: i64, loc: Loc) {
-        let mut g = self.ctrl.mx.lock();
-        g.model.write_var(self.me, var, value);
-        let nd = g.emit(self.me, loc, Op::VarWrite { var, value });
-        self.ctrl.point(&mut g, self.me, nd);
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                g.model.write_var(self.me, var, value);
+                let nd = g.emit(self.me, loc, Op::VarWrite { var, value });
+                ctrl.point(&mut g, self.me, nd);
+            }
+            CtxInner::Native(rt) => rt.write_at(self.me, var, value, loc),
+        }
     }
 
     /// Atomic read-modify-write: applies `f` to the *shared-store* value
@@ -100,15 +147,21 @@ impl ThreadCtx {
     #[track_caller]
     pub fn rmw<F: FnOnce(i64) -> i64>(&mut self, var: VarId, f: F) -> i64 {
         let loc = caller_loc();
-        let mut g = self.ctrl.mx.lock();
-        let old = g.model.vars[var.index()];
-        let new = f(old);
-        g.model.vars[var.index()] = new;
-        // Atomics behave as volatile accesses: refresh this thread's view.
-        g.model.threads[self.me.index()].cache.insert(var, new);
-        let nd = g.emit(self.me, loc, Op::VarRmw { var, old, new });
-        self.ctrl.point(&mut g, self.me, nd);
-        old
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let old = g.model.vars[var.index()];
+                let new = f(old);
+                g.model.vars[var.index()] = new;
+                // Atomics behave as volatile accesses: refresh this thread's view.
+                g.model.threads[self.me.index()].cache.insert(var, new);
+                let nd = g.emit(self.me, loc, Op::VarRmw { var, old, new });
+                ctrl.point(&mut g, self.me, nd);
+                old
+            }
+            CtxInner::Native(rt) => rt.rmw_at(self.me, var, f, loc),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -123,32 +176,38 @@ impl ThreadCtx {
 
     /// [`Self::lock`] with an explicit site.
     pub fn lock_at(&mut self, lock: LockId, loc: Loc) {
-        let mut g = self.ctrl.mx.lock();
-        let mut requested = false;
-        loop {
-            match g.model.lock_owner[lock.index()] {
-                None => {
-                    g.model.acquire_lock(self.me, lock);
-                    let nd = g.emit(self.me, loc, Op::LockAcquire { lock });
-                    self.ctrl.point(&mut g, self.me, nd);
-                    return;
-                }
-                Some(owner) if owner == self.me => {
-                    misuse(format!(
-                        "thread {} locked {:?} recursively (model mutexes are non-reentrant)",
-                        self.me, lock
-                    ));
-                }
-                Some(_) => {
-                    if !requested {
-                        let _ = g.emit(self.me, loc, Op::LockRequest { lock });
-                        requested = true;
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let mut requested = false;
+                loop {
+                    match g.model.lock_owner[lock.index()] {
+                        None => {
+                            g.model.acquire_lock(self.me, lock);
+                            let nd = g.emit(self.me, loc, Op::LockAcquire { lock });
+                            ctrl.point(&mut g, self.me, nd);
+                            return;
+                        }
+                        Some(owner) if owner == self.me => {
+                            misuse(format!(
+                                "thread {} locked {:?} recursively (model mutexes are non-reentrant)",
+                                self.me, lock
+                            ));
+                        }
+                        Some(_) => {
+                            if !requested {
+                                let _ = g.emit(self.me, loc, Op::LockRequest { lock });
+                                requested = true;
+                            }
+                            g.model.threads[self.me.index()].status =
+                                Status::Blocked(BlockReason::Lock(lock));
+                            ctrl.block_and_park(&mut g, self.me);
+                        }
                     }
-                    g.model.threads[self.me.index()].status =
-                        Status::Blocked(BlockReason::Lock(lock));
-                    self.ctrl.block_and_park(&mut g, self.me);
                 }
             }
+            CtxInner::Native(rt) => rt.lock_at(self.me, lock, loc),
         }
     }
 
@@ -157,22 +216,28 @@ impl ThreadCtx {
     #[track_caller]
     pub fn try_lock(&mut self, lock: LockId) -> bool {
         let loc = caller_loc();
-        let mut g = self.ctrl.mx.lock();
-        match g.model.lock_owner[lock.index()] {
-            None => {
-                g.model.acquire_lock(self.me, lock);
-                let nd = g.emit(self.me, loc, Op::LockAcquire { lock });
-                self.ctrl.point(&mut g, self.me, nd);
-                true
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                match g.model.lock_owner[lock.index()] {
+                    None => {
+                        g.model.acquire_lock(self.me, lock);
+                        let nd = g.emit(self.me, loc, Op::LockAcquire { lock });
+                        ctrl.point(&mut g, self.me, nd);
+                        true
+                    }
+                    Some(owner) if owner == self.me => {
+                        misuse(format!("thread {} try_lock on lock it holds", self.me))
+                    }
+                    Some(_) => {
+                        let nd = g.emit(self.me, loc, Op::LockTryFail { lock });
+                        ctrl.point(&mut g, self.me, nd);
+                        false
+                    }
+                }
             }
-            Some(owner) if owner == self.me => {
-                misuse(format!("thread {} try_lock on lock it holds", self.me))
-            }
-            Some(_) => {
-                let nd = g.emit(self.me, loc, Op::LockTryFail { lock });
-                self.ctrl.point(&mut g, self.me, nd);
-                false
-            }
+            CtxInner::Native(rt) => rt.try_lock_at(self.me, lock, loc),
         }
     }
 
@@ -184,15 +249,21 @@ impl ThreadCtx {
 
     /// [`Self::unlock`] with an explicit site.
     pub fn unlock_at(&mut self, lock: LockId, loc: Loc) {
-        let mut g = self.ctrl.mx.lock();
-        if !g.model.release_lock(self.me, lock) {
-            misuse(format!(
-                "thread {} released {:?} which it does not hold",
-                self.me, lock
-            ));
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                if !g.model.release_lock(self.me, lock) {
+                    misuse(format!(
+                        "thread {} released {:?} which it does not hold",
+                        self.me, lock
+                    ));
+                }
+                let nd = g.emit(self.me, loc, Op::LockRelease { lock });
+                ctrl.point(&mut g, self.me, nd);
+            }
+            CtxInner::Native(rt) => rt.unlock_at(self.me, lock, loc),
         }
-        let nd = g.emit(self.me, loc, Op::LockRelease { lock });
-        self.ctrl.point(&mut g, self.me, nd);
     }
 
     /// Run `f` with `lock` held (the model analogue of a `synchronized`
@@ -218,24 +289,42 @@ impl ThreadCtx {
 
     /// [`Self::wait`] with an explicit site.
     pub fn wait_at(&mut self, cond: CondId, lock: LockId, loc: Loc) {
-        let ctrl = Arc::clone(&self.ctrl);
-        let mut g = ctrl.mx.lock();
-        self.wait_inner(&mut g, cond, lock, None, loc);
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                self.wait_inner(&ctrl, &mut g, cond, lock, None, loc);
+            }
+            CtxInner::Native(rt) => {
+                let rt = Arc::clone(rt);
+                rt.wait_at(self.me, cond, lock, None, loc);
+            }
+        }
     }
 
-    /// Like [`Self::wait`] but gives up after `ticks` units of virtual time.
+    /// Like [`Self::wait`] but gives up after `ticks` units of virtual time
+    /// (model) or `ticks × 100µs` of wall time (native).
     /// Returns `true` when notified, `false` on timeout.
     #[track_caller]
     pub fn timed_wait(&mut self, cond: CondId, lock: LockId, ticks: u32) -> bool {
         let loc = caller_loc();
-        let ctrl = Arc::clone(&self.ctrl);
-        let mut g = ctrl.mx.lock();
-        let deadline = g.model.time + u64::from(ticks.max(1));
-        self.wait_inner(&mut g, cond, lock, Some(deadline), loc)
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let deadline = g.model.time + u64::from(ticks.max(1));
+                self.wait_inner(&ctrl, &mut g, cond, lock, Some(deadline), loc)
+            }
+            CtxInner::Native(rt) => {
+                let rt = Arc::clone(rt);
+                rt.wait_at(self.me, cond, lock, Some(ticks), loc)
+            }
+        }
     }
 
     fn wait_inner(
         &mut self,
+        ctrl: &Arc<Controller>,
         g: &mut parking_lot::MutexGuard<'_, crate::exec::Central>,
         cond: CondId,
         lock: LockId,
@@ -256,7 +345,7 @@ impl ThreadCtx {
             Some(d) => BlockReason::CondTimed(cond, lock, d),
             None => BlockReason::Cond(cond, lock),
         });
-        self.ctrl.block_and_park(g, self.me);
+        ctrl.block_and_park(g, self.me);
         let timed_out = g.model.threads[self.me.index()].timed_out;
         // Re-acquire the lock (competing with everyone else).
         loop {
@@ -265,10 +354,10 @@ impl ThreadCtx {
                 break;
             }
             g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Lock(lock));
-            self.ctrl.block_and_park(g, self.me);
+            ctrl.block_and_park(g, self.me);
         }
         let nd = g.emit(self.me, loc, Op::CondWake { cond, lock });
-        self.ctrl.point(g, self.me, nd);
+        ctrl.point(g, self.me, nd);
         !timed_out
     }
 
@@ -281,14 +370,20 @@ impl ThreadCtx {
 
     /// [`Self::notify`] with an explicit site.
     pub fn notify_at(&mut self, cond: CondId, loc: Loc) {
-        let mut g = self.ctrl.mx.lock();
-        if !g.model.cond_queues[cond.index()].is_empty() {
-            let t = g.model.cond_queues[cond.index()].remove(0);
-            g.model.threads[t.index()].status = Status::Ready;
-            g.model.threads[t.index()].timed_out = false;
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                if !g.model.cond_queues[cond.index()].is_empty() {
+                    let t = g.model.cond_queues[cond.index()].remove(0);
+                    g.model.threads[t.index()].status = Status::Ready;
+                    g.model.threads[t.index()].timed_out = false;
+                }
+                let nd = g.emit(self.me, loc, Op::CondNotify { cond, all: false });
+                ctrl.point(&mut g, self.me, nd);
+            }
+            CtxInner::Native(rt) => rt.notify_at(self.me, cond, false, loc),
         }
-        let nd = g.emit(self.me, loc, Op::CondNotify { cond, all: false });
-        self.ctrl.point(&mut g, self.me, nd);
     }
 
     /// Wake every thread waiting on `cond`.
@@ -299,14 +394,20 @@ impl ThreadCtx {
 
     /// [`Self::notify_all`] with an explicit site.
     pub fn notify_all_at(&mut self, cond: CondId, loc: Loc) {
-        let mut g = self.ctrl.mx.lock();
-        let woken: Vec<ThreadId> = g.model.cond_queues[cond.index()].drain(..).collect();
-        for t in woken {
-            g.model.threads[t.index()].status = Status::Ready;
-            g.model.threads[t.index()].timed_out = false;
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let woken: Vec<ThreadId> = g.model.cond_queues[cond.index()].drain(..).collect();
+                for t in woken {
+                    g.model.threads[t.index()].status = Status::Ready;
+                    g.model.threads[t.index()].timed_out = false;
+                }
+                let nd = g.emit(self.me, loc, Op::CondNotify { cond, all: true });
+                ctrl.point(&mut g, self.me, nd);
+            }
+            CtxInner::Native(rt) => rt.notify_at(self.me, cond, true, loc),
         }
-        let nd = g.emit(self.me, loc, Op::CondNotify { cond, all: true });
-        self.ctrl.point(&mut g, self.me, nd);
     }
 
     // ------------------------------------------------------------------
@@ -317,22 +418,29 @@ impl ThreadCtx {
     #[track_caller]
     pub fn sem_acquire(&mut self, sem: SemId) {
         let loc = caller_loc();
-        let mut g = self.ctrl.mx.lock();
-        let mut requested = false;
-        loop {
-            if g.model.sem_permits[sem.index()] > 0 {
-                g.model.sem_permits[sem.index()] -= 1;
-                g.model.threads[self.me.index()].flush_cache();
-                let nd = g.emit(self.me, loc, Op::SemAcquire { sem });
-                self.ctrl.point(&mut g, self.me, nd);
-                return;
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let mut requested = false;
+                loop {
+                    if g.model.sem_permits[sem.index()] > 0 {
+                        g.model.sem_permits[sem.index()] -= 1;
+                        g.model.threads[self.me.index()].flush_cache();
+                        let nd = g.emit(self.me, loc, Op::SemAcquire { sem });
+                        ctrl.point(&mut g, self.me, nd);
+                        return;
+                    }
+                    if !requested {
+                        let _ = g.emit(self.me, loc, Op::SemRequest { sem });
+                        requested = true;
+                    }
+                    g.model.threads[self.me.index()].status =
+                        Status::Blocked(BlockReason::Sem(sem));
+                    ctrl.block_and_park(&mut g, self.me);
+                }
             }
-            if !requested {
-                let _ = g.emit(self.me, loc, Op::SemRequest { sem });
-                requested = true;
-            }
-            g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Sem(sem));
-            self.ctrl.block_and_park(&mut g, self.me);
+            CtxInner::Native(rt) => rt.sem_acquire_at(self.me, sem, loc),
         }
     }
 
@@ -340,43 +448,55 @@ impl ThreadCtx {
     #[track_caller]
     pub fn sem_release(&mut self, sem: SemId) {
         let loc = caller_loc();
-        let mut g = self.ctrl.mx.lock();
-        g.model.sem_permits[sem.index()] += 1;
-        for t in g.model.threads.iter_mut() {
-            if t.status == Status::Blocked(BlockReason::Sem(sem)) {
-                t.status = Status::Ready;
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                g.model.sem_permits[sem.index()] += 1;
+                for t in g.model.threads.iter_mut() {
+                    if t.status == Status::Blocked(BlockReason::Sem(sem)) {
+                        t.status = Status::Ready;
+                    }
+                }
+                g.model.threads[self.me.index()].flush_cache();
+                let nd = g.emit(self.me, loc, Op::SemRelease { sem });
+                ctrl.point(&mut g, self.me, nd);
             }
+            CtxInner::Native(rt) => rt.sem_release_at(self.me, sem, loc),
         }
-        g.model.threads[self.me.index()].flush_cache();
-        let nd = g.emit(self.me, loc, Op::SemRelease { sem });
-        self.ctrl.point(&mut g, self.me, nd);
     }
 
     /// Arrive at a cyclic barrier and block until all parties have arrived.
     #[track_caller]
     pub fn barrier_wait(&mut self, barrier: BarrierId) {
         let loc = caller_loc();
-        let mut g = self.ctrl.mx.lock();
-        g.model.barrier_arrived[barrier.index()].push(self.me);
-        let _ = g.emit(self.me, loc, Op::BarrierArrive { barrier });
-        let full = g.model.barrier_arrived[barrier.index()].len() as u32
-            == g.model.barrier_parties[barrier.index()];
-        if full {
-            let arrived: Vec<ThreadId> =
-                g.model.barrier_arrived[barrier.index()].drain(..).collect();
-            for t in arrived {
-                if t != self.me {
-                    g.model.threads[t.index()].status = Status::Ready;
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                g.model.barrier_arrived[barrier.index()].push(self.me);
+                let _ = g.emit(self.me, loc, Op::BarrierArrive { barrier });
+                let full = g.model.barrier_arrived[barrier.index()].len() as u32
+                    == g.model.barrier_parties[barrier.index()];
+                if full {
+                    let arrived: Vec<ThreadId> =
+                        g.model.barrier_arrived[barrier.index()].drain(..).collect();
+                    for t in arrived {
+                        if t != self.me {
+                            g.model.threads[t.index()].status = Status::Ready;
+                        }
+                    }
+                } else {
+                    g.model.threads[self.me.index()].status =
+                        Status::Blocked(BlockReason::Barrier(barrier));
+                    ctrl.block_and_park(&mut g, self.me);
                 }
+                g.model.threads[self.me.index()].flush_cache();
+                let nd = g.emit(self.me, loc, Op::BarrierPass { barrier });
+                ctrl.point(&mut g, self.me, nd);
             }
-        } else {
-            g.model.threads[self.me.index()].status =
-                Status::Blocked(BlockReason::Barrier(barrier));
-            self.ctrl.block_and_park(&mut g, self.me);
+            CtxInner::Native(rt) => rt.barrier_wait_at(self.me, barrier, loc),
         }
-        g.model.threads[self.me.index()].flush_cache();
-        let nd = g.emit(self.me, loc, Op::BarrierPass { barrier });
-        self.ctrl.point(&mut g, self.me, nd);
     }
 
     // ------------------------------------------------------------------
@@ -390,27 +510,36 @@ impl ThreadCtx {
         F: FnOnce(&mut ThreadCtx) + Send + 'static,
     {
         let loc = caller_loc();
-        let mut g = self.ctrl.mx.lock();
-        if g.model.threads.len() as u32 >= g.opts.max_threads {
-            misuse(format!(
-                "thread limit ({}) exceeded — runaway spawn loop?",
-                g.opts.max_threads
-            ));
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                if g.model.threads.len() as u32 >= g.opts.max_threads {
+                    misuse(format!(
+                        "thread limit ({}) exceeded — runaway spawn loop?",
+                        g.opts.max_threads
+                    ));
+                }
+                let child = ThreadId(g.model.threads.len() as u32);
+                g.model
+                    .threads
+                    .push(crate::state::ThreadState::new(name.into()));
+                g.stats.threads += 1;
+                let ctrl2 = Arc::clone(&ctrl);
+                let handle = std::thread::Builder::new()
+                    .name(format!("mtt-{}", child.0))
+                    .spawn(move || thread_main(ctrl2, child, Box::new(body)))
+                    .expect("failed to spawn model thread");
+                g.os_handles.push(handle);
+                let nd = g.emit(self.me, loc, Op::Spawn { child });
+                ctrl.point(&mut g, self.me, nd);
+                child
+            }
+            CtxInner::Native(rt) => {
+                let rt = Arc::clone(rt);
+                rt.spawn_at(self.me, name.into(), Box::new(body), loc)
+            }
         }
-        let child = ThreadId(g.model.threads.len() as u32);
-        g.model
-            .threads
-            .push(crate::state::ThreadState::new(name.into()));
-        g.stats.threads += 1;
-        let ctrl2 = Arc::clone(&self.ctrl);
-        let handle = std::thread::Builder::new()
-            .name(format!("mtt-{}", child.0))
-            .spawn(move || thread_main(ctrl2, child, Box::new(body)))
-            .expect("failed to spawn model thread");
-        g.os_handles.push(handle);
-        let nd = g.emit(self.me, loc, Op::Spawn { child });
-        self.ctrl.point(&mut g, self.me, nd);
-        child
     }
 
     /// Block until `target` finishes.
@@ -420,24 +549,31 @@ impl ThreadCtx {
         if target == self.me {
             misuse(format!("thread {} joining itself", self.me));
         }
-        let mut g = self.ctrl.mx.lock();
-        if target.index() >= g.model.threads.len() {
-            misuse(format!("join on unknown thread {target}"));
-        }
-        let mut requested = false;
-        loop {
-            if g.model.threads[target.index()].status == Status::Finished {
-                g.model.threads[self.me.index()].flush_cache();
-                let nd = g.emit(self.me, loc, Op::Join { target });
-                self.ctrl.point(&mut g, self.me, nd);
-                return;
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                if target.index() >= g.model.threads.len() {
+                    misuse(format!("join on unknown thread {target}"));
+                }
+                let mut requested = false;
+                loop {
+                    if g.model.threads[target.index()].status == Status::Finished {
+                        g.model.threads[self.me.index()].flush_cache();
+                        let nd = g.emit(self.me, loc, Op::Join { target });
+                        ctrl.point(&mut g, self.me, nd);
+                        return;
+                    }
+                    if !requested {
+                        let _ = g.emit(self.me, loc, Op::JoinRequest { target });
+                        requested = true;
+                    }
+                    g.model.threads[self.me.index()].status =
+                        Status::Blocked(BlockReason::Join(target));
+                    ctrl.block_and_park(&mut g, self.me);
+                }
             }
-            if !requested {
-                let _ = g.emit(self.me, loc, Op::JoinRequest { target });
-                requested = true;
-            }
-            g.model.threads[self.me.index()].status = Status::Blocked(BlockReason::Join(target));
-            self.ctrl.block_and_park(&mut g, self.me);
+            CtxInner::Native(rt) => rt.join_at(self.me, target, loc),
         }
     }
 
@@ -453,12 +589,19 @@ impl ThreadCtx {
 
     /// [`Self::yield_now`] with an explicit site.
     pub fn yield_at(&mut self, loc: Loc) {
-        let mut g = self.ctrl.mx.lock();
-        let nd = g.emit(self.me, loc, Op::Yield);
-        self.ctrl.point(&mut g, self.me, nd);
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let nd = g.emit(self.me, loc, Op::Yield);
+                ctrl.point(&mut g, self.me, nd);
+            }
+            CtxInner::Native(rt) => rt.yield_at(self.me, loc),
+        }
     }
 
-    /// Sleep for `ticks` units of virtual time (never wall clock).
+    /// Sleep for `ticks` units of virtual time (model) or `ticks × 100µs`
+    /// of wall time (native).
     #[track_caller]
     pub fn sleep(&mut self, ticks: u32) {
         self.sleep_at(ticks, caller_loc())
@@ -466,11 +609,17 @@ impl ThreadCtx {
 
     /// [`Self::sleep`] with an explicit site.
     pub fn sleep_at(&mut self, ticks: u32, loc: Loc) {
-        let mut g = self.ctrl.mx.lock();
-        let wake = g.model.time + u64::from(ticks.max(1));
-        let _ = g.emit(self.me, loc, Op::Sleep { ticks });
-        g.model.threads[self.me.index()].status = Status::Sleeping(wake);
-        self.ctrl.block_and_park(&mut g, self.me);
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let wake = g.model.time + u64::from(ticks.max(1));
+                let _ = g.emit(self.me, loc, Op::Sleep { ticks });
+                g.model.threads[self.me.index()].status = Status::Sleeping(wake);
+                ctrl.block_and_park(&mut g, self.me);
+            }
+            CtxInner::Native(rt) => rt.sleep_at(self.me, ticks, loc),
+        }
     }
 
     /// Pure instrumentation marker: emits a [`Op::Point`] event carrying
@@ -478,10 +627,16 @@ impl ThreadCtx {
     #[track_caller]
     pub fn point(&mut self, label: &str) {
         let loc = caller_loc();
-        let mut g = self.ctrl.mx.lock();
-        let li = g.intern_label(label);
-        let nd = g.emit(self.me, loc, Op::Point { label: li });
-        self.ctrl.point(&mut g, self.me, nd);
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let li = g.intern_label(label);
+                let nd = g.emit(self.me, loc, Op::Point { label: li });
+                ctrl.point(&mut g, self.me, nd);
+            }
+            CtxInner::Native(rt) => rt.point_at(self.me, label, loc),
+        }
     }
 
     /// Executable assertion. A failure is recorded in the outcome (and, if
@@ -497,26 +652,33 @@ impl ThreadCtx {
         if cond {
             return;
         }
-        let mut g = self.ctrl.mx.lock();
-        let li = g.intern_label(label);
-        if g.stats.first_failure_step.is_none() {
-            g.stats.first_failure_step = Some(g.stats.sched_points);
+        match &self.inner {
+            CtxInner::Model(ctrl) => {
+                let ctrl = Arc::clone(ctrl);
+                let mut g = ctrl.mx.lock();
+                let li = g.intern_label(label);
+                if g.stats.first_failure_step.is_none() {
+                    g.stats.first_failure_step = Some(g.stats.sched_points);
+                }
+                g.assert_failures.push(AssertFailureRecord {
+                    thread: self.me,
+                    label: label.to_string(),
+                    loc,
+                });
+                let nd = g.emit(self.me, loc, Op::AssertFail { label: li });
+                if g.opts.stop_on_assert {
+                    g.do_abort(crate::OutcomeKind::AssertStop);
+                }
+                ctrl.point(&mut g, self.me, nd);
+            }
+            CtxInner::Native(rt) => rt.check_at(self.me, label, loc),
         }
-        g.assert_failures.push(AssertFailureRecord {
-            thread: self.me,
-            label: label.to_string(),
-            loc,
-        });
-        let nd = g.emit(self.me, loc, Op::AssertFail { label: li });
-        if g.opts.stop_on_assert {
-            g.do_abort(crate::OutcomeKind::AssertStop);
-        }
-        self.ctrl.point(&mut g, self.me, nd);
     }
 
     /// Deterministic pseudo-randomness for program logic: uniform in
     /// `0..bound`. Seeded from the execution's `program_seed` and this
-    /// thread's id, so it is independent of the interleaving — replay-safe.
+    /// thread's id, so it is independent of the interleaving — replay-safe
+    /// and identical under both backends.
     pub fn random(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "random bound must be positive");
         self.rng.gen_range(0..bound)

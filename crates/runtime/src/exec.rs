@@ -38,7 +38,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Panic payload used to unwind model threads when an execution aborts.
-struct AbortToken;
+/// Shared with the native engine, whose teardown uses the same protocol.
+pub(crate) struct AbortToken;
 
 /// Panic payload for model-API misuse by program code (e.g. releasing a
 /// lock the thread does not hold). Recorded as [`OutcomeKind::ThreadPanic`].
@@ -49,7 +50,7 @@ static HOOK_INSTALL: Once = Once::new();
 /// Install (once per process) a panic hook that stays silent for the
 /// runtime's internal control-flow panics and defers to the previous hook
 /// for everything else.
-fn install_quiet_hook() {
+pub(crate) fn install_quiet_hook() {
     HOOK_INSTALL.call_once(|| {
         let prev = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
@@ -80,7 +81,18 @@ pub struct ExecutionOptions {
     /// predicate loop break under it, which makes spurious injection a
     /// bug-finding technique of its own (exercised by experiment E1's
     /// suite and the runtime tests).
+    ///
+    /// Model-engine feature: the native backend relies on the real
+    /// platform's nondeterminism instead and ignores this option.
     pub spurious_wakeups: Option<f64>,
+    /// Which execution engine runs the program (default:
+    /// [`RuntimeBackend::Model`]). See [`crate::backend`].
+    pub backend: crate::RuntimeBackend,
+    /// Wall-clock budget enforced by the native engine's watchdog;
+    /// exhaustion maps to [`OutcomeKind::StepLimit`], the model's "hang"
+    /// analogue. `None` means the native default (10s). The model engine
+    /// never blocks on wall time and ignores this.
+    pub wall_budget: Option<std::time::Duration>,
 }
 
 impl Default for ExecutionOptions {
@@ -91,6 +103,8 @@ impl Default for ExecutionOptions {
             program_seed: 0,
             max_threads: 512,
             spurious_wakeups: None,
+            backend: crate::RuntimeBackend::Model,
+            wall_budget: None,
         }
     }
 }
@@ -511,6 +525,20 @@ impl<'p> Execution<'p> {
         self
     }
 
+    /// Choose the execution engine (see [`crate::backend`]). The native
+    /// engine ignores the configured scheduler — the OS schedules.
+    pub fn backend(mut self, b: crate::RuntimeBackend) -> Self {
+        self.opts.backend = b;
+        self
+    }
+
+    /// Wall-clock budget for the native engine's watchdog (see
+    /// [`ExecutionOptions::wall_budget`]).
+    pub fn wall_budget(mut self, d: std::time::Duration) -> Self {
+        self.opts.wall_budget = Some(d);
+        self
+    }
+
     /// Run the program to completion (or deadlock / step limit / panic) and
     /// return the outcome.
     pub fn run(self) -> Outcome {
@@ -523,6 +551,16 @@ impl<'p> Execution<'p> {
         let noise_filter = self
             .noise_plan
             .map_or_else(ResolvedFilter::pass_all, |p| p.resolve(&var_table));
+        if self.opts.backend.is_native() {
+            return crate::native::run_native(
+                self.program,
+                self.noise,
+                self.sinks,
+                sink_filter,
+                noise_filter,
+                self.opts,
+            );
+        }
         let central = Central {
             model: ModelState::for_program(self.program),
             scheduler: self.scheduler,

@@ -55,14 +55,17 @@
 /// may differ.
 pub const RUNTIME_VERSION: &str = env!("CARGO_PKG_VERSION");
 
+pub mod backend;
 pub mod ctx;
 pub mod exec;
+mod native;
 pub mod noise;
 pub mod outcome;
 pub mod program;
 pub mod scheduler;
 mod state;
 
+pub use backend::RuntimeBackend;
 pub use ctx::ThreadCtx;
 pub use exec::{Execution, ExecutionOptions};
 pub use noise::{NoNoise, NoiseDecision, NoiseMaker, NoiseView};

@@ -65,6 +65,11 @@ pub struct RunLogRecord {
     pub outcome: String,
     /// Did the program's oracle judge the run as having manifested a bug?
     pub failed: bool,
+    /// Execution-backend tag (`"native"`), present only when the run
+    /// executed on a non-model backend. Optional so every log written by a
+    /// model campaign — which is all of them before the native backend
+    /// existed — stays byte-identical.
+    pub backend: Option<String>,
     /// Canonical Mazurkiewicz-trace fingerprint of the run's HB partial
     /// order (32 hex digits), when the campaign computed one. Optional so
     /// logs written by fingerprint-less producers stay schema-valid.
@@ -88,6 +93,9 @@ impl RunLogRecord {
             ("outcome".into(), self.outcome.to_json()),
             ("failed".into(), self.failed.to_json()),
         ];
+        if let Some(backend) = &self.backend {
+            fields.push(("backend".into(), backend.to_json()));
+        }
         if let Some(fp) = &self.fingerprint {
             fields.push(("fingerprint".into(), fp.to_json()));
         }
@@ -180,6 +188,15 @@ pub fn check_run_log_line(line: &str) -> Result<(), String> {
             return Err("field `fingerprint` has the wrong type".into());
         }
     }
+    // `backend` is optional (model runs omit it), but when present it must
+    // name a known execution backend.
+    if let Some(b) = v.get("backend") {
+        match b.as_str() {
+            Some("model" | "native") => {}
+            Some(other) => return Err(format!("unknown backend `{other}`")),
+            None => return Err("field `backend` has the wrong type".into()),
+        }
+    }
     Ok(())
 }
 
@@ -197,6 +214,7 @@ mod tests {
             seed: 0x5eed + run,
             outcome: "completed".into(),
             failed: run.is_multiple_of(2),
+            backend: None,
             fingerprint: (run > 0).then(|| format!("{:032x}", 0xabad1dea_u128 + u128::from(run))),
             metrics: RunMetrics {
                 events: 10 + run,
@@ -250,6 +268,39 @@ mod tests {
         assert!(check_run_log_line(&broken)
             .unwrap_err()
             .contains("fingerprint"));
+    }
+
+    #[test]
+    fn backend_field_is_optional_and_validated() {
+        // Model runs never emit the field (byte-identity with old logs).
+        let mut buf = Vec::new();
+        let mut w = RunLogWriter::new(&mut buf);
+        w.write_record(&record(0)).unwrap();
+        w.write_record(&RunLogRecord {
+            backend: Some("native".into()),
+            ..record(1)
+        })
+        .unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        let model_line = lines.next().unwrap();
+        let native_line = lines.next().unwrap();
+        assert!(!model_line.contains("backend"), "{model_line}");
+        assert!(
+            native_line.contains("\"backend\":\"native\""),
+            "{native_line}"
+        );
+        check_run_log_line(model_line).unwrap();
+        check_run_log_line(native_line).unwrap();
+        // An unknown backend tag is a schema violation.
+        let broken = native_line.replace("\"backend\":\"native\"", "\"backend\":\"jvm\"");
+        assert!(check_run_log_line(&broken)
+            .unwrap_err()
+            .contains("unknown backend"));
+        let broken = native_line.replace("\"backend\":\"native\"", "\"backend\":3");
+        assert!(check_run_log_line(&broken).unwrap_err().contains("backend"));
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! schedule.
 
 use crate::run::RunMetrics;
-use mtt_instrument::{Event, EventSink, Op, ThreadId};
-use std::collections::BTreeMap;
+use mtt_instrument::{Event, EventSink, LocKey, Op, ThreadId};
+use std::collections::{BTreeMap, HashMap};
 
 /// Counts event classes, hot sites and synchronization traffic from an
 /// instrumented event stream.
@@ -20,12 +20,27 @@ use std::collections::BTreeMap;
 /// `LockRequest` — and every failed `try_lock` — is one contended
 /// encounter. The sink also keeps the owner map implied by
 /// acquire/release events as a cross-check for held-lock accounting.
+///
+/// Site counters accumulate on the interned [`LocKey`] pair — two integer
+/// hashes per event — and fold back into the string-keyed
+/// [`RunMetrics::sites`] maps once, at [`EventSink::finish`] (or harvest),
+/// so the event hot path neither allocates nor compares path strings.
 #[derive(Debug, Default)]
 pub struct TelemetrySink {
     metrics: RunMetrics,
     owners: BTreeMap<u32, ThreadId>,
+    sites: HashMap<LocKey, u64>,
+    contended_sites: HashMap<LocKey, u64>,
+    /// Memo of the most recent file pointer → id mapping: consecutive
+    /// events almost always share a source file, so the interner's lock is
+    /// rarely touched at all.
+    last_file: Option<(*const u8, usize, u32)>,
     finished: bool,
 }
+
+// The raw pointer is a cache key for a `&'static str`, never dereferenced
+// as mutable state; the sink stays freely sendable like before.
+unsafe impl Send for TelemetrySink {}
 
 impl TelemetrySink {
     /// Fresh sink.
@@ -33,14 +48,44 @@ impl TelemetrySink {
         Self::default()
     }
 
+    fn loc_key(&mut self, loc: mtt_instrument::Loc) -> LocKey {
+        let ptr = loc.file.as_ptr();
+        let len = loc.file.len();
+        if let Some((p, l, id)) = self.last_file {
+            if std::ptr::eq(p, ptr) && l == len {
+                return LocKey {
+                    file: id,
+                    line: loc.line,
+                };
+            }
+        }
+        let key = loc.key();
+        self.last_file = Some((ptr, len, key.file));
+        key
+    }
+
+    /// Fold the interned-key accumulators into the string-keyed metric
+    /// maps. Idempotent; runs automatically at `finish`.
+    fn fold_sites(&mut self) {
+        for (k, n) in self.sites.drain() {
+            *self.metrics.sites.entry(k.loc()).or_insert(0) += n;
+        }
+        for (k, n) in self.contended_sites.drain() {
+            *self.metrics.contended_sites.entry(k.loc()).or_insert(0) += n;
+        }
+    }
+
     /// The metrics accumulated so far (event-derived fields only; combine
-    /// with [`RunMetrics::absorb_stats`] for the runtime counters).
+    /// with [`RunMetrics::absorb_stats`] for the runtime counters). Site
+    /// maps are complete once [`EventSink::finish`] has run.
     pub fn metrics(&self) -> &RunMetrics {
         &self.metrics
     }
 
-    /// Consume the sink, yielding its metrics.
-    pub fn into_metrics(self) -> RunMetrics {
+    /// Consume the sink, yielding its metrics (site maps folded whether or
+    /// not `finish` ran).
+    pub fn into_metrics(mut self) -> RunMetrics {
+        self.fold_sites();
         self.metrics
     }
 
@@ -52,10 +97,11 @@ impl TelemetrySink {
 
 impl EventSink for TelemetrySink {
     fn on_event(&mut self, ev: &Event) {
+        let key = self.loc_key(ev.loc);
         let m = &mut self.metrics;
         m.events += 1;
         m.by_class[ev.op.class().bit() as usize] += 1;
-        *m.sites.entry(ev.loc).or_insert(0) += 1;
+        *self.sites.entry(key).or_insert(0) += 1;
         match ev.op {
             Op::LockAcquire { lock } => {
                 m.lock_acquires += 1;
@@ -66,7 +112,7 @@ impl EventSink for TelemetrySink {
             }
             Op::LockRequest { .. } | Op::LockTryFail { .. } => {
                 m.lock_contentions += 1;
-                *m.contended_sites.entry(ev.loc).or_insert(0) += 1;
+                *self.contended_sites.entry(key).or_insert(0) += 1;
             }
             Op::CondWait { .. } => m.waits += 1,
             Op::CondNotify { .. } => m.notifies += 1,
@@ -75,6 +121,7 @@ impl EventSink for TelemetrySink {
     }
 
     fn finish(&mut self) {
+        self.fold_sites();
         self.finished = true;
     }
 }
@@ -152,5 +199,46 @@ mod tests {
         ));
         assert_eq!(sink.metrics().waits, 1);
         assert_eq!(sink.metrics().notifies, 1);
+    }
+
+    #[test]
+    fn into_metrics_folds_sites_without_finish() {
+        let loc = Loc::new("fold-test", 3);
+        let mut sink = TelemetrySink::new();
+        sink.on_event(&ev(
+            0,
+            0,
+            loc,
+            Op::VarWrite {
+                var: VarId(0),
+                value: 1,
+            },
+        ));
+        let m = sink.into_metrics();
+        assert_eq!(m.sites[&loc], 1);
+    }
+
+    #[test]
+    fn interleaved_files_accumulate_on_distinct_keys() {
+        // Defeat the last-file memo on purpose: alternating files must
+        // still land on their own sites.
+        let a = Loc::new("file-a", 1);
+        let b = Loc::new("file-b", 1);
+        let mut sink = TelemetrySink::new();
+        for i in 0..6u64 {
+            let loc = if i % 2 == 0 { a } else { b };
+            sink.on_event(&ev(
+                i,
+                0,
+                loc,
+                Op::VarRead {
+                    var: VarId(0),
+                    value: 0,
+                },
+            ));
+        }
+        sink.finish();
+        assert_eq!(sink.metrics().sites[&a], 3);
+        assert_eq!(sink.metrics().sites[&b], 3);
     }
 }

@@ -53,6 +53,9 @@ pub struct ToolConfig {
     pub noise_plan: Option<InstrumentationPlan>,
     /// Spurious-wakeup probability per scheduling point (None = off).
     pub spurious: Option<f64>,
+    /// Which engine executes the program (model controller or real OS
+    /// threads).
+    pub backend: mtt_runtime::RuntimeBackend,
     /// Detector / coverage sinks attached to every run.
     pub sinks: Vec<SinkFactory>,
 }
@@ -117,7 +120,13 @@ impl ToolConfig {
         let mut exec = exec
             .scheduler((self.scheduler)(seed))
             .noise((self.noise)(seed ^ 0x9e37_79b9))
-            .max_steps(max_steps);
+            .max_steps(max_steps)
+            .backend(self.backend);
+        if self.backend.is_native() {
+            // Program-level randomness is seeded identically under both
+            // backends so a differential comparison varies only the engine.
+            exec = exec.program_seed(seed);
+        }
         if let Some(plan) = &self.noise_plan {
             exec = exec.noise_plan(plan.clone());
         }
@@ -158,6 +167,7 @@ impl ToolSpec {
             noise,
             noise_plan,
             spurious: self.spurious,
+            backend: self.backend,
             sinks,
         })
     }

@@ -17,9 +17,10 @@
 //! spec      := component clause*
 //! clause    := '+' key '=' value
 //! key       := 'noise' | 'place' | 'race' | 'deadlock' | 'cov'
-//!            | 'spurious' | 'name'
+//!            | 'spurious' | 'backend' | 'name'
 //! value     := component                    (noise/place/race/deadlock/cov)
 //!            | number                       (spurious)
+//!            | 'model' | 'native'           (backend)
 //!            | <verbatim to end of string>  (name)
 //! component := ident (':' number)*
 //! ```
@@ -32,6 +33,7 @@
 //! what run logs and annotated traces carry for provenance.
 
 use mtt_json::{FromJson, Json, JsonError, ToJson};
+use mtt_runtime::RuntimeBackend;
 use std::fmt;
 
 /// One named, parameterized component reference, e.g. `sleep:0.3:20`.
@@ -104,6 +106,9 @@ pub struct ToolSpec {
     pub sinks: Vec<(SinkKind, ComponentSpec)>,
     /// Spurious-wakeup probability (`spurious=`).
     pub spurious: Option<f64>,
+    /// Execution backend (`backend=`; defaults to the deterministic model
+    /// engine). `backend=native` runs the program on real OS threads.
+    pub backend: RuntimeBackend,
     /// Display-name override (`name=`; must be the last clause). Without
     /// it a tool is displayed as its canonical spec string.
     pub name: Option<String>,
@@ -118,6 +123,7 @@ impl ToolSpec {
             place: None,
             sinks: Vec::new(),
             spurious: None,
+            backend: RuntimeBackend::Model,
             name: None,
         }
     }
@@ -130,8 +136,9 @@ impl ToolSpec {
 
     /// Pretty-print in canonical clause order: scheduler, `noise=` (omitted
     /// when it is a bare `none`), `place=`, sinks in stored order,
-    /// `spurious=`, `name=`. Parsing the canonical form reproduces the
-    /// spec exactly.
+    /// `spurious=`, `backend=` (omitted for the default model backend, so
+    /// every pre-existing spec string is unchanged), `name=`. Parsing the
+    /// canonical form reproduces the spec exactly.
     pub fn canonical(&self) -> String {
         let mut out = self.scheduler.to_string();
         if !(self.noise.id == "none" && self.noise.params.is_empty()) {
@@ -145,6 +152,9 @@ impl ToolSpec {
         }
         if let Some(p) = self.spurious {
             out.push_str(&format!("+spurious={p}"));
+        }
+        if self.backend.is_native() {
+            out.push_str(&format!("+backend={}", self.backend.tag()));
         }
         if let Some(name) = &self.name {
             out.push_str(&format!("+name={name}"));
@@ -352,6 +362,7 @@ impl<'a> Parser<'a> {
         let mut spec = ToolSpec::bare(self.component(ComponentKind::Scheduler)?);
         let mut saw_noise = false;
         let mut saw_place = false;
+        let mut saw_backend = false;
         while !self.rest().is_empty() {
             if !self.rest().starts_with('+') {
                 return Err(self.err(self.pos, "expected `+` before the next clause"));
@@ -403,6 +414,17 @@ impl<'a> Parser<'a> {
                     }
                     spec.spurious = Some(p);
                 }
+                "backend" => {
+                    if saw_backend {
+                        return Err(self.err(key_start, "duplicate `backend=` clause"));
+                    }
+                    saw_backend = true;
+                    let at = self.pos;
+                    let id = self.ident()?;
+                    spec.backend = RuntimeBackend::parse(id).ok_or_else(|| {
+                        self.err(at, format!("unknown backend `{id}` (known: model, native)"))
+                    })?;
+                }
                 "name" => {
                     // The name is taken verbatim to the end of the string,
                     // so legacy display names like `sticky+yield` survive.
@@ -418,7 +440,7 @@ impl<'a> Parser<'a> {
                         key_start,
                         format!(
                             "unknown clause key `{other}` (known: noise, place, race, \
-                             deadlock, cov, spurious, name)"
+                             deadlock, cov, spurious, backend, name)"
                         ),
                     ))
                 }
@@ -504,6 +526,24 @@ mod tests {
         assert_eq!(e.line, Some(2));
         assert!(e.render().starts_with("sticky:9\n"), "{e}");
         assert!(e.render().contains("line 2, column"), "{e}");
+    }
+
+    #[test]
+    fn backend_clause_parses_and_canonicalizes() {
+        let s = ToolSpec::parse("sticky:0.9+backend=native+name=nat").unwrap();
+        assert!(s.backend.is_native());
+        assert_eq!(s.canonical(), "sticky:0.9+backend=native+name=nat");
+        assert_eq!(ToolSpec::parse(&s.canonical()).unwrap(), s);
+
+        // `backend=model` is the default and canonicalizes away entirely —
+        // this is what keeps every pre-existing spec string byte-identical.
+        let m = ToolSpec::parse("sticky:0.9+backend=model").unwrap();
+        assert_eq!(m.backend, RuntimeBackend::Model);
+        assert_eq!(m.canonical(), "sticky:0.9");
+        assert_eq!(m, ToolSpec::parse("sticky:0.9").unwrap());
+
+        assert!(ToolSpec::parse("sticky+backend=jvm").is_err());
+        assert!(ToolSpec::parse("sticky+backend=native+backend=native").is_err());
     }
 
     #[test]

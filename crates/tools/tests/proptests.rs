@@ -74,12 +74,17 @@ fn spec_strategy() -> BoxedStrategy<ToolSpec> {
                 .map(|_| CHARSET[rng.next_u64() as usize % CHARSET.len()] as char)
                 .collect::<String>()
         });
+        // Backend stays model here: `resolution_is_deterministic` drives a
+        // real execution, and only the model engine promises identical
+        // fingerprints across runs. The canonical round-trip of
+        // `backend=native` has its own unit test.
         ToolSpec {
             scheduler,
             noise,
             place,
             sinks,
             spurious,
+            backend: mtt_runtime::RuntimeBackend::Model,
             name,
         }
     })

@@ -62,6 +62,18 @@ impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
     }
 }
 
+/// Result of a [`Condvar::wait_for`]: did the wait end by timeout?
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended because the timeout elapsed (a notify
+    /// may still have raced in — re-check the predicate either way).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// Condition variable compatible with [`MutexGuard`].
 #[derive(Debug, Default)]
 pub struct Condvar(std::sync::Condvar);
@@ -77,6 +89,22 @@ impl Condvar {
         let inner = guard.0.take().expect("guard already waiting");
         let back = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
         guard.0 = Some(back);
+    }
+
+    /// Block until notified or `timeout` elapses; the guard is atomically
+    /// released and re-held either way.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard already waiting");
+        let (back, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => p.into_inner(),
+        };
+        guard.0 = Some(back);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wake one waiter.
